@@ -1,0 +1,155 @@
+//! The two intuitive baselines of §6.1.
+//!
+//! * **TopRA** ("Top RAting") — the classical customer-centric recommender:
+//!   each user gets the `k` items with the highest predicted rating; being a
+//!   static method, the same `k` items are repeated at every time step of the
+//!   horizon.
+//! * **TopRE** ("Top REvenue") — the static revenue-aware heuristic of prior
+//!   work: at each time step, each user gets the `k` items with the highest
+//!   isolated expected revenue `p(i, t) · q(u, i, t)`.
+//!
+//! Both ignore competition, saturation, and capacity while *choosing* items
+//! (just like the originals); their achieved revenue is evaluated with the
+//! full dynamic model, which is exactly how the paper compares them.
+
+use crate::global_greedy::GreedyOutcome;
+use revmax_core::{revenue, Instance, Strategy, Triple, UserId};
+
+/// Per-user selection of the `k` best candidates according to a scoring closure.
+fn top_k_for_user<F>(inst: &Instance, user: UserId, k: usize, score: F) -> Vec<revmax_core::ItemId>
+where
+    F: Fn(revmax_core::CandidateId) -> f64,
+{
+    let mut scored: Vec<(revmax_core::ItemId, f64)> = inst
+        .candidates_of_user(user)
+        .map(|c| (inst.candidate_item(c), score(c)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.into_iter().take(k).map(|(item, _)| item).collect()
+}
+
+/// TopRA: recommend to every user the `k` items with the highest predicted
+/// rating, repeated at every time step.
+pub fn top_rating(inst: &Instance) -> GreedyOutcome {
+    let k = inst.display_limit() as usize;
+    let mut strategy = Strategy::new();
+    for u in 0..inst.num_users() {
+        let user = UserId(u);
+        let best = top_k_for_user(inst, user, k, |c| inst.candidate_rating(c));
+        for item in best {
+            for t in inst.time_steps() {
+                strategy.insert(Triple { user, item, t });
+            }
+        }
+    }
+    outcome_from_strategy(inst, strategy)
+}
+
+/// TopRE: at each time step, recommend to every user the `k` items with the
+/// highest isolated expected revenue `p(i, t) · q(u, i, t)`.
+pub fn top_revenue(inst: &Instance) -> GreedyOutcome {
+    let k = inst.display_limit() as usize;
+    let mut strategy = Strategy::new();
+    for u in 0..inst.num_users() {
+        let user = UserId(u);
+        for t in inst.time_steps() {
+            let best = top_k_for_user(inst, user, k, |c| {
+                inst.candidate_prob(c, t) * inst.price(inst.candidate_item(c), t)
+            });
+            for item in best {
+                strategy.insert(Triple { user, item, t });
+            }
+        }
+    }
+    outcome_from_strategy(inst, strategy)
+}
+
+/// Evaluates a baseline strategy with the full dynamic revenue model.
+fn outcome_from_strategy(inst: &Instance, strategy: Strategy) -> GreedyOutcome {
+    let rev = revenue(inst, &strategy);
+    GreedyOutcome {
+        revenue: rev,
+        selection_objective: rev,
+        strategy,
+        trace: Vec::new(),
+        marginal_evaluations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_greedy::global_greedy;
+    use revmax_core::InstanceBuilder;
+
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new(2, 3, 2);
+        b.display_limit(1)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .item_class(2, 1)
+            .beta(0, 0.5)
+            .beta(1, 0.5)
+            .beta(2, 0.5)
+            .prices(0, &[100.0, 90.0])
+            .prices(1, &[10.0, 12.0])
+            .prices(2, &[50.0, 55.0])
+            // user 0: loves item 1 (cheap) but item 0 is expensive and still likely
+            .candidate(0, 0, &[0.4, 0.5], 3.0)
+            .candidate(0, 1, &[0.9, 0.9], 5.0)
+            .candidate(0, 2, &[0.5, 0.5], 4.0)
+            // user 1
+            .candidate(1, 0, &[0.3, 0.35], 2.0)
+            .candidate(1, 2, &[0.8, 0.8], 4.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn top_rating_picks_highest_rated_items() {
+        let inst = instance();
+        let out = top_rating(&inst);
+        // User 0's highest-rated item is item 1 — repeated at both time steps.
+        assert!(out.strategy.contains(Triple::new(0, 1, 1)));
+        assert!(out.strategy.contains(Triple::new(0, 1, 2)));
+        // User 1's highest-rated item is item 2.
+        assert!(out.strategy.contains(Triple::new(1, 2, 1)));
+        // k = 1, T = 2, 2 users → 4 triples.
+        assert_eq!(out.strategy.len(), 4);
+        assert!(out.strategy.satisfies_display(&inst));
+    }
+
+    #[test]
+    fn top_revenue_prefers_expensive_likely_items() {
+        let inst = instance();
+        let out = top_revenue(&inst);
+        // For user 0: expected isolated revenue of item 0 is 40/45 vs item 1's 9/10.8
+        // and item 2's 25/27.5 — item 0 wins at both time steps.
+        assert!(out.strategy.contains(Triple::new(0, 0, 1)));
+        assert!(out.strategy.contains(Triple::new(0, 0, 2)));
+        assert_eq!(out.strategy.len(), 4);
+    }
+
+    #[test]
+    fn baselines_are_dominated_by_global_greedy() {
+        let inst = instance();
+        let gg = global_greedy(&inst);
+        let ra = top_rating(&inst);
+        let re = top_revenue(&inst);
+        assert!(gg.revenue + 1e-9 >= re.revenue);
+        assert!(gg.revenue + 1e-9 >= ra.revenue);
+        // Revenue-aware beats rating-only on this price spread.
+        assert!(re.revenue > ra.revenue);
+    }
+
+    #[test]
+    fn baseline_revenue_is_evaluated_with_the_dynamic_model() {
+        let inst = instance();
+        let out = top_rating(&inst);
+        assert!((out.revenue - revenue(&inst, &out.strategy)).abs() < 1e-12);
+        // Repeating the same class at both steps costs revenue under the
+        // dynamic model: the total is strictly below the naive sum of
+        // isolated expected revenues.
+        let naive: f64 = out.strategy.iter().map(|z| inst.isolated_revenue(z)).sum();
+        assert!(out.revenue < naive);
+    }
+}

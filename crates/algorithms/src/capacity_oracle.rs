@@ -1,0 +1,93 @@
+//! Monte-Carlo capacity oracle for R-REVMAX.
+//!
+//! Computing `B_S(i, t) = Pr[at most q_i − 1 users adopt]` exactly is a
+//! Poisson-binomial tail; [`revmax_core::ExactPoissonBinomial`] does it in
+//! `O(n · q_i)`. When `q_i` is large (the paper samples capacities around
+//! 5000) the Monte-Carlo estimator here is the practical alternative the paper
+//! suggests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revmax_core::CapacityOracle;
+use std::cell::RefCell;
+
+/// Monte-Carlo estimator of the Poisson-binomial tail probability.
+#[derive(Debug)]
+pub struct MonteCarloOracle {
+    samples: usize,
+    rng: RefCell<StdRng>,
+}
+
+impl MonteCarloOracle {
+    /// Creates an estimator using `samples` simulations per query.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        MonteCarloOracle {
+            samples: samples.max(1),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Number of simulations per query.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+impl CapacityOracle for MonteCarloOracle {
+    fn prob_at_most(&self, probs: &[f64], limit: u32) -> f64 {
+        if probs.len() as u32 <= limit {
+            return 1.0;
+        }
+        let mut rng = self.rng.borrow_mut();
+        let mut hits = 0usize;
+        for _ in 0..self.samples {
+            let mut count = 0u32;
+            for &p in probs {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    count += 1;
+                    if count > limit {
+                        break;
+                    }
+                }
+            }
+            if count <= limit {
+                hits += 1;
+            }
+        }
+        hits as f64 / self.samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmax_core::ExactPoissonBinomial;
+
+    #[test]
+    fn short_lists_are_certain() {
+        let mc = MonteCarloOracle::new(100, 1);
+        assert_eq!(mc.prob_at_most(&[], 0), 1.0);
+        assert_eq!(mc.prob_at_most(&[0.9, 0.9], 2), 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_exact() {
+        let exact = ExactPoissonBinomial;
+        let mc = MonteCarloOracle::new(40_000, 7);
+        let probs = [0.3, 0.7, 0.5, 0.2, 0.9, 0.4];
+        for limit in 0..5 {
+            let e = exact.prob_at_most(&probs, limit);
+            let m = mc.prob_at_most(&probs, limit);
+            assert!((e - m).abs() < 0.02, "limit {limit}: exact {e} vs mc {m}");
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities_are_handled() {
+        let mc = MonteCarloOracle::new(2_000, 3);
+        // All certain adopters: at most 1 of 3 succeeding is impossible.
+        assert_eq!(mc.prob_at_most(&[1.0, 1.0, 1.0], 1), 0.0);
+        // No adopters at all: always within any limit.
+        assert_eq!(mc.prob_at_most(&[0.0, 0.0, 0.0], 0), 1.0);
+    }
+}

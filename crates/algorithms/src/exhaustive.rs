@@ -1,0 +1,152 @@
+//! Exact (exponential-time) optimum for tiny instances.
+//!
+//! REVMAX is NP-hard (Theorem 1), so no polynomial exact solver exists in
+//! general; this brute-force enumerator exists purely to validate the greedy
+//! heuristics and the local-search approximation on instances with a handful
+//! of candidate triples.
+
+use revmax_core::{revenue, Instance, Strategy, TimeStep, Triple};
+
+/// The exact optimum of a tiny instance.
+#[derive(Debug, Clone)]
+pub struct ExactOutcome {
+    /// An optimal valid strategy.
+    pub strategy: Strategy,
+    /// Its expected revenue.
+    pub revenue: f64,
+    /// Number of candidate triples that were enumerated over.
+    pub ground_set_size: usize,
+}
+
+/// Enumerates the candidate triples of an instance (positive primitive
+/// adoption probability only).
+pub fn candidate_triples(inst: &Instance) -> Vec<Triple> {
+    let mut out = Vec::new();
+    for cand in inst.candidates() {
+        let user = inst.candidate_user(cand);
+        let item = inst.candidate_item(cand);
+        for (t_idx, &q) in inst.candidate_probs(cand).iter().enumerate() {
+            if q > 0.0 {
+                out.push(Triple { user, item, t: TimeStep::from_index(t_idx) });
+            }
+        }
+    }
+    out
+}
+
+/// Finds the optimal valid strategy by enumerating all subsets of the candidate
+/// ground set. Panics if the ground set has more than `max_ground_set`
+/// elements (default sanity limit 22 → ~4M subsets).
+pub fn exact_optimum(inst: &Instance, max_ground_set: usize) -> ExactOutcome {
+    let triples = candidate_triples(inst);
+    let n = triples.len();
+    assert!(
+        n <= max_ground_set,
+        "exact optimum requested for {n} candidate triples (limit {max_ground_set})"
+    );
+    let mut best_strategy = Strategy::new();
+    let mut best_revenue = 0.0;
+    for mask in 0u64..(1u64 << n) {
+        let mut s = Strategy::with_capacity(mask.count_ones() as usize);
+        for (idx, &z) in triples.iter().enumerate() {
+            if mask & (1 << idx) != 0 {
+                s.insert(z);
+            }
+        }
+        if s.validate(inst).is_err() {
+            continue;
+        }
+        let r = revenue(inst, &s);
+        if r > best_revenue {
+            best_revenue = r;
+            best_strategy = s;
+        }
+    }
+    ExactOutcome { strategy: best_strategy, revenue: best_revenue, ground_set_size: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_greedy::global_greedy;
+    use crate::local_greedy::{randomized_local_greedy, sequential_local_greedy};
+    use revmax_core::InstanceBuilder;
+
+    fn tiny_instance() -> Instance {
+        let mut b = InstanceBuilder::new(2, 2, 2);
+        b.display_limit(1)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .beta(0, 0.2)
+            .beta(1, 0.6)
+            .capacity(0, 1)
+            .capacity(1, 2)
+            .prices(0, &[40.0, 30.0])
+            .prices(1, &[10.0, 14.0])
+            .candidate(0, 0, &[0.5, 0.7], 0.0)
+            .candidate(0, 1, &[0.8, 0.6], 0.0)
+            .candidate(1, 0, &[0.4, 0.45], 0.0)
+            .candidate(1, 1, &[0.3, 0.5], 0.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_dominates_every_heuristic() {
+        let inst = tiny_instance();
+        let exact = exact_optimum(&inst, 22);
+        assert!(exact.revenue > 0.0);
+        assert!(exact.strategy.validate(&inst).is_ok());
+        for out in [
+            global_greedy(&inst),
+            sequential_local_greedy(&inst),
+            randomized_local_greedy(&inst, 2, 5),
+        ] {
+            assert!(out.revenue <= exact.revenue + 1e-9);
+            // On this tiny instance the greedy family should get ≥ 80 % of OPT.
+            assert!(
+                out.revenue >= 0.8 * exact.revenue,
+                "heuristic revenue {} too far below optimum {}",
+                out.revenue,
+                exact.revenue
+            );
+        }
+    }
+
+    #[test]
+    fn exact_is_at_least_single_best_triple() {
+        let inst = tiny_instance();
+        let exact = exact_optimum(&inst, 22);
+        let best_single = candidate_triples(&inst)
+            .into_iter()
+            .map(|z| inst.isolated_revenue(z))
+            .fold(0.0, f64::max);
+        assert!(exact.revenue + 1e-9 >= best_single);
+    }
+
+    #[test]
+    fn ground_set_counts_positive_probability_triples_only() {
+        let mut b = InstanceBuilder::new(1, 1, 3);
+        b.constant_price(0, 1.0).candidate(0, 0, &[0.5, 0.0, 0.2], 0.0);
+        let inst = b.build().unwrap();
+        assert_eq!(candidate_triples(&inst).len(), 2);
+        let exact = exact_optimum(&inst, 10);
+        assert_eq!(exact.ground_set_size, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact optimum requested")]
+    fn refuses_oversized_ground_sets() {
+        let mut b = InstanceBuilder::new(5, 5, 2);
+        b.display_limit(2);
+        for i in 0..5u32 {
+            b.constant_price(i, 1.0);
+        }
+        for u in 0..5u32 {
+            for i in 0..5u32 {
+                b.candidate(u, i, &[0.5, 0.5], 0.0);
+            }
+        }
+        let inst = b.build().unwrap();
+        let _ = exact_optimum(&inst, 22);
+    }
+}

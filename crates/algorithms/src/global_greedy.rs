@@ -1,0 +1,460 @@
+//! The Global Greedy algorithm (Algorithm 1 of the paper) and its
+//! saturation-oblivious ablation `GlobalNo`.
+//!
+//! G-Greedy operates on the entire ground set `U × I × [T]` at once: it
+//! repeatedly adds the candidate triple with the largest positive marginal
+//! revenue that does not violate the display or capacity constraint. Two
+//! implementation-level optimisations from §5.1 are reproduced:
+//!
+//! * the **two-level heap** structure: one small "lower heap" per (user, item)
+//!   candidate pair holding its `T` triples (here a linear scan, since `T ≤ 7`
+//!   in all experiments), and one upper heap over candidate pairs keyed by the
+//!   root of their lower heap;
+//! * **lazy forward**: a triple's cached marginal revenue carries a flag equal
+//!   to `|set(u, C(i))|` at computation time; when the triple reaches the root
+//!   of the upper heap, it is re-evaluated only if the flag is stale. This is
+//!   sound because the revenue function is submodular (Theorem 2), so stale
+//!   values only over-estimate.
+
+use crate::heap::LazyMaxHeap;
+use revmax_core::{revenue, CandidateId, IncrementalRevenue, Instance, Strategy, TimeStep, Triple};
+
+/// Options controlling the G-Greedy run.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyOptions {
+    /// Select triples as if `β_i = 1` for every item (the `GlobalNo` baseline).
+    /// The reported [`GreedyOutcome::revenue`] is always the true revenue.
+    pub ignore_saturation: bool,
+    /// Use the lazy-forward optimisation (on by default). Turning it off
+    /// recomputes a candidate's marginal revenues every time it surfaces,
+    /// which is the ablation measured in the benches.
+    pub lazy_forward: bool,
+    /// Use the two-level heap layout. When false, a single "giant" heap over
+    /// all candidate triples is used instead (ablation).
+    pub two_level_heaps: bool,
+    /// Record the revenue after every selection (Figure 4 traces).
+    pub track_trace: bool,
+}
+
+impl Default for GreedyOptions {
+    fn default() -> Self {
+        GreedyOptions {
+            ignore_saturation: false,
+            lazy_forward: true,
+            two_level_heaps: true,
+            track_trace: false,
+        }
+    }
+}
+
+/// The result of a greedy run.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// The selected strategy (always valid for REVMAX).
+    pub strategy: Strategy,
+    /// True expected revenue of the strategy under the instance's saturation
+    /// factors (Definition 2).
+    pub revenue: f64,
+    /// The objective value the selection process itself tracked (differs from
+    /// `revenue` only for `GlobalNo`, which selects pretending `β = 1`).
+    pub selection_objective: f64,
+    /// Selection-objective value after each insertion, if tracing was enabled.
+    pub trace: Vec<f64>,
+    /// Number of marginal-revenue evaluations performed (lazy-forward ablation metric).
+    pub marginal_evaluations: u64,
+}
+
+/// Runs G-Greedy with default options.
+pub fn global_greedy(inst: &Instance) -> GreedyOutcome {
+    global_greedy_with(inst, &GreedyOptions::default())
+}
+
+/// Runs the `GlobalNo` ablation: saturation is ignored during selection, the
+/// returned revenue is evaluated with the true saturation factors.
+pub fn global_no_saturation(inst: &Instance) -> GreedyOutcome {
+    global_greedy_with(
+        inst,
+        &GreedyOptions { ignore_saturation: true, ..GreedyOptions::default() },
+    )
+}
+
+/// Runs G-Greedy with explicit options.
+pub fn global_greedy_with(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
+    if opts.two_level_heaps {
+        two_level_greedy(inst, opts)
+    } else {
+        giant_heap_greedy(inst, opts)
+    }
+}
+
+/// Per-candidate cached state: one slot per time step.
+struct CandidateState {
+    /// Cached marginal revenue per time step (may be stale / over-estimated).
+    values: Vec<f64>,
+    /// `|set(u, C(i))|` at the time each cached value was computed.
+    flags: Vec<u32>,
+    /// Whether the slot is no longer selectable (already selected, or its
+    /// (user, t) display slot is full).
+    blocked: Vec<bool>,
+}
+
+impl CandidateState {
+    fn best(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (t, (&v, &b)) in self.values.iter().zip(&self.blocked).enumerate() {
+            if b {
+                continue;
+            }
+            if best.map_or(true, |(_, bv)| v > bv) {
+                best = Some((t, v));
+            }
+        }
+        best
+    }
+}
+
+fn initial_values(inst: &Instance, cand: CandidateId) -> Vec<f64> {
+    let item = inst.candidate_item(cand);
+    inst.candidate_probs(cand)
+        .iter()
+        .enumerate()
+        .map(|(t_idx, &q)| q * inst.price(item, TimeStep::from_index(t_idx)))
+        .collect()
+}
+
+fn finish(
+    inst: &Instance,
+    inc: IncrementalRevenue<'_>,
+    opts: &GreedyOptions,
+    trace: Vec<f64>,
+    marginal_evaluations: u64,
+) -> GreedyOutcome {
+    let selection_objective = inc.revenue();
+    let strategy = inc.into_strategy();
+    let true_revenue = if opts.ignore_saturation {
+        revenue(inst, &strategy)
+    } else {
+        selection_objective
+    };
+    GreedyOutcome {
+        strategy,
+        revenue: true_revenue,
+        selection_objective,
+        trace,
+        marginal_evaluations,
+    }
+}
+
+fn two_level_greedy(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
+    let horizon = inst.horizon() as usize;
+    let num_cand = inst.num_candidates();
+    let mut inc = IncrementalRevenue::with_options(inst, opts.ignore_saturation);
+    let mut trace = Vec::new();
+    let mut evals: u64 = 0;
+
+    let mut states: Vec<CandidateState> = Vec::with_capacity(num_cand);
+    let mut roots = vec![f64::NEG_INFINITY; num_cand];
+    for cand in inst.candidates() {
+        let values = initial_values(inst, cand);
+        let state = CandidateState {
+            values,
+            flags: vec![0; horizon],
+            blocked: vec![false; horizon],
+        };
+        roots[cand.index()] = state.best().map_or(f64::NEG_INFINITY, |(_, v)| v);
+        states.push(state);
+    }
+    let mut heap = LazyMaxHeap::new(&roots);
+    let total_slots = inst.total_slots();
+
+    while (inc.len() as u64) < total_slots {
+        let Some((cand_idx, root_value)) = heap.pop() else { break };
+        if root_value <= 0.0 {
+            break;
+        }
+        let cand = CandidateId(cand_idx);
+        let user = inst.candidate_user(cand);
+        let item = inst.candidate_item(cand);
+        let class = inst.class_of(item);
+        let state = &mut states[cand_idx as usize];
+        let Some((best_t, _)) = state.best() else {
+            heap.remove(cand_idx);
+            continue;
+        };
+        let z = Triple { user, item, t: TimeStep::from_index(best_t) };
+
+        if inc.would_violate(z) {
+            if inc.would_violate_display(z) {
+                // The (user, t) slot is full: this time step is dead for this
+                // candidate, other time steps may still be fine.
+                state.blocked[best_t] = true;
+                match state.best() {
+                    Some((_, v)) => heap.update(cand_idx, v),
+                    None => heap.remove(cand_idx),
+                }
+            } else {
+                // Capacity exhausted by other users: the whole candidate dies.
+                heap.remove(cand_idx);
+            }
+            continue;
+        }
+
+        // Lazy forward compares the flag against |set(u, C(i))|; the eager
+        // ablation compares against the global selection count, forcing a
+        // re-evaluation whenever anything was inserted since the last one.
+        let stamp = if opts.lazy_forward {
+            inc.group_size(user, class) as u32
+        } else {
+            inc.len() as u32
+        };
+        let up_to_date = state.flags[best_t] == stamp;
+        if up_to_date {
+            inc.insert(z);
+            state.blocked[best_t] = true;
+            if opts.track_trace {
+                trace.push(inc.revenue());
+            }
+            match state.best() {
+                Some((_, v)) => heap.update(cand_idx, v),
+                None => heap.remove(cand_idx),
+            }
+        } else {
+            // Re-evaluate every live triple of this candidate, then re-queue.
+            for t_idx in 0..horizon {
+                if state.blocked[t_idx] {
+                    continue;
+                }
+                let triple = Triple { user, item, t: TimeStep::from_index(t_idx) };
+                state.values[t_idx] = inc.marginal_revenue(triple);
+                state.flags[t_idx] = stamp;
+                evals += 1;
+            }
+            match state.best() {
+                Some((_, v)) => heap.update(cand_idx, v),
+                None => heap.remove(cand_idx),
+            }
+        }
+    }
+
+    finish(inst, inc, opts, trace, evals)
+}
+
+fn giant_heap_greedy(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
+    let horizon = inst.horizon() as usize;
+    let num_cand = inst.num_candidates();
+    let mut inc = IncrementalRevenue::with_options(inst, opts.ignore_saturation);
+    let mut trace = Vec::new();
+    let mut evals: u64 = 0;
+
+    // One heap element per candidate triple.
+    let mut values = vec![f64::NEG_INFINITY; num_cand * horizon];
+    let mut flags = vec![0u32; num_cand * horizon];
+    for cand in inst.candidates() {
+        let init = initial_values(inst, cand);
+        values[cand.index() * horizon..(cand.index() + 1) * horizon].copy_from_slice(&init);
+    }
+    let mut heap = LazyMaxHeap::new(&values);
+    let total_slots = inst.total_slots();
+
+    while (inc.len() as u64) < total_slots {
+        let Some((element, value)) = heap.pop() else { break };
+        if value <= 0.0 {
+            break;
+        }
+        let cand = CandidateId(element / horizon as u32);
+        let t_idx = (element as usize) % horizon;
+        let user = inst.candidate_user(cand);
+        let item = inst.candidate_item(cand);
+        let class = inst.class_of(item);
+        let z = Triple { user, item, t: TimeStep::from_index(t_idx) };
+
+        if inc.would_violate(z) {
+            heap.remove(element);
+            continue;
+        }
+        let stamp = if opts.lazy_forward {
+            inc.group_size(user, class) as u32
+        } else {
+            inc.len() as u32
+        };
+        if flags[element as usize] == stamp {
+            inc.insert(z);
+            heap.remove(element);
+            if opts.track_trace {
+                trace.push(inc.revenue());
+            }
+        } else {
+            let fresh = inc.marginal_revenue(z);
+            evals += 1;
+            flags[element as usize] = stamp;
+            heap.update(element, fresh);
+        }
+    }
+
+    finish(inst, inc, opts, trace, evals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmax_core::{marginal_revenue, InstanceBuilder};
+
+    /// Small instance with one class of two items, price drops, and saturation.
+    fn small_instance() -> Instance {
+        let mut b = InstanceBuilder::new(2, 3, 3);
+        b.display_limit(1)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .item_class(2, 1)
+            .beta(0, 0.4)
+            .beta(1, 0.7)
+            .beta(2, 0.9)
+            .capacity(0, 1)
+            .capacity(1, 2)
+            .capacity(2, 2)
+            .prices(0, &[30.0, 24.0, 27.0])
+            .prices(1, &[10.0, 12.0, 9.0])
+            .prices(2, &[15.0, 15.0, 14.0])
+            .candidate(0, 0, &[0.4, 0.6, 0.5], 4.5)
+            .candidate(0, 1, &[0.7, 0.5, 0.8], 3.5)
+            .candidate(0, 2, &[0.3, 0.3, 0.4], 4.0)
+            .candidate(1, 0, &[0.5, 0.55, 0.45], 4.8)
+            .candidate(1, 2, &[0.6, 0.2, 0.3], 2.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn greedy_output_is_valid_and_profitable() {
+        let inst = small_instance();
+        let out = global_greedy(&inst);
+        assert!(out.strategy.validate(&inst).is_ok());
+        assert!(out.revenue > 0.0);
+        assert!((out.revenue - revenue(&inst, &out.strategy)).abs() < 1e-9);
+        assert!(!out.strategy.is_empty());
+    }
+
+    #[test]
+    fn example4_greedy_avoids_the_trap() {
+        // On the non-monotone Example-4 instance the optimal strategy is the
+        // single day-2 recommendation; greedy must find it and stop.
+        let mut b = InstanceBuilder::new(1, 1, 2);
+        b.display_limit(1)
+            .capacity(0, 2)
+            .beta(0, 0.1)
+            .prices(0, &[1.0, 0.95])
+            .candidate(0, 0, &[0.5, 0.6], 0.0);
+        let inst = b.build().unwrap();
+        let out = global_greedy(&inst);
+        assert_eq!(out.strategy.len(), 1);
+        assert!(out.strategy.contains(Triple::new(0, 0, 2)));
+        assert!((out.revenue - 0.57).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_selects_negative_marginals() {
+        let inst = small_instance();
+        let out = global_greedy_with(
+            &inst,
+            &GreedyOptions { track_trace: true, ..Default::default() },
+        );
+        // The traced objective must be non-decreasing (every accepted marginal > 0).
+        for w in out.trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "objective decreased: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn greedy_matches_manual_hill_climbing() {
+        // Cross-check against a brute-force greedy that re-evaluates every
+        // candidate triple from scratch at every step.
+        let inst = small_instance();
+        let fast = global_greedy(&inst);
+
+        let mut s = Strategy::new();
+        let mut inc = IncrementalRevenue::new(&inst);
+        loop {
+            let mut best: Option<(Triple, f64)> = None;
+            for c in inst.candidates() {
+                let user = inst.candidate_user(c);
+                let item = inst.candidate_item(c);
+                for t in inst.time_steps() {
+                    let z = Triple { user, item, t };
+                    if s.contains(z) || inc.would_violate(z) {
+                        continue;
+                    }
+                    let m = marginal_revenue(&inst, &s, z);
+                    if m > 0.0 && best.map_or(true, |(_, bv)| m > bv) {
+                        best = Some((z, m));
+                    }
+                }
+            }
+            match best {
+                Some((z, _)) => {
+                    inc.insert(z);
+                    s.insert(z);
+                }
+                None => break,
+            }
+        }
+        let slow_revenue = revenue(&inst, &s);
+        assert!(
+            (fast.revenue - slow_revenue).abs() < 1e-9,
+            "two-level greedy {} vs reference greedy {}",
+            fast.revenue,
+            slow_revenue
+        );
+        assert_eq!(fast.strategy.len(), s.len());
+    }
+
+    #[test]
+    fn giant_heap_and_two_level_agree() {
+        let inst = small_instance();
+        let two = global_greedy_with(&inst, &GreedyOptions::default());
+        let giant = global_greedy_with(
+            &inst,
+            &GreedyOptions { two_level_heaps: false, ..Default::default() },
+        );
+        assert!((two.revenue - giant.revenue).abs() < 1e-9);
+        assert_eq!(two.strategy.len(), giant.strategy.len());
+    }
+
+    #[test]
+    fn lazy_forward_does_not_change_the_result_but_saves_evaluations() {
+        let inst = small_instance();
+        let lazy = global_greedy_with(&inst, &GreedyOptions::default());
+        let eager = global_greedy_with(
+            &inst,
+            &GreedyOptions { lazy_forward: false, ..Default::default() },
+        );
+        assert!((lazy.revenue - eager.revenue).abs() < 1e-9);
+        assert!(lazy.marginal_evaluations <= eager.marginal_evaluations);
+    }
+
+    #[test]
+    fn global_no_reports_true_revenue() {
+        let inst = small_instance();
+        let no_sat = global_no_saturation(&inst);
+        assert!(no_sat.strategy.validate(&inst).is_ok());
+        // The true revenue of the GlobalNo strategy never exceeds its own
+        // optimistic selection objective.
+        assert!(no_sat.revenue <= no_sat.selection_objective + 1e-9);
+        // And G-Greedy (saturation-aware) is at least as good in expectation here.
+        let aware = global_greedy(&inst);
+        assert!(aware.revenue + 1e-9 >= no_sat.revenue);
+    }
+
+    #[test]
+    fn respects_display_and_capacity_limits() {
+        let mut b = InstanceBuilder::new(3, 1, 2);
+        b.display_limit(1).capacity(0, 2).constant_price(0, 10.0);
+        for u in 0..3 {
+            b.candidate(u, 0, &[0.9, 0.9], 0.0);
+        }
+        let inst = b.build().unwrap();
+        let out = global_greedy(&inst);
+        assert!(out.strategy.validate(&inst).is_ok());
+        // Capacity 2 on the only item: at most 2 distinct users can receive it.
+        let users: std::collections::HashSet<_> = out.strategy.iter().map(|z| z.user).collect();
+        assert!(users.len() <= 2);
+    }
+}

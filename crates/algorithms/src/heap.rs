@@ -1,0 +1,191 @@
+//! Priority-queue building blocks shared by the greedy algorithms.
+//!
+//! The greedy algorithms need a max-heap keyed by (stale) marginal revenues
+//! whose keys are *decreased* as the strategy grows. Instead of a heap with an
+//! explicit `Decrease-Key`, we use the standard lazy-deletion scheme: every
+//! update pushes a fresh entry and records the current value per element;
+//! popped entries whose value no longer matches the recorded one are stale and
+//! skipped. Combined with the lazy-forward rule this reproduces the behaviour
+//! of the paper's two-level heap structure with negligible overhead.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry: a value attached to an element index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    value: f64,
+    element: u32,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite values only; ties broken by element id for determinism.
+        self.value
+            .partial_cmp(&other.value)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.element.cmp(&self.element))
+    }
+}
+
+/// A max-heap over element indices with lazily invalidated entries.
+///
+/// Each element has a single *current* value; [`LazyMaxHeap::update`] changes
+/// it and pushes a new heap entry, and [`LazyMaxHeap::pop`] skips entries that
+/// no longer match the current value (stale) or belong to removed elements.
+#[derive(Debug, Clone)]
+pub struct LazyMaxHeap {
+    heap: BinaryHeap<Entry>,
+    current: Vec<f64>,
+    alive: Vec<bool>,
+}
+
+impl LazyMaxHeap {
+    /// Builds a heap over `values.len()` elements with the given initial values.
+    pub fn new(values: &[f64]) -> Self {
+        let mut heap = BinaryHeap::with_capacity(values.len());
+        for (idx, &value) in values.iter().enumerate() {
+            heap.push(Entry { value, element: idx as u32 });
+        }
+        LazyMaxHeap {
+            heap,
+            current: values.to_vec(),
+            alive: vec![true; values.len()],
+        }
+    }
+
+    /// Number of elements still alive (not removed).
+    pub fn live_elements(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The current value of an element.
+    pub fn value(&self, element: u32) -> f64 {
+        self.current[element as usize]
+    }
+
+    /// Changes the value of an element (pushes a fresh entry).
+    pub fn update(&mut self, element: u32, value: f64) {
+        self.current[element as usize] = value;
+        if self.alive[element as usize] {
+            self.heap.push(Entry { value, element });
+        }
+    }
+
+    /// Removes an element from consideration entirely.
+    pub fn remove(&mut self, element: u32) {
+        self.alive[element as usize] = false;
+    }
+
+    /// Re-inserts a previously removed element with a new value.
+    pub fn revive(&mut self, element: u32, value: f64) {
+        self.alive[element as usize] = true;
+        self.update(element, value);
+    }
+
+    /// Pops the element with the maximum current value, or `None` if empty.
+    ///
+    /// The popped element stays alive; callers that select it should either
+    /// [`LazyMaxHeap::remove`] it or [`LazyMaxHeap::update`] it afterwards.
+    pub fn pop(&mut self) -> Option<(u32, f64)> {
+        while let Some(entry) = self.heap.pop() {
+            let idx = entry.element as usize;
+            if !self.alive[idx] {
+                continue;
+            }
+            if (entry.value - self.current[idx]).abs() > f64::EPSILON {
+                continue; // stale
+            }
+            return Some((entry.element, entry.value));
+        }
+        None
+    }
+
+    /// Peeks at the maximum current value without popping.
+    pub fn peek(&mut self) -> Option<(u32, f64)> {
+        loop {
+            let entry = *self.heap.peek()?;
+            let idx = entry.element as usize;
+            if !self.alive[idx] || (entry.value - self.current[idx]).abs() > f64::EPSILON {
+                self.heap.pop();
+                continue;
+            }
+            return Some((entry.element, entry.value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_descending_value_order() {
+        let mut heap = LazyMaxHeap::new(&[1.0, 5.0, 3.0]);
+        assert_eq!(heap.pop(), Some((1, 5.0)));
+        heap.remove(1);
+        assert_eq!(heap.pop(), Some((2, 3.0)));
+        heap.remove(2);
+        assert_eq!(heap.pop(), Some((0, 1.0)));
+        heap.remove(0);
+        assert_eq!(heap.pop(), None);
+    }
+
+    #[test]
+    fn stale_entries_are_skipped_after_update() {
+        let mut heap = LazyMaxHeap::new(&[10.0, 5.0]);
+        heap.update(0, 1.0); // element 0 decreased below element 1
+        assert_eq!(heap.pop(), Some((1, 5.0)));
+        heap.remove(1);
+        assert_eq!(heap.pop(), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn removed_elements_never_surface() {
+        let mut heap = LazyMaxHeap::new(&[10.0, 5.0, 7.0]);
+        heap.remove(0);
+        assert_eq!(heap.pop(), Some((2, 7.0)));
+        heap.remove(2);
+        assert_eq!(heap.pop(), Some((1, 5.0)));
+        assert_eq!(heap.live_elements(), 1);
+    }
+
+    #[test]
+    fn revive_brings_an_element_back() {
+        let mut heap = LazyMaxHeap::new(&[2.0, 1.0]);
+        heap.remove(0);
+        heap.revive(0, 9.0);
+        assert_eq!(heap.pop(), Some((0, 9.0)));
+    }
+
+    #[test]
+    fn peek_does_not_consume_valid_entries() {
+        let mut heap = LazyMaxHeap::new(&[4.0, 8.0]);
+        assert_eq!(heap.peek(), Some((1, 8.0)));
+        assert_eq!(heap.pop(), Some((1, 8.0)));
+        assert_eq!(heap.value(0), 4.0);
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        let mut heap = LazyMaxHeap::new(&[3.0, 3.0, 3.0]);
+        assert_eq!(heap.pop(), Some((0, 3.0)));
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_latest_value() {
+        let mut heap = LazyMaxHeap::new(&[1.0]);
+        for v in [5.0, 4.0, 0.5, 2.5] {
+            heap.update(0, v);
+        }
+        assert_eq!(heap.pop(), Some((0, 2.5)));
+    }
+}

@@ -1,0 +1,266 @@
+//! The two "local" greedy algorithms of §5.2: Sequential Local Greedy
+//! (SL-Greedy, Algorithm 2) and Randomized Local Greedy (RL-Greedy).
+//!
+//! Both finalise all recommendations for one time step before moving to the
+//! next. SL-Greedy processes time steps chronologically; RL-Greedy samples `N`
+//! random permutations of `[T]`, runs the per-step greedy under each, and
+//! keeps the most profitable strategy (Example 4 of the paper shows why the
+//! chronological order can be suboptimal).
+
+use crate::global_greedy::GreedyOutcome;
+use crate::heap::LazyMaxHeap;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use revmax_core::{IncrementalRevenue, Instance, TimeStep, Triple};
+use std::collections::HashSet;
+
+/// Runs SL-Greedy: per-time-step greedy in chronological order `1, 2, …, T`.
+pub fn sequential_local_greedy(inst: &Instance) -> GreedyOutcome {
+    let order: Vec<u32> = (1..=inst.horizon()).collect();
+    local_greedy_with_order(inst, &order)
+}
+
+/// Runs the per-time-step greedy under an explicit ordering of time steps and
+/// returns the resulting strategy.
+///
+/// The ordering must be a permutation of `1..=T`; a subset is also accepted
+/// (only those time steps receive recommendations), which the incomplete-price
+/// experiments use.
+pub fn local_greedy_with_order(inst: &Instance, order: &[u32]) -> GreedyOutcome {
+    let mut inc = IncrementalRevenue::new(inst);
+    let mut evals = 0u64;
+    let mut trace = Vec::new();
+    for &t in order {
+        run_time_step(inst, &mut inc, TimeStep(t), &mut evals, &mut trace);
+    }
+    let revenue = inc.revenue();
+    GreedyOutcome {
+        revenue,
+        selection_objective: revenue,
+        strategy: inc.into_strategy(),
+        trace,
+        marginal_evaluations: evals,
+    }
+}
+
+/// Greedily fills the recommendation slots of a single time step given the
+/// strategy accumulated so far (lines 5–15 of Algorithm 2, with lazy forward).
+pub(crate) fn run_time_step(
+    inst: &Instance,
+    inc: &mut IncrementalRevenue<'_>,
+    t: TimeStep,
+    evals: &mut u64,
+    trace: &mut Vec<f64>,
+) {
+    let num_cand = inst.num_candidates();
+    if num_cand == 0 {
+        return;
+    }
+    let mut values = vec![f64::NEG_INFINITY; num_cand];
+    let mut flags = vec![0u32; num_cand];
+    for cand in inst.candidates() {
+        let user = inst.candidate_user(cand);
+        let item = inst.candidate_item(cand);
+        let z = Triple { user, item, t };
+        values[cand.index()] = inc.marginal_revenue(z);
+        flags[cand.index()] = inc.group_size(user, inst.class_of(item)) as u32;
+        *evals += 1;
+    }
+    let mut heap = LazyMaxHeap::new(&values);
+    while let Some((cand_idx, value)) = heap.pop() {
+        if value <= 0.0 {
+            break;
+        }
+        let cand = revmax_core::CandidateId(cand_idx);
+        let user = inst.candidate_user(cand);
+        let item = inst.candidate_item(cand);
+        let z = Triple { user, item, t };
+        if inc.would_violate(z) {
+            heap.remove(cand_idx);
+            continue;
+        }
+        let group_size = inc.group_size(user, inst.class_of(item)) as u32;
+        if flags[cand_idx as usize] == group_size {
+            inc.insert(z);
+            heap.remove(cand_idx);
+            trace.push(inc.revenue());
+        } else {
+            let fresh = inc.marginal_revenue(z);
+            *evals += 1;
+            flags[cand_idx as usize] = group_size;
+            heap.update(cand_idx, fresh);
+        }
+    }
+}
+
+/// Generates up to `n` distinct permutations of `1..=horizon` (always including
+/// the chronological one first, as a safe fallback).
+pub fn sample_permutations(horizon: u32, n: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<u32> = (1..=horizon).collect();
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    let mut out = Vec::new();
+    seen.insert(base.clone());
+    out.push(base.clone());
+    // T! can be tiny (e.g. T = 2); stop once all permutations are exhausted.
+    let factorial: u64 = (1..=horizon as u64).product::<u64>().max(1);
+    let target = n.max(1).min(factorial as usize);
+    let mut attempts = 0;
+    while out.len() < target && attempts < 50 * target {
+        attempts += 1;
+        let mut p = base.clone();
+        p.shuffle(&mut rng);
+        if seen.insert(p.clone()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Runs RL-Greedy: `permutations` random orderings of `[T]`, per-step greedy
+/// under each, best strategy returned. Runs are independent and executed on
+/// scoped threads.
+pub fn randomized_local_greedy(inst: &Instance, permutations: usize, seed: u64) -> GreedyOutcome {
+    let orders = sample_permutations(inst.horizon(), permutations, seed);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(orders.len()).max(1);
+    let results: Vec<GreedyOutcome> = if threads <= 1 || orders.len() <= 1 {
+        orders.iter().map(|o| local_greedy_with_order(inst, o)).collect()
+    } else {
+        let chunks: Vec<Vec<Vec<u32>>> = orders
+            .chunks(orders.len().div_ceil(threads))
+            .map(|c| c.to_vec())
+            .collect();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|o| local_greedy_with_order(inst, o))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("crossbeam scope failed")
+    };
+    results
+        .into_iter()
+        .max_by(|a, b| a.revenue.partial_cmp(&b.revenue).expect("finite revenues"))
+        .expect("at least one permutation is always evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmax_core::{revenue, InstanceBuilder};
+
+    fn example4_instance() -> Instance {
+        let mut b = InstanceBuilder::new(1, 1, 2);
+        b.display_limit(1)
+            .capacity(0, 2)
+            .beta(0, 0.1)
+            .prices(0, &[1.0, 0.95])
+            .candidate(0, 0, &[0.5, 0.6], 0.0);
+        b.build().unwrap()
+    }
+
+    fn medium_instance() -> Instance {
+        let mut b = InstanceBuilder::new(3, 4, 3);
+        b.display_limit(1)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .item_class(2, 1)
+            .item_class(3, 1)
+            .beta(0, 0.3)
+            .beta(1, 0.8)
+            .beta(2, 0.5)
+            .beta(3, 0.9)
+            .capacity(0, 2)
+            .capacity(1, 2)
+            .capacity(2, 3)
+            .capacity(3, 1)
+            .prices(0, &[20.0, 15.0, 18.0])
+            .prices(1, &[8.0, 9.0, 7.0])
+            .prices(2, &[12.0, 12.0, 11.0])
+            .prices(3, &[30.0, 25.0, 35.0]);
+        for u in 0..3 {
+            b.candidate(u, 0, &[0.4, 0.6, 0.5], 4.0);
+            b.candidate(u, 1, &[0.7, 0.5, 0.6], 3.0);
+            b.candidate(u, 2, &[0.3, 0.2, 0.4], 3.5);
+            b.candidate(u, 3, &[0.2, 0.25, 0.15], 4.5);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example4_sl_greedy_falls_into_the_chronological_trap() {
+        // SL-Greedy processes t=1 first and picks the (positive-marginal)
+        // day-1 recommendation, ending with the inferior strategy of Example 4.
+        let inst = example4_instance();
+        let sl = sequential_local_greedy(&inst);
+        assert!((sl.revenue - 0.5285).abs() < 1e-9);
+        // RL-Greedy tries the reversed order too and escapes.
+        let rl = randomized_local_greedy(&inst, 2, 1);
+        assert!((rl.revenue - 0.57).abs() < 1e-9);
+        assert!(rl.revenue > sl.revenue);
+    }
+
+    #[test]
+    fn outputs_are_valid_strategies() {
+        let inst = medium_instance();
+        for out in [
+            sequential_local_greedy(&inst),
+            randomized_local_greedy(&inst, 4, 7),
+        ] {
+            assert!(out.strategy.validate(&inst).is_ok());
+            assert!(out.revenue > 0.0);
+            assert!((out.revenue - revenue(&inst, &out.strategy)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rl_greedy_is_at_least_as_good_as_sl_greedy() {
+        let inst = medium_instance();
+        let sl = sequential_local_greedy(&inst);
+        let rl = randomized_local_greedy(&inst, 6, 3);
+        // RL always evaluates the chronological order too.
+        assert!(rl.revenue + 1e-9 >= sl.revenue);
+    }
+
+    #[test]
+    fn permutation_sampling_is_distinct_and_bounded() {
+        let perms = sample_permutations(3, 10, 1);
+        assert!(perms.len() <= 6);
+        let unique: HashSet<_> = perms.iter().cloned().collect();
+        assert_eq!(unique.len(), perms.len());
+        assert_eq!(perms[0], vec![1, 2, 3]);
+        for p in &perms {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 2, 3]);
+        }
+        // Degenerate horizon.
+        assert_eq!(sample_permutations(1, 5, 0), vec![vec![1]]);
+    }
+
+    #[test]
+    fn partial_order_restricts_time_steps() {
+        let inst = medium_instance();
+        let out = local_greedy_with_order(&inst, &[2]);
+        assert!(out.strategy.iter().all(|z| z.t.value() == 2));
+        assert!(!out.strategy.is_empty());
+    }
+
+    #[test]
+    fn trace_is_monotone_within_runs() {
+        let inst = medium_instance();
+        let out = sequential_local_greedy(&inst);
+        for w in out.trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The PTIME special case of REVMAX with `T = 1` (§3.2): maximum-weight
+//! degree-constrained subgraph (Max-DCS) on the user–item bipartite graph.
+//!
+//! Each user node has degree bound `k` (display constraint), each item node has
+//! degree bound `q_i` (capacity constraint), and edge (u, i) carries weight
+//! `p(i, 1) · q(u, i, 1)`. We solve it exactly by reduction to min-cost flow:
+//! source → user (capacity `k`, cost 0), user → item (capacity 1, cost `−w`),
+//! item → sink (capacity `q_i`, cost 0); augmenting along negative-cost
+//! shortest paths until none remains yields the maximum-weight subgraph.
+//!
+//! This module serves two purposes: it validates the greedy algorithms on
+//! single-step instances (where the optimum is computable), and it is the
+//! baseline "static" optimizer a snapshot-based system would use.
+
+use revmax_core::{Instance, Strategy, TimeStep, Triple};
+
+/// Result of the exact `T = 1` solver.
+#[derive(Debug, Clone)]
+pub struct MaxDcsOutcome {
+    /// The optimal single-step strategy.
+    pub strategy: Strategy,
+    /// Its total weight `Σ p(i, 1) · q(u, i, 1)` (equals its expected revenue,
+    /// since a single step has no competition or saturation effects within a
+    /// class unless two same-class items go to the same user — which the
+    /// optimum never does when `k` allows avoiding it).
+    pub weight: f64,
+}
+
+/// Edge in the min-cost-flow network.
+#[derive(Debug, Clone, Copy)]
+struct FlowEdge {
+    to: usize,
+    capacity: i64,
+    flow: i64,
+    /// Cost in fixed-point (millionths) to keep arithmetic exact.
+    cost: i64,
+}
+
+/// A small successive-shortest-path min-cost-flow solver (Bellman–Ford based,
+/// adequate for the instance sizes the exact solver is used on).
+struct MinCostFlow {
+    graph: Vec<Vec<usize>>, // adjacency: node -> edge indices
+    edges: Vec<FlowEdge>,
+}
+
+impl MinCostFlow {
+    fn new(nodes: usize) -> Self {
+        MinCostFlow { graph: vec![Vec::new(); nodes], edges: Vec::new() }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, capacity: i64, cost: i64) -> usize {
+        let idx = self.edges.len();
+        self.edges.push(FlowEdge { to, capacity, flow: 0, cost });
+        self.graph[from].push(idx);
+        self.edges.push(FlowEdge { to: from, capacity: 0, flow: 0, cost: -cost });
+        self.graph[to].push(idx + 1);
+        idx
+    }
+
+    /// Augments along shortest (most negative total cost) paths from `source`
+    /// to `sink` while the shortest path has negative cost.
+    fn run_negative_augmentation(&mut self, source: usize, sink: usize) {
+        loop {
+            let n = self.graph.len();
+            let mut dist = vec![i64::MAX; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[source] = 0;
+            // Bellman–Ford.
+            for _ in 0..n {
+                let mut changed = false;
+                for node in 0..n {
+                    if dist[node] == i64::MAX {
+                        continue;
+                    }
+                    for &eidx in &self.graph[node] {
+                        let e = self.edges[eidx];
+                        if e.capacity - e.flow <= 0 {
+                            continue;
+                        }
+                        let nd = dist[node] + e.cost;
+                        if nd < dist[e.to] {
+                            dist[e.to] = nd;
+                            prev_edge[e.to] = eidx;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if dist[sink] == i64::MAX || dist[sink] >= 0 {
+                break;
+            }
+            // Find bottleneck along the path.
+            let mut bottleneck = i64::MAX;
+            let mut node = sink;
+            while node != source {
+                let eidx = prev_edge[node];
+                let e = self.edges[eidx];
+                bottleneck = bottleneck.min(e.capacity - e.flow);
+                // The tail of edge eidx is the head of its reverse edge.
+                node = self.edges[eidx ^ 1].to;
+            }
+            // Apply.
+            let mut node = sink;
+            while node != source {
+                let eidx = prev_edge[node];
+                self.edges[eidx].flow += bottleneck;
+                self.edges[eidx ^ 1].flow -= bottleneck;
+                node = self.edges[eidx ^ 1].to;
+            }
+        }
+    }
+}
+
+const COST_SCALE: f64 = 1_000_000.0;
+
+/// Solves the `T = 1` REVMAX instance exactly via Max-DCS.
+///
+/// Only the `t = 1` slice of the instance is considered; the display limit and
+/// capacities are taken from the instance. Edges with zero weight are dropped.
+pub fn solve_t1_exact(inst: &Instance) -> MaxDcsOutcome {
+    let num_users = inst.num_users() as usize;
+    let num_items = inst.num_items() as usize;
+    let source = 0usize;
+    let user_base = 1usize;
+    let item_base = 1 + num_users;
+    let sink = 1 + num_users + num_items;
+    let mut mcf = MinCostFlow::new(sink + 1);
+
+    for u in 0..num_users {
+        mcf.add_edge(source, user_base + u, inst.display_limit() as i64, 0);
+    }
+    let mut item_connected = vec![false; num_items];
+    let t1 = TimeStep(1);
+    let mut edge_of_candidate = Vec::new();
+    for cand in inst.candidates() {
+        let user = inst.candidate_user(cand);
+        let item = inst.candidate_item(cand);
+        let weight = inst.candidate_prob(cand, t1) * inst.price(item, t1);
+        if weight <= 0.0 {
+            continue;
+        }
+        let cost = -(weight * COST_SCALE).round() as i64;
+        let eidx = mcf.add_edge(user_base + user.index(), item_base + item.index(), 1, cost);
+        edge_of_candidate.push((cand, eidx, weight));
+        item_connected[item.index()] = true;
+    }
+    for i in 0..num_items {
+        if item_connected[i] {
+            mcf.add_edge(item_base + i, sink, inst.capacity(revmax_core::ItemId(i as u32)) as i64, 0);
+        }
+    }
+    mcf.run_negative_augmentation(source, sink);
+
+    let mut strategy = Strategy::new();
+    let mut weight = 0.0;
+    for (cand, eidx, w) in edge_of_candidate {
+        if mcf.edges[eidx].flow > 0 {
+            let z = Triple {
+                user: inst.candidate_user(cand),
+                item: inst.candidate_item(cand),
+                t: t1,
+            };
+            strategy.insert(z);
+            weight += w;
+        }
+    }
+    MaxDcsOutcome { strategy, weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_greedy::global_greedy;
+    use revmax_core::{revenue, InstanceBuilder};
+
+    /// 2 users, 2 items, k = 1, capacities 1: a pure assignment problem.
+    #[test]
+    fn solves_small_assignment_optimally() {
+        let mut b = InstanceBuilder::new(2, 2, 1);
+        b.display_limit(1)
+            .capacity(0, 1)
+            .capacity(1, 1)
+            .constant_price(0, 10.0)
+            .constant_price(1, 10.0)
+            // Weights: u0-i0: 9, u0-i1: 8, u1-i0: 7, u1-i1: 1.
+            .candidate(0, 0, &[0.9], 0.0)
+            .candidate(0, 1, &[0.8], 0.0)
+            .candidate(1, 0, &[0.7], 0.0)
+            .candidate(1, 1, &[0.1], 0.0);
+        let inst = b.build().unwrap();
+        let out = solve_t1_exact(&inst);
+        // Greedy pairing (u0-i0, u1-i1) = 10; optimal is (u0-i1, u1-i0) = 15.
+        assert!((out.weight - 15.0).abs() < 1e-6);
+        assert!(out.strategy.contains(Triple::new(0, 1, 1)));
+        assert!(out.strategy.contains(Triple::new(1, 0, 1)));
+        assert!(out.strategy.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn respects_degree_bounds() {
+        let mut b = InstanceBuilder::new(3, 2, 1);
+        b.display_limit(1)
+            .capacity(0, 2)
+            .capacity(1, 1)
+            .constant_price(0, 5.0)
+            .constant_price(1, 5.0);
+        for u in 0..3 {
+            b.candidate(u, 0, &[0.9], 0.0);
+            b.candidate(u, 1, &[0.8], 0.0);
+        }
+        let inst = b.build().unwrap();
+        let out = solve_t1_exact(&inst);
+        assert!(out.strategy.validate(&inst).is_ok());
+        // Item 0 can serve 2 users, item 1 one user, each user at most 1 item:
+        // the best is 2 × 4.5 + 1 × 4.0 = 13.
+        assert!((out.weight - 13.0).abs() < 1e-6);
+        assert_eq!(out.strategy.len(), 3);
+    }
+
+    #[test]
+    fn weight_equals_dynamic_revenue_for_t1() {
+        // With T = 1 and k = 1 nobody gets two same-class items, so the
+        // dynamic revenue equals the matching weight.
+        let mut b = InstanceBuilder::new(3, 3, 1);
+        b.display_limit(1);
+        for i in 0..3u32 {
+            b.capacity(i, 1).constant_price(i, 10.0 + i as f64);
+        }
+        for u in 0..3u32 {
+            for i in 0..3u32 {
+                b.candidate(u, i, &[0.2 + 0.1 * ((u + i) % 3) as f64], 0.0);
+            }
+        }
+        let inst = b.build().unwrap();
+        let out = solve_t1_exact(&inst);
+        assert!((out.weight - revenue(&inst, &out.strategy)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_close_to_exact_on_t1_instances() {
+        // The greedy heuristics have no guarantee, but on single-step
+        // instances they should land within a few percent of the optimum.
+        let mut b = InstanceBuilder::new(6, 5, 1);
+        b.display_limit(2);
+        for i in 0..5u32 {
+            b.capacity(i, 3).constant_price(i, 5.0 + 3.0 * i as f64);
+        }
+        for u in 0..6u32 {
+            for i in 0..5u32 {
+                let q = 0.1 + 0.13 * ((u * 5 + i) % 7) as f64;
+                b.candidate(u, i, &[q], 0.0);
+            }
+        }
+        let inst = b.build().unwrap();
+        let exact = solve_t1_exact(&inst);
+        let greedy = global_greedy(&inst);
+        assert!(greedy.revenue <= exact.weight + 1e-9);
+        assert!(
+            greedy.revenue >= 0.9 * exact.weight,
+            "greedy {} too far from exact {}",
+            greedy.revenue,
+            exact.weight
+        );
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_strategy() {
+        let mut b = InstanceBuilder::new(2, 2, 1);
+        b.display_limit(1).constant_price(0, 1.0).constant_price(1, 1.0);
+        b.candidate(0, 0, &[0.0], 0.0);
+        let inst = b.build().unwrap();
+        let out = solve_t1_exact(&inst);
+        assert!(out.strategy.is_empty());
+        assert_eq!(out.weight, 0.0);
+    }
+}

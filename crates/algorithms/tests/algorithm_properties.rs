@@ -1,0 +1,247 @@
+//! Cross-cutting property and integration tests for the algorithm suite:
+//! greedy validity and quality against the exact optimum on tiny instances,
+//! the Max-DCS upper bound for `T = 1`, the local-search guarantee, and
+//! end-to-end runs on generated datasets.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use revmax_algorithms::{
+    exact_optimum, global_greedy, global_greedy_with, local_search_r_revmax,
+    randomized_local_greedy, run, sequential_local_greedy, solve_t1_exact, top_rating,
+    top_revenue, Algorithm, GreedyOptions,
+};
+use revmax_core::{revenue, Instance, InstanceBuilder};
+use revmax_data::{generate, DatasetConfig};
+
+/// Raw material for a random small instance.
+#[derive(Debug, Clone)]
+struct SmallInstance {
+    num_users: u32,
+    num_items: u32,
+    horizon: u32,
+    display_limit: u32,
+    classes: Vec<u32>,
+    betas: Vec<f64>,
+    capacities: Vec<u32>,
+    prices: Vec<Vec<f64>>,
+    probs: Vec<Vec<f64>>,
+}
+
+impl SmallInstance {
+    fn build(&self) -> Instance {
+        let mut b = InstanceBuilder::new(self.num_users, self.num_items, self.horizon);
+        b.display_limit(self.display_limit);
+        for item in 0..self.num_items as usize {
+            b.item_class(item as u32, self.classes[item]);
+            b.beta(item as u32, self.betas[item]);
+            b.capacity(item as u32, self.capacities[item]);
+            b.prices(item as u32, &self.prices[item]);
+        }
+        for user in 0..self.num_users as usize {
+            for item in 0..self.num_items as usize {
+                let probs = &self.probs[user * self.num_items as usize + item];
+                if probs.iter().any(|&p| p > 0.0) {
+                    b.candidate(user as u32, item as u32, probs, probs[0] * 5.0);
+                }
+            }
+        }
+        b.build().expect("random instance must build")
+    }
+}
+
+fn small_instances() -> impl proptest::strategy::Strategy<Value = SmallInstance> {
+    (2u32..=3, 2u32..=4, 1u32..=3, 1u32..=2).prop_flat_map(|(nu, ni, t, k)| {
+        let pairs = (nu * ni) as usize;
+        (
+            proptest::collection::vec(0u32..2, ni as usize),
+            proptest::collection::vec(0.0f64..=1.0, ni as usize),
+            proptest::collection::vec(1u32..=3, ni as usize),
+            proptest::collection::vec(proptest::collection::vec(1.0f64..30.0, t as usize), ni as usize),
+            proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, t as usize), pairs),
+        )
+            .prop_map(move |(classes, betas, capacities, prices, probs)| SmallInstance {
+                num_users: nu,
+                num_items: ni,
+                horizon: t,
+                display_limit: k,
+                classes,
+                betas,
+                capacities,
+                prices,
+                probs,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every greedy algorithm emits a valid strategy whose reported revenue
+    /// matches an independent re-evaluation, and the first greedy pick means
+    /// revenue at least matches the best isolated triple.
+    #[test]
+    fn greedy_outputs_are_valid_and_consistent(si in small_instances()) {
+        let inst = si.build();
+        let best_single = revmax_algorithms::candidate_triples(&inst)
+            .into_iter()
+            .map(|z| inst.isolated_revenue(z))
+            .fold(0.0, f64::max);
+        for (is_global, out) in [
+            (true, global_greedy(&inst)),
+            (false, sequential_local_greedy(&inst)),
+            (false, randomized_local_greedy(&inst, 3, 1)),
+        ] {
+            prop_assert!(out.strategy.validate(&inst).is_ok());
+            prop_assert!((out.revenue - revenue(&inst, &out.strategy)).abs() < 1e-9);
+            prop_assert!(out.revenue >= 0.0);
+            // Only G-Greedy picks the globally best isolated triple first and
+            // then never decreases the objective; the local greedy algorithms
+            // can be trapped by the chronological order (Example 4).
+            if is_global {
+                prop_assert!(out.revenue + 1e-9 >= best_single,
+                    "greedy revenue {} below best isolated triple {}", out.revenue, best_single);
+            }
+        }
+    }
+
+    /// Greedy never exceeds the exact optimum, and lazy-forward / heap-layout
+    /// choices do not change the greedy result.
+    #[test]
+    fn greedy_below_optimum_and_invariant_to_internals(si in small_instances()) {
+        let inst = si.build();
+        if revmax_algorithms::candidate_triples(&inst).len() > 18 {
+            return Ok(());
+        }
+        let opt = exact_optimum(&inst, 18);
+        let base = global_greedy(&inst);
+        prop_assert!(base.revenue <= opt.revenue + 1e-9);
+        let eager = global_greedy_with(&inst, &GreedyOptions { lazy_forward: false, ..Default::default() });
+        let giant = global_greedy_with(&inst, &GreedyOptions { two_level_heaps: false, ..Default::default() });
+        prop_assert!((base.revenue - eager.revenue).abs() < 1e-9);
+        prop_assert!((base.revenue - giant.revenue).abs() < 1e-9);
+        prop_assert!(base.marginal_evaluations <= eager.marginal_evaluations);
+    }
+
+    /// For T = 1 the Max-DCS solver is exact: no heuristic beats it, and its
+    /// weight equals the dynamic revenue of its strategy when k = 1.
+    #[test]
+    fn t1_max_dcs_upper_bounds_greedy(si in small_instances()) {
+        if si.horizon != 1 {
+            return Ok(());
+        }
+        let inst = si.build();
+        let exact = solve_t1_exact(&inst);
+        let gg = global_greedy(&inst);
+        prop_assert!(gg.revenue <= exact.weight + 1e-6);
+        if si.display_limit == 1 {
+            prop_assert!((exact.weight - revenue(&inst, &exact.strategy)).abs() < 1e-6);
+        }
+    }
+
+    /// Local search on R-REVMAX satisfies its 1/(4+ε) guarantee against the
+    /// exact R-REVMAX optimum.
+    #[test]
+    fn local_search_guarantee_holds(si in small_instances()) {
+        let inst = si.build();
+        let ground = revmax_algorithms::candidate_triples(&inst).len();
+        if ground == 0 || ground > 12 {
+            return Ok(());
+        }
+        let ls = local_search_r_revmax(&inst, 1.0, 12);
+        let (_, opt) = revmax_algorithms::exact_r_revmax_optimum(&inst, 12);
+        prop_assert!(ls.objective >= opt / 5.0 - 1e-9,
+            "local search {} below 1/5 of optimum {}", ls.objective, opt);
+        prop_assert!(ls.objective <= opt + 1e-9);
+    }
+}
+
+#[test]
+fn generated_dataset_end_to_end_ranking() {
+    // A deterministic end-to-end run on a generated dataset: the revenue-aware
+    // dynamic algorithms must beat the static baselines, reproducing the
+    // qualitative ranking of Figures 1–3.
+    let mut config = DatasetConfig::tiny();
+    config.num_users = 40;
+    config.num_items = 25;
+    config.candidates_per_user = 10;
+    // Keep capacities loose relative to the user base, like the paper's setup
+    // (5000 for 23K users): the baselines ignore capacity when selecting, so a
+    // tightly capacity-bound instance would compare them unfairly against the
+    // constraint-respecting algorithms.
+    config.capacity = revmax_data::CapacityDistribution::Gaussian { mean: 30.0, std: 4.0 };
+    let ds = generate(&config);
+    let inst = &ds.instance;
+
+    let gg = global_greedy(inst);
+    let slg = sequential_local_greedy(inst);
+    let rlg = randomized_local_greedy(inst, 8, 3);
+    let rat = top_rating(inst);
+    let rev_baseline = top_revenue(inst);
+
+    assert!(gg.strategy.validate(inst).is_ok());
+    assert!(slg.strategy.validate(inst).is_ok());
+    assert!(rlg.strategy.validate(inst).is_ok());
+
+    assert!(gg.revenue > 0.0);
+    assert!(
+        gg.revenue + 1e-9 >= rlg.revenue && rlg.revenue + 1e-9 >= slg.revenue * 0.999,
+        "expected GG ≥ RLG ≥ SLG, got {} / {} / {}",
+        gg.revenue,
+        rlg.revenue,
+        slg.revenue
+    );
+    assert!(
+        gg.revenue > rev_baseline.revenue,
+        "GG ({}) should beat TopRev ({})",
+        gg.revenue,
+        rev_baseline.revenue
+    );
+    assert!(
+        gg.revenue > rat.revenue,
+        "GG ({}) should beat TopRat ({})",
+        gg.revenue,
+        rat.revenue
+    );
+    assert!(
+        rev_baseline.revenue > rat.revenue,
+        "price-aware TopRev ({}) should beat TopRat ({})",
+        rev_baseline.revenue,
+        rat.revenue
+    );
+}
+
+#[test]
+fn runner_reports_are_consistent_with_direct_calls() {
+    let mut config = DatasetConfig::tiny();
+    config.num_users = 20;
+    config.candidates_per_user = 6;
+    let ds = generate(&config);
+    let inst = &ds.instance;
+    let report = run(inst, &Algorithm::GlobalGreedy, 0);
+    let direct = global_greedy(inst);
+    assert!((report.revenue - direct.revenue).abs() < 1e-9);
+    assert_eq!(report.strategy_size, direct.strategy.len());
+    assert_eq!(report.algorithm, "GG");
+    assert!(report.elapsed.as_nanos() > 0);
+}
+
+#[test]
+fn saturation_ablation_loses_revenue_on_saturated_datasets() {
+    // With strong saturation (β = 0.1), ignoring it during selection should
+    // cost revenue relative to the saturation-aware greedy (the point of the
+    // GlobalNo comparison in Figure 2).
+    let mut config = DatasetConfig::tiny();
+    config.beta = revmax_data::BetaSetting::Fixed(0.1);
+    config.num_users = 40;
+    config.candidates_per_user = 8;
+    let ds = generate(&config);
+    let inst = &ds.instance;
+    let aware = global_greedy(inst);
+    let oblivious = revmax_algorithms::global_no_saturation(inst);
+    assert!(
+        aware.revenue + 1e-9 >= oblivious.revenue,
+        "saturation-aware {} vs oblivious {}",
+        aware.revenue,
+        oblivious.revenue
+    );
+}

@@ -1,0 +1,28 @@
+//! Table-2 analogue: running time of the five algorithms on a small
+//! Amazon-like dataset (uniform-random saturation, Gaussian capacities).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revmax_algorithms::{run, Algorithm};
+use revmax_data::{generate, DatasetConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut config = DatasetConfig::amazon_like().scaled(0.005);
+    config.candidates_per_user = 30;
+    let ds = generate(&config);
+    let inst = &ds.instance;
+    let mut group = c.benchmark_group("table2_running_time");
+    group.sample_size(10);
+    for alg in [
+        Algorithm::GlobalGreedy,
+        Algorithm::RandomizedLocalGreedy { permutations: 5 },
+        Algorithm::SequentialLocalGreedy,
+        Algorithm::TopRevenue,
+        Algorithm::TopRating,
+    ] {
+        group.bench_function(alg.name(), |b| b.iter(|| run(inst, &alg, 1).revenue));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

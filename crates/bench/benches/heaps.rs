@@ -1,0 +1,28 @@
+//! Ablation: the two-level heap layout of §5.1 vs a single "giant" heap over
+//! all candidate triples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revmax_algorithms::{global_greedy_with, GreedyOptions};
+use revmax_data::{generate, DatasetConfig};
+
+fn bench_heap_layouts(c: &mut Criterion) {
+    let mut config = DatasetConfig::amazon_like().scaled(0.005);
+    config.candidates_per_user = 30;
+    let ds = generate(&config);
+    let inst = &ds.instance;
+    let mut group = c.benchmark_group("heap_layout");
+    group.sample_size(10);
+    group.bench_function("two_level", |b| {
+        b.iter(|| global_greedy_with(inst, &GreedyOptions::default()).revenue)
+    });
+    group.bench_function("giant_heap", |b| {
+        b.iter(|| {
+            global_greedy_with(inst, &GreedyOptions { two_level_heaps: false, ..Default::default() })
+                .revenue
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap_layouts);
+criterion_main!(benches);

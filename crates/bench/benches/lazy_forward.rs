@@ -1,0 +1,27 @@
+//! Ablation: lazy-forward marginal re-evaluation vs eager re-evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revmax_algorithms::{global_greedy_with, GreedyOptions};
+use revmax_data::{generate, DatasetConfig};
+
+fn bench_lazy_forward(c: &mut Criterion) {
+    let mut config = DatasetConfig::amazon_like().scaled(0.004);
+    config.candidates_per_user = 25;
+    let ds = generate(&config);
+    let inst = &ds.instance;
+    let mut group = c.benchmark_group("lazy_forward");
+    group.sample_size(10);
+    group.bench_function("lazy", |b| {
+        b.iter(|| global_greedy_with(inst, &GreedyOptions::default()).marginal_evaluations)
+    });
+    group.bench_function("eager", |b| {
+        b.iter(|| {
+            global_greedy_with(inst, &GreedyOptions { lazy_forward: false, ..Default::default() })
+                .marginal_evaluations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy_forward);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Capacity-oracle ablation: exact Poisson-binomial DP vs Monte-Carlo
+//! estimation of B_S(i, t) for growing competitor counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revmax_algorithms::MonteCarloOracle;
+use revmax_core::{CapacityOracle, ExactPoissonBinomial};
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity_oracle");
+    group.sample_size(20);
+    for n in [16usize, 64, 256] {
+        let probs: Vec<f64> = (0..n).map(|i| 0.1 + 0.8 * (i as f64 / n as f64)).collect();
+        let limit = (n / 4) as u32;
+        group.bench_with_input(BenchmarkId::new("exact_dp", n), &probs, |b, probs| {
+            let oracle = ExactPoissonBinomial;
+            b.iter(|| oracle.prob_at_most(probs, limit))
+        });
+        group.bench_with_input(BenchmarkId::new("monte_carlo_1k", n), &probs, |b, probs| {
+            let oracle = MonteCarloOracle::new(1000, 7);
+            b.iter(|| oracle.prob_at_most(probs, limit))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

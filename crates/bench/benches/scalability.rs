@@ -1,0 +1,24 @@
+//! Figure-6 analogue: G-Greedy running time as the synthetic dataset grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revmax_algorithms::global_greedy;
+use revmax_data::{generate_scalability, DatasetConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_scalability");
+    group.sample_size(10);
+    for users in [300u32, 600, 1200] {
+        let mut config = DatasetConfig::synthetic_scalability(users);
+        config.num_items = 500;
+        config.num_classes = 50;
+        config.candidates_per_user = 40;
+        let ds = generate_scalability(&config);
+        group.bench_with_input(BenchmarkId::from_parameter(users), &ds, |b, ds| {
+            b.iter(|| global_greedy(&ds.instance).revenue)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

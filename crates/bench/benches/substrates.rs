@@ -1,0 +1,46 @@
+//! Substrate micro-benchmarks: matrix-factorization training, KDE fitting and
+//! sampling, and full-strategy revenue evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revmax_algorithms::global_greedy;
+use revmax_core::revenue;
+use revmax_data::{generate, DatasetConfig};
+use revmax_pricing::GaussianKde;
+use revmax_recsys::{MatrixFactorization, MfConfig, RatingSet};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+
+    // Matrix factorization on a synthetic rating set.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ratings = RatingSet::new(300, 150);
+    for _ in 0..6000 {
+        ratings.push(rng.gen_range(0..300), rng.gen_range(0..150), rng.gen_range(1.0..=5.0));
+    }
+    let mf_config = MfConfig { factors: 8, epochs: 10, ..Default::default() };
+    group.bench_function("mf_train_6k_ratings", |b| {
+        b.iter(|| MatrixFactorization::train(&ratings, &mf_config).num_users())
+    });
+
+    // KDE fit + weekly series sampling.
+    let samples: Vec<f64> = (0..200).map(|_| rng.gen_range(20.0..180.0)).collect();
+    group.bench_function("kde_fit_and_sample_week", |b| {
+        b.iter(|| {
+            let kde = GaussianKde::fit(&samples);
+            kde.sample_series(7, 0.01, &mut rng).iter().sum::<f64>()
+        })
+    });
+
+    // Revenue evaluation of a full greedy strategy.
+    let ds = generate(&DatasetConfig::tiny());
+    let strategy = global_greedy(&ds.instance).strategy;
+    group.bench_function("revenue_evaluation", |b| b.iter(|| revenue(&ds.instance, &strategy)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # revmax-bench
+//!
+//! Criterion benchmarks for the REVMAX reproduction. The benches live in
+//! `benches/`:
+//!
+//! * `greedy` — Table 2 analogue (algorithm running times);
+//! * `scalability` — Figure 6 analogue (G-Greedy vs dataset size);
+//! * `heaps`, `lazy_forward` — ablations of the §5.1 implementation choices;
+//! * `oracle` — exact vs Monte-Carlo capacity oracle;
+//! * `substrates` — MF training, KDE, revenue evaluation.
+//!
+//! This crate intentionally has no library code of its own.

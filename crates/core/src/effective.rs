@@ -1,0 +1,203 @@
+//! The relaxed problem R-REVMAX (§4.2): the hard capacity constraint is
+//! "pushed" into the objective via the *effective dynamic adoption
+//! probability* (Definition 4), which multiplies `q_S(u, i, t)` by
+//! `B_S(i, t) = Pr[at most q_i − 1 users in S_{i,t} adopt i]`, where
+//! `S_{i,t}` are the recommendations of item `i` to *other* users up to time `t`.
+//!
+//! Computing `B_S(i, t)` exactly is a Poisson-binomial tail; we provide an
+//! exact dynamic-programming oracle here (cost `O(n · q_i)`), and the
+//! algorithms crate adds a Monte-Carlo estimator for large capacities.
+
+use crate::ids::Triple;
+use crate::instance::Instance;
+use crate::revenue::dynamic_probabilities;
+use crate::strategy::Strategy;
+use std::collections::HashMap;
+
+/// Oracle estimating `Pr[at most `limit` of the independent Bernoulli trials
+/// with the given success probabilities succeed]`.
+pub trait CapacityOracle {
+    /// Probability that at most `limit` of the trials succeed.
+    fn prob_at_most(&self, probs: &[f64], limit: u32) -> f64;
+}
+
+/// Exact Poisson-binomial tail via dynamic programming over the success count,
+/// truncated at `limit + 1` (everything above the limit is lumped together).
+///
+/// Cost is `O(n · limit)`, exact up to floating-point rounding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactPoissonBinomial;
+
+impl CapacityOracle for ExactPoissonBinomial {
+    fn prob_at_most(&self, probs: &[f64], limit: u32) -> f64 {
+        if probs.len() as u32 <= limit {
+            return 1.0;
+        }
+        let cap = limit as usize + 1; // states 0..=limit, plus an absorbing ">limit"
+        // dist[c] = Pr[count == c] for c <= limit; overflow mass is dropped
+        // (we only need Pr[count <= limit]).
+        let mut dist = vec![0.0_f64; cap];
+        dist[0] = 1.0;
+        for &p in probs {
+            // Iterate counts downwards so each trial is used once.
+            for c in (0..cap).rev() {
+                let stay = dist[c] * (1.0 - p);
+                let up = if c + 1 < cap { dist[c] * p } else { 0.0 };
+                dist[c] = stay;
+                if c + 1 < cap {
+                    dist[c + 1] += up;
+                }
+            }
+        }
+        dist.iter().sum::<f64>().clamp(0.0, 1.0)
+    }
+}
+
+/// Effective dynamic adoption probabilities `E_S(u, i, t)` of every triple in
+/// the strategy (Definition 4), using the supplied capacity oracle.
+///
+/// The Bernoulli success probabilities fed to the oracle are the *primitive*
+/// adoption probabilities of the competing recommendations, matching Example 3
+/// of the paper.
+pub fn effective_probabilities<O: CapacityOracle>(
+    inst: &Instance,
+    strategy: &Strategy,
+    oracle: &O,
+) -> Vec<(Triple, f64)> {
+    let base: HashMap<Triple, f64> = dynamic_probabilities(inst, strategy).into_iter().collect();
+    // Group recommendations by item so we can collect S_{i,t} quickly.
+    let mut by_item: HashMap<u32, Vec<Triple>> = HashMap::new();
+    for z in strategy.iter() {
+        by_item.entry(z.item.0).or_default().push(z);
+    }
+    let mut out = Vec::with_capacity(strategy.len());
+    for z in strategy.iter() {
+        let qi = inst.capacity(z.item);
+        let others: Vec<f64> = by_item[&z.item.0]
+            .iter()
+            .filter(|o| o.user != z.user && o.t.value() <= z.t.value())
+            .map(|o| inst.prob_of(*o))
+            .collect();
+        let b = if (others.len() as u32) < qi {
+            1.0
+        } else {
+            oracle.prob_at_most(&others, qi.saturating_sub(1))
+        };
+        out.push((z, base[&z] * b));
+    }
+    out
+}
+
+/// Expected revenue of a strategy under the R-REVMAX objective (effective
+/// dynamic adoption probabilities instead of `q_S`).
+pub fn effective_revenue<O: CapacityOracle>(
+    inst: &Instance,
+    strategy: &Strategy,
+    oracle: &O,
+) -> f64 {
+    effective_probabilities(inst, strategy, oracle)
+        .into_iter()
+        .map(|(z, e)| inst.price(z.item, z.t) * e)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn poisson_binomial_matches_binomial_closed_form() {
+        let oracle = ExactPoissonBinomial;
+        // 4 fair coins: Pr[at most 1 head] = (1 + 4) / 16.
+        let probs = [0.5; 4];
+        let got = oracle.prob_at_most(&probs, 1);
+        assert!((got - 5.0 / 16.0).abs() < 1e-12);
+        // Pr[at most 4 of 4] = 1.
+        assert_eq!(oracle.prob_at_most(&probs, 4), 1.0);
+        // Pr[at most 0] = product of failures.
+        let got = oracle.prob_at_most(&[0.2, 0.3, 0.4], 0);
+        assert!((got - 0.8 * 0.7 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_binomial_heterogeneous_probs() {
+        let oracle = ExactPoissonBinomial;
+        let probs = [0.1, 0.9, 0.5];
+        // Pr[at most 1] computed by enumeration:
+        // count 0: 0.9*0.1*0.5 = 0.045
+        // count 1: 0.1*0.1*0.5 + 0.9*0.9*0.5 + 0.9*0.1*0.5 = 0.005+0.405+0.045 = 0.455
+        let got = oracle.prob_at_most(&probs, 1);
+        assert!((got - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_trial_list_is_certain() {
+        let oracle = ExactPoissonBinomial;
+        assert_eq!(oracle.prob_at_most(&[], 0), 1.0);
+        assert_eq!(oracle.prob_at_most(&[0.7], 3), 1.0);
+    }
+
+    /// Reproduces Example 3: item i, users u, v, w; k = 1, q_i = 1, β_i = 0.5;
+    /// S = {(u,i,1),(v,i,2),(w,i,1),(w,i,2)}.
+    #[test]
+    fn example3_effective_probability() {
+        let mut b = InstanceBuilder::new(3, 1, 2);
+        b.display_limit(1)
+            .capacity(0, 1)
+            .beta(0, 0.5)
+            .constant_price(0, 1.0)
+            .candidate(0, 0, &[0.3, 0.25], 0.0) // u
+            .candidate(1, 0, &[0.2, 0.35], 0.0) // v
+            .candidate(2, 0, &[0.4, 0.45], 0.0); // w
+        let inst = b.build().unwrap();
+        let s: Strategy = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 0, 1),
+            Triple::new(2, 0, 2),
+        ]
+        .into_iter()
+        .collect();
+        let oracle = ExactPoissonBinomial;
+        let eff: HashMap<Triple, f64> =
+            effective_probabilities(&inst, &s, &oracle).into_iter().collect();
+        // E(w, i, 2) = q(w,i,2) * (1-q(w,i,1)) * 0.5^{1/1} * Pr[neither u@1 nor v@2 adopt]
+        //            = q(w,i,2) * (1-q(w,i,1)) * 0.5 * (1-q(u,i,1)) * (1-q(v,i,2))
+        let expected = 0.45 * (1.0 - 0.4) * 0.5 * (1.0 - 0.3) * (1.0 - 0.35);
+        let got = eff[&Triple::new(2, 0, 2)];
+        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn effective_revenue_is_below_unconstrained_revenue() {
+        let mut b = InstanceBuilder::new(3, 1, 1);
+        b.display_limit(1).capacity(0, 1).constant_price(0, 10.0);
+        for u in 0..3 {
+            b.candidate(u, 0, &[0.5], 0.0);
+        }
+        let inst = b.build().unwrap();
+        // Over-capacity strategy: 3 users for a capacity-1 item.
+        let s: Strategy = (0..3).map(|u| Triple::new(u, 0, 1)).collect();
+        let oracle = ExactPoissonBinomial;
+        let eff = effective_revenue(&inst, &s, &oracle);
+        let raw = crate::revenue::revenue(&inst, &s);
+        assert!(eff < raw);
+        assert!(eff > 0.0);
+    }
+
+    #[test]
+    fn under_capacity_effective_equals_plain_revenue() {
+        let mut b = InstanceBuilder::new(2, 1, 1);
+        b.display_limit(1).capacity(0, 2).constant_price(0, 10.0);
+        for u in 0..2 {
+            b.candidate(u, 0, &[0.5], 0.0);
+        }
+        let inst = b.build().unwrap();
+        let s: Strategy = (0..2).map(|u| Triple::new(u, 0, 1)).collect();
+        let oracle = ExactPoissonBinomial;
+        let eff = effective_revenue(&inst, &s, &oracle);
+        let raw = crate::revenue::revenue(&inst, &s);
+        assert!((eff - raw).abs() < 1e-12);
+    }
+}

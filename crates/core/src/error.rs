@@ -1,0 +1,173 @@
+//! Error types for instance construction and strategy validation.
+
+use crate::ids::{ItemId, Triple, UserId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a [`crate::Instance`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names are self-describing (offending indices/values)
+pub enum BuildError {
+    /// The time horizon must have at least one step.
+    EmptyHorizon,
+    /// The instance must have at least one user and one item.
+    EmptyUniverse,
+    /// The display limit `k` must be positive.
+    ZeroDisplayLimit,
+    /// An item index was out of range.
+    ItemOutOfRange { item: u32, num_items: u32 },
+    /// A user index was out of range.
+    UserOutOfRange { user: u32, num_users: u32 },
+    /// A saturation factor was outside `[0, 1]`.
+    InvalidBeta { item: u32, beta: f64 },
+    /// A price was negative or not finite.
+    InvalidPrice { item: u32, t: u32, price: f64 },
+    /// A primitive adoption probability was outside `[0, 1]` or not finite.
+    InvalidProbability { user: u32, item: u32, t: u32, prob: f64 },
+    /// The price series for an item has the wrong length (must equal the horizon).
+    PriceSeriesLength { item: u32, expected: usize, got: usize },
+    /// The probability series for a candidate has the wrong length (must equal the horizon).
+    ProbabilitySeriesLength { user: u32, item: u32, expected: usize, got: usize },
+    /// The same (user, item) candidate was added twice.
+    DuplicateCandidate { user: u32, item: u32 },
+    /// An item was never assigned prices.
+    MissingPrices { item: u32 },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyHorizon => write!(f, "the time horizon T must be at least 1"),
+            BuildError::EmptyUniverse => {
+                write!(f, "an instance needs at least one user and one item")
+            }
+            BuildError::ZeroDisplayLimit => write!(f, "the display limit k must be at least 1"),
+            BuildError::ItemOutOfRange { item, num_items } => {
+                write!(f, "item {item} is out of range (num_items = {num_items})")
+            }
+            BuildError::UserOutOfRange { user, num_users } => {
+                write!(f, "user {user} is out of range (num_users = {num_users})")
+            }
+            BuildError::InvalidBeta { item, beta } => {
+                write!(f, "saturation factor {beta} for item {item} is outside [0, 1]")
+            }
+            BuildError::InvalidPrice { item, t, price } => {
+                write!(f, "price {price} for item {item} at time {t} is negative or not finite")
+            }
+            BuildError::InvalidProbability { user, item, t, prob } => write!(
+                f,
+                "adoption probability {prob} for (user {user}, item {item}, t {t}) is outside [0, 1]"
+            ),
+            BuildError::PriceSeriesLength { item, expected, got } => write!(
+                f,
+                "price series for item {item} has length {got}, expected the horizon length {expected}"
+            ),
+            BuildError::ProbabilitySeriesLength { user, item, expected, got } => write!(
+                f,
+                "probability series for (user {user}, item {item}) has length {got}, expected {expected}"
+            ),
+            BuildError::DuplicateCandidate { user, item } => {
+                write!(f, "candidate (user {user}, item {item}) was added more than once")
+            }
+            BuildError::MissingPrices { item } => {
+                write!(f, "item {item} has candidates but was never given a price series")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// A violation of the REVMAX validity constraints (Problem 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintViolation {
+    /// More than `k` items recommended to a user at one time step.
+    Display {
+        /// The user whose slot is over-full.
+        user: UserId,
+        /// The offending time step (1-based).
+        t: u32,
+        /// How many items were recommended at that slot.
+        count: usize,
+        /// The display limit `k`.
+        limit: u32,
+    },
+    /// An item recommended to more than `q_i` distinct users across the horizon.
+    Capacity {
+        /// The over-recommended item.
+        item: ItemId,
+        /// Number of distinct users who received it.
+        distinct_users: usize,
+        /// The item capacity `q_i`.
+        capacity: u32,
+    },
+    /// A triple references a user, item, or time step outside the instance.
+    OutOfRange {
+        /// The offending triple.
+        triple: Triple,
+    },
+    /// A triple has zero primitive adoption probability for every time step and
+    /// is therefore not part of the candidate ground set.
+    NotACandidate {
+        /// The offending triple.
+        triple: Triple,
+    },
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintViolation::Display { user, t, count, limit } => write!(
+                f,
+                "display constraint violated: {count} items recommended to {user} at t{t} (limit k = {limit})"
+            ),
+            ConstraintViolation::Capacity { item, distinct_users, capacity } => write!(
+                f,
+                "capacity constraint violated: {item} recommended to {distinct_users} distinct users (capacity = {capacity})"
+            ),
+            ConstraintViolation::OutOfRange { triple } => {
+                write!(f, "triple {triple} is outside the instance universe")
+            }
+            ConstraintViolation::NotACandidate { triple } => {
+                write!(f, "triple {triple} is not in the candidate ground set")
+            }
+        }
+    }
+}
+
+impl Error for ConstraintViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_error_messages_mention_offenders() {
+        let e = BuildError::InvalidBeta { item: 3, beta: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("item 3"));
+
+        let e = BuildError::InvalidProbability { user: 1, item: 2, t: 3, prob: -0.1 };
+        let msg = e.to_string();
+        assert!(msg.contains("user 1") && msg.contains("item 2"));
+    }
+
+    #[test]
+    fn violation_messages_mention_limits() {
+        let v = ConstraintViolation::Display { user: UserId(0), t: 1, count: 4, limit: 3 };
+        assert!(v.to_string().contains("k = 3"));
+        let v = ConstraintViolation::Capacity {
+            item: ItemId(9),
+            distinct_users: 12,
+            capacity: 10,
+        };
+        assert!(v.to_string().contains("capacity = 10"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error>(_e: &E) {}
+        assert_err(&BuildError::EmptyHorizon);
+        assert_err(&ConstraintViolation::OutOfRange { triple: Triple::new(0, 0, 1) });
+    }
+}

@@ -1,0 +1,182 @@
+//! Strongly-typed identifiers for users, items, item classes, and time steps.
+//!
+//! The paper indexes time steps `t ∈ [T] = {1, …, T}`; we keep the same 1-based
+//! convention so that the memory function `M_S(u, i, t) = Σ X_S(u, j, τ) / (t − τ)`
+//! can be written exactly as in Equation (1). Helpers convert to 0-based indices
+//! for array storage.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user (`u ∈ U`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item (`i ∈ I`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+/// Identifier of an item class (`C(i)`), e.g. "tablet" or "smartphone".
+///
+/// Items in the same class compete: a user adopts at most one item per class
+/// within the horizon.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+/// A 1-based time step `t ∈ {1, …, T}`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct TimeStep(pub u32);
+
+impl UserId {
+    /// The raw index as `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The raw index as `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ClassId {
+    /// The raw index as `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TimeStep {
+    /// Constructs a time step from a 0-based index.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        TimeStep(idx as u32 + 1)
+    }
+
+    /// The 0-based index of this time step (`t − 1`), for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        debug_assert!(self.0 >= 1, "time steps are 1-based");
+        (self.0 - 1) as usize
+    }
+
+    /// The 1-based value of this time step.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for TimeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A user–item–time triple `(u, i, t)`; a recommendation strategy is a set of these.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct Triple {
+    /// The user who receives the recommendation.
+    pub user: UserId,
+    /// The recommended item.
+    pub item: ItemId,
+    /// The time step at which the item is shown.
+    pub t: TimeStep,
+}
+
+impl Triple {
+    /// Convenience constructor from raw indices (time is 1-based).
+    #[inline]
+    pub fn new(user: u32, item: u32, t: u32) -> Self {
+        Triple {
+            user: UserId(user),
+            item: ItemId(item),
+            t: TimeStep(t),
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.user, self.item, self.t)
+    }
+}
+
+/// Index of a (user, item) candidate pair inside an [`crate::Instance`].
+///
+/// Only pairs with a positive primitive adoption probability for at least one
+/// time step are materialised; the number of such candidate triples is the true
+/// input size of a REVMAX instance (cf. Table 1 of the paper).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CandidateId(pub u32);
+
+impl CandidateId {
+    /// The raw index as `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestep_roundtrip() {
+        for idx in 0..10usize {
+            let t = TimeStep::from_index(idx);
+            assert_eq!(t.index(), idx);
+            assert_eq!(t.value(), idx as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(ItemId(7).to_string(), "i7");
+        assert_eq!(ClassId(1).to_string(), "c1");
+        assert_eq!(TimeStep(2).to_string(), "t2");
+        assert_eq!(Triple::new(3, 7, 2).to_string(), "(u3, i7, t2)");
+    }
+
+    #[test]
+    fn triple_ordering_is_lexicographic() {
+        let a = Triple::new(1, 5, 2);
+        let b = Triple::new(1, 5, 3);
+        let c = Triple::new(2, 0, 1);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn ids_index_roundtrip() {
+        assert_eq!(UserId(42).index(), 42);
+        assert_eq!(ItemId(42).index(), 42);
+        assert_eq!(ClassId(42).index(), 42);
+        assert_eq!(CandidateId(42).index(), 42);
+    }
+}

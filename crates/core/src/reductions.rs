@@ -1,0 +1,297 @@
+//! The NP-hardness reduction of Theorem 1: Restricted Timetable Design (RTD)
+//! → decision REVMAX.
+//!
+//! This module exists to make the hardness construction executable: it builds
+//! the REVMAX instance described in the proof of Theorem 1 from an RTD
+//! instance, converts timetables to strategies (and back), and exposes the
+//! revenue threshold `N + Υ·E` that separates feasible from infeasible
+//! timetables. Tests use it to validate the revenue semantics of
+//! [`crate::revenue`] end-to-end on adversarially structured instances.
+
+use crate::ids::Triple;
+use crate::instance::{Instance, InstanceBuilder};
+use crate::strategy::Strategy;
+
+/// Number of hours in a Restricted Timetable Design instance (fixed to 3).
+pub const RTD_HOURS: u32 = 3;
+
+/// A Restricted Timetable Design instance: craftsmen, jobs, availability, and
+/// the 0/1 requirement matrix `R(c, b)`.
+#[derive(Debug, Clone)]
+pub struct TimetableInstance {
+    /// `available[c][h]` — craftsman `c` is available in hour `h` (0-based, 3 hours).
+    pub available: Vec<[bool; RTD_HOURS as usize]>,
+    /// `requires[c][b]` — craftsman `c` must work one hour on job `b`.
+    pub requires: Vec<Vec<bool>>,
+}
+
+/// An assignment `(craftsman, job, hour)` with hour 0-based.
+pub type Assignment = (usize, usize, usize);
+
+impl TimetableInstance {
+    /// Number of craftsmen.
+    pub fn num_craftsmen(&self) -> usize {
+        self.available.len()
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.requires.first().map_or(0, |r| r.len())
+    }
+
+    /// `N = Σ_{c,b} R(c, b)` — total number of required job-hours.
+    pub fn total_requirements(&self) -> usize {
+        self.requires.iter().map(|r| r.iter().filter(|&&x| x).count()).sum()
+    }
+
+    /// `Υ` — total number of unavailable craftsman-hours.
+    pub fn total_unavailable(&self) -> usize {
+        self.available
+            .iter()
+            .map(|a| a.iter().filter(|&&x| !x).count())
+            .sum()
+    }
+
+    /// Checks the "restricted" structural conditions: every craftsman is a
+    /// 2- or 3-craftsman and tight (required jobs == available hours).
+    pub fn is_restricted(&self) -> bool {
+        self.available.iter().zip(&self.requires).all(|(avail, req)| {
+            let hours = avail.iter().filter(|&&x| x).count();
+            let jobs = req.iter().filter(|&&x| x).count();
+            (hours == 2 || hours == 3) && hours == jobs
+        })
+    }
+
+    /// Whether a set of assignments is a feasible timetable (conditions 1–4 of §3.2).
+    pub fn is_feasible_timetable(&self, assignments: &[Assignment]) -> bool {
+        let c_n = self.num_craftsmen();
+        let b_n = self.num_jobs();
+        let h_n = RTD_HOURS as usize;
+        let mut craftsman_hour = vec![false; c_n * h_n];
+        let mut job_hour = vec![false; b_n * h_n];
+        let mut pair_count = vec![0usize; c_n * b_n];
+        for &(c, b, h) in assignments {
+            if c >= c_n || b >= b_n || h >= h_n {
+                return false;
+            }
+            // (1) only available hours
+            if !self.available[c][h] {
+                return false;
+            }
+            // (2) at most one job per craftsman per hour
+            if craftsman_hour[c * h_n + h] {
+                return false;
+            }
+            craftsman_hour[c * h_n + h] = true;
+            // (3) at most one craftsman per job per hour
+            if job_hour[b * h_n + h] {
+                return false;
+            }
+            job_hour[b * h_n + h] = true;
+            pair_count[c * b_n + b] += 1;
+        }
+        // (4) exactly R(c, b) assignments per pair
+        for c in 0..c_n {
+            for b in 0..b_n {
+                let need = usize::from(self.requires[c][b]);
+                if pair_count[c * b_n + b] != need {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the D-REVMAX instance of Theorem 1.
+    ///
+    /// Item layout: job items come first (`job b`, hour `τ` → item `b·3 + τ`),
+    /// then one expensive item per craftsman. `expensive_price` plays the role
+    /// of `E` and must exceed `N`.
+    pub fn to_revmax(&self, expensive_price: f64) -> Instance {
+        let c_n = self.num_craftsmen() as u32;
+        let b_n = self.num_jobs() as u32;
+        let h_n = RTD_HOURS;
+        let num_items = b_n * h_n + c_n;
+        let mut builder = InstanceBuilder::new(c_n, num_items, h_n);
+        builder.display_limit(1);
+        // Job items: class = job, capacity 1, price 1 only at its own hour.
+        for b in 0..b_n {
+            for tau in 0..h_n {
+                let item = b * h_n + tau;
+                builder.item_class(item, b);
+                builder.capacity(item, 1);
+                let mut prices = vec![0.0; h_n as usize];
+                prices[tau as usize] = 1.0;
+                builder.prices(item, &prices);
+            }
+        }
+        // Expensive items: own class, price E at all times.
+        for c in 0..c_n {
+            let item = b_n * h_n + c;
+            builder.item_class(item, b_n + c);
+            builder.capacity(item, 1);
+            builder.constant_price(item, expensive_price);
+        }
+        // Candidates.
+        for c in 0..c_n as usize {
+            for b in 0..b_n as usize {
+                if self.requires[c][b] {
+                    for tau in 0..h_n {
+                        let item = b as u32 * h_n + tau;
+                        builder.candidate(c as u32, item, &[1.0; RTD_HOURS as usize], 0.0);
+                    }
+                }
+            }
+            let expensive = b_n * h_n + c as u32;
+            let probs: Vec<f64> = (0..h_n as usize)
+                .map(|h| if self.available[c][h] { 0.0 } else { 1.0 })
+                .collect();
+            if probs.iter().any(|&p| p > 0.0) {
+                builder.candidate(c as u32, expensive, &probs, 0.0);
+            }
+        }
+        builder.build().expect("RTD reduction always builds a valid instance")
+    }
+
+    /// The revenue threshold `N + Υ·E` of the reduction.
+    pub fn threshold(&self, expensive_price: f64) -> f64 {
+        self.total_requirements() as f64 + self.total_unavailable() as f64 * expensive_price
+    }
+
+    /// Converts a feasible timetable into the corresponding strategy of the
+    /// reduced instance (the "⇐" direction of the claim in Theorem 1).
+    pub fn timetable_to_strategy(&self, assignments: &[Assignment]) -> Strategy {
+        let b_n = self.num_jobs() as u32;
+        let h_n = RTD_HOURS;
+        let mut s = Strategy::new();
+        for &(c, b, h) in assignments {
+            let item = b as u32 * h_n + h as u32;
+            s.insert(Triple::new(c as u32, item, h as u32 + 1));
+        }
+        for (c, avail) in self.available.iter().enumerate() {
+            for (h, &ok) in avail.iter().enumerate() {
+                if !ok {
+                    let item = b_n * h_n + c as u32;
+                    s.insert(Triple::new(c as u32, item, h as u32 + 1));
+                }
+            }
+        }
+        s
+    }
+
+    /// Extracts timetable assignments from a strategy on the reduced instance
+    /// (the "⇒" direction), ignoring expensive-item recommendations.
+    pub fn strategy_to_timetable(&self, strategy: &Strategy) -> Vec<Assignment> {
+        let b_n = self.num_jobs() as u32;
+        let h_n = RTD_HOURS;
+        strategy
+            .iter()
+            .filter(|z| z.item.0 < b_n * h_n)
+            .map(|z| {
+                let b = (z.item.0 / h_n) as usize;
+                let tau = (z.item.0 % h_n) as usize;
+                debug_assert_eq!(tau, z.t.index());
+                (z.user.0 as usize, b, z.t.index())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revenue::revenue;
+
+    /// Two craftsmen, two jobs. Craftsman 0 available hours {0,1}, requires
+    /// jobs {0,1}; craftsman 1 available {1,2}, requires {0,1}. A feasible
+    /// timetable exists: c0: (job0,h0),(job1,h1); c1: (job1,h2),(job0,h1)?
+    /// No — job0 at h1 conflicts with nothing, job1 at h1 assigned to c0, so
+    /// c1 takes job0 at h1 and job1 at h2. Both jobs are then covered once per
+    /// requirement with no hour conflicts.
+    fn feasible_rtd() -> TimetableInstance {
+        TimetableInstance {
+            available: vec![[true, true, false], [false, true, true]],
+            requires: vec![vec![true, true], vec![true, true]],
+        }
+    }
+
+    fn feasible_assignments() -> Vec<Assignment> {
+        vec![(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 2)]
+    }
+
+    #[test]
+    fn rtd_structure_checks() {
+        let rtd = feasible_rtd();
+        assert!(rtd.is_restricted());
+        assert_eq!(rtd.total_requirements(), 4);
+        assert_eq!(rtd.total_unavailable(), 2);
+        assert!(rtd.is_feasible_timetable(&feasible_assignments()));
+        // Assigning a craftsman in an unavailable hour is infeasible.
+        assert!(!rtd.is_feasible_timetable(&[(0, 0, 2)]));
+        // Two jobs in the same hour for one craftsman is infeasible.
+        let mut bad = feasible_assignments();
+        bad.push((0, 0, 1));
+        assert!(!rtd.is_feasible_timetable(&bad));
+    }
+
+    #[test]
+    fn feasible_timetable_reaches_threshold_revenue() {
+        let rtd = feasible_rtd();
+        let e = 100.0;
+        let inst = rtd.to_revmax(e);
+        let strategy = rtd.timetable_to_strategy(&feasible_assignments());
+        assert!(strategy.validate(&inst).is_ok());
+        let rev = revenue(&inst, &strategy);
+        let threshold = rtd.threshold(e);
+        assert!(
+            (rev - threshold).abs() < 1e-9,
+            "revenue {rev} should equal threshold {threshold}"
+        );
+    }
+
+    #[test]
+    fn wasted_recommendations_fall_short_of_threshold() {
+        let rtd = feasible_rtd();
+        let e = 100.0;
+        let inst = rtd.to_revmax(e);
+        // Recommend the same job twice to craftsman 0 (second one is wasted:
+        // the class was already adopted with probability 1).
+        let mut assignments = feasible_assignments();
+        assignments.retain(|&(c, _, _)| c != 0);
+        let mut strategy = rtd.timetable_to_strategy(&assignments);
+        strategy.insert(Triple::new(0, 0, 1)); // job 0 at its hour 1 item... item 0 is (job0,h0) at t1
+        strategy.insert(Triple::new(0, 1, 2)); // (job0, h1) item at t2 — same class as above
+        let rev = revenue(&inst, &strategy);
+        assert!(rev < rtd.threshold(e));
+    }
+
+    #[test]
+    fn strategy_roundtrips_to_timetable() {
+        let rtd = feasible_rtd();
+        let strategy = rtd.timetable_to_strategy(&feasible_assignments());
+        let mut back = rtd.strategy_to_timetable(&strategy);
+        back.sort_unstable();
+        let mut expected = feasible_assignments();
+        expected.sort_unstable();
+        assert_eq!(back, expected);
+        assert!(rtd.is_feasible_timetable(&back));
+    }
+
+    #[test]
+    fn reduction_instance_shape() {
+        let rtd = feasible_rtd();
+        let inst = rtd.to_revmax(50.0);
+        assert_eq!(inst.num_users(), 2);
+        // 2 jobs × 3 hours + 2 expensive items
+        assert_eq!(inst.num_items(), 8);
+        assert_eq!(inst.horizon(), 3);
+        assert_eq!(inst.display_limit(), 1);
+        // Job items of the same job share a class; expensive items are alone.
+        let c0 = inst.class_of(crate::ids::ItemId(0));
+        let c1 = inst.class_of(crate::ids::ItemId(1));
+        assert_eq!(c0, c1);
+        let e0 = inst.class_of(crate::ids::ItemId(6));
+        let e1 = inst.class_of(crate::ids::ItemId(7));
+        assert_ne!(e0, e1);
+    }
+}

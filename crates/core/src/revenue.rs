@@ -1,0 +1,560 @@
+//! The dynamic revenue model of the paper: memory, saturation, competition,
+//! dynamic adoption probabilities (Definition 1), the revenue function
+//! `Rev(S)` (Definition 2), marginal revenue (Definition 3), and an
+//! incremental evaluator used by all greedy algorithms.
+//!
+//! # Model recap
+//!
+//! For a strategy `S` and a triple `(u, i, t) ∈ S`:
+//!
+//! * the *memory* of user `u` on item `i` at time `t` is
+//!   `M_S(u, i, t) = Σ_{j ∈ C(i)} Σ_{τ < t} X_S(u, j, τ) / (t − τ)` (Eq. 1);
+//! * the *dynamic adoption probability* is
+//!   `q_S(u, i, t) = q(u, i, t) · β_i^{M_S(u,i,t)} · Π_{(u,j,t) ∈ S, j ≠ i, C(j)=C(i)} (1 − q(u,j,t))
+//!    · Π_{(u,j,τ) ∈ S, τ < t, C(j)=C(i)} (1 − q(u,j,τ))` (Eq. 2);
+//! * the expected revenue is `Rev(S) = Σ_{(u,i,t) ∈ S} p(i, t) · q_S(u, i, t)` (Eq. 3).
+//!
+//! The marginal revenue of a triple `z = (u, i, t)` w.r.t. `S` (Definition 3)
+//! is the gain `p(i,t) · q_{S∪{z}}(z)` minus the revenue lost on triples of the
+//! same user and class at later times (their memory grows and they pick up an
+//! extra `(1 − q(z))` competition factor). We additionally account for the
+//! symmetric competition discount on same-class triples at the *same* time
+//! step, which Definition 1 induces but Definition 3 elides; this keeps
+//! `Rev(S ∪ {z}) − Rev(S)` exactly equal to the value the greedy algorithms
+//! optimise.
+
+use crate::ids::{ClassId, Triple, UserId};
+use crate::instance::Instance;
+use crate::strategy::Strategy;
+use std::collections::{HashMap, HashSet};
+
+/// One selected triple inside a (user, class) group of the incremental state.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    t: u32,
+    item: u32,
+    q_prim: f64,
+    /// Current dynamic adoption probability under the strategy built so far.
+    q_dyn: f64,
+    price: f64,
+    /// Saturation factor used for incremental updates (1.0 when the evaluator
+    /// is configured to ignore saturation, as in the GlobalNo baseline).
+    beta: f64,
+}
+
+/// Computes the expected total revenue `Rev(S)` of a strategy from scratch.
+///
+/// This is the reference implementation used to cross-check the incremental
+/// evaluator; it runs in `O(Σ_g |g|²)` over the (user, class) groups `g` of `S`.
+pub fn revenue(inst: &Instance, strategy: &Strategy) -> f64 {
+    dynamic_probabilities(inst, strategy)
+        .into_iter()
+        .map(|(triple, q)| inst.price(triple.item, triple.t) * q)
+        .sum()
+}
+
+/// Computes the dynamic adoption probability `q_S(u, i, t)` of every triple in
+/// the strategy, from scratch.
+pub fn dynamic_probabilities(inst: &Instance, strategy: &Strategy) -> Vec<(Triple, f64)> {
+    let mut groups: HashMap<(UserId, ClassId), Vec<Triple>> = HashMap::new();
+    for triple in strategy.iter() {
+        let class = inst.class_of(triple.item);
+        groups.entry((triple.user, class)).or_default().push(triple);
+    }
+    let mut out = Vec::with_capacity(strategy.len());
+    for ((_user, _class), mut triples) in groups {
+        triples.sort_by_key(|z| (z.t, z.item));
+        for (idx, &z) in triples.iter().enumerate() {
+            let q_prim = inst.prob_of(z);
+            let beta = inst.beta(z.item);
+            let mut memory = 0.0_f64;
+            let mut comp = 1.0_f64;
+            for (jdx, &other) in triples.iter().enumerate() {
+                if jdx == idx {
+                    continue;
+                }
+                if other.t.value() < z.t.value() {
+                    memory += 1.0 / (z.t.value() - other.t.value()) as f64;
+                    comp *= 1.0 - inst.prob_of(other);
+                } else if other.t.value() == z.t.value() && other.item != z.item {
+                    comp *= 1.0 - inst.prob_of(other);
+                }
+            }
+            let q_dyn = q_prim * beta.powf(memory) * comp;
+            out.push((z, q_dyn));
+        }
+    }
+    out
+}
+
+/// The dynamic adoption probability of a single triple `z ∈ S` (0 if `z ∉ S`),
+/// computed from scratch. Convenience wrapper over [`dynamic_probabilities`].
+pub fn dynamic_probability_of(inst: &Instance, strategy: &Strategy, z: Triple) -> f64 {
+    if !strategy.contains(z) {
+        return 0.0;
+    }
+    dynamic_probabilities(inst, strategy)
+        .into_iter()
+        .find(|(t, _)| *t == z)
+        .map(|(_, q)| q)
+        .unwrap_or(0.0)
+}
+
+/// Marginal revenue `Rev(S ∪ {z}) − Rev(S)` computed from scratch.
+///
+/// Prefer [`IncrementalRevenue::marginal_revenue`] inside algorithms; this
+/// function exists for tests and small-instance exact methods.
+pub fn marginal_revenue(inst: &Instance, strategy: &Strategy, z: Triple) -> f64 {
+    if strategy.contains(z) {
+        return 0.0;
+    }
+    let mut with = strategy.clone();
+    with.insert(z);
+    revenue(inst, &with) - revenue(inst, strategy)
+}
+
+/// Incremental evaluator of the revenue function and the REVMAX constraints.
+///
+/// Greedy algorithms grow a strategy one triple at a time; this structure
+/// maintains, per (user, class) group, the selected triples and their current
+/// dynamic adoption probabilities so that marginal revenues and insertions cost
+/// `O(|set(u, C(i))|)` instead of a full re-evaluation.
+#[derive(Debug, Clone)]
+pub struct IncrementalRevenue<'a> {
+    inst: &'a Instance,
+    groups: HashMap<(u32, u32), Vec<Entry>>,
+    revenue: f64,
+    strategy: Strategy,
+    /// Per (user, time) number of recommendations, for the display constraint.
+    display_count: Vec<u16>,
+    /// Per item, number of distinct users reached so far.
+    item_distinct_users: Vec<u32>,
+    /// (item, user) pairs already counted in `item_distinct_users`.
+    item_user_seen: HashSet<(u32, u32)>,
+    /// When true, selection values treat every saturation factor as 1
+    /// (the `GlobalNo` ablation). The *reported* revenue then over-estimates
+    /// the true value; re-evaluate the final strategy with [`revenue`].
+    ignore_saturation: bool,
+}
+
+impl<'a> IncrementalRevenue<'a> {
+    /// Creates an empty evaluator for an instance.
+    pub fn new(inst: &'a Instance) -> Self {
+        Self::with_options(inst, false)
+    }
+
+    /// Creates an evaluator that optionally ignores saturation when computing
+    /// selection values (used by the GlobalNo baseline of §6.1).
+    pub fn with_options(inst: &'a Instance, ignore_saturation: bool) -> Self {
+        IncrementalRevenue {
+            inst,
+            groups: HashMap::new(),
+            revenue: 0.0,
+            strategy: Strategy::new(),
+            display_count: vec![0; inst.num_users() as usize * inst.horizon() as usize],
+            item_distinct_users: vec![0; inst.num_items() as usize],
+            item_user_seen: HashSet::new(),
+            ignore_saturation: ignore_saturation,
+        }
+    }
+
+    /// The instance this evaluator is bound to.
+    pub fn instance(&self) -> &Instance {
+        self.inst
+    }
+
+    /// Expected revenue of the strategy built so far (under the evaluator's
+    /// saturation setting).
+    pub fn revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    /// The strategy built so far.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Consumes the evaluator and returns the built strategy.
+    pub fn into_strategy(self) -> Strategy {
+        self.strategy
+    }
+
+    /// Number of triples selected so far.
+    pub fn len(&self) -> usize {
+        self.strategy.len()
+    }
+
+    /// Whether no triple has been selected yet.
+    pub fn is_empty(&self) -> bool {
+        self.strategy.is_empty()
+    }
+
+    /// Size of the (user, class) group of a triple — the quantity the
+    /// lazy-forward flags of G-Greedy are compared against (`|set(u, C(i))|`).
+    pub fn group_size(&self, user: UserId, class: ClassId) -> usize {
+        self.groups.get(&(user.0, class.0)).map_or(0, |g| g.len())
+    }
+
+    /// Whether adding the triple would violate the display or capacity constraint.
+    pub fn would_violate(&self, z: Triple) -> bool {
+        let k = self.inst.display_limit();
+        let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
+        if self.display_count[slot] as u32 >= k {
+            return true;
+        }
+        if !self.item_user_seen.contains(&(z.item.0, z.user.0)) {
+            let cap = self.inst.capacity(z.item);
+            if self.item_distinct_users[z.item.index()] >= cap {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether adding the triple would violate only the display constraint
+    /// (validity notion of the relaxed problem R-REVMAX).
+    pub fn would_violate_display(&self, z: Triple) -> bool {
+        let k = self.inst.display_limit();
+        let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
+        self.display_count[slot] as u32 >= k
+    }
+
+    /// Marginal revenue `Rev(S ∪ {z}) − Rev(S)` of a triple not yet selected.
+    ///
+    /// Returns 0 for triples already in the strategy.
+    pub fn marginal_revenue(&self, z: Triple) -> f64 {
+        if self.strategy.contains(z) {
+            return 0.0;
+        }
+        let (gain, loss) = self.gain_and_loss(z);
+        gain + loss
+    }
+
+    /// The dynamic adoption probability the triple would obtain if added now.
+    pub fn prospective_probability(&self, z: Triple) -> f64 {
+        self.prospective(z).0
+    }
+
+    /// Current dynamic adoption probability of a triple already in the strategy.
+    pub fn dynamic_probability(&self, z: Triple) -> Option<f64> {
+        let class = self.inst.class_of(z.item);
+        let group = self.groups.get(&(z.user.0, class.0))?;
+        group
+            .iter()
+            .find(|e| e.t == z.t.value() && e.item == z.item.0)
+            .map(|e| e.q_dyn)
+    }
+
+    /// Adds a triple to the strategy and returns its realised marginal revenue.
+    ///
+    /// The caller is responsible for constraint checks (see
+    /// [`IncrementalRevenue::would_violate`]); this method only updates state.
+    pub fn insert(&mut self, z: Triple) -> f64 {
+        if self.strategy.contains(z) {
+            return 0.0;
+        }
+        let (gain, loss) = self.gain_and_loss(z);
+        let q_prim = self.inst.prob_of(z);
+        let q_new = self.prospective(z).0;
+        let class = self.inst.class_of(z.item);
+        let group = self.groups.entry((z.user.0, class.0)).or_default();
+        // Discount existing same-class entries at the same or later times.
+        for e in group.iter_mut() {
+            if e.t > z.t.value() {
+                let factor = (1.0 - q_prim) * e.beta.powf(1.0 / (e.t - z.t.value()) as f64);
+                e.q_dyn *= factor;
+            } else if e.t == z.t.value() {
+                e.q_dyn *= 1.0 - q_prim;
+            }
+        }
+        let beta = if self.ignore_saturation { 1.0 } else { self.inst.beta(z.item) };
+        group.push(Entry {
+            t: z.t.value(),
+            item: z.item.0,
+            q_prim,
+            q_dyn: q_new,
+            price: self.inst.price(z.item, z.t),
+            beta,
+        });
+        self.revenue += gain + loss;
+        // Constraint bookkeeping.
+        let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
+        self.display_count[slot] += 1;
+        if self.item_user_seen.insert((z.item.0, z.user.0)) {
+            self.item_distinct_users[z.item.index()] += 1;
+        }
+        self.strategy.insert(z);
+        gain + loss
+    }
+
+    /// (prospective dynamic probability of z, memory of z) given the current strategy.
+    fn prospective(&self, z: Triple) -> (f64, f64) {
+        let q_prim = self.inst.prob_of(z);
+        let beta = if self.ignore_saturation { 1.0 } else { self.inst.beta(z.item) };
+        let class = self.inst.class_of(z.item);
+        let mut memory = 0.0_f64;
+        let mut comp = 1.0_f64;
+        if let Some(group) = self.groups.get(&(z.user.0, class.0)) {
+            for e in group {
+                if e.t < z.t.value() {
+                    memory += 1.0 / (z.t.value() - e.t) as f64;
+                    comp *= 1.0 - e.q_prim;
+                } else if e.t == z.t.value() && e.item != z.item.0 {
+                    comp *= 1.0 - e.q_prim;
+                }
+            }
+        }
+        (q_prim * beta.powf(memory) * comp, memory)
+    }
+
+    /// Gain (revenue of z itself) and loss (revenue change on already selected
+    /// same-class triples of the same user at the same or later times).
+    fn gain_and_loss(&self, z: Triple) -> (f64, f64) {
+        let q_prim = self.inst.prob_of(z);
+        let (q_new, _memory) = self.prospective(z);
+        let gain = self.inst.price(z.item, z.t) * q_new;
+        let class = self.inst.class_of(z.item);
+        let mut loss = 0.0_f64;
+        if let Some(group) = self.groups.get(&(z.user.0, class.0)) {
+            for e in group {
+                if e.t > z.t.value() {
+                    let factor = (1.0 - q_prim) * e.beta.powf(1.0 / (e.t - z.t.value()) as f64);
+                    loss += e.price * e.q_dyn * (factor - 1.0);
+                } else if e.t == z.t.value() && e.item != z.item.0 {
+                    loss += e.price * e.q_dyn * (-q_prim);
+                }
+            }
+        }
+        (gain, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    /// The non-monotonicity instance from the proof of Theorem 2 / Example 4.
+    fn example4_instance() -> Instance {
+        let mut b = InstanceBuilder::new(1, 1, 2);
+        b.display_limit(1)
+            .capacity(0, 2)
+            .beta(0, 0.1)
+            .prices(0, &[1.0, 0.95])
+            .candidate(0, 0, &[0.5, 0.6], 0.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example4_revenue_values_match_paper() {
+        let inst = example4_instance();
+        let s_late: Strategy = vec![Triple::new(0, 0, 2)].into_iter().collect();
+        let s_both: Strategy =
+            vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)].into_iter().collect();
+        assert!((revenue(&inst, &s_late) - 0.57).abs() < 1e-12);
+        assert!((revenue(&inst, &s_both) - 0.5285).abs() < 1e-12);
+        // Non-monotone: the larger strategy earns less.
+        assert!(revenue(&inst, &s_both) < revenue(&inst, &s_late));
+    }
+
+    #[test]
+    fn example1_dynamic_probabilities_match_paper() {
+        // S = {(u,i,1),(u,j,2),(u,i,3)}, C(i)=C(j), all primitive probs a, beta shared.
+        let a = 0.3;
+        let beta = 0.7;
+        let mut b = InstanceBuilder::new(1, 2, 3);
+        b.display_limit(1)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .beta(0, beta)
+            .beta(1, beta)
+            .constant_price(0, 1.0)
+            .constant_price(1, 1.0)
+            .candidate(0, 0, &[a, a, a], 0.0)
+            .candidate(0, 1, &[a, a, a], 0.0);
+        let inst = b.build().unwrap();
+        let s: Strategy = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 1, 2),
+            Triple::new(0, 0, 3),
+        ]
+        .into_iter()
+        .collect();
+        let probs: HashMap<Triple, f64> = dynamic_probabilities(&inst, &s).into_iter().collect();
+        assert!((probs[&Triple::new(0, 0, 1)] - a).abs() < 1e-12);
+        let expected_t2 = (1.0 - a) * a * beta.powf(1.0);
+        assert!((probs[&Triple::new(0, 1, 2)] - expected_t2).abs() < 1e-12);
+        let expected_t3 = (1.0 - a) * (1.0 - a) * a * beta.powf(1.0 + 0.5);
+        assert!((probs[&Triple::new(0, 0, 3)] - expected_t3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_time_competition_discounts_both_items() {
+        // Two items of the same class recommended at the same time step: each
+        // gets a (1 - q_other) factor.
+        let mut b = InstanceBuilder::new(1, 2, 1);
+        b.display_limit(2)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .constant_price(0, 10.0)
+            .constant_price(1, 10.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .candidate(0, 1, &[0.4], 0.0);
+        let inst = b.build().unwrap();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 1)].into_iter().collect();
+        let probs: HashMap<Triple, f64> = dynamic_probabilities(&inst, &s).into_iter().collect();
+        assert!((probs[&Triple::new(0, 0, 1)] - 0.5 * 0.6).abs() < 1e-12);
+        assert!((probs[&Triple::new(0, 1, 1)] - 0.4 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_classes_do_not_interact() {
+        let mut b = InstanceBuilder::new(1, 2, 2);
+        b.display_limit(2)
+            .item_class(0, 0)
+            .item_class(1, 1)
+            .beta(0, 0.2)
+            .beta(1, 0.2)
+            .constant_price(0, 10.0)
+            .constant_price(1, 10.0)
+            .candidate(0, 0, &[0.5, 0.5], 0.0)
+            .candidate(0, 1, &[0.4, 0.4], 0.0);
+        let inst = b.build().unwrap();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2)].into_iter().collect();
+        let probs: HashMap<Triple, f64> = dynamic_probabilities(&inst, &s).into_iter().collect();
+        // No cross-class memory or competition.
+        assert!((probs[&Triple::new(0, 0, 1)] - 0.5).abs() < 1e-12);
+        assert!((probs[&Triple::new(0, 1, 2)] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_on_example4() {
+        let inst = example4_instance();
+        let mut inc = IncrementalRevenue::new(&inst);
+        let m1 = inc.insert(Triple::new(0, 0, 2));
+        assert!((m1 - 0.57).abs() < 1e-12);
+        let z = Triple::new(0, 0, 1);
+        let m2 = inc.marginal_revenue(z);
+        // Adding the early recommendation *loses* money: 0.5285 - 0.57 < 0.
+        assert!((m2 - (0.5285 - 0.57)).abs() < 1e-12);
+        inc.insert(z);
+        assert!((inc.revenue() - 0.5285).abs() < 1e-12);
+        assert!((inc.revenue() - revenue(&inst, inc.strategy())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_constraint_tracking() {
+        let mut b = InstanceBuilder::new(2, 2, 2);
+        b.display_limit(1)
+            .capacity(0, 1)
+            .constant_price(0, 5.0)
+            .constant_price(1, 5.0);
+        for u in 0..2 {
+            b.candidate(u, 0, &[0.5, 0.5], 0.0);
+            b.candidate(u, 1, &[0.5, 0.5], 0.0);
+        }
+        let inst = b.build().unwrap();
+        let mut inc = IncrementalRevenue::new(&inst);
+        let z = Triple::new(0, 0, 1);
+        assert!(!inc.would_violate(z));
+        inc.insert(z);
+        // Display: user 0 already has an item at t1.
+        assert!(inc.would_violate(Triple::new(0, 1, 1)));
+        assert!(!inc.would_violate_display(Triple::new(0, 1, 2)));
+        // Capacity: item 0 has capacity 1, user 1 would be a second distinct user.
+        assert!(inc.would_violate(Triple::new(1, 0, 1)));
+        // Repeat to the same user does not consume extra capacity.
+        assert!(!inc.would_violate(Triple::new(0, 0, 2)));
+    }
+
+    #[test]
+    fn ignore_saturation_option_behaves_like_beta_one() {
+        let inst = example4_instance();
+        let no_sat_inst = inst.without_saturation();
+        let mut inc_ignore = IncrementalRevenue::with_options(&inst, true);
+        let mut inc_beta1 = IncrementalRevenue::new(&no_sat_inst);
+        for z in [Triple::new(0, 0, 2), Triple::new(0, 0, 1)] {
+            let a = inc_ignore.insert(z);
+            let b = inc_beta1.insert(z);
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((inc_ignore.revenue() - inc_beta1.revenue()).abs() < 1e-12);
+        // And the true revenue of the same strategy is lower (saturation bites).
+        let true_rev = revenue(&inst, inc_ignore.strategy());
+        assert!(true_rev < inc_ignore.revenue());
+    }
+
+    #[test]
+    fn marginal_revenue_scratch_agrees_with_incremental() {
+        let mut b = InstanceBuilder::new(2, 3, 3);
+        b.display_limit(2)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .item_class(2, 1)
+            .beta(0, 0.3)
+            .beta(1, 0.6)
+            .beta(2, 0.9)
+            .prices(0, &[10.0, 9.0, 8.0])
+            .prices(1, &[4.0, 5.0, 6.0])
+            .prices(2, &[7.0, 7.0, 7.0])
+            .candidate(0, 0, &[0.2, 0.3, 0.4], 0.0)
+            .candidate(0, 1, &[0.5, 0.1, 0.2], 0.0)
+            .candidate(0, 2, &[0.3, 0.3, 0.3], 0.0)
+            .candidate(1, 0, &[0.6, 0.5, 0.4], 0.0)
+            .candidate(1, 2, &[0.2, 0.2, 0.9], 0.0);
+        let inst = b.build().unwrap();
+        let picks = vec![
+            Triple::new(0, 0, 2),
+            Triple::new(0, 1, 1),
+            Triple::new(1, 2, 3),
+            Triple::new(0, 1, 3),
+            Triple::new(1, 0, 1),
+            Triple::new(0, 2, 2),
+            Triple::new(0, 0, 3),
+        ];
+        let mut inc = IncrementalRevenue::new(&inst);
+        let mut s = Strategy::new();
+        for z in picks {
+            let scratch = marginal_revenue(&inst, &s, z);
+            let incr = inc.marginal_revenue(z);
+            assert!(
+                (scratch - incr).abs() < 1e-10,
+                "marginal mismatch for {z}: scratch={scratch} incremental={incr}"
+            );
+            let realised = inc.insert(z);
+            assert!((realised - scratch).abs() < 1e-10);
+            s.insert(z);
+            assert!((inc.revenue() - revenue(&inst, &s)).abs() < 1e-10);
+            assert_eq!(
+                inc.dynamic_probability(z).is_some(),
+                true,
+                "inserted triple must be queryable"
+            );
+        }
+        assert_eq!(inc.group_size(UserId(0), inst.class_of(crate::ids::ItemId(0))), 4);
+    }
+
+    #[test]
+    fn dynamic_probability_of_missing_triple_is_zero() {
+        let inst = example4_instance();
+        let s = Strategy::new();
+        assert_eq!(dynamic_probability_of(&inst, &s, Triple::new(0, 0, 1)), 0.0);
+    }
+
+    #[test]
+    fn zero_beta_kills_repeats_entirely() {
+        let mut b = InstanceBuilder::new(1, 1, 2);
+        b.display_limit(1)
+            .capacity(0, 1)
+            .beta(0, 0.0)
+            .constant_price(0, 10.0)
+            .candidate(0, 0, &[0.5, 0.5], 0.0);
+        let inst = b.build().unwrap();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)].into_iter().collect();
+        let probs: HashMap<Triple, f64> = dynamic_probabilities(&inst, &s).into_iter().collect();
+        // Full saturation: the repeat has zero probability (0^positive memory).
+        assert_eq!(probs[&Triple::new(0, 0, 2)], 0.0);
+        // The first recommendation is unaffected (0^0 = 1).
+        assert!((probs[&Triple::new(0, 0, 1)] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests of the revenue model invariants claimed in the paper:
+//! Lemma 1 (dynamic adoption probabilities are non-increasing in the strategy),
+//! Theorem 2 (the revenue function is submodular), consistency between the
+//! from-scratch and the incremental evaluators, and basic sanity of the
+//! effective (R-REVMAX) objective.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use revmax_core::{
+    dynamic_probability_of, effective_revenue, marginal_revenue, revenue, ExactPoissonBinomial,
+    IncrementalRevenue, Instance, InstanceBuilder, Strategy, Triple,
+};
+
+/// Parameters describing a randomly generated small instance.
+#[derive(Debug, Clone)]
+struct RandomInstance {
+    num_users: u32,
+    num_items: u32,
+    horizon: u32,
+    display_limit: u32,
+    classes: Vec<u32>,
+    betas: Vec<f64>,
+    capacities: Vec<u32>,
+    prices: Vec<Vec<f64>>,
+    probs: Vec<Vec<f64>>, // per (user * num_items + item), length horizon
+}
+
+impl RandomInstance {
+    fn build(&self) -> Instance {
+        let mut b = InstanceBuilder::new(self.num_users, self.num_items, self.horizon);
+        b.display_limit(self.display_limit);
+        for item in 0..self.num_items as usize {
+            b.item_class(item as u32, self.classes[item]);
+            b.beta(item as u32, self.betas[item]);
+            b.capacity(item as u32, self.capacities[item]);
+            b.prices(item as u32, &self.prices[item]);
+        }
+        for user in 0..self.num_users as usize {
+            for item in 0..self.num_items as usize {
+                let probs = &self.probs[user * self.num_items as usize + item];
+                if probs.iter().any(|&p| p > 0.0) {
+                    b.candidate(user as u32, item as u32, probs, 0.0);
+                }
+            }
+        }
+        b.build().expect("random instance must build")
+    }
+
+    /// All in-universe triples that are candidates.
+    fn candidate_triples(&self, inst: &Instance) -> Vec<Triple> {
+        let mut out = Vec::new();
+        for u in 0..self.num_users {
+            for i in 0..self.num_items {
+                for t in 1..=self.horizon {
+                    let z = Triple::new(u, i, t);
+                    if inst.prob_of(z) > 0.0 {
+                        out.push(z);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn random_instance_strategy() -> impl Strategy2 {
+    (2u32..=4, 2u32..=5, 1u32..=4, 1u32..=2).prop_flat_map(|(nu, ni, t, k)| {
+        let n_pairs = (nu * ni) as usize;
+        (
+            Just(nu),
+            Just(ni),
+            Just(t),
+            Just(k),
+            proptest::collection::vec(0u32..3, ni as usize),
+            proptest::collection::vec(0.0f64..=1.0, ni as usize),
+            proptest::collection::vec(1u32..=3, ni as usize),
+            proptest::collection::vec(
+                proptest::collection::vec(0.5f64..50.0, t as usize),
+                ni as usize,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, t as usize),
+                n_pairs,
+            ),
+        )
+            .prop_map(
+                |(num_users, num_items, horizon, display_limit, classes, betas, capacities, prices, probs)| {
+                    RandomInstance {
+                        num_users,
+                        num_items,
+                        horizon,
+                        display_limit,
+                        classes,
+                        betas,
+                        capacities,
+                        prices,
+                        probs,
+                    }
+                },
+            )
+    })
+}
+
+/// Helper trait alias to keep the generator signature readable.
+trait Strategy2: proptest::strategy::Strategy<Value = RandomInstance> {}
+impl<T: proptest::strategy::Strategy<Value = RandomInstance>> Strategy2 for T {}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Incremental insertion reproduces the from-scratch revenue exactly,
+    /// regardless of insertion order.
+    #[test]
+    fn incremental_matches_scratch(ri in random_instance_strategy(), seed in any::<u64>()) {
+        let inst = ri.build();
+        let mut triples = ri.candidate_triples(&inst);
+        // Deterministic pseudo-shuffle driven by the seed.
+        let n = triples.len();
+        if n > 1 {
+            let mut s = seed;
+            for idx in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (idx + 1);
+                triples.swap(idx, j);
+            }
+        }
+        triples.truncate(12);
+        let mut inc = IncrementalRevenue::new(&inst);
+        let mut s = Strategy::new();
+        for z in triples {
+            let scratch = marginal_revenue(&inst, &s, z);
+            let inc_val = inc.marginal_revenue(z);
+            prop_assert!((scratch - inc_val).abs() < 1e-9,
+                "marginal mismatch {scratch} vs {inc_val} for {z}");
+            inc.insert(z);
+            s.insert(z);
+            let total_scratch = revenue(&inst, &s);
+            prop_assert!((inc.revenue() - total_scratch).abs() < 1e-9);
+        }
+    }
+
+    /// Lemma 1: the dynamic adoption probability of a fixed triple never
+    /// increases when the strategy grows.
+    #[test]
+    fn dynamic_probability_is_non_increasing(ri in random_instance_strategy()) {
+        let inst = ri.build();
+        let triples = ri.candidate_triples(&inst);
+        if triples.is_empty() {
+            return Ok(());
+        }
+        let tracked = triples[0];
+        let mut s = Strategy::new();
+        s.insert(tracked);
+        let mut prev = dynamic_probability_of(&inst, &s, tracked);
+        for &z in triples.iter().skip(1).take(10) {
+            s.insert(z);
+            let cur = dynamic_probability_of(&inst, &s, tracked);
+            prop_assert!(cur <= prev + 1e-12,
+                "probability increased from {prev} to {cur} after adding {z}");
+            prev = cur;
+        }
+    }
+
+    /// Theorem 2 (submodularity): the marginal revenue of a triple w.r.t. a
+    /// subset is at least its marginal revenue w.r.t. a superset.
+    #[test]
+    fn revenue_is_submodular(ri in random_instance_strategy(), split in 1usize..6) {
+        let inst = ri.build();
+        let triples = ri.candidate_triples(&inst);
+        if triples.len() < 3 {
+            return Ok(());
+        }
+        let z = *triples.last().unwrap();
+        let rest = &triples[..triples.len() - 1];
+        let cut = split.min(rest.len().saturating_sub(1));
+        let small: Strategy = rest[..cut].iter().copied().collect();
+        let large: Strategy = rest.iter().copied().collect();
+        if small.contains(z) || large.contains(z) {
+            return Ok(());
+        }
+        let m_small = marginal_revenue(&inst, &small, z);
+        let m_large = marginal_revenue(&inst, &large, z);
+        prop_assert!(m_small >= m_large - 1e-9,
+            "submodularity violated: f(S+z)-f(S)={m_small} < f(S'+z)-f(S')={m_large}");
+    }
+
+    /// Revenue is always non-negative and zero for the empty strategy.
+    #[test]
+    fn revenue_is_nonnegative(ri in random_instance_strategy()) {
+        let inst = ri.build();
+        prop_assert_eq!(revenue(&inst, &Strategy::new()), 0.0);
+        let s: Strategy = ri.candidate_triples(&inst).into_iter().take(15).collect();
+        prop_assert!(revenue(&inst, &s) >= 0.0);
+    }
+
+    /// The R-REVMAX objective (capacity pushed into the probabilities) never
+    /// exceeds the unconstrained revenue and is itself non-negative.
+    #[test]
+    fn effective_revenue_bounded_by_plain(ri in random_instance_strategy()) {
+        let inst = ri.build();
+        let s: Strategy = ri.candidate_triples(&inst).into_iter().take(15).collect();
+        let oracle = ExactPoissonBinomial;
+        let eff = effective_revenue(&inst, &s, &oracle);
+        let plain = revenue(&inst, &s);
+        prop_assert!(eff >= -1e-12);
+        prop_assert!(eff <= plain + 1e-9, "effective {eff} exceeds plain {plain}");
+    }
+
+    /// Per-triple dynamic probabilities always stay within [0, q(u,i,t)].
+    #[test]
+    fn dynamic_probabilities_bounded_by_primitive(ri in random_instance_strategy()) {
+        let inst = ri.build();
+        let s: Strategy = ri.candidate_triples(&inst).into_iter().take(15).collect();
+        for (z, q) in revmax_core::dynamic_probabilities(&inst, &s) {
+            let prim = inst.prob_of(z);
+            prop_assert!(q >= -1e-12 && q <= prim + 1e-12,
+                "dynamic probability {q} outside [0, {prim}] for {z}");
+        }
+    }
+}

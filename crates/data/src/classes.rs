@@ -1,0 +1,129 @@
+//! Item-class assignment with a skewed class-size profile.
+//!
+//! Table 1 of the paper shows very skewed class sizes for Amazon (largest 1081,
+//! median 12, smallest 2 across 94 classes) and mildly skewed ones for Epinions
+//! (largest 52, median 27, smallest 10 across 43 classes). We reproduce that
+//! shape with a Zipf-like size distribution whose exponent is the
+//! `class_skew` knob of [`crate::DatasetConfig`].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates per-class sizes that sum exactly to `num_items`, following a
+/// Zipf(`skew`) profile with every class getting at least one item.
+pub fn class_sizes(num_items: u32, num_classes: u32, skew: f64) -> Vec<u32> {
+    assert!(num_classes >= 1, "need at least one class");
+    assert!(num_items >= num_classes, "need at least one item per class");
+    let n = num_classes as usize;
+    let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(skew)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    // Start with one item per class, distribute the remainder proportionally.
+    let mut sizes = vec![1u32; n];
+    let mut remaining = num_items - num_classes;
+    let budget = remaining;
+    for (idx, w) in weights.iter().enumerate() {
+        let share = ((w / total_weight) * budget as f64).floor() as u32;
+        let share = share.min(remaining);
+        sizes[idx] += share;
+        remaining -= share;
+    }
+    // Hand out any rounding leftovers to the largest classes first.
+    let mut idx = 0;
+    while remaining > 0 {
+        sizes[idx % n] += 1;
+        remaining -= 1;
+        idx += 1;
+    }
+    debug_assert_eq!(sizes.iter().sum::<u32>(), num_items);
+    sizes
+}
+
+/// Assigns every item to a class according to the generated size profile and
+/// shuffles the mapping so class membership is not correlated with item id.
+pub fn assign_classes<R: Rng>(num_items: u32, num_classes: u32, skew: f64, rng: &mut R) -> Vec<u32> {
+    let sizes = class_sizes(num_items, num_classes, skew);
+    let mut assignment = Vec::with_capacity(num_items as usize);
+    for (class, &size) in sizes.iter().enumerate() {
+        assignment.extend(std::iter::repeat(class as u32).take(size as usize));
+    }
+    assignment.shuffle(rng);
+    assignment
+}
+
+/// Summary statistics of a class assignment: (largest, smallest, median) size.
+pub fn class_size_summary(assignment: &[u32]) -> (u32, u32, u32) {
+    if assignment.is_empty() {
+        return (0, 0, 0);
+    }
+    let num_classes = assignment.iter().copied().max().unwrap() as usize + 1;
+    let mut counts = vec![0u32; num_classes];
+    for &c in assignment {
+        counts[c as usize] += 1;
+    }
+    counts.retain(|&c| c > 0);
+    counts.sort_unstable();
+    let largest = *counts.last().unwrap();
+    let smallest = counts[0];
+    let median = counts[counts.len() / 2];
+    (largest, smallest, median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_sum_to_item_count_and_are_positive() {
+        for (items, classes, skew) in [(4_200u32, 94u32, 1.05f64), (1_100, 43, 0.35), (20, 5, 0.8)] {
+            let sizes = class_sizes(items, classes, skew);
+            assert_eq!(sizes.len(), classes as usize);
+            assert_eq!(sizes.iter().sum::<u32>(), items);
+            assert!(sizes.iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn higher_skew_gives_larger_top_class() {
+        let flat = class_sizes(1000, 50, 0.0);
+        let skewed = class_sizes(1000, 50, 1.2);
+        assert!(skewed.iter().max() > flat.iter().max());
+    }
+
+    #[test]
+    fn amazon_like_profile_is_heavily_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let assignment = assign_classes(4_200, 94, 1.05, &mut rng);
+        let (largest, smallest, median) = class_size_summary(&assignment);
+        // Matches the order of magnitude of Table 1 (1081 / 2 / 12): a few
+        // hundred items in the largest class, a single-digit tail, a small median.
+        assert!(largest > 400, "largest class {largest} too small");
+        assert!(smallest <= 12, "smallest class {smallest} too large");
+        assert!(median < 40, "median class size {median} too large");
+        assert!(largest > 10 * median, "profile not skewed enough: {largest} vs median {median}");
+    }
+
+    #[test]
+    fn assignment_covers_every_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let assignment = assign_classes(200, 10, 0.5, &mut rng);
+        assert_eq!(assignment.len(), 200);
+        let mut seen = vec![false; 10];
+        for &c in &assignment {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn summary_of_empty_assignment() {
+        assert_eq!(class_size_summary(&[]), (0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item per class")]
+    fn too_many_classes_panics() {
+        class_sizes(3, 10, 1.0);
+    }
+}

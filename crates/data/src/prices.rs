@@ -1,0 +1,153 @@
+//! Price-series generation.
+//!
+//! The Amazon preparation of §6.1 records one price per item per day over a
+//! week; prices fluctuate daily and occasionally drop for a sale (the
+//! motivation of the dynamic model in §1). The Epinions preparation instead
+//! collects user-reported price samples and samples a weekly series from the
+//! KDE fitted to them. Both paths are reproduced here.
+
+use rand::Rng;
+use revmax_pricing::GaussianKde;
+
+/// Draws an item base price log-uniformly from `[lo, hi]`.
+pub fn base_price<R: Rng>(range: (f64, f64), rng: &mut R) -> f64 {
+    let (lo, hi) = range;
+    assert!(lo > 0.0 && hi > lo, "price range must satisfy 0 < lo < hi");
+    let log_lo = lo.ln();
+    let log_hi = hi.ln();
+    rng.gen_range(log_lo..log_hi).exp()
+}
+
+/// Generates a per-day price series of length `horizon` around a base price:
+/// multiplicative daily noise of `±noise`, plus an occasional sale that lasts
+/// one day and cuts the price by `sale_depth`.
+pub fn amazon_style_series<R: Rng>(
+    base: f64,
+    horizon: u32,
+    noise: f64,
+    sale_probability: f64,
+    sale_depth: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    (0..horizon)
+        .map(|_| {
+            let wiggle = 1.0 + rng.gen_range(-noise..=noise);
+            let sale = if rng.gen_bool(sale_probability.clamp(0.0, 1.0)) {
+                1.0 - sale_depth.clamp(0.0, 0.95)
+            } else {
+                1.0
+            };
+            (base * wiggle * sale).max(0.01)
+        })
+        .collect()
+}
+
+/// Generates `n` "user-reported" price samples around a base price (the raw
+/// material of the Epinions/KDE path): sellers differ, so reported prices
+/// scatter by `spread` relative standard deviation.
+pub fn reported_price_samples<R: Rng>(base: f64, n: usize, spread: f64, rng: &mut R) -> Vec<f64> {
+    (0..n.max(2))
+        .map(|_| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (base * (1.0 + spread * z)).max(0.01)
+        })
+        .collect()
+}
+
+/// The Epinions path of §6.1: fit a KDE to reported prices and sample a
+/// `horizon`-day price series from it.
+pub fn epinions_style_series<R: Rng>(reported: &[f64], horizon: u32, rng: &mut R) -> Vec<f64> {
+    let kde = GaussianKde::fit(reported);
+    kde.sample_series(horizon as usize, 0.01, rng)
+}
+
+/// The scalability-synthetic path of §6.1: pick `x_i` uniformly from the price
+/// range and draw each `p(i, t)` uniformly from `[x_i, 2 x_i]`.
+pub fn synthetic_series<R: Rng>(range: (f64, f64), horizon: u32, rng: &mut R) -> Vec<f64> {
+    let x = rng.gen_range(range.0..=range.1);
+    (0..horizon).map(|_| rng.gen_range(x..=2.0 * x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn base_price_respects_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p = base_price((10.0, 500.0), &mut rng);
+            assert!((10.0..=500.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn log_uniform_prefers_lower_decades() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..5000).map(|_| base_price((10.0, 1000.0), &mut rng)).collect();
+        let below_100 = samples.iter().filter(|&&p| p < 100.0).count();
+        // Log-uniform on [10, 1000]: half the mass below 100.
+        assert!((below_100 as f64 / 5000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn amazon_series_has_right_length_and_stays_near_base() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let series = amazon_style_series(100.0, 7, 0.05, 0.0, 0.3, &mut rng);
+        assert_eq!(series.len(), 7);
+        assert!(series.iter().all(|&p| (90.0..=110.0).contains(&p)));
+    }
+
+    #[test]
+    fn sales_actually_reduce_prices() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let series = amazon_style_series(100.0, 2000, 0.0, 0.5, 0.4, &mut rng);
+        let discounted = series.iter().filter(|&&p| p < 70.0).count();
+        assert!(discounted > 500, "expected many sale days, got {discounted}");
+        let full_price = series.iter().filter(|&&p| p > 99.0).count();
+        assert!(full_price > 500);
+    }
+
+    #[test]
+    fn reported_samples_scatter_around_base() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = reported_price_samples(200.0, 50, 0.1, &mut rng);
+        assert_eq!(samples.len(), 50);
+        let mean = samples.iter().sum::<f64>() / 50.0;
+        assert!((mean - 200.0).abs() < 20.0);
+        assert!(samples.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn epinions_series_tracks_reported_prices() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let reported = reported_price_samples(80.0, 30, 0.08, &mut rng);
+        let series = epinions_style_series(&reported, 7, &mut rng);
+        assert_eq!(series.len(), 7);
+        assert!(series.iter().all(|&p| p > 0.0 && p < 200.0));
+    }
+
+    #[test]
+    fn synthetic_series_in_xi_to_two_xi() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let series = synthetic_series((10.0, 500.0), 5, &mut rng);
+            assert_eq!(series.len(), 5);
+            let max = series.iter().cloned().fold(0.0, f64::max);
+            let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(max <= 2.0 * min + 1e-9 || min >= 10.0);
+            assert!(min >= 10.0 && max <= 1000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "price range")]
+    fn invalid_price_range_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        base_price((0.0, 10.0), &mut rng);
+    }
+}

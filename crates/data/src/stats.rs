@@ -1,0 +1,120 @@
+//! Dataset statistics in the format of Table 1 of the paper.
+
+use crate::classes::class_size_summary;
+use crate::pipeline::GeneratedDataset;
+use revmax_core::{Instance, ItemId};
+use std::fmt;
+
+/// One row of Table 1: the headline statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Stats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users.
+    pub users: u32,
+    /// Number of items.
+    pub items: u32,
+    /// Number of observed ratings (0 for the synthetic scalability data).
+    pub ratings: u64,
+    /// Number of candidate triples with positive adoption probability
+    /// (the true input size).
+    pub positive_triples: usize,
+    /// Number of item classes.
+    pub classes: u32,
+    /// Largest class size.
+    pub largest_class: u32,
+    /// Smallest class size.
+    pub smallest_class: u32,
+    /// Median class size.
+    pub median_class: u32,
+}
+
+impl Table1Stats {
+    /// Computes the statistics of a generated dataset.
+    pub fn from_dataset(ds: &GeneratedDataset) -> Self {
+        Self::from_instance(&ds.config.name, &ds.instance, ds.num_ratings)
+    }
+
+    /// Computes the statistics directly from an instance.
+    pub fn from_instance(name: &str, inst: &Instance, ratings: u64) -> Self {
+        let assignment: Vec<u32> =
+            (0..inst.num_items()).map(|i| inst.class_of(ItemId(i)).0).collect();
+        let (largest, smallest, median) = class_size_summary(&assignment);
+        Table1Stats {
+            name: name.to_string(),
+            users: inst.num_users(),
+            items: inst.num_items(),
+            ratings,
+            positive_triples: inst.num_candidate_triples(),
+            classes: inst.num_classes(),
+            largest_class: largest,
+            smallest_class: smallest,
+            median_class: median,
+        }
+    }
+
+    /// Header row matching the [`fmt::Display`] output of the stats.
+    pub fn header() -> String {
+        format!(
+            "{:<22} {:>9} {:>9} {:>11} {:>16} {:>8} {:>8} {:>9} {:>8}",
+            "dataset",
+            "#users",
+            "#items",
+            "#ratings",
+            "#triples(q>0)",
+            "#classes",
+            "largest",
+            "smallest",
+            "median"
+        )
+    }
+}
+
+impl fmt::Display for Table1Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:>9} {:>9} {:>11} {:>16} {:>8} {:>8} {:>9} {:>8}",
+            self.name,
+            self.users,
+            self.items,
+            self.ratings,
+            self.positive_triples,
+            self.classes,
+            self.largest_class,
+            self.smallest_class,
+            self.median_class
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use crate::pipeline::generate;
+
+    #[test]
+    fn stats_reflect_generated_dataset() {
+        let ds = generate(&DatasetConfig::tiny());
+        let stats = Table1Stats::from_dataset(&ds);
+        assert_eq!(stats.users, 30);
+        assert_eq!(stats.items, 20);
+        assert_eq!(stats.positive_triples, ds.positive_triples());
+        assert!(stats.classes <= 5);
+        assert!(stats.largest_class >= stats.median_class);
+        assert!(stats.median_class >= stats.smallest_class);
+        assert!(stats.smallest_class >= 1);
+    }
+
+    #[test]
+    fn display_lines_align_with_header() {
+        let ds = generate(&DatasetConfig::tiny());
+        let stats = Table1Stats::from_dataset(&ds);
+        let header = Table1Stats::header();
+        let row = stats.to_string();
+        assert_eq!(header.split_whitespace().count(), 9);
+        assert!(row.contains("tiny"));
+        assert!(row.split_whitespace().count() >= 9);
+    }
+}

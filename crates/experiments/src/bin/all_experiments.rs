@@ -1,0 +1,19 @@
+//! Runs every experiment of the REVMAX reproduction in sequence and prints
+//! the combined report (the input for EXPERIMENTS.md).
+
+use std::time::Instant;
+
+fn main() {
+    let scale = revmax_experiments::Scale::from_env();
+    println!("# REVMAX experiment suite");
+    println!(
+        "dataset scale = {}, RL permutations = {}, seed = {}\n",
+        scale.dataset_scale, scale.rl_permutations, scale.seed
+    );
+    for name in revmax_experiments::all_experiment_names() {
+        let start = Instant::now();
+        let report = revmax_experiments::run_experiment(name, &scale);
+        print!("{report}");
+        println!("[{name} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

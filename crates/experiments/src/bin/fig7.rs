@@ -1,0 +1,7 @@
+//! Regenerates the "fig7" experiment of the REVMAX reproduction.
+//! Sizes are controlled via REVMAX_FULL / REVMAX_SCALE / REVMAX_RL_PERMS.
+
+fn main() {
+    let scale = revmax_experiments::Scale::from_env();
+    print!("{}", revmax_experiments::run_experiment("fig7", &scale));
+}

@@ -1,0 +1,176 @@
+//! Dataset construction for the experiments: applies the per-figure knobs
+//! (saturation setting, capacity distribution, class-size mode) on top of the
+//! Amazon-like / Epinions-like presets, scaled to the requested fraction of
+//! the paper sizes.
+
+use crate::scale::Scale;
+use revmax_data::{
+    generate, generate_scalability, BetaSetting, CapacityDistribution, DatasetConfig,
+    GeneratedDataset,
+};
+
+/// Which of the two "real" datasets of the paper to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// The Amazon Electronics crawl.
+    Amazon,
+    /// The Epinions crawl.
+    Epinions,
+}
+
+impl DatasetKind {
+    /// Display name used in report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Amazon => "Amazon",
+            DatasetKind::Epinions => "Epinions",
+        }
+    }
+
+    /// Both datasets, in the order the paper presents them.
+    pub fn both() -> [DatasetKind; 2] {
+        [DatasetKind::Amazon, DatasetKind::Epinions]
+    }
+
+    fn preset(&self) -> DatasetConfig {
+        match self {
+            DatasetKind::Amazon => DatasetConfig::amazon_like(),
+            DatasetKind::Epinions => DatasetConfig::epinions_like(),
+        }
+    }
+}
+
+/// Mean item capacity that keeps the paper's *slack* between aggregate
+/// capacity and recommendation demand when the dataset is scaled down.
+///
+/// In the paper, the mean capacity of 5000 is roughly 40× the average number
+/// of recommendations an item can receive (`k·T·|U| / |I|` ≈ 115), so the
+/// capacity constraint binds only for the most popular items. Scaling users
+/// and items down shrinks per-item demand linearly, so the capacity mean must
+/// follow the demand — not the user count — to preserve how often the
+/// constraint bites.
+pub fn capacity_mean(kind: DatasetKind, scale: &Scale) -> f64 {
+    let cfg = kind.preset().scaled(scale.dataset_scale);
+    let demand_per_item = (cfg.display_limit as f64 * cfg.horizon as f64 * cfg.num_users as f64)
+        / cfg.num_items as f64;
+    (40.0 * demand_per_item).min(cfg.num_users as f64).max(5.0)
+}
+
+/// The capacity distributions compared in Figure 1, with the paper's labels.
+pub fn figure1_capacity_distributions(mean: f64) -> Vec<(&'static str, CapacityDistribution)> {
+    let mean = mean.max(5.0);
+    vec![
+        ("normal", CapacityDistribution::Gaussian { mean, std: mean * 0.06 }),
+        ("power", CapacityDistribution::PowerLaw { min: mean * 0.4, alpha: 2.2 }),
+        ("uniform", CapacityDistribution::Uniform { min: mean * 0.5, max: mean * 1.5 }),
+    ]
+}
+
+/// The Gaussian / exponential capacity pair used by Figures 2, 3, and 7.
+pub fn gaussian_and_exponential(mean: f64) -> Vec<(&'static str, CapacityDistribution)> {
+    let mean = mean.max(5.0);
+    vec![
+        ("Gaussian", CapacityDistribution::Gaussian { mean, std: mean * 0.06 }),
+        ("Exponential", CapacityDistribution::Exponential { mean }),
+    ]
+}
+
+/// Builds one experiment dataset.
+///
+/// `class_size_one` switches every item into its own class (the "class size
+/// = 1" variant of Figures 1 and 3).
+pub fn build_dataset(
+    kind: DatasetKind,
+    scale: &Scale,
+    beta: BetaSetting,
+    capacity: CapacityDistribution,
+    class_size_one: bool,
+) -> GeneratedDataset {
+    let mut config = kind.preset().scaled(scale.dataset_scale);
+    config.beta = beta;
+    config.capacity = capacity;
+    if class_size_one {
+        config.num_classes = config.num_items;
+        config.name = format!("{}-class1", config.name);
+    }
+    config.seed = scale
+        .seed
+        .wrapping_mul(31)
+        .wrapping_add(kind.name().len() as u64)
+        .wrapping_add(if class_size_one { 1 } else { 0 });
+    generate(&config)
+}
+
+/// Builds one synthetic scalability dataset (Figure 6) with `num_users` users.
+pub fn build_scalability_dataset(num_users: u32, scale: &Scale) -> GeneratedDataset {
+    let mut config = DatasetConfig::synthetic_scalability(num_users);
+    config.num_items = scale.scalability_items;
+    config.num_classes = scale.scalability_classes.min(scale.scalability_items);
+    config.candidates_per_user = config.candidates_per_user.min(config.num_items);
+    config.seed = scale.seed.wrapping_add(num_users as u64);
+    generate_scalability(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmax_core::ItemId;
+
+    #[test]
+    fn class_size_one_puts_every_item_in_its_own_class() {
+        let scale = Scale::test_scale();
+        let ds = build_dataset(
+            DatasetKind::Epinions,
+            &scale,
+            BetaSetting::Fixed(0.5),
+            CapacityDistribution::Gaussian { mean: 10.0, std: 1.0 },
+            true,
+        );
+        assert_eq!(ds.instance.num_classes(), ds.instance.num_items());
+    }
+
+    #[test]
+    fn capacity_lists_cover_paper_labels() {
+        let fig1 = figure1_capacity_distributions(1000.0);
+        let labels: Vec<_> = fig1.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["normal", "power", "uniform"]);
+        let pair = gaussian_and_exponential(1000.0);
+        assert_eq!(pair.len(), 2);
+    }
+
+    #[test]
+    fn capacity_mean_matches_paper_at_full_scale() {
+        let full = Scale::paper_scale();
+        let mean = capacity_mean(DatasetKind::Amazon, &full);
+        // 40 × (3·7·23000 / 4200) = 4600, the same order as the paper's 5000.
+        assert!((4000.0..=6000.0).contains(&mean), "unexpected capacity mean {mean}");
+        // At tiny scales the mean is clamped by the user count.
+        let tiny = Scale::test_scale();
+        let mean_tiny = capacity_mean(DatasetKind::Amazon, &tiny);
+        assert!(mean_tiny >= 5.0);
+    }
+
+    #[test]
+    fn build_dataset_honours_beta_setting() {
+        let scale = Scale::test_scale();
+        let ds = build_dataset(
+            DatasetKind::Amazon,
+            &scale,
+            BetaSetting::Fixed(0.9),
+            CapacityDistribution::Uniform { min: 5.0, max: 10.0 },
+            false,
+        );
+        for i in 0..ds.instance.num_items() {
+            assert_eq!(ds.instance.beta(ItemId(i)), 0.9);
+        }
+    }
+
+    #[test]
+    fn scalability_dataset_has_requested_users() {
+        let scale = Scale::test_scale();
+        let ds = build_scalability_dataset(150, &scale);
+        assert_eq!(ds.instance.num_users(), 150);
+        assert_eq!(ds.instance.num_items(), scale.scalability_items);
+        assert!(ds.positive_triples() > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! # revmax-experiments
+//!
+//! The experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§6) plus the random-price extension (§7) against the generated
+//! stand-in datasets.
+//!
+//! Each experiment is a library function returning plain-text [`Table`]s; the
+//! binaries (`table1`, `fig1` … `fig7`, `table2`, `random_prices`,
+//! `all_experiments`) print them. Sizes are controlled by [`Scale`] — the
+//! default is a laptop-scale fraction of the paper's datasets, `REVMAX_FULL=1`
+//! switches to the full sizes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use datasets::{build_dataset, build_scalability_dataset, DatasetKind};
+pub use experiments::{
+    figure1, figure2, figure3, figure4, figure5, figure6, figure7, random_prices, table1, table2,
+};
+pub use report::{format_number, Table};
+pub use scale::Scale;
+
+/// Runs one named experiment and returns its rendered report (used by the
+/// binaries and the `all_experiments` driver).
+pub fn run_experiment(name: &str, scale: &Scale) -> String {
+    let tables: Vec<Table> = match name {
+        "table1" => vec![table1(scale)],
+        "table2" => vec![table2(scale)],
+        "fig1" => figure1(scale),
+        "fig2" => figure2(scale),
+        "fig3" => figure3(scale),
+        "fig4" => figure4(scale),
+        "fig5" => figure5(scale),
+        "fig6" => vec![figure6(scale)],
+        "fig7" => figure7(scale),
+        "random_prices" => vec![random_prices(scale)],
+        other => panic!("unknown experiment `{other}`"),
+    };
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Names of all experiments in presentation order.
+pub fn all_experiment_names() -> Vec<&'static str> {
+    vec![
+        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig7",
+        "random_prices",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_experiment_dispatches_table1() {
+        let out = run_experiment("table1", &Scale::test_scale());
+        assert!(out.contains("Table 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn run_experiment_rejects_unknown_names() {
+        let _ = run_experiment("fig99", &Scale::test_scale());
+    }
+
+    #[test]
+    fn experiment_name_list_is_complete() {
+        assert_eq!(all_experiment_names().len(), 10);
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain-text report tables produced by the experiment harness.
+//!
+//! The paper reports results as figures; since a library cannot ship plots,
+//! each experiment regenerates the underlying data series as aligned text
+//! tables (one row per configuration, one column per algorithm or per sweep
+//! point), which EXPERIMENTS.md then compares against the paper's shapes.
+
+use std::fmt;
+
+/// A rectangular, titled report table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. "Figure 1(a): Amazon, beta ~ U[0,1]").
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Convenience: a row of a label plus formatted numbers.
+    pub fn push_numeric_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        let mut row = vec![label.into()];
+        row.extend(values.iter().map(|v| format_number(*v)));
+        self.rows.push(row);
+    }
+
+    /// Looks up a cell by row label and column header (for tests).
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_label))
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+
+    /// Parses a cell as a number (for tests and cross-checks).
+    pub fn numeric_cell(&self, row_label: &str, column: &str) -> Option<f64> {
+        self.cell(row_label, column)?.replace(',', "").parse().ok()
+    }
+}
+
+/// Human-friendly formatting: thousands get separators, small values keep
+/// enough significant digits.
+pub fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "n/a".to_string();
+    }
+    if v.abs() >= 1000.0 {
+        let rounded = v.round() as i64;
+        let mut s = String::new();
+        let digits = rounded.abs().to_string();
+        let bytes = digits.as_bytes();
+        for (i, b) in bytes.iter().enumerate() {
+            if i > 0 && (bytes.len() - i) % 3 == 0 {
+                s.push(',');
+            }
+            s.push(*b as char);
+        }
+        if rounded < 0 {
+            format!("-{s}")
+        } else {
+            s
+        }
+    } else if v.abs() >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let cols = self.headers.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let mut header_line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            header_line.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+        }
+        writeln!(f, "{}", header_line.trim_end())?;
+        writeln!(f, "{}", "-".repeat(header_line.trim_end().len().max(4)))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip_and_lookup() {
+        let mut t = Table::new("Demo", vec!["config".into(), "GG".into(), "SLG".into()]);
+        t.push_numeric_row("normal", &[12345.678, 0.5]);
+        t.push_row(vec!["power".into(), "7".into()]);
+        assert_eq!(t.cell("normal", "GG"), Some("12,346"));
+        assert_eq!(t.numeric_cell("normal", "SLG"), Some(0.5));
+        assert_eq!(t.cell("missing", "GG"), None);
+        assert_eq!(t.cell("power", "SLG"), None);
+        let rendered = t.to_string();
+        assert!(rendered.contains("## Demo"));
+        assert!(rendered.contains("normal"));
+        assert!(rendered.contains("12,346"));
+    }
+
+    #[test]
+    fn number_formatting_covers_ranges() {
+        assert_eq!(format_number(1_234_567.0), "1,234,567");
+        assert_eq!(format_number(-12_345.4), "-12,345");
+        assert_eq!(format_number(12.3456), "12.35");
+        assert_eq!(format_number(0.12345), "0.1235");
+        assert_eq!(format_number(f64::NAN), "n/a");
+    }
+}

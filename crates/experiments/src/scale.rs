@@ -1,0 +1,113 @@
+//! Experiment scaling.
+//!
+//! The paper's experiments ran on a 256 GB server against crawled datasets
+//! with ~16M candidate triples and synthetic datasets with up to 250M.
+//! The harness here defaults to a laptop-scale fraction of those sizes that
+//! preserves the qualitative shapes, and can be switched to the full paper
+//! sizes with `REVMAX_FULL=1` (or an explicit `REVMAX_SCALE=<fraction>`).
+
+/// Global knobs shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Fraction of the paper's dataset sizes used for the Amazon-like and
+    /// Epinions-like datasets (1.0 = paper scale).
+    pub dataset_scale: f64,
+    /// Number of permutations sampled by RL-Greedy (the paper uses 20).
+    pub rl_permutations: usize,
+    /// User counts for the scalability sweep of Figure 6.
+    pub scalability_users: Vec<u32>,
+    /// Items / classes / candidates-per-user used in the scalability sweep.
+    pub scalability_items: u32,
+    /// Number of classes for the scalability sweep.
+    pub scalability_classes: u32,
+    /// Master seed for dataset generation and randomized algorithms.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Laptop-scale defaults: ~2 % of the paper's dataset sizes.
+    pub fn default_scale() -> Self {
+        Scale {
+            dataset_scale: 0.02,
+            rl_permutations: 5,
+            scalability_users: vec![1_000, 2_000, 4_000, 6_000, 8_000],
+            scalability_items: 2_000,
+            scalability_classes: 100,
+            seed: 2014,
+        }
+    }
+
+    /// The paper's full sizes (needs a large machine and a lot of patience).
+    pub fn paper_scale() -> Self {
+        Scale {
+            dataset_scale: 1.0,
+            rl_permutations: 20,
+            scalability_users: vec![100_000, 200_000, 300_000, 400_000, 500_000],
+            scalability_items: 20_000,
+            scalability_classes: 500,
+            seed: 2014,
+        }
+    }
+
+    /// A minimal configuration for unit tests of the harness itself.
+    pub fn test_scale() -> Self {
+        Scale {
+            dataset_scale: 0.004,
+            rl_permutations: 2,
+            scalability_users: vec![100, 200],
+            scalability_items: 60,
+            scalability_classes: 10,
+            seed: 7,
+        }
+    }
+
+    /// Reads the scale from the environment: `REVMAX_FULL=1` selects the paper
+    /// scale, `REVMAX_SCALE=<fraction>` overrides the dataset fraction, and
+    /// `REVMAX_RL_PERMS=<n>` overrides the RL-Greedy permutation count.
+    pub fn from_env() -> Self {
+        let mut scale = if std::env::var("REVMAX_FULL").map_or(false, |v| v == "1") {
+            Scale::paper_scale()
+        } else {
+            Scale::default_scale()
+        };
+        if let Ok(v) = std::env::var("REVMAX_SCALE") {
+            if let Ok(f) = v.parse::<f64>() {
+                if f > 0.0 && f <= 1.0 {
+                    scale.dataset_scale = f;
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("REVMAX_RL_PERMS") {
+            if let Ok(n) = v.parse::<usize>() {
+                scale.rl_permutations = n.max(1);
+            }
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let test = Scale::test_scale();
+        let small = Scale::default_scale();
+        let full = Scale::paper_scale();
+        assert!(test.dataset_scale < small.dataset_scale);
+        assert!(small.dataset_scale < full.dataset_scale);
+        assert!(small.rl_permutations <= full.rl_permutations);
+        assert_eq!(full.scalability_users.last(), Some(&500_000));
+        assert_eq!(full.scalability_items, 20_000);
+    }
+
+    #[test]
+    fn from_env_defaults_to_laptop_scale() {
+        // The test environment does not define REVMAX_FULL / REVMAX_SCALE.
+        if std::env::var("REVMAX_FULL").is_err() && std::env::var("REVMAX_SCALE").is_err() {
+            let s = Scale::from_env();
+            assert_eq!(s.dataset_scale, Scale::default_scale().dataset_scale);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Kernel density estimation with a Gaussian kernel and Silverman's
+//! rule-of-thumb bandwidth — the method §6.1 of the paper uses to turn the
+//! user-reported Epinions prices of an item into a price (and valuation)
+//! distribution from which a weekly price series is sampled.
+
+use crate::stats::{mean, normal_cdf, normal_pdf, std_dev};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional Gaussian kernel density estimate over observed samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianKde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+/// Silverman's rule-of-thumb bandwidth `h* = (4 σ̂⁵ / (3 n))^{1/5}`.
+///
+/// Returns a small positive fallback when the empirical standard deviation is
+/// zero (all samples equal) so the estimate stays well-defined.
+pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
+    let n = samples.len().max(1) as f64;
+    let sigma = std_dev(samples);
+    if sigma <= 0.0 {
+        let scale = mean(samples).abs().max(1.0);
+        return 1e-3 * scale;
+    }
+    (4.0 * sigma.powi(5) / (3.0 * n)).powf(0.2)
+}
+
+impl GaussianKde {
+    /// Fits a KDE with Silverman's bandwidth. Panics on an empty sample set.
+    pub fn fit(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "KDE needs at least one sample");
+        GaussianKde {
+            samples: samples.to_vec(),
+            bandwidth: silverman_bandwidth(samples),
+        }
+    }
+
+    /// Fits a KDE with an explicit bandwidth `h > 0`.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Self {
+        assert!(!samples.is_empty(), "KDE needs at least one sample");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        GaussianKde { samples: samples.to_vec(), bandwidth }
+    }
+
+    /// The bandwidth `h` in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// The observed samples the estimate is built from.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean of the KDE mixture (equals the sample mean for a Gaussian kernel).
+    pub fn mean(&self) -> f64 {
+        mean(&self.samples)
+    }
+
+    /// Variance of the KDE mixture: sample second moment about the mean plus `h²`.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        let second: f64 = self
+            .samples
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        second + self.bandwidth * self.bandwidth
+    }
+
+    /// Estimated density `f̂(x) = (1 / n h) Σ κ((x − p_j) / h)`.
+    pub fn density(&self, x: f64) -> f64 {
+        let n = self.samples.len() as f64;
+        self.samples
+            .iter()
+            .map(|&p| normal_pdf(x, p, self.bandwidth))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Estimated cumulative distribution `F̂(x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let n = self.samples.len() as f64;
+        self.samples
+            .iter()
+            .map(|&p| normal_cdf(x, p, self.bandwidth))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Survival function `Pr[X ≥ x] = 1 − F̂(x)`, used for valuations.
+    pub fn survival(&self, x: f64) -> f64 {
+        (1.0 - self.cdf(x)).clamp(0.0, 1.0)
+    }
+
+    /// Draws one sample from the KDE mixture: pick a kernel centre uniformly,
+    /// then perturb it with `N(0, h²)` noise.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let idx = rng.gen_range(0..self.samples.len());
+        let centre = self.samples[idx];
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        centre + z * self.bandwidth
+    }
+
+    /// Draws `n` samples, clamped below at `min` (prices cannot go negative).
+    pub fn sample_series<R: Rng>(&self, n: usize, min: f64, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng).max(min)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn silverman_matches_hand_computation() {
+        let samples = [10.0, 12.0, 11.0, 13.0, 9.0];
+        let sigma = std_dev(&samples);
+        let expected = (4.0 * sigma.powi(5) / (3.0 * 5.0)).powf(0.2);
+        assert!((silverman_bandwidth(&samples) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silverman_degenerate_samples_get_fallback() {
+        let h = silverman_bandwidth(&[100.0, 100.0, 100.0]);
+        assert!(h > 0.0 && h < 1.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let kde = GaussianKde::fit(&[5.0, 7.0, 9.0, 6.5, 8.2]);
+        let mut total = 0.0;
+        let step = 0.01;
+        let mut x = -20.0;
+        while x < 40.0 {
+            total += kde.density(x) * step;
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let kde = GaussianKde::fit(&[20.0, 25.0, 30.0, 22.0]);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = i as f64;
+            let c = kde.cdf(x);
+            assert!(c >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!(kde.cdf(-100.0) < 1e-6);
+        assert!(kde.cdf(200.0) > 1.0 - 1e-6);
+        assert!((kde.survival(25.0) + kde.cdf(25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_moments() {
+        let samples = [4.0, 6.0];
+        let kde = GaussianKde::with_bandwidth(&samples, 0.5);
+        assert!((kde.mean() - 5.0).abs() < 1e-12);
+        // Second moment about the mean = 1, plus h² = 0.25.
+        assert!((kde.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_tracks_the_mixture_mean() {
+        let samples = [50.0, 55.0, 60.0, 52.0, 58.0];
+        let kde = GaussianKde::fit(&samples);
+        let mut rng = StdRng::seed_from_u64(11);
+        let draws = kde.sample_series(4000, 0.0, &mut rng);
+        let m = mean(&draws);
+        assert!((m - kde.mean()).abs() < 1.0, "sample mean {m} far from {}", kde.mean());
+        assert!(draws.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = GaussianKde::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn non_positive_bandwidth_panics() {
+        let _ = GaussianKde::with_bandwidth(&[1.0], 0.0);
+    }
+}

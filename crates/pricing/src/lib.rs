@@ -1,0 +1,36 @@
+//! # revmax-pricing
+//!
+//! Price and valuation modelling for the REVMAX reproduction.
+//!
+//! The revenue model treats prices as exogenous input: either exact per-day
+//! values `p(i, t)` or random variables with a known distribution (§7). This
+//! crate provides the substrate the paper's data preparation (§6.1) relies on:
+//!
+//! * [`stats`] — error function, Gaussian pdf/cdf, sample moments, and a
+//!   Cholesky-based correlated sampler;
+//! * [`kde`] — Gaussian-kernel density estimation with Silverman's
+//!   rule-of-thumb bandwidth, used to learn price/valuation distributions from
+//!   reported prices (the Epinions pipeline);
+//! * [`valuation`] — buyer valuation distributions and the price-aware
+//!   primitive adoption probability `q(u,i,t) = Pr[val ≥ p]·r̂/r_max`;
+//! * [`taylor`] — the random-price extension: second-order Taylor
+//!   approximation of expected revenue, a Monte-Carlo ground-truth estimator,
+//!   and the naive mean-price heuristic it is compared against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kde;
+pub mod stats;
+pub mod taylor;
+pub mod valuation;
+
+pub use kde::{silverman_bandwidth, GaussianKde};
+pub use stats::{erf, mean, normal_cdf, normal_pdf, std_dev, variance, CovarianceMatrix};
+pub use taylor::{
+    monte_carlo_expected_value, rand_rev_mean_price, rand_rev_monte_carlo, rand_rev_taylor,
+    taylor_expected_value, RandomPriceTriple,
+};
+pub use valuation::{
+    adoption_probability, adoption_series, GaussianValuation, KdeValuation, Valuation,
+};

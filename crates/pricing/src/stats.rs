@@ -1,0 +1,266 @@
+//! Small statistics toolkit: error function, Gaussian pdf/cdf, sample moments,
+//! and a Cholesky factorisation used for correlated price sampling.
+//!
+//! Everything is implemented from scratch so the workspace only depends on the
+//! pre-approved crates.
+
+/// The Gauss error function `erf(x)`, via the Abramowitz–Stegun 7.1.26
+/// rational approximation (absolute error ≤ 1.5e-7, plenty for probabilities).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let a1 = 0.254829592;
+    let a2 = -0.284496736;
+    let a3 = 1.421413741;
+    let a4 = -1.453152027;
+    let a5 = 1.061405429;
+    let p = 0.3275911;
+    let t = 1.0 / (1.0 + p * x);
+    let y = 1.0 - (((((a5 * t + a4) * t) + a3) * t + a2) * t + a1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal density `φ(x)`.
+pub fn standard_normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Normal density with mean `mu` and standard deviation `sigma`.
+pub fn normal_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if (x - mu).abs() < f64::EPSILON { f64::INFINITY } else { 0.0 };
+    }
+    standard_normal_pdf((x - mu) / sigma) / sigma
+}
+
+/// Normal cumulative distribution with mean `mu` and standard deviation `sigma`.
+pub fn normal_cdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if x >= mu { 1.0 } else { 0.0 };
+    }
+    standard_normal_cdf((x - mu) / sigma)
+}
+
+/// Sample mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (0 for fewer than two observations).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// A symmetric positive semi-definite covariance matrix with a Cholesky-based
+/// sampler for correlated multivariate-normal draws.
+#[derive(Debug, Clone)]
+pub struct CovarianceMatrix {
+    n: usize,
+    /// Row-major symmetric matrix.
+    data: Vec<f64>,
+}
+
+impl CovarianceMatrix {
+    /// Diagonal covariance built from per-coordinate variances.
+    pub fn diagonal(variances: &[f64]) -> Self {
+        let n = variances.len();
+        let mut data = vec![0.0; n * n];
+        for (i, &v) in variances.iter().enumerate() {
+            data[i * n + i] = v.max(0.0);
+        }
+        CovarianceMatrix { n, data }
+    }
+
+    /// Dense covariance from a row-major `n × n` matrix.
+    ///
+    /// The matrix is symmetrised; no positive-definiteness check is performed
+    /// until [`CovarianceMatrix::cholesky`] is called.
+    pub fn dense(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "covariance matrix must be n×n");
+        let mut sym = data.clone();
+        for i in 0..n {
+            for j in 0..n {
+                sym[i * n + j] = 0.5 * (data[i * n + j] + data[j * n + i]);
+            }
+        }
+        CovarianceMatrix { n, data: sym }
+    }
+
+    /// Number of coordinates.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `cov(a, b)`.
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        self.data[a * self.n + b]
+    }
+
+    /// Sets `cov(a, b)` (and the symmetric entry).
+    pub fn set(&mut self, a: usize, b: usize, value: f64) {
+        self.data[a * self.n + b] = value;
+        self.data[b * self.n + a] = value;
+    }
+
+    /// Variance of coordinate `a`.
+    pub fn variance(&self, a: usize) -> f64 {
+        self.get(a, a)
+    }
+
+    /// Lower-triangular Cholesky factor `L` with `L Lᵀ = Σ`.
+    ///
+    /// Small negative pivots (numerical noise) are clamped to zero, which turns
+    /// the factorisation into the factor of the nearest diagonal-repaired
+    /// matrix; `None` is returned for clearly indefinite inputs.
+    pub fn cholesky(&self) -> Option<Vec<f64>> {
+        let n = self.n;
+        let mut l = vec![0.0_f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum < -1e-9 {
+                        return None;
+                    }
+                    l[i * n + j] = sum.max(0.0).sqrt();
+                } else {
+                    let diag = l[j * n + j];
+                    l[i * n + j] = if diag.abs() < 1e-15 { 0.0 } else { sum / diag };
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Draws one multivariate-normal sample with the given means and this
+    /// covariance, using a pre-computed Cholesky factor and i.i.d. standard
+    /// normal inputs `z`.
+    pub fn correlate(&self, chol: &[f64], means: &[f64], z: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = means[i];
+            for k in 0..=i {
+                acc += chol[i * n + k] * z[k];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_tails() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(standard_normal_cdf(-6.0) < 1e-6);
+        assert!(standard_normal_cdf(6.0) > 1.0 - 1e-6);
+        // location/scale version
+        assert!((normal_cdf(10.0, 10.0, 2.0) - 0.5).abs() < 1e-9);
+        assert!(normal_cdf(5.0, 10.0, 2.0) < 0.01);
+    }
+
+    #[test]
+    fn degenerate_sigma_is_a_step_function() {
+        assert_eq!(normal_cdf(1.0, 2.0, 0.0), 0.0);
+        assert_eq!(normal_cdf(3.0, 2.0, 0.0), 1.0);
+        assert_eq!(normal_pdf(3.0, 2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let mut total = 0.0;
+        let step = 0.01;
+        let mut x = -8.0;
+        while x < 8.0 {
+            total += standard_normal_pdf(x) * step;
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sample_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic example is 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // Σ = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+        let cov = CovarianceMatrix::dense(2, vec![4.0, 2.0, 2.0, 3.0]);
+        let l = cov.cholesky().unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < 1e-12);
+        // Reconstruct Σ = L Lᵀ.
+        let recon00 = l[0] * l[0];
+        let recon01 = l[0] * l[2];
+        let recon11 = l[2] * l[2] + l[3] * l[3];
+        assert!((recon00 - 4.0).abs() < 1e-12);
+        assert!((recon01 - 2.0).abs() < 1e-12);
+        assert!((recon11 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let cov = CovarianceMatrix::dense(2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(cov.cholesky().is_none());
+    }
+
+    #[test]
+    fn diagonal_covariance_and_correlate() {
+        let cov = CovarianceMatrix::diagonal(&[4.0, 9.0]);
+        assert_eq!(cov.dim(), 2);
+        assert_eq!(cov.variance(1), 9.0);
+        let chol = cov.cholesky().unwrap();
+        let sample = cov.correlate(&chol, &[10.0, 20.0], &[1.0, -1.0]);
+        assert!((sample[0] - 12.0).abs() < 1e-12);
+        assert!((sample[1] - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_get_symmetric() {
+        let mut cov = CovarianceMatrix::diagonal(&[1.0, 1.0]);
+        cov.set(0, 1, 0.5);
+        assert_eq!(cov.get(1, 0), 0.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # revmax-recsys
+//!
+//! The classical recommender-system substrate the REVMAX framework builds on.
+//!
+//! The paper deliberately keeps the rating-prediction component pluggable
+//! ("our framework allows any type of RS to be used") and, for its
+//! experiments, trains a vanilla matrix-factorization model with stochastic
+//! gradient descent to obtain predicted ratings `r̂_ui`. Those predictions feed
+//! the primitive adoption probabilities
+//! `q(u, i, t) = Pr[val_ui ≥ p(i, t)] · r̂_ui / r_max` (§6).
+//!
+//! This crate implements that substrate from scratch:
+//!
+//! * [`RatingSet`] — observed ratings, splits, and k-fold cross validation;
+//! * [`MatrixFactorization`] / [`MfConfig`] — biased MF trained by SGD, with
+//!   RMSE evaluation and per-user top-N ranking;
+//! * [`metrics`] — RMSE / MAE / precision@k.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod mf;
+pub mod ratings;
+
+pub use metrics::{mae, precision_at_k, rmse};
+pub use mf::{cross_validate_rmse, MatrixFactorization, MfConfig};
+pub use ratings::{Rating, RatingSet};

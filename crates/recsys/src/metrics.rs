@@ -1,0 +1,76 @@
+//! Accuracy metrics for rating prediction (RMSE, MAE) and ranking
+//! (precision@k against a relevance threshold).
+
+/// Root-mean-square error over (truth, prediction) pairs; 0 for empty input.
+pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = pairs.iter().map(|(y, p)| (y - p) * (y - p)).sum();
+    (sse / pairs.len() as f64).sqrt()
+}
+
+/// Mean absolute error over (truth, prediction) pairs; 0 for empty input.
+pub fn mae(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(y, p)| (y - p).abs()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Precision@k: fraction of the top-`k` ranked items (by predicted score) whose
+/// true rating is at least `relevance_threshold`.
+///
+/// `scored` contains `(true_rating, predicted_score)` pairs for one user.
+pub fn precision_at_k(scored: &[(f64, f64)], k: usize, relevance_threshold: f64) -> f64 {
+    if scored.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut ranked: Vec<&(f64, f64)> = scored.iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top = &ranked[..k.min(ranked.len())];
+    let relevant = top.iter().filter(|(truth, _)| *truth >= relevance_threshold).count();
+    relevant as f64 / top.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_predictions_is_zero() {
+        let pairs = vec![(3.0, 3.0), (5.0, 5.0)];
+        assert_eq!(rmse(&pairs), 0.0);
+        assert_eq!(mae(&pairs), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors of 1 and -1 -> rmse 1, mae 1
+        let pairs = vec![(3.0, 4.0), (5.0, 4.0)];
+        assert!((rmse(&pairs) - 1.0).abs() < 1e-12);
+        assert!((mae(&pairs) - 1.0).abs() < 1e-12);
+        // errors 3, 0 -> rmse sqrt(4.5)
+        let pairs = vec![(1.0, 4.0), (4.0, 4.0)];
+        assert!((rmse(&pairs) - 4.5f64.sqrt()).abs() < 1e-12);
+        assert!((mae(&pairs) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        assert_eq!(rmse(&[]), 0.0);
+        assert_eq!(mae(&[]), 0.0);
+        assert_eq!(precision_at_k(&[], 5, 4.0), 0.0);
+    }
+
+    #[test]
+    fn precision_at_k_counts_relevant_items() {
+        // Predictions rank items as: (5.0 truth), (2.0 truth), (4.0 truth)
+        let scored = vec![(5.0, 0.9), (2.0, 0.8), (4.0, 0.7)];
+        assert!((precision_at_k(&scored, 2, 4.0) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&scored, 3, 4.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&scored, 0, 4.0), 0.0);
+        // k larger than the list uses the whole list.
+        assert!((precision_at_k(&scored, 10, 4.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

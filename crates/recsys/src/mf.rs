@@ -1,0 +1,347 @@
+//! Matrix factorization with biases, trained by stochastic gradient descent.
+//!
+//! This is the "vanilla MF model" the paper uses to compute predicted ratings
+//! (`r̂_ui ≈ μ + b_u + b_i + p_u·q_i`), trained with the RMSE loss. The paper
+//! reports a five-fold cross-validated RMSE of 0.91 on Amazon and 1.04 on
+//! Epinions using MyMediaLite; [`cross_validate_rmse`] reproduces the protocol
+//! on our generated datasets.
+
+use crate::metrics::rmse;
+use crate::ratings::RatingSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the SGD matrix-factorization trainer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MfConfig {
+    /// Number of latent factors `f`.
+    pub factors: usize,
+    /// Number of SGD passes over the training ratings.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization weight for factors and biases.
+    pub regularization: f64,
+    /// Standard deviation of the random factor initialisation.
+    pub init_std: f64,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f64,
+    /// Whether to learn user/item bias terms.
+    pub use_biases: bool,
+    /// RNG seed for initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MfConfig {
+    fn default() -> Self {
+        MfConfig {
+            factors: 16,
+            epochs: 25,
+            learning_rate: 0.01,
+            regularization: 0.05,
+            init_std: 0.1,
+            lr_decay: 0.95,
+            use_biases: true,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained matrix-factorization model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixFactorization {
+    factors: usize,
+    global_mean: f64,
+    user_bias: Vec<f64>,
+    item_bias: Vec<f64>,
+    /// Row-major `num_users × factors`.
+    user_factors: Vec<f64>,
+    /// Row-major `num_items × factors`.
+    item_factors: Vec<f64>,
+    num_users: u32,
+    num_items: u32,
+    /// Rating range used for clamping predictions.
+    min_rating: f64,
+    max_rating: f64,
+}
+
+impl MatrixFactorization {
+    /// Trains a model on the given ratings.
+    pub fn train(ratings: &RatingSet, config: &MfConfig) -> Self {
+        let num_users = ratings.num_users();
+        let num_items = ratings.num_items();
+        let f = config.factors.max(1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut model = MatrixFactorization {
+            factors: f,
+            global_mean: ratings.global_mean(),
+            user_bias: vec![0.0; num_users as usize],
+            item_bias: vec![0.0; num_items as usize],
+            user_factors: (0..num_users as usize * f)
+                .map(|_| sample_gaussian(&mut rng) * config.init_std)
+                .collect(),
+            item_factors: (0..num_items as usize * f)
+                .map(|_| sample_gaussian(&mut rng) * config.init_std)
+                .collect(),
+            num_users,
+            num_items,
+            min_rating: ratings
+                .ratings()
+                .iter()
+                .map(|r| r.value)
+                .fold(f64::INFINITY, f64::min),
+            max_rating: ratings
+                .ratings()
+                .iter()
+                .map(|r| r.value)
+                .fold(f64::NEG_INFINITY, f64::max),
+        };
+        if ratings.is_empty() {
+            model.min_rating = 1.0;
+            model.max_rating = 5.0;
+            return model;
+        }
+
+        let mut order: Vec<usize> = (0..ratings.len()).collect();
+        let mut lr = config.learning_rate;
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let r = ratings.ratings()[idx];
+                let u = r.user as usize;
+                let i = r.item as usize;
+                let pred = model.raw_predict(u, i);
+                let err = r.value - pred;
+                if config.use_biases {
+                    let bu = model.user_bias[u];
+                    let bi = model.item_bias[i];
+                    model.user_bias[u] += lr * (err - config.regularization * bu);
+                    model.item_bias[i] += lr * (err - config.regularization * bi);
+                }
+                for k in 0..f {
+                    let pu = model.user_factors[u * f + k];
+                    let qi = model.item_factors[i * f + k];
+                    model.user_factors[u * f + k] += lr * (err * qi - config.regularization * pu);
+                    model.item_factors[i * f + k] += lr * (err * pu - config.regularization * qi);
+                }
+            }
+            lr *= config.lr_decay;
+        }
+        model
+    }
+
+    /// Number of latent factors.
+    pub fn factors(&self) -> usize {
+        self.factors
+    }
+
+    /// Number of users the model was trained over.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of items the model was trained over.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// The maximum rating seen during training (`r_max` of the adoption model).
+    pub fn max_rating(&self) -> f64 {
+        self.max_rating
+    }
+
+    /// The minimum rating seen during training.
+    pub fn min_rating(&self) -> f64 {
+        self.min_rating
+    }
+
+    fn raw_predict(&self, user: usize, item: usize) -> f64 {
+        let f = self.factors;
+        let mut dot = 0.0;
+        for k in 0..f {
+            dot += self.user_factors[user * f + k] * self.item_factors[item * f + k];
+        }
+        self.global_mean + self.user_bias[user] + self.item_bias[item] + dot
+    }
+
+    /// Predicted rating `r̂_ui`, clamped to the observed rating range.
+    pub fn predict(&self, user: u32, item: u32) -> f64 {
+        if user >= self.num_users || item >= self.num_items {
+            return self.global_mean;
+        }
+        let raw = self.raw_predict(user as usize, item as usize);
+        if self.min_rating <= self.max_rating {
+            raw.clamp(self.min_rating, self.max_rating)
+        } else {
+            raw
+        }
+    }
+
+    /// Predicted ratings of every item for one user.
+    pub fn predict_all_for_user(&self, user: u32) -> Vec<f64> {
+        (0..self.num_items).map(|item| self.predict(user, item)).collect()
+    }
+
+    /// RMSE of the model on a held-out rating set.
+    pub fn evaluate_rmse(&self, test: &RatingSet) -> f64 {
+        let pairs: Vec<(f64, f64)> = test
+            .ratings()
+            .iter()
+            .map(|r| (r.value, self.predict(r.user, r.item)))
+            .collect();
+        rmse(&pairs)
+    }
+
+    /// The `n` items with the highest predicted rating for a user, sorted by
+    /// descending prediction (ties broken by item id for determinism).
+    pub fn top_n_for_user(&self, user: u32, n: usize) -> Vec<(u32, f64)> {
+        let mut scored: Vec<(u32, f64)> = (0..self.num_items)
+            .map(|item| (item, self.predict(user, item)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(n);
+        scored
+    }
+}
+
+/// Standard-normal sample via Box–Muller (keeps the dependency surface to `rand` core).
+fn sample_gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Five-fold (or `k`-fold) cross-validated RMSE, the evaluation protocol of §6.1.
+pub fn cross_validate_rmse(ratings: &RatingSet, config: &MfConfig, k: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let splits = ratings.cross_validation_splits(k, &mut rng);
+    let mut total = 0.0;
+    for (fold_idx, (train, test)) in splits.iter().enumerate() {
+        let mut fold_config = *config;
+        fold_config.seed = config.seed.wrapping_add(fold_idx as u64);
+        let model = MatrixFactorization::train(train, &fold_config);
+        total += model.evaluate_rmse(test);
+    }
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generates ratings from a low-rank ground-truth model so MF can recover it.
+    fn synthetic_ratings(num_users: u32, num_items: u32, per_user: usize, seed: u64) -> RatingSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = 4;
+        let user_lat: Vec<f64> = (0..num_users as usize * f).map(|_| rng.gen_range(-0.7..0.7)).collect();
+        let item_lat: Vec<f64> = (0..num_items as usize * f).map(|_| rng.gen_range(-0.7..0.7)).collect();
+        let mut rs = RatingSet::new(num_users, num_items);
+        for u in 0..num_users as usize {
+            for _ in 0..per_user {
+                let i = rng.gen_range(0..num_items) as usize;
+                let mut dot = 0.0;
+                for k in 0..f {
+                    dot += user_lat[u * f + k] * item_lat[i * f + k];
+                }
+                let value = (3.0 + 1.5 * dot + rng.gen_range(-0.2..0.2)).clamp(1.0, 5.0);
+                rs.push(u as u32, i as u32, value);
+            }
+        }
+        rs
+    }
+
+    #[test]
+    fn training_reduces_rmse_below_baseline() {
+        let ratings = synthetic_ratings(60, 40, 25, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = ratings.split(0.2, &mut rng);
+        let config = MfConfig {
+            factors: 8,
+            epochs: 80,
+            learning_rate: 0.02,
+            regularization: 0.02,
+            lr_decay: 0.99,
+            ..Default::default()
+        };
+        let model = MatrixFactorization::train(&train, &config);
+        let model_rmse = model.evaluate_rmse(&test);
+        // Baseline: predict the global mean for everything.
+        let mean = train.global_mean();
+        let baseline: Vec<(f64, f64)> =
+            test.ratings().iter().map(|r| (r.value, mean)).collect();
+        let baseline_rmse = rmse(&baseline);
+        assert!(
+            model_rmse < baseline_rmse * 0.9,
+            "MF RMSE {model_rmse} should beat mean baseline {baseline_rmse}"
+        );
+    }
+
+    #[test]
+    fn predictions_are_clamped_to_rating_range() {
+        let ratings = synthetic_ratings(20, 15, 10, 3);
+        let model = MatrixFactorization::train(&ratings, &MfConfig::default());
+        for u in 0..20 {
+            for i in 0..15 {
+                let p = model.predict(u, i);
+                assert!(p >= model.min_rating() - 1e-9 && p <= model.max_rating() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_prediction_falls_back_to_mean() {
+        let ratings = synthetic_ratings(5, 5, 4, 4);
+        let model = MatrixFactorization::train(&ratings, &MfConfig::default());
+        assert!((model.predict(100, 0) - ratings.global_mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_n_is_sorted_and_bounded() {
+        let ratings = synthetic_ratings(10, 12, 8, 5);
+        let model = MatrixFactorization::train(&ratings, &MfConfig::default());
+        let top = model.top_n_for_user(0, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Requesting more than the catalogue returns everything.
+        assert_eq!(model.top_n_for_user(0, 100).len(), 12);
+    }
+
+    #[test]
+    fn empty_training_set_is_harmless() {
+        let ratings = RatingSet::new(3, 3);
+        let model = MatrixFactorization::train(&ratings, &MfConfig::default());
+        // With no observations the prediction is the (zero) global mean, clamped
+        // into the fallback 1..5 rating range — finite and deterministic.
+        assert!(model.predict(0, 0).is_finite());
+        assert_eq!(model.predict(0, 0), model.predict(2, 2));
+        assert_eq!(model.num_users(), 3);
+    }
+
+    #[test]
+    fn cross_validation_runs_and_is_finite() {
+        let ratings = synthetic_ratings(30, 20, 10, 6);
+        let config = MfConfig { factors: 4, epochs: 10, ..Default::default() };
+        let cv = cross_validate_rmse(&ratings, &config, 5, 9);
+        assert!(cv.is_finite());
+        assert!(cv > 0.0 && cv < 2.5, "cv rmse {cv} out of plausible range");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ratings = synthetic_ratings(15, 10, 6, 7);
+        let config = MfConfig { factors: 4, epochs: 5, ..Default::default() };
+        let a = MatrixFactorization::train(&ratings, &config);
+        let b = MatrixFactorization::train(&ratings, &config);
+        for u in 0..15 {
+            for i in 0..10 {
+                assert_eq!(a.predict(u, i), b.predict(u, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Rating data: observed (user, item, rating) triples, splits, and folds.
+//!
+//! The paper trains a "vanilla" matrix-factorization model on the observed
+//! ratings of the crawled Amazon/Epinions datasets and reports RMSE under
+//! five-fold cross validation. This module provides the rating container and
+//! the split/fold machinery that [`crate::MatrixFactorization`] consumes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One observed rating `r_ui`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// User index.
+    pub user: u32,
+    /// Item index.
+    pub item: u32,
+    /// Observed rating value (e.g. 1–5 stars).
+    pub value: f64,
+}
+
+/// A collection of observed ratings over a fixed user/item universe.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RatingSet {
+    num_users: u32,
+    num_items: u32,
+    ratings: Vec<Rating>,
+}
+
+impl RatingSet {
+    /// Creates an empty rating set over the given universe.
+    pub fn new(num_users: u32, num_items: u32) -> Self {
+        RatingSet { num_users, num_items, ratings: Vec::new() }
+    }
+
+    /// Creates a rating set from parts, clamping out-of-range indices away.
+    pub fn from_ratings(num_users: u32, num_items: u32, ratings: Vec<Rating>) -> Self {
+        let ratings = ratings
+            .into_iter()
+            .filter(|r| r.user < num_users && r.item < num_items)
+            .collect();
+        RatingSet { num_users, num_items, ratings }
+    }
+
+    /// Number of users in the universe.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of items in the universe.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Number of observed ratings.
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Whether no rating has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+
+    /// Adds a rating (ignored if out of the universe).
+    pub fn push(&mut self, user: u32, item: u32, value: f64) {
+        if user < self.num_users && item < self.num_items {
+            self.ratings.push(Rating { user, item, value });
+        }
+    }
+
+    /// Slice of all observed ratings.
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// Mean of all observed rating values (0 if empty).
+    pub fn global_mean(&self) -> f64 {
+        if self.ratings.is_empty() {
+            0.0
+        } else {
+            self.ratings.iter().map(|r| r.value).sum::<f64>() / self.ratings.len() as f64
+        }
+    }
+
+    /// Density of the rating matrix: `|ratings| / (|U| · |I|)`.
+    pub fn density(&self) -> f64 {
+        if self.num_users == 0 || self.num_items == 0 {
+            0.0
+        } else {
+            self.ratings.len() as f64 / (self.num_users as f64 * self.num_items as f64)
+        }
+    }
+
+    /// Number of ratings per item.
+    pub fn item_rating_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_items as usize];
+        for r in &self.ratings {
+            counts[r.item as usize] += 1;
+        }
+        counts
+    }
+
+    /// Number of ratings per user.
+    pub fn user_rating_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_users as usize];
+        for r in &self.ratings {
+            counts[r.user as usize] += 1;
+        }
+        counts
+    }
+
+    /// Drops items with fewer than `min_ratings` ratings (the paper filters
+    /// items with fewer than 10 ratings) and returns the filtered set.
+    pub fn filter_items_with_min_ratings(&self, min_ratings: u32) -> RatingSet {
+        let counts = self.item_rating_counts();
+        let ratings = self
+            .ratings
+            .iter()
+            .copied()
+            .filter(|r| counts[r.item as usize] >= min_ratings)
+            .collect();
+        RatingSet { num_users: self.num_users, num_items: self.num_items, ratings }
+    }
+
+    /// Random train/test split with the given test fraction.
+    pub fn split<R: Rng>(&self, test_fraction: f64, rng: &mut R) -> (RatingSet, RatingSet) {
+        let mut shuffled = self.ratings.clone();
+        shuffled.shuffle(rng);
+        let n_test = ((shuffled.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(shuffled.len());
+        let test = shuffled[..n_test].to_vec();
+        let train = shuffled[n_test..].to_vec();
+        (
+            RatingSet { num_users: self.num_users, num_items: self.num_items, ratings: train },
+            RatingSet { num_users: self.num_users, num_items: self.num_items, ratings: test },
+        )
+    }
+
+    /// Splits the ratings into `k` folds for cross validation.
+    pub fn folds<R: Rng>(&self, k: usize, rng: &mut R) -> Vec<RatingSet> {
+        assert!(k >= 1, "need at least one fold");
+        let mut shuffled = self.ratings.clone();
+        shuffled.shuffle(rng);
+        let mut folds: Vec<Vec<Rating>> = vec![Vec::new(); k];
+        for (idx, r) in shuffled.into_iter().enumerate() {
+            folds[idx % k].push(r);
+        }
+        folds
+            .into_iter()
+            .map(|ratings| RatingSet {
+                num_users: self.num_users,
+                num_items: self.num_items,
+                ratings,
+            })
+            .collect()
+    }
+
+    /// Returns (train, test) pairs for `k`-fold cross validation.
+    pub fn cross_validation_splits<R: Rng>(&self, k: usize, rng: &mut R) -> Vec<(RatingSet, RatingSet)> {
+        let folds = self.folds(k, rng);
+        (0..k)
+            .map(|test_idx| {
+                let test = folds[test_idx].clone();
+                let mut train = RatingSet::new(self.num_users, self.num_items);
+                for (idx, fold) in folds.iter().enumerate() {
+                    if idx != test_idx {
+                        train.ratings.extend_from_slice(&fold.ratings);
+                    }
+                }
+                (train, test)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_set() -> RatingSet {
+        let mut rs = RatingSet::new(4, 3);
+        rs.push(0, 0, 5.0);
+        rs.push(0, 1, 3.0);
+        rs.push(1, 0, 4.0);
+        rs.push(1, 2, 2.0);
+        rs.push(2, 1, 1.0);
+        rs.push(3, 2, 5.0);
+        rs
+    }
+
+    #[test]
+    fn push_ignores_out_of_range() {
+        let mut rs = RatingSet::new(2, 2);
+        rs.push(0, 0, 5.0);
+        rs.push(5, 0, 5.0);
+        rs.push(0, 9, 5.0);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn global_mean_and_density() {
+        let rs = sample_set();
+        assert!((rs.global_mean() - 20.0 / 6.0).abs() < 1e-12);
+        assert!((rs.density() - 6.0 / 12.0).abs() < 1e-12);
+        assert_eq!(RatingSet::new(0, 0).density(), 0.0);
+        assert_eq!(RatingSet::new(2, 2).global_mean(), 0.0);
+    }
+
+    #[test]
+    fn counts_per_user_and_item() {
+        let rs = sample_set();
+        assert_eq!(rs.item_rating_counts(), vec![2, 2, 2]);
+        assert_eq!(rs.user_rating_counts(), vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn filter_items_with_min_ratings_drops_sparse_items() {
+        let mut rs = sample_set();
+        rs.push(0, 2, 4.0); // item 2 now has 3 ratings
+        let filtered = rs.filter_items_with_min_ratings(3);
+        assert!(filtered.ratings().iter().all(|r| r.item == 2));
+        assert_eq!(filtered.len(), 3);
+    }
+
+    #[test]
+    fn split_partitions_all_ratings() {
+        let rs = sample_set();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = rs.split(0.33, &mut rng);
+        assert_eq!(train.len() + test.len(), rs.len());
+        assert_eq!(test.len(), 2);
+    }
+
+    #[test]
+    fn folds_cover_everything_once() {
+        let rs = sample_set();
+        let mut rng = StdRng::seed_from_u64(7);
+        let folds = rs.folds(3, &mut rng);
+        assert_eq!(folds.iter().map(|f| f.len()).sum::<usize>(), rs.len());
+        let splits = rs.cross_validation_splits(3, &mut rng);
+        assert_eq!(splits.len(), 3);
+        for (train, test) in splits {
+            assert_eq!(train.len() + test.len(), rs.len());
+            assert!(!test.is_empty());
+        }
+    }
+
+    #[test]
+    fn from_ratings_filters_universe() {
+        let rs = RatingSet::from_ratings(
+            2,
+            2,
+            vec![
+                Rating { user: 0, item: 0, value: 1.0 },
+                Rating { user: 3, item: 0, value: 1.0 },
+            ],
+        );
+        assert_eq!(rs.len(), 1);
+    }
+}

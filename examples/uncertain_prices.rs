@@ -1,0 +1,54 @@
+//! Uncertain prices (§7): when next week's prices are only known as
+//! distributions, the expected revenue of a plan can be estimated with the
+//! second-order Taylor expansion instead of naively plugging in mean prices.
+//!
+//! Run with: `cargo run --release --example uncertain_prices`
+
+use revmax::pricing::{
+    rand_rev_mean_price, rand_rev_monte_carlo, rand_rev_taylor, CovarianceMatrix,
+    GaussianValuation, RandomPriceTriple,
+};
+
+fn main() {
+    // A user will be shown two competing laptops on Monday and Wednesday; each
+    // price is forecast with some uncertainty, and the two prices of the same
+    // retailer are positively correlated.
+    let means = vec![1199.0, 1099.0];
+    let stds = [120.0, 90.0];
+    let mut cov = CovarianceMatrix::diagonal(&[stds[0] * stds[0], stds[1] * stds[1]]);
+    cov.set(0, 1, 0.4 * stds[0] * stds[1]);
+
+    let monday = RandomPriceTriple {
+        own_var: 0,
+        competitor_vars: vec![],
+        rating_factor: 0.92,
+        competitor_rating_factors: vec![],
+        valuation: GaussianValuation { mean: 1250.0, std: 180.0 },
+        competitor_valuations: vec![],
+        saturation_discount: 1.0,
+    };
+    let wednesday = RandomPriceTriple {
+        own_var: 1,
+        competitor_vars: vec![0], // competes with Monday's laptop
+        rating_factor: 0.85,
+        competitor_rating_factors: vec![0.92],
+        valuation: GaussianValuation { mean: 1180.0, std: 160.0 },
+        competitor_valuations: vec![GaussianValuation { mean: 1250.0, std: 180.0 }],
+        saturation_discount: 0.7, // some saturation from the Monday impression
+    };
+    let plan = vec![monday, wednesday];
+
+    let naive = rand_rev_mean_price(&plan, &means);
+    let taylor = rand_rev_taylor(&plan, &means, &cov);
+    let truth = rand_rev_monte_carlo(&plan, &means, &cov, 200_000, 7).expect("PSD covariance");
+
+    println!("expected revenue of the two-slot plan under price uncertainty");
+    println!("  mean-price heuristic : {naive:>9.2}");
+    println!("  Taylor (2nd order)   : {taylor:>9.2}");
+    println!("  Monte-Carlo (200k)   : {truth:>9.2}");
+    println!(
+        "\nTaylor absolute error {:.2} vs mean-price error {:.2}",
+        (taylor - truth).abs(),
+        (naive - truth).abs()
+    );
+}

@@ -1,0 +1,84 @@
+//! # revmax
+//!
+//! Facade crate for the REVMAX workspace — a from-scratch Rust reproduction of
+//! *"Show Me the Money: Dynamic Recommendations for Revenue Maximization"*
+//! (Lu, Chen, Li, Lakshmanan; PVLDB 7(14), 2014).
+//!
+//! The individual crates can be used directly; this facade re-exports them
+//! under stable module names and provides a small [`prelude`] so examples and
+//! downstream users can get going with a single `use revmax::prelude::*`.
+//!
+//! * [`core`] — the revenue model: instances, strategies, dynamic adoption
+//!   probabilities, marginal revenue, constraints, R-REVMAX.
+//! * [`algorithms`] — G-Greedy, SL/RL-Greedy, baselines, local search,
+//!   Max-DCS, and the timed runner.
+//! * [`recsys`] — the matrix-factorization substrate.
+//! * [`pricing`] — KDE, valuations, and the random-price Taylor extension.
+//! * [`data`] — synthetic dataset generators shaped like the paper's crawls.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use revmax::prelude::*;
+//!
+//! // A seller with two users, two competing items, and a two-day horizon.
+//! let mut b = InstanceBuilder::new(2, 2, 2);
+//! b.display_limit(1)
+//!     .item_class(0, 0)
+//!     .item_class(1, 0)
+//!     .beta(0, 0.5)
+//!     .beta(1, 0.5)
+//!     .prices(0, &[99.0, 79.0]) // item 0 goes on sale on day 2
+//!     .prices(1, &[49.0, 49.0])
+//!     .candidate(0, 0, &[0.3, 0.6], 4.5)
+//!     .candidate(0, 1, &[0.7, 0.7], 3.9)
+//!     .candidate(1, 0, &[0.5, 0.8], 4.8)
+//!     .candidate(1, 1, &[0.4, 0.4], 3.2);
+//! let instance = b.build().unwrap();
+//!
+//! let outcome = global_greedy(&instance);
+//! assert!(outcome.revenue > 0.0);
+//! assert!(outcome.strategy.validate(&instance).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use revmax_algorithms as algorithms;
+pub use revmax_core as core;
+pub use revmax_data as data;
+pub use revmax_pricing as pricing;
+pub use revmax_recsys as recsys;
+
+/// The most commonly used items across the workspace, re-exported flat.
+pub mod prelude {
+    pub use revmax_algorithms::{
+        global_greedy, global_no_saturation, randomized_local_greedy, run,
+        sequential_local_greedy, solve_t1_exact, top_rating, top_revenue, Algorithm,
+        GreedyOutcome, RunReport,
+    };
+    pub use revmax_core::{
+        revenue, IncrementalRevenue, Instance, InstanceBuilder, ItemId, Strategy, TimeStep,
+        Triple, UserId,
+    };
+    pub use revmax_data::{
+        generate, generate_scalability, BetaSetting, CapacityDistribution, DatasetConfig,
+        GeneratedDataset, Table1Stats,
+    };
+    pub use revmax_pricing::{adoption_probability, GaussianKde, GaussianValuation, Valuation};
+    pub use revmax_recsys::{MatrixFactorization, MfConfig, RatingSet};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let config = DatasetConfig::tiny();
+        let ds = generate(&config);
+        let out = global_greedy(&ds.instance);
+        assert!(out.revenue >= 0.0);
+        assert!(out.strategy.validate(&ds.instance).is_ok());
+    }
+}

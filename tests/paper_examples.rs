@@ -1,0 +1,142 @@
+//! Workspace-level tests that replay the worked examples and constructions of
+//! the paper through the public facade, as an executable record of the model
+//! semantics the reproduction commits to.
+
+use revmax::core::effective_probabilities;
+use revmax::core::reductions::{Assignment, TimetableInstance};
+use revmax::core::ExactPoissonBinomial;
+use revmax::prelude::*;
+
+/// Example 1: S = {(u,i,1), (u,j,2), (u,i,3)} with C(i) = C(j) and primitive
+/// probability `a` everywhere.
+#[test]
+fn example_1_dynamic_adoption_probabilities() {
+    let a = 0.25;
+    let beta = 0.6;
+    let mut b = InstanceBuilder::new(1, 2, 3);
+    b.display_limit(1)
+        .item_class(0, 0)
+        .item_class(1, 0)
+        .beta(0, beta)
+        .beta(1, beta)
+        .constant_price(0, 1.0)
+        .constant_price(1, 1.0)
+        .candidate(0, 0, &[a, a, a], 0.0)
+        .candidate(0, 1, &[a, a, a], 0.0);
+    let inst = b.build().unwrap();
+    let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2), Triple::new(0, 0, 3)]
+        .into_iter()
+        .collect();
+    let rev = revenue(&inst, &s);
+    // q_S(u,i,1) = a; q_S(u,j,2) = (1-a)·a·β; q_S(u,i,3) = (1-a)²·a·β^{3/2}; prices are 1.
+    let expected = a + (1.0 - a) * a * beta + (1.0 - a_sq(a)) * a * beta.powf(1.5);
+    fn a_sq(a: f64) -> f64 {
+        1.0 - (1.0 - a) * (1.0 - a)
+    }
+    assert!((rev - expected).abs() < 1e-12);
+}
+
+/// Example 4 / Theorem 2: the revenue function is non-monotone, and G-Greedy
+/// does not fall into the trap while SL-Greedy does.
+#[test]
+fn example_4_non_monotonicity_and_algorithm_behaviour() {
+    let mut b = InstanceBuilder::new(1, 1, 2);
+    b.display_limit(1)
+        .capacity(0, 2)
+        .beta(0, 0.1)
+        .prices(0, &[1.0, 0.95])
+        .candidate(0, 0, &[0.5, 0.6], 0.0);
+    let inst = b.build().unwrap();
+
+    let small: Strategy = vec![Triple::new(0, 0, 2)].into_iter().collect();
+    let large: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)].into_iter().collect();
+    assert!(revenue(&inst, &large) < revenue(&inst, &small));
+
+    assert!((global_greedy(&inst).revenue - 0.57).abs() < 1e-9);
+    assert!((sequential_local_greedy(&inst).revenue - 0.5285).abs() < 1e-9);
+    assert!((randomized_local_greedy(&inst, 2, 0).revenue - 0.57).abs() < 1e-9);
+}
+
+/// Example 3: the effective dynamic adoption probability of R-REVMAX with a
+/// capacity-1 item recommended beyond its capacity.
+#[test]
+fn example_3_effective_probability_with_exceeded_capacity() {
+    let mut b = InstanceBuilder::new(3, 1, 2);
+    b.display_limit(1)
+        .capacity(0, 1)
+        .beta(0, 0.5)
+        .constant_price(0, 1.0)
+        .candidate(0, 0, &[0.2, 0.2], 0.0)
+        .candidate(1, 0, &[0.3, 0.3], 0.0)
+        .candidate(2, 0, &[0.4, 0.45], 0.0);
+    let inst = b.build().unwrap();
+    let s: Strategy = vec![
+        Triple::new(0, 0, 1),
+        Triple::new(1, 0, 2),
+        Triple::new(2, 0, 1),
+        Triple::new(2, 0, 2),
+    ]
+    .into_iter()
+    .collect();
+    let eff: std::collections::HashMap<Triple, f64> =
+        effective_probabilities(&inst, &s, &ExactPoissonBinomial).into_iter().collect();
+    let expected = 0.45 * (1.0 - 0.4) * 0.5 * (1.0 - 0.2) * (1.0 - 0.3);
+    assert!((eff[&Triple::new(2, 0, 2)] - expected).abs() < 1e-12);
+}
+
+/// Theorem 1: the Restricted-Timetable-Design reduction — a feasible timetable
+/// reaches the revenue threshold N + Υ·E, and G-Greedy finds a valid strategy
+/// on the reduced instance without exceeding it.
+#[test]
+fn theorem_1_reduction_round_trip() {
+    let rtd = TimetableInstance {
+        available: vec![[true, true, false], [false, true, true]],
+        requires: vec![vec![true, true], vec![true, true]],
+    };
+    assert!(rtd.is_restricted());
+    let expensive = 1_000.0;
+    let inst = rtd.to_revmax(expensive);
+    let assignments: Vec<Assignment> = vec![(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 2)];
+    assert!(rtd.is_feasible_timetable(&assignments));
+    let strategy = rtd.timetable_to_strategy(&assignments);
+    assert!(strategy.validate(&inst).is_ok());
+    let threshold = rtd.threshold(expensive);
+    assert!((revenue(&inst, &strategy) - threshold).abs() < 1e-9);
+
+    // The greedy heuristic stays valid and can never exceed the threshold
+    // (which is the optimum of this construction).
+    let gg = global_greedy(&inst);
+    assert!(gg.strategy.validate(&inst).is_ok());
+    assert!(gg.revenue <= threshold + 1e-9);
+}
+
+/// §3.2: with T = 1 the problem is PTIME — the exact Max-DCS solution upper
+/// bounds every heuristic and respects both constraints.
+#[test]
+fn t1_special_case_is_solved_exactly() {
+    let mut b = InstanceBuilder::new(4, 3, 1);
+    b.display_limit(1)
+        .capacity(0, 1)
+        .capacity(1, 2)
+        .capacity(2, 1)
+        .constant_price(0, 30.0)
+        .constant_price(1, 20.0)
+        .constant_price(2, 10.0);
+    for u in 0..4u32 {
+        b.candidate(u, 0, &[0.2 + 0.1 * u as f64], 0.0);
+        b.candidate(u, 1, &[0.5], 0.0);
+        b.candidate(u, 2, &[0.9], 0.0);
+    }
+    let inst = b.build().unwrap();
+    let exact = solve_t1_exact(&inst);
+    assert!(exact.strategy.validate(&inst).is_ok());
+    // Constraint-respecting algorithms can never beat the exact optimum.
+    for out in [global_greedy(&inst), sequential_local_greedy(&inst)] {
+        assert!(out.strategy.validate(&inst).is_ok());
+        assert!(out.revenue <= exact.weight + 1e-6);
+    }
+    // TopRE ignores the capacity constraint when choosing items, so it may
+    // nominally exceed the *constrained* optimum — but its plan is invalid.
+    let top_re = top_revenue(&inst);
+    assert!(top_re.strategy.validate(&inst).is_err());
+}
