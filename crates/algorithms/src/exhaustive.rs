@@ -27,7 +27,11 @@ pub fn candidate_triples(inst: &Instance) -> Vec<Triple> {
         let item = inst.candidate_item(cand);
         for (t_idx, &q) in inst.candidate_probs(cand).iter().enumerate() {
             if q > 0.0 {
-                out.push(Triple { user, item, t: TimeStep::from_index(t_idx) });
+                out.push(Triple {
+                    user,
+                    item,
+                    t: TimeStep::from_index(t_idx),
+                });
             }
         }
     }
@@ -62,7 +66,11 @@ pub fn exact_optimum(inst: &Instance, max_ground_set: usize) -> ExactOutcome {
             best_strategy = s;
         }
     }
-    ExactOutcome { strategy: best_strategy, revenue: best_revenue, ground_set_size: n }
+    ExactOutcome {
+        strategy: best_strategy,
+        revenue: best_revenue,
+        ground_set_size: n,
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +134,8 @@ mod tests {
     #[test]
     fn ground_set_counts_positive_probability_triples_only() {
         let mut b = InstanceBuilder::new(1, 1, 3);
-        b.constant_price(0, 1.0).candidate(0, 0, &[0.5, 0.0, 0.2], 0.0);
+        b.constant_price(0, 1.0)
+            .candidate(0, 0, &[0.5, 0.0, 0.2], 0.0);
         let inst = b.build().unwrap();
         assert_eq!(candidate_triples(&inst).len(), 2);
         let exact = exact_optimum(&inst, 10);

@@ -7,17 +7,45 @@
 //! implementation-level optimisations from §5.1 are reproduced:
 //!
 //! * the **two-level heap** structure: one small "lower heap" per (user, item)
-//!   candidate pair holding its `T` triples (here a linear scan, since `T ≤ 7`
-//!   in all experiments), and one upper heap over candidate pairs keyed by the
-//!   root of their lower heap;
+//!   candidate pair holding its `T` triples (here a linear scan over a
+//!   struct-of-arrays block, since `T ≤ 7` in all experiments), and one upper
+//!   heap over candidate pairs keyed by the root of their lower heap;
 //! * **lazy forward**: a triple's cached marginal revenue carries a flag equal
 //!   to `|set(u, C(i))|` at computation time; when the triple reaches the root
-//!   of the upper heap, it is re-evaluated only if the flag is stale. This is
-//!   sound because the revenue function is submodular (Theorem 2), so stale
-//!   values only over-estimate.
+//!   of the upper heap, it is re-evaluated only if the flag is stale. The
+//!   paper justifies this via submodularity (Theorem 2); the exact objective
+//!   implemented here is not submodular in all corners (see the notes in
+//!   `crates/core/tests/properties.rs`), so lazy forward is treated as a
+//!   heuristic and the lazy == eager equivalence is asserted empirically.
+//!
+//! The drivers are generic over [`RevenueEngine`]: the default is the
+//! flat-arena [`IncrementalRevenue`]; [`EngineKind::Hash`] selects the
+//! pre-refactor [`HashIncrementalRevenue`] so benches can measure the
+//! refactor's speedup on identical selection sequences.
+//!
+//! Per-candidate cached state is stored struct-of-arrays: flat `values` and
+//! `flags` vectors indexed by `cand * T + t` (blocked slots are encoded as
+//! `NEG_INFINITY` values), replacing the per-candidate triple-`Vec`
+//! allocations of the original implementation. The
+//! initial value pass (`q(u,i,t) · p(i,t)`, embarrassingly parallel over
+//! candidates) is filled by scoped threads cut at user boundaries.
 
 use crate::heap::LazyMaxHeap;
-use revmax_core::{revenue, CandidateId, IncrementalRevenue, Instance, Strategy, TimeStep, Triple};
+use crate::par;
+use revmax_core::{
+    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine,
+    Strategy, TimeStep,
+};
+
+/// Which incremental revenue engine backs a greedy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The flat-arena engine (default): dense group index, no hashing.
+    #[default]
+    Flat,
+    /// The pre-refactor hash-based engine, kept as a measured baseline.
+    Hash,
+}
 
 /// Options controlling the G-Greedy run.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +62,11 @@ pub struct GreedyOptions {
     pub two_level_heaps: bool,
     /// Record the revenue after every selection (Figure 4 traces).
     pub track_trace: bool,
+    /// Incremental engine backing the run.
+    pub engine: EngineKind,
+    /// Fill the initial value table with scoped threads (deterministic; the
+    /// sequential and parallel fills are bit-identical).
+    pub parallel_init: bool,
 }
 
 impl Default for GreedyOptions {
@@ -43,6 +76,8 @@ impl Default for GreedyOptions {
             lazy_forward: true,
             two_level_heaps: true,
             track_trace: false,
+            engine: EngineKind::Flat,
+            parallel_init: true,
         }
     }
 }
@@ -74,57 +109,98 @@ pub fn global_greedy(inst: &Instance) -> GreedyOutcome {
 pub fn global_no_saturation(inst: &Instance) -> GreedyOutcome {
     global_greedy_with(
         inst,
-        &GreedyOptions { ignore_saturation: true, ..GreedyOptions::default() },
+        &GreedyOptions {
+            ignore_saturation: true,
+            ..GreedyOptions::default()
+        },
     )
 }
 
 /// Runs G-Greedy with explicit options.
 pub fn global_greedy_with(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
-    if opts.two_level_heaps {
-        two_level_greedy(inst, opts)
-    } else {
-        giant_heap_greedy(inst, opts)
+    match (opts.engine, opts.two_level_heaps) {
+        (EngineKind::Flat, true) => two_level_greedy::<IncrementalRevenue<'_>>(inst, opts),
+        (EngineKind::Flat, false) => giant_heap_greedy::<IncrementalRevenue<'_>>(inst, opts),
+        (EngineKind::Hash, true) => two_level_greedy::<HashIncrementalRevenue<'_>>(inst, opts),
+        (EngineKind::Hash, false) => giant_heap_greedy::<HashIncrementalRevenue<'_>>(inst, opts),
     }
 }
 
-/// Per-candidate cached state: one slot per time step.
-struct CandidateState {
-    /// Cached marginal revenue per time step (may be stale / over-estimated).
+/// Struct-of-arrays per-candidate cached state: slot `cand * T + t` holds the
+/// cached (possibly stale) marginal revenue and the lazy-forward flag it was
+/// computed under. A blocked (dead) slot is encoded as `NEG_INFINITY` in
+/// `values`, so the per-candidate "lower heap" is a single contiguous max
+/// scan over `T` floats.
+struct CandidateTable {
+    horizon: usize,
     values: Vec<f64>,
-    /// `|set(u, C(i))|` at the time each cached value was computed.
     flags: Vec<u32>,
-    /// Whether the slot is no longer selectable (already selected, or its
-    /// (user, t) display slot is full).
-    blocked: Vec<bool>,
 }
 
-impl CandidateState {
-    fn best(&self) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for (t, (&v, &b)) in self.values.iter().zip(&self.blocked).enumerate() {
-            if b {
-                continue;
-            }
-            if best.map_or(true, |(_, bv)| v > bv) {
-                best = Some((t, v));
+impl CandidateTable {
+    fn new(inst: &Instance, parallel: bool) -> Self {
+        let horizon = inst.horizon() as usize;
+        let n = inst.num_candidates() * horizon;
+        let mut values = vec![f64::NEG_INFINITY; n];
+        let fill = |slot: usize| {
+            let cand = CandidateId((slot / horizon) as u32);
+            let t = TimeStep::from_index(slot % horizon);
+            inst.candidate_prob(cand, t) * inst.price(inst.candidate_item(cand), t)
+        };
+        if parallel && n >= 1 << 14 {
+            par::parallel_fill(&mut values, fill);
+        } else {
+            for (slot, v) in values.iter_mut().enumerate() {
+                *v = fill(slot);
             }
         }
-        best
+        CandidateTable {
+            horizon,
+            values,
+            flags: vec![0; n],
+        }
+    }
+
+    /// Best live slot of a candidate: `(t index, value)`; `None` when every
+    /// slot is blocked.
+    #[inline]
+    fn best(&self, cand: u32) -> Option<(usize, f64)> {
+        let base = cand as usize * self.horizon;
+        let mut best_t = 0usize;
+        let mut best_v = f64::NEG_INFINITY;
+        for (t, &v) in self.values[base..base + self.horizon].iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best_t = t;
+            }
+        }
+        if best_v == f64::NEG_INFINITY {
+            None
+        } else {
+            Some((best_t, best_v))
+        }
+    }
+
+    /// Marks a slot dead (already selected, or its display slot is full).
+    #[inline]
+    fn block(&mut self, cand: u32, t: usize) {
+        self.values[cand as usize * self.horizon + t] = f64::NEG_INFINITY;
+    }
+
+    #[inline]
+    fn is_blocked(&self, cand: u32, t: usize) -> bool {
+        self.values[cand as usize * self.horizon + t] == f64::NEG_INFINITY
+    }
+
+    #[inline]
+    fn slot(&self, cand: u32, t: usize) -> usize {
+        cand as usize * self.horizon + t
     }
 }
 
-fn initial_values(inst: &Instance, cand: CandidateId) -> Vec<f64> {
-    let item = inst.candidate_item(cand);
-    inst.candidate_probs(cand)
-        .iter()
-        .enumerate()
-        .map(|(t_idx, &q)| q * inst.price(item, TimeStep::from_index(t_idx)))
-        .collect()
-}
-
-fn finish(
-    inst: &Instance,
-    inc: IncrementalRevenue<'_>,
+fn finish<'a, E: RevenueEngine<'a>>(
+    inst: &'a Instance,
+    inc: E,
     opts: &GreedyOptions,
     trace: Vec<f64>,
     marginal_evaluations: u64,
@@ -145,91 +221,114 @@ fn finish(
     }
 }
 
-fn two_level_greedy(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
+fn two_level_greedy<'a, E: RevenueEngine<'a>>(
+    inst: &'a Instance,
+    opts: &GreedyOptions,
+) -> GreedyOutcome {
     let horizon = inst.horizon() as usize;
     let num_cand = inst.num_candidates();
-    let mut inc = IncrementalRevenue::with_options(inst, opts.ignore_saturation);
+    let mut inc = E::with_options(inst, opts.ignore_saturation);
     let mut trace = Vec::new();
     let mut evals: u64 = 0;
 
-    let mut states: Vec<CandidateState> = Vec::with_capacity(num_cand);
+    let mut table = CandidateTable::new(inst, opts.parallel_init);
     let mut roots = vec![f64::NEG_INFINITY; num_cand];
-    for cand in inst.candidates() {
-        let values = initial_values(inst, cand);
-        let state = CandidateState {
-            values,
-            flags: vec![0; horizon],
-            blocked: vec![false; horizon],
-        };
-        roots[cand.index()] = state.best().map_or(f64::NEG_INFINITY, |(_, v)| v);
-        states.push(state);
+    for cand in 0..num_cand as u32 {
+        roots[cand as usize] = table.best(cand).map_or(f64::NEG_INFINITY, |(_, v)| v);
     }
     let mut heap = LazyMaxHeap::new(&roots);
     let total_slots = inst.total_slots();
 
-    while (inc.len() as u64) < total_slots {
-        let Some((cand_idx, root_value)) = heap.pop() else { break };
+    'outer: while (inc.len() as u64) < total_slots {
+        let Some((cand_idx, root_value)) = heap.pop() else {
+            break;
+        };
         if root_value <= 0.0 {
             break;
         }
         let cand = CandidateId(cand_idx);
-        let user = inst.candidate_user(cand);
-        let item = inst.candidate_item(cand);
-        let class = inst.class_of(item);
-        let state = &mut states[cand_idx as usize];
-        let Some((best_t, _)) = state.best() else {
-            heap.remove(cand_idx);
-            continue;
-        };
-        let z = Triple { user, item, t: TimeStep::from_index(best_t) };
 
-        if inc.would_violate(z) {
-            if inc.would_violate_display(z) {
+        // Drain display-dead slots of this candidate in one pop instead of one
+        // heap round-trip each — blocking is value-neutral bookkeeping on this
+        // candidate's own slots and display violations are monotone, so the
+        // eager batching commutes with other candidates' operations. If
+        // anything was blocked, the candidate is re-queued at its new best
+        // (never processed immediately, even on an exact value tie), which
+        // keeps the selection sequence identical to the seed driver's
+        // one-block-per-pop behaviour under the heap's id tie-breaking.
+        let mut blocked_any = false;
+        let (best_t, best_v) = loop {
+            let Some((best_t, best_v)) = table.best(cand_idx) else {
+                heap.remove(cand_idx);
+                continue 'outer;
+            };
+            let t = TimeStep::from_index(best_t);
+            if !inc.would_violate_cand(cand, t) {
+                break (best_t, best_v);
+            }
+            if inc.would_violate_display_cand(cand, t) {
                 // The (user, t) slot is full: this time step is dead for this
                 // candidate, other time steps may still be fine.
-                state.blocked[best_t] = true;
-                match state.best() {
-                    Some((_, v)) => heap.update(cand_idx, v),
-                    None => heap.remove(cand_idx),
-                }
+                table.block(cand_idx, best_t);
+                blocked_any = true;
             } else {
                 // Capacity exhausted by other users: the whole candidate dies.
                 heap.remove(cand_idx);
+                continue 'outer;
             }
+        };
+        if blocked_any {
+            debug_assert!(best_v <= root_value);
+            heap.update(cand_idx, best_v);
             continue;
         }
+        let t = TimeStep::from_index(best_t);
 
         // Lazy forward compares the flag against |set(u, C(i))|; the eager
         // ablation compares against the global selection count, forcing a
         // re-evaluation whenever anything was inserted since the last one.
         let stamp = if opts.lazy_forward {
-            inc.group_size(user, class) as u32
+            inc.group_size_cand(cand) as u32
         } else {
             inc.len() as u32
         };
-        let up_to_date = state.flags[best_t] == stamp;
-        if up_to_date {
-            inc.insert(z);
-            state.blocked[best_t] = true;
+        let slot = table.slot(cand_idx, best_t);
+        if table.flags[slot] == stamp {
+            inc.insert_cand(cand, t);
+            table.block(cand_idx, best_t);
             if opts.track_trace {
                 trace.push(inc.revenue());
             }
-            match state.best() {
+            match table.best(cand_idx) {
                 Some((_, v)) => heap.update(cand_idx, v),
                 None => heap.remove(cand_idx),
             }
         } else {
             // Re-evaluate every live triple of this candidate, then re-queue.
-            for t_idx in 0..horizon {
-                if state.blocked[t_idx] {
-                    continue;
+            let base = cand_idx as usize * horizon;
+            if horizon <= 64 {
+                let mut mask = 0u64;
+                for t_idx in 0..horizon {
+                    if !table.is_blocked(cand_idx, t_idx) {
+                        mask |= 1 << t_idx;
+                        table.flags[base + t_idx] = stamp;
+                    }
                 }
-                let triple = Triple { user, item, t: TimeStep::from_index(t_idx) };
-                state.values[t_idx] = inc.marginal_revenue(triple);
-                state.flags[t_idx] = stamp;
-                evals += 1;
+                evals +=
+                    inc.marginal_revenue_batch(cand, mask, &mut table.values[base..base + horizon])
+                        as u64;
+            } else {
+                for t_idx in 0..horizon {
+                    if table.is_blocked(cand_idx, t_idx) {
+                        continue;
+                    }
+                    table.values[base + t_idx] =
+                        inc.marginal_revenue_cand(cand, TimeStep::from_index(t_idx));
+                    table.flags[base + t_idx] = stamp;
+                    evals += 1;
+                }
             }
-            match state.best() {
+            match table.best(cand_idx) {
                 Some((_, v)) => heap.update(cand_idx, v),
                 None => heap.remove(cand_idx),
             }
@@ -239,52 +338,50 @@ fn two_level_greedy(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
     finish(inst, inc, opts, trace, evals)
 }
 
-fn giant_heap_greedy(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
+fn giant_heap_greedy<'a, E: RevenueEngine<'a>>(
+    inst: &'a Instance,
+    opts: &GreedyOptions,
+) -> GreedyOutcome {
     let horizon = inst.horizon() as usize;
-    let num_cand = inst.num_candidates();
-    let mut inc = IncrementalRevenue::with_options(inst, opts.ignore_saturation);
+    let mut inc = E::with_options(inst, opts.ignore_saturation);
     let mut trace = Vec::new();
     let mut evals: u64 = 0;
 
-    // One heap element per candidate triple.
-    let mut values = vec![f64::NEG_INFINITY; num_cand * horizon];
-    let mut flags = vec![0u32; num_cand * horizon];
-    for cand in inst.candidates() {
-        let init = initial_values(inst, cand);
-        values[cand.index() * horizon..(cand.index() + 1) * horizon].copy_from_slice(&init);
-    }
-    let mut heap = LazyMaxHeap::new(&values);
+    // One heap element per candidate triple; the table's value vector doubles
+    // as the initial heap keys.
+    let table = CandidateTable::new(inst, opts.parallel_init);
+    let mut flags = table.flags;
+    let mut heap = LazyMaxHeap::new(&table.values);
     let total_slots = inst.total_slots();
 
     while (inc.len() as u64) < total_slots {
-        let Some((element, value)) = heap.pop() else { break };
+        let Some((element, value)) = heap.pop() else {
+            break;
+        };
         if value <= 0.0 {
             break;
         }
         let cand = CandidateId(element / horizon as u32);
         let t_idx = (element as usize) % horizon;
-        let user = inst.candidate_user(cand);
-        let item = inst.candidate_item(cand);
-        let class = inst.class_of(item);
-        let z = Triple { user, item, t: TimeStep::from_index(t_idx) };
+        let t = TimeStep::from_index(t_idx);
 
-        if inc.would_violate(z) {
+        if inc.would_violate_cand(cand, t) {
             heap.remove(element);
             continue;
         }
         let stamp = if opts.lazy_forward {
-            inc.group_size(user, class) as u32
+            inc.group_size_cand(cand) as u32
         } else {
             inc.len() as u32
         };
         if flags[element as usize] == stamp {
-            inc.insert(z);
+            inc.insert_cand(cand, t);
             heap.remove(element);
             if opts.track_trace {
                 trace.push(inc.revenue());
             }
         } else {
-            let fresh = inc.marginal_revenue(z);
+            let fresh = inc.marginal_revenue_cand(cand, t);
             evals += 1;
             flags[element as usize] = stamp;
             heap.update(element, fresh);
@@ -297,7 +394,7 @@ fn giant_heap_greedy(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use revmax_core::{marginal_revenue, InstanceBuilder};
+    use revmax_core::{marginal_revenue, InstanceBuilder, Triple};
 
     /// Small instance with one class of two items, price drops, and saturation.
     fn small_instance() -> Instance {
@@ -355,7 +452,10 @@ mod tests {
         let inst = small_instance();
         let out = global_greedy_with(
             &inst,
-            &GreedyOptions { track_trace: true, ..Default::default() },
+            &GreedyOptions {
+                track_trace: true,
+                ..Default::default()
+            },
         );
         // The traced objective must be non-decreasing (every accepted marginal > 0).
         for w in out.trace.windows(2) {
@@ -383,7 +483,7 @@ mod tests {
                         continue;
                     }
                     let m = marginal_revenue(&inst, &s, z);
-                    if m > 0.0 && best.map_or(true, |(_, bv)| m > bv) {
+                    if m > 0.0 && best.is_none_or(|(_, bv)| m > bv) {
                         best = Some((z, m));
                     }
                 }
@@ -412,10 +512,40 @@ mod tests {
         let two = global_greedy_with(&inst, &GreedyOptions::default());
         let giant = global_greedy_with(
             &inst,
-            &GreedyOptions { two_level_heaps: false, ..Default::default() },
+            &GreedyOptions {
+                two_level_heaps: false,
+                ..Default::default()
+            },
         );
         assert!((two.revenue - giant.revenue).abs() < 1e-9);
         assert_eq!(two.strategy.len(), giant.strategy.len());
+    }
+
+    #[test]
+    fn flat_and_hash_engines_agree_exactly() {
+        let inst = small_instance();
+        for two_level in [true, false] {
+            let flat = global_greedy_with(
+                &inst,
+                &GreedyOptions {
+                    two_level_heaps: two_level,
+                    ..Default::default()
+                },
+            );
+            let hash = global_greedy_with(
+                &inst,
+                &GreedyOptions {
+                    two_level_heaps: two_level,
+                    engine: EngineKind::Hash,
+                    ..Default::default()
+                },
+            );
+            assert!((flat.revenue - hash.revenue).abs() < 1e-9);
+            assert_eq!(flat.strategy.len(), hash.strategy.len());
+            for z in flat.strategy.iter() {
+                assert!(hash.strategy.contains(z), "strategies diverged at {z}");
+            }
+        }
     }
 
     #[test]
@@ -424,7 +554,10 @@ mod tests {
         let lazy = global_greedy_with(&inst, &GreedyOptions::default());
         let eager = global_greedy_with(
             &inst,
-            &GreedyOptions { lazy_forward: false, ..Default::default() },
+            &GreedyOptions {
+                lazy_forward: false,
+                ..Default::default()
+            },
         );
         assert!((lazy.revenue - eager.revenue).abs() < 1e-9);
         assert!(lazy.marginal_evaluations <= eager.marginal_evaluations);

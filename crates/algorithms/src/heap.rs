@@ -53,7 +53,10 @@ impl LazyMaxHeap {
     pub fn new(values: &[f64]) -> Self {
         let mut heap = BinaryHeap::with_capacity(values.len());
         for (idx, &value) in values.iter().enumerate() {
-            heap.push(Entry { value, element: idx as u32 });
+            heap.push(Entry {
+                value,
+                element: idx as u32,
+            });
         }
         LazyMaxHeap {
             heap,

@@ -33,6 +33,7 @@ pub mod heap;
 pub mod local_greedy;
 pub mod local_search;
 pub mod max_dcs;
+pub mod par;
 pub mod runner;
 pub mod staged;
 
@@ -40,12 +41,13 @@ pub use baselines::{top_rating, top_revenue};
 pub use capacity_oracle::MonteCarloOracle;
 pub use exhaustive::{candidate_triples, exact_optimum, ExactOutcome};
 pub use global_greedy::{
-    global_greedy, global_greedy_with, global_no_saturation, GreedyOptions, GreedyOutcome,
+    global_greedy, global_greedy_with, global_no_saturation, EngineKind, GreedyOptions,
+    GreedyOutcome,
 };
 pub use heap::LazyMaxHeap;
 pub use local_greedy::{
-    local_greedy_with_order, randomized_local_greedy, sample_permutations,
-    sequential_local_greedy,
+    local_greedy_with_order, local_greedy_with_order_opts, randomized_local_greedy,
+    sample_permutations, sequential_local_greedy, LocalGreedyOptions,
 };
 pub use local_search::{
     exact_r_revmax_optimum, is_display_independent, local_search_r_revmax, slot_occupancy,

@@ -6,14 +6,37 @@
 //! random permutations of `[T]`, runs the per-step greedy under each, and
 //! keeps the most profitable strategy (Example 4 of the paper shows why the
 //! chronological order can be suboptimal).
+//!
+//! The per-time-step initial scan (one marginal-revenue evaluation per
+//! candidate) decomposes per user — each user's candidates are CSR-contiguous
+//! and the evaluations are read-only — so it can be filled by scoped threads
+//! cut at user boundaries (see [`crate::par`]). The parallel and sequential
+//! scans are bit-identical, which the equivalence tests assert.
 
-use crate::global_greedy::GreedyOutcome;
+use crate::global_greedy::{EngineKind, GreedyOutcome};
 use crate::heap::LazyMaxHeap;
+use crate::par;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use revmax_core::{IncrementalRevenue, Instance, TimeStep, Triple};
+use revmax_core::{
+    CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine, TimeStep,
+};
 use std::collections::HashSet;
+
+/// Options controlling the local greedy algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalGreedyOptions {
+    /// Incremental engine backing the run.
+    pub engine: EngineKind,
+    /// Fill each time step's initial marginal-revenue scan with scoped
+    /// threads, cut at user boundaries. `None` (default) auto-enables the
+    /// parallel scan on large instances; `Some(x)` forces it on or off.
+    pub parallel_scan: Option<bool>,
+}
+
+/// Candidate count above which the per-step scan defaults to parallel.
+const PARALLEL_SCAN_THRESHOLD: usize = 1 << 13;
 
 /// Runs SL-Greedy: per-time-step greedy in chronological order `1, 2, …, T`.
 pub fn sequential_local_greedy(inst: &Instance) -> GreedyOutcome {
@@ -28,11 +51,41 @@ pub fn sequential_local_greedy(inst: &Instance) -> GreedyOutcome {
 /// (only those time steps receive recommendations), which the incomplete-price
 /// experiments use.
 pub fn local_greedy_with_order(inst: &Instance, order: &[u32]) -> GreedyOutcome {
-    let mut inc = IncrementalRevenue::new(inst);
+    local_greedy_with_order_opts(inst, order, &LocalGreedyOptions::default())
+}
+
+/// [`local_greedy_with_order`] with explicit engine / parallelism options.
+pub fn local_greedy_with_order_opts(
+    inst: &Instance,
+    order: &[u32],
+    opts: &LocalGreedyOptions,
+) -> GreedyOutcome {
+    match opts.engine {
+        EngineKind::Flat => run_order::<IncrementalRevenue<'_>>(inst, order, opts),
+        EngineKind::Hash => run_order::<HashIncrementalRevenue<'_>>(inst, order, opts),
+    }
+}
+
+fn run_order<'a, E: RevenueEngine<'a>>(
+    inst: &'a Instance,
+    order: &[u32],
+    opts: &LocalGreedyOptions,
+) -> GreedyOutcome {
+    let mut inc = E::with_options(inst, false);
     let mut evals = 0u64;
     let mut trace = Vec::new();
+    let parallel = opts
+        .parallel_scan
+        .unwrap_or(inst.num_candidates() >= PARALLEL_SCAN_THRESHOLD);
     for &t in order {
-        run_time_step(inst, &mut inc, TimeStep(t), &mut evals, &mut trace);
+        run_time_step(
+            inst,
+            &mut inc,
+            TimeStep(t),
+            parallel,
+            &mut evals,
+            &mut trace,
+        );
     }
     let revenue = inc.revenue();
     GreedyOutcome {
@@ -46,10 +99,11 @@ pub fn local_greedy_with_order(inst: &Instance, order: &[u32]) -> GreedyOutcome 
 
 /// Greedily fills the recommendation slots of a single time step given the
 /// strategy accumulated so far (lines 5–15 of Algorithm 2, with lazy forward).
-pub(crate) fn run_time_step(
-    inst: &Instance,
-    inc: &mut IncrementalRevenue<'_>,
+pub(crate) fn run_time_step<'a, E: RevenueEngine<'a>>(
+    inst: &'a Instance,
+    inc: &mut E,
     t: TimeStep,
+    parallel_scan: bool,
     evals: &mut u64,
     trace: &mut Vec<f64>,
 ) {
@@ -57,36 +111,42 @@ pub(crate) fn run_time_step(
     if num_cand == 0 {
         return;
     }
+    // Initial scan: one read-only marginal evaluation per candidate. This is
+    // the per-user decomposition — candidates are CSR-contiguous per user, so
+    // cutting at user boundaries gives each worker disjoint users.
     let mut values = vec![f64::NEG_INFINITY; num_cand];
-    let mut flags = vec![0u32; num_cand];
-    for cand in inst.candidates() {
-        let user = inst.candidate_user(cand);
-        let item = inst.candidate_item(cand);
-        let z = Triple { user, item, t };
-        values[cand.index()] = inc.marginal_revenue(z);
-        flags[cand.index()] = inc.group_size(user, inst.class_of(item)) as u32;
-        *evals += 1;
+    let scan = |c: usize| inc.marginal_revenue_cand(CandidateId(c as u32), t);
+    if parallel_scan {
+        let cuts = par::balanced_cuts(inst.user_cand_offsets(), par::worker_count(num_cand));
+        par::fill_by_cuts(&mut values, &cuts, scan);
+    } else {
+        for (c, v) in values.iter_mut().enumerate() {
+            *v = scan(c);
+        }
     }
+    *evals += num_cand as u64;
+    let mut flags = vec![0u32; num_cand];
+    for (c, f) in flags.iter_mut().enumerate() {
+        *f = inc.group_size_cand(CandidateId(c as u32)) as u32;
+    }
+
     let mut heap = LazyMaxHeap::new(&values);
     while let Some((cand_idx, value)) = heap.pop() {
         if value <= 0.0 {
             break;
         }
-        let cand = revmax_core::CandidateId(cand_idx);
-        let user = inst.candidate_user(cand);
-        let item = inst.candidate_item(cand);
-        let z = Triple { user, item, t };
-        if inc.would_violate(z) {
+        let cand = CandidateId(cand_idx);
+        if inc.would_violate_cand(cand, t) {
             heap.remove(cand_idx);
             continue;
         }
-        let group_size = inc.group_size(user, inst.class_of(item)) as u32;
+        let group_size = inc.group_size_cand(cand) as u32;
         if flags[cand_idx as usize] == group_size {
-            inc.insert(z);
+            inc.insert_cand(cand, t);
             heap.remove(cand_idx);
             trace.push(inc.revenue());
         } else {
-            let fresh = inc.marginal_revenue(z);
+            let fresh = inc.marginal_revenue_cand(cand, t);
             *evals += 1;
             flags[cand_idx as usize] = group_size;
             heap.update(cand_idx, fresh);
@@ -119,33 +179,45 @@ pub fn sample_permutations(horizon: u32, n: usize, seed: u64) -> Vec<Vec<u32>> {
 }
 
 /// Runs RL-Greedy: `permutations` random orderings of `[T]`, per-step greedy
-/// under each, best strategy returned. Runs are independent and executed on
-/// scoped threads.
+/// under each, best strategy returned. Independent orders run on scoped
+/// threads; only then is each run's inner scan forced sequential (to avoid
+/// oversubscription) — a single-order or single-core run keeps the default
+/// per-user parallel scan.
 pub fn randomized_local_greedy(inst: &Instance, permutations: usize, seed: u64) -> GreedyOutcome {
     let orders = sample_permutations(inst.horizon(), permutations, seed);
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(orders.len()).max(1);
-    let results: Vec<GreedyOutcome> = if threads <= 1 || orders.len() <= 1 {
-        orders.iter().map(|o| local_greedy_with_order(inst, o)).collect()
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(orders.len())
+        .max(1);
+    let concurrent_orders = threads > 1 && orders.len() > 1;
+    let inner = LocalGreedyOptions {
+        parallel_scan: if concurrent_orders { Some(false) } else { None },
+        ..Default::default()
+    };
+    let results: Vec<GreedyOutcome> = if !concurrent_orders {
+        orders
+            .iter()
+            .map(|o| local_greedy_with_order_opts(inst, o, &inner))
+            .collect()
     } else {
-        let chunks: Vec<Vec<Vec<u32>>> = orders
-            .chunks(orders.len().div_ceil(threads))
-            .map(|c| c.to_vec())
-            .collect();
-        crossbeam::scope(|scope| {
+        let chunks: Vec<&[Vec<u32>]> = orders.chunks(orders.len().div_ceil(threads)).collect();
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         chunk
                             .iter()
-                            .map(|o| local_greedy_with_order(inst, o))
+                            .map(|o| local_greedy_with_order_opts(inst, o, &inner))
                             .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
-        .expect("crossbeam scope failed")
     };
     results
         .into_iter()
@@ -229,6 +301,47 @@ mod tests {
         let rl = randomized_local_greedy(&inst, 6, 3);
         // RL always evaluates the chronological order too.
         assert!(rl.revenue + 1e-9 >= sl.revenue);
+    }
+
+    #[test]
+    fn parallel_and_sequential_scans_are_identical() {
+        let inst = medium_instance();
+        let order: Vec<u32> = (1..=inst.horizon()).collect();
+        let seq = local_greedy_with_order_opts(
+            &inst,
+            &order,
+            &LocalGreedyOptions {
+                parallel_scan: Some(false),
+                ..Default::default()
+            },
+        );
+        let par = local_greedy_with_order_opts(
+            &inst,
+            &order,
+            &LocalGreedyOptions {
+                parallel_scan: Some(true),
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.revenue.to_bits(), par.revenue.to_bits());
+        assert_eq!(seq.strategy.as_slice(), par.strategy.as_slice());
+    }
+
+    #[test]
+    fn hash_engine_reproduces_flat_engine_results() {
+        let inst = medium_instance();
+        let order: Vec<u32> = (1..=inst.horizon()).collect();
+        let flat = local_greedy_with_order(&inst, &order);
+        let hash = local_greedy_with_order_opts(
+            &inst,
+            &order,
+            &LocalGreedyOptions {
+                engine: EngineKind::Hash,
+                ..Default::default()
+            },
+        );
+        assert!((flat.revenue - hash.revenue).abs() < 1e-9);
+        assert_eq!(flat.strategy.len(), hash.strategy.len());
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn local_search_pass(
         let mut s = Strategy::new();
         s.insert(z);
         let v = objective(inst, &s, evals);
-        if best_single.as_ref().map_or(true, |&(_, bv)| v > bv) {
+        if best_single.as_ref().is_none_or(|&(_, bv)| v > bv) {
             best_single = Some((z, v));
         }
     }
@@ -158,13 +158,25 @@ pub fn local_search_r_revmax(
     let (s1, v1) = local_search_pass(inst, &ground, epsilon, &mut evals);
 
     // Second pass on the complement of the first solution.
-    let complement: Vec<Triple> = ground.iter().copied().filter(|z| !s1.contains(*z)).collect();
+    let complement: Vec<Triple> = ground
+        .iter()
+        .copied()
+        .filter(|z| !s1.contains(*z))
+        .collect();
     let (s2, v2) = local_search_pass(inst, &complement, epsilon, &mut evals);
 
     if v1 >= v2 {
-        LocalSearchOutcome { strategy: s1, objective: v1, evaluations: evals }
+        LocalSearchOutcome {
+            strategy: s1,
+            objective: v1,
+            evaluations: evals,
+        }
     } else {
-        LocalSearchOutcome { strategy: s2, objective: v2, evaluations: evals }
+        LocalSearchOutcome {
+            strategy: s2,
+            objective: v2,
+            evaluations: evals,
+        }
     }
 }
 

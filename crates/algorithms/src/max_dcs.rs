@@ -45,14 +45,27 @@ struct MinCostFlow {
 
 impl MinCostFlow {
     fn new(nodes: usize) -> Self {
-        MinCostFlow { graph: vec![Vec::new(); nodes], edges: Vec::new() }
+        MinCostFlow {
+            graph: vec![Vec::new(); nodes],
+            edges: Vec::new(),
+        }
     }
 
     fn add_edge(&mut self, from: usize, to: usize, capacity: i64, cost: i64) -> usize {
         let idx = self.edges.len();
-        self.edges.push(FlowEdge { to, capacity, flow: 0, cost });
+        self.edges.push(FlowEdge {
+            to,
+            capacity,
+            flow: 0,
+            cost,
+        });
         self.graph[from].push(idx);
-        self.edges.push(FlowEdge { to: from, capacity: 0, flow: 0, cost: -cost });
+        self.edges.push(FlowEdge {
+            to: from,
+            capacity: 0,
+            flow: 0,
+            cost: -cost,
+        });
         self.graph[to].push(idx + 1);
         idx
     }
@@ -147,9 +160,14 @@ pub fn solve_t1_exact(inst: &Instance) -> MaxDcsOutcome {
         edge_of_candidate.push((cand, eidx, weight));
         item_connected[item.index()] = true;
     }
-    for i in 0..num_items {
-        if item_connected[i] {
-            mcf.add_edge(item_base + i, sink, inst.capacity(revmax_core::ItemId(i as u32)) as i64, 0);
+    for (i, &connected) in item_connected.iter().enumerate().take(num_items) {
+        if connected {
+            mcf.add_edge(
+                item_base + i,
+                sink,
+                inst.capacity(revmax_core::ItemId(i as u32)) as i64,
+                0,
+            );
         }
     }
     mcf.run_negative_augmentation(source, sink);
@@ -269,7 +287,9 @@ mod tests {
     #[test]
     fn empty_instance_gives_empty_strategy() {
         let mut b = InstanceBuilder::new(2, 2, 1);
-        b.display_limit(1).constant_price(0, 1.0).constant_price(1, 1.0);
+        b.display_limit(1)
+            .constant_price(0, 1.0)
+            .constant_price(1, 1.0);
         b.candidate(0, 0, &[0.0], 0.0);
         let inst = b.build().unwrap();
         let out = solve_t1_exact(&inst);

@@ -1,0 +1,146 @@
+//! Minimal scoped-thread parallelism helpers.
+//!
+//! The build environment ships no external crates, so instead of rayon the
+//! greedy algorithms use `std::thread::scope` over explicit slice partitions.
+//! Two properties matter here:
+//!
+//! * **determinism** — every element of the output slice is a pure function of
+//!   its index, so the parallel and sequential fills produce bit-identical
+//!   results (asserted by the equivalence tests in
+//!   `crates/algorithms/tests/algorithm_properties.rs`);
+//! * **per-user decomposition** — callers cut the candidate axis at user
+//!   boundaries (the CSR layout keeps each user's candidates contiguous), the
+//!   slate-construction decomposition of Keerthi & Tomlin (2007).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for a problem of `len` independent items.
+pub fn worker_count(len: usize) -> usize {
+    if len < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map_or(1, NonZeroUsize::get)
+        .min(len)
+}
+
+/// Cuts `0..total` into at most `pieces` ranges whose boundaries are drawn
+/// from `boundaries` (a non-decreasing prefix array starting at 0 and ending
+/// at `total`, e.g. the CSR `user_cand_start` offsets). Returns the cut
+/// points, including `0` and `total`.
+pub fn balanced_cuts(boundaries: &[u32], pieces: usize) -> Vec<usize> {
+    let total = *boundaries.last().unwrap_or(&0) as usize;
+    let mut cuts = vec![0usize];
+    if total == 0 || pieces <= 1 {
+        cuts.push(total);
+        return cuts;
+    }
+    let mut next_target = total.div_ceil(pieces);
+    for &b in boundaries {
+        let b = b as usize;
+        if b >= next_target && b > *cuts.last().expect("non-empty") && b < total {
+            cuts.push(b);
+            next_target = b + total.div_ceil(pieces);
+        }
+    }
+    cuts.push(total);
+    cuts
+}
+
+/// Fills `out` in parallel: piece `p` spans `cuts[p]..cuts[p + 1]`, and each
+/// element `out[i]` is set to `f(i)`. Falls back to a sequential fill when
+/// only one piece is given.
+pub fn fill_by_cuts<T, F>(out: &mut [T], cuts: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    debug_assert_eq!(cuts.first(), Some(&0));
+    debug_assert_eq!(cuts.last(), Some(&out.len()));
+    if cuts.len() <= 2 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let f = &f;
+        for w in cuts.windows(2) {
+            let (piece, tail) = rest.split_at_mut(w[1] - w[0]);
+            rest = tail;
+            let start = w[0];
+            scope.spawn(move || {
+                for (i, slot) in piece.iter_mut().enumerate() {
+                    *slot = f(start + i);
+                }
+            });
+        }
+    });
+}
+
+/// Convenience: parallel fill of `out` where `out[i] = f(i)`, cut into
+/// `worker_count` even pieces (no boundary constraints).
+pub fn parallel_fill<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = out.len();
+    let workers = worker_count(len);
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    let mut cuts: Vec<usize> = (0..=workers).map(|p| (p * chunk).min(len)).collect();
+    cuts.dedup();
+    fill_by_cuts(out, &cuts, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_fill_matches_sequential() {
+        let mut par = vec![0u64; 10_001];
+        parallel_fill(&mut par, |i| (i as u64).wrapping_mul(2654435761));
+        let seq: Vec<u64> = (0..10_001)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn balanced_cuts_respect_boundaries() {
+        // CSR-style offsets: 4 users with 3, 1, 4, 2 candidates.
+        let offsets = [0u32, 3, 4, 8, 10];
+        let cuts = balanced_cuts(&offsets, 3);
+        assert_eq!(*cuts.first().unwrap(), 0);
+        assert_eq!(*cuts.last().unwrap(), 10);
+        for w in cuts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for c in &cuts {
+            assert!(offsets.contains(&(*c as u32)));
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_degenerate_cases() {
+        assert_eq!(balanced_cuts(&[0], 4), vec![0, 0]);
+        assert_eq!(balanced_cuts(&[0, 5], 1), vec![0, 5]);
+        // One giant user cannot be split.
+        assert_eq!(balanced_cuts(&[0, 100], 4), vec![0, 100]);
+    }
+
+    #[test]
+    fn fill_by_cuts_single_piece_is_sequential() {
+        let mut out = vec![0usize; 5];
+        fill_by_cuts(&mut out, &[0, 5], |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+}

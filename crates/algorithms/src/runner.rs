@@ -105,9 +105,10 @@ pub fn run(inst: &Instance, algorithm: &Algorithm, seed: u64) -> RunReport {
         Algorithm::TopRating => top_rating(inst),
         Algorithm::TopRevenue => top_revenue(inst),
         Algorithm::StagedGlobalGreedy { stage_ends } => global_greedy_staged(inst, stage_ends),
-        Algorithm::StagedRandomizedLocalGreedy { stage_ends, permutations } => {
-            randomized_local_greedy_staged(inst, stage_ends, *permutations, seed)
-        }
+        Algorithm::StagedRandomizedLocalGreedy {
+            stage_ends,
+            permutations,
+        } => randomized_local_greedy_staged(inst, stage_ends, *permutations, seed),
     };
     let elapsed = start.elapsed();
     RunReport {
@@ -149,14 +150,20 @@ mod tests {
     fn every_algorithm_runs_and_produces_valid_output() {
         let inst = instance();
         let mut algorithms = Algorithm::paper_lineup();
-        algorithms.push(Algorithm::StagedGlobalGreedy { stage_ends: vec![2] });
+        algorithms.push(Algorithm::StagedGlobalGreedy {
+            stage_ends: vec![2],
+        });
         algorithms.push(Algorithm::StagedRandomizedLocalGreedy {
             stage_ends: vec![2],
             permutations: 4,
         });
         for alg in algorithms {
             let report = run(&inst, &alg, 11);
-            assert!(report.revenue >= 0.0, "{} produced negative revenue", report.algorithm);
+            assert!(
+                report.revenue >= 0.0,
+                "{} produced negative revenue",
+                report.algorithm
+            );
             assert_eq!(report.strategy_size, report.outcome.strategy.len());
             assert!(report.outcome.strategy.satisfies_display(&inst));
             if !matches!(alg, Algorithm::TopRating | Algorithm::TopRevenue) {
@@ -170,15 +177,25 @@ mod tests {
         assert_eq!(Algorithm::GlobalGreedy.name(), "GG");
         assert_eq!(Algorithm::GlobalNoSaturation.name(), "GG-No");
         assert_eq!(Algorithm::SequentialLocalGreedy.name(), "SLG");
-        assert_eq!(Algorithm::RandomizedLocalGreedy { permutations: 20 }.name(), "RLG");
+        assert_eq!(
+            Algorithm::RandomizedLocalGreedy { permutations: 20 }.name(),
+            "RLG"
+        );
         assert_eq!(Algorithm::TopRating.name(), "TopRat");
         assert_eq!(Algorithm::TopRevenue.name(), "TopRev");
         assert_eq!(
-            Algorithm::StagedGlobalGreedy { stage_ends: vec![4] }.name(),
+            Algorithm::StagedGlobalGreedy {
+                stage_ends: vec![4]
+            }
+            .name(),
             "GG_4"
         );
         assert_eq!(
-            Algorithm::StagedRandomizedLocalGreedy { stage_ends: vec![2], permutations: 5 }.name(),
+            Algorithm::StagedRandomizedLocalGreedy {
+                stage_ends: vec![2],
+                permutations: 5
+            }
+            .name(),
             "RLG_2"
         );
         assert_eq!(Algorithm::paper_lineup().len(), 6);

@@ -10,7 +10,7 @@
 use crate::global_greedy::GreedyOutcome;
 use crate::heap::LazyMaxHeap;
 use crate::local_greedy::{run_time_step, sample_permutations};
-use revmax_core::{CandidateId, IncrementalRevenue, Instance, TimeStep, Triple};
+use revmax_core::{CandidateId, IncrementalRevenue, Instance, RevenueEngine as _, TimeStep};
 
 /// Expands stage end points (e.g. `[2, 7]`) into inclusive time ranges
 /// (`[(1,2), (3,7)]`). The last stage is extended to the horizon if needed.
@@ -46,14 +46,10 @@ pub fn global_greedy_staged(inst: &Instance, stage_ends: &[u32]) -> GreedyOutcom
         let mut values = vec![f64::NEG_INFINITY; num_elements];
         let mut flags = vec![0u32; num_elements];
         for cand in inst.candidates() {
-            let user = inst.candidate_user(cand);
-            let item = inst.candidate_item(cand);
-            let class = inst.class_of(item);
             for t in lo..=hi {
-                let z = Triple { user, item, t: TimeStep(t) };
                 let element = cand.index() * horizon + (t as usize - 1);
-                values[element] = inc.marginal_revenue(z);
-                flags[element] = inc.group_size(user, class) as u32;
+                values[element] = inc.marginal_revenue_cand(cand, TimeStep(t));
+                flags[element] = inc.group_size_cand(cand) as u32;
                 evals += 1;
             }
         }
@@ -63,21 +59,18 @@ pub fn global_greedy_staged(inst: &Instance, stage_ends: &[u32]) -> GreedyOutcom
                 break;
             }
             let cand = CandidateId(element / horizon as u32);
-            let t_idx = (element as usize) % horizon;
-            let user = inst.candidate_user(cand);
-            let item = inst.candidate_item(cand);
-            let z = Triple { user, item, t: TimeStep::from_index(t_idx) };
-            if inc.would_violate(z) {
+            let t = TimeStep::from_index((element as usize) % horizon);
+            if inc.would_violate_cand(cand, t) {
                 heap.remove(element);
                 continue;
             }
-            let group_size = inc.group_size(user, inst.class_of(item)) as u32;
+            let group_size = inc.group_size_cand(cand) as u32;
             if flags[element as usize] == group_size {
-                inc.insert(z);
+                inc.insert_cand(cand, t);
                 heap.remove(element);
                 trace.push(inc.revenue());
             } else {
-                let fresh = inc.marginal_revenue(z);
+                let fresh = inc.marginal_revenue_cand(cand, t);
                 evals += 1;
                 flags[element as usize] = group_size;
                 heap.update(element, fresh);
@@ -119,11 +112,18 @@ pub fn randomized_local_greedy_staged(
             let mut candidate_trace = Vec::new();
             for &offset in order {
                 let t = TimeStep(lo + offset - 1);
-                run_time_step(inst, &mut candidate_inc, t, &mut candidate_evals, &mut candidate_trace);
+                run_time_step(
+                    inst,
+                    &mut candidate_inc,
+                    t,
+                    false,
+                    &mut candidate_evals,
+                    &mut candidate_trace,
+                );
             }
             if best
                 .as_ref()
-                .map_or(true, |(b, _, _)| candidate_inc.revenue() > b.revenue())
+                .is_none_or(|(b, _, _)| candidate_inc.revenue() > b.revenue())
             {
                 best = Some((candidate_inc, candidate_evals, candidate_trace));
             }

@@ -1,87 +1,52 @@
-//! Cross-cutting property and integration tests for the algorithm suite:
+//! Seeded randomized property and integration tests for the algorithm suite:
 //! greedy validity and quality against the exact optimum on tiny instances,
-//! the Max-DCS upper bound for `T = 1`, the local-search guarantee, and
-//! end-to-end runs on generated datasets.
+//! engine (flat vs hash) and parallelism equivalence, the Max-DCS upper bound
+//! for `T = 1`, the local-search guarantee, and end-to-end runs on generated
+//! datasets.
 
-use proptest::prelude::*;
-use proptest::strategy::Strategy as _;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use revmax_algorithms::{
-    exact_optimum, global_greedy, global_greedy_with, local_search_r_revmax,
-    randomized_local_greedy, run, sequential_local_greedy, solve_t1_exact, top_rating,
-    top_revenue, Algorithm, GreedyOptions,
+    exact_optimum, global_greedy, global_greedy_with, local_greedy_with_order_opts,
+    local_search_r_revmax, randomized_local_greedy, run, sequential_local_greedy, solve_t1_exact,
+    top_rating, top_revenue, Algorithm, EngineKind, GreedyOptions, LocalGreedyOptions,
 };
 use revmax_core::{revenue, Instance, InstanceBuilder};
 use revmax_data::{generate, DatasetConfig};
 
-/// Raw material for a random small instance.
-#[derive(Debug, Clone)]
-struct SmallInstance {
-    num_users: u32,
-    num_items: u32,
-    horizon: u32,
-    display_limit: u32,
-    classes: Vec<u32>,
-    betas: Vec<f64>,
-    capacities: Vec<u32>,
-    prices: Vec<Vec<f64>>,
-    probs: Vec<Vec<f64>>,
-}
-
-impl SmallInstance {
-    fn build(&self) -> Instance {
-        let mut b = InstanceBuilder::new(self.num_users, self.num_items, self.horizon);
-        b.display_limit(self.display_limit);
-        for item in 0..self.num_items as usize {
-            b.item_class(item as u32, self.classes[item]);
-            b.beta(item as u32, self.betas[item]);
-            b.capacity(item as u32, self.capacities[item]);
-            b.prices(item as u32, &self.prices[item]);
-        }
-        for user in 0..self.num_users as usize {
-            for item in 0..self.num_items as usize {
-                let probs = &self.probs[user * self.num_items as usize + item];
-                if probs.iter().any(|&p| p > 0.0) {
-                    b.candidate(user as u32, item as u32, probs, probs[0] * 5.0);
-                }
+/// Draws a random small instance (2–3 users, 2–4 items, horizon 1–3).
+fn random_small_instance(rng: &mut StdRng) -> Instance {
+    let num_users = rng.gen_range(2u32..=3);
+    let num_items = rng.gen_range(2u32..=4);
+    let horizon = rng.gen_range(1u32..=3);
+    let mut b = InstanceBuilder::new(num_users, num_items, horizon);
+    b.display_limit(rng.gen_range(1u32..=2));
+    for item in 0..num_items {
+        b.item_class(item, rng.gen_range(0u32..2));
+        b.beta(item, rng.gen_range(0.0..=1.0));
+        b.capacity(item, rng.gen_range(1u32..=3));
+        let prices: Vec<f64> = (0..horizon).map(|_| rng.gen_range(1.0..30.0)).collect();
+        b.prices(item, &prices);
+    }
+    for user in 0..num_users {
+        for item in 0..num_items {
+            let probs: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.0..=1.0)).collect();
+            if probs.iter().any(|&p| p > 0.0) {
+                b.candidate(user, item, &probs, probs[0] * 5.0);
             }
         }
-        b.build().expect("random instance must build")
     }
+    b.build().expect("random instance must build")
 }
 
-fn small_instances() -> impl proptest::strategy::Strategy<Value = SmallInstance> {
-    (2u32..=3, 2u32..=4, 1u32..=3, 1u32..=2).prop_flat_map(|(nu, ni, t, k)| {
-        let pairs = (nu * ni) as usize;
-        (
-            proptest::collection::vec(0u32..2, ni as usize),
-            proptest::collection::vec(0.0f64..=1.0, ni as usize),
-            proptest::collection::vec(1u32..=3, ni as usize),
-            proptest::collection::vec(proptest::collection::vec(1.0f64..30.0, t as usize), ni as usize),
-            proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, t as usize), pairs),
-        )
-            .prop_map(move |(classes, betas, capacities, prices, probs)| SmallInstance {
-                num_users: nu,
-                num_items: ni,
-                horizon: t,
-                display_limit: k,
-                classes,
-                betas,
-                capacities,
-                prices,
-                probs,
-            })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every greedy algorithm emits a valid strategy whose reported revenue
-    /// matches an independent re-evaluation, and the first greedy pick means
-    /// revenue at least matches the best isolated triple.
-    #[test]
-    fn greedy_outputs_are_valid_and_consistent(si in small_instances()) {
-        let inst = si.build();
+/// Every greedy algorithm emits a valid strategy whose reported revenue
+/// matches an independent re-evaluation, and G-Greedy's revenue at least
+/// matches the best isolated triple (its first pick).
+#[test]
+fn greedy_outputs_are_valid_and_consistent() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for case in 0..48 {
+        let inst = random_small_instance(&mut rng);
         let best_single = revmax_algorithms::candidate_triples(&inst)
             .into_iter()
             .map(|z| inst.isolated_revenue(z))
@@ -91,68 +56,188 @@ proptest! {
             (false, sequential_local_greedy(&inst)),
             (false, randomized_local_greedy(&inst, 3, 1)),
         ] {
-            prop_assert!(out.strategy.validate(&inst).is_ok());
-            prop_assert!((out.revenue - revenue(&inst, &out.strategy)).abs() < 1e-9);
-            prop_assert!(out.revenue >= 0.0);
+            assert!(out.strategy.validate(&inst).is_ok(), "case {case}");
+            assert!(
+                (out.revenue - revenue(&inst, &out.strategy)).abs() < 1e-9,
+                "case {case}: reported {} vs re-evaluated {}",
+                out.revenue,
+                revenue(&inst, &out.strategy)
+            );
+            assert!(out.revenue >= 0.0, "case {case}");
             // Only G-Greedy picks the globally best isolated triple first and
             // then never decreases the objective; the local greedy algorithms
             // can be trapped by the chronological order (Example 4).
             if is_global {
-                prop_assert!(out.revenue + 1e-9 >= best_single,
-                    "greedy revenue {} below best isolated triple {}", out.revenue, best_single);
+                assert!(
+                    out.revenue + 1e-9 >= best_single,
+                    "case {case}: greedy revenue {} below best isolated triple {best_single}",
+                    out.revenue
+                );
             }
         }
     }
+}
 
-    /// Greedy never exceeds the exact optimum, and lazy-forward / heap-layout
-    /// choices do not change the greedy result.
-    #[test]
-    fn greedy_below_optimum_and_invariant_to_internals(si in small_instances()) {
-        let inst = si.build();
+/// Greedy never exceeds the exact optimum, and lazy-forward / heap-layout /
+/// engine choices do not change the greedy result.
+#[test]
+fn greedy_below_optimum_and_invariant_to_internals() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut checked = 0;
+    for case in 0..60 {
+        let inst = random_small_instance(&mut rng);
         if revmax_algorithms::candidate_triples(&inst).len() > 18 {
-            return Ok(());
+            continue;
         }
+        checked += 1;
         let opt = exact_optimum(&inst, 18);
         let base = global_greedy(&inst);
-        prop_assert!(base.revenue <= opt.revenue + 1e-9);
-        let eager = global_greedy_with(&inst, &GreedyOptions { lazy_forward: false, ..Default::default() });
-        let giant = global_greedy_with(&inst, &GreedyOptions { two_level_heaps: false, ..Default::default() });
-        prop_assert!((base.revenue - eager.revenue).abs() < 1e-9);
-        prop_assert!((base.revenue - giant.revenue).abs() < 1e-9);
-        prop_assert!(base.marginal_evaluations <= eager.marginal_evaluations);
+        assert!(
+            base.revenue <= opt.revenue + 1e-9,
+            "case {case}: greedy beat the optimum"
+        );
+        let eager = global_greedy_with(
+            &inst,
+            &GreedyOptions {
+                lazy_forward: false,
+                ..Default::default()
+            },
+        );
+        let giant = global_greedy_with(
+            &inst,
+            &GreedyOptions {
+                two_level_heaps: false,
+                ..Default::default()
+            },
+        );
+        let hash = global_greedy_with(
+            &inst,
+            &GreedyOptions {
+                engine: EngineKind::Hash,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (base.revenue - eager.revenue).abs() < 1e-9,
+            "case {case}: lazy != eager"
+        );
+        assert!(
+            (base.revenue - giant.revenue).abs() < 1e-9,
+            "case {case}: two-level != giant"
+        );
+        assert!(
+            (base.revenue - hash.revenue).abs() < 1e-9,
+            "case {case}: flat != hash engine"
+        );
+        assert!(
+            base.marginal_evaluations <= eager.marginal_evaluations,
+            "case {case}"
+        );
     }
+    assert!(
+        checked >= 10,
+        "generator produced too few small instances ({checked})"
+    );
+}
 
-    /// For T = 1 the Max-DCS solver is exact: no heuristic beats it, and its
-    /// weight equals the dynamic revenue of its strategy when k = 1.
-    #[test]
-    fn t1_max_dcs_upper_bounds_greedy(si in small_instances()) {
-        if si.horizon != 1 {
-            return Ok(());
+/// The parallel per-user scan and the sequential scan of local greedy produce
+/// bit-identical revenues and identical strategies, for both engines.
+#[test]
+fn parallel_local_greedy_equals_sequential() {
+    let mut rng = StdRng::seed_from_u64(47);
+    for case in 0..30 {
+        let inst = random_small_instance(&mut rng);
+        let order: Vec<u32> = (1..=inst.horizon()).collect();
+        for engine in [EngineKind::Flat, EngineKind::Hash] {
+            let seq = local_greedy_with_order_opts(
+                &inst,
+                &order,
+                &LocalGreedyOptions {
+                    engine,
+                    parallel_scan: Some(false),
+                },
+            );
+            let par = local_greedy_with_order_opts(
+                &inst,
+                &order,
+                &LocalGreedyOptions {
+                    engine,
+                    parallel_scan: Some(true),
+                },
+            );
+            assert_eq!(
+                seq.revenue.to_bits(),
+                par.revenue.to_bits(),
+                "case {case} ({engine:?}): parallel scan changed the revenue"
+            );
+            assert_eq!(
+                seq.strategy.as_slice(),
+                par.strategy.as_slice(),
+                "case {case} ({engine:?}): parallel scan changed the strategy"
+            );
         }
-        let inst = si.build();
+    }
+}
+
+/// For T = 1 the Max-DCS solver is exact: no heuristic beats it, and its
+/// weight equals the dynamic revenue of its strategy when k = 1.
+#[test]
+fn t1_max_dcs_upper_bounds_greedy() {
+    let mut rng = StdRng::seed_from_u64(53);
+    let mut checked = 0;
+    for case in 0..80 {
+        let inst = random_small_instance(&mut rng);
+        if inst.horizon() != 1 {
+            continue;
+        }
+        checked += 1;
         let exact = solve_t1_exact(&inst);
         let gg = global_greedy(&inst);
-        prop_assert!(gg.revenue <= exact.weight + 1e-6);
-        if si.display_limit == 1 {
-            prop_assert!((exact.weight - revenue(&inst, &exact.strategy)).abs() < 1e-6);
+        assert!(
+            gg.revenue <= exact.weight + 1e-6,
+            "case {case}: greedy {} beat exact {}",
+            gg.revenue,
+            exact.weight
+        );
+        if inst.display_limit() == 1 {
+            assert!(
+                (exact.weight - revenue(&inst, &exact.strategy)).abs() < 1e-6,
+                "case {case}"
+            );
         }
     }
+    assert!(
+        checked >= 10,
+        "generator produced too few T=1 instances ({checked})"
+    );
+}
 
-    /// Local search on R-REVMAX satisfies its 1/(4+ε) guarantee against the
-    /// exact R-REVMAX optimum.
-    #[test]
-    fn local_search_guarantee_holds(si in small_instances()) {
-        let inst = si.build();
+/// Local search on R-REVMAX satisfies its 1/(4+ε) guarantee against the
+/// exact R-REVMAX optimum.
+#[test]
+fn local_search_guarantee_holds() {
+    let mut rng = StdRng::seed_from_u64(59);
+    let mut checked = 0;
+    for case in 0..60 {
+        let inst = random_small_instance(&mut rng);
         let ground = revmax_algorithms::candidate_triples(&inst).len();
         if ground == 0 || ground > 12 {
-            return Ok(());
+            continue;
         }
+        checked += 1;
         let ls = local_search_r_revmax(&inst, 1.0, 12);
         let (_, opt) = revmax_algorithms::exact_r_revmax_optimum(&inst, 12);
-        prop_assert!(ls.objective >= opt / 5.0 - 1e-9,
-            "local search {} below 1/5 of optimum {}", ls.objective, opt);
-        prop_assert!(ls.objective <= opt + 1e-9);
+        assert!(
+            ls.objective >= opt / 5.0 - 1e-9,
+            "case {case}: local search {} below 1/5 of optimum {opt}",
+            ls.objective
+        );
+        assert!(ls.objective <= opt + 1e-9, "case {case}");
     }
+    assert!(
+        checked >= 5,
+        "generator produced too few tiny instances ({checked})"
+    );
 }
 
 #[test]
@@ -168,7 +253,10 @@ fn generated_dataset_end_to_end_ranking() {
     // (5000 for 23K users): the baselines ignore capacity when selecting, so a
     // tightly capacity-bound instance would compare them unfairly against the
     // constraint-respecting algorithms.
-    config.capacity = revmax_data::CapacityDistribution::Gaussian { mean: 30.0, std: 4.0 };
+    config.capacity = revmax_data::CapacityDistribution::Gaussian {
+        mean: 30.0,
+        std: 4.0,
+    };
     let ds = generate(&config);
     let inst = &ds.instance;
 
@@ -183,9 +271,13 @@ fn generated_dataset_end_to_end_ranking() {
     assert!(rlg.strategy.validate(inst).is_ok());
 
     assert!(gg.revenue > 0.0);
+    // GG and RLG are both near-optimal on such datasets; on individual
+    // instances either can edge out the other by a hair, so compare with a 2%
+    // band rather than strictly (the strict claims below are the qualitative
+    // ranking of the paper: dynamic algorithms beat static baselines).
     assert!(
-        gg.revenue + 1e-9 >= rlg.revenue && rlg.revenue + 1e-9 >= slg.revenue * 0.999,
-        "expected GG ≥ RLG ≥ SLG, got {} / {} / {}",
+        gg.revenue >= rlg.revenue * 0.98 && rlg.revenue + 1e-9 >= slg.revenue * 0.999,
+        "expected GG ≈≥ RLG ≥ SLG, got {} / {} / {}",
         gg.revenue,
         rlg.revenue,
         slg.revenue
@@ -244,4 +336,28 @@ fn saturation_ablation_loses_revenue_on_saturated_datasets() {
         aware.revenue,
         oblivious.revenue
     );
+}
+
+/// G-Greedy on a mid-size generated dataset: flat and hash engines must pick
+/// identical strategies (the refactor changes speed, not behaviour).
+#[test]
+fn engines_agree_on_generated_dataset() {
+    let mut config = DatasetConfig::tiny();
+    config.num_users = 50;
+    config.num_items = 30;
+    config.candidates_per_user = 12;
+    let ds = generate(&config);
+    let flat = global_greedy_with(&ds.instance, &GreedyOptions::default());
+    let hash = global_greedy_with(
+        &ds.instance,
+        &GreedyOptions {
+            engine: EngineKind::Hash,
+            ..Default::default()
+        },
+    );
+    assert!((flat.revenue - hash.revenue).abs() < 1e-9);
+    assert_eq!(flat.strategy.len(), hash.strategy.len());
+    for z in flat.strategy.iter() {
+        assert!(hash.strategy.contains(z), "strategies diverged at {z}");
+    }
 }

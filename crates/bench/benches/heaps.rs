@@ -17,8 +17,14 @@ fn bench_heap_layouts(c: &mut Criterion) {
     });
     group.bench_function("giant_heap", |b| {
         b.iter(|| {
-            global_greedy_with(inst, &GreedyOptions { two_level_heaps: false, ..Default::default() })
-                .revenue
+            global_greedy_with(
+                inst,
+                &GreedyOptions {
+                    two_level_heaps: false,
+                    ..Default::default()
+                },
+            )
+            .revenue
         })
     });
     group.finish();

@@ -16,8 +16,14 @@ fn bench_lazy_forward(c: &mut Criterion) {
     });
     group.bench_function("eager", |b| {
         b.iter(|| {
-            global_greedy_with(inst, &GreedyOptions { lazy_forward: false, ..Default::default() })
-                .marginal_evaluations
+            global_greedy_with(
+                inst,
+                &GreedyOptions {
+                    lazy_forward: false,
+                    ..Default::default()
+                },
+            )
+            .marginal_evaluations
         })
     });
     group.finish();

@@ -18,9 +18,17 @@ fn bench_substrates(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut ratings = RatingSet::new(300, 150);
     for _ in 0..6000 {
-        ratings.push(rng.gen_range(0..300), rng.gen_range(0..150), rng.gen_range(1.0..=5.0));
+        ratings.push(
+            rng.gen_range(0..300),
+            rng.gen_range(0..150),
+            rng.gen_range(1.0..=5.0),
+        );
     }
-    let mf_config = MfConfig { factors: 8, epochs: 10, ..Default::default() };
+    let mf_config = MfConfig {
+        factors: 8,
+        epochs: 10,
+        ..Default::default()
+    };
     group.bench_function("mf_train_6k_ratings", |b| {
         b.iter(|| MatrixFactorization::train(&ratings, &mf_config).num_users())
     });
@@ -37,7 +45,9 @@ fn bench_substrates(c: &mut Criterion) {
     // Revenue evaluation of a full greedy strategy.
     let ds = generate(&DatasetConfig::tiny());
     let strategy = global_greedy(&ds.instance).strategy;
-    group.bench_function("revenue_evaluation", |b| b.iter(|| revenue(&ds.instance, &strategy)));
+    group.bench_function("revenue_evaluation", |b| {
+        b.iter(|| revenue(&ds.instance, &strategy))
+    });
 
     group.finish();
 }

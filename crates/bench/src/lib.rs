@@ -9,4 +9,12 @@
 //! * `oracle` — exact vs Monte-Carlo capacity oracle;
 //! * `substrates` — MF training, KDE, revenue evaluation.
 //!
-//! This crate intentionally has no library code of its own.
+//! The library part of this crate holds [`legacy`]: a frozen copy of the
+//! seed's pre-refactor G-Greedy used as the measured baseline of the perf
+//! trajectory (`BENCH_greedy.json`, emitted by the `bench_greedy` binary).
+
+#![warn(missing_docs)]
+
+pub mod legacy;
+
+pub use legacy::seed_global_greedy;

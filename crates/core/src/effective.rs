@@ -34,8 +34,8 @@ impl CapacityOracle for ExactPoissonBinomial {
             return 1.0;
         }
         let cap = limit as usize + 1; // states 0..=limit, plus an absorbing ">limit"
-        // dist[c] = Pr[count == c] for c <= limit; overflow mass is dropped
-        // (we only need Pr[count <= limit]).
+                                      // dist[c] = Pr[count == c] for c <= limit; overflow mass is dropped
+                                      // (we only need Pr[count <= limit]).
         let mut dist = vec![0.0_f64; cap];
         dist[0] = 1.0;
         for &p in probs {
@@ -160,13 +160,17 @@ mod tests {
         .into_iter()
         .collect();
         let oracle = ExactPoissonBinomial;
-        let eff: HashMap<Triple, f64> =
-            effective_probabilities(&inst, &s, &oracle).into_iter().collect();
+        let eff: HashMap<Triple, f64> = effective_probabilities(&inst, &s, &oracle)
+            .into_iter()
+            .collect();
         // E(w, i, 2) = q(w,i,2) * (1-q(w,i,1)) * 0.5^{1/1} * Pr[neither u@1 nor v@2 adopt]
         //            = q(w,i,2) * (1-q(w,i,1)) * 0.5 * (1-q(u,i,1)) * (1-q(v,i,2))
         let expected = 0.45 * (1.0 - 0.4) * 0.5 * (1.0 - 0.3) * (1.0 - 0.35);
         let got = eff[&Triple::new(2, 0, 2)];
-        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]

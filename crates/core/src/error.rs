@@ -23,11 +23,25 @@ pub enum BuildError {
     /// A price was negative or not finite.
     InvalidPrice { item: u32, t: u32, price: f64 },
     /// A primitive adoption probability was outside `[0, 1]` or not finite.
-    InvalidProbability { user: u32, item: u32, t: u32, prob: f64 },
+    InvalidProbability {
+        user: u32,
+        item: u32,
+        t: u32,
+        prob: f64,
+    },
     /// The price series for an item has the wrong length (must equal the horizon).
-    PriceSeriesLength { item: u32, expected: usize, got: usize },
+    PriceSeriesLength {
+        item: u32,
+        expected: usize,
+        got: usize,
+    },
     /// The probability series for a candidate has the wrong length (must equal the horizon).
-    ProbabilitySeriesLength { user: u32, item: u32, expected: usize, got: usize },
+    ProbabilitySeriesLength {
+        user: u32,
+        item: u32,
+        expected: usize,
+        got: usize,
+    },
     /// The same (user, item) candidate was added twice.
     DuplicateCandidate { user: u32, item: u32 },
     /// An item was never assigned prices.
@@ -137,6 +151,21 @@ impl fmt::Display for ConstraintViolation {
 
 impl Error for ConstraintViolation {}
 
+/// Error raised while parsing a serialised [`crate::Strategy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyParseError {
+    /// Human-readable description of the malformed input.
+    pub message: String,
+}
+
+impl fmt::Display for StrategyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid strategy encoding: {}", self.message)
+    }
+}
+
+impl Error for StrategyParseError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,14 +176,24 @@ mod tests {
         assert!(e.to_string().contains("1.5"));
         assert!(e.to_string().contains("item 3"));
 
-        let e = BuildError::InvalidProbability { user: 1, item: 2, t: 3, prob: -0.1 };
+        let e = BuildError::InvalidProbability {
+            user: 1,
+            item: 2,
+            t: 3,
+            prob: -0.1,
+        };
         let msg = e.to_string();
         assert!(msg.contains("user 1") && msg.contains("item 2"));
     }
 
     #[test]
     fn violation_messages_mention_limits() {
-        let v = ConstraintViolation::Display { user: UserId(0), t: 1, count: 4, limit: 3 };
+        let v = ConstraintViolation::Display {
+            user: UserId(0),
+            t: 1,
+            count: 4,
+            limit: 3,
+        };
         assert!(v.to_string().contains("k = 3"));
         let v = ConstraintViolation::Capacity {
             item: ItemId(9),
@@ -168,6 +207,8 @@ mod tests {
     fn errors_are_std_errors() {
         fn assert_err<E: Error>(_e: &E) {}
         assert_err(&BuildError::EmptyHorizon);
-        assert_err(&ConstraintViolation::OutOfRange { triple: Triple::new(0, 0, 1) });
+        assert_err(&ConstraintViolation::OutOfRange {
+            triple: Triple::new(0, 0, 1),
+        });
     }
 }

@@ -5,26 +5,25 @@
 //! can be written exactly as in Equation (1). Helpers convert to 0-based indices
 //! for array storage.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a user (`u ∈ U`).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct UserId(pub u32);
 
 /// Identifier of an item (`i ∈ I`).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct ItemId(pub u32);
 
 /// Identifier of an item class (`C(i)`), e.g. "tablet" or "smartphone".
 ///
 /// Items in the same class compete: a user adopts at most one item per class
 /// within the horizon.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct ClassId(pub u32);
 
 /// A 1-based time step `t ∈ {1, …, T}`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct TimeStep(pub u32);
 
 impl UserId {
@@ -97,7 +96,7 @@ impl fmt::Display for TimeStep {
 }
 
 /// A user–item–time triple `(u, i, t)`; a recommendation strategy is a set of these.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Triple {
     /// The user who receives the recommendation.
     pub user: UserId,

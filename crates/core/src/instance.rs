@@ -10,10 +10,9 @@
 
 use crate::error::BuildError;
 use crate::ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
-use serde::{Deserialize, Serialize};
 
 /// An immutable REVMAX problem instance (Problem 1 of the paper).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Instance {
     num_users: u32,
     num_items: u32,
@@ -143,6 +142,16 @@ impl Instance {
         (0..self.cand_item.len() as u32).map(CandidateId)
     }
 
+    /// The CSR row-start offsets of the per-user candidate ranges (length
+    /// `num_users + 1`; user `u` owns candidates `offsets[u]..offsets[u + 1]`).
+    ///
+    /// Exposed so algorithms can cut the candidate axis at user boundaries for
+    /// per-user parallel decomposition.
+    #[inline]
+    pub fn user_cand_offsets(&self) -> &[u32] {
+        &self.user_cand_start
+    }
+
     /// The user of a candidate pair.
     #[inline]
     pub fn candidate_user(&self, cand: CandidateId) -> UserId {
@@ -153,6 +162,12 @@ impl Instance {
     #[inline]
     pub fn candidate_item(&self, cand: CandidateId) -> ItemId {
         self.cand_item[cand.index()]
+    }
+
+    /// The class of a candidate pair's item.
+    #[inline]
+    pub fn candidate_class(&self, cand: CandidateId) -> ClassId {
+        self.item_class[self.cand_item[cand.index()].index()]
     }
 
     /// The predicted rating `r̂_ui` of a candidate pair (0 if not supplied).
@@ -322,7 +337,10 @@ impl InstanceBuilder {
 
         for (item, &b) in self.beta.iter().enumerate() {
             if !(0.0..=1.0).contains(&b) || !b.is_finite() {
-                return Err(BuildError::InvalidBeta { item: item as u32, beta: b });
+                return Err(BuildError::InvalidBeta {
+                    item: item as u32,
+                    beta: b,
+                });
             }
         }
 
@@ -330,10 +348,16 @@ impl InstanceBuilder {
         let mut item_used = vec![false; self.num_items as usize];
         for &(user, item, ref probs, _) in &self.candidates {
             if user >= self.num_users {
-                return Err(BuildError::UserOutOfRange { user, num_users: self.num_users });
+                return Err(BuildError::UserOutOfRange {
+                    user,
+                    num_users: self.num_users,
+                });
             }
             if item >= self.num_items {
-                return Err(BuildError::ItemOutOfRange { item, num_items: self.num_items });
+                return Err(BuildError::ItemOutOfRange {
+                    item,
+                    num_items: self.num_items,
+                });
             }
             if probs.len() != t_len {
                 return Err(BuildError::ProbabilitySeriesLength {
@@ -393,7 +417,10 @@ impl InstanceBuilder {
             let a = &self.candidates[w[0]];
             let b = &self.candidates[w[1]];
             if a.0 == b.0 && a.1 == b.1 {
-                return Err(BuildError::DuplicateCandidate { user: a.0, item: a.1 });
+                return Err(BuildError::DuplicateCandidate {
+                    user: a.0,
+                    item: a.1,
+                });
             }
         }
 
@@ -490,7 +517,7 @@ mod tests {
         assert_eq!(inst.price_series(ItemId(2)), &[3.0, 4.0]);
         assert_eq!(inst.num_candidates(), 3);
         assert_eq!(inst.num_candidate_triples(), 5); // one prob is exactly 0
-        assert_eq!(inst.total_slots(), 1 * 2 * 2);
+        assert_eq!(inst.total_slots(), 2 * 2);
     }
 
     #[test]
@@ -560,19 +587,31 @@ mod tests {
 
         let mut b = InstanceBuilder::new(1, 1, 1);
         b.beta(0, 1.5);
-        assert!(matches!(b.build().unwrap_err(), BuildError::InvalidBeta { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::InvalidBeta { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1, 1);
         b.constant_price(0, 1.0).candidate(0, 0, &[1.5], 0.0);
-        assert!(matches!(b.build().unwrap_err(), BuildError::InvalidProbability { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::InvalidProbability { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1, 1);
         b.candidate(0, 0, &[0.5], 0.0);
-        assert!(matches!(b.build().unwrap_err(), BuildError::MissingPrices { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::MissingPrices { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1, 2);
         b.prices(0, &[1.0]).candidate(0, 0, &[0.5, 0.5], 0.0);
-        assert!(matches!(b.build().unwrap_err(), BuildError::PriceSeriesLength { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::PriceSeriesLength { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1, 2);
         b.constant_price(0, 1.0).candidate(0, 0, &[0.5], 0.0);
@@ -585,24 +624,39 @@ mod tests {
         b.constant_price(0, 1.0)
             .candidate(0, 0, &[0.5], 0.0)
             .candidate(0, 0, &[0.6], 0.0);
-        assert!(matches!(b.build().unwrap_err(), BuildError::DuplicateCandidate { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateCandidate { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 2, 1);
         b.constant_price(0, 1.0).candidate(0, 1, &[0.5], 0.0);
         // item 1 has candidates but no prices
-        assert!(matches!(b.build().unwrap_err(), BuildError::MissingPrices { item: 1 }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::MissingPrices { item: 1 }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1, 1);
         b.candidate(0, 5, &[0.5], 0.0);
-        assert!(matches!(b.build().unwrap_err(), BuildError::ItemOutOfRange { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::ItemOutOfRange { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1, 1);
         b.candidate(7, 0, &[0.5], 0.0);
-        assert!(matches!(b.build().unwrap_err(), BuildError::UserOutOfRange { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::UserOutOfRange { .. }
+        ));
 
         let mut b = InstanceBuilder::new(1, 1, 1);
         b.prices(0, &[f64::NAN]).candidate(0, 0, &[0.5], 0.0);
-        assert!(matches!(b.build().unwrap_err(), BuildError::InvalidPrice { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::InvalidPrice { .. }
+        ));
     }
 
     #[test]

@@ -65,10 +65,11 @@ pub mod strategy;
 pub use effective::{
     effective_probabilities, effective_revenue, CapacityOracle, ExactPoissonBinomial,
 };
-pub use error::{BuildError, ConstraintViolation};
+pub use error::{BuildError, ConstraintViolation, StrategyParseError};
 pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
 pub use instance::{Instance, InstanceBuilder};
 pub use revenue::{
-    dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, IncrementalRevenue,
+    dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue,
+    HashIncrementalRevenue, IncrementalRevenue, RevenueEngine,
 };
 pub use strategy::Strategy;

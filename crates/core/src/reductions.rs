@@ -41,7 +41,10 @@ impl TimetableInstance {
 
     /// `N = Σ_{c,b} R(c, b)` — total number of required job-hours.
     pub fn total_requirements(&self) -> usize {
-        self.requires.iter().map(|r| r.iter().filter(|&&x| x).count()).sum()
+        self.requires
+            .iter()
+            .map(|r| r.iter().filter(|&&x| x).count())
+            .sum()
     }
 
     /// `Υ` — total number of unavailable craftsman-hours.
@@ -55,11 +58,14 @@ impl TimetableInstance {
     /// Checks the "restricted" structural conditions: every craftsman is a
     /// 2- or 3-craftsman and tight (required jobs == available hours).
     pub fn is_restricted(&self) -> bool {
-        self.available.iter().zip(&self.requires).all(|(avail, req)| {
-            let hours = avail.iter().filter(|&&x| x).count();
-            let jobs = req.iter().filter(|&&x| x).count();
-            (hours == 2 || hours == 3) && hours == jobs
-        })
+        self.available
+            .iter()
+            .zip(&self.requires)
+            .all(|(avail, req)| {
+                let hours = avail.iter().filter(|&&x| x).count();
+                let jobs = req.iter().filter(|&&x| x).count();
+                (hours == 2 || hours == 3) && hours == jobs
+            })
     }
 
     /// Whether a set of assignments is a feasible timetable (conditions 1–4 of §3.2).
@@ -150,7 +156,9 @@ impl TimetableInstance {
                 builder.candidate(c as u32, expensive, &probs, 0.0);
             }
         }
-        builder.build().expect("RTD reduction always builds a valid instance")
+        builder
+            .build()
+            .expect("RTD reduction always builds a valid instance")
     }
 
     /// The revenue threshold `N + Υ·E` of the reduction.

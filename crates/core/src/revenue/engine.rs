@@ -1,0 +1,81 @@
+//! The engine abstraction the greedy algorithms are generic over.
+//!
+//! Two implementations exist: the flat-arena [`super::IncrementalRevenue`]
+//! (the default, zero hashing on the hot path) and the original
+//! [`super::HashIncrementalRevenue`] kept as a correctness reference and as
+//! the measured baseline for the perf trajectory in `crates/bench`.
+
+use crate::ids::{CandidateId, TimeStep};
+use crate::instance::Instance;
+use crate::strategy::Strategy;
+
+/// Incremental evaluation of the REVMAX objective and constraints, addressed
+/// by candidate id — the representation the greedy hot loops already hold.
+///
+/// Implementations must agree with the from-scratch [`super::revenue`] /
+/// [`super::marginal_revenue`] functions to within floating-point noise; the
+/// randomized property tests in `crates/core/tests/properties.rs` enforce
+/// agreement to `1e-9`.
+pub trait RevenueEngine<'a>: Sized + Sync {
+    /// Creates an empty evaluator; `ignore_saturation` selects the `GlobalNo`
+    /// ablation behaviour (all saturation factors treated as 1 during
+    /// selection).
+    fn with_options(inst: &'a Instance, ignore_saturation: bool) -> Self;
+
+    /// The instance this evaluator is bound to.
+    fn instance(&self) -> &'a Instance;
+
+    /// Expected revenue of the strategy built so far (under the evaluator's
+    /// saturation setting).
+    fn revenue(&self) -> f64;
+
+    /// Number of triples selected so far.
+    fn len(&self) -> usize;
+
+    /// Whether no triple has been selected yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the (user, class) group the candidate belongs to — the quantity
+    /// the lazy-forward flags are compared against (`|set(u, C(i))|`).
+    fn group_size_cand(&self, cand: CandidateId) -> usize;
+
+    /// Whether selecting `(cand, t)` would violate the display or capacity
+    /// constraint.
+    fn would_violate_cand(&self, cand: CandidateId, t: TimeStep) -> bool;
+
+    /// Whether selecting `(cand, t)` would violate only the display constraint.
+    fn would_violate_display_cand(&self, cand: CandidateId, t: TimeStep) -> bool;
+
+    /// Marginal revenue `Rev(S ∪ {z}) − Rev(S)` of the candidate triple
+    /// `(cand, t)`; 0 if it is already selected.
+    fn marginal_revenue_cand(&self, cand: CandidateId, t: TimeStep) -> f64;
+
+    /// Recomputes the marginal revenue of every live time slot of a candidate
+    /// in one call: bit `i` of `live_mask` selects time index `i`, and the
+    /// result is written to `out[i]`. Returns the number of slots evaluated.
+    ///
+    /// The default implementation evaluates slot by slot; engines may override
+    /// it with a fused walk (the flat-arena engine walks its group slab once
+    /// for all slots). Only meaningful for horizons of at most 64 steps;
+    /// callers must fall back to [`RevenueEngine::marginal_revenue_cand`]
+    /// beyond that.
+    fn marginal_revenue_batch(&self, cand: CandidateId, live_mask: u64, out: &mut [f64]) -> u32 {
+        let mut evaluated = 0;
+        for (t_idx, slot) in out.iter_mut().enumerate().take(64) {
+            if live_mask & (1 << t_idx) != 0 {
+                *slot = self.marginal_revenue_cand(cand, TimeStep::from_index(t_idx));
+                evaluated += 1;
+            }
+        }
+        evaluated
+    }
+
+    /// Adds the candidate triple to the strategy and returns its realised
+    /// marginal revenue. The caller is responsible for constraint checks.
+    fn insert_cand(&mut self, cand: CandidateId, t: TimeStep) -> f64;
+
+    /// Consumes the evaluator and returns the built strategy.
+    fn into_strategy(self) -> Strategy;
+}

@@ -26,26 +26,20 @@
 use crate::ids::{ClassId, Triple, UserId};
 use crate::instance::Instance;
 use crate::strategy::Strategy;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-/// One selected triple inside a (user, class) group of the incremental state.
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    t: u32,
-    item: u32,
-    q_prim: f64,
-    /// Current dynamic adoption probability under the strategy built so far.
-    q_dyn: f64,
-    price: f64,
-    /// Saturation factor used for incremental updates (1.0 when the evaluator
-    /// is configured to ignore saturation, as in the GlobalNo baseline).
-    beta: f64,
-}
+pub mod engine;
+pub mod flat;
+pub mod hash;
+
+pub use engine::RevenueEngine;
+pub use flat::IncrementalRevenue;
+pub use hash::HashIncrementalRevenue;
 
 /// Computes the expected total revenue `Rev(S)` of a strategy from scratch.
 ///
 /// This is the reference implementation used to cross-check the incremental
-/// evaluator; it runs in `O(Σ_g |g|²)` over the (user, class) groups `g` of `S`.
+/// evaluators; it runs in `O(Σ_g |g|²)` over the (user, class) groups `g` of `S`.
 pub fn revenue(inst: &Instance, strategy: &Strategy) -> f64 {
     dynamic_probabilities(inst, strategy)
         .into_iter()
@@ -113,222 +107,6 @@ pub fn marginal_revenue(inst: &Instance, strategy: &Strategy, z: Triple) -> f64 
     revenue(inst, &with) - revenue(inst, strategy)
 }
 
-/// Incremental evaluator of the revenue function and the REVMAX constraints.
-///
-/// Greedy algorithms grow a strategy one triple at a time; this structure
-/// maintains, per (user, class) group, the selected triples and their current
-/// dynamic adoption probabilities so that marginal revenues and insertions cost
-/// `O(|set(u, C(i))|)` instead of a full re-evaluation.
-#[derive(Debug, Clone)]
-pub struct IncrementalRevenue<'a> {
-    inst: &'a Instance,
-    groups: HashMap<(u32, u32), Vec<Entry>>,
-    revenue: f64,
-    strategy: Strategy,
-    /// Per (user, time) number of recommendations, for the display constraint.
-    display_count: Vec<u16>,
-    /// Per item, number of distinct users reached so far.
-    item_distinct_users: Vec<u32>,
-    /// (item, user) pairs already counted in `item_distinct_users`.
-    item_user_seen: HashSet<(u32, u32)>,
-    /// When true, selection values treat every saturation factor as 1
-    /// (the `GlobalNo` ablation). The *reported* revenue then over-estimates
-    /// the true value; re-evaluate the final strategy with [`revenue`].
-    ignore_saturation: bool,
-}
-
-impl<'a> IncrementalRevenue<'a> {
-    /// Creates an empty evaluator for an instance.
-    pub fn new(inst: &'a Instance) -> Self {
-        Self::with_options(inst, false)
-    }
-
-    /// Creates an evaluator that optionally ignores saturation when computing
-    /// selection values (used by the GlobalNo baseline of §6.1).
-    pub fn with_options(inst: &'a Instance, ignore_saturation: bool) -> Self {
-        IncrementalRevenue {
-            inst,
-            groups: HashMap::new(),
-            revenue: 0.0,
-            strategy: Strategy::new(),
-            display_count: vec![0; inst.num_users() as usize * inst.horizon() as usize],
-            item_distinct_users: vec![0; inst.num_items() as usize],
-            item_user_seen: HashSet::new(),
-            ignore_saturation: ignore_saturation,
-        }
-    }
-
-    /// The instance this evaluator is bound to.
-    pub fn instance(&self) -> &Instance {
-        self.inst
-    }
-
-    /// Expected revenue of the strategy built so far (under the evaluator's
-    /// saturation setting).
-    pub fn revenue(&self) -> f64 {
-        self.revenue
-    }
-
-    /// The strategy built so far.
-    pub fn strategy(&self) -> &Strategy {
-        &self.strategy
-    }
-
-    /// Consumes the evaluator and returns the built strategy.
-    pub fn into_strategy(self) -> Strategy {
-        self.strategy
-    }
-
-    /// Number of triples selected so far.
-    pub fn len(&self) -> usize {
-        self.strategy.len()
-    }
-
-    /// Whether no triple has been selected yet.
-    pub fn is_empty(&self) -> bool {
-        self.strategy.is_empty()
-    }
-
-    /// Size of the (user, class) group of a triple — the quantity the
-    /// lazy-forward flags of G-Greedy are compared against (`|set(u, C(i))|`).
-    pub fn group_size(&self, user: UserId, class: ClassId) -> usize {
-        self.groups.get(&(user.0, class.0)).map_or(0, |g| g.len())
-    }
-
-    /// Whether adding the triple would violate the display or capacity constraint.
-    pub fn would_violate(&self, z: Triple) -> bool {
-        let k = self.inst.display_limit();
-        let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
-        if self.display_count[slot] as u32 >= k {
-            return true;
-        }
-        if !self.item_user_seen.contains(&(z.item.0, z.user.0)) {
-            let cap = self.inst.capacity(z.item);
-            if self.item_distinct_users[z.item.index()] >= cap {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Whether adding the triple would violate only the display constraint
-    /// (validity notion of the relaxed problem R-REVMAX).
-    pub fn would_violate_display(&self, z: Triple) -> bool {
-        let k = self.inst.display_limit();
-        let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
-        self.display_count[slot] as u32 >= k
-    }
-
-    /// Marginal revenue `Rev(S ∪ {z}) − Rev(S)` of a triple not yet selected.
-    ///
-    /// Returns 0 for triples already in the strategy.
-    pub fn marginal_revenue(&self, z: Triple) -> f64 {
-        if self.strategy.contains(z) {
-            return 0.0;
-        }
-        let (gain, loss) = self.gain_and_loss(z);
-        gain + loss
-    }
-
-    /// The dynamic adoption probability the triple would obtain if added now.
-    pub fn prospective_probability(&self, z: Triple) -> f64 {
-        self.prospective(z).0
-    }
-
-    /// Current dynamic adoption probability of a triple already in the strategy.
-    pub fn dynamic_probability(&self, z: Triple) -> Option<f64> {
-        let class = self.inst.class_of(z.item);
-        let group = self.groups.get(&(z.user.0, class.0))?;
-        group
-            .iter()
-            .find(|e| e.t == z.t.value() && e.item == z.item.0)
-            .map(|e| e.q_dyn)
-    }
-
-    /// Adds a triple to the strategy and returns its realised marginal revenue.
-    ///
-    /// The caller is responsible for constraint checks (see
-    /// [`IncrementalRevenue::would_violate`]); this method only updates state.
-    pub fn insert(&mut self, z: Triple) -> f64 {
-        if self.strategy.contains(z) {
-            return 0.0;
-        }
-        let (gain, loss) = self.gain_and_loss(z);
-        let q_prim = self.inst.prob_of(z);
-        let q_new = self.prospective(z).0;
-        let class = self.inst.class_of(z.item);
-        let group = self.groups.entry((z.user.0, class.0)).or_default();
-        // Discount existing same-class entries at the same or later times.
-        for e in group.iter_mut() {
-            if e.t > z.t.value() {
-                let factor = (1.0 - q_prim) * e.beta.powf(1.0 / (e.t - z.t.value()) as f64);
-                e.q_dyn *= factor;
-            } else if e.t == z.t.value() {
-                e.q_dyn *= 1.0 - q_prim;
-            }
-        }
-        let beta = if self.ignore_saturation { 1.0 } else { self.inst.beta(z.item) };
-        group.push(Entry {
-            t: z.t.value(),
-            item: z.item.0,
-            q_prim,
-            q_dyn: q_new,
-            price: self.inst.price(z.item, z.t),
-            beta,
-        });
-        self.revenue += gain + loss;
-        // Constraint bookkeeping.
-        let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
-        self.display_count[slot] += 1;
-        if self.item_user_seen.insert((z.item.0, z.user.0)) {
-            self.item_distinct_users[z.item.index()] += 1;
-        }
-        self.strategy.insert(z);
-        gain + loss
-    }
-
-    /// (prospective dynamic probability of z, memory of z) given the current strategy.
-    fn prospective(&self, z: Triple) -> (f64, f64) {
-        let q_prim = self.inst.prob_of(z);
-        let beta = if self.ignore_saturation { 1.0 } else { self.inst.beta(z.item) };
-        let class = self.inst.class_of(z.item);
-        let mut memory = 0.0_f64;
-        let mut comp = 1.0_f64;
-        if let Some(group) = self.groups.get(&(z.user.0, class.0)) {
-            for e in group {
-                if e.t < z.t.value() {
-                    memory += 1.0 / (z.t.value() - e.t) as f64;
-                    comp *= 1.0 - e.q_prim;
-                } else if e.t == z.t.value() && e.item != z.item.0 {
-                    comp *= 1.0 - e.q_prim;
-                }
-            }
-        }
-        (q_prim * beta.powf(memory) * comp, memory)
-    }
-
-    /// Gain (revenue of z itself) and loss (revenue change on already selected
-    /// same-class triples of the same user at the same or later times).
-    fn gain_and_loss(&self, z: Triple) -> (f64, f64) {
-        let q_prim = self.inst.prob_of(z);
-        let (q_new, _memory) = self.prospective(z);
-        let gain = self.inst.price(z.item, z.t) * q_new;
-        let class = self.inst.class_of(z.item);
-        let mut loss = 0.0_f64;
-        if let Some(group) = self.groups.get(&(z.user.0, class.0)) {
-            for e in group {
-                if e.t > z.t.value() {
-                    let factor = (1.0 - q_prim) * e.beta.powf(1.0 / (e.t - z.t.value()) as f64);
-                    loss += e.price * e.q_dyn * (factor - 1.0);
-                } else if e.t == z.t.value() && e.item != z.item.0 {
-                    loss += e.price * e.q_dyn * (-q_prim);
-                }
-            }
-        }
-        (gain, loss)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,8 +127,9 @@ mod tests {
     fn example4_revenue_values_match_paper() {
         let inst = example4_instance();
         let s_late: Strategy = vec![Triple::new(0, 0, 2)].into_iter().collect();
-        let s_both: Strategy =
-            vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)].into_iter().collect();
+        let s_both: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)]
+            .into_iter()
+            .collect();
         assert!((revenue(&inst, &s_late) - 0.57).abs() < 1e-12);
         assert!((revenue(&inst, &s_both) - 0.5285).abs() < 1e-12);
         // Non-monotone: the larger strategy earns less.
@@ -401,7 +180,9 @@ mod tests {
             .candidate(0, 0, &[0.5], 0.0)
             .candidate(0, 1, &[0.4], 0.0);
         let inst = b.build().unwrap();
-        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 1)].into_iter().collect();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 1)]
+            .into_iter()
+            .collect();
         let probs: HashMap<Triple, f64> = dynamic_probabilities(&inst, &s).into_iter().collect();
         assert!((probs[&Triple::new(0, 0, 1)] - 0.5 * 0.6).abs() < 1e-12);
         assert!((probs[&Triple::new(0, 1, 1)] - 0.4 * 0.5).abs() < 1e-12);
@@ -420,7 +201,9 @@ mod tests {
             .candidate(0, 0, &[0.5, 0.5], 0.0)
             .candidate(0, 1, &[0.4, 0.4], 0.0);
         let inst = b.build().unwrap();
-        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2)].into_iter().collect();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2)]
+            .into_iter()
+            .collect();
         let probs: HashMap<Triple, f64> = dynamic_probabilities(&inst, &s).into_iter().collect();
         // No cross-class memory or competition.
         assert!((probs[&Triple::new(0, 0, 1)] - 0.5).abs() < 1e-12);
@@ -525,13 +308,15 @@ mod tests {
             assert!((realised - scratch).abs() < 1e-10);
             s.insert(z);
             assert!((inc.revenue() - revenue(&inst, &s)).abs() < 1e-10);
-            assert_eq!(
+            assert!(
                 inc.dynamic_probability(z).is_some(),
-                true,
                 "inserted triple must be queryable"
             );
         }
-        assert_eq!(inc.group_size(UserId(0), inst.class_of(crate::ids::ItemId(0))), 4);
+        assert_eq!(
+            inc.group_size(UserId(0), inst.class_of(crate::ids::ItemId(0))),
+            4
+        );
     }
 
     #[test]
@@ -550,7 +335,9 @@ mod tests {
             .constant_price(0, 10.0)
             .candidate(0, 0, &[0.5, 0.5], 0.0);
         let inst = b.build().unwrap();
-        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)].into_iter().collect();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)]
+            .into_iter()
+            .collect();
         let probs: HashMap<Triple, f64> = dynamic_probabilities(&inst, &s).into_iter().collect();
         // Full saturation: the repeat has zero probability (0^positive memory).
         assert_eq!(probs[&Triple::new(0, 0, 2)], 0.0);

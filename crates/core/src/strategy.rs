@@ -1,10 +1,20 @@
 //! Recommendation strategies: sets of (user, item, time) triples, plus
-//! validation against the REVMAX display and capacity constraints.
+//! validation against the REVMAX display and capacity constraints and a
+//! self-contained JSON codec for persistence.
+//!
+//! # Serialisation
+//!
+//! The on-disk format is a JSON array of `[user, item, t]` triples in
+//! insertion order, written by [`Strategy::to_json`] and read back by
+//! [`Strategy::from_json`]. Deserialisation goes through [`Strategy::insert`],
+//! which rebuilds the `O(1)` membership index — an earlier version derived its
+//! serialisation and skipped the index field, so every deserialised strategy
+//! answered `contains() == false` for all of its own triples. The round-trip
+//! regression test below pins the fix.
 
-use crate::error::ConstraintViolation;
+use crate::error::{ConstraintViolation, StrategyParseError};
 use crate::ids::{ItemId, TimeStep, Triple, UserId};
 use crate::instance::Instance;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A recommendation strategy `S ⊆ U × I × [T]`.
@@ -12,10 +22,9 @@ use std::collections::{HashMap, HashSet};
 /// The container preserves insertion order (useful for replaying greedy
 /// selection traces, e.g. Figure 4 of the paper) while providing `O(1)`
 /// membership tests.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Strategy {
     triples: Vec<Triple>,
-    #[serde(skip)]
     index: HashSet<Triple>,
 }
 
@@ -85,7 +94,11 @@ impl Strategy {
 
     /// All triples recommended to a given user, in insertion order.
     pub fn triples_of_user(&self, user: UserId) -> Vec<Triple> {
-        self.triples.iter().copied().filter(|t| t.user == user).collect()
+        self.triples
+            .iter()
+            .copied()
+            .filter(|t| t.user == user)
+            .collect()
     }
 
     /// Number of repeats per (user, item) pair — the quantity plotted in
@@ -112,7 +125,10 @@ impl Strategy {
                 return Err(ConstraintViolation::NotACandidate { triple });
             }
             *display.entry((triple.user, triple.t)).or_insert(0) += 1;
-            users_per_item.entry(triple.item).or_default().insert(triple.user);
+            users_per_item
+                .entry(triple.item)
+                .or_default()
+                .insert(triple.user);
         }
         for ((user, t), count) in display {
             if count > inst.display_limit() as usize {
@@ -134,6 +150,67 @@ impl Strategy {
             }
         }
         Ok(())
+    }
+
+    /// Serialises the strategy as a JSON array of `[user, item, t]` triples in
+    /// insertion order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.triples.len() * 16 + 2);
+        out.push('[');
+        for (idx, z) in self.triples.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{},{}]", z.user.0, z.item.0, z.t.0));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Parses the JSON produced by [`Strategy::to_json`].
+    ///
+    /// Insertion order is preserved, duplicates are dropped, and the `O(1)`
+    /// membership index is rebuilt (every triple goes through
+    /// [`Strategy::insert`]), so `contains()` is correct on the result.
+    pub fn from_json(input: &str) -> Result<Strategy, StrategyParseError> {
+        let err = |message: &str| StrategyParseError {
+            message: message.to_string(),
+        };
+        let body = input.trim();
+        let body = body
+            .strip_prefix('[')
+            .and_then(|b| b.strip_suffix(']'))
+            .ok_or_else(|| err("expected a JSON array"))?
+            .trim();
+        let mut s = Strategy::new();
+        if body.is_empty() {
+            return Ok(s);
+        }
+        let mut rest = body;
+        loop {
+            let inner = rest
+                .trim_start()
+                .strip_prefix('[')
+                .ok_or_else(|| err("expected `[u,i,t]`"))?;
+            let close = inner.find(']').ok_or_else(|| err("unterminated triple"))?;
+            let fields: Vec<&str> = inner[..close].split(',').map(str::trim).collect();
+            if fields.len() != 3 {
+                return Err(err("a triple must have exactly 3 fields"));
+            }
+            let parse = |f: &str| f.parse::<u32>().map_err(|_| err("non-integer field"));
+            let (user, item, t) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+            if t == 0 {
+                return Err(err("time steps are 1-based"));
+            }
+            s.insert(Triple::new(user, item, t));
+            rest = inner[close + 1..].trim_start();
+            if rest.is_empty() {
+                return Ok(s);
+            }
+            rest = rest
+                .strip_prefix(',')
+                .ok_or_else(|| err("expected `,` between triples"))?;
+        }
     }
 
     /// Whether the strategy satisfies only the display constraint (the validity
@@ -228,8 +305,12 @@ mod tests {
 
     #[test]
     fn equality_is_set_equality() {
-        let a: Strategy = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)].into_iter().collect();
-        let b: Strategy = vec![Triple::new(1, 1, 2), Triple::new(0, 0, 1)].into_iter().collect();
+        let a: Strategy = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)]
+            .into_iter()
+            .collect();
+        let b: Strategy = vec![Triple::new(1, 1, 2), Triple::new(0, 0, 1)]
+            .into_iter()
+            .collect();
         let c: Strategy = vec![Triple::new(0, 0, 1)].into_iter().collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
@@ -252,7 +333,9 @@ mod tests {
     #[test]
     fn validate_detects_display_violation() {
         let inst = instance();
-        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 1)].into_iter().collect();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 1)]
+            .into_iter()
+            .collect();
         assert!(matches!(
             s.validate(&inst),
             Err(ConstraintViolation::Display { .. })
@@ -264,13 +347,17 @@ mod tests {
     fn validate_detects_capacity_violation() {
         let inst = instance();
         // Item 0 has capacity 1 but is shown to two distinct users.
-        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(1, 0, 1)].into_iter().collect();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(1, 0, 1)]
+            .into_iter()
+            .collect();
         assert!(matches!(
             s.validate(&inst),
             Err(ConstraintViolation::Capacity { .. })
         ));
         // Repeats to the *same* user do not violate capacity.
-        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)].into_iter().collect();
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)]
+            .into_iter()
+            .collect();
         assert!(s.validate(&inst).is_ok());
     }
 
@@ -305,6 +392,64 @@ mod tests {
         let h = s.repeat_histogram();
         assert_eq!(h[&(UserId(0), ItemId(0))], 2);
         assert_eq!(h[&(UserId(0), ItemId(1))], 1);
+    }
+
+    #[test]
+    fn json_round_trip_rebuilds_the_membership_index() {
+        // Regression: the previous derived serialisation skipped the index
+        // field, so a deserialised strategy reported `contains() == false`
+        // for every one of its own triples.
+        let original: Strategy = vec![
+            Triple::new(3, 1, 2),
+            Triple::new(0, 0, 1),
+            Triple::new(7, 4, 5),
+        ]
+        .into_iter()
+        .collect();
+        let json = original.to_json();
+        let restored = Strategy::from_json(&json).unwrap();
+        assert_eq!(restored.len(), original.len());
+        // Insertion order survives.
+        assert_eq!(restored.as_slice(), original.as_slice());
+        // And, crucially, membership queries work on the restored copy.
+        for z in original.iter() {
+            assert!(restored.contains(z), "restored strategy lost {z}");
+        }
+        assert!(!restored.contains(Triple::new(9, 9, 9)));
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn json_round_trip_empty_and_format() {
+        let empty = Strategy::new();
+        assert_eq!(empty.to_json(), "[]");
+        assert!(Strategy::from_json("[]").unwrap().is_empty());
+        assert!(Strategy::from_json(" [ ] ").unwrap().is_empty());
+        let s: Strategy = vec![Triple::new(1, 2, 3)].into_iter().collect();
+        assert_eq!(s.to_json(), "[[1,2,3]]");
+        // Whitespace-tolerant parsing.
+        let spaced = Strategy::from_json("[ [1, 2, 3] , [4 ,5, 6] ]").unwrap();
+        assert_eq!(spaced.len(), 2);
+        assert!(spaced.contains(Triple::new(4, 5, 6)));
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{}",
+            "[[1,2]]",
+            "[[1,2,3,4]]",
+            "[[1,2,x]]",
+            "[[1,2,0]]", // 0 is not a valid 1-based time step
+            "[[1,2,3]",
+            "[[1,2,3] [4,5,6]]",
+        ] {
+            assert!(
+                Strategy::from_json(bad).is_err(),
+                "accepted malformed {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -40,11 +40,16 @@ pub fn class_sizes(num_items: u32, num_classes: u32, skew: f64) -> Vec<u32> {
 
 /// Assigns every item to a class according to the generated size profile and
 /// shuffles the mapping so class membership is not correlated with item id.
-pub fn assign_classes<R: Rng>(num_items: u32, num_classes: u32, skew: f64, rng: &mut R) -> Vec<u32> {
+pub fn assign_classes<R: Rng>(
+    num_items: u32,
+    num_classes: u32,
+    skew: f64,
+    rng: &mut R,
+) -> Vec<u32> {
     let sizes = class_sizes(num_items, num_classes, skew);
     let mut assignment = Vec::with_capacity(num_items as usize);
     for (class, &size) in sizes.iter().enumerate() {
-        assignment.extend(std::iter::repeat(class as u32).take(size as usize));
+        assignment.extend(std::iter::repeat_n(class as u32, size as usize));
     }
     assignment.shuffle(rng);
     assignment
@@ -76,7 +81,8 @@ mod tests {
 
     #[test]
     fn sizes_sum_to_item_count_and_are_positive() {
-        for (items, classes, skew) in [(4_200u32, 94u32, 1.05f64), (1_100, 43, 0.35), (20, 5, 0.8)] {
+        for (items, classes, skew) in [(4_200u32, 94u32, 1.05f64), (1_100, 43, 0.35), (20, 5, 0.8)]
+        {
             let sizes = class_sizes(items, classes, skew);
             assert_eq!(sizes.len(), classes as usize);
             assert_eq!(sizes.iter().sum::<u32>(), items);
@@ -101,7 +107,10 @@ mod tests {
         assert!(largest > 400, "largest class {largest} too small");
         assert!(smallest <= 12, "smallest class {smallest} too large");
         assert!(median < 40, "median class size {median} too large");
-        assert!(largest > 10 * median, "profile not skewed enough: {largest} vs median {median}");
+        assert!(
+            largest > 10 * median,
+            "profile not skewed enough: {largest} vs median {median}"
+        );
     }
 
     #[test]
@@ -109,7 +118,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let assignment = assign_classes(200, 10, 0.5, &mut rng);
         assert_eq!(assignment.len(), 200);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for &c in &assignment {
             seen[c as usize] = true;
         }

@@ -10,10 +10,9 @@
 //! rationale.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How the per-item saturation factors `β_i` are chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BetaSetting {
     /// A single value shared by every item (the paper tests 0.1, 0.5, 0.9).
     Fixed(f64),
@@ -33,7 +32,7 @@ impl BetaSetting {
 
 /// Distribution from which per-item capacities `q_i` are sampled (§6.1 tests
 /// Gaussian, exponential, power-law, and uniform item-capacity profiles).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CapacityDistribution {
     /// Normal with the given mean and standard deviation.
     Gaussian {
@@ -88,7 +87,7 @@ impl CapacityDistribution {
 }
 
 /// Full configuration of a generated dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetConfig {
     /// Human-readable name (used in experiment output).
     pub name: String,
@@ -152,8 +151,15 @@ impl DatasetConfig {
             latent_factors: 8,
             rating_noise: 0.4,
             beta: BetaSetting::UniformRandom,
-            capacity: CapacityDistribution::Gaussian { mean: 5000.0, std: 300.0 },
-            mf: revmax_recsys::MfConfig { factors: 16, epochs: 15, ..Default::default() },
+            capacity: CapacityDistribution::Gaussian {
+                mean: 5000.0,
+                std: 300.0,
+            },
+            mf: revmax_recsys::MfConfig {
+                factors: 16,
+                epochs: 15,
+                ..Default::default()
+            },
             seed: 20140814,
         }
     }
@@ -178,8 +184,15 @@ impl DatasetConfig {
             latent_factors: 8,
             rating_noise: 0.7,
             beta: BetaSetting::UniformRandom,
-            capacity: CapacityDistribution::Gaussian { mean: 5000.0, std: 200.0 },
-            mf: revmax_recsys::MfConfig { factors: 16, epochs: 20, ..Default::default() },
+            capacity: CapacityDistribution::Gaussian {
+                mean: 5000.0,
+                std: 200.0,
+            },
+            mf: revmax_recsys::MfConfig {
+                factors: 16,
+                epochs: 20,
+                ..Default::default()
+            },
             seed: 20140815,
         }
     }
@@ -192,24 +205,23 @@ impl DatasetConfig {
         scaled.name = format!("{}-x{:.2}", self.name, f);
         scaled.num_users = ((self.num_users as f64 * f).round() as u32).max(10);
         scaled.num_items = ((self.num_items as f64 * f).round() as u32).max(10);
-        scaled.num_classes = ((self.num_classes as f64 * f.sqrt()).round() as u32).clamp(2, scaled.num_items);
+        scaled.num_classes =
+            ((self.num_classes as f64 * f.sqrt()).round() as u32).clamp(2, scaled.num_items);
         scaled.num_ratings = ((self.num_ratings as f64 * f * f).round() as u64).max(100);
-        scaled.candidates_per_user = self
-            .candidates_per_user
-            .min(scaled.num_items)
-            .max(1);
+        scaled.candidates_per_user = self.candidates_per_user.min(scaled.num_items).max(1);
         // Capacities scale with the user base so constraints stay comparable.
         scaled.capacity = match self.capacity {
             CapacityDistribution::Gaussian { mean, std } => CapacityDistribution::Gaussian {
                 mean: (mean * f).max(2.0),
                 std: (std * f).max(1.0),
             },
-            CapacityDistribution::Exponential { mean } => {
-                CapacityDistribution::Exponential { mean: (mean * f).max(2.0) }
-            }
-            CapacityDistribution::PowerLaw { min, alpha } => {
-                CapacityDistribution::PowerLaw { min: (min * f).max(1.0), alpha }
-            }
+            CapacityDistribution::Exponential { mean } => CapacityDistribution::Exponential {
+                mean: (mean * f).max(2.0),
+            },
+            CapacityDistribution::PowerLaw { min, alpha } => CapacityDistribution::PowerLaw {
+                min: (min * f).max(1.0),
+                alpha,
+            },
             CapacityDistribution::Uniform { min, max } => CapacityDistribution::Uniform {
                 min: (min * f).max(1.0),
                 max: (max * f).max(2.0),
@@ -239,7 +251,10 @@ impl DatasetConfig {
             latent_factors: 0,
             rating_noise: 0.0,
             beta: BetaSetting::UniformRandom,
-            capacity: CapacityDistribution::Gaussian { mean: 5000.0, std: 300.0 },
+            capacity: CapacityDistribution::Gaussian {
+                mean: 5000.0,
+                std: 300.0,
+            },
             mf: revmax_recsys::MfConfig::default(),
             seed: 20140816,
         }
@@ -264,8 +279,15 @@ impl DatasetConfig {
             latent_factors: 4,
             rating_noise: 0.3,
             beta: BetaSetting::UniformRandom,
-            capacity: CapacityDistribution::Gaussian { mean: 15.0, std: 3.0 },
-            mf: revmax_recsys::MfConfig { factors: 4, epochs: 10, ..Default::default() },
+            capacity: CapacityDistribution::Gaussian {
+                mean: 15.0,
+                std: 3.0,
+            },
+            mf: revmax_recsys::MfConfig {
+                factors: 4,
+                epochs: 10,
+                ..Default::default()
+            },
             seed: 7,
         }
     }
@@ -292,10 +314,19 @@ mod tests {
     fn capacity_distributions_sample_positive_integers() {
         let mut rng = StdRng::seed_from_u64(2);
         let dists = [
-            CapacityDistribution::Gaussian { mean: 50.0, std: 10.0 },
+            CapacityDistribution::Gaussian {
+                mean: 50.0,
+                std: 10.0,
+            },
             CapacityDistribution::Exponential { mean: 50.0 },
-            CapacityDistribution::PowerLaw { min: 5.0, alpha: 2.0 },
-            CapacityDistribution::Uniform { min: 1.0, max: 100.0 },
+            CapacityDistribution::PowerLaw {
+                min: 5.0,
+                alpha: 2.0,
+            },
+            CapacityDistribution::Uniform {
+                min: 1.0,
+                max: 100.0,
+            },
         ];
         for d in dists {
             let samples: Vec<u32> = (0..500).map(|_| d.sample(&mut rng)).collect();
@@ -308,7 +339,10 @@ mod tests {
     #[test]
     fn gaussian_capacity_mean_is_close() {
         let mut rng = StdRng::seed_from_u64(3);
-        let d = CapacityDistribution::Gaussian { mean: 5000.0, std: 300.0 };
+        let d = CapacityDistribution::Gaussian {
+            mean: 5000.0,
+            std: 300.0,
+        };
         let samples: Vec<u32> = (0..2000).map(|_| d.sample(&mut rng)).collect();
         let mean = samples.iter().map(|&c| c as f64).sum::<f64>() / samples.len() as f64;
         assert!((mean - 5000.0).abs() < 50.0);

@@ -34,6 +34,9 @@ pub mod stats;
 pub use classes::{assign_classes, class_size_summary, class_sizes};
 pub use config::{BetaSetting, CapacityDistribution, DatasetConfig};
 pub use pipeline::{generate, generate_scalability, GeneratedDataset};
-pub use prices::{amazon_style_series, base_price, epinions_style_series, reported_price_samples, synthetic_series};
+pub use prices::{
+    amazon_style_series, base_price, epinions_style_series, reported_price_samples,
+    synthetic_series,
+};
 pub use ratings_gen::{generate_ratings, GroundTruthPreferences};
 pub use stats::Table1Stats;

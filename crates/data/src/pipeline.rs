@@ -47,7 +47,12 @@ impl GeneratedDataset {
 /// Runs the full real-data-style pipeline for the given configuration.
 pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let classes = assign_classes(config.num_items, config.num_classes, config.class_skew, &mut rng);
+    let classes = assign_classes(
+        config.num_items,
+        config.num_classes,
+        config.class_skew,
+        &mut rng,
+    );
 
     // 1. Ratings from a ground-truth low-rank preference model.
     let prefs = GroundTruthPreferences::generate(
@@ -83,7 +88,16 @@ pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
         price_series.push(series);
     }
 
-    build_instance(config, &classes, &price_series, &valuations, &model, &ratings, mf_rmse, &mut rng)
+    build_instance(
+        config,
+        &classes,
+        &price_series,
+        &valuations,
+        &model,
+        &ratings,
+        mf_rmse,
+        &mut rng,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -106,7 +120,11 @@ fn build_instance(
         builder.prices(item, &price_series[item as usize]);
     }
 
-    let max_rating = if model.max_rating().is_finite() { model.max_rating() } else { 5.0 };
+    let max_rating = if model.max_rating().is_finite() {
+        model.max_rating()
+    } else {
+        5.0
+    };
     for user in 0..config.num_users {
         let top = model.top_n_for_user(user, config.candidates_per_user as usize);
         for (item, predicted) in top {
@@ -122,7 +140,9 @@ fn build_instance(
         }
     }
 
-    let instance = builder.build().expect("generated dataset must be a valid instance");
+    let instance = builder
+        .build()
+        .expect("generated dataset must be a valid instance");
     GeneratedDataset {
         config: config.clone(),
         instance,
@@ -136,7 +156,12 @@ fn build_instance(
 /// have higher adoption probability.
 pub fn generate_scalability(config: &DatasetConfig) -> GeneratedDataset {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let classes = assign_classes(config.num_items, config.num_classes, config.class_skew, &mut rng);
+    let classes = assign_classes(
+        config.num_items,
+        config.num_classes,
+        config.class_skew,
+        &mut rng,
+    );
 
     let mut builder = InstanceBuilder::new(config.num_users, config.num_items, config.horizon);
     builder.display_limit(config.display_limit);
@@ -183,8 +208,15 @@ pub fn generate_scalability(config: &DatasetConfig) -> GeneratedDataset {
         }
     }
 
-    let instance = builder.build().expect("scalability dataset must be a valid instance");
-    GeneratedDataset { config: config.clone(), instance, num_ratings: 0, mf_rmse: f64::NAN }
+    let instance = builder
+        .build()
+        .expect("scalability dataset must be a valid instance");
+    GeneratedDataset {
+        config: config.clone(),
+        instance,
+        num_ratings: 0,
+        mf_rmse: f64::NAN,
+    }
 }
 
 #[cfg(test)]
@@ -258,8 +290,8 @@ mod tests {
                         continue;
                     }
                     total += 1;
-                    let cheaper_has_higher_q = (p1 < p2 && probs[t1] >= probs[t2])
-                        || (p2 < p1 && probs[t2] >= probs[t1]);
+                    let cheaper_has_higher_q =
+                        (p1 < p2 && probs[t1] >= probs[t2]) || (p2 < p1 && probs[t2] >= probs[t1]);
                     if cheaper_has_higher_q {
                         agree += 1;
                     }

@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn log_uniform_prefers_lower_decades() {
         let mut rng = StdRng::seed_from_u64(2);
-        let samples: Vec<f64> = (0..5000).map(|_| base_price((10.0, 1000.0), &mut rng)).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| base_price((10.0, 1000.0), &mut rng))
+            .collect();
         let below_100 = samples.iter().filter(|&&p| p < 100.0).count();
         // Log-uniform on [10, 1000]: half the mass below 100.
         assert!((below_100 as f64 / 5000.0 - 0.5).abs() < 0.05);
@@ -107,7 +109,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let series = amazon_style_series(100.0, 2000, 0.0, 0.5, 0.4, &mut rng);
         let discounted = series.iter().filter(|&&p| p < 70.0).count();
-        assert!(discounted > 500, "expected many sale days, got {discounted}");
+        assert!(
+            discounted > 500,
+            "expected many sale days, got {discounted}"
+        );
         let full_price = series.iter().filter(|&&p| p > 99.0).count();
         assert!(full_price > 500);
     }

@@ -30,7 +30,13 @@ impl GroundTruthPreferences {
         let item_latent = (0..num_items as usize * f)
             .map(|_| rng.gen_range(-1.0..1.0) * scale * 2.0)
             .collect();
-        GroundTruthPreferences { factors: f, user_latent, item_latent, num_users, num_items }
+        GroundTruthPreferences {
+            factors: f,
+            user_latent,
+            item_latent,
+            num_users,
+            num_items,
+        }
     }
 
     /// The noiseless rating a user would give an item, on a 1–5 scale.
@@ -77,7 +83,9 @@ pub fn generate_ratings<R: Rng>(
         let j = rng.gen_range(0..=idx);
         item_order.swap(idx, j);
     }
-    let weights: Vec<f64> = (1..=num_items as usize).map(|r| 1.0 / (r as f64).powf(0.8)).collect();
+    let weights: Vec<f64> = (1..=num_items as usize)
+        .map(|r| 1.0 / (r as f64).powf(0.8))
+        .collect();
     let cumulative: Vec<f64> = weights
         .iter()
         .scan(0.0, |acc, w| {
@@ -94,7 +102,9 @@ pub fn generate_ratings<R: Rng>(
         attempts += 1;
         let user = rng.gen_range(0..num_users);
         let draw = rng.gen_range(0.0..total_weight);
-        let rank = cumulative.partition_point(|&c| c < draw).min(num_items as usize - 1);
+        let rank = cumulative
+            .partition_point(|&c| c < draw)
+            .min(num_items as usize - 1);
         let item = item_order[rank];
         if !seen.insert((user, item)) {
             continue;
@@ -130,7 +140,10 @@ mod tests {
         let prefs = GroundTruthPreferences::generate(100, 60, 4, &mut rng);
         let ratings = generate_ratings(&prefs, 1500, 0.3, &mut rng);
         assert!(ratings.len() >= 1400, "only generated {}", ratings.len());
-        assert!(ratings.ratings().iter().all(|r| (1.0..=5.0).contains(&r.value)));
+        assert!(ratings
+            .ratings()
+            .iter()
+            .all(|r| (1.0..=5.0).contains(&r.value)));
     }
 
     #[test]
@@ -155,7 +168,12 @@ mod tests {
         let ratings = generate_ratings(&prefs, 200, 0.2, &mut rng);
         let mut seen = HashSet::new();
         for r in ratings.ratings() {
-            assert!(seen.insert((r.user, r.item)), "duplicate pair ({}, {})", r.user, r.item);
+            assert!(
+                seen.insert((r.user, r.item)),
+                "duplicate pair ({}, {})",
+                r.user,
+                r.item
+            );
         }
     }
 

@@ -37,8 +37,9 @@ impl Table1Stats {
 
     /// Computes the statistics directly from an instance.
     pub fn from_instance(name: &str, inst: &Instance, ratings: u64) -> Self {
-        let assignment: Vec<u32> =
-            (0..inst.num_items()).map(|i| inst.class_of(ItemId(i)).0).collect();
+        let assignment: Vec<u32> = (0..inst.num_items())
+            .map(|i| inst.class_of(ItemId(i)).0)
+            .collect();
         let (largest, smallest, median) = class_size_summary(&assignment);
         Table1Stats {
             name: name.to_string(),

@@ -14,6 +14,9 @@ fn main() {
         let start = Instant::now();
         let report = revmax_experiments::run_experiment(name, &scale);
         print!("{report}");
-        println!("[{name} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{name} completed in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

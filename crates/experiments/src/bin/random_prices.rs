@@ -3,5 +3,8 @@
 
 fn main() {
     let scale = revmax_experiments::Scale::from_env();
-    print!("{}", revmax_experiments::run_experiment("random_prices", &scale));
+    print!(
+        "{}",
+        revmax_experiments::run_experiment("random_prices", &scale)
+    );
 }

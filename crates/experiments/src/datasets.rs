@@ -60,9 +60,27 @@ pub fn capacity_mean(kind: DatasetKind, scale: &Scale) -> f64 {
 pub fn figure1_capacity_distributions(mean: f64) -> Vec<(&'static str, CapacityDistribution)> {
     let mean = mean.max(5.0);
     vec![
-        ("normal", CapacityDistribution::Gaussian { mean, std: mean * 0.06 }),
-        ("power", CapacityDistribution::PowerLaw { min: mean * 0.4, alpha: 2.2 }),
-        ("uniform", CapacityDistribution::Uniform { min: mean * 0.5, max: mean * 1.5 }),
+        (
+            "normal",
+            CapacityDistribution::Gaussian {
+                mean,
+                std: mean * 0.06,
+            },
+        ),
+        (
+            "power",
+            CapacityDistribution::PowerLaw {
+                min: mean * 0.4,
+                alpha: 2.2,
+            },
+        ),
+        (
+            "uniform",
+            CapacityDistribution::Uniform {
+                min: mean * 0.5,
+                max: mean * 1.5,
+            },
+        ),
     ]
 }
 
@@ -70,7 +88,13 @@ pub fn figure1_capacity_distributions(mean: f64) -> Vec<(&'static str, CapacityD
 pub fn gaussian_and_exponential(mean: f64) -> Vec<(&'static str, CapacityDistribution)> {
     let mean = mean.max(5.0);
     vec![
-        ("Gaussian", CapacityDistribution::Gaussian { mean, std: mean * 0.06 }),
+        (
+            "Gaussian",
+            CapacityDistribution::Gaussian {
+                mean,
+                std: mean * 0.06,
+            },
+        ),
         ("Exponential", CapacityDistribution::Exponential { mean }),
     ]
 }
@@ -123,7 +147,10 @@ mod tests {
             DatasetKind::Epinions,
             &scale,
             BetaSetting::Fixed(0.5),
-            CapacityDistribution::Gaussian { mean: 10.0, std: 1.0 },
+            CapacityDistribution::Gaussian {
+                mean: 10.0,
+                std: 1.0,
+            },
             true,
         );
         assert_eq!(ds.instance.num_classes(), ds.instance.num_items());
@@ -143,7 +170,10 @@ mod tests {
         let full = Scale::paper_scale();
         let mean = capacity_mean(DatasetKind::Amazon, &full);
         // 40 × (3·7·23000 / 4200) = 4600, the same order as the paper's 5000.
-        assert!((4000.0..=6000.0).contains(&mean), "unexpected capacity mean {mean}");
+        assert!(
+            (4000.0..=6000.0).contains(&mean),
+            "unexpected capacity mean {mean}"
+        );
         // At tiny scales the mean is clamped by the user count.
         let tiny = Scale::test_scale();
         let mean_tiny = capacity_mean(DatasetKind::Amazon, &tiny);
@@ -157,7 +187,10 @@ mod tests {
             DatasetKind::Amazon,
             &scale,
             BetaSetting::Fixed(0.9),
-            CapacityDistribution::Uniform { min: 5.0, max: 10.0 },
+            CapacityDistribution::Uniform {
+                min: 5.0,
+                max: 10.0,
+            },
             false,
         );
         for i in 0..ds.instance.num_items() {

@@ -24,7 +24,9 @@ fn lineup(scale: &Scale) -> Vec<Algorithm> {
     vec![
         Algorithm::GlobalGreedy,
         Algorithm::GlobalNoSaturation,
-        Algorithm::RandomizedLocalGreedy { permutations: scale.rl_permutations },
+        Algorithm::RandomizedLocalGreedy {
+            permutations: scale.rl_permutations,
+        },
         Algorithm::SequentialLocalGreedy,
         Algorithm::TopRevenue,
         Algorithm::TopRating,
@@ -38,7 +40,10 @@ fn lineup_headers(scale: &Scale) -> Vec<String> {
 }
 
 fn run_lineup(inst: &Instance, scale: &Scale) -> Vec<f64> {
-    lineup(scale).iter().map(|alg| run(inst, alg, scale.seed).revenue).collect()
+    lineup(scale)
+        .iter()
+        .map(|alg| run(inst, alg, scale.seed).revenue)
+        .collect()
 }
 
 /// **Table 1** — dataset statistics of the Amazon-like, Epinions-like, and
@@ -46,7 +51,10 @@ fn run_lineup(inst: &Instance, scale: &Scale) -> Vec<f64> {
 pub fn table1(scale: &Scale) -> Table {
     let mut table = Table::new(
         "Table 1: data statistics (generated stand-ins)",
-        Table1Stats::header().split_whitespace().map(str::to_string).collect(),
+        Table1Stats::header()
+            .split_whitespace()
+            .map(str::to_string)
+            .collect(),
     );
     for kind in DatasetKind::both() {
         let ds = build_dataset(
@@ -68,7 +76,13 @@ pub fn table1(scale: &Scale) -> Table {
     let smallest = *scale.scalability_users.first().unwrap_or(&1000);
     let ds = build_scalability_dataset(smallest, scale);
     let stats = Table1Stats::from_dataset(&ds);
-    table.push_row(stats.to_string().split_whitespace().map(str::to_string).collect());
+    table.push_row(
+        stats
+            .to_string()
+            .split_whitespace()
+            .map(str::to_string)
+            .collect(),
+    );
     table
 }
 
@@ -81,11 +95,21 @@ pub fn figure1(scale: &Scale) -> Vec<Table> {
         for kind in DatasetKind::both() {
             let suffix = if class_size_one { ", class size 1" } else { "" };
             let mut table = Table::new(
-                format!("Figure 1: {}{} — revenue vs capacity distribution", kind.name(), suffix),
+                format!(
+                    "Figure 1: {}{} — revenue vs capacity distribution",
+                    kind.name(),
+                    suffix
+                ),
                 lineup_headers(scale),
             );
             for (label, capacity) in figure1_capacity_distributions(capacity_mean(kind, scale)) {
-                let ds = build_dataset(kind, scale, BetaSetting::UniformRandom, capacity, class_size_one);
+                let ds = build_dataset(
+                    kind,
+                    scale,
+                    BetaSetting::UniformRandom,
+                    capacity,
+                    class_size_one,
+                );
                 let revenues = run_lineup(&ds.instance, scale);
                 table.push_numeric_row(label, &revenues);
             }
@@ -110,7 +134,13 @@ fn beta_sweep(scale: &Scale, class_size_one: bool, figure: &str) -> Vec<Table> {
                 lineup_headers(scale),
             );
             for beta in [0.1, 0.5, 0.9] {
-                let ds = build_dataset(kind, scale, BetaSetting::Fixed(beta), capacity, class_size_one);
+                let ds = build_dataset(
+                    kind,
+                    scale,
+                    BetaSetting::Fixed(beta),
+                    capacity,
+                    class_size_one,
+                );
                 let revenues = run_lineup(&ds.instance, scale);
                 table.push_numeric_row(format!("beta={beta}"), &revenues);
             }
@@ -142,9 +172,13 @@ pub fn figure4(scale: &Scale) -> Vec<Table> {
 
         let gg = revmax_algorithms::global_greedy_with(
             inst,
-            &GreedyOptions { track_trace: true, ..Default::default() },
+            &GreedyOptions {
+                track_trace: true,
+                ..Default::default()
+            },
         );
-        let rlg = revmax_algorithms::randomized_local_greedy(inst, scale.rl_permutations, scale.seed);
+        let rlg =
+            revmax_algorithms::randomized_local_greedy(inst, scale.rl_permutations, scale.seed);
         let slg = revmax_algorithms::sequential_local_greedy(inst);
 
         let mut table = Table::new(
@@ -180,7 +214,10 @@ pub fn figure5(scale: &Scale) -> Vec<Table> {
     let mut tables = Vec::new();
     for kind in DatasetKind::both() {
         let mut table = Table::new(
-            format!("Figure 5: {} — repeat-recommendation histogram of G-Greedy", kind.name()),
+            format!(
+                "Figure 5: {} — repeat-recommendation histogram of G-Greedy",
+                kind.name()
+            ),
             vec![
                 "beta".into(),
                 "1".into(),
@@ -204,7 +241,11 @@ pub fn figure5(scale: &Scale) -> Vec<Table> {
             }
             let total: u64 = buckets.iter().sum::<u64>().max(1);
             let mut row = vec![format!("beta={beta}")];
-            row.extend(buckets.iter().map(|&b| format!("{:.3}", b as f64 / total as f64)));
+            row.extend(
+                buckets
+                    .iter()
+                    .map(|&b| format!("{:.3}", b as f64 / total as f64)),
+            );
             table.push_row(row);
         }
         tables.push(table);
@@ -228,7 +269,9 @@ pub fn table2(scale: &Scale) -> Table {
     );
     let algorithms = vec![
         Algorithm::GlobalGreedy,
-        Algorithm::RandomizedLocalGreedy { permutations: scale.rl_permutations },
+        Algorithm::RandomizedLocalGreedy {
+            permutations: scale.rl_permutations,
+        },
         Algorithm::SequentialLocalGreedy,
         Algorithm::TopRevenue,
         Algorithm::TopRating,
@@ -280,15 +323,29 @@ pub fn figure7(scale: &Scale) -> Vec<Table> {
     for kind in DatasetKind::both() {
         let mean = capacity_mean(kind, scale);
         let capacities = vec![
-            ("Gaussian", revmax_data::CapacityDistribution::Gaussian { mean, std: mean * 0.06 }),
-            ("power-law", revmax_data::CapacityDistribution::PowerLaw { min: mean * 0.4, alpha: 2.2 }),
+            (
+                "Gaussian",
+                revmax_data::CapacityDistribution::Gaussian {
+                    mean,
+                    std: mean * 0.06,
+                },
+            ),
+            (
+                "power-law",
+                revmax_data::CapacityDistribution::PowerLaw {
+                    min: mean * 0.4,
+                    alpha: 2.2,
+                },
+            ),
         ];
         for (cap_label, capacity) in capacities {
             let ds = build_dataset(kind, scale, BetaSetting::Fixed(0.5), capacity, false);
             let inst = &ds.instance;
             let mut algorithms: Vec<Algorithm> = vec![Algorithm::GlobalGreedy];
             for cut in [2u32, 4, 5] {
-                algorithms.push(Algorithm::StagedGlobalGreedy { stage_ends: vec![cut] });
+                algorithms.push(Algorithm::StagedGlobalGreedy {
+                    stage_ends: vec![cut],
+                });
             }
             algorithms.push(Algorithm::SequentialLocalGreedy);
             algorithms.push(Algorithm::RandomizedLocalGreedy {
@@ -301,12 +358,18 @@ pub fn figure7(scale: &Scale) -> Vec<Table> {
                 });
             }
             let mut table = Table::new(
-                format!("Figure 7: {} ({cap_label} capacities), beta = 0.5", kind.name()),
+                format!(
+                    "Figure 7: {} ({cap_label} capacities), beta = 0.5",
+                    kind.name()
+                ),
                 vec!["algorithm".into(), "revenue".into()],
             );
             for alg in &algorithms {
                 let report = run(inst, alg, scale.seed);
-                table.push_row(vec![report.algorithm.clone(), format_number(report.revenue)]);
+                table.push_row(vec![
+                    report.algorithm.clone(),
+                    format_number(report.revenue),
+                ]);
             }
             tables.push(table);
         }
@@ -489,6 +552,9 @@ mod tests {
         let last = t.rows.last().unwrap();
         let naive_err: f64 = last[4].parse().unwrap();
         let taylor_err: f64 = last[5].parse().unwrap();
-        assert!(taylor_err <= naive_err + 0.5, "taylor {taylor_err}% vs naive {naive_err}%");
+        assert!(
+            taylor_err <= naive_err + 0.5,
+            "taylor {taylor_err}% vs naive {naive_err}%"
+        );
     }
 }

@@ -52,7 +52,15 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
 /// Names of all experiments in presentation order.
 pub fn all_experiment_names() -> Vec<&'static str> {
     vec![
-        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig7",
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table2",
+        "fig6",
+        "fig7",
         "random_prices",
     ]
 }

@@ -21,7 +21,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given title and column headers.
     pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
-        Table { title: title.into(), headers, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (shorter rows are padded with empty cells).
@@ -64,7 +68,7 @@ pub fn format_number(v: f64) -> String {
         let digits = rounded.abs().to_string();
         let bytes = digits.as_bytes();
         for (i, b) in bytes.iter().enumerate() {
-            if i > 0 && (bytes.len() - i) % 3 == 0 {
+            if i > 0 && (bytes.len() - i).is_multiple_of(3) {
                 s.push(',');
             }
             s.push(*b as char);
@@ -84,7 +88,10 @@ pub fn format_number(v: f64) -> String {
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Column widths.
-        let cols = self.headers.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

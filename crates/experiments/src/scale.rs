@@ -65,7 +65,7 @@ impl Scale {
     /// scale, `REVMAX_SCALE=<fraction>` overrides the dataset fraction, and
     /// `REVMAX_RL_PERMS=<n>` overrides the RL-Greedy permutation count.
     pub fn from_env() -> Self {
-        let mut scale = if std::env::var("REVMAX_FULL").map_or(false, |v| v == "1") {
+        let mut scale = if std::env::var("REVMAX_FULL").is_ok_and(|v| v == "1") {
             Scale::paper_scale()
         } else {
             Scale::default_scale()

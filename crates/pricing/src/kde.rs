@@ -5,10 +5,9 @@
 
 use crate::stats::{mean, normal_cdf, normal_pdf, std_dev};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A one-dimensional Gaussian kernel density estimate over observed samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GaussianKde {
     samples: Vec<f64>,
     bandwidth: f64,
@@ -42,7 +41,10 @@ impl GaussianKde {
     pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Self {
         assert!(!samples.is_empty(), "KDE needs at least one sample");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        GaussianKde { samples: samples.to_vec(), bandwidth }
+        GaussianKde {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
     }
 
     /// The bandwidth `h` in use.
@@ -63,12 +65,8 @@ impl GaussianKde {
     /// Variance of the KDE mixture: sample second moment about the mean plus `h²`.
     pub fn variance(&self) -> f64 {
         let m = self.mean();
-        let second: f64 = self
-            .samples
-            .iter()
-            .map(|x| (x - m) * (x - m))
-            .sum::<f64>()
-            / self.samples.len() as f64;
+        let second: f64 =
+            self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64;
         second + self.bandwidth * self.bandwidth
     }
 
@@ -180,7 +178,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let draws = kde.sample_series(4000, 0.0, &mut rng);
         let m = mean(&draws);
-        assert!((m - kde.mean()).abs() < 1.0, "sample mean {m} far from {}", kde.mean());
+        assert!(
+            (m - kde.mean()).abs() < 1.0,
+            "sample mean {m} far from {}",
+            kde.mean()
+        );
         assert!(draws.iter().all(|&x| x >= 0.0));
     }
 

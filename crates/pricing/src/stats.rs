@@ -33,7 +33,11 @@ pub fn standard_normal_cdf(x: f64) -> f64 {
 /// Normal density with mean `mu` and standard deviation `sigma`.
 pub fn normal_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
     if sigma <= 0.0 {
-        return if (x - mu).abs() < f64::EPSILON { f64::INFINITY } else { 0.0 };
+        return if (x - mu).abs() < f64::EPSILON {
+            f64::INFINITY
+        } else {
+            0.0
+        };
     }
     standard_normal_pdf((x - mu) / sigma) / sigma
 }

@@ -17,7 +17,6 @@ use crate::stats::CovarianceMatrix;
 use crate::valuation::{GaussianValuation, Valuation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Relative step used for numeric second derivatives.
 const DEFAULT_REL_STEP: f64 = 1e-3;
@@ -25,7 +24,7 @@ const DEFAULT_REL_STEP: f64 = 1e-3;
 /// One scheduled recommendation whose revenue contribution depends on the
 /// (random) prices of itself and of the same-class recommendations made to the
 /// same user at earlier or equal times (its "competitors", `[z]_S` in §7).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomPriceTriple {
     /// Index of this triple's price variable in the global price vector.
     pub own_var: usize,
@@ -81,7 +80,11 @@ pub fn taylor_expected_value<F: Fn(&[f64]) -> f64>(
     cov: &CovarianceMatrix,
     rel_step: Option<f64>,
 ) -> f64 {
-    assert_eq!(means.len(), cov.dim(), "mean vector and covariance must agree");
+    assert_eq!(
+        means.len(),
+        cov.dim(),
+        "mean vector and covariance must agree"
+    );
     let n = means.len();
     let step = rel_step.unwrap_or(DEFAULT_REL_STEP);
     let f0 = f(means);
@@ -229,7 +232,10 @@ mod tests {
             competitor_vars: vec![],
             rating_factor: 0.8,
             competitor_rating_factors: vec![],
-            valuation: GaussianValuation { mean: 100.0, std: 25.0 },
+            valuation: GaussianValuation {
+                mean: 100.0,
+                std: 25.0,
+            },
             competitor_valuations: vec![],
             saturation_discount: 1.0,
         }
@@ -244,7 +250,10 @@ mod tests {
         let with_comp = RandomPriceTriple {
             competitor_vars: vec![1],
             competitor_rating_factors: vec![1.0],
-            competitor_valuations: vec![GaussianValuation { mean: 100.0, std: 25.0 }],
+            competitor_valuations: vec![GaussianValuation {
+                mean: 100.0,
+                std: 25.0,
+            }],
             ..single_triple()
         };
         let r = with_comp.revenue_given_prices(&[100.0, 100.0]);
@@ -261,7 +270,10 @@ mod tests {
         cov.set(0, 1, 0.3);
         let expected = 3.0 + 2.0 + 2.0 + 0.3 + 4.0 + 0.8;
         let got = taylor_expected_value(f, &means, &cov, None);
-        assert!((got - expected).abs() < 1e-4, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-4,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]

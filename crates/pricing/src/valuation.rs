@@ -14,7 +14,6 @@
 
 use crate::kde::GaussianKde;
 use crate::stats::{mean, normal_cdf, std_dev};
-use serde::{Deserialize, Serialize};
 
 /// A distribution of buyer valuations for one item.
 pub trait Valuation {
@@ -26,7 +25,7 @@ pub trait Valuation {
 ///
 /// `Pr[val ≥ p] = ½ (1 − erf((p − μ) / (√2 σ)))`, exactly the expression used
 /// in §6.1 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaussianValuation {
     /// Mean valuation `μ`.
     pub mean: f64,
@@ -44,13 +43,19 @@ impl GaussianValuation {
     /// variance plus `h²`, which for Silverman bandwidths is dominated by the
     /// sample variance — so this summary matches the KDE summary closely.
     pub fn from_samples(samples: &[f64]) -> Self {
-        GaussianValuation { mean: mean(samples), std: std_dev(samples).max(1e-9) }
+        GaussianValuation {
+            mean: mean(samples),
+            std: std_dev(samples).max(1e-9),
+        }
     }
 
     /// Builds the Gaussian summary of a fitted KDE (mixture mean and standard
     /// deviation, which includes the bandwidth term).
     pub fn from_kde(kde: &GaussianKde) -> Self {
-        GaussianValuation { mean: kde.mean(), std: kde.variance().sqrt().max(1e-9) }
+        GaussianValuation {
+            mean: kde.mean(),
+            std: kde.variance().sqrt().max(1e-9),
+        }
     }
 }
 
@@ -62,7 +67,7 @@ impl Valuation for GaussianValuation {
 
 /// Valuation distribution given directly by a KDE over observed prices
 /// (the non-parametric alternative to [`GaussianValuation`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KdeValuation {
     kde: GaussianKde,
 }
@@ -123,7 +128,10 @@ mod tests {
 
     #[test]
     fn gaussian_valuation_is_anti_monotone_in_price() {
-        let v = GaussianValuation { mean: 100.0, std: 20.0 };
+        let v = GaussianValuation {
+            mean: 100.0,
+            std: 20.0,
+        };
         let mut prev = 1.0;
         for p in (0..300).map(|x| x as f64) {
             let q = v.prob_at_least(p);
@@ -164,7 +172,10 @@ mod tests {
 
     #[test]
     fn adoption_probability_scales_with_rating() {
-        let v = GaussianValuation { mean: 100.0, std: 10.0 };
+        let v = GaussianValuation {
+            mean: 100.0,
+            std: 10.0,
+        };
         let q_high = adoption_probability(&v, 5.0, 5.0, 100.0);
         let q_low = adoption_probability(&v, 2.5, 5.0, 100.0);
         assert!((q_high - 0.5).abs() < 1e-9);
@@ -178,7 +189,10 @@ mod tests {
 
     #[test]
     fn adoption_series_follows_price_fluctuation() {
-        let v = GaussianValuation { mean: 100.0, std: 10.0 };
+        let v = GaussianValuation {
+            mean: 100.0,
+            std: 10.0,
+        };
         let prices = [120.0, 100.0, 80.0];
         let series = adoption_series(&v, 5.0, 5.0, &prices);
         assert_eq!(series.len(), 3);

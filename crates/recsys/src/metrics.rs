@@ -29,7 +29,10 @@ pub fn precision_at_k(scored: &[(f64, f64)], k: usize, relevance_threshold: f64)
     let mut ranked: Vec<&(f64, f64)> = scored.iter().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let top = &ranked[..k.min(ranked.len())];
-    let relevant = top.iter().filter(|(truth, _)| *truth >= relevance_threshold).count();
+    let relevant = top
+        .iter()
+        .filter(|(truth, _)| *truth >= relevance_threshold)
+        .count();
     relevant as f64 / top.len() as f64
 }
 

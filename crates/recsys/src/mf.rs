@@ -11,10 +11,9 @@ use crate::ratings::RatingSet;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the SGD matrix-factorization trainer.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MfConfig {
     /// Number of latent factors `f`.
     pub factors: usize,
@@ -50,7 +49,7 @@ impl Default for MfConfig {
 }
 
 /// A trained matrix-factorization model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MatrixFactorization {
     factors: usize,
     global_mean: f64,
@@ -181,7 +180,9 @@ impl MatrixFactorization {
 
     /// Predicted ratings of every item for one user.
     pub fn predict_all_for_user(&self, user: u32) -> Vec<f64> {
-        (0..self.num_items).map(|item| self.predict(user, item)).collect()
+        (0..self.num_items)
+            .map(|item| self.predict(user, item))
+            .collect()
     }
 
     /// RMSE of the model on a held-out rating set.
@@ -237,8 +238,12 @@ mod tests {
     fn synthetic_ratings(num_users: u32, num_items: u32, per_user: usize, seed: u64) -> RatingSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let f = 4;
-        let user_lat: Vec<f64> = (0..num_users as usize * f).map(|_| rng.gen_range(-0.7..0.7)).collect();
-        let item_lat: Vec<f64> = (0..num_items as usize * f).map(|_| rng.gen_range(-0.7..0.7)).collect();
+        let user_lat: Vec<f64> = (0..num_users as usize * f)
+            .map(|_| rng.gen_range(-0.7..0.7))
+            .collect();
+        let item_lat: Vec<f64> = (0..num_items as usize * f)
+            .map(|_| rng.gen_range(-0.7..0.7))
+            .collect();
         let mut rs = RatingSet::new(num_users, num_items);
         for u in 0..num_users as usize {
             for _ in 0..per_user {
@@ -271,8 +276,7 @@ mod tests {
         let model_rmse = model.evaluate_rmse(&test);
         // Baseline: predict the global mean for everything.
         let mean = train.global_mean();
-        let baseline: Vec<(f64, f64)> =
-            test.ratings().iter().map(|r| (r.value, mean)).collect();
+        let baseline: Vec<(f64, f64)> = test.ratings().iter().map(|r| (r.value, mean)).collect();
         let baseline_rmse = rmse(&baseline);
         assert!(
             model_rmse < baseline_rmse * 0.9,
@@ -326,7 +330,11 @@ mod tests {
     #[test]
     fn cross_validation_runs_and_is_finite() {
         let ratings = synthetic_ratings(30, 20, 10, 6);
-        let config = MfConfig { factors: 4, epochs: 10, ..Default::default() };
+        let config = MfConfig {
+            factors: 4,
+            epochs: 10,
+            ..Default::default()
+        };
         let cv = cross_validate_rmse(&ratings, &config, 5, 9);
         assert!(cv.is_finite());
         assert!(cv > 0.0 && cv < 2.5, "cv rmse {cv} out of plausible range");
@@ -335,7 +343,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ratings = synthetic_ratings(15, 10, 6, 7);
-        let config = MfConfig { factors: 4, epochs: 5, ..Default::default() };
+        let config = MfConfig {
+            factors: 4,
+            epochs: 5,
+            ..Default::default()
+        };
         let a = MatrixFactorization::train(&ratings, &config);
         let b = MatrixFactorization::train(&ratings, &config);
         for u in 0..15 {

@@ -7,10 +7,9 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One observed rating `r_ui`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rating {
     /// User index.
     pub user: u32,
@@ -21,7 +20,7 @@ pub struct Rating {
 }
 
 /// A collection of observed ratings over a fixed user/item universe.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RatingSet {
     num_users: u32,
     num_items: u32,
@@ -31,7 +30,11 @@ pub struct RatingSet {
 impl RatingSet {
     /// Creates an empty rating set over the given universe.
     pub fn new(num_users: u32, num_items: u32) -> Self {
-        RatingSet { num_users, num_items, ratings: Vec::new() }
+        RatingSet {
+            num_users,
+            num_items,
+            ratings: Vec::new(),
+        }
     }
 
     /// Creates a rating set from parts, clamping out-of-range indices away.
@@ -40,7 +43,11 @@ impl RatingSet {
             .into_iter()
             .filter(|r| r.user < num_users && r.item < num_items)
             .collect();
-        RatingSet { num_users, num_items, ratings }
+        RatingSet {
+            num_users,
+            num_items,
+            ratings,
+        }
     }
 
     /// Number of users in the universe.
@@ -121,7 +128,11 @@ impl RatingSet {
             .copied()
             .filter(|r| counts[r.item as usize] >= min_ratings)
             .collect();
-        RatingSet { num_users: self.num_users, num_items: self.num_items, ratings }
+        RatingSet {
+            num_users: self.num_users,
+            num_items: self.num_items,
+            ratings,
+        }
     }
 
     /// Random train/test split with the given test fraction.
@@ -133,8 +144,16 @@ impl RatingSet {
         let test = shuffled[..n_test].to_vec();
         let train = shuffled[n_test..].to_vec();
         (
-            RatingSet { num_users: self.num_users, num_items: self.num_items, ratings: train },
-            RatingSet { num_users: self.num_users, num_items: self.num_items, ratings: test },
+            RatingSet {
+                num_users: self.num_users,
+                num_items: self.num_items,
+                ratings: train,
+            },
+            RatingSet {
+                num_users: self.num_users,
+                num_items: self.num_items,
+                ratings: test,
+            },
         )
     }
 
@@ -158,7 +177,11 @@ impl RatingSet {
     }
 
     /// Returns (train, test) pairs for `k`-fold cross validation.
-    pub fn cross_validation_splits<R: Rng>(&self, k: usize, rng: &mut R) -> Vec<(RatingSet, RatingSet)> {
+    pub fn cross_validation_splits<R: Rng>(
+        &self,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<(RatingSet, RatingSet)> {
         let folds = self.folds(k, rng);
         (0..k)
             .map(|test_idx| {
@@ -255,8 +278,16 @@ mod tests {
             2,
             2,
             vec![
-                Rating { user: 0, item: 0, value: 1.0 },
-                Rating { user: 3, item: 0, value: 1.0 },
+                Rating {
+                    user: 0,
+                    item: 0,
+                    value: 1.0,
+                },
+                Rating {
+                    user: 3,
+                    item: 0,
+                    value: 1.0,
+                },
             ],
         );
         assert_eq!(rs.len(), 1);

@@ -24,17 +24,27 @@ fn main() {
     // sale price.
     let num_users = 10u32;
     let mut builder = InstanceBuilder::new(num_users, 1, horizon);
-    builder.display_limit(1).beta(0, 0.3).capacity(0, num_users).prices(0, &prices);
+    builder
+        .display_limit(1)
+        .beta(0, 0.3)
+        .capacity(0, num_users)
+        .prices(0, &prices);
 
     let rating = 4.6;
     let max_rating = 5.0;
     for u in 0..num_users {
         let valuation = if u % 2 == 0 {
             // High-valuation users: mean willingness to pay above full price.
-            GaussianValuation { mean: 780.0, std: 60.0 }
+            GaussianValuation {
+                mean: 780.0,
+                std: 60.0,
+            }
         } else {
             // Low-valuation users: only comfortable at the sale price.
-            GaussianValuation { mean: 560.0, std: 60.0 }
+            GaussianValuation {
+                mean: 560.0,
+                std: 60.0,
+            }
         };
         let probs = adoption_series(&valuation, rating, max_rating, &prices);
         builder.candidate(u, 0, &probs, rating);
@@ -52,7 +62,11 @@ fn main() {
     let mut before_sale_high = 0;
     let mut on_sale_low = 0;
     for u in 0..num_users {
-        let segment = if u % 2 == 0 { "high-value" } else { "low-value" };
+        let segment = if u % 2 == 0 {
+            "high-value"
+        } else {
+            "low-value"
+        };
         let day = first_day[u as usize].map_or("never".to_string(), |d| format!("day {d}"));
         println!("{:<10} {:>12} {:>14}", format!("user {u}"), segment, day);
         match (u % 2 == 0, first_day[u as usize]) {

@@ -17,7 +17,10 @@ fn main() {
     let stats = Table1Stats::from_dataset(&dataset);
     println!("{}", Table1Stats::header());
     println!("{stats}");
-    println!("hold-out RMSE of the MF substrate: {:.3}\n", dataset.mf_rmse);
+    println!(
+        "hold-out RMSE of the MF substrate: {:.3}\n",
+        dataset.mf_rmse
+    );
 
     let lineup = vec![
         Algorithm::GlobalGreedy,
@@ -42,7 +45,7 @@ fn main() {
             report.elapsed.as_secs_f64(),
             report.marginal_evaluations
         );
-        if best.as_ref().map_or(true, |b| report.revenue > b.revenue) {
+        if best.as_ref().is_none_or(|b| report.revenue > b.revenue) {
             best = Some(report);
         }
     }

@@ -23,7 +23,10 @@ fn main() {
         competitor_vars: vec![],
         rating_factor: 0.92,
         competitor_rating_factors: vec![],
-        valuation: GaussianValuation { mean: 1250.0, std: 180.0 },
+        valuation: GaussianValuation {
+            mean: 1250.0,
+            std: 180.0,
+        },
         competitor_valuations: vec![],
         saturation_discount: 1.0,
     };
@@ -32,8 +35,14 @@ fn main() {
         competitor_vars: vec![0], // competes with Monday's laptop
         rating_factor: 0.85,
         competitor_rating_factors: vec![0.92],
-        valuation: GaussianValuation { mean: 1180.0, std: 160.0 },
-        competitor_valuations: vec![GaussianValuation { mean: 1250.0, std: 180.0 }],
+        valuation: GaussianValuation {
+            mean: 1180.0,
+            std: 160.0,
+        },
+        competitor_valuations: vec![GaussianValuation {
+            mean: 1250.0,
+            std: 180.0,
+        }],
         saturation_discount: 0.7, // some saturation from the Monday impression
     };
     let plan = vec![monday, wednesday];

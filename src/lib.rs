@@ -53,13 +53,12 @@ pub use revmax_recsys as recsys;
 /// The most commonly used items across the workspace, re-exported flat.
 pub mod prelude {
     pub use revmax_algorithms::{
-        global_greedy, global_no_saturation, randomized_local_greedy, run,
-        sequential_local_greedy, solve_t1_exact, top_rating, top_revenue, Algorithm,
-        GreedyOutcome, RunReport,
+        global_greedy, global_no_saturation, randomized_local_greedy, run, sequential_local_greedy,
+        solve_t1_exact, top_rating, top_revenue, Algorithm, GreedyOutcome, RunReport,
     };
     pub use revmax_core::{
-        revenue, IncrementalRevenue, Instance, InstanceBuilder, ItemId, Strategy, TimeStep,
-        Triple, UserId,
+        revenue, IncrementalRevenue, Instance, InstanceBuilder, ItemId, Strategy, TimeStep, Triple,
+        UserId,
     };
     pub use revmax_data::{
         generate, generate_scalability, BetaSetting, CapacityDistribution, DatasetConfig,

@@ -10,7 +10,10 @@ fn small_marketplace() -> GeneratedDataset {
     config.num_items = 30;
     config.candidates_per_user = 10;
     config.horizon = 5;
-    config.capacity = CapacityDistribution::Gaussian { mean: 40.0, std: 4.0 };
+    config.capacity = CapacityDistribution::Gaussian {
+        mean: 40.0,
+        std: 4.0,
+    };
     generate(&config)
 }
 
@@ -54,7 +57,9 @@ fn runner_covers_staged_price_information() {
     let holistic = run(inst, &Algorithm::GlobalGreedy, 1);
     let staged = run(
         inst,
-        &Algorithm::StagedGlobalGreedy { stage_ends: vec![2] },
+        &Algorithm::StagedGlobalGreedy {
+            stage_ends: vec![2],
+        },
         1,
     );
     assert!(staged.outcome.strategy.validate(inst).is_ok());

@@ -24,9 +24,13 @@ fn example_1_dynamic_adoption_probabilities() {
         .candidate(0, 0, &[a, a, a], 0.0)
         .candidate(0, 1, &[a, a, a], 0.0);
     let inst = b.build().unwrap();
-    let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2), Triple::new(0, 0, 3)]
-        .into_iter()
-        .collect();
+    let s: Strategy = vec![
+        Triple::new(0, 0, 1),
+        Triple::new(0, 1, 2),
+        Triple::new(0, 0, 3),
+    ]
+    .into_iter()
+    .collect();
     let rev = revenue(&inst, &s);
     // q_S(u,i,1) = a; q_S(u,j,2) = (1-a)·a·β; q_S(u,i,3) = (1-a)²·a·β^{3/2}; prices are 1.
     let expected = a + (1.0 - a) * a * beta + (1.0 - a_sq(a)) * a * beta.powf(1.5);
@@ -49,7 +53,9 @@ fn example_4_non_monotonicity_and_algorithm_behaviour() {
     let inst = b.build().unwrap();
 
     let small: Strategy = vec![Triple::new(0, 0, 2)].into_iter().collect();
-    let large: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)].into_iter().collect();
+    let large: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)]
+        .into_iter()
+        .collect();
     assert!(revenue(&inst, &large) < revenue(&inst, &small));
 
     assert!((global_greedy(&inst).revenue - 0.57).abs() < 1e-9);
@@ -79,7 +85,9 @@ fn example_3_effective_probability_with_exceeded_capacity() {
     .into_iter()
     .collect();
     let eff: std::collections::HashMap<Triple, f64> =
-        effective_probabilities(&inst, &s, &ExactPoissonBinomial).into_iter().collect();
+        effective_probabilities(&inst, &s, &ExactPoissonBinomial)
+            .into_iter()
+            .collect();
     let expected = 0.45 * (1.0 - 0.4) * 0.5 * (1.0 - 0.2) * (1.0 - 0.3);
     assert!((eff[&Triple::new(2, 0, 2)] - expected).abs() < 1e-12);
 }

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the criterion 0.5 API the REVMAX benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: every benchmark runs a short calibration pass, then
+//! `sample_size` timed samples; the mean, median, and min per-iteration time
+//! are printed and appended to a JSON report. Set `REVMAX_BENCH_JSON=<path>`
+//! to choose the report file (default `target/revmax-bench.json`); set
+//! `REVMAX_BENCH_FAST=1` to clamp sample counts for smoke runs.
+
+use std::fmt;
+use std::fs;
+use std::hint;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that prevents the optimizer from deleting a value.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier for a parameterised benchmark, e.g. `exact_dp/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// One timing measurement, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/benchmark` path.
+    pub id: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(name, f);
+        group.finish();
+    }
+
+    fn record(&mut self, m: Measurement) {
+        println!(
+            "{:<48} median {:>12.1} ns  mean {:>12.1} ns  min {:>12.1} ns  ({} samples)",
+            m.id, m.median_ns, m.mean_ns, m.min_ns, m.samples
+        );
+        self.results.push(m);
+    }
+
+    /// Writes all recorded measurements as a JSON array.
+    pub fn write_report(&self) {
+        let path = report_path();
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let mut out = String::from("[\n");
+        for (idx, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                m.id.replace('"', "\\\""),
+                m.median_ns,
+                m.mean_ns,
+                m.min_ns,
+                m.samples,
+                if idx + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        match fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => println!("bench report written to {}", path.display()),
+            Err(e) => eprintln!("could not write bench report {}: {e}", path.display()),
+        }
+    }
+}
+
+fn report_path() -> PathBuf {
+    std::env::var_os("REVMAX_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/revmax-bench.json"))
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("REVMAX_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's default is 100; the
+    /// shim defaults to 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Soft cap on the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times a closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let samples = if fast_mode() { 2 } else { self.sample_size };
+        let mut bencher = Bencher {
+            samples,
+            budget: self.measurement_time,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        self.parent.record(bencher.measurement(full));
+    }
+
+    /// Times a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; drop would do).
+    pub fn finish(self) {}
+}
+
+/// Collects per-sample timings for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    times: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed call to warm caches and page in code.
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed().as_nanos() as f64);
+            if started.elapsed() > self.budget * 4 && self.times.len() >= 2 {
+                break;
+            }
+        }
+    }
+
+    fn measurement(mut self, id: String) -> Measurement {
+        if self.times.is_empty() {
+            self.times.push(0.0);
+        }
+        self.times
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = self.times.len();
+        let median = if n % 2 == 1 {
+            self.times[n / 2]
+        } else {
+            0.5 * (self.times[n / 2 - 1] + self.times[n / 2])
+        };
+        Measurement {
+            id,
+            mean_ns: self.times.iter().sum::<f64>() / n as f64,
+            median_ns: median,
+            min_ns: self.times[0],
+            samples: n,
+        }
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.write_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_statistics_are_sane() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/noop");
+        assert_eq!(c.results[1].id, "g/param/3");
+        for m in &c.results {
+            assert!(m.min_ns <= m.median_ns + 1e-9);
+            assert!(m.samples >= 2);
+        }
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}
