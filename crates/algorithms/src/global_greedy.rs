@@ -30,7 +30,7 @@
 //! initial value pass (`q(u,i,t) · p(i,t)`, embarrassingly parallel over
 //! candidates) is filled by scoped threads cut at user boundaries.
 
-use crate::heap::LazyMaxHeap;
+use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
 use revmax_core::{
     revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine,
@@ -67,6 +67,20 @@ pub struct GreedyOptions {
     /// Fill the initial value table with scoped threads (deterministic; the
     /// sequential and parallel fills are bit-identical).
     pub parallel_init: bool,
+    /// Heap implementation backing the selection loops. The lazy-deletion
+    /// heap (default, measured fastest on the Amazon-shaped datasets) and
+    /// the indexed d-ary decrease-key heap produce identical selection
+    /// sequences (same deterministic tie-breaking); see
+    /// [`HeapKind`] for the trade-off.
+    pub heap: HeapKind,
+    /// Number of user shards for the shard-partitioned planning core.
+    /// `0` or `1` selects the single-engine sequential driver; `n ≥ 2`
+    /// partitions the users into `n` CSR-aligned shards, each owning a
+    /// shard-local engine view, candidate table, and heap, coordinated by a
+    /// deterministic max-marginal arbitration loop that reproduces the
+    /// sequential plan exactly (see `crate::sharded`). The sharded core
+    /// always uses the two-level heap layout.
+    pub shards: u32,
 }
 
 impl Default for GreedyOptions {
@@ -78,7 +92,42 @@ impl Default for GreedyOptions {
             track_trace: false,
             engine: EngineKind::Flat,
             parallel_init: true,
+            heap: HeapKind::default(),
+            shards: 1,
         }
+    }
+}
+
+impl GreedyOptions {
+    /// Default options with engine / heap / shard selection read from the
+    /// environment, so binaries and examples expose the knobs without
+    /// recompiling:
+    ///
+    /// * `REVMAX_ENGINE` — `flat` (default) or `hash`;
+    /// * `REVMAX_HEAP`   — `lazy` (default) or `dary`;
+    /// * `REVMAX_SHARDS` — shard count (default 1; `≥ 2` engages the
+    ///   shard-partitioned planning core).
+    ///
+    /// Unknown values fall back to the defaults — selection must never
+    /// change results (only speed), so a typo degrades gracefully.
+    pub fn from_env() -> Self {
+        let mut opts = GreedyOptions::default();
+        if let Ok(v) = std::env::var("REVMAX_ENGINE") {
+            if v == "hash" {
+                opts.engine = EngineKind::Hash;
+            }
+        }
+        if let Ok(v) = std::env::var("REVMAX_HEAP") {
+            if v == "dary" || v == "indexed_dary" {
+                opts.heap = HeapKind::IndexedDary;
+            }
+        }
+        if let Ok(s) = std::env::var("REVMAX_SHARDS") {
+            if let Ok(n) = s.parse::<u32>() {
+                opts.shards = n.max(1);
+            }
+        }
+        opts
     }
 }
 
@@ -118,32 +167,58 @@ pub fn global_no_saturation(inst: &Instance) -> GreedyOutcome {
 
 /// Runs G-Greedy with explicit options.
 pub fn global_greedy_with(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
-    match (opts.engine, opts.two_level_heaps) {
-        (EngineKind::Flat, true) => two_level_greedy::<IncrementalRevenue<'_>>(inst, opts),
-        (EngineKind::Flat, false) => giant_heap_greedy::<IncrementalRevenue<'_>>(inst, opts),
-        (EngineKind::Hash, true) => two_level_greedy::<HashIncrementalRevenue<'_>>(inst, opts),
-        (EngineKind::Hash, false) => giant_heap_greedy::<HashIncrementalRevenue<'_>>(inst, opts),
+    if opts.shards > 1 {
+        return crate::sharded::sharded_global_greedy(inst, opts, opts.shards as usize);
+    }
+    use EngineKind::{Flat, Hash};
+    use HeapKind::{IndexedDary, Lazy};
+    type FlatEng<'i> = IncrementalRevenue<'i>;
+    type HashEng<'i> = HashIncrementalRevenue<'i>;
+    match (opts.engine, opts.two_level_heaps, opts.heap) {
+        (Flat, true, Lazy) => two_level_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, opts),
+        (Flat, true, IndexedDary) => two_level_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, opts),
+        (Flat, false, Lazy) => giant_heap_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, opts),
+        (Flat, false, IndexedDary) => giant_heap_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, opts),
+        (Hash, true, Lazy) => two_level_greedy::<HashEng<'_>, LazyMaxHeap>(inst, opts),
+        (Hash, true, IndexedDary) => two_level_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, opts),
+        (Hash, false, Lazy) => giant_heap_greedy::<HashEng<'_>, LazyMaxHeap>(inst, opts),
+        (Hash, false, IndexedDary) => giant_heap_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, opts),
     }
 }
 
-/// Struct-of-arrays per-candidate cached state: slot `cand * T + t` holds the
-/// cached (possibly stale) marginal revenue and the lazy-forward flag it was
-/// computed under. A blocked (dead) slot is encoded as `NEG_INFINITY` in
-/// `values`, so the per-candidate "lower heap" is a single contiguous max
-/// scan over `T` floats.
-struct CandidateTable {
+/// Struct-of-arrays per-candidate cached state: slot `local_cand * T + t`
+/// holds the cached (possibly stale) marginal revenue and the lazy-forward
+/// flag it was computed under. A blocked (dead) slot is encoded as
+/// `NEG_INFINITY` in `values`, so the per-candidate "lower heap" is a single
+/// contiguous max scan over `T` floats.
+///
+/// The table covers a contiguous candidate range (the whole instance for the
+/// sequential drivers, one user shard for the shard-partitioned core) and is
+/// addressed by *local* candidate indices relative to the range start.
+pub(crate) struct CandidateTable {
     horizon: usize,
-    values: Vec<f64>,
-    flags: Vec<u32>,
+    pub(crate) values: Vec<f64>,
+    pub(crate) flags: Vec<u32>,
 }
 
 impl CandidateTable {
     fn new(inst: &Instance, parallel: bool) -> Self {
+        Self::for_range(inst, 0, inst.num_candidates() as u32, parallel)
+    }
+
+    /// Builds the initial value table (`q(u,i,t) · p(i,t)`) for the candidate
+    /// range `[cand_start, cand_end)`.
+    pub(crate) fn for_range(
+        inst: &Instance,
+        cand_start: u32,
+        cand_end: u32,
+        parallel: bool,
+    ) -> Self {
         let horizon = inst.horizon() as usize;
-        let n = inst.num_candidates() * horizon;
+        let n = (cand_end - cand_start) as usize * horizon;
         let mut values = vec![f64::NEG_INFINITY; n];
         let fill = |slot: usize| {
-            let cand = CandidateId((slot / horizon) as u32);
+            let cand = CandidateId(cand_start + (slot / horizon) as u32);
             let t = TimeStep::from_index(slot % horizon);
             inst.candidate_prob(cand, t) * inst.price(inst.candidate_item(cand), t)
         };
@@ -161,10 +236,46 @@ impl CandidateTable {
         }
     }
 
+    /// Re-evaluates every live slot of the local candidate `local` (engine
+    /// calls address the global `cand`), stamping the flags; returns the
+    /// number of marginal evaluations performed.
+    pub(crate) fn reevaluate<'a, E: RevenueEngine<'a>>(
+        &mut self,
+        inc: &E,
+        local: u32,
+        cand: CandidateId,
+        stamp: u32,
+    ) -> u64 {
+        let horizon = self.horizon;
+        let base = local as usize * horizon;
+        if horizon <= 64 {
+            let mut mask = 0u64;
+            for t_idx in 0..horizon {
+                if !self.is_blocked(local, t_idx) {
+                    mask |= 1 << t_idx;
+                    self.flags[base + t_idx] = stamp;
+                }
+            }
+            inc.marginal_revenue_batch(cand, mask, &mut self.values[base..base + horizon]) as u64
+        } else {
+            let mut evals = 0;
+            for t_idx in 0..horizon {
+                if self.is_blocked(local, t_idx) {
+                    continue;
+                }
+                self.values[base + t_idx] =
+                    inc.marginal_revenue_cand(cand, TimeStep::from_index(t_idx));
+                self.flags[base + t_idx] = stamp;
+                evals += 1;
+            }
+            evals
+        }
+    }
+
     /// Best live slot of a candidate: `(t index, value)`; `None` when every
     /// slot is blocked.
     #[inline]
-    fn best(&self, cand: u32) -> Option<(usize, f64)> {
+    pub(crate) fn best(&self, cand: u32) -> Option<(usize, f64)> {
         let base = cand as usize * self.horizon;
         let mut best_t = 0usize;
         let mut best_v = f64::NEG_INFINITY;
@@ -183,17 +294,17 @@ impl CandidateTable {
 
     /// Marks a slot dead (already selected, or its display slot is full).
     #[inline]
-    fn block(&mut self, cand: u32, t: usize) {
+    pub(crate) fn block(&mut self, cand: u32, t: usize) {
         self.values[cand as usize * self.horizon + t] = f64::NEG_INFINITY;
     }
 
     #[inline]
-    fn is_blocked(&self, cand: u32, t: usize) -> bool {
+    pub(crate) fn is_blocked(&self, cand: u32, t: usize) -> bool {
         self.values[cand as usize * self.horizon + t] == f64::NEG_INFINITY
     }
 
     #[inline]
-    fn slot(&self, cand: u32, t: usize) -> usize {
+    pub(crate) fn slot(&self, cand: u32, t: usize) -> usize {
         cand as usize * self.horizon + t
     }
 }
@@ -221,11 +332,10 @@ fn finish<'a, E: RevenueEngine<'a>>(
     }
 }
 
-fn two_level_greedy<'a, E: RevenueEngine<'a>>(
+fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     opts: &GreedyOptions,
 ) -> GreedyOutcome {
-    let horizon = inst.horizon() as usize;
     let num_cand = inst.num_candidates();
     let mut inc = E::with_options(inst, opts.ignore_saturation);
     let mut trace = Vec::new();
@@ -236,7 +346,7 @@ fn two_level_greedy<'a, E: RevenueEngine<'a>>(
     for cand in 0..num_cand as u32 {
         roots[cand as usize] = table.best(cand).map_or(f64::NEG_INFINITY, |(_, v)| v);
     }
-    let mut heap = LazyMaxHeap::new(&roots);
+    let mut heap = H::build(&roots);
     let total_slots = inst.total_slots();
 
     'outer: while (inc.len() as u64) < total_slots {
@@ -305,29 +415,7 @@ fn two_level_greedy<'a, E: RevenueEngine<'a>>(
             }
         } else {
             // Re-evaluate every live triple of this candidate, then re-queue.
-            let base = cand_idx as usize * horizon;
-            if horizon <= 64 {
-                let mut mask = 0u64;
-                for t_idx in 0..horizon {
-                    if !table.is_blocked(cand_idx, t_idx) {
-                        mask |= 1 << t_idx;
-                        table.flags[base + t_idx] = stamp;
-                    }
-                }
-                evals +=
-                    inc.marginal_revenue_batch(cand, mask, &mut table.values[base..base + horizon])
-                        as u64;
-            } else {
-                for t_idx in 0..horizon {
-                    if table.is_blocked(cand_idx, t_idx) {
-                        continue;
-                    }
-                    table.values[base + t_idx] =
-                        inc.marginal_revenue_cand(cand, TimeStep::from_index(t_idx));
-                    table.flags[base + t_idx] = stamp;
-                    evals += 1;
-                }
-            }
+            evals += table.reevaluate(&inc, cand_idx, cand, stamp);
             match table.best(cand_idx) {
                 Some((_, v)) => heap.update(cand_idx, v),
                 None => heap.remove(cand_idx),
@@ -338,7 +426,7 @@ fn two_level_greedy<'a, E: RevenueEngine<'a>>(
     finish(inst, inc, opts, trace, evals)
 }
 
-fn giant_heap_greedy<'a, E: RevenueEngine<'a>>(
+fn giant_heap_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     opts: &GreedyOptions,
 ) -> GreedyOutcome {
@@ -351,7 +439,7 @@ fn giant_heap_greedy<'a, E: RevenueEngine<'a>>(
     // as the initial heap keys.
     let table = CandidateTable::new(inst, opts.parallel_init);
     let mut flags = table.flags;
-    let mut heap = LazyMaxHeap::new(&table.values);
+    let mut heap = H::build(&table.values);
     let total_slots = inst.total_slots();
 
     while (inc.len() as u64) < total_slots {

@@ -35,6 +35,7 @@ pub mod local_search;
 pub mod max_dcs;
 pub mod par;
 pub mod runner;
+pub mod sharded;
 pub mod staged;
 
 pub use baselines::{top_rating, top_revenue};
@@ -44,7 +45,7 @@ pub use global_greedy::{
     global_greedy, global_greedy_with, global_no_saturation, EngineKind, GreedyOptions,
     GreedyOutcome,
 };
-pub use heap::LazyMaxHeap;
+pub use heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 pub use local_greedy::{
     local_greedy_with_order, local_greedy_with_order_opts, randomized_local_greedy,
     sample_permutations, sequential_local_greedy, LocalGreedyOptions,
@@ -55,4 +56,5 @@ pub use local_search::{
 };
 pub use max_dcs::{solve_t1_exact, MaxDcsOutcome};
 pub use runner::{run, Algorithm, RunReport};
+pub use sharded::{shard_users, sharded_global_greedy, sharded_local_greedy};
 pub use staged::{global_greedy_staged, randomized_local_greedy_staged, stages_from_ends};

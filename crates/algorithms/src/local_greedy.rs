@@ -14,7 +14,7 @@
 //! scans are bit-identical, which the equivalence tests assert.
 
 use crate::global_greedy::{EngineKind, GreedyOutcome};
-use crate::heap::LazyMaxHeap;
+use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -33,10 +33,15 @@ pub struct LocalGreedyOptions {
     /// threads, cut at user boundaries. `None` (default) auto-enables the
     /// parallel scan on large instances; `Some(x)` forces it on or off.
     pub parallel_scan: Option<bool>,
+    /// Heap implementation backing the per-time-step selection loop.
+    pub heap: HeapKind,
+    /// Number of user shards (`0`/`1` = sequential driver, `n ≥ 2` = the
+    /// shard-partitioned core of [`crate::sharded`]).
+    pub shards: u32,
 }
 
 /// Candidate count above which the per-step scan defaults to parallel.
-const PARALLEL_SCAN_THRESHOLD: usize = 1 << 13;
+pub(crate) const PARALLEL_SCAN_THRESHOLD: usize = 1 << 13;
 
 /// Runs SL-Greedy: per-time-step greedy in chronological order `1, 2, …, T`.
 pub fn sequential_local_greedy(inst: &Instance) -> GreedyOutcome {
@@ -60,13 +65,27 @@ pub fn local_greedy_with_order_opts(
     order: &[u32],
     opts: &LocalGreedyOptions,
 ) -> GreedyOutcome {
-    match opts.engine {
-        EngineKind::Flat => run_order::<IncrementalRevenue<'_>>(inst, order, opts),
-        EngineKind::Hash => run_order::<HashIncrementalRevenue<'_>>(inst, order, opts),
+    if opts.shards > 1 {
+        return crate::sharded::sharded_local_greedy(inst, order, opts, opts.shards as usize);
+    }
+    use HeapKind::{IndexedDary, Lazy};
+    match (opts.engine, opts.heap) {
+        (EngineKind::Flat, Lazy) => {
+            run_order::<IncrementalRevenue<'_>, LazyMaxHeap>(inst, order, opts)
+        }
+        (EngineKind::Flat, IndexedDary) => {
+            run_order::<IncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, opts)
+        }
+        (EngineKind::Hash, Lazy) => {
+            run_order::<HashIncrementalRevenue<'_>, LazyMaxHeap>(inst, order, opts)
+        }
+        (EngineKind::Hash, IndexedDary) => {
+            run_order::<HashIncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, opts)
+        }
     }
 }
 
-fn run_order<'a, E: RevenueEngine<'a>>(
+fn run_order<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     order: &[u32],
     opts: &LocalGreedyOptions,
@@ -78,7 +97,7 @@ fn run_order<'a, E: RevenueEngine<'a>>(
         .parallel_scan
         .unwrap_or(inst.num_candidates() >= PARALLEL_SCAN_THRESHOLD);
     for &t in order {
-        run_time_step(
+        run_time_step::<E, H>(
             inst,
             &mut inc,
             TimeStep(t),
@@ -99,7 +118,7 @@ fn run_order<'a, E: RevenueEngine<'a>>(
 
 /// Greedily fills the recommendation slots of a single time step given the
 /// strategy accumulated so far (lines 5–15 of Algorithm 2, with lazy forward).
-pub(crate) fn run_time_step<'a, E: RevenueEngine<'a>>(
+pub(crate) fn run_time_step<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     inc: &mut E,
     t: TimeStep,
@@ -130,7 +149,7 @@ pub(crate) fn run_time_step<'a, E: RevenueEngine<'a>>(
         *f = inc.group_size_cand(CandidateId(c as u32)) as u32;
     }
 
-    let mut heap = LazyMaxHeap::new(&values);
+    let mut heap = H::build(&values);
     while let Some((cand_idx, value)) = heap.pop() {
         if value <= 0.0 {
             break;

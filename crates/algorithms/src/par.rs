@@ -79,6 +79,34 @@ where
     });
 }
 
+/// Maps `f` over `items`, one scoped worker per item when `parallel` is
+/// requested and the hardware offers more than one unit of parallelism;
+/// otherwise maps sequentially. Output order always follows input order, and
+/// `f` is pure per item, so both paths are bit-identical — the shard
+/// planners use this to build per-shard engines and candidate tables
+/// concurrently without changing results.
+pub fn scoped_map<T, R, F>(items: Vec<T>, f: F, parallel: bool) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if !parallel || items.len() <= 1 || worker_count(items.len()) <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move || f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
 /// Convenience: parallel fill of `out` where `out[i] = f(i)`, cut into
 /// `worker_count` even pieces (no boundary constraints).
 pub fn parallel_fill<T, F>(out: &mut [T], f: F)

@@ -1,0 +1,558 @@
+//! The shard-partitioned planning core.
+//!
+//! The REVMAX objective decomposes per user — memory, saturation, and
+//! competition all act inside one user's (user, class) groups — and the
+//! display constraint is per (user, time). The *only* cross-user coupling is
+//! item capacity. This module partitions the users into CSR-aligned shards
+//! ([`shard_users`]), gives each shard its own engine view
+//! ([`revmax_core::RevenueEngine::for_shard`]), candidate table, and heap,
+//! and couples the shards exclusively through a [`SharedCapacityLedger`].
+//!
+//! # Determinism: value-ordered claim arbitration
+//!
+//! Capacity claims are *order-sensitive*: the sequential greedy grants an
+//! item's last capacity unit to whichever candidate surfaces first, i.e. in
+//! descending marginal-revenue order. A free-running optimistic shard race
+//! would grant claims in scheduler order — nondeterministic and generally
+//! different from the sequential plan. (Empirically this matters: on
+//! `amazon_like().scaled(0.02)` the sequential G-Greedy plan ends with
+//! roughly half of all items exactly at capacity.)
+//!
+//! The coordinator therefore performs a *deterministic reconciliation* of
+//! the shard frontiers. Every shard keeps its best pending move **pre-popped
+//! out of its heap** in a held slot, so the coordinator's arbitration is a
+//! scan over plain `(value, candidate id)` pairs: it repeatedly advances the
+//! shard whose held move is globally maximal (ties towards the smaller
+//! candidate id — the same total order as the sequential heap), and that
+//! shard then refreshes its held move with exactly one heap
+//! update-or-remove plus one pop — the identical heap traffic the
+//! sequential driver pays per step. Capacity is claimed through the shared
+//! ledger at the moment a move is committed, so claims are granted in
+//! exactly the order the sequential run grants them, independent of thread
+//! scheduling.
+//!
+//! The sharded plan is consequently not merely "close": the selection
+//! sequence is identical triple for triple, and the reported revenue is the
+//! same fold of the same realised marginals (engine marginals are
+//! bit-identical because each user's group state only depends on that
+//! user's own picks). The engine-parity suite asserts agreement with the
+//! sequential flat plan to `1e-9` at 1, 2, and 7 shards, for both engines.
+//!
+//! What the shards buy, given the arbitration itself is sequential:
+//!
+//! * **near-free coordination** — the held-move rotation keeps per-step heap
+//!   work identical to the sequential driver, with per-shard heaps
+//!   `shards`× smaller;
+//! * **construction parallelism** — shard engines and tables are built
+//!   concurrently by scoped workers when hardware parallelism is available
+//!   (bit-identical to the sequential build, which the tests assert);
+//! * **bounded per-worker memory** — every per-candidate structure is
+//!   `O(shard)`, the flat engine's shard view included;
+//! * **a serving boundary** — `revmax-serve` keeps shard workers alive
+//!   across requests and plans batches of instances over the same pool.
+//!
+//! The eager (`lazy_forward: false`) ablation stamps flags with the shard's
+//! own selection count rather than the global one; a cross-shard insertion
+//! cannot change another shard's marginals, so re-evaluations that the
+//! sequential eager run performs and a shard skips return the value already
+//! cached — the selected plan is identical, only `marginal_evaluations`
+//! differs.
+
+use crate::global_greedy::{CandidateTable, EngineKind, GreedyOptions, GreedyOutcome};
+use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
+use crate::local_greedy::LocalGreedyOptions;
+use crate::par;
+use revmax_core::{
+    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine,
+    SharedCapacityLedger, Strategy, TimeStep, Triple, UserShard,
+};
+
+/// Cuts the instance into at most `pieces` user shards whose candidate ranges
+/// are balanced (boundaries drawn from the CSR offsets, see
+/// [`par::balanced_cuts`]). Always covers every user; trailing users without
+/// candidates land in the last shard.
+pub fn shard_users(inst: &Instance, pieces: usize) -> Vec<UserShard> {
+    let offsets = inst.user_cand_offsets();
+    let cuts = par::balanced_cuts(offsets, pieces.max(1));
+    let mut user_bounds = vec![0u32];
+    for &c in &cuts[1..cuts.len().saturating_sub(1)] {
+        let u = offsets.partition_point(|&o| (o as usize) < c) as u32;
+        user_bounds.push(u);
+    }
+    user_bounds.push(inst.num_users());
+    user_bounds.dedup();
+    user_bounds
+        .windows(2)
+        .map(|w| inst.user_shard(w[0], w[1]))
+        .collect()
+}
+
+/// Whether move `(value, candidate id)` `a` precedes `b` in the sequential
+/// selection order (larger value first, ties towards the smaller id).
+#[inline]
+fn precedes(a: (f64, u32), b: (f64, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// What one arbitration step did.
+enum Step {
+    /// A triple was committed; `marginal` is its realised marginal revenue.
+    Inserted { z: Triple, marginal: f64 },
+    /// Bookkeeping only (slot blocked, candidate retired, or re-evaluated).
+    Continue,
+}
+
+/// One shard's planning state for the two-level G-Greedy.
+///
+/// The shard's best pending move lives *outside* the heap, pre-popped into
+/// `held`; see the module docs for why this makes arbitration free.
+struct GreedyShard<'a, E, H> {
+    shard: UserShard,
+    inc: E,
+    table: CandidateTable,
+    heap: H,
+    /// The shard's best pending move `(local candidate, root value)`,
+    /// popped out of `heap`; `None` when the shard is exhausted.
+    held: Option<(u32, f64)>,
+    /// Shard-local per-candidate flag: (user, item) pair already claimed in
+    /// the shared ledger.
+    counted: Vec<bool>,
+    _inst: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
+    fn new(inst: &'a Instance, opts: &GreedyOptions, shard: UserShard, parallel: bool) -> Self {
+        let inc = E::for_shard(inst, opts.ignore_saturation, shard);
+        let table = CandidateTable::for_range(inst, shard.cand_start(), shard.cand_end(), parallel);
+        let n = shard.num_candidates();
+        let mut roots = vec![f64::NEG_INFINITY; n];
+        for local in 0..n as u32 {
+            roots[local as usize] = table.best(local).map_or(f64::NEG_INFINITY, |(_, v)| v);
+        }
+        let mut heap = H::build(&roots);
+        let held = heap.pop();
+        GreedyShard {
+            shard,
+            inc,
+            table,
+            heap,
+            held,
+            counted: vec![false; n],
+            _inst: std::marker::PhantomData,
+        }
+    }
+
+    /// The shard's best pending move as `(global candidate id, value)` —
+    /// a plain field read, no heap access.
+    #[inline]
+    fn root(&self) -> Option<(u32, f64)> {
+        self.held
+            .map(|(local, v)| (self.shard.cand_start() + local, v))
+    }
+
+    /// Executes one pop-to-resolution of the two-level greedy on the held
+    /// move: the exact body the sequential driver runs, with capacity read
+    /// from (and claimed against) the shared ledger instead of the engine.
+    /// Ends by refreshing the held move (one heap update-or-remove plus one
+    /// pop — the same heap traffic as a sequential step).
+    ///
+    /// The caller must have verified that the held move leads globally.
+    fn step(
+        &mut self,
+        inst: &'a Instance,
+        opts: &GreedyOptions,
+        ledger: &SharedCapacityLedger,
+        evals: &mut u64,
+    ) -> Step {
+        let (local_idx, _) = self.held.expect("step requires a held move");
+        let cand = CandidateId(self.shard.cand_start() + local_idx);
+        let item = inst.candidate_item(cand);
+
+        // Drain display-dead slots in one visit (see the sequential driver
+        // for why this commutes); capacity exhaustion retires the candidate.
+        let mut outcome = Step::Continue;
+        let mut requeue: Option<f64> = None;
+        let mut blocked_any = false;
+        // Loop ends with `requeue == None` when the candidate is fully dead
+        // or retired by capacity.
+        while let Some((best_t, best_v)) = self.table.best(local_idx) {
+            let t = TimeStep::from_index(best_t);
+            let display_bad = self.inc.would_violate_display_cand(cand, t);
+            let capacity_bad = !self.counted[local_idx as usize] && ledger.is_full(item);
+            if display_bad {
+                // The (user, t) slot is full: this time step is dead for
+                // this candidate, other time steps may still be fine.
+                self.table.block(local_idx, best_t);
+                blocked_any = true;
+                continue;
+            }
+            if capacity_bad {
+                break; // retired: capacity exhausted by other users
+            }
+            if blocked_any {
+                // Something was blocked: re-queue at the new best, never
+                // process immediately (matches the sequential driver's
+                // one-block-per-pop-equivalent behaviour).
+                requeue = Some(best_v);
+                break;
+            }
+
+            let stamp = if opts.lazy_forward {
+                self.inc.group_size_cand(cand) as u32
+            } else {
+                self.inc.len() as u32
+            };
+            let slot = self.table.slot(local_idx, best_t);
+            if self.table.flags[slot] == stamp {
+                let marginal = self.inc.insert_cand(cand, t);
+                if !self.counted[local_idx as usize] {
+                    self.counted[local_idx as usize] = true;
+                    let granted = ledger.try_claim(item);
+                    debug_assert!(granted, "arbitrated claim must never be denied");
+                }
+                self.table.block(local_idx, best_t);
+                let user = inst.candidate_user(cand);
+                outcome = Step::Inserted {
+                    z: Triple { user, item, t },
+                    marginal,
+                };
+            } else {
+                *evals += self.table.reevaluate(&self.inc, local_idx, cand, stamp);
+            }
+            requeue = self.table.best(local_idx).map(|(_, v)| v);
+            break;
+        }
+
+        self.held = refresh_held(&mut self.heap, local_idx, requeue);
+        outcome
+    }
+}
+
+/// Refreshes a shard's held move after a step resolved the held candidate
+/// `local_idx` to `requeue` (its new root value, or `None` when retired).
+///
+/// Fast path: when the re-queued value still beats the heap top, the
+/// candidate simply stays held — no heap traffic at all. (The sequential
+/// driver pays a push + pop round trip for the same situation; this saving
+/// is what the held-move rotation buys.)
+#[inline]
+fn refresh_held<H: GreedyHeap>(
+    heap: &mut H,
+    local_idx: u32,
+    requeue: Option<f64>,
+) -> Option<(u32, f64)> {
+    if let Some(v) = requeue {
+        match heap.peek() {
+            Some((top, top_v)) if !precedes((v, local_idx), (top_v, top)) => {
+                heap.update(local_idx, v);
+                heap.pop()
+            }
+            _ => Some((local_idx, v)),
+        }
+    } else {
+        heap.remove(local_idx);
+        heap.pop()
+    }
+}
+
+/// Runs G-Greedy on the shard-partitioned core with `pieces` user shards.
+///
+/// Produces the same plan as the sequential driver (see the module docs);
+/// `opts.shards` is ignored in favour of the explicit `pieces`, and the
+/// two-level heap layout is always used. The returned strategy's insertion
+/// order is the coordinator order, i.e. the sequential selection order.
+pub fn sharded_global_greedy(
+    inst: &Instance,
+    opts: &GreedyOptions,
+    pieces: usize,
+) -> GreedyOutcome {
+    use HeapKind::{IndexedDary, Lazy};
+    type FlatEng<'i> = IncrementalRevenue<'i>;
+    type HashEng<'i> = HashIncrementalRevenue<'i>;
+    match (opts.engine, opts.heap) {
+        (EngineKind::Flat, Lazy) => {
+            sharded_global_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, opts, pieces)
+        }
+        (EngineKind::Flat, IndexedDary) => {
+            sharded_global_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, opts, pieces)
+        }
+        (EngineKind::Hash, Lazy) => {
+            sharded_global_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, opts, pieces)
+        }
+        (EngineKind::Hash, IndexedDary) => {
+            sharded_global_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, opts, pieces)
+        }
+    }
+}
+
+fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
+    inst: &'a Instance,
+    opts: &GreedyOptions,
+    pieces: usize,
+) -> GreedyOutcome {
+    let shards = shard_users(inst, pieces);
+    let single = shards.len() == 1;
+    let ledger = SharedCapacityLedger::new(inst);
+    let mut workers: Vec<GreedyShard<'a, E, H>> = par::scoped_map(
+        shards,
+        |shard| GreedyShard::new(inst, opts, shard, single && opts.parallel_init),
+        opts.parallel_init,
+    );
+
+    let total_slots = inst.total_slots();
+    let mut selected: u64 = 0;
+    let mut running_revenue = 0.0f64;
+    // Selections in coordinator (= sequential) order; folded into a Strategy
+    // after the loop so the hot path pays a plain push, not a hash insert.
+    let mut picks: Vec<Triple> = Vec::new();
+    let mut trace = Vec::new();
+    let mut evals: u64 = 0;
+
+    'arbitrate: while selected < total_slots {
+        // Deterministic arbitration over the held moves: advance the shard
+        // whose move is globally maximal (ties to the smaller candidate id).
+        let mut best: Option<(usize, f64, u32)> = None;
+        let mut runner_up: Option<(f64, u32)> = None;
+        for (wi, w) in workers.iter().enumerate() {
+            if let Some((cand, v)) = w.root() {
+                if best.is_none_or(|(_, bv, bc)| precedes((v, cand), (bv, bc))) {
+                    runner_up = best.map(|(_, bv, bc)| (bv, bc));
+                    best = Some((wi, v, cand));
+                } else if runner_up.is_none_or(|ru| precedes((v, cand), ru)) {
+                    runner_up = Some((v, cand));
+                }
+            }
+        }
+        let Some((wi, value, _)) = best else {
+            break;
+        };
+        if value <= 0.0 {
+            break;
+        }
+        // Advance the leading shard for as long as its held move stays the
+        // global leader: its steps only change its own held move, so
+        // consecutive selections from one shard replay the sequential order
+        // exactly while the leadership re-check is two register compares.
+        loop {
+            if let Step::Inserted { z, marginal } =
+                workers[wi].step(inst, opts, &ledger, &mut evals)
+            {
+                running_revenue += marginal;
+                picks.push(z);
+                selected += 1;
+                if opts.track_trace {
+                    trace.push(running_revenue);
+                }
+                if selected >= total_slots {
+                    break 'arbitrate;
+                }
+            }
+            let Some((cand, v)) = workers[wi].root() else {
+                continue 'arbitrate;
+            };
+            if v <= 0.0 {
+                continue 'arbitrate;
+            }
+            if !runner_up.is_none_or(|ru| precedes((v, cand), ru)) {
+                continue 'arbitrate;
+            }
+        }
+    }
+
+    let mut strategy = Strategy::with_capacity(picks.len());
+    for z in picks {
+        strategy.insert(z);
+    }
+    let selection_objective = running_revenue;
+    let true_revenue = if opts.ignore_saturation {
+        revenue(inst, &strategy)
+    } else {
+        selection_objective
+    };
+    GreedyOutcome {
+        strategy,
+        revenue: true_revenue,
+        selection_objective,
+        trace,
+        marginal_evaluations: evals,
+    }
+}
+
+/// One shard's planning state for a single local-greedy time step.
+struct LocalShard<'a, E> {
+    shard: UserShard,
+    inc: E,
+    counted: Vec<bool>,
+    _inst: std::marker::PhantomData<&'a ()>,
+}
+
+/// One shard's per-time-step frontier: heap over the shard's candidates,
+/// lazy-forward flags, and the held (pre-popped) best move.
+struct LocalFrontier<H> {
+    heap: H,
+    flags: Vec<u32>,
+    held: Option<(u32, f64)>,
+}
+
+/// Runs the per-time-step local greedy (SL-Greedy order, or any explicit
+/// order) on the shard-partitioned core with `pieces` user shards. Same plan
+/// as the sequential driver, same arbitration scheme as
+/// [`sharded_global_greedy`].
+pub fn sharded_local_greedy(
+    inst: &Instance,
+    order: &[u32],
+    opts: &LocalGreedyOptions,
+    pieces: usize,
+) -> GreedyOutcome {
+    use HeapKind::{IndexedDary, Lazy};
+    type FlatEng<'i> = IncrementalRevenue<'i>;
+    type HashEng<'i> = HashIncrementalRevenue<'i>;
+    match (opts.engine, opts.heap) {
+        (EngineKind::Flat, Lazy) => {
+            sharded_local_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, order, opts, pieces)
+        }
+        (EngineKind::Flat, IndexedDary) => {
+            sharded_local_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, order, opts, pieces)
+        }
+        (EngineKind::Hash, Lazy) => {
+            sharded_local_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, order, opts, pieces)
+        }
+        (EngineKind::Hash, IndexedDary) => {
+            sharded_local_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, order, opts, pieces)
+        }
+    }
+}
+
+fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
+    inst: &'a Instance,
+    order: &[u32],
+    opts: &LocalGreedyOptions,
+    pieces: usize,
+) -> GreedyOutcome {
+    let shards = shard_users(inst, pieces);
+    let ledger = SharedCapacityLedger::new(inst);
+    // Same auto-enable contract as the sequential driver: `None` goes
+    // parallel only on large instances.
+    let parallel = opts
+        .parallel_scan
+        .unwrap_or(inst.num_candidates() >= crate::local_greedy::PARALLEL_SCAN_THRESHOLD);
+    let mut workers: Vec<LocalShard<'a, E>> = par::scoped_map(
+        shards,
+        |shard| LocalShard {
+            inc: E::for_shard(inst, false, shard),
+            counted: vec![false; shard.num_candidates()],
+            shard,
+            _inst: std::marker::PhantomData,
+        },
+        parallel,
+    );
+
+    let mut running_revenue = 0.0f64;
+    let mut picks: Vec<Triple> = Vec::new();
+    let mut trace = Vec::new();
+    let mut evals: u64 = 0;
+
+    for &tv in order {
+        let t = TimeStep(tv);
+        // Per-shard initial scan (read-only, deterministic, runs on scoped
+        // workers when hardware parallelism is available), then the same
+        // held-move arbitration as the global driver, per time step.
+        let mut frontiers: Vec<LocalFrontier<H>> = par::scoped_map(
+            workers.iter().collect::<Vec<_>>(),
+            |w| {
+                let n = w.shard.num_candidates();
+                let mut values = vec![f64::NEG_INFINITY; n];
+                let mut flags = vec![0u32; n];
+                for local in 0..n {
+                    let cand = CandidateId(w.shard.cand_start() + local as u32);
+                    values[local] = w.inc.marginal_revenue_cand(cand, t);
+                    flags[local] = w.inc.group_size_cand(cand) as u32;
+                }
+                let mut heap = H::build(&values);
+                let held = heap.pop();
+                LocalFrontier { heap, flags, held }
+            },
+            parallel,
+        );
+        evals += inst.num_candidates() as u64;
+
+        'arbitrate: loop {
+            let mut best: Option<(usize, f64, u32)> = None;
+            let mut runner_up: Option<(f64, u32)> = None;
+            for (wi, frontier) in frontiers.iter().enumerate() {
+                if let Some((local, v)) = frontier.held {
+                    let cand = workers[wi].shard.cand_start() + local;
+                    if best.is_none_or(|(_, bv, bc)| precedes((v, cand), (bv, bc))) {
+                        runner_up = best.map(|(_, bv, bc)| (bv, bc));
+                        best = Some((wi, v, cand));
+                    } else if runner_up.is_none_or(|ru| precedes((v, cand), ru)) {
+                        runner_up = Some((v, cand));
+                    }
+                }
+            }
+            let Some((wi, value, _)) = best else {
+                break;
+            };
+            if value <= 0.0 {
+                break;
+            }
+            // Run the leading shard until its held move stops leading.
+            let w = &mut workers[wi];
+            let frontier = &mut frontiers[wi];
+            loop {
+                let (local_idx, _) = frontier.held.expect("leader holds a move");
+                let cand = CandidateId(w.shard.cand_start() + local_idx);
+                let item = inst.candidate_item(cand);
+                let display_bad = w.inc.would_violate_display_cand(cand, t);
+                let capacity_bad = !w.counted[local_idx as usize] && ledger.is_full(item);
+                let requeue = if display_bad || capacity_bad {
+                    None
+                } else {
+                    let group_size = w.inc.group_size_cand(cand) as u32;
+                    if frontier.flags[local_idx as usize] == group_size {
+                        let marginal = w.inc.insert_cand(cand, t);
+                        if !w.counted[local_idx as usize] {
+                            w.counted[local_idx as usize] = true;
+                            let granted = ledger.try_claim(item);
+                            debug_assert!(granted, "arbitrated claim must never be denied");
+                        }
+                        running_revenue += marginal;
+                        let user = inst.candidate_user(cand);
+                        picks.push(Triple { user, item, t });
+                        trace.push(running_revenue);
+                        None
+                    } else {
+                        let fresh = w.inc.marginal_revenue_cand(cand, t);
+                        evals += 1;
+                        frontier.flags[local_idx as usize] = group_size;
+                        Some(fresh)
+                    }
+                };
+                frontier.held = refresh_held(&mut frontier.heap, local_idx, requeue);
+
+                let Some((local, v)) = frontier.held else {
+                    continue 'arbitrate;
+                };
+                if v <= 0.0 {
+                    continue 'arbitrate;
+                }
+                let cand = w.shard.cand_start() + local;
+                if !runner_up.is_none_or(|ru| precedes((v, cand), ru)) {
+                    continue 'arbitrate;
+                }
+            }
+        }
+    }
+
+    let mut strategy = Strategy::with_capacity(picks.len());
+    for z in picks {
+        strategy.insert(z);
+    }
+    GreedyOutcome {
+        revenue: running_revenue,
+        selection_objective: running_revenue,
+        strategy,
+        trace,
+        marginal_evaluations: evals,
+    }
+}

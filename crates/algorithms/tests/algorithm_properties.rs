@@ -8,8 +8,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use revmax_algorithms::{
     exact_optimum, global_greedy, global_greedy_with, local_greedy_with_order_opts,
-    local_search_r_revmax, randomized_local_greedy, run, sequential_local_greedy, solve_t1_exact,
-    top_rating, top_revenue, Algorithm, EngineKind, GreedyOptions, LocalGreedyOptions,
+    local_search_r_revmax, randomized_local_greedy, run, sequential_local_greedy,
+    sharded_global_greedy, sharded_local_greedy, solve_t1_exact, top_rating, top_revenue,
+    Algorithm, EngineKind, GreedyOptions, HeapKind, LocalGreedyOptions,
 };
 use revmax_core::{revenue, Instance, InstanceBuilder};
 use revmax_data::{generate, DatasetConfig};
@@ -155,6 +156,7 @@ fn parallel_local_greedy_equals_sequential() {
                 &LocalGreedyOptions {
                     engine,
                     parallel_scan: Some(false),
+                    ..Default::default()
                 },
             );
             let par = local_greedy_with_order_opts(
@@ -163,6 +165,7 @@ fn parallel_local_greedy_equals_sequential() {
                 &LocalGreedyOptions {
                     engine,
                     parallel_scan: Some(true),
+                    ..Default::default()
                 },
             );
             assert_eq!(
@@ -336,6 +339,203 @@ fn saturation_ablation_loses_revenue_on_saturated_datasets() {
         aware.revenue,
         oblivious.revenue
     );
+}
+
+/// Engine-parity at scale for the shard-partitioned core: every randomized
+/// instance also runs the sharded path with 1, 2, and 7 shards, for both
+/// engines, and must match the sequential flat plan to 1e-9 — identical
+/// strategies and revenue (the coordinator replays the sequential selection
+/// order exactly; see `revmax_algorithms::sharded`).
+#[test]
+fn sharded_global_greedy_matches_sequential_at_1_2_7_shards() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD);
+    for case in 0..40 {
+        let inst = random_small_instance(&mut rng);
+        let sequential = global_greedy(&inst);
+        for shards in [1usize, 2, 7] {
+            for engine in [EngineKind::Flat, EngineKind::Hash] {
+                let opts = GreedyOptions {
+                    engine,
+                    ..Default::default()
+                };
+                let sharded = sharded_global_greedy(&inst, &opts, shards);
+                assert!(
+                    (sharded.revenue - sequential.revenue).abs() < 1e-9,
+                    "case {case} ({shards} shards, {engine:?}): sharded {} vs sequential {}",
+                    sharded.revenue,
+                    sequential.revenue
+                );
+                assert_eq!(
+                    sharded.strategy.len(),
+                    sequential.strategy.len(),
+                    "case {case} ({shards} shards, {engine:?}): strategy sizes diverged"
+                );
+                for z in sequential.strategy.iter() {
+                    assert!(
+                        sharded.strategy.contains(z),
+                        "case {case} ({shards} shards, {engine:?}): {z} missing from sharded plan"
+                    );
+                }
+                assert!(sharded.strategy.validate(&inst).is_ok(), "case {case}");
+            }
+        }
+    }
+}
+
+/// The same parity for the sharded per-time-step local greedy, including
+/// partial orders.
+#[test]
+fn sharded_local_greedy_matches_sequential_at_1_2_7_shards() {
+    let mut rng = StdRng::seed_from_u64(0x5AAE);
+    for case in 0..30 {
+        let inst = random_small_instance(&mut rng);
+        let full_order: Vec<u32> = (1..=inst.horizon()).collect();
+        let partial_order: Vec<u32> = full_order.iter().copied().rev().take(2).collect();
+        for order in [&full_order, &partial_order] {
+            let sequential = local_greedy_with_order_opts(
+                &inst,
+                order,
+                &LocalGreedyOptions {
+                    parallel_scan: Some(false),
+                    ..Default::default()
+                },
+            );
+            for shards in [1usize, 2, 7] {
+                let opts = LocalGreedyOptions {
+                    parallel_scan: Some(false),
+                    ..Default::default()
+                };
+                let sharded = sharded_local_greedy(&inst, order, &opts, shards);
+                assert!(
+                    (sharded.revenue - sequential.revenue).abs() < 1e-9,
+                    "case {case} ({shards} shards): sharded {} vs sequential {}",
+                    sharded.revenue,
+                    sequential.revenue
+                );
+                assert_eq!(sharded.strategy.len(), sequential.strategy.len());
+                for z in sequential.strategy.iter() {
+                    assert!(sharded.strategy.contains(z), "case {case}: {z} missing");
+                }
+            }
+        }
+    }
+}
+
+/// Sharding through the public options front-ends (`GreedyOptions::shards`,
+/// `LocalGreedyOptions::shards`) is equivalent to the explicit entry points.
+#[test]
+fn shards_option_routes_through_public_apis() {
+    let mut rng = StdRng::seed_from_u64(0x5AAF);
+    let inst = random_small_instance(&mut rng);
+    let base = global_greedy(&inst);
+    let via_opts = global_greedy_with(
+        &inst,
+        &GreedyOptions {
+            shards: 3,
+            ..Default::default()
+        },
+    );
+    assert!((base.revenue - via_opts.revenue).abs() < 1e-9);
+    assert_eq!(base.strategy.len(), via_opts.strategy.len());
+
+    let order: Vec<u32> = (1..=inst.horizon()).collect();
+    let slg = sequential_local_greedy(&inst);
+    let slg_sharded = local_greedy_with_order_opts(
+        &inst,
+        &order,
+        &LocalGreedyOptions {
+            shards: 3,
+            ..Default::default()
+        },
+    );
+    assert!((slg.revenue - slg_sharded.revenue).abs() < 1e-9);
+}
+
+/// The indexed d-ary decrease-key heap and the lazy-deletion heap drive the
+/// greedy algorithms to bit-identical plans.
+#[test]
+fn heap_kinds_produce_identical_plans() {
+    let mut rng = StdRng::seed_from_u64(0x0EA9);
+    for case in 0..40 {
+        let inst = random_small_instance(&mut rng);
+        for two_level in [true, false] {
+            let lazy = global_greedy_with(
+                &inst,
+                &GreedyOptions {
+                    heap: HeapKind::Lazy,
+                    two_level_heaps: two_level,
+                    ..Default::default()
+                },
+            );
+            let dary = global_greedy_with(
+                &inst,
+                &GreedyOptions {
+                    heap: HeapKind::IndexedDary,
+                    two_level_heaps: two_level,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                lazy.revenue.to_bits(),
+                dary.revenue.to_bits(),
+                "case {case} (two_level {two_level}): heaps diverged: {} vs {}",
+                lazy.revenue,
+                dary.revenue
+            );
+            assert_eq!(lazy.strategy.as_slice(), dary.strategy.as_slice());
+            assert_eq!(lazy.marginal_evaluations, dary.marginal_evaluations);
+        }
+        let order: Vec<u32> = (1..=inst.horizon()).collect();
+        let slg_lazy = local_greedy_with_order_opts(
+            &inst,
+            &order,
+            &LocalGreedyOptions {
+                heap: HeapKind::Lazy,
+                ..Default::default()
+            },
+        );
+        let slg_dary = local_greedy_with_order_opts(
+            &inst,
+            &order,
+            &LocalGreedyOptions {
+                heap: HeapKind::IndexedDary,
+                ..Default::default()
+            },
+        );
+        assert_eq!(slg_lazy.revenue.to_bits(), slg_dary.revenue.to_bits());
+        assert_eq!(slg_lazy.strategy.as_slice(), slg_dary.strategy.as_slice());
+    }
+}
+
+/// Sharded parity on a generated dataset with binding capacities: the
+/// acceptance-shaped check (a scaled-down analogue of
+/// `amazon_like().scaled(0.02)`, where ~half the items end at capacity).
+#[test]
+fn sharded_matches_sequential_on_capacity_bound_dataset() {
+    let mut config = DatasetConfig::tiny();
+    config.num_users = 60;
+    config.num_items = 20;
+    config.candidates_per_user = 10;
+    config.capacity = revmax_data::CapacityDistribution::Gaussian {
+        mean: 12.0,
+        std: 3.0,
+    };
+    let ds = generate(&config);
+    let sequential = global_greedy(&ds.instance);
+    for shards in [2usize, 4] {
+        let sharded = sharded_global_greedy(&ds.instance, &GreedyOptions::default(), shards);
+        assert!(
+            (sharded.revenue - sequential.revenue).abs()
+                <= 1e-9 * sequential.revenue.abs().max(1.0),
+            "{shards} shards: {} vs {}",
+            sharded.revenue,
+            sequential.revenue
+        );
+        assert_eq!(sharded.strategy.len(), sequential.strategy.len());
+        for z in sequential.strategy.iter() {
+            assert!(sharded.strategy.contains(z));
+        }
+    }
 }
 
 /// G-Greedy on a mid-size generated dataset: flat and hash engines must pick

@@ -83,6 +83,7 @@ fn bench_engine(
     let lg_opts = LocalGreedyOptions {
         engine,
         parallel_scan: None,
+        ..Default::default()
     };
     let (median_ns, min_ns, revenue, strategy_len) = time_runs(samples, || {
         let out = local_greedy_with_order_opts(inst, &order, &lg_opts);

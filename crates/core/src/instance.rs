@@ -237,6 +237,110 @@ impl Instance {
     }
 }
 
+/// A contiguous range of users together with its CSR-aligned candidate range.
+///
+/// The candidate pairs of the instance are stored CSR-sorted by user, so a
+/// contiguous user range `[user_start, user_end)` owns exactly the contiguous
+/// candidate range `[cand_start, cand_end)` — the natural shard boundary of
+/// the shard-partitioned planners. Construct through
+/// [`Instance::user_shard`] / [`Instance::full_shard`] so the candidate range
+/// is always CSR-consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserShard {
+    user_start: u32,
+    user_end: u32,
+    cand_start: u32,
+    cand_end: u32,
+}
+
+impl UserShard {
+    /// First user (inclusive) of the shard.
+    #[inline]
+    pub fn user_start(&self) -> u32 {
+        self.user_start
+    }
+
+    /// One past the last user of the shard.
+    #[inline]
+    pub fn user_end(&self) -> u32 {
+        self.user_end
+    }
+
+    /// First candidate id (inclusive) of the shard.
+    #[inline]
+    pub fn cand_start(&self) -> u32 {
+        self.cand_start
+    }
+
+    /// One past the last candidate id of the shard.
+    #[inline]
+    pub fn cand_end(&self) -> u32 {
+        self.cand_end
+    }
+
+    /// Number of users in the shard.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        (self.user_end - self.user_start) as usize
+    }
+
+    /// Number of candidate pairs in the shard.
+    #[inline]
+    pub fn num_candidates(&self) -> usize {
+        (self.cand_end - self.cand_start) as usize
+    }
+
+    /// Whether a user belongs to this shard.
+    #[inline]
+    pub fn contains_user(&self, user: UserId) -> bool {
+        (self.user_start..self.user_end).contains(&user.0)
+    }
+
+    /// Whether a candidate id belongs to this shard.
+    #[inline]
+    pub fn contains_cand(&self, cand: CandidateId) -> bool {
+        (self.cand_start..self.cand_end).contains(&cand.0)
+    }
+
+    /// The candidate ids of the shard.
+    #[inline]
+    pub fn candidates(&self) -> impl Iterator<Item = CandidateId> {
+        (self.cand_start..self.cand_end).map(CandidateId)
+    }
+
+    /// The users of the shard.
+    #[inline]
+    pub fn users(&self) -> impl Iterator<Item = UserId> {
+        (self.user_start..self.user_end).map(UserId)
+    }
+}
+
+impl Instance {
+    /// The shard covering every user (what the non-sharded evaluators use).
+    pub fn full_shard(&self) -> UserShard {
+        self.user_shard(0, self.num_users)
+    }
+
+    /// The shard for the user range `[user_start, user_end)`, with the
+    /// candidate range derived from the CSR offsets.
+    ///
+    /// # Panics
+    /// Panics when the range is empty-inverted or out of bounds.
+    pub fn user_shard(&self, user_start: u32, user_end: u32) -> UserShard {
+        assert!(
+            user_start <= user_end && user_end <= self.num_users,
+            "invalid user shard [{user_start}, {user_end}) for {} users",
+            self.num_users
+        );
+        UserShard {
+            user_start,
+            user_end,
+            cand_start: self.user_cand_start[user_start as usize],
+            cand_end: self.user_cand_start[user_end as usize],
+        }
+    }
+}
+
 /// Mutable builder for [`Instance`].
 ///
 /// Defaults: every item is its own class, capacity `|U|` (unconstrained),

@@ -67,9 +67,9 @@ pub use effective::{
 };
 pub use error::{BuildError, ConstraintViolation, StrategyParseError};
 pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
-pub use instance::{Instance, InstanceBuilder};
+pub use instance::{Instance, InstanceBuilder, UserShard};
 pub use revenue::{
-    dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue,
-    HashIncrementalRevenue, IncrementalRevenue, RevenueEngine,
+    dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, CapacityLedger,
+    HashIncrementalRevenue, IncrementalRevenue, RevenueEngine, SharedCapacityLedger,
 };
 pub use strategy::Strategy;

@@ -6,7 +6,7 @@
 //! the measured baseline for the perf trajectory in `crates/bench`.
 
 use crate::ids::{CandidateId, TimeStep};
-use crate::instance::Instance;
+use crate::instance::{Instance, UserShard};
 use crate::strategy::Strategy;
 
 /// Incremental evaluation of the REVMAX objective and constraints, addressed
@@ -16,11 +16,30 @@ use crate::strategy::Strategy;
 /// [`super::marginal_revenue`] functions to within floating-point noise; the
 /// randomized property tests in `crates/core/tests/properties.rs` enforce
 /// agreement to `1e-9`.
-pub trait RevenueEngine<'a>: Sized + Sync {
+pub trait RevenueEngine<'a>: Sized + Sync + Send {
     /// Creates an empty evaluator; `ignore_saturation` selects the `GlobalNo`
     /// ablation behaviour (all saturation factors treated as 1 during
     /// selection).
     fn with_options(inst: &'a Instance, ignore_saturation: bool) -> Self;
+
+    /// Creates an evaluator for a disjoint user shard of the instance.
+    ///
+    /// The shard view must behave exactly like a full evaluator restricted to
+    /// the shard's users: identical marginals, identical display tracking,
+    /// and capacity counts over the shard's own claims only. The *global*
+    /// capacity constraint couples shards and is arbitrated outside the
+    /// engine, through a [`super::ledger::SharedCapacityLedger`]; shard
+    /// drivers therefore must not rely on
+    /// [`RevenueEngine::would_violate_cand`] for capacity.
+    ///
+    /// The default implementation returns a full evaluator (semantically a
+    /// valid — if memory-oversized — shard view, since sparse engines only
+    /// ever touch state belonging to the candidates they are fed). The
+    /// flat-arena engine overrides it with storage localised to the shard.
+    fn for_shard(inst: &'a Instance, ignore_saturation: bool, shard: UserShard) -> Self {
+        let _ = shard;
+        Self::with_options(inst, ignore_saturation)
+    }
 
     /// The instance this evaluator is bound to.
     fn instance(&self) -> &'a Instance;

@@ -27,8 +27,9 @@
 //! stays exactly equivalent to the from-scratch evaluator for any strategy.
 
 use super::engine::RevenueEngine;
+use super::ledger::CapacityLedger;
 use crate::ids::{CandidateId, ClassId, TimeStep, Triple, UserId};
-use crate::instance::Instance;
+use crate::instance::{Instance, UserShard};
 use crate::strategy::Strategy;
 
 const NONE: u32 = u32::MAX;
@@ -56,13 +57,18 @@ struct ArenaEntry {
 #[derive(Debug, Clone)]
 pub struct IncrementalRevenue<'a> {
     inst: &'a Instance,
+    /// The user/candidate range this evaluator's dynamic state covers. The
+    /// default constructors use the full range; shard views localise every
+    /// per-candidate and per-user vector to the shard, so memory per shard
+    /// worker is `O(shard)` rather than `O(instance)`.
+    shard: UserShard,
     /// When true, selection values treat every saturation factor as 1
     /// (the `GlobalNo` ablation). The *reported* revenue then over-estimates
     /// the true value; re-evaluate the final strategy with [`super::revenue`].
     ignore_saturation: bool,
 
     // --- static tables, built once per evaluator ---
-    /// Dense (user, class) group slot per candidate.
+    /// Dense (user, class) group slot per candidate (shard-local index).
     cand_group: Vec<u32>,
     /// `ln β` per pow row; row 0 is the saturation-free row (`β = 1`),
     /// row `i + 1` belongs to item `i`.
@@ -86,16 +92,20 @@ pub struct IncrementalRevenue<'a> {
     /// `group_start..group_start + group_cap`; at most half the pool is dead
     /// (abandoned by relocation), so memory stays `O(|S|)`.
     arena: Vec<ArenaEntry>,
-    /// Selection bitmap over `cand * horizon + (t − 1)` slots.
+    /// Selection bitmap over `local_cand * horizon + (t − 1)` slots.
     selected: Vec<bool>,
     revenue: f64,
     strategy: Strategy,
-    /// Per (user, time) number of recommendations, for the display constraint.
+    /// Per (shard-local user, time) number of recommendations, for the
+    /// display constraint.
     display_count: Vec<u16>,
-    /// Per item, number of distinct users reached so far.
-    item_distinct_users: Vec<u32>,
-    /// Per candidate: whether its (item, user) pair was counted in
-    /// `item_distinct_users`.
+    /// Per item, the distinct users reached so far against the capacity
+    /// `q_i`. For shard views this counts only the shard's own claims; the
+    /// shard-partitioned planners arbitrate the *global* capacity through a
+    /// [`super::ledger::SharedCapacityLedger`] instead of this field.
+    ledger: CapacityLedger,
+    /// Per shard-local candidate: whether its (item, user) pair was counted
+    /// in the ledger.
     cand_counted: Vec<bool>,
     /// (item, user) pairs of inserted *non-candidate* triples (cold path).
     extra_seen: Vec<(u32, u32)>,
@@ -113,19 +123,31 @@ impl<'a> IncrementalRevenue<'a> {
     /// Creates an evaluator that optionally ignores saturation when computing
     /// selection values (used by the GlobalNo baseline of §6.1).
     pub fn with_options(inst: &'a Instance, ignore_saturation: bool) -> Self {
+        Self::for_user_shard(inst, ignore_saturation, inst.full_shard())
+    }
+
+    /// Creates an evaluator whose dynamic state covers only the users (and
+    /// CSR-contiguous candidates) of `shard`.
+    ///
+    /// Candidate and user ids stay *global* — the shard view translates them
+    /// internally — so greedy drivers can address a shard engine with the
+    /// same ids they would pass to a full one. Feeding a triple or candidate
+    /// outside the shard is a logic error (checked by `debug_assert`).
+    pub fn for_user_shard(inst: &'a Instance, ignore_saturation: bool, shard: UserShard) -> Self {
         let horizon = inst.horizon() as usize;
         let num_items = inst.num_items() as usize;
-        let num_cand = inst.num_candidates();
+        let num_cand = shard.num_candidates();
 
         // Group numbering: candidates are CSR-contiguous per user, so one
-        // stamped scan over each user's candidates assigns dense group slots
-        // without hashing. Stamps avoid clearing the per-class scratch rows.
+        // stamped scan over each shard user's candidates assigns dense group
+        // slots without hashing. Stamps avoid clearing the per-class scratch
+        // rows.
         let num_classes = inst.num_classes() as usize;
         let mut class_stamp = vec![NONE; num_classes];
         let mut class_group = vec![0u32; num_classes];
         let mut cand_group = vec![0u32; num_cand];
         let mut num_groups: u32 = 0;
-        for user in 0..inst.num_users() {
+        for user in shard.user_start()..shard.user_end() {
             for cand in inst.candidates_of_user(UserId(user)) {
                 let class = inst.candidate_class(cand).index();
                 if class_stamp[class] != user {
@@ -133,7 +155,7 @@ impl<'a> IncrementalRevenue<'a> {
                     class_group[class] = num_groups;
                     num_groups += 1;
                 }
-                cand_group[cand.index()] = class_group[class];
+                cand_group[(cand.0 - shard.cand_start()) as usize] = class_group[class];
             }
         }
 
@@ -157,6 +179,7 @@ impl<'a> IncrementalRevenue<'a> {
 
         IncrementalRevenue {
             inst,
+            shard,
             ignore_saturation,
             cand_group,
             ln_beta,
@@ -170,12 +193,37 @@ impl<'a> IncrementalRevenue<'a> {
             selected: vec![false; num_cand * horizon],
             revenue: 0.0,
             strategy: Strategy::new(),
-            display_count: vec![0; inst.num_users() as usize * horizon],
-            item_distinct_users: vec![0; num_items],
+            display_count: vec![0; shard.num_users() * horizon],
+            ledger: CapacityLedger::new(inst),
             cand_counted: vec![false; num_cand],
             extra_seen: Vec::new(),
             extra_groups: Vec::new(),
         }
+    }
+
+    /// The user/candidate range this evaluator covers.
+    pub fn shard(&self) -> UserShard {
+        self.shard
+    }
+
+    /// Shard-local index of a (global) candidate id.
+    #[inline]
+    fn local_cand(&self, cand: CandidateId) -> usize {
+        debug_assert!(
+            self.shard.contains_cand(cand),
+            "candidate {cand:?} outside shard view"
+        );
+        (cand.0 - self.shard.cand_start()) as usize
+    }
+
+    /// Shard-local index of a (global) user id.
+    #[inline]
+    fn local_user(&self, user: UserId) -> usize {
+        debug_assert!(
+            self.shard.contains_user(user),
+            "user {user:?} outside shard view"
+        );
+        (user.0 - self.shard.user_start()) as usize
     }
 
     /// The instance this evaluator is bound to.
@@ -297,7 +345,7 @@ impl<'a> IncrementalRevenue<'a> {
         self.inst
             .candidates_of_user(user)
             .find(|&c| self.inst.candidate_class(c) == class)
-            .map(|c| self.cand_group[c.index()])
+            .map(|c| self.cand_group[self.local_cand(c)])
             .or_else(|| {
                 self.extra_groups
                     .iter()
@@ -330,25 +378,20 @@ impl<'a> IncrementalRevenue<'a> {
         }
         match self.inst.candidate_for(z.user, z.item) {
             Some(cand) => self.capacity_violated_cand(cand, z.item.0),
-            None => {
-                !self.extra_seen.contains(&(z.item.0, z.user.0))
-                    && self.item_distinct_users[z.item.index()] >= self.inst.capacity(z.item)
-            }
+            None => !self.extra_seen.contains(&(z.item.0, z.user.0)) && self.ledger.is_full(z.item),
         }
     }
 
     /// Whether adding the triple would violate only the display constraint
     /// (validity notion of the relaxed problem R-REVMAX).
     pub fn would_violate_display(&self, z: Triple) -> bool {
-        let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
+        let slot = self.local_user(z.user) * self.inst.horizon() as usize + z.t.index();
         self.display_count[slot] as u32 >= self.inst.display_limit()
     }
 
     #[inline]
     fn capacity_violated_cand(&self, cand: CandidateId, item: u32) -> bool {
-        !self.cand_counted[cand.index()]
-            && self.item_distinct_users[item as usize]
-                >= self.inst.capacity(crate::ids::ItemId(item))
+        !self.cand_counted[self.local_cand(cand)] && self.ledger.is_full(crate::ids::ItemId(item))
     }
 
     /// Marginal revenue `Rev(S ∪ {z}) − Rev(S)` of a triple not yet selected.
@@ -372,7 +415,7 @@ impl<'a> IncrementalRevenue<'a> {
     #[inline]
     pub fn marginal_revenue_cand(&self, cand: CandidateId, t: TimeStep) -> f64 {
         let horizon = self.inst.horizon() as usize;
-        if self.selected[cand.index() * horizon + t.index()] {
+        if self.selected[self.local_cand(cand) * horizon + t.index()] {
             return 0.0;
         }
         let (gain, loss) = self.gain_and_loss_cand(cand, t);
@@ -419,7 +462,8 @@ impl<'a> IncrementalRevenue<'a> {
     /// realised marginal revenue.
     pub fn insert_cand(&mut self, cand: CandidateId, t: TimeStep) -> f64 {
         let horizon = self.inst.horizon() as usize;
-        let slot = cand.index() * horizon + t.index();
+        let local = self.local_cand(cand);
+        let slot = local * horizon + t.index();
         if self.selected[slot] {
             return 0.0;
         }
@@ -427,7 +471,7 @@ impl<'a> IncrementalRevenue<'a> {
         let user = self.inst.candidate_user(cand);
         let q_prim = self.inst.candidate_prob(cand, t);
         let row = self.pow_row(item.0);
-        let group = self.cand_group[cand.index()] as usize;
+        let group = self.cand_group[local] as usize;
         let tv = t.value();
 
         // One fused walk over the group's contiguous slab: accumulate memory /
@@ -476,11 +520,11 @@ impl<'a> IncrementalRevenue<'a> {
 
         self.revenue += gain + loss;
         self.selected[slot] = true;
-        let dslot = user.index() * horizon + t.index();
+        let dslot = self.local_user(user) * horizon + t.index();
         self.display_count[dslot] += 1;
-        if !self.cand_counted[cand.index()] {
-            self.cand_counted[cand.index()] = true;
-            self.item_distinct_users[item.index()] += 1;
+        if !self.cand_counted[local] {
+            self.cand_counted[local] = true;
+            self.ledger.claim_unchecked(item);
         }
         self.strategy.insert(Triple { user, item, t });
         gain + loss
@@ -512,7 +556,7 @@ impl<'a> IncrementalRevenue<'a> {
         let item = self.inst.candidate_item(cand).0;
         let q_prim = self.inst.candidate_prob(cand, t);
         let row = self.pow_row(item);
-        let group = self.cand_group[cand.index()] as usize;
+        let group = self.cand_group[self.local_cand(cand)] as usize;
         let tv = t.value();
 
         let mut memory = 0.0_f64;
@@ -551,7 +595,7 @@ impl<'a> IncrementalRevenue<'a> {
         debug_assert!(horizon <= 64, "batch evaluation requires horizon <= 64");
         let item = self.inst.candidate_item(cand).0;
         let row = self.pow_row(item);
-        let group = self.cand_group[cand.index()] as usize;
+        let group = self.cand_group[self.local_cand(cand)] as usize;
         let probs = self.inst.candidate_probs(cand);
         let prices = self.inst.price_series(crate::ids::ItemId(item));
 
@@ -613,7 +657,7 @@ impl<'a> IncrementalRevenue<'a> {
                 }
             }
         }
-        let base = cand.index() * horizon;
+        let base = self.local_cand(cand) * horizon;
         for li in 0..lanes {
             let t_idx = lane_t[li];
             out[t_idx] = if self.selected[base + t_idx] {
@@ -680,11 +724,11 @@ impl<'a> IncrementalRevenue<'a> {
             },
         );
         self.revenue += loss;
-        let dslot = z.user.index() * self.inst.horizon() as usize + z.t.index();
+        let dslot = self.local_user(z.user) * self.inst.horizon() as usize + z.t.index();
         self.display_count[dslot] += 1;
         if !self.extra_seen.contains(&(z.item.0, z.user.0)) {
             self.extra_seen.push((z.item.0, z.user.0));
-            self.item_distinct_users[z.item.index()] += 1;
+            self.ledger.claim_unchecked(z.item);
         }
         self.strategy.insert(z);
         loss
@@ -694,6 +738,10 @@ impl<'a> IncrementalRevenue<'a> {
 impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
     fn with_options(inst: &'a Instance, ignore_saturation: bool) -> Self {
         IncrementalRevenue::with_options(inst, ignore_saturation)
+    }
+
+    fn for_shard(inst: &'a Instance, ignore_saturation: bool, shard: UserShard) -> Self {
+        IncrementalRevenue::for_user_shard(inst, ignore_saturation, shard)
     }
 
     fn instance(&self) -> &'a Instance {
@@ -709,12 +757,12 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
     }
 
     fn group_size_cand(&self, cand: CandidateId) -> usize {
-        self.group_len[self.cand_group[cand.index()] as usize] as usize
+        self.group_len[self.cand_group[self.local_cand(cand)] as usize] as usize
     }
 
     fn would_violate_cand(&self, cand: CandidateId, t: TimeStep) -> bool {
         let user = self.inst.candidate_user(cand);
-        let slot = user.index() * self.inst.horizon() as usize + t.index();
+        let slot = self.local_user(user) * self.inst.horizon() as usize + t.index();
         if self.display_count[slot] as u32 >= self.inst.display_limit() {
             return true;
         }
@@ -723,7 +771,7 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
 
     fn would_violate_display_cand(&self, cand: CandidateId, t: TimeStep) -> bool {
         let user = self.inst.candidate_user(cand);
-        let slot = user.index() * self.inst.horizon() as usize + t.index();
+        let slot = self.local_user(user) * self.inst.horizon() as usize + t.index();
         self.display_count[slot] as u32 >= self.inst.display_limit()
     }
 

@@ -10,6 +10,7 @@
 //! `revmax-algorithms`) only to measure or cross-check.
 
 use super::engine::RevenueEngine;
+use super::ledger::CapacityLedger;
 use crate::ids::{CandidateId, ClassId, TimeStep, Triple, UserId};
 use crate::instance::Instance;
 use crate::strategy::Strategy;
@@ -41,9 +42,9 @@ pub struct HashIncrementalRevenue<'a> {
     strategy: Strategy,
     /// Per (user, time) number of recommendations, for the display constraint.
     display_count: Vec<u16>,
-    /// Per item, number of distinct users reached so far.
-    item_distinct_users: Vec<u32>,
-    /// (item, user) pairs already counted in `item_distinct_users`.
+    /// Per item, the distinct users reached so far against the capacity.
+    ledger: CapacityLedger,
+    /// (item, user) pairs already counted in the ledger.
     item_user_seen: HashSet<(u32, u32)>,
     /// When true, selection values treat every saturation factor as 1
     /// (the `GlobalNo` ablation).
@@ -65,7 +66,7 @@ impl<'a> HashIncrementalRevenue<'a> {
             revenue: 0.0,
             strategy: Strategy::new(),
             display_count: vec![0; inst.num_users() as usize * inst.horizon() as usize],
-            item_distinct_users: vec![0; inst.num_items() as usize],
+            ledger: CapacityLedger::new(inst),
             item_user_seen: HashSet::new(),
             ignore_saturation,
         }
@@ -115,11 +116,8 @@ impl<'a> HashIncrementalRevenue<'a> {
         if self.display_count[slot] as u32 >= k {
             return true;
         }
-        if !self.item_user_seen.contains(&(z.item.0, z.user.0)) {
-            let cap = self.inst.capacity(z.item);
-            if self.item_distinct_users[z.item.index()] >= cap {
-                return true;
-            }
+        if !self.item_user_seen.contains(&(z.item.0, z.user.0)) && self.ledger.is_full(z.item) {
+            return true;
         }
         false
     }
@@ -198,7 +196,7 @@ impl<'a> HashIncrementalRevenue<'a> {
         let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
         self.display_count[slot] += 1;
         if self.item_user_seen.insert((z.item.0, z.user.0)) {
-            self.item_distinct_users[z.item.index()] += 1;
+            self.ledger.claim_unchecked(z.item);
         }
         self.strategy.insert(z);
         gain + loss

@@ -1,0 +1,250 @@
+//! Display-capacity ledgers: the only cross-user coupling in REVMAX.
+//!
+//! The revenue objective decomposes per user (memory, saturation, and
+//! competition all act within one user's (user, class) groups), and the
+//! display constraint is per (user, time). The capacity constraint `q_i` —
+//! at most `q_i` *distinct users* may receive item `i` across the horizon —
+//! is the single piece of state shared between users. This module makes that
+//! state a first-class object instead of a field inside one evaluator:
+//!
+//! * [`CapacityLedger`] — the sequential ledger used inside the incremental
+//!   revenue engines: plain per-item counters, `&mut` claims;
+//! * [`SharedCapacityLedger`] — the sharded ledger used by the
+//!   shard-partitioned planners: per-item atomic counters with `&self`
+//!   claim/release, safe to share across shard workers.
+//!
+//! Both ledgers count *claims*, one per distinct (item, user) pair; the
+//! caller is responsible for claiming at most once per pair (the engines
+//! dedup via their per-candidate `counted` bitmaps, the sharded drivers via
+//! shard-local bitmaps — user shards are disjoint, so the dedup never needs
+//! to be shared).
+
+use crate::ids::ItemId;
+use crate::instance::Instance;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sequential display-capacity ledger: per-item distinct-user counts against
+/// the instance capacities `q_i`.
+///
+/// This is the state the incremental revenue engines mutate on every first
+/// recommendation of an item to a new user. It was previously a private
+/// `item_distinct_users` vector inside each engine; it is standalone so the
+/// shard-partitioned planners can substitute the shared variant.
+#[derive(Debug, Clone)]
+pub struct CapacityLedger {
+    used: Vec<u32>,
+    cap: Vec<u32>,
+}
+
+impl CapacityLedger {
+    /// Creates an empty ledger for an instance (no capacity consumed).
+    pub fn new(inst: &Instance) -> Self {
+        let items = inst.num_items() as usize;
+        CapacityLedger {
+            used: vec![0; items],
+            cap: (0..inst.num_items())
+                .map(|i| inst.capacity(ItemId(i)))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct users the item has been claimed for so far.
+    #[inline]
+    pub fn used(&self, item: ItemId) -> u32 {
+        self.used[item.index()]
+    }
+
+    /// The capacity `q_i` of the item.
+    #[inline]
+    pub fn capacity(&self, item: ItemId) -> u32 {
+        self.cap[item.index()]
+    }
+
+    /// Whether the item has no capacity left for a *new* user.
+    #[inline]
+    pub fn is_full(&self, item: ItemId) -> bool {
+        self.used[item.index()] >= self.cap[item.index()]
+    }
+
+    /// Claims one unit of the item's capacity. Returns `false` (and changes
+    /// nothing) if the item is already full.
+    #[inline]
+    pub fn claim(&mut self, item: ItemId) -> bool {
+        if self.is_full(item) {
+            return false;
+        }
+        self.used[item.index()] += 1;
+        true
+    }
+
+    /// Records a claim without checking the capacity.
+    ///
+    /// The incremental engines accept *any* strategy through their insert
+    /// APIs (the caller owns constraint checking), so their bookkeeping must
+    /// keep counting past the capacity; [`CapacityLedger::is_full`] still
+    /// reports the constraint correctly.
+    #[inline]
+    pub fn claim_unchecked(&mut self, item: ItemId) {
+        self.used[item.index()] += 1;
+    }
+
+    /// Releases one previously claimed unit. Claims from the greedy
+    /// planners are permanent — no production path calls this today; it
+    /// completes the ledger API for backtracking callers (e.g. a future
+    /// ledger-aware local search).
+    #[inline]
+    pub fn release(&mut self, item: ItemId) {
+        debug_assert!(self.used[item.index()] > 0, "release without claim");
+        self.used[item.index()] = self.used[item.index()].saturating_sub(1);
+    }
+}
+
+/// Shard-safe display-capacity ledger: per-item atomic claim counts.
+///
+/// Shard workers plan disjoint user ranges concurrently and claim item
+/// capacity through one shared ledger; claims are lock-free CAS loops, so the
+/// ledger never blocks a worker. Determinism of the *plan* is not the
+/// ledger's job — the shard coordinator grants claims in descending
+/// marginal-revenue order (see `revmax-algorithms::sharded`), which makes the
+/// sharded plan reproduce the sequential one exactly regardless of thread
+/// scheduling.
+#[derive(Debug)]
+pub struct SharedCapacityLedger {
+    used: Vec<AtomicU32>,
+    cap: Vec<u32>,
+}
+
+impl SharedCapacityLedger {
+    /// Creates an empty shared ledger for an instance.
+    pub fn new(inst: &Instance) -> Self {
+        let items = inst.num_items() as usize;
+        SharedCapacityLedger {
+            used: (0..items).map(|_| AtomicU32::new(0)).collect(),
+            cap: (0..inst.num_items())
+                .map(|i| inst.capacity(ItemId(i)))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct users the item has been claimed for so far.
+    #[inline]
+    pub fn used(&self, item: ItemId) -> u32 {
+        self.used[item.index()].load(Ordering::Acquire)
+    }
+
+    /// The capacity `q_i` of the item.
+    #[inline]
+    pub fn capacity(&self, item: ItemId) -> u32 {
+        self.cap[item.index()]
+    }
+
+    /// Whether the item has no capacity left for a new user.
+    #[inline]
+    pub fn is_full(&self, item: ItemId) -> bool {
+        self.used(item) >= self.cap[item.index()]
+    }
+
+    /// Atomically claims one unit of the item's capacity. Returns `false`
+    /// (and changes nothing) if the item is already full.
+    pub fn try_claim(&self, item: ItemId) -> bool {
+        let cap = self.cap[item.index()];
+        self.used[item.index()]
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                if used >= cap {
+                    None
+                } else {
+                    Some(used + 1)
+                }
+            })
+            .is_ok()
+    }
+
+    /// Releases one previously claimed unit. Like
+    /// [`CapacityLedger::release`], no production path calls this today;
+    /// it completes the shared-ledger API for backtracking callers.
+    pub fn release(&self, item: ItemId) {
+        let prev = self.used[item.index()].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "release without claim");
+    }
+
+    /// Snapshot of the per-item claim counts (indexed by item id).
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.used
+            .iter()
+            .map(|u| u.load(Ordering::Acquire))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn two_item_instance() -> Instance {
+        let mut b = InstanceBuilder::new(4, 2, 1);
+        b.display_limit(1)
+            .capacity(0, 2)
+            .capacity(1, 1)
+            .constant_price(0, 1.0)
+            .constant_price(1, 1.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .candidate(1, 1, &[0.5], 0.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_ledger_enforces_capacity() {
+        let inst = two_item_instance();
+        let mut ledger = CapacityLedger::new(&inst);
+        assert_eq!(ledger.capacity(ItemId(0)), 2);
+        assert!(ledger.claim(ItemId(0)));
+        assert!(ledger.claim(ItemId(0)));
+        assert!(ledger.is_full(ItemId(0)));
+        assert!(!ledger.claim(ItemId(0)));
+        assert_eq!(ledger.used(ItemId(0)), 2);
+        ledger.release(ItemId(0));
+        assert!(!ledger.is_full(ItemId(0)));
+        assert!(ledger.claim(ItemId(0)));
+    }
+
+    #[test]
+    fn shared_ledger_claims_match_sequential_semantics() {
+        let inst = two_item_instance();
+        let shared = SharedCapacityLedger::new(&inst);
+        assert!(shared.try_claim(ItemId(1)));
+        assert!(!shared.try_claim(ItemId(1)));
+        assert!(shared.is_full(ItemId(1)));
+        shared.release(ItemId(1));
+        assert!(shared.try_claim(ItemId(1)));
+        assert_eq!(shared.snapshot(), vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_ledger_never_oversubscribes_under_contention() {
+        let mut b = InstanceBuilder::new(64, 1, 1);
+        b.capacity(0, 17)
+            .constant_price(0, 1.0)
+            .candidate(0, 0, &[0.5], 0.0);
+        let inst = b.build().unwrap();
+        let ledger = SharedCapacityLedger::new(&inst);
+        let granted: u32 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut wins = 0;
+                        for _ in 0..8 {
+                            if ledger.try_claim(ItemId(0)) {
+                                wins += 1;
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(granted, 17, "exactly the capacity must be granted");
+        assert_eq!(ledger.used(ItemId(0)), 17);
+    }
+}

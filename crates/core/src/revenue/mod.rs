@@ -22,6 +22,35 @@
 //! step, which Definition 1 induces but Definition 3 elides; this keeps
 //! `Rev(S ∪ {z}) − Rev(S)` exactly equal to the value the greedy algorithms
 //! optimise.
+//!
+//! # Submodularity caveat (Theorem 2)
+//!
+//! The paper's Theorem 2 claims the revenue function is submodular —
+//! `Rev(S ∪ {z}) − Rev(S) ≥ Rev(S′ ∪ {z}) − Rev(S′)` for `S ⊆ S′` — and uses
+//! it to justify the lazy-forward optimisation of §5.1 (a cached marginal is
+//! an upper bound on the current one, so a fresh-flagged heap root is safe to
+//! take). The *exact* marginal implemented here violates that inequality on
+//! roughly **13% of random instances** (measured over the seeded generators in
+//! `crates/core/tests/properties.rs`, for smooth betas and display limit 1
+//! alike). The mechanism: the loss side of the marginal re-discounts already
+//! selected same-class triples at later times, and those triples are *already
+//! more discounted* under the larger strategy `S′` — so the absolute loss can
+//! shrink as the strategy grows, making the later marginal larger. The gain
+//! side (the prospective probability `q_{S∪{z}}(z)`) *is* monotonically
+//! non-increasing, which is the piece of Theorem 2 that does hold and the
+//! invariant the property suite asserts (`prospective_probability_is_non_increasing`).
+//!
+//! Consequences for the algorithms:
+//!
+//! * lazy forward is treated as a **heuristic**, validated empirically: the
+//!   `lazy == eager` equivalence tests in `crates/algorithms` assert that
+//!   both settings select identical strategies on every tested instance;
+//! * the `1 − 1/e` style greedy guarantee does not follow from theory for
+//!   the exact objective; the experiments reproduce the paper's *empirical*
+//!   quality ranking instead;
+//! * anything that replays selection order (the sharded planners, the
+//!   indexed decrease-key heap) must reproduce the sequential pop order
+//!   bit-for-bit rather than re-derive it from submodularity arguments.
 
 use crate::ids::{ClassId, Triple, UserId};
 use crate::instance::Instance;
@@ -31,10 +60,12 @@ use std::collections::HashMap;
 pub mod engine;
 pub mod flat;
 pub mod hash;
+pub mod ledger;
 
 pub use engine::RevenueEngine;
 pub use flat::IncrementalRevenue;
 pub use hash::HashIncrementalRevenue;
+pub use ledger::{CapacityLedger, SharedCapacityLedger};
 
 /// Computes the expected total revenue `Rev(S)` of a strategy from scratch.
 ///

@@ -414,6 +414,85 @@ fn group_sizes_agree_between_engines() {
     }
 }
 
+/// A flat shard view must behave exactly like a full engine restricted to
+/// the shard's users: bit-identical marginals and realised inserts, matching
+/// display tracking, and the shard revenues must sum to the full revenue.
+#[test]
+fn shard_views_match_full_engine_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(0x51AD);
+    for case in 0..40 {
+        let inst = random_instance(&mut rng);
+        let mid = inst.num_users() / 2;
+        let shards = [
+            inst.user_shard(0, mid),
+            inst.user_shard(mid, inst.num_users()),
+        ];
+        let mut full = IncrementalRevenue::new(&inst);
+        let mut views: Vec<IncrementalRevenue<'_>> = shards
+            .iter()
+            .map(|&s| RevenueEngine::for_shard(&inst, false, s))
+            .collect();
+        let picks = shuffled_candidate_triples(&inst, &mut rng);
+        for z in picks.into_iter().take(12) {
+            let cand = inst.candidate_for(z.user, z.item).expect("candidate");
+            let view = views
+                .iter_mut()
+                .find(|v| v.shard().contains_user(z.user))
+                .expect("user covered by a shard");
+            let m_full = full.marginal_revenue_cand(cand, z.t);
+            let m_view = view.marginal_revenue_cand(cand, z.t);
+            assert_eq!(
+                m_full.to_bits(),
+                m_view.to_bits(),
+                "case {case}: shard marginal {m_view} vs full {m_full} for {z}"
+            );
+            assert_eq!(
+                RevenueEngine::would_violate_display_cand(&full, cand, z.t),
+                RevenueEngine::would_violate_display_cand(&*view, cand, z.t),
+                "case {case}: display tracking diverged for {z}"
+            );
+            assert_eq!(
+                RevenueEngine::group_size_cand(&full, cand),
+                RevenueEngine::group_size_cand(&*view, cand),
+                "case {case}: group size diverged for {z}"
+            );
+            let r_full = full.insert_cand(cand, z.t);
+            let r_view = view.insert_cand(cand, z.t);
+            assert_eq!(
+                r_full.to_bits(),
+                r_view.to_bits(),
+                "case {case}: insert {z}"
+            );
+        }
+        let sum: f64 = views.iter().map(|v| v.revenue()).sum();
+        assert!(
+            (sum - full.revenue()).abs() < 1e-9,
+            "case {case}: shard revenues {sum} vs full {}",
+            full.revenue()
+        );
+        let merged: usize = views.iter().map(|v| v.len()).sum();
+        assert_eq!(merged, full.len(), "case {case}");
+    }
+}
+
+/// The shared atomic ledger and the sequential ledger grant identical claim
+/// sequences.
+#[test]
+fn shared_and_sequential_ledgers_agree() {
+    let mut rng = StdRng::seed_from_u64(0x1ED6);
+    for _ in 0..20 {
+        let inst = random_instance(&mut rng);
+        let mut seq = revmax_core::CapacityLedger::new(&inst);
+        let shared = revmax_core::SharedCapacityLedger::new(&inst);
+        for _ in 0..40 {
+            let item = revmax_core::ItemId(rng.gen_range(0..inst.num_items()));
+            assert_eq!(seq.is_full(item), shared.is_full(item));
+            assert_eq!(seq.claim(item), shared.try_claim(item));
+            assert_eq!(seq.used(item), shared.used(item));
+        }
+    }
+}
+
 /// Sanity for the TimeStep helper used throughout the engines.
 #[test]
 fn timestep_index_round_trip() {

@@ -1,0 +1,260 @@
+//! Batch-serving throughput emitter: times `plan_batch` over the persistent
+//! pool across within-instance shard counts and both heap implementations,
+//! and writes a machine-readable `BENCH_serve.json`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p revmax-serve --bin bench_serve [-- out.json]
+//! ```
+//! Environment:
+//! * `REVMAX_SERVE_SCALE`   — dataset scale factor (default 0.02);
+//! * `REVMAX_SERVE_BATCH`   — instances per batch (default 4);
+//! * `REVMAX_SERVE_SAMPLES` — timed samples per configuration (default 3);
+//! * `REVMAX_SERVE_SHARDS`  — comma-separated shard counts (default `1,2,4,8`).
+//!
+//! Samples are interleaved round-robin across configurations so host noise
+//! hits every configuration equally, and the per-configuration minimum is
+//! reported alongside the median. Every configuration's plans are asserted
+//! equal to the sequential G-Greedy reference (relative 1e-9, identical
+//! sizes) — shard count and heap are performance knobs, never behaviour
+//! knobs.
+//!
+//! Reading the numbers: on a single-core host the exact value-ordered
+//! arbitration makes shard counts > 1 a strict superset of the 1-shard work
+//! for the lazy heap (the win there is multi-core construction parallelism
+//! and the serving architecture), while for the indexed decrease-key heap —
+//! whose per-op cost scales with heap depth — smaller per-shard heaps beat
+//! the single big heap even single-threaded. See `crates/bench/README.md`.
+
+use revmax_algorithms::{global_greedy, HeapKind};
+use revmax_core::Instance;
+use revmax_data::{generate, DatasetConfig};
+use revmax_serve::{BatchPlanner, PlanOptions};
+use std::time::Instant;
+
+struct Config {
+    heap: HeapKind,
+    shards: u32,
+}
+
+struct Row {
+    heap: &'static str,
+    shards: u32,
+    workers: usize,
+    median_ns: u128,
+    min_ns: u128,
+    instances_per_sec: f64,
+    revenue: f64,
+    strategy_len: usize,
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn heap_name(kind: HeapKind) -> &'static str {
+    match kind {
+        HeapKind::Lazy => "lazy",
+        HeapKind::IndexedDary => "indexed_dary",
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let scale: f64 = env_or("REVMAX_SERVE_SCALE", 0.02);
+    let batch_size: usize = env_or("REVMAX_SERVE_BATCH", 4).max(1);
+    let samples: usize = env_or("REVMAX_SERVE_SAMPLES", 3).max(1);
+    let shard_counts: Vec<u32> = std::env::var("REVMAX_SERVE_SHARDS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    assert!(
+        shard_counts.contains(&1) && shard_counts.iter().any(|&s| s >= 2),
+        "REVMAX_SERVE_SHARDS must cover 1 shard and at least one >= 2"
+    );
+
+    eprintln!("generating amazon_like().scaled({scale}) ...");
+    let config = DatasetConfig::amazon_like().scaled(scale);
+    let ds = generate(&config);
+    let inst = &ds.instance;
+    eprintln!(
+        "dataset: {} users, {} items, T = {}, {} candidate pairs; batch of {batch_size}",
+        inst.num_users(),
+        inst.num_items(),
+        inst.horizon(),
+        inst.num_candidates()
+    );
+
+    // Sequential reference plan: every serving configuration must reproduce it.
+    let reference = global_greedy(inst);
+    eprintln!(
+        "sequential reference: revenue {:.4}, |S| = {}",
+        reference.revenue,
+        reference.strategy.len()
+    );
+
+    let configs: Vec<Config> = [HeapKind::Lazy, HeapKind::IndexedDary]
+        .iter()
+        .flat_map(|&heap| {
+            shard_counts
+                .iter()
+                .map(move |&shards| Config { heap, shards })
+        })
+        .collect();
+
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let planner = BatchPlanner::new(workers);
+    let mut times: Vec<Vec<u128>> = configs.iter().map(|_| Vec::new()).collect();
+    let mut revenue = vec![0.0f64; configs.len()];
+    let mut strategy_len = vec![0usize; configs.len()];
+    // Interleave samples round-robin so host noise is shared fairly.
+    for _round in 0..samples {
+        for (ci, cfg) in configs.iter().enumerate() {
+            let opts = PlanOptions {
+                shards: cfg.shards,
+                heap: cfg.heap,
+                ..Default::default()
+            };
+            let batch: Vec<Instance> = (0..batch_size).map(|_| inst.clone()).collect();
+            let t0 = Instant::now();
+            let reports = planner.plan_batch_reports(batch, opts);
+            times[ci].push(t0.elapsed().as_nanos());
+            for report in &reports {
+                assert!(
+                    (report.outcome.revenue - reference.revenue).abs()
+                        <= 1e-9 * reference.revenue.abs().max(1.0),
+                    "{} heap, {} shards: plan diverged from the sequential reference: {} vs {}",
+                    heap_name(cfg.heap),
+                    cfg.shards,
+                    report.outcome.revenue,
+                    reference.revenue
+                );
+                assert_eq!(
+                    report.outcome.strategy.len(),
+                    reference.strategy.len(),
+                    "{} heap, {} shards: strategy size diverged",
+                    heap_name(cfg.heap),
+                    cfg.shards
+                );
+            }
+            revenue[ci] = reports[0].outcome.revenue;
+            strategy_len[ci] = reports[0].outcome.strategy.len();
+        }
+    }
+
+    let rows: Vec<Row> = configs
+        .iter()
+        .enumerate()
+        .map(|(ci, cfg)| {
+            let median_ns = median(times[ci].clone());
+            let min_ns = *times[ci].iter().min().expect("samples > 0");
+            Row {
+                heap: heap_name(cfg.heap),
+                shards: cfg.shards,
+                workers,
+                median_ns,
+                min_ns,
+                instances_per_sec: batch_size as f64 / (median_ns as f64 / 1e9),
+                revenue: revenue[ci],
+                strategy_len: strategy_len[ci],
+            }
+        })
+        .collect();
+    for r in &rows {
+        eprintln!(
+            "{:>12} heap, {} shards: median {:>13} ns  min {:>13} ns  ({:.3} instances/s)",
+            r.heap, r.shards, r.median_ns, r.min_ns, r.instances_per_sec
+        );
+    }
+
+    // Per heap family: best >= 2-shard configuration vs the 1-shard baseline
+    // (minimum wall time; the shard count is the only variable).
+    let mut family_summaries = Vec::new();
+    for heap in ["lazy", "indexed_dary"] {
+        let base = rows
+            .iter()
+            .find(|r| r.heap == heap && r.shards == 1)
+            .expect("1-shard row");
+        let best_multi = rows
+            .iter()
+            .filter(|r| r.heap == heap && r.shards >= 2)
+            .min_by_key(|r| r.min_ns)
+            .expect(">=2-shard row");
+        let speedup = base.min_ns as f64 / best_multi.min_ns as f64;
+        eprintln!(
+            "{heap}: best multi-shard = {} shards, {speedup:.3}x vs 1 shard",
+            best_multi.shards
+        );
+        family_summaries.push((heap, best_multi.shards, speedup));
+    }
+    let best_family = family_summaries
+        .iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .expect("two families");
+    if best_family.2 <= 1.0 {
+        eprintln!("WARNING: no multi-shard configuration beat its 1-shard baseline on this host");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"dataset\": \"amazon_like.scaled({scale})\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"num_users\": {}, \"num_items\": {}, \"horizon\": {}, \"num_candidates\": {},\n",
+        inst.num_users(),
+        inst.num_items(),
+        inst.horizon(),
+        inst.num_candidates()
+    ));
+    json.push_str(&format!(
+        "  \"batch_size\": {batch_size}, \"samples\": {samples}, \"pool_workers\": {workers}, \"host_cpus\": {workers},\n"
+    ));
+    json.push_str(
+        "  \"notes\": \"every configuration reproduces the sequential plan exactly; the \
+         value-ordered arbitration is itself sequential, so on a 1-CPU host shard counts > 1 \
+         are a strict superset of the 1-shard work — multi-shard wall-time wins come from \
+         concurrent shard construction/scans on multi-core hosts (see the CI artifact)\",\n",
+    );
+    json.push_str(&format!(
+        "  \"reference_revenue\": {:.6}, \"reference_strategy_len\": {},\n",
+        reference.revenue,
+        reference.strategy.len()
+    ));
+    json.push_str("  \"measurements\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"heap\": \"{}\", \"shards\": {}, \"workers\": {}, \"median_ns\": {}, \"min_ns\": {}, \"instances_per_sec\": {:.4}, \"revenue\": {:.6}, \"strategy_len\": {}}}{}\n",
+            r.heap,
+            r.shards,
+            r.workers,
+            r.median_ns,
+            r.min_ns,
+            r.instances_per_sec,
+            r.revenue,
+            r.strategy_len,
+            if idx + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"multi_shard_vs_1_shard\": {\n");
+    for (idx, (heap, shards, speedup)) in family_summaries.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{heap}\": {{\"best_shards\": {shards}, \"speedup_over_1_shard\": {speedup:.3}}}{}\n",
+            if idx + 1 < family_summaries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+}

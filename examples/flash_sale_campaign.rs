@@ -51,7 +51,9 @@ fn main() {
     }
     let instance = builder.build().expect("valid instance");
 
-    let plan = global_greedy(&instance);
+    // Engine / heap / shard selection from the environment (REVMAX_ENGINE,
+    // REVMAX_HEAP, REVMAX_SHARDS); the plan is identical for every choice.
+    let plan = global_greedy_with(&instance, &GreedyOptions::from_env());
     println!("expected campaign revenue: {:.2}\n", plan.revenue);
     println!("{:<10} {:>12} {:>14}", "user", "segment", "first shown on");
     let mut first_day = vec![None::<u32>; num_users as usize];

@@ -22,8 +22,16 @@ fn main() {
         dataset.mf_rmse
     );
 
+    // REVMAX_SHARDS (default 2) picks the shard count of the sharded entry;
+    // its revenue always matches GG exactly — shards change speed and memory
+    // layout, never the plan.
+    let shards: u32 = std::env::var("REVMAX_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let lineup = vec![
         Algorithm::GlobalGreedy,
+        Algorithm::ShardedGlobalGreedy { shards },
         Algorithm::GlobalNoSaturation,
         Algorithm::RandomizedLocalGreedy { permutations: 10 },
         Algorithm::SequentialLocalGreedy,

@@ -49,12 +49,14 @@ pub use revmax_core as core;
 pub use revmax_data as data;
 pub use revmax_pricing as pricing;
 pub use revmax_recsys as recsys;
+pub use revmax_serve as serve;
 
 /// The most commonly used items across the workspace, re-exported flat.
 pub mod prelude {
     pub use revmax_algorithms::{
-        global_greedy, global_no_saturation, randomized_local_greedy, run, sequential_local_greedy,
-        solve_t1_exact, top_rating, top_revenue, Algorithm, GreedyOutcome, RunReport,
+        global_greedy, global_greedy_with, global_no_saturation, randomized_local_greedy, run,
+        sequential_local_greedy, solve_t1_exact, top_rating, top_revenue, Algorithm, EngineKind,
+        GreedyOptions, GreedyOutcome, HeapKind, RunReport,
     };
     pub use revmax_core::{
         revenue, IncrementalRevenue, Instance, InstanceBuilder, ItemId, Strategy, TimeStep, Triple,
@@ -66,6 +68,7 @@ pub mod prelude {
     };
     pub use revmax_pricing::{adoption_probability, GaussianKde, GaussianValuation, Valuation};
     pub use revmax_recsys::{MatrixFactorization, MfConfig, RatingSet};
+    pub use revmax_serve::{plan_batch, BatchAlgorithm, BatchPlanner, PlanOptions};
 }
 
 #[cfg(test)]
