@@ -1,0 +1,391 @@
+//! The unified planner configuration and the single planning entry point.
+//!
+//! [`PlannerConfig`] subsumes the three historical option structs
+//! (`GreedyOptions`, `LocalGreedyOptions`, and `revmax-serve`'s old
+//! `PlanOptions`) behind one surface: pick an algorithm, an engine, a heap,
+//! a shard count, and a seed, then call [`plan`]. The old structs survive as
+//! thin `#[deprecated]` conversions (`impl From<…> for PlannerConfig`), so
+//! code written against them keeps compiling and produces identical plans.
+//!
+//! ```
+//! use revmax_algorithms::{plan, PlannerConfig};
+//! use revmax_core::InstanceBuilder;
+//!
+//! let mut b = InstanceBuilder::new(2, 1, 2);
+//! b.display_limit(1)
+//!     .constant_price(0, 10.0)
+//!     .candidate(0, 0, &[0.4, 0.5], 0.0)
+//!     .candidate(1, 0, &[0.3, 0.2], 0.0);
+//! let inst = b.build().unwrap();
+//!
+//! let outcome = plan(&inst, &PlannerConfig::default());
+//! assert!(outcome.revenue > 0.0);
+//! ```
+//!
+//! Every knob is a **performance knob, never a behaviour knob**: for a fixed
+//! [`PlanAlgorithm`], any combination of engine, heap, shard count, and
+//! parallelism produces the same strategy (asserted to 1e-9 by the engine
+//! parity suites). The seed only matters for
+//! [`PlanAlgorithm::RandomizedLocalGreedy`].
+
+use crate::global_greedy::{EngineKind, GreedyOutcome};
+use crate::heap::HeapKind;
+use revmax_core::{env, Instance};
+
+/// Which planning algorithm a [`PlannerConfig`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanAlgorithm {
+    /// G-Greedy (Algorithm 1) — the paper's best performer and the default.
+    #[default]
+    GlobalGreedy,
+    /// G-Greedy selecting as if no saturation existed (the `GlobalNo`
+    /// ablation); the reported revenue is always the true revenue.
+    GlobalNoSaturation,
+    /// SL-Greedy (Algorithm 2) — chronological per-time-step greedy.
+    SequentialLocalGreedy,
+    /// RL-Greedy — per-time-step greedy under sampled horizon orderings,
+    /// best strategy kept. Uses [`PlannerConfig::seed`].
+    RandomizedLocalGreedy {
+        /// Number of sampled permutations (the paper uses 20).
+        permutations: u32,
+    },
+}
+
+/// The unified configuration for every REVMAX planner.
+///
+/// Construct with [`PlannerConfig::default`] plus the `with_*` builder
+/// methods, with a struct literal, or from the environment with
+/// [`PlannerConfig::from_env`] / [`PlannerConfig::env_overlay`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// The algorithm to run.
+    pub algorithm: PlanAlgorithm,
+    /// Incremental revenue engine backing the run.
+    pub engine: EngineKind,
+    /// Heap implementation backing the selection loops.
+    pub heap: HeapKind,
+    /// Number of user shards (`0`/`1` = the sequential driver, `n ≥ 2` = the
+    /// shard-partitioned core of [`crate::sharded`]).
+    pub shards: u32,
+    /// Seed for the randomized algorithms (RL-Greedy permutation sampling).
+    pub seed: u64,
+    /// Use the lazy-forward optimisation (on by default); turning it off is
+    /// the eager re-evaluation ablation.
+    pub lazy_forward: bool,
+    /// Use the two-level heap layout of §5.1 (on by default); off selects
+    /// the single giant heap over all candidate triples (ablation).
+    pub two_level_heaps: bool,
+    /// Record the objective value after every selection (Figure 4 traces).
+    pub track_trace: bool,
+    /// Thread parallelism for the deterministic fill/scan phases: `None`
+    /// (default) lets each driver auto-decide by instance size, `Some(x)`
+    /// forces it on or off. Parallel and sequential fills are bit-identical.
+    pub parallel: Option<bool>,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            algorithm: PlanAlgorithm::default(),
+            engine: EngineKind::default(),
+            heap: HeapKind::default(),
+            shards: 1,
+            seed: 0,
+            lazy_forward: true,
+            two_level_heaps: true,
+            track_trace: false,
+            parallel: None,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The default configuration (G-Greedy, flat engine, lazy heap, 1 shard).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the algorithm.
+    pub fn with_algorithm(mut self, algorithm: PlanAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the incremental revenue engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the heap implementation.
+    pub fn with_heap(mut self, heap: HeapKind) -> Self {
+        self.heap = heap;
+        self
+    }
+
+    /// Selects the user-shard count (`0` is normalised to `1`).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Selects the seed for the randomized algorithms.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches the lazy-forward optimisation.
+    pub fn with_lazy_forward(mut self, lazy_forward: bool) -> Self {
+        self.lazy_forward = lazy_forward;
+        self
+    }
+
+    /// Switches the two-level heap layout.
+    pub fn with_two_level_heaps(mut self, two_level_heaps: bool) -> Self {
+        self.two_level_heaps = two_level_heaps;
+        self
+    }
+
+    /// Switches per-selection objective tracing.
+    pub fn with_track_trace(mut self, track_trace: bool) -> Self {
+        self.track_trace = track_trace;
+        self
+    }
+
+    /// Forces the deterministic fill/scan parallelism on or off
+    /// (`None` = auto by instance size).
+    pub fn with_parallel(mut self, parallel: Option<bool>) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Default configuration with the environment knobs layered on top —
+    /// shorthand for `PlannerConfig::default().env_overlay()`.
+    pub fn from_env() -> Self {
+        Self::default().env_overlay()
+    }
+
+    /// Layers the `REVMAX_*` environment knobs over this configuration, so
+    /// binaries and examples expose runtime selection without recompiling:
+    ///
+    /// * `REVMAX_ALGORITHM` — `gg` (default), `gg-no`, `slg`, or `rlg`
+    ///   (RL-Greedy with the paper's 20 permutations);
+    /// * `REVMAX_ENGINE` — `flat` (default) or `hash`;
+    /// * `REVMAX_HEAP` — `lazy` (default) or `dary` / `indexed_dary`;
+    /// * `REVMAX_SHARDS` — shard count (`≥ 2` engages the sharded core);
+    /// * `REVMAX_SEED` — seed for the randomized algorithms.
+    ///
+    /// Unset or unparsable values keep the receiver's setting — selection
+    /// must never change results (only speed), so a typo degrades
+    /// gracefully. Parsing goes through the shared [`revmax_core::env`]
+    /// module.
+    pub fn env_overlay(mut self) -> Self {
+        if let Some(algorithm) = env::var_with("REVMAX_ALGORITHM", parse_algorithm) {
+            self.algorithm = algorithm;
+        }
+        if let Some(engine) = env::var_with("REVMAX_ENGINE", parse_engine) {
+            self.engine = engine;
+        }
+        if let Some(heap) = env::var_with("REVMAX_HEAP", parse_heap) {
+            self.heap = heap;
+        }
+        if let Some(shards) = env::var::<u32>("REVMAX_SHARDS") {
+            self.shards = shards.max(1);
+        }
+        if let Some(seed) = env::var::<u64>("REVMAX_SEED") {
+            self.seed = seed;
+        }
+        self
+    }
+
+    /// Whether selection pretends `β_i = 1` (the `GlobalNo` ablation).
+    pub(crate) fn ignores_saturation(&self) -> bool {
+        matches!(self.algorithm, PlanAlgorithm::GlobalNoSaturation)
+    }
+
+    /// Greedy init-fill parallelism (the historical default was on; the
+    /// fill itself is additionally gated by instance size).
+    pub(crate) fn parallel_init(&self) -> bool {
+        self.parallel.unwrap_or(true)
+    }
+}
+
+fn parse_algorithm(s: &str) -> Option<PlanAlgorithm> {
+    match s {
+        "gg" | "global" | "global_greedy" => Some(PlanAlgorithm::GlobalGreedy),
+        "gg-no" | "gg_no" | "no_saturation" => Some(PlanAlgorithm::GlobalNoSaturation),
+        "slg" | "local" | "sequential_local" => Some(PlanAlgorithm::SequentialLocalGreedy),
+        "rlg" | "randomized_local" => {
+            Some(PlanAlgorithm::RandomizedLocalGreedy { permutations: 20 })
+        }
+        _ => None,
+    }
+}
+
+fn parse_engine(s: &str) -> Option<EngineKind> {
+    match s {
+        "flat" => Some(EngineKind::Flat),
+        "hash" => Some(EngineKind::Hash),
+        _ => None,
+    }
+}
+
+fn parse_heap(s: &str) -> Option<HeapKind> {
+    match s {
+        "lazy" => Some(HeapKind::Lazy),
+        "dary" | "indexed_dary" => Some(HeapKind::IndexedDary),
+        _ => None,
+    }
+}
+
+/// Plans an instance with the configured algorithm — the single entry point
+/// the service layer, examples, and experiments are built on.
+pub fn plan(inst: &Instance, config: &PlannerConfig) -> GreedyOutcome {
+    match config.algorithm {
+        PlanAlgorithm::GlobalGreedy | PlanAlgorithm::GlobalNoSaturation => {
+            crate::global_greedy::dispatch(inst, config)
+        }
+        PlanAlgorithm::SequentialLocalGreedy => {
+            let order: Vec<u32> = (1..=inst.horizon()).collect();
+            crate::local_greedy::dispatch_order(inst, &order, config)
+        }
+        PlanAlgorithm::RandomizedLocalGreedy { permutations } => {
+            crate::local_greedy::randomized_with(inst, config, permutations as usize)
+        }
+    }
+}
+
+/// Runs the per-time-step greedy under an explicit ordering of time steps
+/// (a permutation of `1..=T`, or a subset — only those steps receive
+/// recommendations). The configured algorithm field is ignored; engine,
+/// heap, shards, and parallelism apply.
+pub fn plan_order(inst: &Instance, order: &[u32], config: &PlannerConfig) -> GreedyOutcome {
+    crate::local_greedy::dispatch_order(inst, order, config)
+}
+
+#[allow(deprecated)]
+impl From<crate::global_greedy::GreedyOptions> for PlannerConfig {
+    fn from(o: crate::global_greedy::GreedyOptions) -> Self {
+        PlannerConfig {
+            algorithm: if o.ignore_saturation {
+                PlanAlgorithm::GlobalNoSaturation
+            } else {
+                PlanAlgorithm::GlobalGreedy
+            },
+            engine: o.engine,
+            heap: o.heap,
+            shards: o.shards.max(1),
+            seed: 0,
+            lazy_forward: o.lazy_forward,
+            two_level_heaps: o.two_level_heaps,
+            track_trace: o.track_trace,
+            parallel: Some(o.parallel_init),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<crate::local_greedy::LocalGreedyOptions> for PlannerConfig {
+    fn from(o: crate::local_greedy::LocalGreedyOptions) -> Self {
+        PlannerConfig {
+            algorithm: PlanAlgorithm::SequentialLocalGreedy,
+            engine: o.engine,
+            heap: o.heap,
+            shards: o.shards.max(1),
+            parallel: o.parallel_scan,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = PlannerConfig::new()
+            .with_algorithm(PlanAlgorithm::SequentialLocalGreedy)
+            .with_engine(EngineKind::Hash)
+            .with_heap(HeapKind::IndexedDary)
+            .with_shards(0)
+            .with_seed(7)
+            .with_lazy_forward(false)
+            .with_two_level_heaps(false)
+            .with_track_trace(true)
+            .with_parallel(Some(false));
+        assert_eq!(cfg.algorithm, PlanAlgorithm::SequentialLocalGreedy);
+        assert_eq!(cfg.engine, EngineKind::Hash);
+        assert_eq!(cfg.heap, HeapKind::IndexedDary);
+        assert_eq!(cfg.shards, 1, "0 shards normalises to 1");
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.lazy_forward);
+        assert!(!cfg.two_level_heaps);
+        assert!(cfg.track_trace);
+        assert_eq!(cfg.parallel, Some(false));
+    }
+
+    #[test]
+    fn knob_parsers_accept_the_documented_values() {
+        assert_eq!(parse_engine("flat"), Some(EngineKind::Flat));
+        assert_eq!(parse_engine("hash"), Some(EngineKind::Hash));
+        assert_eq!(parse_engine("typo"), None);
+        assert_eq!(parse_heap("lazy"), Some(HeapKind::Lazy));
+        assert_eq!(parse_heap("dary"), Some(HeapKind::IndexedDary));
+        assert_eq!(parse_heap("indexed_dary"), Some(HeapKind::IndexedDary));
+        assert_eq!(parse_algorithm("gg"), Some(PlanAlgorithm::GlobalGreedy));
+        assert_eq!(
+            parse_algorithm("gg-no"),
+            Some(PlanAlgorithm::GlobalNoSaturation)
+        );
+        assert_eq!(
+            parse_algorithm("slg"),
+            Some(PlanAlgorithm::SequentialLocalGreedy)
+        );
+        assert_eq!(
+            parse_algorithm("rlg"),
+            Some(PlanAlgorithm::RandomizedLocalGreedy { permutations: 20 })
+        );
+        assert_eq!(parse_algorithm("brute_force"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn conversions_from_the_deprecated_structs_preserve_every_knob() {
+        use crate::global_greedy::GreedyOptions;
+        use crate::local_greedy::LocalGreedyOptions;
+
+        let greedy = GreedyOptions {
+            ignore_saturation: true,
+            lazy_forward: false,
+            two_level_heaps: false,
+            track_trace: true,
+            engine: EngineKind::Hash,
+            parallel_init: false,
+            heap: HeapKind::IndexedDary,
+            shards: 3,
+        };
+        let cfg = PlannerConfig::from(greedy);
+        assert_eq!(cfg.algorithm, PlanAlgorithm::GlobalNoSaturation);
+        assert_eq!(cfg.engine, EngineKind::Hash);
+        assert_eq!(cfg.heap, HeapKind::IndexedDary);
+        assert_eq!(cfg.shards, 3);
+        assert!(!cfg.lazy_forward);
+        assert!(!cfg.two_level_heaps);
+        assert!(cfg.track_trace);
+        assert_eq!(cfg.parallel, Some(false));
+
+        let local = LocalGreedyOptions {
+            engine: EngineKind::Hash,
+            parallel_scan: Some(true),
+            heap: HeapKind::IndexedDary,
+            shards: 2,
+        };
+        let cfg = PlannerConfig::from(local);
+        assert_eq!(cfg.algorithm, PlanAlgorithm::SequentialLocalGreedy);
+        assert_eq!(cfg.engine, EngineKind::Hash);
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.parallel, Some(true));
+    }
+}

@@ -30,6 +30,7 @@
 //! initial value pass (`q(u,i,t) · p(i,t)`, embarrassingly parallel over
 //! candidates) is filled by scoped threads cut at user boundaries.
 
+use crate::config::PlannerConfig;
 use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
 use revmax_core::{
@@ -48,6 +49,14 @@ pub enum EngineKind {
 }
 
 /// Options controlling the G-Greedy run.
+///
+/// Superseded by [`PlannerConfig`], which unifies this struct with
+/// `LocalGreedyOptions` and the serving layer's options behind one surface;
+/// a `GreedyOptions` converts losslessly via `PlannerConfig::from`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`)"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct GreedyOptions {
     /// Select triples as if `β_i = 1` for every item (the `GlobalNo` baseline).
@@ -83,6 +92,7 @@ pub struct GreedyOptions {
     pub shards: u32,
 }
 
+#[allow(deprecated)]
 impl Default for GreedyOptions {
     fn default() -> Self {
         GreedyOptions {
@@ -98,36 +108,22 @@ impl Default for GreedyOptions {
     }
 }
 
+#[allow(deprecated)]
 impl GreedyOptions {
-    /// Default options with engine / heap / shard selection read from the
-    /// environment, so binaries and examples expose the knobs without
-    /// recompiling:
-    ///
-    /// * `REVMAX_ENGINE` — `flat` (default) or `hash`;
-    /// * `REVMAX_HEAP`   — `lazy` (default) or `dary`;
-    /// * `REVMAX_SHARDS` — shard count (default 1; `≥ 2` engages the
-    ///   shard-partitioned planning core).
-    ///
-    /// Unknown values fall back to the defaults — selection must never
-    /// change results (only speed), so a typo degrades gracefully.
+    /// Default options with the `REVMAX_*` environment knobs layered on top.
+    #[deprecated(since = "0.2.0", note = "use PlannerConfig::from_env")]
     pub fn from_env() -> Self {
-        let mut opts = GreedyOptions::default();
-        if let Ok(v) = std::env::var("REVMAX_ENGINE") {
-            if v == "hash" {
-                opts.engine = EngineKind::Hash;
-            }
+        let cfg = PlannerConfig::from_env();
+        GreedyOptions {
+            ignore_saturation: cfg.ignores_saturation(),
+            lazy_forward: cfg.lazy_forward,
+            two_level_heaps: cfg.two_level_heaps,
+            track_trace: cfg.track_trace,
+            engine: cfg.engine,
+            parallel_init: cfg.parallel_init(),
+            heap: cfg.heap,
+            shards: cfg.shards,
         }
-        if let Ok(v) = std::env::var("REVMAX_HEAP") {
-            if v == "dary" || v == "indexed_dary" {
-                opts.heap = HeapKind::IndexedDary;
-            }
-        }
-        if let Ok(s) = std::env::var("REVMAX_SHARDS") {
-            if let Ok(n) = s.parse::<u32>() {
-                opts.shards = n.max(1);
-            }
-        }
-        opts
     }
 }
 
@@ -148,41 +144,45 @@ pub struct GreedyOutcome {
     pub marginal_evaluations: u64,
 }
 
-/// Runs G-Greedy with default options.
+/// Runs G-Greedy with the default configuration.
 pub fn global_greedy(inst: &Instance) -> GreedyOutcome {
-    global_greedy_with(inst, &GreedyOptions::default())
+    dispatch(inst, &PlannerConfig::default())
 }
 
 /// Runs the `GlobalNo` ablation: saturation is ignored during selection, the
 /// returned revenue is evaluated with the true saturation factors.
 pub fn global_no_saturation(inst: &Instance) -> GreedyOutcome {
-    global_greedy_with(
+    dispatch(
         inst,
-        &GreedyOptions {
-            ignore_saturation: true,
-            ..GreedyOptions::default()
-        },
+        &PlannerConfig::default().with_algorithm(crate::config::PlanAlgorithm::GlobalNoSaturation),
     )
 }
 
 /// Runs G-Greedy with explicit options.
+#[deprecated(since = "0.2.0", note = "use plan with a PlannerConfig")]
+#[allow(deprecated)]
 pub fn global_greedy_with(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
-    if opts.shards > 1 {
-        return crate::sharded::sharded_global_greedy(inst, opts, opts.shards as usize);
+    dispatch(inst, &PlannerConfig::from(*opts))
+}
+
+/// The G-Greedy driver dispatch: shard count, engine, heap layout.
+pub(crate) fn dispatch(inst: &Instance, cfg: &PlannerConfig) -> GreedyOutcome {
+    if cfg.shards > 1 {
+        return crate::sharded::sharded_plan(inst, cfg, cfg.shards as usize);
     }
     use EngineKind::{Flat, Hash};
     use HeapKind::{IndexedDary, Lazy};
     type FlatEng<'i> = IncrementalRevenue<'i>;
     type HashEng<'i> = HashIncrementalRevenue<'i>;
-    match (opts.engine, opts.two_level_heaps, opts.heap) {
-        (Flat, true, Lazy) => two_level_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, opts),
-        (Flat, true, IndexedDary) => two_level_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, opts),
-        (Flat, false, Lazy) => giant_heap_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, opts),
-        (Flat, false, IndexedDary) => giant_heap_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, opts),
-        (Hash, true, Lazy) => two_level_greedy::<HashEng<'_>, LazyMaxHeap>(inst, opts),
-        (Hash, true, IndexedDary) => two_level_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, opts),
-        (Hash, false, Lazy) => giant_heap_greedy::<HashEng<'_>, LazyMaxHeap>(inst, opts),
-        (Hash, false, IndexedDary) => giant_heap_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, opts),
+    match (cfg.engine, cfg.two_level_heaps, cfg.heap) {
+        (Flat, true, Lazy) => two_level_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, cfg),
+        (Flat, true, IndexedDary) => two_level_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg),
+        (Flat, false, Lazy) => giant_heap_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, cfg),
+        (Flat, false, IndexedDary) => giant_heap_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg),
+        (Hash, true, Lazy) => two_level_greedy::<HashEng<'_>, LazyMaxHeap>(inst, cfg),
+        (Hash, true, IndexedDary) => two_level_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, cfg),
+        (Hash, false, Lazy) => giant_heap_greedy::<HashEng<'_>, LazyMaxHeap>(inst, cfg),
+        (Hash, false, IndexedDary) => giant_heap_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, cfg),
     }
 }
 
@@ -312,13 +312,13 @@ impl CandidateTable {
 fn finish<'a, E: RevenueEngine<'a>>(
     inst: &'a Instance,
     inc: E,
-    opts: &GreedyOptions,
+    cfg: &PlannerConfig,
     trace: Vec<f64>,
     marginal_evaluations: u64,
 ) -> GreedyOutcome {
     let selection_objective = inc.revenue();
     let strategy = inc.into_strategy();
-    let true_revenue = if opts.ignore_saturation {
+    let true_revenue = if cfg.ignores_saturation() {
         revenue(inst, &strategy)
     } else {
         selection_objective
@@ -334,14 +334,14 @@ fn finish<'a, E: RevenueEngine<'a>>(
 
 fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
-    opts: &GreedyOptions,
+    cfg: &PlannerConfig,
 ) -> GreedyOutcome {
     let num_cand = inst.num_candidates();
-    let mut inc = E::with_options(inst, opts.ignore_saturation);
+    let mut inc = E::with_options(inst, cfg.ignores_saturation());
     let mut trace = Vec::new();
     let mut evals: u64 = 0;
 
-    let mut table = CandidateTable::new(inst, opts.parallel_init);
+    let mut table = CandidateTable::new(inst, cfg.parallel_init());
     let mut roots = vec![f64::NEG_INFINITY; num_cand];
     for cand in 0..num_cand as u32 {
         roots[cand as usize] = table.best(cand).map_or(f64::NEG_INFINITY, |(_, v)| v);
@@ -397,7 +397,7 @@ fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         // Lazy forward compares the flag against |set(u, C(i))|; the eager
         // ablation compares against the global selection count, forcing a
         // re-evaluation whenever anything was inserted since the last one.
-        let stamp = if opts.lazy_forward {
+        let stamp = if cfg.lazy_forward {
             inc.group_size_cand(cand) as u32
         } else {
             inc.len() as u32
@@ -406,7 +406,7 @@ fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         if table.flags[slot] == stamp {
             inc.insert_cand(cand, t);
             table.block(cand_idx, best_t);
-            if opts.track_trace {
+            if cfg.track_trace {
                 trace.push(inc.revenue());
             }
             match table.best(cand_idx) {
@@ -423,21 +423,21 @@ fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         }
     }
 
-    finish(inst, inc, opts, trace, evals)
+    finish(inst, inc, cfg, trace, evals)
 }
 
 fn giant_heap_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
-    opts: &GreedyOptions,
+    cfg: &PlannerConfig,
 ) -> GreedyOutcome {
     let horizon = inst.horizon() as usize;
-    let mut inc = E::with_options(inst, opts.ignore_saturation);
+    let mut inc = E::with_options(inst, cfg.ignores_saturation());
     let mut trace = Vec::new();
     let mut evals: u64 = 0;
 
     // One heap element per candidate triple; the table's value vector doubles
     // as the initial heap keys.
-    let table = CandidateTable::new(inst, opts.parallel_init);
+    let table = CandidateTable::new(inst, cfg.parallel_init());
     let mut flags = table.flags;
     let mut heap = H::build(&table.values);
     let total_slots = inst.total_slots();
@@ -457,7 +457,7 @@ fn giant_heap_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
             heap.remove(element);
             continue;
         }
-        let stamp = if opts.lazy_forward {
+        let stamp = if cfg.lazy_forward {
             inc.group_size_cand(cand) as u32
         } else {
             inc.len() as u32
@@ -465,7 +465,7 @@ fn giant_heap_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         if flags[element as usize] == stamp {
             inc.insert_cand(cand, t);
             heap.remove(element);
-            if opts.track_trace {
+            if cfg.track_trace {
                 trace.push(inc.revenue());
             }
         } else {
@@ -476,7 +476,7 @@ fn giant_heap_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         }
     }
 
-    finish(inst, inc, opts, trace, evals)
+    finish(inst, inc, cfg, trace, evals)
 }
 
 #[cfg(test)]
@@ -538,13 +538,7 @@ mod tests {
     #[test]
     fn never_selects_negative_marginals() {
         let inst = small_instance();
-        let out = global_greedy_with(
-            &inst,
-            &GreedyOptions {
-                track_trace: true,
-                ..Default::default()
-            },
-        );
+        let out = dispatch(&inst, &PlannerConfig::default().with_track_trace(true));
         // The traced objective must be non-decreasing (every accepted marginal > 0).
         for w in out.trace.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "objective decreased: {:?}", w);
@@ -597,14 +591,8 @@ mod tests {
     #[test]
     fn giant_heap_and_two_level_agree() {
         let inst = small_instance();
-        let two = global_greedy_with(&inst, &GreedyOptions::default());
-        let giant = global_greedy_with(
-            &inst,
-            &GreedyOptions {
-                two_level_heaps: false,
-                ..Default::default()
-            },
-        );
+        let two = dispatch(&inst, &PlannerConfig::default());
+        let giant = dispatch(&inst, &PlannerConfig::default().with_two_level_heaps(false));
         assert!((two.revenue - giant.revenue).abs() < 1e-9);
         assert_eq!(two.strategy.len(), giant.strategy.len());
     }
@@ -613,20 +601,15 @@ mod tests {
     fn flat_and_hash_engines_agree_exactly() {
         let inst = small_instance();
         for two_level in [true, false] {
-            let flat = global_greedy_with(
+            let flat = dispatch(
                 &inst,
-                &GreedyOptions {
-                    two_level_heaps: two_level,
-                    ..Default::default()
-                },
+                &PlannerConfig::default().with_two_level_heaps(two_level),
             );
-            let hash = global_greedy_with(
+            let hash = dispatch(
                 &inst,
-                &GreedyOptions {
-                    two_level_heaps: two_level,
-                    engine: EngineKind::Hash,
-                    ..Default::default()
-                },
+                &PlannerConfig::default()
+                    .with_two_level_heaps(two_level)
+                    .with_engine(EngineKind::Hash),
             );
             assert!((flat.revenue - hash.revenue).abs() < 1e-9);
             assert_eq!(flat.strategy.len(), hash.strategy.len());
@@ -639,14 +622,8 @@ mod tests {
     #[test]
     fn lazy_forward_does_not_change_the_result_but_saves_evaluations() {
         let inst = small_instance();
-        let lazy = global_greedy_with(&inst, &GreedyOptions::default());
-        let eager = global_greedy_with(
-            &inst,
-            &GreedyOptions {
-                lazy_forward: false,
-                ..Default::default()
-            },
-        );
+        let lazy = dispatch(&inst, &PlannerConfig::default());
+        let eager = dispatch(&inst, &PlannerConfig::default().with_lazy_forward(false));
         assert!((lazy.revenue - eager.revenue).abs() < 1e-9);
         assert!(lazy.marginal_evaluations <= eager.marginal_evaluations);
     }

@@ -21,12 +21,20 @@
 //!   adoption probabilities of Definition 4;
 //! * [`run`] / [`Algorithm`] — a uniform timed front-end used by the
 //!   experiment harness.
+//!
+//! All of the above are configured through one [`PlannerConfig`] (algorithm,
+//! engine, heap, shard count, seed — builder methods plus a layered
+//! [`PlannerConfig::from_env`]) and driven through the single entry point
+//! [`plan`] (or [`plan_order`] for an explicit time-step ordering). The
+//! historical `GreedyOptions` / `LocalGreedyOptions` structs are deprecated
+//! thin conversions into `PlannerConfig`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
 pub mod capacity_oracle;
+pub mod config;
 pub mod exhaustive;
 pub mod global_greedy;
 pub mod heap;
@@ -40,15 +48,12 @@ pub mod staged;
 
 pub use baselines::{top_rating, top_revenue};
 pub use capacity_oracle::MonteCarloOracle;
+pub use config::{plan, plan_order, PlanAlgorithm, PlannerConfig};
 pub use exhaustive::{candidate_triples, exact_optimum, ExactOutcome};
-pub use global_greedy::{
-    global_greedy, global_greedy_with, global_no_saturation, EngineKind, GreedyOptions,
-    GreedyOutcome,
-};
+pub use global_greedy::{global_greedy, global_no_saturation, EngineKind, GreedyOutcome};
 pub use heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 pub use local_greedy::{
-    local_greedy_with_order, local_greedy_with_order_opts, randomized_local_greedy,
-    sample_permutations, sequential_local_greedy, LocalGreedyOptions,
+    local_greedy_with_order, randomized_local_greedy, sample_permutations, sequential_local_greedy,
 };
 pub use local_search::{
     exact_r_revmax_optimum, is_display_independent, local_search_r_revmax, slot_occupancy,
@@ -56,5 +61,14 @@ pub use local_search::{
 };
 pub use max_dcs::{solve_t1_exact, MaxDcsOutcome};
 pub use runner::{run, Algorithm, RunReport};
-pub use sharded::{shard_users, sharded_global_greedy, sharded_local_greedy};
+pub use sharded::{shard_users, sharded_plan, sharded_plan_order};
 pub use staged::{global_greedy_staged, randomized_local_greedy_staged, stages_from_ends};
+
+// The deprecated pre-unification entry points stay importable from the crate
+// root so existing code keeps compiling (with a deprecation warning).
+#[allow(deprecated)]
+pub use global_greedy::{global_greedy_with, GreedyOptions};
+#[allow(deprecated)]
+pub use local_greedy::{local_greedy_with_order_opts, LocalGreedyOptions};
+#[allow(deprecated)]
+pub use sharded::{sharded_global_greedy, sharded_local_greedy};

@@ -13,6 +13,7 @@
 //! cut at user boundaries (see [`crate::par`]). The parallel and sequential
 //! scans are bit-identical, which the equivalence tests assert.
 
+use crate::config::{PlanAlgorithm, PlannerConfig};
 use crate::global_greedy::{EngineKind, GreedyOutcome};
 use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
@@ -25,7 +26,15 @@ use revmax_core::{
 use std::collections::HashSet;
 
 /// Options controlling the local greedy algorithms.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Superseded by [`PlannerConfig`], which unifies this struct with
+/// `GreedyOptions` and the serving layer's options behind one surface; a
+/// `LocalGreedyOptions` converts losslessly via `PlannerConfig::from`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`)"
+)]
+#[derive(Debug, Clone, Copy)]
 pub struct LocalGreedyOptions {
     /// Incremental engine backing the run.
     pub engine: EngineKind,
@@ -38,6 +47,18 @@ pub struct LocalGreedyOptions {
     /// Number of user shards (`0`/`1` = sequential driver, `n ≥ 2` = the
     /// shard-partitioned core of [`crate::sharded`]).
     pub shards: u32,
+}
+
+#[allow(deprecated)]
+impl Default for LocalGreedyOptions {
+    fn default() -> Self {
+        LocalGreedyOptions {
+            engine: EngineKind::default(),
+            parallel_scan: None,
+            heap: HeapKind::default(),
+            shards: 1,
+        }
+    }
 }
 
 /// Candidate count above which the per-step scan defaults to parallel.
@@ -56,31 +77,38 @@ pub fn sequential_local_greedy(inst: &Instance) -> GreedyOutcome {
 /// (only those time steps receive recommendations), which the incomplete-price
 /// experiments use.
 pub fn local_greedy_with_order(inst: &Instance, order: &[u32]) -> GreedyOutcome {
-    local_greedy_with_order_opts(inst, order, &LocalGreedyOptions::default())
+    dispatch_order(inst, order, &PlannerConfig::default())
 }
 
 /// [`local_greedy_with_order`] with explicit engine / parallelism options.
+#[deprecated(since = "0.2.0", note = "use plan_order with a PlannerConfig")]
+#[allow(deprecated)]
 pub fn local_greedy_with_order_opts(
     inst: &Instance,
     order: &[u32],
     opts: &LocalGreedyOptions,
 ) -> GreedyOutcome {
-    if opts.shards > 1 {
-        return crate::sharded::sharded_local_greedy(inst, order, opts, opts.shards as usize);
+    dispatch_order(inst, order, &PlannerConfig::from(*opts))
+}
+
+/// The per-time-step driver dispatch: shard count, engine, heap.
+pub(crate) fn dispatch_order(inst: &Instance, order: &[u32], cfg: &PlannerConfig) -> GreedyOutcome {
+    if cfg.shards > 1 {
+        return crate::sharded::sharded_plan_order(inst, order, cfg, cfg.shards as usize);
     }
     use HeapKind::{IndexedDary, Lazy};
-    match (opts.engine, opts.heap) {
+    match (cfg.engine, cfg.heap) {
         (EngineKind::Flat, Lazy) => {
-            run_order::<IncrementalRevenue<'_>, LazyMaxHeap>(inst, order, opts)
+            run_order::<IncrementalRevenue<'_>, LazyMaxHeap>(inst, order, cfg)
         }
         (EngineKind::Flat, IndexedDary) => {
-            run_order::<IncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, opts)
+            run_order::<IncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, cfg)
         }
         (EngineKind::Hash, Lazy) => {
-            run_order::<HashIncrementalRevenue<'_>, LazyMaxHeap>(inst, order, opts)
+            run_order::<HashIncrementalRevenue<'_>, LazyMaxHeap>(inst, order, cfg)
         }
         (EngineKind::Hash, IndexedDary) => {
-            run_order::<HashIncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, opts)
+            run_order::<HashIncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, cfg)
         }
     }
 }
@@ -88,13 +116,13 @@ pub fn local_greedy_with_order_opts(
 fn run_order<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     order: &[u32],
-    opts: &LocalGreedyOptions,
+    cfg: &PlannerConfig,
 ) -> GreedyOutcome {
     let mut inc = E::with_options(inst, false);
     let mut evals = 0u64;
     let mut trace = Vec::new();
-    let parallel = opts
-        .parallel_scan
+    let parallel = cfg
+        .parallel
         .unwrap_or(inst.num_candidates() >= PARALLEL_SCAN_THRESHOLD);
     for &t in order {
         run_time_step::<E, H>(
@@ -203,20 +231,38 @@ pub fn sample_permutations(horizon: u32, n: usize, seed: u64) -> Vec<Vec<u32>> {
 /// oversubscription) — a single-order or single-core run keeps the default
 /// per-user parallel scan.
 pub fn randomized_local_greedy(inst: &Instance, permutations: usize, seed: u64) -> GreedyOutcome {
-    let orders = sample_permutations(inst.horizon(), permutations, seed);
+    randomized_with(
+        inst,
+        &PlannerConfig::default().with_seed(seed),
+        permutations,
+    )
+}
+
+/// RL-Greedy over an explicit configuration (engine, heap, shards, seed).
+pub(crate) fn randomized_with(
+    inst: &Instance,
+    cfg: &PlannerConfig,
+    permutations: usize,
+) -> GreedyOutcome {
+    let orders = sample_permutations(inst.horizon(), permutations, cfg.seed);
     let threads = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(orders.len())
         .max(1);
     let concurrent_orders = threads > 1 && orders.len() > 1;
-    let inner = LocalGreedyOptions {
-        parallel_scan: if concurrent_orders { Some(false) } else { None },
-        ..Default::default()
+    let inner = PlannerConfig {
+        algorithm: PlanAlgorithm::SequentialLocalGreedy,
+        parallel: if concurrent_orders {
+            Some(false)
+        } else {
+            cfg.parallel
+        },
+        ..*cfg
     };
     let results: Vec<GreedyOutcome> = if !concurrent_orders {
         orders
             .iter()
-            .map(|o| local_greedy_with_order_opts(inst, o, &inner))
+            .map(|o| dispatch_order(inst, o, &inner))
             .collect()
     } else {
         let chunks: Vec<&[Vec<u32>]> = orders.chunks(orders.len().div_ceil(threads)).collect();
@@ -227,7 +273,7 @@ pub fn randomized_local_greedy(inst: &Instance, permutations: usize, seed: u64) 
                     scope.spawn(move || {
                         chunk
                             .iter()
-                            .map(|o| local_greedy_with_order_opts(inst, o, &inner))
+                            .map(|o| dispatch_order(inst, o, &inner))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -326,21 +372,15 @@ mod tests {
     fn parallel_and_sequential_scans_are_identical() {
         let inst = medium_instance();
         let order: Vec<u32> = (1..=inst.horizon()).collect();
-        let seq = local_greedy_with_order_opts(
+        let seq = dispatch_order(
             &inst,
             &order,
-            &LocalGreedyOptions {
-                parallel_scan: Some(false),
-                ..Default::default()
-            },
+            &PlannerConfig::default().with_parallel(Some(false)),
         );
-        let par = local_greedy_with_order_opts(
+        let par = dispatch_order(
             &inst,
             &order,
-            &LocalGreedyOptions {
-                parallel_scan: Some(true),
-                ..Default::default()
-            },
+            &PlannerConfig::default().with_parallel(Some(true)),
         );
         assert_eq!(seq.revenue.to_bits(), par.revenue.to_bits());
         assert_eq!(seq.strategy.as_slice(), par.strategy.as_slice());
@@ -351,13 +391,10 @@ mod tests {
         let inst = medium_instance();
         let order: Vec<u32> = (1..=inst.horizon()).collect();
         let flat = local_greedy_with_order(&inst, &order);
-        let hash = local_greedy_with_order_opts(
+        let hash = dispatch_order(
             &inst,
             &order,
-            &LocalGreedyOptions {
-                engine: EngineKind::Hash,
-                ..Default::default()
-            },
+            &PlannerConfig::default().with_engine(EngineKind::Hash),
         );
         assert!((flat.revenue - hash.revenue).abs() < 1e-9);
         assert_eq!(flat.strategy.len(), hash.strategy.len());

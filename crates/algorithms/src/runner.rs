@@ -3,9 +3,8 @@
 //! [`RunReport`].
 
 use crate::baselines::{top_rating, top_revenue};
-use crate::global_greedy::{
-    global_greedy, global_greedy_with, global_no_saturation, GreedyOptions, GreedyOutcome,
-};
+use crate::config::{plan, PlannerConfig};
+use crate::global_greedy::{global_greedy, global_no_saturation, GreedyOutcome};
 use crate::local_greedy::{randomized_local_greedy, sequential_local_greedy};
 use crate::staged::{global_greedy_staged, randomized_local_greedy_staged};
 use revmax_core::Instance;
@@ -107,13 +106,9 @@ pub fn run(inst: &Instance, algorithm: &Algorithm, seed: u64) -> RunReport {
     let start = Instant::now();
     let outcome = match algorithm {
         Algorithm::GlobalGreedy => global_greedy(inst),
-        Algorithm::ShardedGlobalGreedy { shards } => global_greedy_with(
-            inst,
-            &GreedyOptions {
-                shards: *shards,
-                ..Default::default()
-            },
-        ),
+        Algorithm::ShardedGlobalGreedy { shards } => {
+            plan(inst, &PlannerConfig::default().with_shards(*shards))
+        }
         Algorithm::GlobalNoSaturation => global_no_saturation(inst),
         Algorithm::SequentialLocalGreedy => sequential_local_greedy(inst),
         Algorithm::RandomizedLocalGreedy { permutations } => {

@@ -58,9 +58,9 @@
 //! cached — the selected plan is identical, only `marginal_evaluations`
 //! differs.
 
-use crate::global_greedy::{CandidateTable, EngineKind, GreedyOptions, GreedyOutcome};
+use crate::config::PlannerConfig;
+use crate::global_greedy::{CandidateTable, EngineKind, GreedyOutcome};
 use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
-use crate::local_greedy::LocalGreedyOptions;
 use crate::par;
 use revmax_core::{
     revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine,
@@ -121,8 +121,8 @@ struct GreedyShard<'a, E, H> {
 }
 
 impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
-    fn new(inst: &'a Instance, opts: &GreedyOptions, shard: UserShard, parallel: bool) -> Self {
-        let inc = E::for_shard(inst, opts.ignore_saturation, shard);
+    fn new(inst: &'a Instance, cfg: &PlannerConfig, shard: UserShard, parallel: bool) -> Self {
+        let inc = E::for_shard(inst, cfg.ignores_saturation(), shard);
         let table = CandidateTable::for_range(inst, shard.cand_start(), shard.cand_end(), parallel);
         let n = shard.num_candidates();
         let mut roots = vec![f64::NEG_INFINITY; n];
@@ -160,7 +160,7 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
     fn step(
         &mut self,
         inst: &'a Instance,
-        opts: &GreedyOptions,
+        cfg: &PlannerConfig,
         ledger: &SharedCapacityLedger,
         evals: &mut u64,
     ) -> Step {
@@ -197,7 +197,7 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
                 break;
             }
 
-            let stamp = if opts.lazy_forward {
+            let stamp = if cfg.lazy_forward {
                 self.inc.group_size_cand(cand) as u32
             } else {
                 self.inc.len() as u32
@@ -255,39 +255,47 @@ fn refresh_held<H: GreedyHeap>(
     }
 }
 
-/// Runs G-Greedy on the shard-partitioned core with `pieces` user shards.
+/// Runs G-Greedy on the shard-partitioned core with `pieces` user shards —
+/// the explicit-piece-count entry behind `plan` with `shards ≥ 2`.
 ///
 /// Produces the same plan as the sequential driver (see the module docs);
-/// `opts.shards` is ignored in favour of the explicit `pieces`, and the
+/// `cfg.shards` is ignored in favour of the explicit `pieces`, and the
 /// two-level heap layout is always used. The returned strategy's insertion
 /// order is the coordinator order, i.e. the sequential selection order.
-pub fn sharded_global_greedy(
-    inst: &Instance,
-    opts: &GreedyOptions,
-    pieces: usize,
-) -> GreedyOutcome {
+pub fn sharded_plan(inst: &Instance, cfg: &PlannerConfig, pieces: usize) -> GreedyOutcome {
     use HeapKind::{IndexedDary, Lazy};
     type FlatEng<'i> = IncrementalRevenue<'i>;
     type HashEng<'i> = HashIncrementalRevenue<'i>;
-    match (opts.engine, opts.heap) {
+    match (cfg.engine, cfg.heap) {
         (EngineKind::Flat, Lazy) => {
-            sharded_global_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, opts, pieces)
+            sharded_global_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, cfg, pieces)
         }
         (EngineKind::Flat, IndexedDary) => {
-            sharded_global_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, opts, pieces)
+            sharded_global_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg, pieces)
         }
         (EngineKind::Hash, Lazy) => {
-            sharded_global_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, opts, pieces)
+            sharded_global_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, cfg, pieces)
         }
         (EngineKind::Hash, IndexedDary) => {
-            sharded_global_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, opts, pieces)
+            sharded_global_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, cfg, pieces)
         }
     }
 }
 
+/// Runs G-Greedy on the shard-partitioned core with `pieces` user shards.
+#[deprecated(since = "0.2.0", note = "use sharded_plan with a PlannerConfig")]
+#[allow(deprecated)]
+pub fn sharded_global_greedy(
+    inst: &Instance,
+    opts: &crate::global_greedy::GreedyOptions,
+    pieces: usize,
+) -> GreedyOutcome {
+    sharded_plan(inst, &PlannerConfig::from(*opts), pieces)
+}
+
 fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
-    opts: &GreedyOptions,
+    cfg: &PlannerConfig,
     pieces: usize,
 ) -> GreedyOutcome {
     let shards = shard_users(inst, pieces);
@@ -295,8 +303,8 @@ fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     let ledger = SharedCapacityLedger::new(inst);
     let mut workers: Vec<GreedyShard<'a, E, H>> = par::scoped_map(
         shards,
-        |shard| GreedyShard::new(inst, opts, shard, single && opts.parallel_init),
-        opts.parallel_init,
+        |shard| GreedyShard::new(inst, cfg, shard, single && cfg.parallel_init()),
+        cfg.parallel_init(),
     );
 
     let total_slots = inst.total_slots();
@@ -334,13 +342,12 @@ fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         // consecutive selections from one shard replay the sequential order
         // exactly while the leadership re-check is two register compares.
         loop {
-            if let Step::Inserted { z, marginal } =
-                workers[wi].step(inst, opts, &ledger, &mut evals)
+            if let Step::Inserted { z, marginal } = workers[wi].step(inst, cfg, &ledger, &mut evals)
             {
                 running_revenue += marginal;
                 picks.push(z);
                 selected += 1;
-                if opts.track_trace {
+                if cfg.track_trace {
                     trace.push(running_revenue);
                 }
                 if selected >= total_slots {
@@ -364,7 +371,7 @@ fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         strategy.insert(z);
     }
     let selection_objective = running_revenue;
-    let true_revenue = if opts.ignore_saturation {
+    let true_revenue = if cfg.ignores_saturation() {
         revenue(inst, &strategy)
     } else {
         selection_objective
@@ -396,45 +403,56 @@ struct LocalFrontier<H> {
 
 /// Runs the per-time-step local greedy (SL-Greedy order, or any explicit
 /// order) on the shard-partitioned core with `pieces` user shards. Same plan
-/// as the sequential driver, same arbitration scheme as
-/// [`sharded_global_greedy`].
-pub fn sharded_local_greedy(
+/// as the sequential driver, same arbitration scheme as [`sharded_plan`].
+pub fn sharded_plan_order(
     inst: &Instance,
     order: &[u32],
-    opts: &LocalGreedyOptions,
+    cfg: &PlannerConfig,
     pieces: usize,
 ) -> GreedyOutcome {
     use HeapKind::{IndexedDary, Lazy};
     type FlatEng<'i> = IncrementalRevenue<'i>;
     type HashEng<'i> = HashIncrementalRevenue<'i>;
-    match (opts.engine, opts.heap) {
+    match (cfg.engine, cfg.heap) {
         (EngineKind::Flat, Lazy) => {
-            sharded_local_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, order, opts, pieces)
+            sharded_local_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, order, cfg, pieces)
         }
         (EngineKind::Flat, IndexedDary) => {
-            sharded_local_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, order, opts, pieces)
+            sharded_local_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, order, cfg, pieces)
         }
         (EngineKind::Hash, Lazy) => {
-            sharded_local_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, order, opts, pieces)
+            sharded_local_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, order, cfg, pieces)
         }
         (EngineKind::Hash, IndexedDary) => {
-            sharded_local_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, order, opts, pieces)
+            sharded_local_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, order, cfg, pieces)
         }
     }
+}
+
+/// Runs the per-time-step local greedy on the shard-partitioned core.
+#[deprecated(since = "0.2.0", note = "use sharded_plan_order with a PlannerConfig")]
+#[allow(deprecated)]
+pub fn sharded_local_greedy(
+    inst: &Instance,
+    order: &[u32],
+    opts: &crate::local_greedy::LocalGreedyOptions,
+    pieces: usize,
+) -> GreedyOutcome {
+    sharded_plan_order(inst, order, &PlannerConfig::from(*opts), pieces)
 }
 
 fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     order: &[u32],
-    opts: &LocalGreedyOptions,
+    cfg: &PlannerConfig,
     pieces: usize,
 ) -> GreedyOutcome {
     let shards = shard_users(inst, pieces);
     let ledger = SharedCapacityLedger::new(inst);
     // Same auto-enable contract as the sequential driver: `None` goes
     // parallel only on large instances.
-    let parallel = opts
-        .parallel_scan
+    let parallel = cfg
+        .parallel
         .unwrap_or(inst.num_candidates() >= crate::local_greedy::PARALLEL_SCAN_THRESHOLD);
     let mut workers: Vec<LocalShard<'a, E>> = par::scoped_map(
         shards,

@@ -7,10 +7,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use revmax_algorithms::{
-    exact_optimum, global_greedy, global_greedy_with, local_greedy_with_order_opts,
-    local_search_r_revmax, randomized_local_greedy, run, sequential_local_greedy,
-    sharded_global_greedy, sharded_local_greedy, solve_t1_exact, top_rating, top_revenue,
-    Algorithm, EngineKind, GreedyOptions, HeapKind, LocalGreedyOptions,
+    exact_optimum, global_greedy, local_search_r_revmax, plan, plan_order, randomized_local_greedy,
+    run, sequential_local_greedy, sharded_plan, sharded_plan_order, solve_t1_exact, top_rating,
+    top_revenue, Algorithm, EngineKind, HeapKind, PlanAlgorithm, PlannerConfig,
 };
 use revmax_core::{revenue, Instance, InstanceBuilder};
 use revmax_data::{generate, DatasetConfig};
@@ -97,26 +96,11 @@ fn greedy_below_optimum_and_invariant_to_internals() {
             base.revenue <= opt.revenue + 1e-9,
             "case {case}: greedy beat the optimum"
         );
-        let eager = global_greedy_with(
+        let eager = plan(&inst, &PlannerConfig::default().with_lazy_forward(false));
+        let giant = plan(&inst, &PlannerConfig::default().with_two_level_heaps(false));
+        let hash = plan(
             &inst,
-            &GreedyOptions {
-                lazy_forward: false,
-                ..Default::default()
-            },
-        );
-        let giant = global_greedy_with(
-            &inst,
-            &GreedyOptions {
-                two_level_heaps: false,
-                ..Default::default()
-            },
-        );
-        let hash = global_greedy_with(
-            &inst,
-            &GreedyOptions {
-                engine: EngineKind::Hash,
-                ..Default::default()
-            },
+            &PlannerConfig::default().with_engine(EngineKind::Hash),
         );
         assert!(
             (base.revenue - eager.revenue).abs() < 1e-9,
@@ -150,24 +134,9 @@ fn parallel_local_greedy_equals_sequential() {
         let inst = random_small_instance(&mut rng);
         let order: Vec<u32> = (1..=inst.horizon()).collect();
         for engine in [EngineKind::Flat, EngineKind::Hash] {
-            let seq = local_greedy_with_order_opts(
-                &inst,
-                &order,
-                &LocalGreedyOptions {
-                    engine,
-                    parallel_scan: Some(false),
-                    ..Default::default()
-                },
-            );
-            let par = local_greedy_with_order_opts(
-                &inst,
-                &order,
-                &LocalGreedyOptions {
-                    engine,
-                    parallel_scan: Some(true),
-                    ..Default::default()
-                },
-            );
+            let cfg = PlannerConfig::default().with_engine(engine);
+            let seq = plan_order(&inst, &order, &cfg.with_parallel(Some(false)));
+            let par = plan_order(&inst, &order, &cfg.with_parallel(Some(true)));
             assert_eq!(
                 seq.revenue.to_bits(),
                 par.revenue.to_bits(),
@@ -354,11 +323,8 @@ fn sharded_global_greedy_matches_sequential_at_1_2_7_shards() {
         let sequential = global_greedy(&inst);
         for shards in [1usize, 2, 7] {
             for engine in [EngineKind::Flat, EngineKind::Hash] {
-                let opts = GreedyOptions {
-                    engine,
-                    ..Default::default()
-                };
-                let sharded = sharded_global_greedy(&inst, &opts, shards);
+                let cfg = PlannerConfig::default().with_engine(engine);
+                let sharded = sharded_plan(&inst, &cfg, shards);
                 assert!(
                     (sharded.revenue - sequential.revenue).abs() < 1e-9,
                     "case {case} ({shards} shards, {engine:?}): sharded {} vs sequential {}",
@@ -392,20 +358,10 @@ fn sharded_local_greedy_matches_sequential_at_1_2_7_shards() {
         let full_order: Vec<u32> = (1..=inst.horizon()).collect();
         let partial_order: Vec<u32> = full_order.iter().copied().rev().take(2).collect();
         for order in [&full_order, &partial_order] {
-            let sequential = local_greedy_with_order_opts(
-                &inst,
-                order,
-                &LocalGreedyOptions {
-                    parallel_scan: Some(false),
-                    ..Default::default()
-                },
-            );
+            let cfg = PlannerConfig::default().with_parallel(Some(false));
+            let sequential = plan_order(&inst, order, &cfg);
             for shards in [1usize, 2, 7] {
-                let opts = LocalGreedyOptions {
-                    parallel_scan: Some(false),
-                    ..Default::default()
-                };
-                let sharded = sharded_local_greedy(&inst, order, &opts, shards);
+                let sharded = sharded_plan_order(&inst, order, &cfg, shards);
                 assert!(
                     (sharded.revenue - sequential.revenue).abs() < 1e-9,
                     "case {case} ({shards} shards): sharded {} vs sequential {}",
@@ -421,32 +377,23 @@ fn sharded_local_greedy_matches_sequential_at_1_2_7_shards() {
     }
 }
 
-/// Sharding through the public options front-ends (`GreedyOptions::shards`,
-/// `LocalGreedyOptions::shards`) is equivalent to the explicit entry points.
+/// Sharding through the unified front-end (`PlannerConfig::shards`) is
+/// equivalent to the explicit sharded entry points.
 #[test]
 fn shards_option_routes_through_public_apis() {
     let mut rng = StdRng::seed_from_u64(0x5AAF);
     let inst = random_small_instance(&mut rng);
     let base = global_greedy(&inst);
-    let via_opts = global_greedy_with(
-        &inst,
-        &GreedyOptions {
-            shards: 3,
-            ..Default::default()
-        },
-    );
-    assert!((base.revenue - via_opts.revenue).abs() < 1e-9);
-    assert_eq!(base.strategy.len(), via_opts.strategy.len());
+    let via_cfg = plan(&inst, &PlannerConfig::default().with_shards(3));
+    assert!((base.revenue - via_cfg.revenue).abs() < 1e-9);
+    assert_eq!(base.strategy.len(), via_cfg.strategy.len());
 
-    let order: Vec<u32> = (1..=inst.horizon()).collect();
     let slg = sequential_local_greedy(&inst);
-    let slg_sharded = local_greedy_with_order_opts(
+    let slg_sharded = plan(
         &inst,
-        &order,
-        &LocalGreedyOptions {
-            shards: 3,
-            ..Default::default()
-        },
+        &PlannerConfig::default()
+            .with_algorithm(PlanAlgorithm::SequentialLocalGreedy)
+            .with_shards(3),
     );
     assert!((slg.revenue - slg_sharded.revenue).abs() < 1e-9);
 }
@@ -459,22 +406,9 @@ fn heap_kinds_produce_identical_plans() {
     for case in 0..40 {
         let inst = random_small_instance(&mut rng);
         for two_level in [true, false] {
-            let lazy = global_greedy_with(
-                &inst,
-                &GreedyOptions {
-                    heap: HeapKind::Lazy,
-                    two_level_heaps: two_level,
-                    ..Default::default()
-                },
-            );
-            let dary = global_greedy_with(
-                &inst,
-                &GreedyOptions {
-                    heap: HeapKind::IndexedDary,
-                    two_level_heaps: two_level,
-                    ..Default::default()
-                },
-            );
+            let base = PlannerConfig::default().with_two_level_heaps(two_level);
+            let lazy = plan(&inst, &base.with_heap(HeapKind::Lazy));
+            let dary = plan(&inst, &base.with_heap(HeapKind::IndexedDary));
             assert_eq!(
                 lazy.revenue.to_bits(),
                 dary.revenue.to_bits(),
@@ -486,21 +420,15 @@ fn heap_kinds_produce_identical_plans() {
             assert_eq!(lazy.marginal_evaluations, dary.marginal_evaluations);
         }
         let order: Vec<u32> = (1..=inst.horizon()).collect();
-        let slg_lazy = local_greedy_with_order_opts(
+        let slg_lazy = plan_order(
             &inst,
             &order,
-            &LocalGreedyOptions {
-                heap: HeapKind::Lazy,
-                ..Default::default()
-            },
+            &PlannerConfig::default().with_heap(HeapKind::Lazy),
         );
-        let slg_dary = local_greedy_with_order_opts(
+        let slg_dary = plan_order(
             &inst,
             &order,
-            &LocalGreedyOptions {
-                heap: HeapKind::IndexedDary,
-                ..Default::default()
-            },
+            &PlannerConfig::default().with_heap(HeapKind::IndexedDary),
         );
         assert_eq!(slg_lazy.revenue.to_bits(), slg_dary.revenue.to_bits());
         assert_eq!(slg_lazy.strategy.as_slice(), slg_dary.strategy.as_slice());
@@ -523,7 +451,7 @@ fn sharded_matches_sequential_on_capacity_bound_dataset() {
     let ds = generate(&config);
     let sequential = global_greedy(&ds.instance);
     for shards in [2usize, 4] {
-        let sharded = sharded_global_greedy(&ds.instance, &GreedyOptions::default(), shards);
+        let sharded = sharded_plan(&ds.instance, &PlannerConfig::default(), shards);
         assert!(
             (sharded.revenue - sequential.revenue).abs()
                 <= 1e-9 * sequential.revenue.abs().max(1.0),
@@ -547,17 +475,172 @@ fn engines_agree_on_generated_dataset() {
     config.num_items = 30;
     config.candidates_per_user = 12;
     let ds = generate(&config);
-    let flat = global_greedy_with(&ds.instance, &GreedyOptions::default());
-    let hash = global_greedy_with(
+    let flat = plan(&ds.instance, &PlannerConfig::default());
+    let hash = plan(
         &ds.instance,
-        &GreedyOptions {
-            engine: EngineKind::Hash,
-            ..Default::default()
-        },
+        &PlannerConfig::default().with_engine(EngineKind::Hash),
     );
     assert!((flat.revenue - hash.revenue).abs() < 1e-9);
     assert_eq!(flat.strategy.len(), hash.strategy.len());
     for z in flat.strategy.iter() {
         assert!(hash.strategy.contains(z), "strategies diverged at {z}");
+    }
+}
+
+/// The deprecated pre-unification entry points (`GreedyOptions`,
+/// `LocalGreedyOptions`, and their `*_with` / sharded functions) still
+/// compile and produce plans identical to the unified `plan` /
+/// `PlannerConfig` surface — the backward-compatibility acceptance check of
+/// the API redesign.
+#[test]
+#[allow(deprecated)]
+fn deprecated_entry_points_match_the_unified_surface() {
+    use revmax_algorithms::{
+        global_greedy_with, local_greedy_with_order_opts, sharded_global_greedy,
+        sharded_local_greedy, GreedyOptions, LocalGreedyOptions,
+    };
+    let mut rng = StdRng::seed_from_u64(0xDE9);
+    for case in 0..20 {
+        let inst = random_small_instance(&mut rng);
+        for engine in [EngineKind::Flat, EngineKind::Hash] {
+            let cfg = PlannerConfig::default().with_engine(engine);
+            let new = plan(&inst, &cfg);
+            let old = global_greedy_with(
+                &inst,
+                &GreedyOptions {
+                    engine,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                new.revenue.to_bits(),
+                old.revenue.to_bits(),
+                "case {case} ({engine:?}): deprecated G-Greedy diverged"
+            );
+            assert_eq!(new.strategy.as_slice(), old.strategy.as_slice());
+
+            let order: Vec<u32> = (1..=inst.horizon()).collect();
+            let new_local = plan_order(&inst, &order, &cfg);
+            let old_local = local_greedy_with_order_opts(
+                &inst,
+                &order,
+                &LocalGreedyOptions {
+                    engine,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(new_local.revenue.to_bits(), old_local.revenue.to_bits());
+            assert_eq!(new_local.strategy.as_slice(), old_local.strategy.as_slice());
+
+            let new_sharded = sharded_plan(&inst, &cfg, 2);
+            let old_sharded = sharded_global_greedy(
+                &inst,
+                &GreedyOptions {
+                    engine,
+                    ..Default::default()
+                },
+                2,
+            );
+            assert_eq!(new_sharded.revenue.to_bits(), old_sharded.revenue.to_bits());
+            assert_eq!(
+                new_sharded.strategy.as_slice(),
+                old_sharded.strategy.as_slice()
+            );
+
+            let old_sharded_local = sharded_local_greedy(
+                &inst,
+                &order,
+                &LocalGreedyOptions {
+                    engine,
+                    ..Default::default()
+                },
+                2,
+            );
+            let new_sharded_local = sharded_plan_order(&inst, &order, &cfg, 2);
+            assert_eq!(
+                new_sharded_local.revenue.to_bits(),
+                old_sharded_local.revenue.to_bits()
+            );
+        }
+    }
+}
+
+/// `GreedyOptions::from_env` (deprecated) and `PlannerConfig::from_env` read
+/// the same environment knobs; this also pins the layered `env_overlay`
+/// behaviour. Runs in one test to avoid racing on process-global state.
+#[test]
+#[allow(deprecated)]
+fn env_layering_reads_the_shared_knobs() {
+    use revmax_algorithms::GreedyOptions;
+    std::env::set_var("REVMAX_ENGINE", "hash");
+    std::env::set_var("REVMAX_HEAP", "dary");
+    std::env::set_var("REVMAX_SHARDS", "3");
+    std::env::set_var("REVMAX_SEED", "99");
+
+    let cfg = PlannerConfig::from_env();
+    assert_eq!(cfg.engine, EngineKind::Hash);
+    assert_eq!(cfg.heap, HeapKind::IndexedDary);
+    assert_eq!(cfg.shards, 3);
+    assert_eq!(cfg.seed, 99);
+
+    let old = GreedyOptions::from_env();
+    assert_eq!(old.engine, EngineKind::Hash);
+    assert_eq!(old.heap, HeapKind::IndexedDary);
+    assert_eq!(old.shards, 3);
+
+    // Layering: the overlay only replaces knobs that are actually set.
+    std::env::remove_var("REVMAX_ENGINE");
+    let layered = PlannerConfig::default()
+        .with_engine(EngineKind::Hash)
+        .with_track_trace(true)
+        .env_overlay();
+    assert_eq!(layered.engine, EngineKind::Hash, "unset knob preserved");
+    assert_eq!(layered.shards, 3, "set knob overlaid");
+    assert!(layered.track_trace, "non-env knob untouched");
+
+    std::env::remove_var("REVMAX_HEAP");
+    std::env::remove_var("REVMAX_SHARDS");
+    std::env::remove_var("REVMAX_SEED");
+}
+
+/// `plan` dispatches every algorithm variant to the same implementation as
+/// the dedicated convenience functions.
+#[test]
+fn unified_plan_matches_dedicated_entry_points() {
+    let mut rng = StdRng::seed_from_u64(0xD15);
+    for _ in 0..10 {
+        let inst = random_small_instance(&mut rng);
+        let gg = plan(&inst, &PlannerConfig::default());
+        assert_eq!(gg.revenue.to_bits(), global_greedy(&inst).revenue.to_bits());
+        let slg = plan(
+            &inst,
+            &PlannerConfig::default().with_algorithm(PlanAlgorithm::SequentialLocalGreedy),
+        );
+        assert_eq!(
+            slg.revenue.to_bits(),
+            sequential_local_greedy(&inst).revenue.to_bits()
+        );
+        let rlg = plan(
+            &inst,
+            &PlannerConfig::default()
+                .with_algorithm(PlanAlgorithm::RandomizedLocalGreedy { permutations: 3 })
+                .with_seed(7),
+        );
+        assert_eq!(
+            rlg.revenue.to_bits(),
+            randomized_local_greedy(&inst, 3, 7).revenue.to_bits()
+        );
+        let no_sat = plan(
+            &inst,
+            &PlannerConfig::default().with_algorithm(PlanAlgorithm::GlobalNoSaturation),
+        );
+        let no_sat_direct = revmax_algorithms::global_no_saturation(&inst);
+        // The true-revenue re-evaluation sums hash-grouped terms, so two
+        // identical runs may differ in float summation order: compare to 1e-9.
+        assert!((no_sat.revenue - no_sat_direct.revenue).abs() < 1e-9);
+        assert_eq!(
+            no_sat.strategy.as_slice(),
+            no_sat_direct.strategy.as_slice()
+        );
     }
 }

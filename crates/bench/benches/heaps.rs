@@ -2,7 +2,7 @@
 //! all candidate triples.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use revmax_algorithms::{global_greedy_with, GreedyOptions};
+use revmax_algorithms::{plan, PlannerConfig};
 use revmax_data::{generate, DatasetConfig};
 
 fn bench_heap_layouts(c: &mut Criterion) {
@@ -13,19 +13,10 @@ fn bench_heap_layouts(c: &mut Criterion) {
     let mut group = c.benchmark_group("heap_layout");
     group.sample_size(10);
     group.bench_function("two_level", |b| {
-        b.iter(|| global_greedy_with(inst, &GreedyOptions::default()).revenue)
+        b.iter(|| plan(inst, &PlannerConfig::default()).revenue)
     });
     group.bench_function("giant_heap", |b| {
-        b.iter(|| {
-            global_greedy_with(
-                inst,
-                &GreedyOptions {
-                    two_level_heaps: false,
-                    ..Default::default()
-                },
-            )
-            .revenue
-        })
+        b.iter(|| plan(inst, &PlannerConfig::default().with_two_level_heaps(false)).revenue)
     });
     group.finish();
 }

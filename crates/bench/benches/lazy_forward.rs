@@ -1,7 +1,7 @@
 //! Ablation: lazy-forward marginal re-evaluation vs eager re-evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use revmax_algorithms::{global_greedy_with, GreedyOptions};
+use revmax_algorithms::{plan, PlannerConfig};
 use revmax_data::{generate, DatasetConfig};
 
 fn bench_lazy_forward(c: &mut Criterion) {
@@ -12,18 +12,11 @@ fn bench_lazy_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("lazy_forward");
     group.sample_size(10);
     group.bench_function("lazy", |b| {
-        b.iter(|| global_greedy_with(inst, &GreedyOptions::default()).marginal_evaluations)
+        b.iter(|| plan(inst, &PlannerConfig::default()).marginal_evaluations)
     });
     group.bench_function("eager", |b| {
         b.iter(|| {
-            global_greedy_with(
-                inst,
-                &GreedyOptions {
-                    lazy_forward: false,
-                    ..Default::default()
-                },
-            )
-            .marginal_evaluations
+            plan(inst, &PlannerConfig::default().with_lazy_forward(false)).marginal_evaluations
         })
     });
     group.finish();

@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p revmax-bench --bin bench_greedy [-- out.json]
 //! ```
-//! Environment:
+//! Environment (parsed through the shared `revmax_core::env` module):
 //! * `REVMAX_BENCH_SCALE`   — dataset scale factor (default 0.02);
 //! * `REVMAX_BENCH_SAMPLES` — timed samples per configuration (default 7).
 //!
@@ -15,11 +15,9 @@
 //! on every algorithm, so a perf regression hunt can never silently change
 //! results.
 
-use revmax_algorithms::{
-    global_greedy_with, local_greedy_with_order_opts, EngineKind, GreedyOptions, LocalGreedyOptions,
-};
+use revmax_algorithms::{plan, plan_order, EngineKind, PlannerConfig};
 use revmax_bench::seed_global_greedy;
-use revmax_core::Instance;
+use revmax_core::{env, Instance};
 use revmax_data::{generate, DatasetConfig};
 use std::time::Instant;
 
@@ -62,12 +60,9 @@ fn bench_engine(
     samples: usize,
     rows: &mut Vec<Row>,
 ) {
-    let gg_opts = GreedyOptions {
-        engine,
-        ..Default::default()
-    };
+    let gg_cfg = PlannerConfig::default().with_engine(engine);
     let (median_ns, min_ns, revenue, strategy_len) = time_runs(samples, || {
-        let out = global_greedy_with(inst, &gg_opts);
+        let out = plan(inst, &gg_cfg);
         (out.revenue, out.strategy.len())
     });
     rows.push(Row {
@@ -80,13 +75,9 @@ fn bench_engine(
     });
 
     let order: Vec<u32> = (1..=inst.horizon()).collect();
-    let lg_opts = LocalGreedyOptions {
-        engine,
-        parallel_scan: None,
-        ..Default::default()
-    };
+    let lg_cfg = PlannerConfig::default().with_engine(engine);
     let (median_ns, min_ns, revenue, strategy_len) = time_runs(samples, || {
-        let out = local_greedy_with_order_opts(inst, &order, &lg_opts);
+        let out = plan_order(inst, &order, &lg_cfg);
         (out.revenue, out.strategy.len())
     });
     rows.push(Row {
@@ -103,15 +94,8 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_greedy.json".to_string());
-    let scale: f64 = std::env::var("REVMAX_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.02);
-    let samples: usize = std::env::var("REVMAX_BENCH_SAMPLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7)
-        .max(1);
+    let scale: f64 = env::var_or("REVMAX_BENCH_SCALE", 0.02);
+    let samples: usize = env::var_or("REVMAX_BENCH_SAMPLES", 7).max(1);
 
     eprintln!("generating amazon_like().scaled({scale}) ...");
     let config = DatasetConfig::amazon_like().scaled(scale);

@@ -1,0 +1,591 @@
+//! Realized adoption events and residual-instance construction — the model
+//! layer behind *dynamic* replanning.
+//!
+//! The paper's premise is that recommendation strategies should react as the
+//! horizon unfolds: users adopt some of the displayed items and ignore the
+//! rest, and the remaining plan should be re-optimised against what actually
+//! happened instead of the original expectation. This module defines the
+//! vocabulary for that feedback loop:
+//!
+//! * an [`AdoptionEvent`] records that item `i` was **displayed** to user `u`
+//!   at time `τ` and whether the user adopted it ([`AdoptionOutcome`]);
+//! * [`residual_instance`] conditions an instance on a realized prefix of
+//!   events up to a frontier time `now`, producing a *new, smaller instance*
+//!   over the remaining horizon `now+1 ..= T` that any planner can solve
+//!   from scratch — or incrementally, as `revmax_serve::PlanSession` does.
+//!
+//! # Conditional semantics
+//!
+//! The residual instance folds the realized prefix into its primitive
+//! probabilities and capacities so that the *standard* revenue model
+//! (Definition 1/2, see [`crate::revenue`]) evaluated on the residual
+//! instance is exactly the original model conditioned on the observed
+//! events:
+//!
+//! * **Adoptions close classes.** In Definition 1 a recommendation's
+//!   competition factor `Π (1 − q)` over earlier same-class displays is the
+//!   probability that the user adopted *none* of them — the model lets each
+//!   user adopt at most one item per class. Conditioning on an observed
+//!   adoption therefore zeroes every future same-class probability for that
+//!   user; such candidate pairs are dropped from the residual instance.
+//! * **Rejections lift the discount.** A rejected display contributes factor
+//!   `1` instead of the expectation `1 − q` — we *know* the user did not
+//!   adopt it — so no residual competition factor remains from the prefix.
+//! * **Memory persists.** Displays decay but never vanish: a future triple
+//!   `(u, i, t)` keeps the saturation factor
+//!   `β_i^{Σ_τ 1/(t − τ)}` over the prefix display times `τ` of the class,
+//!   regardless of outcome. Because the prefix factor depends on `t`, it is
+//!   folded into the residual primitive probability per time step.
+//! * **Within-suffix interactions need no translation.** Memory depends only
+//!   on time *differences* and the residual time axis `t' = t − now`
+//!   preserves them, so the residual instance's own memory/competition terms
+//!   are already correct.
+//! * **Capacity is pre-charged.** Each item's residual capacity is its
+//!   original capacity minus the distinct users it was already displayed to.
+//!   This is conservative: re-displaying an item to a user who already saw
+//!   it would consume no *original* capacity but is charged a residual unit
+//!   (the residual instance has no notion of exempt users). A residual-valid
+//!   plan is therefore always valid — and optimal re-display decisions are
+//!   unaffected unless an item sits exactly at capacity.
+//!
+//! Prices simply shift: `p'(i, t') = p(i, now + t')`.
+
+use crate::ids::{ItemId, TimeStep, Triple, UserId};
+use crate::instance::{Instance, InstanceBuilder};
+use crate::strategy::Strategy;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// What the user did with a displayed recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdoptionOutcome {
+    /// The user adopted (purchased) the item — revenue `p(i, τ)` realized.
+    Adopted,
+    /// The user saw the recommendation and did not adopt it.
+    Rejected,
+}
+
+/// One realized display: item `i` was shown to user `u` at time `τ`, with the
+/// observed [`AdoptionOutcome`].
+///
+/// Events are the authoritative record of what the storefront actually did —
+/// a display that deviated from the plan is as valid an event as a planned
+/// one (its memory and adoption consequences are identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdoptionEvent {
+    /// The user the item was displayed to.
+    pub user: UserId,
+    /// The displayed item.
+    pub item: ItemId,
+    /// The (1-based) time step of the display.
+    pub t: TimeStep,
+    /// What the user did.
+    pub outcome: AdoptionOutcome,
+}
+
+impl AdoptionEvent {
+    /// An adoption event from raw indices (time is 1-based).
+    pub fn adopted(user: u32, item: u32, t: u32) -> Self {
+        AdoptionEvent {
+            user: UserId(user),
+            item: ItemId(item),
+            t: TimeStep(t),
+            outcome: AdoptionOutcome::Adopted,
+        }
+    }
+
+    /// A rejection event from raw indices (time is 1-based).
+    pub fn rejected(user: u32, item: u32, t: u32) -> Self {
+        AdoptionEvent {
+            user: UserId(user),
+            item: ItemId(item),
+            t: TimeStep(t),
+            outcome: AdoptionOutcome::Rejected,
+        }
+    }
+
+    /// The (user, item, time) display triple of this event.
+    pub fn triple(&self) -> Triple {
+        Triple {
+            user: self.user,
+            item: self.item,
+            t: self.t,
+        }
+    }
+
+    /// Whether the user adopted the item.
+    pub fn is_adoption(&self) -> bool {
+        self.outcome == AdoptionOutcome::Adopted
+    }
+}
+
+impl fmt::Display for AdoptionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.outcome {
+            AdoptionOutcome::Adopted => "adopted",
+            AdoptionOutcome::Rejected => "rejected",
+        };
+        write!(f, "{} {} {} at {}", self.user, what, self.item, self.t)
+    }
+}
+
+/// Why a batch of adoption events was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventError {
+    /// User, item, or time lies outside the instance universe.
+    OutOfRange {
+        /// The offending display triple.
+        event: Triple,
+    },
+    /// The event's time step lies after the realization frontier.
+    AfterFrontier {
+        /// The offending display triple.
+        event: Triple,
+        /// The frontier the events were validated against.
+        frontier: u32,
+    },
+    /// The same (user, item, time) display was reported twice.
+    DuplicateDisplay {
+        /// The offending display triple.
+        event: Triple,
+    },
+    /// More events share a (user, time) slot than the display limit allows.
+    DisplayLimitExceeded {
+        /// The user whose slot overflowed.
+        user: UserId,
+        /// The overflowing time step.
+        t: TimeStep,
+        /// The instance's display limit `k`.
+        limit: u32,
+    },
+    /// A residual instance was requested at or past the end of the horizon.
+    ExhaustedHorizon {
+        /// The instance horizon `T`.
+        horizon: u32,
+    },
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::OutOfRange { event } => {
+                write!(f, "event {event} lies outside the instance universe")
+            }
+            EventError::AfterFrontier { event, frontier } => {
+                write!(f, "event {event} lies after the frontier t = {frontier}")
+            }
+            EventError::DuplicateDisplay { event } => {
+                write!(f, "display {event} was reported twice")
+            }
+            EventError::DisplayLimitExceeded { user, t, limit } => {
+                write!(f, "more than {limit} displays for {user} at {t}")
+            }
+            EventError::ExhaustedHorizon { horizon } => {
+                write!(f, "no residual horizon remains past t = {horizon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+/// Validates a batch of events against an instance and a realization
+/// frontier: every event must lie inside the universe, at `t ≤ frontier`, be
+/// reported once, and respect the display limit per (user, time) slot.
+pub fn validate_events(
+    inst: &Instance,
+    events: &[AdoptionEvent],
+    frontier: u32,
+) -> Result<(), EventError> {
+    let mut seen: HashSet<Triple> = HashSet::with_capacity(events.len());
+    let mut per_slot: HashMap<(UserId, TimeStep), u32> = HashMap::new();
+    for e in events {
+        let z = e.triple();
+        if !inst.in_range(z) {
+            return Err(EventError::OutOfRange { event: z });
+        }
+        if z.t.value() > frontier {
+            return Err(EventError::AfterFrontier { event: z, frontier });
+        }
+        if !seen.insert(z) {
+            return Err(EventError::DuplicateDisplay { event: z });
+        }
+        let count = per_slot.entry((z.user, z.t)).or_insert(0);
+        *count += 1;
+        if *count > inst.display_limit() {
+            return Err(EventError::DisplayLimitExceeded {
+                user: z.user,
+                t: z.t,
+                limit: inst.display_limit(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The revenue actually earned from a batch of events: `Σ p(i, τ)` over the
+/// adopted displays.
+pub fn realized_revenue(inst: &Instance, events: &[AdoptionEvent]) -> f64 {
+    events
+        .iter()
+        .filter(|e| e.is_adoption())
+        .map(|e| inst.price(e.item, e.t))
+        .sum()
+}
+
+/// Shifts every triple of a residual-timeline strategy back to the original
+/// timeline (`t' ↦ t' + offset`).
+pub fn shift_strategy(strategy: &Strategy, offset: u32) -> Strategy {
+    let mut shifted = Strategy::with_capacity(strategy.len());
+    for z in strategy.iter() {
+        shifted.insert(Triple {
+            user: z.user,
+            item: z.item,
+            t: TimeStep(z.t.value() + offset),
+        });
+    }
+    shifted
+}
+
+/// Conditions an instance on a realized prefix of events, producing the
+/// residual instance over the remaining horizon `now+1 ..= T` (re-indexed to
+/// `1 ..= T − now`). See the module docs for the exact semantics.
+///
+/// `events` must all lie at `t ≤ now` and `now` must leave at least one
+/// remaining time step (`now < T`). Candidate pairs whose future is entirely
+/// dead — the user adopted an item of the class, or every remaining primitive
+/// probability is zero — are dropped, so the residual instance shrinks as the
+/// session progresses.
+pub fn residual_instance(
+    inst: &Instance,
+    events: &[AdoptionEvent],
+    now: u32,
+) -> Result<Instance, EventError> {
+    if now >= inst.horizon() {
+        return Err(EventError::ExhaustedHorizon {
+            horizon: inst.horizon(),
+        });
+    }
+    validate_events(inst, events, now)?;
+    Ok(residual_of_validated(inst, events, now))
+}
+
+/// [`residual_instance`] for callers that have already run
+/// [`validate_events`] against `now < T` — e.g. a replanning session that
+/// validates each incoming batch against its cumulative history exactly
+/// once. Skips the `O(events)` re-validation; the preconditions are checked
+/// only in debug builds.
+pub fn residual_of_validated(inst: &Instance, events: &[AdoptionEvent], now: u32) -> Instance {
+    debug_assert!(now < inst.horizon(), "residual requires now < T");
+    debug_assert!(validate_events(inst, events, now).is_ok());
+    let remaining = (inst.horizon() - now) as usize;
+
+    // Per (user, class) prefix state: did the user adopt in the class, and at
+    // which times was the class displayed (for the residual memory factor).
+    let mut adopted: HashSet<(UserId, crate::ids::ClassId)> = HashSet::new();
+    let mut displays: HashMap<(UserId, crate::ids::ClassId), Vec<u32>> = HashMap::new();
+    // Distinct (item, user) display pairs — the capacity already consumed.
+    let mut charged: HashSet<(ItemId, UserId)> = HashSet::new();
+    for e in events {
+        let class = inst.class_of(e.item);
+        displays
+            .entry((e.user, class))
+            .or_default()
+            .push(e.t.value());
+        if e.is_adoption() {
+            adopted.insert((e.user, class));
+        }
+        charged.insert((e.item, e.user));
+    }
+    let mut residual_capacity: Vec<u32> = (0..inst.num_items())
+        .map(|i| inst.capacity(ItemId(i)))
+        .collect();
+    for (item, _user) in &charged {
+        let slot = &mut residual_capacity[item.index()];
+        *slot = slot.saturating_sub(1);
+    }
+
+    let mut b = InstanceBuilder::new(inst.num_users(), inst.num_items(), remaining as u32);
+    b.display_limit(inst.display_limit());
+    for i in 0..inst.num_items() {
+        let item = ItemId(i);
+        // Class labels are already dense and in first-appearance order, so
+        // the builder's densification reproduces them exactly.
+        b.item_class(i, inst.class_of(item).0)
+            .beta(i, inst.beta(item))
+            .capacity(i, residual_capacity[item.index()])
+            .prices(i, &inst.price_series(item)[now as usize..]);
+    }
+
+    let mut probs = vec![0.0f64; remaining];
+    for cand in inst.candidates() {
+        let user = inst.candidate_user(cand);
+        let class = inst.candidate_class(cand);
+        if adopted.contains(&(user, class)) {
+            continue; // the class is closed for this user
+        }
+        let beta = inst.beta(inst.candidate_item(cand));
+        let prefix_times = displays.get(&(user, class)).map_or(&[][..], Vec::as_slice);
+        let original = inst.candidate_probs(cand);
+        let mut any_positive = false;
+        for (idx, slot) in probs.iter_mut().enumerate() {
+            let t = now + idx as u32 + 1;
+            let q = original[(t - 1) as usize];
+            if q == 0.0 {
+                *slot = 0.0;
+                continue;
+            }
+            let memory: f64 = prefix_times.iter().map(|&tau| 1.0 / (t - tau) as f64).sum();
+            *slot = q * beta.powf(memory);
+            any_positive |= *slot > 0.0;
+        }
+        if any_positive {
+            b.candidate(
+                user.0,
+                inst.candidate_item(cand).0,
+                &probs,
+                inst.candidate_rating(cand),
+            );
+        }
+    }
+
+    match b.build() {
+        Ok(residual) => residual,
+        // All inputs were derived from an already-valid instance.
+        Err(e) => unreachable!("residual construction produced an invalid instance: {e:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revenue::{dynamic_probabilities, revenue};
+    use std::collections::HashMap;
+
+    /// Two users, three items (0 and 1 share a class), horizon 3.
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new(2, 3, 3);
+        b.display_limit(1)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .item_class(2, 1)
+            .beta(0, 0.4)
+            .beta(1, 0.7)
+            .beta(2, 0.9)
+            .capacity(0, 1)
+            .capacity(1, 2)
+            .capacity(2, 2)
+            .prices(0, &[30.0, 24.0, 27.0])
+            .prices(1, &[10.0, 12.0, 9.0])
+            .prices(2, &[15.0, 15.0, 14.0])
+            .candidate(0, 0, &[0.4, 0.6, 0.5], 4.5)
+            .candidate(0, 1, &[0.7, 0.5, 0.8], 3.5)
+            .candidate(0, 2, &[0.3, 0.3, 0.4], 4.0)
+            .candidate(1, 0, &[0.5, 0.55, 0.45], 4.8)
+            .candidate(1, 2, &[0.6, 0.2, 0.3], 2.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_batches() {
+        let inst = instance();
+        let ok = [
+            AdoptionEvent::adopted(0, 0, 1),
+            AdoptionEvent::rejected(1, 2, 1),
+        ];
+        assert!(validate_events(&inst, &ok, 1).is_ok());
+
+        let out_of_range = [AdoptionEvent::adopted(5, 0, 1)];
+        assert!(matches!(
+            validate_events(&inst, &out_of_range, 1),
+            Err(EventError::OutOfRange { .. })
+        ));
+
+        let late = [AdoptionEvent::adopted(0, 0, 2)];
+        assert!(matches!(
+            validate_events(&inst, &late, 1),
+            Err(EventError::AfterFrontier { frontier: 1, .. })
+        ));
+
+        let dup = [
+            AdoptionEvent::adopted(0, 0, 1),
+            AdoptionEvent::rejected(0, 0, 1),
+        ];
+        assert!(matches!(
+            validate_events(&inst, &dup, 1),
+            Err(EventError::DuplicateDisplay { .. })
+        ));
+
+        let overfull = [
+            AdoptionEvent::rejected(0, 0, 1),
+            AdoptionEvent::rejected(0, 2, 1),
+        ];
+        assert!(matches!(
+            validate_events(&inst, &overfull, 1),
+            Err(EventError::DisplayLimitExceeded { limit: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn realized_revenue_sums_adopted_prices() {
+        let inst = instance();
+        let events = [
+            AdoptionEvent::adopted(0, 0, 1),  // 30.0
+            AdoptionEvent::rejected(1, 2, 1), // rejected: nothing
+            AdoptionEvent::adopted(1, 0, 2),  // 24.0
+        ];
+        assert!((realized_revenue(&inst, &events) - 54.0).abs() < 1e-12);
+        assert!(realized_revenue(&inst, &[]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_shifts_prices_and_horizon() {
+        let inst = instance();
+        let residual = residual_instance(&inst, &[], 1).unwrap();
+        assert_eq!(residual.horizon(), 2);
+        assert_eq!(residual.num_users(), 2);
+        assert_eq!(residual.price_series(ItemId(0)), &[24.0, 27.0]);
+        assert_eq!(residual.price_series(ItemId(1)), &[12.0, 9.0]);
+        // No events: probabilities are just the tail of the original rows.
+        let c = residual.candidate_for(UserId(0), ItemId(0)).unwrap();
+        assert_eq!(residual.candidate_probs(c), &[0.6, 0.5]);
+    }
+
+    #[test]
+    fn adoption_closes_the_class_for_the_user_only() {
+        let inst = instance();
+        let events = [AdoptionEvent::adopted(0, 0, 1)];
+        let residual = residual_instance(&inst, &events, 1).unwrap();
+        // User 0 adopted class {0, 1}: both same-class pairs are gone …
+        assert!(residual.candidate_for(UserId(0), ItemId(0)).is_none());
+        assert!(residual.candidate_for(UserId(0), ItemId(1)).is_none());
+        // … the other class and the other user are untouched.
+        assert!(residual.candidate_for(UserId(0), ItemId(2)).is_some());
+        assert!(residual.candidate_for(UserId(1), ItemId(0)).is_some());
+    }
+
+    #[test]
+    fn rejection_keeps_the_pair_with_memory_discount() {
+        let inst = instance();
+        let events = [AdoptionEvent::rejected(0, 0, 1)];
+        let residual = residual_instance(&inst, &events, 1).unwrap();
+        // Residual t' = 1 is original t = 2: memory 1/(2-1) = 1 on class 0.
+        let c00 = residual.candidate_for(UserId(0), ItemId(0)).unwrap();
+        let beta0 = 0.4f64;
+        assert!((residual.candidate_prob(c00, TimeStep(1)) - 0.6 * beta0.powf(1.0)).abs() < 1e-12);
+        // Residual t' = 2 is original t = 3: memory 1/(3-1) = 0.5.
+        assert!((residual.candidate_prob(c00, TimeStep(2)) - 0.5 * beta0.powf(0.5)).abs() < 1e-12);
+        // Same-class sibling item 1 carries the memory with its own beta.
+        let c01 = residual.candidate_for(UserId(0), ItemId(1)).unwrap();
+        let beta1 = 0.7f64;
+        assert!((residual.candidate_prob(c01, TimeStep(1)) - 0.5 * beta1.powf(1.0)).abs() < 1e-12);
+        // The other class has no memory from the display.
+        let c02 = residual.candidate_for(UserId(0), ItemId(2)).unwrap();
+        assert_eq!(residual.candidate_probs(c02), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn capacity_is_pre_charged_per_distinct_user() {
+        let inst = instance();
+        let events = [
+            AdoptionEvent::rejected(0, 0, 1),
+            AdoptionEvent::rejected(1, 2, 1),
+            AdoptionEvent::rejected(1, 0, 2), // second distinct user of item 0
+        ];
+        let residual = residual_instance(&inst, &events, 2).unwrap();
+        // Item 0 had capacity 1 and two distinct users displayed: floor at 0.
+        assert_eq!(residual.capacity(ItemId(0)), 0);
+        // Item 2 had capacity 2 and one user displayed.
+        assert_eq!(residual.capacity(ItemId(2)), 1);
+        // Item 1 untouched.
+        assert_eq!(residual.capacity(ItemId(1)), 2);
+    }
+
+    #[test]
+    fn residual_model_matches_hand_conditioning() {
+        // One user, one item, beta saturation, horizon 3. Display at t = 1,
+        // rejected. The conditional probability of adopting at t = 3 given a
+        // plan that also displays at t = 2 must come out of the residual
+        // instance's *standard* dynamic-probability machinery.
+        let mut b = InstanceBuilder::new(1, 1, 3);
+        let beta = 0.5f64;
+        b.display_limit(1)
+            .capacity(0, 1)
+            .beta(0, beta)
+            .prices(0, &[1.0, 1.0, 1.0])
+            .candidate(0, 0, &[0.5, 0.4, 0.3], 0.0);
+        let inst = b.build().unwrap();
+        let events = [AdoptionEvent::rejected(0, 0, 1)];
+        let residual = residual_instance(&inst, &events, 1).unwrap();
+
+        // Residual primitive probabilities fold the prefix memory:
+        // q'(1) = 0.4 · β^{1/(2−1)}, q'(2) = 0.3 · β^{1/(3−1)}.
+        let c = residual.candidate_for(UserId(0), ItemId(0)).unwrap();
+        let q1 = 0.4 * beta.powf(1.0);
+        let q2 = 0.3 * beta.powf(0.5);
+        assert!((residual.candidate_prob(c, TimeStep(1)) - q1).abs() < 1e-12);
+        assert!((residual.candidate_prob(c, TimeStep(2)) - q2).abs() < 1e-12);
+
+        // Plan both remaining displays: the later one picks up the residual
+        // memory 1/(2'−1') = 1 and the competition factor (1 − q'(1)).
+        let s: Strategy = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)]
+            .into_iter()
+            .collect();
+        let probs: HashMap<Triple, f64> =
+            dynamic_probabilities(&residual, &s).into_iter().collect();
+        assert!((probs[&Triple::new(0, 0, 1)] - q1).abs() < 1e-12);
+        let expected_t2 = q2 * beta.powf(1.0) * (1.0 - q1);
+        assert!((probs[&Triple::new(0, 0, 2)] - expected_t2).abs() < 1e-12);
+        assert!((revenue(&residual, &s) - (q1 + expected_t2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_pairs_are_dropped() {
+        let mut b = InstanceBuilder::new(1, 2, 2);
+        b.display_limit(1)
+            .constant_price(0, 5.0)
+            .constant_price(1, 5.0)
+            .candidate(0, 0, &[0.5, 0.0], 0.0) // dead after t = 1
+            .candidate(0, 1, &[0.2, 0.3], 0.0);
+        let inst = b.build().unwrap();
+        let residual = residual_instance(&inst, &[], 1).unwrap();
+        assert!(residual.candidate_for(UserId(0), ItemId(0)).is_none());
+        assert!(residual.candidate_for(UserId(0), ItemId(1)).is_some());
+    }
+
+    #[test]
+    fn exhausted_horizon_is_rejected() {
+        let inst = instance();
+        assert!(matches!(
+            residual_instance(&inst, &[], 3),
+            Err(EventError::ExhaustedHorizon { horizon: 3 })
+        ));
+        assert!(matches!(
+            residual_instance(&inst, &[], 7),
+            Err(EventError::ExhaustedHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn shift_strategy_moves_every_triple() {
+        let s: Strategy = vec![Triple::new(0, 1, 1), Triple::new(1, 2, 2)]
+            .into_iter()
+            .collect();
+        let shifted = shift_strategy(&s, 3);
+        assert_eq!(shifted.len(), 2);
+        assert!(shifted.contains(Triple::new(0, 1, 4)));
+        assert!(shifted.contains(Triple::new(1, 2, 5)));
+    }
+
+    #[test]
+    fn event_display_formats() {
+        assert_eq!(
+            AdoptionEvent::adopted(1, 2, 3).to_string(),
+            "u1 adopted i2 at t3"
+        );
+        assert_eq!(
+            AdoptionEvent::rejected(0, 0, 1).to_string(),
+            "u0 rejected i0 at t1"
+        );
+    }
+}

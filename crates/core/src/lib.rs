@@ -20,7 +20,13 @@
 //!   constraint pushed into the *effective* dynamic adoption probability
 //!   (Definition 4), plus an exact Poisson-binomial capacity oracle;
 //! * [`reductions`] — the executable form of the NP-hardness reduction from
-//!   Restricted Timetable Design (Theorem 1), used in tests.
+//!   Restricted Timetable Design (Theorem 1), used in tests;
+//! * [`events`] — realized [`AdoptionEvent`]s and the residual-instance
+//!   construction ([`residual_instance`]) that conditions an instance on a
+//!   realized prefix, the model layer behind dynamic replanning
+//!   (`revmax_serve::PlanSession`);
+//! * [`env`] — the shared `REVMAX_*` environment-knob parsing used by every
+//!   `from_env` constructor and bench emitter in the workspace.
 //!
 //! The optimization algorithms themselves (Global/Sequential/Randomized
 //! greedy, the baselines, the local-search approximation, the Max-DCS special
@@ -55,7 +61,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod effective;
+pub mod env;
 pub mod error;
+pub mod events;
 pub mod ids;
 pub mod instance;
 pub mod reductions;
@@ -66,6 +74,10 @@ pub use effective::{
     effective_probabilities, effective_revenue, CapacityOracle, ExactPoissonBinomial,
 };
 pub use error::{BuildError, ConstraintViolation, StrategyParseError};
+pub use events::{
+    realized_revenue, residual_instance, residual_of_validated, shift_strategy, validate_events,
+    AdoptionEvent, AdoptionOutcome, EventError,
+};
 pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
 pub use instance::{Instance, InstanceBuilder, UserShard};
 pub use revenue::{

@@ -10,7 +10,7 @@ use crate::report::{format_number, Table};
 use crate::scale::Scale;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use revmax_algorithms::{run, Algorithm, GreedyOptions};
+use revmax_algorithms::{plan, run, Algorithm, PlannerConfig};
 use revmax_core::Instance;
 use revmax_data::{BetaSetting, Table1Stats};
 use revmax_pricing::{
@@ -170,13 +170,7 @@ pub fn figure4(scale: &Scale) -> Vec<Table> {
         let ds = build_dataset(kind, scale, BetaSetting::UniformRandom, capacity, false);
         let inst = &ds.instance;
 
-        let gg = revmax_algorithms::global_greedy_with(
-            inst,
-            &GreedyOptions {
-                track_trace: true,
-                ..Default::default()
-            },
-        );
+        let gg = plan(inst, &PlannerConfig::default().with_track_trace(true));
         let rlg =
             revmax_algorithms::randomized_local_greedy(inst, scale.rl_permutations, scale.seed);
         let slg = revmax_algorithms::sequential_local_greedy(inst);

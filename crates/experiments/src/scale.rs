@@ -65,22 +65,19 @@ impl Scale {
     /// scale, `REVMAX_SCALE=<fraction>` overrides the dataset fraction, and
     /// `REVMAX_RL_PERMS=<n>` overrides the RL-Greedy permutation count.
     pub fn from_env() -> Self {
-        let mut scale = if std::env::var("REVMAX_FULL").is_ok_and(|v| v == "1") {
+        use revmax_core::env;
+        let mut scale = if env::flag("REVMAX_FULL") {
             Scale::paper_scale()
         } else {
             Scale::default_scale()
         };
-        if let Ok(v) = std::env::var("REVMAX_SCALE") {
-            if let Ok(f) = v.parse::<f64>() {
-                if f > 0.0 && f <= 1.0 {
-                    scale.dataset_scale = f;
-                }
+        if let Some(f) = env::var::<f64>("REVMAX_SCALE") {
+            if f > 0.0 && f <= 1.0 {
+                scale.dataset_scale = f;
             }
         }
-        if let Ok(v) = std::env::var("REVMAX_RL_PERMS") {
-            if let Ok(n) = v.parse::<usize>() {
-                scale.rl_permutations = n.max(1);
-            }
+        if let Some(n) = env::var::<usize>("REVMAX_RL_PERMS") {
+            scale.rl_permutations = n.max(1);
         }
         scale
     }

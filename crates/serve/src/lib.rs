@@ -1,26 +1,33 @@
 //! # revmax-serve
 //!
-//! A synchronous batch-planning service layer over the shard-partitioned
-//! REVMAX planners: a [`BatchPlanner`] owns a **persistent pool** of worker
-//! threads, and [`BatchPlanner::plan_batch`] plans a batch of independent
-//! instances over that pool — each instance planned by the sharded greedy
-//! core (`revmax-algorithms::sharded`), so there are two levels of
-//! parallelism:
+//! The serving layer over the REVMAX planners: an **asynchronous plan
+//! service** and **adoption-driven replan sessions**, both configured by the
+//! single [`PlannerConfig`] from `revmax-algorithms`.
 //!
-//! * **across instances** — the pool workers pull instances from a shared
-//!   queue (instances are independent, so this is embarrassingly parallel);
-//! * **within an instance** — each plan runs on `PlanOptions::shards` user
-//!   shards with shard-local engines, tables, and heaps, coupled only
-//!   through the shared capacity ledger (deterministic: the plan is
-//!   identical to the sequential one at every shard count).
+//! * [`PlanService`] — a persistent pool of planning workers.
+//!   [`PlanService::submit`] enqueues one instance and returns a
+//!   [`PlanTicket`] immediately; the ticket supports [`PlanTicket::wait`],
+//!   [`PlanTicket::try_poll`], and [`PlanTicket::cancel`]. The front-end is
+//!   runtime-free (channel + condvar over the worker pool — no async
+//!   runtime), and the synchronous [`PlanService::plan_batch`] /
+//!   [`plan_batch`] APIs are submit-all-then-wait over the same machinery.
+//! * [`PlanSession`] — owns the planning state for one instance across its
+//!   horizon: report realized [`AdoptionEvent`]s
+//!   ([`PlanSession::advance`]), and the session fixes the prefix, builds
+//!   the residual instance (`revmax_core::residual_instance`), and replans
+//!   only the remaining horizon. The replanned suffix equals a from-scratch
+//!   plan of the residual instance to 1e-9 for every engine/heap/shard
+//!   configuration.
 //!
-//! The pool outlives individual batches (workers block on the queue between
-//! calls), which is the shape an async front-end needs: accept a request,
-//! enqueue, await the reply. The `bench_serve` binary measures batch
-//! throughput across shard counts and records it in `BENCH_serve.json`.
+//! Two levels of parallelism serve a batch: instances spread across the pool
+//! workers (embarrassingly parallel), and each plan can run on
+//! `PlannerConfig::shards` user shards coupled only through the shared
+//! capacity ledger (deterministic: identical to the sequential plan at every
+//! shard count).
 //!
 //! ```
-//! use revmax_serve::{plan_batch, PlanOptions};
+//! use revmax_serve::PlanService;
+//! use revmax_algorithms::PlannerConfig;
 //! use revmax_core::InstanceBuilder;
 //!
 //! let mut b = InstanceBuilder::new(2, 1, 2);
@@ -30,317 +37,44 @@
 //!     .candidate(1, 0, &[0.3, 0.2], 0.0);
 //! let inst = b.build().unwrap();
 //!
-//! let plans = plan_batch(vec![inst.clone(), inst], PlanOptions::default());
+//! let service = PlanService::new(2);
+//! let ticket = service.submit(inst.clone(), PlannerConfig::default()); // returns immediately
+//! let report = ticket.wait().expect("not cancelled");
+//! assert!(!report.outcome.strategy.is_empty());
+//!
+//! // Batch = submit-all-then-wait:
+//! let plans = service.plan_batch(vec![inst.clone(), inst], PlannerConfig::default());
 //! assert_eq!(plans.len(), 2);
-//! assert!(!plans[0].is_empty());
 //! ```
+//!
+//! # Migrating from the pre-unification API
+//!
+//! | Deprecated | Replacement |
+//! |---|---|
+//! | `BatchPlanner::new(n)` | [`PlanService::new`] |
+//! | `PlanOptions { algorithm, shards, engine, heap }` | [`PlannerConfig`] (builder: `with_algorithm` / `with_shards` / `with_engine` / `with_heap`) |
+//! | `BatchAlgorithm::GlobalGreedy` / `::SequentialLocalGreedy` | `PlanAlgorithm::GlobalGreedy` / `::SequentialLocalGreedy` |
+//! | `plan_batch(instances, PlanOptions { .. })` | [`plan_batch`]`(instances, PlannerConfig, ..)` — the function now accepts either (conversion is automatic) |
+//! | `GreedyOptions::from_env()` (in `revmax-algorithms`) | `PlannerConfig::from_env()` |
+//!
+//! The deprecated names still compile and produce identical plans (asserted
+//! by the compatibility tests); they are thin conversions into
+//! [`PlannerConfig`].
+//!
+//! The `bench_serve` binary measures batch throughput across shard counts
+//! plus the submit/await round-trip overhead of the async front-end, and
+//! records both in `BENCH_serve.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use revmax_algorithms::{
-    sharded_global_greedy, sharded_local_greedy, EngineKind, GreedyOptions, GreedyOutcome,
-    HeapKind, LocalGreedyOptions,
-};
-use revmax_core::{Instance, Strategy};
-use std::num::NonZeroUsize;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+mod service;
+mod session;
 
-/// Which planner runs per instance of a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BatchAlgorithm {
-    /// G-Greedy (the paper's best performer, the serving default).
-    #[default]
-    GlobalGreedy,
-    /// SL-Greedy (chronological per-time-step greedy; cheaper, lower revenue).
-    SequentialLocalGreedy,
-}
+pub use revmax_algorithms::{PlanAlgorithm, PlannerConfig};
+pub use service::{plan_batch, PlanReport, PlanService, PlanTicket, TicketStatus};
+pub use session::{PlanSession, ReplanReport, SessionError};
 
-/// Options for a batch-planning call.
-#[derive(Debug, Clone, Copy)]
-pub struct PlanOptions {
-    /// Planner run per instance.
-    pub algorithm: BatchAlgorithm,
-    /// User shards per instance (`0`/`1` = sequential planning core).
-    pub shards: u32,
-    /// Incremental revenue engine backing every plan.
-    pub engine: EngineKind,
-    /// Heap implementation backing the selection loops.
-    pub heap: HeapKind,
-}
-
-impl Default for PlanOptions {
-    fn default() -> Self {
-        PlanOptions {
-            algorithm: BatchAlgorithm::GlobalGreedy,
-            shards: 1,
-            engine: EngineKind::Flat,
-            heap: HeapKind::default(),
-        }
-    }
-}
-
-impl PlanOptions {
-    fn greedy_options(&self) -> GreedyOptions {
-        GreedyOptions {
-            engine: self.engine,
-            heap: self.heap,
-            shards: self.shards,
-            // The pool already multiplexes instances over threads; keep the
-            // per-plan init fill sequential to avoid oversubscription.
-            parallel_init: false,
-            ..Default::default()
-        }
-    }
-
-    fn local_options(&self) -> LocalGreedyOptions {
-        LocalGreedyOptions {
-            engine: self.engine,
-            heap: self.heap,
-            shards: self.shards,
-            parallel_scan: Some(false),
-        }
-    }
-}
-
-/// One planned instance of a batch.
-#[derive(Debug, Clone)]
-pub struct PlanReport {
-    /// Position of the instance in the submitted batch.
-    pub index: usize,
-    /// The planner outcome (strategy, revenue, trace, evaluation counts).
-    pub outcome: GreedyOutcome,
-}
-
-struct Job {
-    inst: Arc<Instance>,
-    index: usize,
-    opts: PlanOptions,
-    reply: Sender<PlanReport>,
-}
-
-/// Plans one instance on the shard-partitioned core.
-///
-/// The serving layer always runs the sharded planner — a shard count of 1 is
-/// the same machinery with a single shard view, so `BENCH_serve.json`'s
-/// shard-count dimension compares like with like. (The raw sequential
-/// drivers are benchmarked separately in `BENCH_greedy.json`.)
-fn plan_one(inst: &Instance, opts: &PlanOptions) -> GreedyOutcome {
-    let pieces = opts.shards.max(1) as usize;
-    match opts.algorithm {
-        BatchAlgorithm::GlobalGreedy => sharded_global_greedy(inst, &opts.greedy_options(), pieces),
-        BatchAlgorithm::SequentialLocalGreedy => {
-            let order: Vec<u32> = (1..=inst.horizon()).collect();
-            sharded_local_greedy(inst, &order, &opts.local_options(), pieces)
-        }
-    }
-}
-
-/// A persistent pool of planning workers.
-///
-/// Workers are spawned once and block on a shared job queue; every
-/// [`BatchPlanner::plan_batch_reports`] call enqueues its instances and
-/// collects the replies, so consecutive batches reuse the same threads.
-/// Dropping the planner closes the queue and joins the workers.
-pub struct BatchPlanner {
-    job_tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl BatchPlanner {
-    /// Spawns a pool with `workers` threads (`0` = one per unit of available
-    /// hardware parallelism).
-    pub fn new(workers: usize) -> Self {
-        let n = if workers == 0 {
-            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-        } else {
-            workers
-        };
-        let (job_tx, job_rx) = channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let workers = (0..n)
-            .map(|_| {
-                let job_rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || loop {
-                    // Take the next job while holding the lock only for the
-                    // dequeue, then plan without blocking the queue.
-                    let job = {
-                        let guard = job_rx.lock().expect("job queue poisoned");
-                        guard.recv()
-                    };
-                    let Ok(job) = job else {
-                        break; // queue closed: the planner was dropped
-                    };
-                    let outcome = plan_one(&job.inst, &job.opts);
-                    // A dropped receiver just means the caller gave up on the
-                    // batch; keep serving subsequent jobs.
-                    let _ = job.reply.send(PlanReport {
-                        index: job.index,
-                        outcome,
-                    });
-                })
-            })
-            .collect();
-        BatchPlanner {
-            job_tx: Some(job_tx),
-            workers,
-        }
-    }
-
-    /// Number of worker threads in the pool.
-    pub fn worker_count(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Plans every instance of the batch and returns full reports in batch
-    /// order.
-    pub fn plan_batch_reports(
-        &self,
-        instances: Vec<Instance>,
-        opts: PlanOptions,
-    ) -> Vec<PlanReport> {
-        let n = instances.len();
-        let (reply_tx, reply_rx): (Sender<PlanReport>, Receiver<PlanReport>) = channel();
-        let job_tx = self.job_tx.as_ref().expect("pool is alive until drop");
-        for (index, inst) in instances.into_iter().enumerate() {
-            job_tx
-                .send(Job {
-                    inst: Arc::new(inst),
-                    index,
-                    opts,
-                    reply: reply_tx.clone(),
-                })
-                .expect("workers outlive the planner");
-        }
-        drop(reply_tx);
-        let mut slots: Vec<Option<PlanReport>> = (0..n).map(|_| None).collect();
-        for report in reply_rx {
-            let idx = report.index;
-            slots[idx] = Some(report);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every job replies exactly once"))
-            .collect()
-    }
-
-    /// Plans every instance of the batch and returns the strategies in batch
-    /// order (the `plan_batch(Vec<Instance>, PlanOptions) -> Vec<Strategy>`
-    /// serving API).
-    pub fn plan_batch(&self, instances: Vec<Instance>, opts: PlanOptions) -> Vec<Strategy> {
-        self.plan_batch_reports(instances, opts)
-            .into_iter()
-            .map(|r| r.outcome.strategy)
-            .collect()
-    }
-}
-
-impl Drop for BatchPlanner {
-    fn drop(&mut self) {
-        drop(self.job_tx.take());
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// One-shot convenience: plans a batch over a transient pool sized to the
-/// available hardware parallelism.
-pub fn plan_batch(instances: Vec<Instance>, opts: PlanOptions) -> Vec<Strategy> {
-    BatchPlanner::new(0).plan_batch(instances, opts)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use revmax_algorithms::global_greedy;
-    use revmax_core::InstanceBuilder;
-
-    fn instance(seed: u32) -> Instance {
-        let mut b = InstanceBuilder::new(3, 3, 3);
-        b.display_limit(1)
-            .item_class(0, 0)
-            .item_class(1, 0)
-            .item_class(2, 1)
-            .beta(0, 0.4)
-            .beta(1, 0.7)
-            .beta(2, 0.9)
-            .capacity(0, 1)
-            .capacity(1, 2)
-            .capacity(2, 2)
-            .prices(0, &[30.0, 24.0, 27.0])
-            .prices(1, &[10.0, 12.0, 9.0])
-            .prices(2, &[15.0, 15.0, 14.0]);
-        for u in 0..3 {
-            let base = 0.2 + 0.1 * ((u + seed) % 3) as f64;
-            b.candidate(u, 0, &[base, base + 0.2, base + 0.1], 4.0);
-            b.candidate(u, 1, &[base + 0.3, base, base + 0.25], 3.5);
-            b.candidate(u, 2, &[base + 0.1, base + 0.1, base + 0.15], 4.2);
-        }
-        b.build().unwrap()
-    }
-
-    #[test]
-    fn batch_plans_match_direct_runs_at_every_shard_count() {
-        let batch: Vec<Instance> = (0..4).map(instance).collect();
-        let direct: Vec<f64> = batch.iter().map(|i| global_greedy(i).revenue).collect();
-        for shards in [1u32, 2, 3] {
-            let planner = BatchPlanner::new(2);
-            let reports = planner.plan_batch_reports(
-                batch.clone(),
-                PlanOptions {
-                    shards,
-                    ..Default::default()
-                },
-            );
-            assert_eq!(reports.len(), batch.len());
-            for (i, report) in reports.iter().enumerate() {
-                assert_eq!(report.index, i);
-                assert!(
-                    (report.outcome.revenue - direct[i]).abs() < 1e-9,
-                    "instance {i} at {shards} shards: {} vs {}",
-                    report.outcome.revenue,
-                    direct[i]
-                );
-                assert!(report.outcome.strategy.validate(&batch[i]).is_ok());
-            }
-        }
-    }
-
-    #[test]
-    fn pool_survives_multiple_batches() {
-        let planner = BatchPlanner::new(1);
-        for round in 0..3 {
-            let strategies = planner.plan_batch(
-                vec![instance(round), instance(round + 1)],
-                PlanOptions::default(),
-            );
-            assert_eq!(strategies.len(), 2);
-            assert!(strategies.iter().all(|s| !s.is_empty()));
-        }
-        assert_eq!(planner.worker_count(), 1);
-    }
-
-    #[test]
-    fn local_greedy_batches_work_too() {
-        let batch = vec![instance(0), instance(1)];
-        let strategies = plan_batch(
-            batch.clone(),
-            PlanOptions {
-                algorithm: BatchAlgorithm::SequentialLocalGreedy,
-                shards: 2,
-                ..Default::default()
-            },
-        );
-        for (s, inst) in strategies.iter().zip(&batch) {
-            assert!(s.validate(inst).is_ok());
-        }
-    }
-
-    #[test]
-    fn empty_batch_is_fine() {
-        assert!(plan_batch(Vec::new(), PlanOptions::default()).is_empty());
-    }
-}
+// Deprecated pre-unification surface (see the migration table above).
+#[allow(deprecated)]
+pub use service::{BatchAlgorithm, BatchPlanner, PlanOptions};

@@ -1,0 +1,161 @@
+//! Dynamic storefront: drive a [`PlanSession`] through a stream of adoption
+//! events — the paper's *dynamic* premise end to end.
+//!
+//! A small storefront plans a 5-day campaign, then lives through it day by
+//! day: each morning it displays the planned recommendations, each evening
+//! it reports which users adopted and which ignored them, and the session
+//! fixes the realized prefix and replans the remaining days on the residual
+//! instance (adopted classes close, rejected displays keep their saturation
+//! memory, consumed capacity stays consumed).
+//!
+//! Run with: `cargo run --release --example dynamic_storefront`
+//!
+//! Planner configuration comes from `PlannerConfig::from_env()`
+//! (`REVMAX_ENGINE`, `REVMAX_HEAP`, `REVMAX_SHARDS`, …); none of the knobs
+//! may change any (re)plan, which the example asserts by cross-checking
+//! every replanned suffix against a from-scratch plan of the residual
+//! instance on the *other* engine.
+
+use revmax::prelude::*;
+
+fn main() {
+    // 6 shoppers, 6 items in 3 classes (tablets, headphones, chargers),
+    // 5 days; the flagship tablet goes on sale on day 4.
+    let mut b = InstanceBuilder::new(6, 6, 5);
+    b.display_limit(1)
+        .item_class(0, 0)
+        .item_class(1, 0)
+        .item_class(2, 1)
+        .item_class(3, 1)
+        .item_class(4, 2)
+        .item_class(5, 2)
+        .beta(0, 0.35)
+        .beta(1, 0.35)
+        .beta(2, 0.6)
+        .beta(3, 0.6)
+        .beta(4, 0.8)
+        .beta(5, 0.8)
+        .capacity(0, 3)
+        .capacity(1, 4)
+        .capacity(2, 4)
+        .capacity(3, 3)
+        .capacity(4, 5)
+        .capacity(5, 5)
+        .prices(0, &[499.0, 499.0, 499.0, 399.0, 399.0]) // sale on day 4
+        .prices(1, &[349.0, 349.0, 349.0, 349.0, 329.0])
+        .prices(2, &[129.0, 119.0, 129.0, 129.0, 109.0])
+        .prices(3, &[89.0, 89.0, 79.0, 89.0, 89.0])
+        .prices(4, &[39.0, 39.0, 39.0, 35.0, 39.0])
+        .prices(5, &[25.0, 25.0, 22.0, 25.0, 25.0]);
+    for u in 0..6u32 {
+        for i in 0..6u32 {
+            if (u + i) % 2 == 0 || i % 3 == 0 {
+                let base = 0.10 + 0.05 * ((u + 2 * i) % 5) as f64;
+                let probs: Vec<f64> = (0..5)
+                    .map(|t| {
+                        // Adoption jumps on discounted days.
+                        let discount_kick = if (i == 0 && t == 3) || (i == 2 && t == 4) {
+                            0.25
+                        } else {
+                            0.0
+                        };
+                        (base + 0.02 * t as f64 + discount_kick).min(0.95)
+                    })
+                    .collect();
+                b.candidate(u, i, &probs, 3.0 + ((u + i) % 3) as f64 * 0.6);
+            }
+        }
+    }
+    let instance = b.build().expect("valid instance");
+
+    let config = PlannerConfig::from_env();
+    let mut session = PlanSession::new(instance.clone(), config);
+    println!(
+        "campaign plan: {} recommendation slots, expected revenue {:.2}\n",
+        session.planned_suffix().len(),
+        session.expected_remaining_revenue()
+    );
+
+    // A deterministic "shopper model" for the demo: a user adopts a display
+    // when its primitive adoption probability is high enough for the day.
+    let adopts = |z: &Triple| instance.prob_of(*z) >= 0.22;
+
+    while !session.is_exhausted() {
+        let day = session.now() + 1;
+        let shown = session.upcoming();
+        let events: Vec<AdoptionEvent> = shown
+            .iter()
+            .map(|z| AdoptionEvent {
+                user: z.user,
+                item: z.item,
+                t: z.t,
+                outcome: if adopts(z) {
+                    AdoptionOutcome::Adopted
+                } else {
+                    AdoptionOutcome::Rejected
+                },
+            })
+            .collect();
+        let adopted: Vec<String> = events
+            .iter()
+            .filter(|e| e.is_adoption())
+            .map(|e| {
+                format!(
+                    "{} bought {} (${:.0})",
+                    e.user,
+                    e.item,
+                    instance.price(e.item, e.t)
+                )
+            })
+            .collect();
+
+        let report = session.advance(&events).expect("valid event batch");
+        println!(
+            "day {day}: displayed {:>2}, adopted {:>2} | realized ${:>8.2} | \
+             replanned {:>2} future slots worth ${:>8.2}",
+            events.len(),
+            adopted.len(),
+            report.realized_revenue,
+            report.suffix_len,
+            report.expected_remaining_revenue,
+        );
+        for line in &adopted {
+            println!("        {line}");
+        }
+
+        // Engine cross-check: the replanned suffix must equal a from-scratch
+        // plan of the residual instance under the *other* engine to 1e-9.
+        if let Some(residual) = session.residual() {
+            let other = match config.engine {
+                EngineKind::Flat => EngineKind::Hash,
+                EngineKind::Hash => EngineKind::Flat,
+            };
+            let reference = plan(residual, &config.with_engine(other));
+            assert!(
+                (reference.revenue - session.expected_remaining_revenue()).abs() < 1e-9,
+                "engines disagreed on the replanned suffix: {} vs {}",
+                reference.revenue,
+                session.expected_remaining_revenue()
+            );
+            let shifted = shift_strategy(&reference.strategy, session.now());
+            assert_eq!(
+                shifted.as_slice(),
+                session.planned_suffix().as_slice(),
+                "engines disagreed on the replanned suffix triples"
+            );
+        }
+    }
+
+    println!(
+        "\ncampaign over: realized revenue ${:.2} across {} events ({} replans).",
+        session.realized_revenue(),
+        session.events().len(),
+        session.replans(),
+    );
+    let adopted_count = session.events().iter().filter(|e| e.is_adoption()).count();
+    println!(
+        "{adopted_count} adoptions out of {} displays — the session closed each adopted \
+         class and re-invested those slots elsewhere.",
+        session.events().len()
+    );
+}

@@ -53,7 +53,7 @@ fn main() {
 
     // Engine / heap / shard selection from the environment (REVMAX_ENGINE,
     // REVMAX_HEAP, REVMAX_SHARDS); the plan is identical for every choice.
-    let plan = global_greedy_with(&instance, &GreedyOptions::from_env());
+    let plan = plan(&instance, &PlannerConfig::from_env());
     println!("expected campaign revenue: {:.2}\n", plan.revenue);
     println!("{:<10} {:>12} {:>14}", "user", "segment", "first shown on");
     let mut first_day = vec![None::<u32>; num_users as usize];

@@ -24,11 +24,9 @@ fn main() {
 
     // REVMAX_SHARDS (default 2) picks the shard count of the sharded entry;
     // its revenue always matches GG exactly — shards change speed and memory
-    // layout, never the plan.
-    let shards: u32 = std::env::var("REVMAX_SHARDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2);
+    // layout, never the plan. Read through the unified config so the knob
+    // parses identically everywhere.
+    let shards: u32 = PlannerConfig::default().with_shards(2).env_overlay().shards;
     let lineup = vec![
         Algorithm::GlobalGreedy,
         Algorithm::ShardedGlobalGreedy { shards },

@@ -3,10 +3,12 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
-//! Engine / heap / shard selection comes from the environment
-//! (`REVMAX_ENGINE=flat|hash`, `REVMAX_HEAP=lazy|dary`, `REVMAX_SHARDS=n`)
-//! — none of which may change the plan, which this example asserts by
-//! cross-checking the flat-arena engine against the hash reference engine.
+//! Planner configuration comes from the environment through the unified
+//! `PlannerConfig::from_env()` (`REVMAX_ENGINE=flat|hash`,
+//! `REVMAX_HEAP=lazy|dary`, `REVMAX_SHARDS=n`, `REVMAX_ALGORITHM`,
+//! `REVMAX_SEED`) — none of which may change a given algorithm's plan, which
+//! this example asserts by cross-checking the flat-arena engine against the
+//! hash reference engine.
 
 use revmax::prelude::*;
 
@@ -41,24 +43,18 @@ fn main() {
         .candidate(2, 2, &[0.25, 0.35, 0.25], 3.9);
     let instance = builder.build().expect("valid instance");
 
-    // Revenue-maximizing plan, with engine/heap/shards picked from the
-    // environment (defaults: flat engine, lazy heap, 1 shard).
-    let opts = GreedyOptions::from_env();
-    let outcome = global_greedy_with(&instance, &opts);
+    // Revenue-maximizing plan, with algorithm/engine/heap/shards picked from
+    // the environment (defaults: G-Greedy, flat engine, lazy heap, 1 shard).
+    let config = PlannerConfig::from_env();
+    let outcome = plan(&instance, &config);
 
     // The engine choice is a performance knob, never a behaviour knob:
     // re-plan with the *other* engine and check the revenues agree to 1e-9.
-    let other_engine = match opts.engine {
+    let other_engine = match config.engine {
         EngineKind::Flat => EngineKind::Hash,
         EngineKind::Hash => EngineKind::Flat,
     };
-    let cross_check = global_greedy_with(
-        &instance,
-        &GreedyOptions {
-            engine: other_engine,
-            ..opts
-        },
-    );
+    let cross_check = plan(&instance, &config.with_engine(other_engine));
     assert!(
         (outcome.revenue - cross_check.revenue).abs() < 1e-9,
         "flat and hash engines must agree to 1e-9: {} vs {}",

@@ -9,14 +9,21 @@
 //! downstream users can get going with a single `use revmax::prelude::*`.
 //!
 //! * [`core`] — the revenue model: instances, strategies, dynamic adoption
-//!   probabilities, marginal revenue, constraints, R-REVMAX.
+//!   probabilities, marginal revenue, constraints, adoption events and
+//!   residual instances, R-REVMAX.
 //! * [`algorithms`] — G-Greedy, SL/RL-Greedy, baselines, local search,
-//!   Max-DCS, and the timed runner.
+//!   Max-DCS, and the timed runner, all configured by one
+//!   [`PlannerConfig`](crate::algorithms::PlannerConfig) and driven through
+//!   [`plan`](crate::algorithms::plan).
+//! * [`serve`] — the serving layer: the asynchronous
+//!   [`PlanService`](crate::serve::PlanService) (submit → ticket →
+//!   wait/poll/cancel) and adoption-driven
+//!   [`PlanSession`](crate::serve::PlanSession) replanning.
 //! * [`recsys`] — the matrix-factorization substrate.
 //! * [`pricing`] — KDE, valuations, and the random-price Taylor extension.
 //! * [`data`] — synthetic dataset generators shaped like the paper's crawls.
 //!
-//! ## Quickstart
+//! ## Quickstart: one-shot planning
 //!
 //! ```
 //! use revmax::prelude::*;
@@ -36,10 +43,46 @@
 //!     .candidate(1, 1, &[0.4, 0.4], 3.2);
 //! let instance = b.build().unwrap();
 //!
-//! let outcome = global_greedy(&instance);
+//! let outcome = plan(&instance, &PlannerConfig::default());
 //! assert!(outcome.revenue > 0.0);
 //! assert!(outcome.strategy.validate(&instance).is_ok());
 //! ```
+//!
+//! ## Dynamic sessions: react to adoptions
+//!
+//! ```
+//! # use revmax::prelude::*;
+//! # let mut b = InstanceBuilder::new(2, 2, 3);
+//! # b.display_limit(1).item_class(0, 0).item_class(1, 0).beta(0, 0.5).beta(1, 0.5)
+//! #     .prices(0, &[99.0, 79.0, 59.0]).prices(1, &[49.0, 49.0, 49.0])
+//! #     .candidate(0, 0, &[0.3, 0.6, 0.5], 4.5).candidate(0, 1, &[0.7, 0.7, 0.6], 3.9)
+//! #     .candidate(1, 0, &[0.5, 0.8, 0.7], 4.8).candidate(1, 1, &[0.4, 0.4, 0.3], 3.2);
+//! # let instance = b.build().unwrap();
+//! let mut session = PlanSession::new(instance, PlannerConfig::default());
+//! let today = session.upcoming(); // what to display on day 1
+//! // … the storefront reports what actually happened …
+//! let events: Vec<AdoptionEvent> = today
+//!     .iter()
+//!     .map(|z| AdoptionEvent::rejected(z.user.0, z.item.0, z.t.value()))
+//!     .collect();
+//! let report = session.advance(&events).unwrap(); // replans days 2..=T
+//! assert!(report.expected_remaining_revenue >= 0.0);
+//! ```
+//!
+//! ## Migrating from the pre-unification API
+//!
+//! | Deprecated | Replacement |
+//! |---|---|
+//! | `GreedyOptions { engine, heap, shards, .. }` | [`PlannerConfig`](crate::algorithms::PlannerConfig) builder (`with_engine`, `with_heap`, `with_shards`, …) |
+//! | `LocalGreedyOptions { .. }` | `PlannerConfig` with `PlanAlgorithm::SequentialLocalGreedy` |
+//! | `global_greedy_with(inst, &opts)` | [`plan`](crate::algorithms::plan)`(inst, &config)` |
+//! | `local_greedy_with_order_opts(inst, order, &opts)` | [`plan_order`](crate::algorithms::plan_order)`(inst, order, &config)` |
+//! | `sharded_global_greedy` / `sharded_local_greedy` | `sharded_plan` / `sharded_plan_order` |
+//! | `GreedyOptions::from_env()` | `PlannerConfig::from_env()` (adds `REVMAX_ALGORITHM`, `REVMAX_SEED`) |
+//! | `BatchPlanner` / `PlanOptions` / `BatchAlgorithm` | [`PlanService`](crate::serve::PlanService) / `PlannerConfig` / `PlanAlgorithm` |
+//!
+//! Every deprecated entry point still compiles and produces an identical
+//! plan (the old structs convert into `PlannerConfig` via `From`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -54,13 +97,14 @@ pub use revmax_serve as serve;
 /// The most commonly used items across the workspace, re-exported flat.
 pub mod prelude {
     pub use revmax_algorithms::{
-        global_greedy, global_greedy_with, global_no_saturation, randomized_local_greedy, run,
+        global_greedy, global_no_saturation, plan, plan_order, randomized_local_greedy, run,
         sequential_local_greedy, solve_t1_exact, top_rating, top_revenue, Algorithm, EngineKind,
-        GreedyOptions, GreedyOutcome, HeapKind, RunReport,
+        GreedyOutcome, HeapKind, PlanAlgorithm, PlannerConfig, RunReport,
     };
     pub use revmax_core::{
-        revenue, IncrementalRevenue, Instance, InstanceBuilder, ItemId, Strategy, TimeStep, Triple,
-        UserId,
+        realized_revenue, residual_instance, revenue, shift_strategy, validate_events,
+        AdoptionEvent, AdoptionOutcome, EventError, IncrementalRevenue, Instance, InstanceBuilder,
+        ItemId, Strategy, TimeStep, Triple, UserId,
     };
     pub use revmax_data::{
         generate, generate_scalability, BetaSetting, CapacityDistribution, DatasetConfig,
@@ -68,7 +112,15 @@ pub mod prelude {
     };
     pub use revmax_pricing::{adoption_probability, GaussianKde, GaussianValuation, Valuation};
     pub use revmax_recsys::{MatrixFactorization, MfConfig, RatingSet};
-    pub use revmax_serve::{plan_batch, BatchAlgorithm, BatchPlanner, PlanOptions};
+    pub use revmax_serve::{
+        plan_batch, PlanService, PlanSession, PlanTicket, ReplanReport, TicketStatus,
+    };
+
+    // Deprecated pre-unification names, kept importable for compatibility.
+    #[allow(deprecated)]
+    pub use revmax_algorithms::{global_greedy_with, GreedyOptions, LocalGreedyOptions};
+    #[allow(deprecated)]
+    pub use revmax_serve::{BatchAlgorithm, BatchPlanner, PlanOptions};
 }
 
 #[cfg(test)]
@@ -79,8 +131,36 @@ mod tests {
     fn facade_reexports_work_together() {
         let config = DatasetConfig::tiny();
         let ds = generate(&config);
-        let out = global_greedy(&ds.instance);
+        let out = plan(&ds.instance, &PlannerConfig::default());
         assert!(out.revenue >= 0.0);
         assert!(out.strategy.validate(&ds.instance).is_ok());
+        // The convenience entry and the unified entry agree.
+        let direct = global_greedy(&ds.instance);
+        assert_eq!(out.revenue.to_bits(), direct.revenue.to_bits());
+    }
+
+    #[test]
+    fn facade_session_and_service_roundtrip() {
+        let config = DatasetConfig::tiny();
+        let ds = generate(&config);
+
+        let service = PlanService::new(1);
+        let ticket = service.submit(ds.instance.clone(), PlannerConfig::default());
+        let report = ticket.wait().expect("not cancelled");
+
+        let mut session = PlanSession::new(ds.instance.clone(), PlannerConfig::default());
+        assert_eq!(
+            session.planned_suffix().len(),
+            report.outcome.strategy.len()
+        );
+        if !session.is_exhausted() {
+            let events: Vec<AdoptionEvent> = session
+                .upcoming()
+                .iter()
+                .map(|z| AdoptionEvent::adopted(z.user.0, z.item.0, z.t.value()))
+                .collect();
+            session.advance(&events).expect("advance");
+            assert!(session.expected_total_revenue() >= session.realized_revenue());
+        }
     }
 }
