@@ -30,7 +30,7 @@
 
 use crate::global_greedy::{EngineKind, GreedyOutcome};
 use crate::heap::HeapKind;
-use revmax_core::{env, Instance};
+use revmax_core::{env, Instance, ResidualDelta};
 
 /// Which planning algorithm a [`PlannerConfig`] selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +81,15 @@ pub struct PlannerConfig {
     /// (default) lets each driver auto-decide by instance size, `Some(x)`
     /// forces it on or off. Parallel and sequential fills are bit-identical.
     pub parallel: Option<bool>,
+    /// Warm-start residual replans (off by default): when a replan comes
+    /// with a [`ResidualDelta`] (see [`plan_residual`]), engines recycle the
+    /// previous replan's saturation tables and arena buffers instead of
+    /// rebuilding them, and `revmax_serve::PlanSession` builds each residual
+    /// instance incrementally (`revmax_core::residual_advance`). Like every
+    /// other knob this is purely a performance switch — warm and cold
+    /// replans produce identical plans (asserted to 1e-9 for both engines at
+    /// shard counts 1 and 2).
+    pub warm_start: bool,
 }
 
 impl Default for PlannerConfig {
@@ -95,6 +104,7 @@ impl Default for PlannerConfig {
             two_level_heaps: true,
             track_trace: false,
             parallel: None,
+            warm_start: false,
         }
     }
 }
@@ -160,6 +170,13 @@ impl PlannerConfig {
         self
     }
 
+    /// Switches warm-started residual replans (see
+    /// [`PlannerConfig::warm_start`]).
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
     /// Default configuration with the environment knobs layered on top —
     /// shorthand for `PlannerConfig::default().env_overlay()`.
     pub fn from_env() -> Self {
@@ -174,7 +191,8 @@ impl PlannerConfig {
     /// * `REVMAX_ENGINE` — `flat` (default) or `hash`;
     /// * `REVMAX_HEAP` — `lazy` (default) or `dary` / `indexed_dary`;
     /// * `REVMAX_SHARDS` — shard count (`≥ 2` engages the sharded core);
-    /// * `REVMAX_SEED` — seed for the randomized algorithms.
+    /// * `REVMAX_SEED` — seed for the randomized algorithms;
+    /// * `REVMAX_WARM_START` — `1` enables warm-started residual replans.
     ///
     /// Unset or unparsable values keep the receiver's setting — selection
     /// must never change results (only speed), so a typo degrades
@@ -195,6 +213,9 @@ impl PlannerConfig {
         }
         if let Some(seed) = env::var::<u64>("REVMAX_SEED") {
             self.seed = seed;
+        }
+        if let Some(warm) = env::var::<u32>("REVMAX_WARM_START") {
+            self.warm_start = warm != 0;
         }
         self
     }
@@ -242,16 +263,30 @@ fn parse_heap(s: &str) -> Option<HeapKind> {
 /// Plans an instance with the configured algorithm — the single entry point
 /// the service layer, examples, and experiments are built on.
 pub fn plan(inst: &Instance, config: &PlannerConfig) -> GreedyOutcome {
+    plan_residual(inst, config, None)
+}
+
+/// [`plan`] for a **residual replan**: when `delta` is present and
+/// `config.warm_start` is set, the engines are constructed through
+/// [`revmax_core::RevenueEngine::warm_start`], recycling the saturation
+/// tables and buffers pooled in the delta's
+/// [`revmax_core::EngineSnapshot`]. Warm and cold runs produce identical
+/// plans; the delta is purely a performance handle.
+pub fn plan_residual(
+    inst: &Instance,
+    config: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
+) -> GreedyOutcome {
     match config.algorithm {
         PlanAlgorithm::GlobalGreedy | PlanAlgorithm::GlobalNoSaturation => {
-            crate::global_greedy::dispatch(inst, config)
+            crate::global_greedy::dispatch(inst, config, delta)
         }
         PlanAlgorithm::SequentialLocalGreedy => {
             let order: Vec<u32> = (1..=inst.horizon()).collect();
-            crate::local_greedy::dispatch_order(inst, &order, config)
+            crate::local_greedy::dispatch_order(inst, &order, config, delta)
         }
         PlanAlgorithm::RandomizedLocalGreedy { permutations } => {
-            crate::local_greedy::randomized_with(inst, config, permutations as usize)
+            crate::local_greedy::randomized_with(inst, config, permutations as usize, delta)
         }
     }
 }
@@ -261,7 +296,7 @@ pub fn plan(inst: &Instance, config: &PlannerConfig) -> GreedyOutcome {
 /// recommendations). The configured algorithm field is ignored; engine,
 /// heap, shards, and parallelism apply.
 pub fn plan_order(inst: &Instance, order: &[u32], config: &PlannerConfig) -> GreedyOutcome {
-    crate::local_greedy::dispatch_order(inst, order, config)
+    crate::local_greedy::dispatch_order(inst, order, config, None)
 }
 
 #[allow(deprecated)]
@@ -281,6 +316,7 @@ impl From<crate::global_greedy::GreedyOptions> for PlannerConfig {
             two_level_heaps: o.two_level_heaps,
             track_trace: o.track_trace,
             parallel: Some(o.parallel_init),
+            warm_start: false,
         }
     }
 }

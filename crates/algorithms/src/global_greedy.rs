@@ -34,8 +34,8 @@ use crate::config::PlannerConfig;
 use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
 use revmax_core::{
-    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine,
-    Strategy, TimeStep,
+    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, ResidualDelta,
+    RevenueEngine, Strategy, TimeStep,
 };
 
 /// Which incremental revenue engine backs a greedy run.
@@ -146,7 +146,7 @@ pub struct GreedyOutcome {
 
 /// Runs G-Greedy with the default configuration.
 pub fn global_greedy(inst: &Instance) -> GreedyOutcome {
-    dispatch(inst, &PlannerConfig::default())
+    dispatch(inst, &PlannerConfig::default(), None)
 }
 
 /// Runs the `GlobalNo` ablation: saturation is ignored during selection, the
@@ -155,6 +155,7 @@ pub fn global_no_saturation(inst: &Instance) -> GreedyOutcome {
     dispatch(
         inst,
         &PlannerConfig::default().with_algorithm(crate::config::PlanAlgorithm::GlobalNoSaturation),
+        None,
     )
 }
 
@@ -162,27 +163,55 @@ pub fn global_no_saturation(inst: &Instance) -> GreedyOutcome {
 #[deprecated(since = "0.2.0", note = "use plan with a PlannerConfig")]
 #[allow(deprecated)]
 pub fn global_greedy_with(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
-    dispatch(inst, &PlannerConfig::from(*opts))
+    dispatch(inst, &PlannerConfig::from(*opts), None)
 }
 
-/// The G-Greedy driver dispatch: shard count, engine, heap layout.
-pub(crate) fn dispatch(inst: &Instance, cfg: &PlannerConfig) -> GreedyOutcome {
+/// Constructs the engine for a driver: warm-started from the delta's
+/// snapshot when the configuration asks for it, cold otherwise.
+pub(crate) fn make_engine<'a, E: RevenueEngine<'a>>(
+    inst: &'a Instance,
+    ignore_saturation: bool,
+    shard: revmax_core::UserShard,
+    cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
+) -> E {
+    match delta {
+        Some(delta) if cfg.warm_start => E::warm_start(inst, ignore_saturation, shard, delta),
+        _ => E::for_shard(inst, ignore_saturation, shard),
+    }
+}
+
+/// The G-Greedy driver dispatch: shard count, engine, heap layout. `delta`
+/// is the warm-start handle of a residual replan (`None` for one-shot plans).
+pub(crate) fn dispatch(
+    inst: &Instance,
+    cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
+) -> GreedyOutcome {
     if cfg.shards > 1 {
-        return crate::sharded::sharded_plan(inst, cfg, cfg.shards as usize);
+        return crate::sharded::sharded_plan_residual(inst, cfg, cfg.shards as usize, delta);
     }
     use EngineKind::{Flat, Hash};
     use HeapKind::{IndexedDary, Lazy};
     type FlatEng<'i> = IncrementalRevenue<'i>;
     type HashEng<'i> = HashIncrementalRevenue<'i>;
     match (cfg.engine, cfg.two_level_heaps, cfg.heap) {
-        (Flat, true, Lazy) => two_level_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, cfg),
-        (Flat, true, IndexedDary) => two_level_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg),
-        (Flat, false, Lazy) => giant_heap_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, cfg),
-        (Flat, false, IndexedDary) => giant_heap_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg),
-        (Hash, true, Lazy) => two_level_greedy::<HashEng<'_>, LazyMaxHeap>(inst, cfg),
-        (Hash, true, IndexedDary) => two_level_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, cfg),
-        (Hash, false, Lazy) => giant_heap_greedy::<HashEng<'_>, LazyMaxHeap>(inst, cfg),
-        (Hash, false, IndexedDary) => giant_heap_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, cfg),
+        (Flat, true, Lazy) => two_level_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, cfg, delta),
+        (Flat, true, IndexedDary) => {
+            two_level_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg, delta)
+        }
+        (Flat, false, Lazy) => giant_heap_greedy::<FlatEng<'_>, LazyMaxHeap>(inst, cfg, delta),
+        (Flat, false, IndexedDary) => {
+            giant_heap_greedy::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg, delta)
+        }
+        (Hash, true, Lazy) => two_level_greedy::<HashEng<'_>, LazyMaxHeap>(inst, cfg, delta),
+        (Hash, true, IndexedDary) => {
+            two_level_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, cfg, delta)
+        }
+        (Hash, false, Lazy) => giant_heap_greedy::<HashEng<'_>, LazyMaxHeap>(inst, cfg, delta),
+        (Hash, false, IndexedDary) => {
+            giant_heap_greedy::<HashEng<'_>, IndexedDaryHeap>(inst, cfg, delta)
+        }
     }
 }
 
@@ -335,9 +364,16 @@ fn finish<'a, E: RevenueEngine<'a>>(
 fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
 ) -> GreedyOutcome {
     let num_cand = inst.num_candidates();
-    let mut inc = E::with_options(inst, cfg.ignores_saturation());
+    let mut inc: E = make_engine(
+        inst,
+        cfg.ignores_saturation(),
+        inst.full_shard(),
+        cfg,
+        delta,
+    );
     let mut trace = Vec::new();
     let mut evals: u64 = 0;
 
@@ -429,9 +465,16 @@ fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
 fn giant_heap_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
 ) -> GreedyOutcome {
     let horizon = inst.horizon() as usize;
-    let mut inc = E::with_options(inst, cfg.ignores_saturation());
+    let mut inc: E = make_engine(
+        inst,
+        cfg.ignores_saturation(),
+        inst.full_shard(),
+        cfg,
+        delta,
+    );
     let mut trace = Vec::new();
     let mut evals: u64 = 0;
 
@@ -538,7 +581,11 @@ mod tests {
     #[test]
     fn never_selects_negative_marginals() {
         let inst = small_instance();
-        let out = dispatch(&inst, &PlannerConfig::default().with_track_trace(true));
+        let out = dispatch(
+            &inst,
+            &PlannerConfig::default().with_track_trace(true),
+            None,
+        );
         // The traced objective must be non-decreasing (every accepted marginal > 0).
         for w in out.trace.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "objective decreased: {:?}", w);
@@ -591,8 +638,12 @@ mod tests {
     #[test]
     fn giant_heap_and_two_level_agree() {
         let inst = small_instance();
-        let two = dispatch(&inst, &PlannerConfig::default());
-        let giant = dispatch(&inst, &PlannerConfig::default().with_two_level_heaps(false));
+        let two = dispatch(&inst, &PlannerConfig::default(), None);
+        let giant = dispatch(
+            &inst,
+            &PlannerConfig::default().with_two_level_heaps(false),
+            None,
+        );
         assert!((two.revenue - giant.revenue).abs() < 1e-9);
         assert_eq!(two.strategy.len(), giant.strategy.len());
     }
@@ -604,12 +655,14 @@ mod tests {
             let flat = dispatch(
                 &inst,
                 &PlannerConfig::default().with_two_level_heaps(two_level),
+                None,
             );
             let hash = dispatch(
                 &inst,
                 &PlannerConfig::default()
                     .with_two_level_heaps(two_level)
                     .with_engine(EngineKind::Hash),
+                None,
             );
             assert!((flat.revenue - hash.revenue).abs() < 1e-9);
             assert_eq!(flat.strategy.len(), hash.strategy.len());
@@ -622,8 +675,12 @@ mod tests {
     #[test]
     fn lazy_forward_does_not_change_the_result_but_saves_evaluations() {
         let inst = small_instance();
-        let lazy = dispatch(&inst, &PlannerConfig::default());
-        let eager = dispatch(&inst, &PlannerConfig::default().with_lazy_forward(false));
+        let lazy = dispatch(&inst, &PlannerConfig::default(), None);
+        let eager = dispatch(
+            &inst,
+            &PlannerConfig::default().with_lazy_forward(false),
+            None,
+        );
         assert!((lazy.revenue - eager.revenue).abs() < 1e-9);
         assert!(lazy.marginal_evaluations <= eager.marginal_evaluations);
     }

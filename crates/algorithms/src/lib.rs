@@ -48,7 +48,7 @@ pub mod staged;
 
 pub use baselines::{top_rating, top_revenue};
 pub use capacity_oracle::MonteCarloOracle;
-pub use config::{plan, plan_order, PlanAlgorithm, PlannerConfig};
+pub use config::{plan, plan_order, plan_residual, PlanAlgorithm, PlannerConfig};
 pub use exhaustive::{candidate_triples, exact_optimum, ExactOutcome};
 pub use global_greedy::{global_greedy, global_no_saturation, EngineKind, GreedyOutcome};
 pub use heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
@@ -61,7 +61,10 @@ pub use local_search::{
 };
 pub use max_dcs::{solve_t1_exact, MaxDcsOutcome};
 pub use runner::{run, Algorithm, RunReport};
-pub use sharded::{shard_users, sharded_plan, sharded_plan_order};
+pub use sharded::{
+    shard_users, sharded_plan, sharded_plan_order, sharded_plan_order_residual,
+    sharded_plan_residual,
+};
 pub use staged::{global_greedy_staged, randomized_local_greedy_staged, stages_from_ends};
 
 // The deprecated pre-unification entry points stay importable from the crate

@@ -21,7 +21,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use revmax_core::{
-    CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine, TimeStep,
+    CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, ResidualDelta,
+    RevenueEngine, TimeStep,
 };
 use std::collections::HashSet;
 
@@ -77,7 +78,7 @@ pub fn sequential_local_greedy(inst: &Instance) -> GreedyOutcome {
 /// (only those time steps receive recommendations), which the incomplete-price
 /// experiments use.
 pub fn local_greedy_with_order(inst: &Instance, order: &[u32]) -> GreedyOutcome {
-    dispatch_order(inst, order, &PlannerConfig::default())
+    dispatch_order(inst, order, &PlannerConfig::default(), None)
 }
 
 /// [`local_greedy_with_order`] with explicit engine / parallelism options.
@@ -88,27 +89,39 @@ pub fn local_greedy_with_order_opts(
     order: &[u32],
     opts: &LocalGreedyOptions,
 ) -> GreedyOutcome {
-    dispatch_order(inst, order, &PlannerConfig::from(*opts))
+    dispatch_order(inst, order, &PlannerConfig::from(*opts), None)
 }
 
-/// The per-time-step driver dispatch: shard count, engine, heap.
-pub(crate) fn dispatch_order(inst: &Instance, order: &[u32], cfg: &PlannerConfig) -> GreedyOutcome {
+/// The per-time-step driver dispatch: shard count, engine, heap. `delta` is
+/// the warm-start handle of a residual replan (`None` for one-shot plans).
+pub(crate) fn dispatch_order(
+    inst: &Instance,
+    order: &[u32],
+    cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
+) -> GreedyOutcome {
     if cfg.shards > 1 {
-        return crate::sharded::sharded_plan_order(inst, order, cfg, cfg.shards as usize);
+        return crate::sharded::sharded_plan_order_residual(
+            inst,
+            order,
+            cfg,
+            cfg.shards as usize,
+            delta,
+        );
     }
     use HeapKind::{IndexedDary, Lazy};
     match (cfg.engine, cfg.heap) {
         (EngineKind::Flat, Lazy) => {
-            run_order::<IncrementalRevenue<'_>, LazyMaxHeap>(inst, order, cfg)
+            run_order::<IncrementalRevenue<'_>, LazyMaxHeap>(inst, order, cfg, delta)
         }
         (EngineKind::Flat, IndexedDary) => {
-            run_order::<IncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, cfg)
+            run_order::<IncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, cfg, delta)
         }
         (EngineKind::Hash, Lazy) => {
-            run_order::<HashIncrementalRevenue<'_>, LazyMaxHeap>(inst, order, cfg)
+            run_order::<HashIncrementalRevenue<'_>, LazyMaxHeap>(inst, order, cfg, delta)
         }
         (EngineKind::Hash, IndexedDary) => {
-            run_order::<HashIncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, cfg)
+            run_order::<HashIncrementalRevenue<'_>, IndexedDaryHeap>(inst, order, cfg, delta)
         }
     }
 }
@@ -117,8 +130,9 @@ fn run_order<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     order: &[u32],
     cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
 ) -> GreedyOutcome {
-    let mut inc = E::with_options(inst, false);
+    let mut inc: E = crate::global_greedy::make_engine(inst, false, inst.full_shard(), cfg, delta);
     let mut evals = 0u64;
     let mut trace = Vec::new();
     let parallel = cfg
@@ -235,6 +249,7 @@ pub fn randomized_local_greedy(inst: &Instance, permutations: usize, seed: u64) 
         inst,
         &PlannerConfig::default().with_seed(seed),
         permutations,
+        None,
     )
 }
 
@@ -243,6 +258,7 @@ pub(crate) fn randomized_with(
     inst: &Instance,
     cfg: &PlannerConfig,
     permutations: usize,
+    delta: Option<&ResidualDelta>,
 ) -> GreedyOutcome {
     let orders = sample_permutations(inst.horizon(), permutations, cfg.seed);
     let threads = std::thread::available_parallelism()
@@ -262,7 +278,7 @@ pub(crate) fn randomized_with(
     let results: Vec<GreedyOutcome> = if !concurrent_orders {
         orders
             .iter()
-            .map(|o| dispatch_order(inst, o, &inner))
+            .map(|o| dispatch_order(inst, o, &inner, delta))
             .collect()
     } else {
         let chunks: Vec<&[Vec<u32>]> = orders.chunks(orders.len().div_ceil(threads)).collect();
@@ -273,7 +289,7 @@ pub(crate) fn randomized_with(
                     scope.spawn(move || {
                         chunk
                             .iter()
-                            .map(|o| dispatch_order(inst, o, &inner))
+                            .map(|o| dispatch_order(inst, o, &inner, delta))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -376,11 +392,13 @@ mod tests {
             &inst,
             &order,
             &PlannerConfig::default().with_parallel(Some(false)),
+            None,
         );
         let par = dispatch_order(
             &inst,
             &order,
             &PlannerConfig::default().with_parallel(Some(true)),
+            None,
         );
         assert_eq!(seq.revenue.to_bits(), par.revenue.to_bits());
         assert_eq!(seq.strategy.as_slice(), par.strategy.as_slice());
@@ -395,6 +413,7 @@ mod tests {
             &inst,
             &order,
             &PlannerConfig::default().with_engine(EngineKind::Hash),
+            None,
         );
         assert!((flat.revenue - hash.revenue).abs() < 1e-9);
         assert_eq!(flat.strategy.len(), hash.strategy.len());

@@ -59,12 +59,12 @@
 //! differs.
 
 use crate::config::PlannerConfig;
-use crate::global_greedy::{CandidateTable, EngineKind, GreedyOutcome};
+use crate::global_greedy::{make_engine, CandidateTable, EngineKind, GreedyOutcome};
 use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
 use revmax_core::{
-    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, RevenueEngine,
-    SharedCapacityLedger, Strategy, TimeStep, Triple, UserShard,
+    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, ResidualDelta,
+    RevenueEngine, SharedCapacityLedger, Strategy, TimeStep, Triple, UserShard,
 };
 
 /// Cuts the instance into at most `pieces` user shards whose candidate ranges
@@ -121,8 +121,14 @@ struct GreedyShard<'a, E, H> {
 }
 
 impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
-    fn new(inst: &'a Instance, cfg: &PlannerConfig, shard: UserShard, parallel: bool) -> Self {
-        let inc = E::for_shard(inst, cfg.ignores_saturation(), shard);
+    fn new(
+        inst: &'a Instance,
+        cfg: &PlannerConfig,
+        shard: UserShard,
+        parallel: bool,
+        delta: Option<&ResidualDelta>,
+    ) -> Self {
+        let inc: E = make_engine(inst, cfg.ignores_saturation(), shard, cfg, delta);
         let table = CandidateTable::for_range(inst, shard.cand_start(), shard.cand_end(), parallel);
         let n = shard.num_candidates();
         let mut roots = vec![f64::NEG_INFINITY; n];
@@ -167,6 +173,7 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
         let (local_idx, _) = self.held.expect("step requires a held move");
         let cand = CandidateId(self.shard.cand_start() + local_idx);
         let item = inst.candidate_item(cand);
+        let user = inst.candidate_user(cand);
 
         // Drain display-dead slots in one visit (see the sequential driver
         // for why this commutes); capacity exhaustion retires the candidate.
@@ -178,7 +185,7 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
         while let Some((best_t, best_v)) = self.table.best(local_idx) {
             let t = TimeStep::from_index(best_t);
             let display_bad = self.inc.would_violate_display_cand(cand, t);
-            let capacity_bad = !self.counted[local_idx as usize] && ledger.is_full(item);
+            let capacity_bad = !self.counted[local_idx as usize] && ledger.is_full_for(item, user);
             if display_bad {
                 // The (user, t) slot is full: this time step is dead for
                 // this candidate, other time steps may still be fine.
@@ -207,11 +214,10 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
                 let marginal = self.inc.insert_cand(cand, t);
                 if !self.counted[local_idx as usize] {
                     self.counted[local_idx as usize] = true;
-                    let granted = ledger.try_claim(item);
+                    let granted = ledger.try_claim_for(item, user);
                     debug_assert!(granted, "arbitrated claim must never be denied");
                 }
                 self.table.block(local_idx, best_t);
-                let user = inst.candidate_user(cand);
                 outcome = Step::Inserted {
                     z: Triple { user, item, t },
                     marginal,
@@ -263,21 +269,33 @@ fn refresh_held<H: GreedyHeap>(
 /// two-level heap layout is always used. The returned strategy's insertion
 /// order is the coordinator order, i.e. the sequential selection order.
 pub fn sharded_plan(inst: &Instance, cfg: &PlannerConfig, pieces: usize) -> GreedyOutcome {
+    sharded_plan_residual(inst, cfg, pieces, None)
+}
+
+/// [`sharded_plan`] for a residual replan: `delta` (with
+/// `cfg.warm_start`) warm-starts each shard engine from the session's
+/// snapshot pool. `None` is a one-shot (cold) plan.
+pub fn sharded_plan_residual(
+    inst: &Instance,
+    cfg: &PlannerConfig,
+    pieces: usize,
+    delta: Option<&ResidualDelta>,
+) -> GreedyOutcome {
     use HeapKind::{IndexedDary, Lazy};
     type FlatEng<'i> = IncrementalRevenue<'i>;
     type HashEng<'i> = HashIncrementalRevenue<'i>;
     match (cfg.engine, cfg.heap) {
         (EngineKind::Flat, Lazy) => {
-            sharded_global_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, cfg, pieces)
+            sharded_global_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, cfg, pieces, delta)
         }
         (EngineKind::Flat, IndexedDary) => {
-            sharded_global_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg, pieces)
+            sharded_global_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, cfg, pieces, delta)
         }
         (EngineKind::Hash, Lazy) => {
-            sharded_global_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, cfg, pieces)
+            sharded_global_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, cfg, pieces, delta)
         }
         (EngineKind::Hash, IndexedDary) => {
-            sharded_global_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, cfg, pieces)
+            sharded_global_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, cfg, pieces, delta)
         }
     }
 }
@@ -297,13 +315,14 @@ fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     cfg: &PlannerConfig,
     pieces: usize,
+    delta: Option<&ResidualDelta>,
 ) -> GreedyOutcome {
     let shards = shard_users(inst, pieces);
     let single = shards.len() == 1;
     let ledger = SharedCapacityLedger::new(inst);
     let mut workers: Vec<GreedyShard<'a, E, H>> = par::scoped_map(
         shards,
-        |shard| GreedyShard::new(inst, cfg, shard, single && cfg.parallel_init()),
+        |shard| GreedyShard::new(inst, cfg, shard, single && cfg.parallel_init(), delta),
         cfg.parallel_init(),
     );
 
@@ -366,6 +385,12 @@ fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         }
     }
 
+    // Release the shard engines through into_strategy so warm-started ones
+    // return their recycled buffers to the session's snapshot pool.
+    for w in workers {
+        let _ = w.inc.into_strategy();
+    }
+
     let mut strategy = Strategy::with_capacity(picks.len());
     for z in picks {
         strategy.insert(z);
@@ -410,21 +435,37 @@ pub fn sharded_plan_order(
     cfg: &PlannerConfig,
     pieces: usize,
 ) -> GreedyOutcome {
+    sharded_plan_order_residual(inst, order, cfg, pieces, None)
+}
+
+/// [`sharded_plan_order`] for a residual replan (see
+/// [`sharded_plan_residual`]).
+pub fn sharded_plan_order_residual(
+    inst: &Instance,
+    order: &[u32],
+    cfg: &PlannerConfig,
+    pieces: usize,
+    delta: Option<&ResidualDelta>,
+) -> GreedyOutcome {
     use HeapKind::{IndexedDary, Lazy};
     type FlatEng<'i> = IncrementalRevenue<'i>;
     type HashEng<'i> = HashIncrementalRevenue<'i>;
     match (cfg.engine, cfg.heap) {
         (EngineKind::Flat, Lazy) => {
-            sharded_local_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, order, cfg, pieces)
+            sharded_local_greedy_impl::<FlatEng<'_>, LazyMaxHeap>(inst, order, cfg, pieces, delta)
         }
         (EngineKind::Flat, IndexedDary) => {
-            sharded_local_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(inst, order, cfg, pieces)
+            sharded_local_greedy_impl::<FlatEng<'_>, IndexedDaryHeap>(
+                inst, order, cfg, pieces, delta,
+            )
         }
         (EngineKind::Hash, Lazy) => {
-            sharded_local_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, order, cfg, pieces)
+            sharded_local_greedy_impl::<HashEng<'_>, LazyMaxHeap>(inst, order, cfg, pieces, delta)
         }
         (EngineKind::Hash, IndexedDary) => {
-            sharded_local_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(inst, order, cfg, pieces)
+            sharded_local_greedy_impl::<HashEng<'_>, IndexedDaryHeap>(
+                inst, order, cfg, pieces, delta,
+            )
         }
     }
 }
@@ -446,6 +487,7 @@ fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     order: &[u32],
     cfg: &PlannerConfig,
     pieces: usize,
+    delta: Option<&ResidualDelta>,
 ) -> GreedyOutcome {
     let shards = shard_users(inst, pieces);
     let ledger = SharedCapacityLedger::new(inst);
@@ -457,7 +499,7 @@ fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     let mut workers: Vec<LocalShard<'a, E>> = par::scoped_map(
         shards,
         |shard| LocalShard {
-            inc: E::for_shard(inst, false, shard),
+            inc: make_engine(inst, false, shard, cfg, delta),
             counted: vec![false; shard.num_candidates()],
             shard,
             _inst: std::marker::PhantomData,
@@ -521,8 +563,9 @@ fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
                 let (local_idx, _) = frontier.held.expect("leader holds a move");
                 let cand = CandidateId(w.shard.cand_start() + local_idx);
                 let item = inst.candidate_item(cand);
+                let user = inst.candidate_user(cand);
                 let display_bad = w.inc.would_violate_display_cand(cand, t);
-                let capacity_bad = !w.counted[local_idx as usize] && ledger.is_full(item);
+                let capacity_bad = !w.counted[local_idx as usize] && ledger.is_full_for(item, user);
                 let requeue = if display_bad || capacity_bad {
                     None
                 } else {
@@ -531,11 +574,10 @@ fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
                         let marginal = w.inc.insert_cand(cand, t);
                         if !w.counted[local_idx as usize] {
                             w.counted[local_idx as usize] = true;
-                            let granted = ledger.try_claim(item);
+                            let granted = ledger.try_claim_for(item, user);
                             debug_assert!(granted, "arbitrated claim must never be denied");
                         }
                         running_revenue += marginal;
-                        let user = inst.candidate_user(cand);
                         picks.push(Triple { user, item, t });
                         trace.push(running_revenue);
                         None
@@ -560,6 +602,11 @@ fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
                 }
             }
         }
+    }
+
+    // Release the shard engines (returns warm buffers to the pool).
+    for w in workers {
+        let _ = w.inc.into_strategy();
     }
 
     let mut strategy = Strategy::with_capacity(picks.len());

@@ -40,18 +40,37 @@
 //!   on time *differences* and the residual time axis `t' = t − now`
 //!   preserves them, so the residual instance's own memory/competition terms
 //!   are already correct.
-//! * **Capacity is pre-charged.** Each item's residual capacity is its
-//!   original capacity minus the distinct users it was already displayed to.
-//!   This is conservative: re-displaying an item to a user who already saw
-//!   it would consume no *original* capacity but is charged a residual unit
-//!   (the residual instance has no notion of exempt users). A residual-valid
-//!   plan is therefore always valid — and optimal re-display decisions are
-//!   unaffected unless an item sits exactly at capacity.
+//! * **Capacity is pre-charged, prefix pairs are exempt.** Each item's
+//!   residual capacity is its original capacity minus the distinct users it
+//!   was already displayed to, and every displayed `(item, user)` pair is
+//!   registered as an **exempt pair** on the residual instance
+//!   ([`Instance::is_exempt`]): re-displaying the item to such a user
+//!   consumed its single unit of *original* capacity already, so it is not
+//!   charged a residual unit again. Residual capacity semantics are
+//!   therefore **exact**: a residual-valid plan is valid, and a valid
+//!   continuation of the original plan is residual-valid. The historical
+//!   conservative semantics — no exempt sets, so re-displays to prefix
+//!   users double-charge and can be spuriously blocked at capacity — remain
+//!   available behind [`ResidualMode::Conservative`] for parity tests.
 //!
 //! Prices simply shift: `p'(i, t') = p(i, now + t')`.
+//!
+//! # Incremental residual construction
+//!
+//! [`residual_advance`] builds the residual at frontier `now` from the
+//! residual at the previous frontier instead of from scratch: candidate rows
+//! of **untouched** (user, class) groups are a pure left-shift of the
+//! previous residual's rows (memory depends only on absolute display times,
+//! so the shifted values are bit-identical to a recomputation), and only the
+//! **prefix-adjacent** groups — those of users with events in the advance,
+//! listed in [`ResidualDelta::touched_users`] — are rebuilt from the
+//! original instance. The result is bit-identical to
+//! [`residual_of_validated`] on the cumulative history, which the property
+//! suites assert.
 
-use crate::ids::{ItemId, TimeStep, Triple, UserId};
-use crate::instance::{Instance, InstanceBuilder};
+use crate::ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
+use crate::instance::{ExemptSets, Instance, InstanceBuilder};
+use crate::revenue::ResidualDelta;
 use crate::strategy::Strategy;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -247,9 +266,26 @@ pub fn shift_strategy(strategy: &Strategy, offset: u32) -> Strategy {
     shifted
 }
 
+/// How a residual instance accounts the capacity already consumed by the
+/// prefix (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidualMode {
+    /// Exact semantics (the default): capacity is pre-charged per distinct
+    /// displayed user **and** each displayed `(item, user)` pair is exempt,
+    /// so re-displays are never double-charged.
+    #[default]
+    Exempt,
+    /// The historical conservative semantics: capacity is pre-charged but no
+    /// exempt sets are registered, so a re-display to a prefix user is
+    /// double-charged (and blocked once the item sits at capacity). Kept for
+    /// parity tests against the pre-exemption behaviour.
+    Conservative,
+}
+
 /// Conditions an instance on a realized prefix of events, producing the
 /// residual instance over the remaining horizon `now+1 ..= T` (re-indexed to
-/// `1 ..= T − now`). See the module docs for the exact semantics.
+/// `1 ..= T − now`), with exact ([`ResidualMode::Exempt`]) capacity
+/// semantics. See the module docs.
 ///
 /// `events` must all lie at `t ≤ now` and `now` must leave at least one
 /// remaining time step (`now < T`). Candidate pairs whose future is entirely
@@ -261,13 +297,23 @@ pub fn residual_instance(
     events: &[AdoptionEvent],
     now: u32,
 ) -> Result<Instance, EventError> {
+    residual_instance_with(inst, events, now, ResidualMode::Exempt)
+}
+
+/// [`residual_instance`] with an explicit capacity-accounting mode.
+pub fn residual_instance_with(
+    inst: &Instance,
+    events: &[AdoptionEvent],
+    now: u32,
+    mode: ResidualMode,
+) -> Result<Instance, EventError> {
     if now >= inst.horizon() {
         return Err(EventError::ExhaustedHorizon {
             horizon: inst.horizon(),
         });
     }
     validate_events(inst, events, now)?;
-    Ok(residual_of_validated(inst, events, now))
+    Ok(residual_of_validated_with(inst, events, now, mode))
 }
 
 /// [`residual_instance`] for callers that have already run
@@ -276,16 +322,24 @@ pub fn residual_instance(
 /// once. Skips the `O(events)` re-validation; the preconditions are checked
 /// only in debug builds.
 pub fn residual_of_validated(inst: &Instance, events: &[AdoptionEvent], now: u32) -> Instance {
+    residual_of_validated_with(inst, events, now, ResidualMode::Exempt)
+}
+
+/// [`residual_of_validated`] with an explicit capacity-accounting mode.
+pub fn residual_of_validated_with(
+    inst: &Instance,
+    events: &[AdoptionEvent],
+    now: u32,
+    mode: ResidualMode,
+) -> Instance {
     debug_assert!(now < inst.horizon(), "residual requires now < T");
     debug_assert!(validate_events(inst, events, now).is_ok());
     let remaining = (inst.horizon() - now) as usize;
 
     // Per (user, class) prefix state: did the user adopt in the class, and at
     // which times was the class displayed (for the residual memory factor).
-    let mut adopted: HashSet<(UserId, crate::ids::ClassId)> = HashSet::new();
-    let mut displays: HashMap<(UserId, crate::ids::ClassId), Vec<u32>> = HashMap::new();
-    // Distinct (item, user) display pairs — the capacity already consumed.
-    let mut charged: HashSet<(ItemId, UserId)> = HashSet::new();
+    let mut adopted: HashSet<(UserId, ClassId)> = HashSet::new();
+    let mut displays: HashMap<(UserId, ClassId), Vec<u32>> = HashMap::new();
     for e in events {
         let class = inst.class_of(e.item);
         displays
@@ -295,27 +349,10 @@ pub fn residual_of_validated(inst: &Instance, events: &[AdoptionEvent], now: u32
         if e.is_adoption() {
             adopted.insert((e.user, class));
         }
-        charged.insert((e.item, e.user));
-    }
-    let mut residual_capacity: Vec<u32> = (0..inst.num_items())
-        .map(|i| inst.capacity(ItemId(i)))
-        .collect();
-    for (item, _user) in &charged {
-        let slot = &mut residual_capacity[item.index()];
-        *slot = slot.saturating_sub(1);
     }
 
     let mut b = InstanceBuilder::new(inst.num_users(), inst.num_items(), remaining as u32);
-    b.display_limit(inst.display_limit());
-    for i in 0..inst.num_items() {
-        let item = ItemId(i);
-        // Class labels are already dense and in first-appearance order, so
-        // the builder's densification reproduces them exactly.
-        b.item_class(i, inst.class_of(item).0)
-            .beta(i, inst.beta(item))
-            .capacity(i, residual_capacity[item.index()])
-            .prices(i, &inst.price_series(item)[now as usize..]);
-    }
+    seed_residual_items(&mut b, inst, events, now, mode);
 
     let mut probs = vec![0.0f64; remaining];
     for cand in inst.candidates() {
@@ -324,22 +361,8 @@ pub fn residual_of_validated(inst: &Instance, events: &[AdoptionEvent], now: u32
         if adopted.contains(&(user, class)) {
             continue; // the class is closed for this user
         }
-        let beta = inst.beta(inst.candidate_item(cand));
         let prefix_times = displays.get(&(user, class)).map_or(&[][..], Vec::as_slice);
-        let original = inst.candidate_probs(cand);
-        let mut any_positive = false;
-        for (idx, slot) in probs.iter_mut().enumerate() {
-            let t = now + idx as u32 + 1;
-            let q = original[(t - 1) as usize];
-            if q == 0.0 {
-                *slot = 0.0;
-                continue;
-            }
-            let memory: f64 = prefix_times.iter().map(|&tau| 1.0 / (t - tau) as f64).sum();
-            *slot = q * beta.powf(memory);
-            any_positive |= *slot > 0.0;
-        }
-        if any_positive {
+        if fill_residual_row(inst, cand, now, prefix_times, &mut probs) {
             b.candidate(
                 user.0,
                 inst.candidate_item(cand).0,
@@ -354,6 +377,211 @@ pub fn residual_of_validated(inst: &Instance, events: &[AdoptionEvent], now: u32
         // All inputs were derived from an already-valid instance.
         Err(e) => unreachable!("residual construction produced an invalid instance: {e:?}"),
     }
+}
+
+/// Seeds the item axis of a residual builder: classes, betas, shifted
+/// prices, pre-charged capacities, and (in exempt mode) the exempt sets of
+/// the distinct displayed `(item, user)` pairs.
+fn seed_residual_items(
+    b: &mut InstanceBuilder,
+    inst: &Instance,
+    events: &[AdoptionEvent],
+    now: u32,
+    mode: ResidualMode,
+) {
+    // Distinct (item, user) display pairs — the capacity already consumed.
+    let mut charged: HashSet<(ItemId, UserId)> = HashSet::with_capacity(events.len());
+    for e in events {
+        charged.insert((e.item, e.user));
+    }
+    let mut residual_capacity: Vec<u32> = (0..inst.num_items())
+        .map(|i| inst.capacity(ItemId(i)))
+        .collect();
+    for (item, user) in &charged {
+        let slot = &mut residual_capacity[item.index()];
+        *slot = slot.saturating_sub(1);
+        if mode == ResidualMode::Exempt {
+            // The pair's unit of original capacity is spent; a re-display
+            // must not be charged a residual unit on top.
+            b.exempt_user(item.0, user.0);
+        }
+    }
+
+    b.display_limit(inst.display_limit());
+    for i in 0..inst.num_items() {
+        let item = ItemId(i);
+        // Class labels are already dense and in first-appearance order, so
+        // the builder's densification reproduces them exactly.
+        b.item_class(i, inst.class_of(item).0)
+            .beta(i, inst.beta(item))
+            .capacity(i, residual_capacity[item.index()])
+            .prices(i, &inst.price_series(item)[now as usize..]);
+    }
+}
+
+/// Fills `probs` with the residual primitive probabilities of `cand` (a
+/// candidate of the **original** instance) at frontier `now`, folding the
+/// class's prefix display times into the memory factor. Returns whether any
+/// entry is positive. Shared between the from-scratch and the incremental
+/// residual constructions so both produce bit-identical rows.
+fn fill_residual_row(
+    inst: &Instance,
+    cand: CandidateId,
+    now: u32,
+    prefix_times: &[u32],
+    probs: &mut [f64],
+) -> bool {
+    let beta = inst.beta(inst.candidate_item(cand));
+    let original = inst.candidate_probs(cand);
+    let mut any_positive = false;
+    for (idx, slot) in probs.iter_mut().enumerate() {
+        let t = now + idx as u32 + 1;
+        let q = original[(t - 1) as usize];
+        if q == 0.0 {
+            *slot = 0.0;
+            continue;
+        }
+        let memory: f64 = prefix_times.iter().map(|&tau| 1.0 / (t - tau) as f64).sum();
+        *slot = q * beta.powf(memory);
+        any_positive |= *slot > 0.0;
+    }
+    any_positive
+}
+
+/// Builds the residual instance at frontier `delta.now()` **incrementally**
+/// from the residual at the previous frontier, rebuilding only the
+/// prefix-adjacent groups (users in [`ResidualDelta::touched_users`]) and
+/// left-shifting every other candidate row of `prev` by [`ResidualDelta::step`].
+/// Always uses [`ResidualMode::Exempt`] semantics.
+///
+/// The result is **bit-identical** to
+/// `residual_of_validated(inst, events, delta.now())` — memory factors
+/// depend only on absolute display times, so a shifted row equals a
+/// recomputed one — and the instance is assembled directly from the
+/// pre-validated parts (no [`InstanceBuilder`] re-validation, allocation,
+/// or sorting: a previous residual's CSR walk is already in candidate
+/// order), so an advance costs a row copy per untouched candidate plus a
+/// rebuild per prefix-adjacent one.
+///
+/// Preconditions (checked in debug builds): `events` is the cumulative
+/// validated history at `delta.now() < T`, and `prev` is the residual of
+/// `inst` at frontier `delta.now() - delta.step()` under the same history
+/// minus the advance's batch.
+pub fn residual_advance(
+    inst: &Instance,
+    prev: &Instance,
+    events: &[AdoptionEvent],
+    delta: &ResidualDelta,
+) -> Instance {
+    let now = delta.now();
+    let step = delta.step();
+    debug_assert!(now < inst.horizon(), "residual requires now < T");
+    debug_assert!(validate_events(inst, events, now).is_ok());
+    debug_assert_eq!(
+        prev.horizon(),
+        inst.horizon() - (now - step),
+        "prev is not the residual at frontier now - step"
+    );
+    let remaining = (inst.horizon() - now) as usize;
+
+    // Prefix state of the touched users only; untouched groups reuse their
+    // previous rows unchanged (shifted).
+    let mut adopted: HashSet<(UserId, ClassId)> = HashSet::new();
+    let mut displays: HashMap<(UserId, ClassId), Vec<u32>> = HashMap::new();
+    for e in events {
+        if !delta.is_touched_user(e.user) {
+            continue;
+        }
+        let class = inst.class_of(e.item);
+        displays
+            .entry((e.user, class))
+            .or_default()
+            .push(e.t.value());
+        if e.is_adoption() {
+            adopted.insert((e.user, class));
+        }
+    }
+
+    // Capacity and exempt sets from the cumulative charged pairs (O(events)).
+    let mut charged: HashSet<(ItemId, UserId)> = HashSet::with_capacity(events.len());
+    for e in events {
+        charged.insert((e.item, e.user));
+    }
+    let mut capacity: Vec<u32> = (0..inst.num_items())
+        .map(|i| inst.capacity(ItemId(i)))
+        .collect();
+    let mut exempt_per_item = vec![Vec::new(); inst.num_items() as usize];
+    for (item, user) in &charged {
+        capacity[item.index()] = capacity[item.index()].saturating_sub(1);
+        exempt_per_item[item.index()].push(*user);
+    }
+    let mut any_exempt = false;
+    for users in &mut exempt_per_item {
+        users.sort_unstable();
+        any_exempt |= !users.is_empty();
+    }
+
+    // Candidate rows, written straight into the final CSR buffers: a
+    // previous residual's CSR walk is already (user, item)-sorted, so no
+    // builder-side sorting or re-validation is needed.
+    let upper = prev.num_candidates();
+    let mut cand_user: Vec<UserId> = Vec::with_capacity(upper);
+    let mut cand_item: Vec<ItemId> = Vec::with_capacity(upper);
+    let mut cand_rating: Vec<f64> = Vec::with_capacity(upper);
+    let mut cand_prob: Vec<f64> = Vec::with_capacity(upper * remaining);
+    for prev_cand in prev.candidates() {
+        let user = prev.candidate_user(prev_cand);
+        let item = prev.candidate_item(prev_cand);
+        let start = cand_prob.len();
+        let (live, rating) = if delta.is_touched_user(user) {
+            // Prefix-adjacent: rebuild the row from the original instance.
+            let class = inst.class_of(item);
+            if adopted.contains(&(user, class)) {
+                continue;
+            }
+            let cand = inst
+                .candidate_for(user, item)
+                .expect("prev residual candidates descend from the original instance");
+            let prefix_times = displays.get(&(user, class)).map_or(&[][..], Vec::as_slice);
+            cand_prob.resize(start + remaining, 0.0);
+            (
+                fill_residual_row(inst, cand, now, prefix_times, &mut cand_prob[start..]),
+                inst.candidate_rating(cand),
+            )
+        } else {
+            // Untouched: the new row is the previous row shifted left. The
+            // memory folded into each entry depends only on absolute times,
+            // so the shifted values are bit-identical to a recomputation.
+            let prev_row = &prev.candidate_probs(prev_cand)[step as usize..];
+            cand_prob.extend_from_slice(prev_row);
+            (
+                prev_row.iter().any(|&q| q > 0.0),
+                prev.candidate_rating(prev_cand),
+            )
+        };
+        if live {
+            cand_user.push(user);
+            cand_item.push(item);
+            cand_rating.push(rating);
+        } else {
+            cand_prob.truncate(start); // entirely dead: drop the pair
+        }
+    }
+
+    Instance::from_residual_parts(
+        inst,
+        now,
+        remaining as u32,
+        capacity,
+        ExemptSets {
+            per_item: exempt_per_item,
+            any: any_exempt,
+        },
+        cand_user,
+        cand_item,
+        cand_prob,
+        cand_rating,
+    )
 }
 
 #[cfg(test)]
@@ -537,6 +765,130 @@ mod tests {
         let expected_t2 = q2 * beta.powf(1.0) * (1.0 - q1);
         assert!((probs[&Triple::new(0, 0, 2)] - expected_t2).abs() < 1e-12);
         assert!((revenue(&residual, &s) - (q1 + expected_t2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exempt_mode_registers_prefix_pairs_conservative_does_not() {
+        let inst = instance();
+        let events = [
+            AdoptionEvent::rejected(0, 0, 1),
+            AdoptionEvent::rejected(1, 2, 1),
+            AdoptionEvent::rejected(1, 0, 2),
+        ];
+        let exact = residual_instance(&inst, &events, 2).unwrap();
+        // Same pre-charged capacities as ever …
+        assert_eq!(exact.capacity(ItemId(0)), 0);
+        assert_eq!(exact.capacity(ItemId(2)), 1);
+        // … but the displayed pairs are exempt, so re-displays are free.
+        assert!(exact.has_exemptions());
+        assert!(exact.is_exempt(ItemId(0), UserId(0)));
+        assert!(exact.is_exempt(ItemId(0), UserId(1)));
+        assert!(exact.is_exempt(ItemId(2), UserId(1)));
+        assert!(!exact.is_exempt(ItemId(2), UserId(0)));
+        assert!(!exact.is_exempt(ItemId(1), UserId(0)));
+
+        let conservative =
+            residual_instance_with(&inst, &events, 2, ResidualMode::Conservative).unwrap();
+        assert!(!conservative.has_exemptions());
+        assert_eq!(conservative.capacity(ItemId(0)), 0);
+        // Probabilities and prices are identical across modes.
+        for cand in exact.candidates() {
+            let user = exact.candidate_user(cand);
+            let item = exact.candidate_item(cand);
+            let other = conservative.candidate_for(user, item).unwrap();
+            assert_eq!(
+                exact.candidate_probs(cand),
+                conservative.candidate_probs(other)
+            );
+        }
+    }
+
+    #[test]
+    fn exempt_residual_accepts_re_displays_at_capacity() {
+        // Item 0 has capacity 1 and was displayed to user 0: the residual
+        // sits at capacity 0, yet a re-display to user 0 must validate.
+        let inst = instance();
+        let events = [AdoptionEvent::rejected(0, 0, 1)];
+        let residual = residual_instance(&inst, &events, 1).unwrap();
+        assert_eq!(residual.capacity(ItemId(0)), 0);
+        let redisplay: Strategy = vec![Triple::new(0, 0, 1)].into_iter().collect();
+        assert!(redisplay.validate(&residual).is_ok());
+        // A *new* user is still blocked.
+        let fresh: Strategy = vec![Triple::new(1, 0, 1)].into_iter().collect();
+        assert!(fresh.validate(&residual).is_err());
+        // Under conservative semantics even the re-display is blocked.
+        let conservative =
+            residual_instance_with(&inst, &events, 1, ResidualMode::Conservative).unwrap();
+        assert!(redisplay.validate(&conservative).is_err());
+    }
+
+    #[test]
+    fn residual_advance_matches_from_scratch_bit_for_bit() {
+        let inst = instance();
+        let day1 = [
+            AdoptionEvent::rejected(0, 0, 1),
+            AdoptionEvent::rejected(1, 2, 1),
+        ];
+        let day2 = [
+            AdoptionEvent::adopted(1, 0, 2),
+            AdoptionEvent::rejected(0, 2, 2),
+        ];
+        let prev = residual_of_validated(&inst, &day1, 1);
+
+        let mut all: Vec<AdoptionEvent> = day1.to_vec();
+        all.extend_from_slice(&day2);
+        let delta = ResidualDelta::new(1, 2, &day2, crate::EngineSnapshot::new());
+        let incremental = residual_advance(&inst, &prev, &all, &delta);
+        let scratch = residual_of_validated(&inst, &all, 2);
+
+        assert_eq!(incremental.horizon(), scratch.horizon());
+        assert_eq!(incremental.num_candidates(), scratch.num_candidates());
+        for i in 0..inst.num_items() {
+            let item = ItemId(i);
+            assert_eq!(incremental.capacity(item), scratch.capacity(item));
+            assert_eq!(incremental.price_series(item), scratch.price_series(item));
+            assert_eq!(incremental.exempt_users(item), scratch.exempt_users(item));
+        }
+        for cand in scratch.candidates() {
+            let user = scratch.candidate_user(cand);
+            let item = scratch.candidate_item(cand);
+            let inc_cand = incremental
+                .candidate_for(user, item)
+                .expect("candidate sets must match");
+            let a = scratch.candidate_probs(cand);
+            let b = incremental.candidate_probs(inc_cand);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "rows diverged for {user} {item}");
+            }
+            assert_eq!(
+                scratch.candidate_rating(cand).to_bits(),
+                incremental.candidate_rating(inc_cand).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn residual_advance_handles_multi_step_and_empty_batches() {
+        let inst = instance();
+        let day1 = [AdoptionEvent::rejected(0, 1, 1)];
+        let prev = residual_of_validated(&inst, &day1, 1);
+        // Advance with no new events: every group is untouched and every
+        // row of the new residual is a pure shift of the previous one.
+        let delta = ResidualDelta::new(1, 2, &[], crate::EngineSnapshot::new());
+        let incremental = residual_advance(&inst, &prev, &day1, &delta);
+        let scratch = residual_of_validated(&inst, &day1, 2);
+        assert_eq!(incremental.num_candidates(), scratch.num_candidates());
+        for cand in scratch.candidates() {
+            let user = scratch.candidate_user(cand);
+            let item = scratch.candidate_item(cand);
+            let inc_cand = incremental.candidate_for(user, item).unwrap();
+            let a = scratch.candidate_probs(cand);
+            let b = incremental.candidate_probs(inc_cand);
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

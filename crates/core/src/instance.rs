@@ -10,6 +10,38 @@
 
 use crate::error::BuildError;
 use crate::ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
+use std::sync::Arc;
+
+/// Per-item exempt-user sets: users whose displays of an item do **not**
+/// consume the item's capacity `q_i`.
+///
+/// Exemptions exist for residual instances: when a prefix display of item
+/// `i` to user `u` already consumed a capacity unit of the *original*
+/// instance, the residual instance pre-charges that unit — and marks
+/// `(i, u)` exempt so a re-display is not double-charged (see
+/// [`crate::events::ResidualMode`]). Ordinary instances have no exemptions
+/// and pay a single `bool` check on the capacity fast path.
+///
+/// Shared behind an `Arc` so engines and ledgers can carry the sets without
+/// copying them on every (re)plan.
+#[derive(Debug, Default)]
+pub(crate) struct ExemptSets {
+    /// Sorted, deduplicated exempt users per item (indexed by item id).
+    pub(crate) per_item: Vec<Vec<UserId>>,
+    /// Fast path: whether any item has a non-empty exempt set.
+    pub(crate) any: bool,
+}
+
+impl ExemptSets {
+    /// Whether `(item, user)` is exempt from capacity accounting.
+    #[inline]
+    pub(crate) fn contains(&self, item: ItemId, user: UserId) -> bool {
+        if !self.any {
+            return false;
+        }
+        self.per_item[item.index()].binary_search(&user).is_ok()
+    }
+}
 
 /// An immutable REVMAX problem instance (Problem 1 of the paper).
 #[derive(Debug, Clone)]
@@ -22,6 +54,8 @@ pub struct Instance {
     item_class: Vec<ClassId>,
     class_items: Vec<Vec<ItemId>>,
     capacity: Vec<u32>,
+    /// Users whose displays of an item are exempt from its capacity.
+    exempt: Arc<ExemptSets>,
     beta: Vec<f64>,
     /// Item-major price matrix: `prices[item * T + (t - 1)]`.
     prices: Vec<f64>,
@@ -88,6 +122,35 @@ impl Instance {
     #[inline]
     pub fn capacity(&self, item: ItemId) -> u32 {
         self.capacity[item.index()]
+    }
+
+    /// Whether displaying `item` to `user` is exempt from the capacity
+    /// constraint (the pair was already charged by the prefix a residual
+    /// instance was conditioned on). Always `false` on ordinary instances.
+    #[inline]
+    pub fn is_exempt(&self, item: ItemId, user: UserId) -> bool {
+        self.exempt.contains(item, user)
+    }
+
+    /// The sorted exempt users of an item (empty on ordinary instances).
+    #[inline]
+    pub fn exempt_users(&self, item: ItemId) -> &[UserId] {
+        if !self.exempt.any {
+            return &[];
+        }
+        &self.exempt.per_item[item.index()]
+    }
+
+    /// Whether any item carries a non-empty exempt-user set.
+    #[inline]
+    pub fn has_exemptions(&self) -> bool {
+        self.exempt.any
+    }
+
+    /// The shared exempt-set handle (for ledgers; cheap `Arc` clone).
+    #[inline]
+    pub(crate) fn exempt_sets(&self) -> Arc<ExemptSets> {
+        Arc::clone(&self.exempt)
     }
 
     /// The saturation factor `β_i ∈ [0, 1]` of an item (1 = no saturation).
@@ -316,6 +379,67 @@ impl UserShard {
 }
 
 impl Instance {
+    /// Direct assembly of a residual instance from pre-validated parts —
+    /// the fast path behind `events::residual_advance`.
+    ///
+    /// Skips the [`InstanceBuilder`] entirely: every input descends from an
+    /// already-validated instance (candidate rows are shifts or
+    /// re-discounts of validated rows, prices are shifted copies, classes /
+    /// betas are unchanged), so re-validation, per-candidate allocation,
+    /// and candidate sorting would be pure overhead. `cand_*` must be
+    /// (user, item)-sorted with `cand_prob` holding `horizon` entries per
+    /// candidate — exactly the order an in-order walk of a previous
+    /// residual's CSR produces.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_residual_parts(
+        original: &Instance,
+        now: u32,
+        horizon: u32,
+        capacity: Vec<u32>,
+        exempt: ExemptSets,
+        cand_user: Vec<UserId>,
+        cand_item: Vec<ItemId>,
+        cand_prob: Vec<f64>,
+        cand_rating: Vec<f64>,
+    ) -> Instance {
+        debug_assert_eq!(cand_user.len(), cand_item.len());
+        debug_assert_eq!(cand_user.len(), cand_rating.len());
+        debug_assert_eq!(cand_prob.len(), cand_user.len() * horizon as usize);
+        debug_assert!(cand_user.windows(2).all(|w| w[0] <= w[1]));
+        let t = horizon as usize;
+        let num_items = original.num_items as usize;
+        let mut prices = vec![0.0; num_items * t];
+        for item in 0..num_items {
+            let src = &original.price_series(ItemId(item as u32))[now as usize..];
+            prices[item * t..(item + 1) * t].copy_from_slice(src);
+        }
+        let mut user_cand_start = vec![0u32; original.num_users as usize + 1];
+        for user in &cand_user {
+            user_cand_start[user.index() + 1] += 1;
+        }
+        for u in 0..original.num_users as usize {
+            user_cand_start[u + 1] += user_cand_start[u];
+        }
+        Instance {
+            num_users: original.num_users,
+            num_items: original.num_items,
+            num_classes: original.num_classes,
+            horizon,
+            display_limit: original.display_limit,
+            item_class: original.item_class.clone(),
+            class_items: original.class_items.clone(),
+            capacity,
+            exempt: Arc::new(exempt),
+            beta: original.beta.clone(),
+            prices,
+            user_cand_start,
+            cand_item,
+            cand_user,
+            cand_prob,
+            cand_rating,
+        }
+    }
+
     /// The shard covering every user (what the non-sharded evaluators use).
     pub fn full_shard(&self) -> UserShard {
         self.user_shard(0, self.num_users)
@@ -357,6 +481,7 @@ pub struct InstanceBuilder {
     beta: Vec<f64>,
     prices: Vec<Option<Vec<f64>>>,
     candidates: Vec<(u32, u32, Vec<f64>, f64)>,
+    exempt: Vec<(u32, u32)>,
 }
 
 impl InstanceBuilder {
@@ -372,6 +497,7 @@ impl InstanceBuilder {
             beta: vec![1.0; num_items as usize],
             prices: vec![None; num_items as usize],
             candidates: Vec::new(),
+            exempt: Vec::new(),
         }
     }
 
@@ -393,6 +519,25 @@ impl InstanceBuilder {
     pub fn capacity(&mut self, item: u32, q: u32) -> &mut Self {
         if let Some(slot) = self.capacity.get_mut(item as usize) {
             *slot = q;
+        }
+        self
+    }
+
+    /// Marks `(item, user)` exempt from the capacity constraint: displays of
+    /// the item to that user consume none of its capacity `q_i`. Used by the
+    /// residual construction for prefix pairs whose capacity unit was already
+    /// charged (see [`crate::events::ResidualMode::Exempt`]). Duplicates are
+    /// deduplicated at build time.
+    pub fn exempt_user(&mut self, item: u32, user: u32) -> &mut Self {
+        self.exempt.push((item, user));
+        self
+    }
+
+    /// Marks several users exempt for an item (see
+    /// [`InstanceBuilder::exempt_user`]).
+    pub fn exempt_users(&mut self, item: u32, users: &[u32]) -> &mut Self {
+        for &user in users {
+            self.exempt.push((item, user));
         }
         self
     }
@@ -514,6 +659,30 @@ impl InstanceBuilder {
             }
         }
 
+        // Exempt pairs: validate ranges, then sort + dedup per item.
+        let mut exempt_per_item = vec![Vec::new(); self.num_items as usize];
+        for &(item, user) in &self.exempt {
+            if item >= self.num_items {
+                return Err(BuildError::ItemOutOfRange {
+                    item,
+                    num_items: self.num_items,
+                });
+            }
+            if user >= self.num_users {
+                return Err(BuildError::UserOutOfRange {
+                    user,
+                    num_users: self.num_users,
+                });
+            }
+            exempt_per_item[item as usize].push(UserId(user));
+        }
+        let mut any_exempt = false;
+        for users in &mut exempt_per_item {
+            users.sort_unstable();
+            users.dedup();
+            any_exempt |= !users.is_empty();
+        }
+
         // Sort candidates by (user, item) and detect duplicates.
         let mut order: Vec<usize> = (0..self.candidates.len()).collect();
         order.sort_by_key(|&idx| (self.candidates[idx].0, self.candidates[idx].1));
@@ -572,6 +741,10 @@ impl InstanceBuilder {
             item_class,
             class_items,
             capacity: self.capacity.clone(),
+            exempt: Arc::new(ExemptSets {
+                per_item: exempt_per_item,
+                any: any_exempt,
+            }),
             beta: self.beta.clone(),
             prices,
             user_cand_start,
@@ -760,6 +933,39 @@ mod tests {
         assert!(matches!(
             b.build().unwrap_err(),
             BuildError::InvalidPrice { .. }
+        ));
+    }
+
+    #[test]
+    fn exempt_users_are_deduped_and_queryable() {
+        let inst = small_builder().build().unwrap();
+        assert!(!inst.has_exemptions());
+        assert!(!inst.is_exempt(ItemId(0), UserId(0)));
+        assert!(inst.exempt_users(ItemId(0)).is_empty());
+
+        let mut b = small_builder();
+        b.exempt_user(0, 1)
+            .exempt_users(0, &[1, 0])
+            .exempt_user(2, 1);
+        let inst = b.build().unwrap();
+        assert!(inst.has_exemptions());
+        assert_eq!(inst.exempt_users(ItemId(0)), &[UserId(0), UserId(1)]);
+        assert!(inst.is_exempt(ItemId(0), UserId(1)));
+        assert!(inst.is_exempt(ItemId(2), UserId(1)));
+        assert!(!inst.is_exempt(ItemId(1), UserId(0)));
+        assert!(!inst.is_exempt(ItemId(2), UserId(0)));
+
+        let mut b = small_builder();
+        b.exempt_user(9, 0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::ItemOutOfRange { item: 9, .. }
+        ));
+        let mut b = small_builder();
+        b.exempt_user(0, 9);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::UserOutOfRange { user: 9, .. }
         ));
     }
 

@@ -75,13 +75,15 @@ pub use effective::{
 };
 pub use error::{BuildError, ConstraintViolation, StrategyParseError};
 pub use events::{
-    realized_revenue, residual_instance, residual_of_validated, shift_strategy, validate_events,
-    AdoptionEvent, AdoptionOutcome, EventError,
+    realized_revenue, residual_advance, residual_instance, residual_instance_with,
+    residual_of_validated, residual_of_validated_with, shift_strategy, validate_events,
+    AdoptionEvent, AdoptionOutcome, EventError, ResidualMode,
 };
 pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
 pub use instance::{Instance, InstanceBuilder, UserShard};
 pub use revenue::{
     dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, CapacityLedger,
-    HashIncrementalRevenue, IncrementalRevenue, RevenueEngine, SharedCapacityLedger,
+    EngineSnapshot, HashIncrementalRevenue, IncrementalRevenue, ResidualDelta, RevenueEngine,
+    SharedCapacityLedger,
 };
 pub use strategy::Strategy;

@@ -5,6 +5,7 @@
 //! [`super::HashIncrementalRevenue`] kept as a correctness reference and as
 //! the measured baseline for the perf trajectory in `crates/bench`.
 
+use super::warm::ResidualDelta;
 use crate::ids::{CandidateId, TimeStep};
 use crate::instance::{Instance, UserShard};
 use crate::strategy::Strategy;
@@ -39,6 +40,35 @@ pub trait RevenueEngine<'a>: Sized + Sync + Send {
     fn for_shard(inst: &'a Instance, ignore_saturation: bool, shard: UserShard) -> Self {
         let _ = shard;
         Self::with_options(inst, ignore_saturation)
+    }
+
+    /// Creates an evaluator for a **residual replan**, warm-started from the
+    /// state the previous replan of the same session left behind.
+    ///
+    /// `residual` describes the advance that produced `inst` (the frontier
+    /// shift, the prefix-adjacent users whose groups were rebuilt) and
+    /// carries the session's [`super::warm::EngineSnapshot`] pool. The
+    /// constructor shape — rather than a `&mut self` method — is forced by
+    /// the engine's borrowed-instance lifetime: the previous engine is bound
+    /// to the *previous* residual instance, so reusable state crosses
+    /// replans as owned data in the snapshot, not as a rebound engine.
+    ///
+    /// Warm starting is strictly a performance surface: implementations must
+    /// produce an engine indistinguishable from
+    /// [`RevenueEngine::for_shard`] (the warm-start parity suites assert
+    /// identical plans to 1e-9 for both engines at shard counts 1 and 2).
+    /// The default implementation ignores the delta and constructs cold —
+    /// correct for engines with nothing worth recycling (the hash engine);
+    /// the flat-arena engine overrides it to reuse its saturation tables and
+    /// arena buffers.
+    fn warm_start(
+        inst: &'a Instance,
+        ignore_saturation: bool,
+        shard: UserShard,
+        residual: &ResidualDelta,
+    ) -> Self {
+        let _ = residual;
+        Self::for_shard(inst, ignore_saturation, shard)
     }
 
     /// The instance this evaluator is bound to.

@@ -28,15 +28,17 @@
 
 use super::engine::RevenueEngine;
 use super::ledger::CapacityLedger;
+use super::warm::{EngineSnapshot, FlatBuffers, ResidualDelta, SatTables};
 use crate::ids::{CandidateId, ClassId, TimeStep, Triple, UserId};
 use crate::instance::{Instance, UserShard};
 use crate::strategy::Strategy;
+use std::sync::Arc;
 
 const NONE: u32 = u32::MAX;
 
 /// One selected triple stored in the group arena.
 #[derive(Debug, Clone, Copy, Default)]
-struct ArenaEntry {
+pub(crate) struct ArenaEntry {
     t: u32,
     item: u32,
     /// Row of the saturation tables (0 = saturation-free).
@@ -67,18 +69,17 @@ pub struct IncrementalRevenue<'a> {
     /// the true value; re-evaluate the final strategy with [`super::revenue`].
     ignore_saturation: bool,
 
-    // --- static tables, built once per evaluator ---
+    // --- static tables, built once per evaluator (or recycled across the
+    // --- residual replans of one session, see `super::warm`) ---
+    /// Saturation power tables (`ln β`, `β^{1/d}`, `1/d`). Shared behind an
+    /// `Arc` so a warm-started engine reuses the previous replan's tables;
+    /// bit-identical to a fresh build, so warm vs cold never changes a plan.
+    tables: Arc<SatTables>,
     /// Dense (user, class) group slot per candidate (shard-local index).
     cand_group: Vec<u32>,
-    /// `ln β` per pow row; row 0 is the saturation-free row (`β = 1`),
-    /// row `i + 1` belongs to item `i`.
-    ln_beta: Vec<f64>,
-    /// `β^{1/d}` for `d ∈ 1..=max_dist`, row-major by pow row.
-    beta_root: Vec<f64>,
-    /// Number of columns of `beta_root` (= horizon − 1).
-    max_dist: usize,
-    /// `1 / d` for `d ∈ 0..=horizon` (index by time distance).
-    inv_dist: Vec<f64>,
+    /// Warm-start pool to return the recycled buffers to on
+    /// [`IncrementalRevenue::into_strategy`] (`None` for cold engines).
+    recycle: Option<EngineSnapshot>,
 
     // --- dynamic state ---
     /// Start of each group's contiguous slab in `arena`, or `NONE` if the
@@ -134,18 +135,78 @@ impl<'a> IncrementalRevenue<'a> {
     /// same ids they would pass to a full one. Feeding a triple or candidate
     /// outside the shard is a logic error (checked by `debug_assert`).
     pub fn for_user_shard(inst: &'a Instance, ignore_saturation: bool, shard: UserShard) -> Self {
+        Self::with_parts(
+            inst,
+            ignore_saturation,
+            shard,
+            Arc::new(SatTables::build(inst)),
+            FlatBuffers::default(),
+            None,
+        )
+    }
+
+    /// Warm-started construction for a residual replan: reuses the
+    /// saturation tables and buffer sets pooled in `residual`'s
+    /// [`EngineSnapshot`] instead of rebuilding them (one `powf` per item
+    /// per time distance saved, zero fresh allocation when the pool is
+    /// primed). Recycled state holds bit-identical table values and cleared
+    /// buffers, so a warm engine is indistinguishable from a cold one.
+    ///
+    /// Falls back to a cold table build — publishing the result for the next
+    /// replan — when the pool is empty or was taken from a different item
+    /// universe.
+    pub fn warm_start_shard(
+        inst: &'a Instance,
+        ignore_saturation: bool,
+        shard: UserShard,
+        residual: &ResidualDelta,
+    ) -> Self {
+        let snapshot = residual.snapshot();
+        let tables = snapshot.tables_for(inst).unwrap_or_else(|| {
+            let tables = Arc::new(SatTables::build(inst));
+            snapshot.publish_tables(&tables);
+            tables
+        });
+        Self::with_parts(
+            inst,
+            ignore_saturation,
+            shard,
+            tables,
+            snapshot.take_buffers(),
+            Some(snapshot.clone()),
+        )
+    }
+
+    fn with_parts(
+        inst: &'a Instance,
+        ignore_saturation: bool,
+        shard: UserShard,
+        tables: Arc<SatTables>,
+        buffers: FlatBuffers,
+        recycle: Option<EngineSnapshot>,
+    ) -> Self {
         let horizon = inst.horizon() as usize;
-        let num_items = inst.num_items() as usize;
         let num_cand = shard.num_candidates();
+        let FlatBuffers {
+            mut cand_group,
+            mut group_start,
+            mut group_len,
+            mut group_cap,
+            mut arena,
+            mut selected,
+            mut display_count,
+            mut cand_counted,
+        } = buffers;
 
         // Group numbering: candidates are CSR-contiguous per user, so one
         // stamped scan over each shard user's candidates assigns dense group
         // slots without hashing. Stamps avoid clearing the per-class scratch
-        // rows.
+        // rows. Every shard candidate is assigned, so the recycled buffer
+        // needs resizing only, not clearing.
         let num_classes = inst.num_classes() as usize;
         let mut class_stamp = vec![NONE; num_classes];
         let mut class_group = vec![0u32; num_classes];
-        let mut cand_group = vec![0u32; num_cand];
+        cand_group.resize(num_cand, 0);
         let mut num_groups: u32 = 0;
         for user in shard.user_start()..shard.user_end() {
             for cand in inst.candidates_of_user(UserId(user)) {
@@ -159,43 +220,37 @@ impl<'a> IncrementalRevenue<'a> {
             }
         }
 
-        // Saturation tables. Row 0 is the shared "no saturation" row used by
-        // the GlobalNo ablation and by β = 1 fast paths.
-        let max_dist = horizon.saturating_sub(1);
-        let mut ln_beta = Vec::with_capacity(num_items + 1);
-        let mut beta_root = Vec::with_capacity((num_items + 1) * max_dist);
-        ln_beta.push(0.0);
-        beta_root.extend(std::iter::repeat_n(1.0, max_dist));
-        for item in 0..num_items {
-            let beta = inst.beta(crate::ids::ItemId(item as u32));
-            ln_beta.push(beta.ln());
-            for d in 1..=max_dist {
-                beta_root.push(beta.powf(1.0 / d as f64));
-            }
-        }
-        let inv_dist: Vec<f64> = (0..=horizon)
-            .map(|d| if d == 0 { 0.0 } else { 1.0 / d as f64 })
-            .collect();
+        group_start.clear();
+        group_start.resize(num_groups as usize, NONE);
+        group_len.clear();
+        group_len.resize(num_groups as usize, 0);
+        group_cap.clear();
+        group_cap.resize(num_groups as usize, 0);
+        arena.clear();
+        selected.clear();
+        selected.resize(num_cand * horizon, false);
+        display_count.clear();
+        display_count.resize(shard.num_users() * horizon, 0);
+        cand_counted.clear();
+        cand_counted.resize(num_cand, false);
 
         IncrementalRevenue {
             inst,
             shard,
             ignore_saturation,
+            tables,
             cand_group,
-            ln_beta,
-            beta_root,
-            max_dist,
-            inv_dist,
-            group_start: vec![NONE; num_groups as usize],
-            group_len: vec![0; num_groups as usize],
-            group_cap: vec![0; num_groups as usize],
-            arena: Vec::new(),
-            selected: vec![false; num_cand * horizon],
+            recycle,
+            group_start,
+            group_len,
+            group_cap,
+            arena,
+            selected,
             revenue: 0.0,
             strategy: Strategy::new(),
-            display_count: vec![0; shard.num_users() * horizon],
+            display_count,
             ledger: CapacityLedger::new(inst),
-            cand_counted: vec![false; num_cand],
+            cand_counted,
             extra_seen: Vec::new(),
             extra_groups: Vec::new(),
         }
@@ -242,8 +297,22 @@ impl<'a> IncrementalRevenue<'a> {
         &self.strategy
     }
 
-    /// Consumes the evaluator and returns the built strategy.
-    pub fn into_strategy(self) -> Strategy {
+    /// Consumes the evaluator and returns the built strategy. Warm-started
+    /// engines return their buffers to the session's [`EngineSnapshot`] pool
+    /// here, so the next replan can recycle them.
+    pub fn into_strategy(mut self) -> Strategy {
+        if let Some(pool) = self.recycle.take() {
+            pool.return_buffers(FlatBuffers {
+                cand_group: std::mem::take(&mut self.cand_group),
+                group_start: std::mem::take(&mut self.group_start),
+                group_len: std::mem::take(&mut self.group_len),
+                group_cap: std::mem::take(&mut self.group_cap),
+                arena: std::mem::take(&mut self.arena),
+                selected: std::mem::take(&mut self.selected),
+                display_count: std::mem::take(&mut self.display_count),
+                cand_counted: std::mem::take(&mut self.cand_counted),
+            });
+        }
         self.strategy
     }
 
@@ -275,7 +344,7 @@ impl<'a> IncrementalRevenue<'a> {
         if memory == 0.0 {
             return 1.0;
         }
-        let ln_b = self.ln_beta[row as usize];
+        let ln_b = self.tables.ln_beta[row as usize];
         if ln_b == 0.0 {
             1.0
         } else if ln_b == f64::NEG_INFINITY {
@@ -288,7 +357,7 @@ impl<'a> IncrementalRevenue<'a> {
     /// `β_e^{1/d}` for an entry's pow row and a time distance `d ≥ 1`.
     #[inline]
     fn root_discount(&self, row: u32, dist: u32) -> f64 {
-        self.beta_root[row as usize * self.max_dist + (dist - 1) as usize]
+        self.tables.beta_root[row as usize * self.tables.stride + (dist - 1) as usize]
     }
 
     /// The contiguous slab of a group's entries (empty for untouched groups).
@@ -377,8 +446,11 @@ impl<'a> IncrementalRevenue<'a> {
             return true;
         }
         match self.inst.candidate_for(z.user, z.item) {
-            Some(cand) => self.capacity_violated_cand(cand, z.item.0),
-            None => !self.extra_seen.contains(&(z.item.0, z.user.0)) && self.ledger.is_full(z.item),
+            Some(cand) => self.capacity_violated_cand(cand, z.item.0, z.user),
+            None => {
+                !self.extra_seen.contains(&(z.item.0, z.user.0))
+                    && self.ledger.is_full_for(z.item, z.user)
+            }
         }
     }
 
@@ -390,8 +462,9 @@ impl<'a> IncrementalRevenue<'a> {
     }
 
     #[inline]
-    fn capacity_violated_cand(&self, cand: CandidateId, item: u32) -> bool {
-        !self.cand_counted[self.local_cand(cand)] && self.ledger.is_full(crate::ids::ItemId(item))
+    fn capacity_violated_cand(&self, cand: CandidateId, item: u32, user: UserId) -> bool {
+        !self.cand_counted[self.local_cand(cand)]
+            && self.ledger.is_full_for(crate::ids::ItemId(item), user)
     }
 
     /// Marginal revenue `Rev(S ∪ {z}) − Rev(S)` of a triple not yet selected.
@@ -484,9 +557,9 @@ impl<'a> IncrementalRevenue<'a> {
         if self.group_start[group] != NONE {
             let start = self.group_start[group] as usize;
             let len = self.group_len[group] as usize;
-            let inv_dist = &self.inv_dist;
-            let beta_root = &self.beta_root;
-            let max_dist = self.max_dist;
+            let inv_dist = &self.tables.inv_dist;
+            let beta_root = &self.tables.beta_root;
+            let max_dist = self.tables.stride;
             for e in &mut self.arena[start..start + len] {
                 if e.t < tv {
                     memory += inv_dist[(tv - e.t) as usize];
@@ -524,7 +597,7 @@ impl<'a> IncrementalRevenue<'a> {
         self.display_count[dslot] += 1;
         if !self.cand_counted[local] {
             self.cand_counted[local] = true;
-            self.ledger.claim_unchecked(item);
+            self.ledger.charge(item, user);
         }
         self.strategy.insert(Triple { user, item, t });
         gain + loss
@@ -540,7 +613,7 @@ impl<'a> IncrementalRevenue<'a> {
         };
         for e in self.group_entries(group as usize) {
             if e.t < tv {
-                memory += self.inv_dist[(tv - e.t) as usize];
+                memory += self.tables.inv_dist[(tv - e.t) as usize];
                 comp *= 1.0 - e.q_prim;
             } else if e.t == tv && e.item != item {
                 comp *= 1.0 - e.q_prim;
@@ -562,13 +635,16 @@ impl<'a> IncrementalRevenue<'a> {
         let mut memory = 0.0_f64;
         let mut comp = 1.0_f64;
         let mut loss = 0.0_f64;
+        let inv_dist = &self.tables.inv_dist;
+        let beta_root = &self.tables.beta_root;
+        let stride = self.tables.stride;
         for e in self.group_entries(group) {
             if e.t < tv {
-                memory += self.inv_dist[(tv - e.t) as usize];
+                memory += inv_dist[(tv - e.t) as usize];
                 comp *= 1.0 - e.q_prim;
             } else if e.t > tv {
                 let factor = (1.0 - q_prim)
-                    * self.beta_root[e.pow_row as usize * self.max_dist + (e.t - tv - 1) as usize];
+                    * beta_root[e.pow_row as usize * stride + (e.t - tv - 1) as usize];
                 loss += e.price * e.q_dyn * (factor - 1.0);
             } else if e.item != item {
                 comp *= 1.0 - e.q_prim;
@@ -637,6 +713,9 @@ impl<'a> IncrementalRevenue<'a> {
         let mut memory = [0.0_f64; MAX_LANES];
         let mut comp = [1.0_f64; MAX_LANES];
         let mut loss = [0.0_f64; MAX_LANES];
+        let inv_dist = &self.tables.inv_dist;
+        let beta_root = &self.tables.beta_root;
+        let stride = self.tables.stride;
         for e in self.group_entries(group) {
             let et = e.t as usize;
             let one_minus_q = 1.0 - e.q_prim;
@@ -645,11 +724,11 @@ impl<'a> IncrementalRevenue<'a> {
                 let t_idx = lane_t[li];
                 let tv = t_idx + 1;
                 if et < tv {
-                    memory[li] += self.inv_dist[tv - et];
+                    memory[li] += inv_dist[tv - et];
                     comp[li] *= one_minus_q;
                 } else if et > tv {
                     let factor = (1.0 - probs[t_idx])
-                        * self.beta_root[e.pow_row as usize * self.max_dist + (et - tv - 1)];
+                        * beta_root[e.pow_row as usize * stride + (et - tv - 1)];
                     loss[li] += weighted * (factor - 1.0);
                 } else if e.item != item {
                     comp[li] *= one_minus_q;
@@ -702,8 +781,8 @@ impl<'a> IncrementalRevenue<'a> {
         if self.group_start[group] != NONE {
             let start = self.group_start[group] as usize;
             let len = self.group_len[group] as usize;
-            let beta_root = &self.beta_root;
-            let max_dist = self.max_dist;
+            let beta_root = &self.tables.beta_root;
+            let max_dist = self.tables.stride;
             for e in &mut self.arena[start..start + len] {
                 if e.t > tv {
                     let factor = beta_root[e.pow_row as usize * max_dist + (e.t - tv - 1) as usize];
@@ -728,7 +807,7 @@ impl<'a> IncrementalRevenue<'a> {
         self.display_count[dslot] += 1;
         if !self.extra_seen.contains(&(z.item.0, z.user.0)) {
             self.extra_seen.push((z.item.0, z.user.0));
-            self.ledger.claim_unchecked(z.item);
+            self.ledger.charge(z.item, z.user);
         }
         self.strategy.insert(z);
         loss
@@ -742,6 +821,15 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
 
     fn for_shard(inst: &'a Instance, ignore_saturation: bool, shard: UserShard) -> Self {
         IncrementalRevenue::for_user_shard(inst, ignore_saturation, shard)
+    }
+
+    fn warm_start(
+        inst: &'a Instance,
+        ignore_saturation: bool,
+        shard: UserShard,
+        residual: &ResidualDelta,
+    ) -> Self {
+        IncrementalRevenue::warm_start_shard(inst, ignore_saturation, shard, residual)
     }
 
     fn instance(&self) -> &'a Instance {
@@ -766,7 +854,7 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
         if self.display_count[slot] as u32 >= self.inst.display_limit() {
             return true;
         }
-        self.capacity_violated_cand(cand, self.inst.candidate_item(cand).0)
+        self.capacity_violated_cand(cand, self.inst.candidate_item(cand).0, user)
     }
 
     fn would_violate_display_cand(&self, cand: CandidateId, t: TimeStep) -> bool {
@@ -788,6 +876,6 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
     }
 
     fn into_strategy(self) -> Strategy {
-        self.strategy
+        IncrementalRevenue::into_strategy(self)
     }
 }

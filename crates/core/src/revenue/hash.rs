@@ -116,7 +116,9 @@ impl<'a> HashIncrementalRevenue<'a> {
         if self.display_count[slot] as u32 >= k {
             return true;
         }
-        if !self.item_user_seen.contains(&(z.item.0, z.user.0)) && self.ledger.is_full(z.item) {
+        if !self.item_user_seen.contains(&(z.item.0, z.user.0))
+            && self.ledger.is_full_for(z.item, z.user)
+        {
             return true;
         }
         false
@@ -196,7 +198,7 @@ impl<'a> HashIncrementalRevenue<'a> {
         let slot = z.user.index() * self.inst.horizon() as usize + z.t.index();
         self.display_count[slot] += 1;
         if self.item_user_seen.insert((z.item.0, z.user.0)) {
-            self.ledger.claim_unchecked(z.item);
+            self.ledger.charge(z.item, z.user);
         }
         self.strategy.insert(z);
         gain + loss

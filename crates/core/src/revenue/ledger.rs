@@ -18,10 +18,17 @@
 //! dedup via their per-candidate `counted` bitmaps, the sharded drivers via
 //! shard-local bitmaps — user shards are disjoint, so the dedup never needs
 //! to be shared).
+//!
+//! Both ledgers carry the instance's per-item **exempt-user sets** (see
+//! [`Instance::is_exempt`]): an exempt `(item, user)` pair neither consumes
+//! capacity when charged nor blocks on a full item. Residual instances use
+//! this to stop double-charging re-displays to prefix users; ordinary
+//! instances have empty sets and pay one `bool` check.
 
-use crate::ids::ItemId;
-use crate::instance::Instance;
+use crate::ids::{ItemId, UserId};
+use crate::instance::{ExemptSets, Instance};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Sequential display-capacity ledger: per-item distinct-user counts against
 /// the instance capacities `q_i`.
@@ -34,6 +41,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 pub struct CapacityLedger {
     used: Vec<u32>,
     cap: Vec<u32>,
+    exempt: Arc<ExemptSets>,
 }
 
 impl CapacityLedger {
@@ -45,6 +53,32 @@ impl CapacityLedger {
             cap: (0..inst.num_items())
                 .map(|i| inst.capacity(ItemId(i)))
                 .collect(),
+            exempt: inst.exempt_sets(),
+        }
+    }
+
+    /// Whether `(item, user)` is exempt from capacity accounting.
+    #[inline]
+    pub fn is_exempt(&self, item: ItemId, user: UserId) -> bool {
+        self.exempt.contains(item, user)
+    }
+
+    /// Whether the item has no capacity left for *this* user: full **and**
+    /// the `(item, user)` pair is not exempt. This is the check selection
+    /// loops should make before granting a display.
+    #[inline]
+    pub fn is_full_for(&self, item: ItemId, user: UserId) -> bool {
+        self.is_full(item) && !self.is_exempt(item, user)
+    }
+
+    /// Records the first display of `item` to `user`: claims one capacity
+    /// unit unless the pair is exempt. The caller dedups pairs (call once
+    /// per distinct `(item, user)`), exactly as for
+    /// [`CapacityLedger::claim_unchecked`].
+    #[inline]
+    pub fn charge(&mut self, item: ItemId, user: UserId) {
+        if !self.is_exempt(item, user) {
+            self.claim_unchecked(item);
         }
     }
 
@@ -112,6 +146,7 @@ impl CapacityLedger {
 pub struct SharedCapacityLedger {
     used: Vec<AtomicU32>,
     cap: Vec<u32>,
+    exempt: Arc<ExemptSets>,
 }
 
 impl SharedCapacityLedger {
@@ -123,7 +158,30 @@ impl SharedCapacityLedger {
             cap: (0..inst.num_items())
                 .map(|i| inst.capacity(ItemId(i)))
                 .collect(),
+            exempt: inst.exempt_sets(),
         }
+    }
+
+    /// Whether `(item, user)` is exempt from capacity accounting.
+    #[inline]
+    pub fn is_exempt(&self, item: ItemId, user: UserId) -> bool {
+        self.exempt.contains(item, user)
+    }
+
+    /// Whether the item has no capacity left for *this* user: full **and**
+    /// the `(item, user)` pair is not exempt.
+    #[inline]
+    pub fn is_full_for(&self, item: ItemId, user: UserId) -> bool {
+        self.is_full(item) && !self.is_exempt(item, user)
+    }
+
+    /// [`SharedCapacityLedger::try_claim`] for a specific user: exempt pairs
+    /// succeed without consuming capacity.
+    pub fn try_claim_for(&self, item: ItemId, user: UserId) -> bool {
+        if self.is_exempt(item, user) {
+            return true;
+        }
+        self.try_claim(item)
     }
 
     /// Number of distinct users the item has been claimed for so far.
@@ -218,6 +276,35 @@ mod tests {
         shared.release(ItemId(1));
         assert!(shared.try_claim(ItemId(1)));
         assert_eq!(shared.snapshot(), vec![0, 1]);
+    }
+
+    #[test]
+    fn exempt_pairs_neither_block_nor_consume() {
+        let mut b = InstanceBuilder::new(3, 1, 1);
+        b.capacity(0, 1)
+            .constant_price(0, 1.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .exempt_user(0, 2);
+        let inst = b.build().unwrap();
+
+        let mut ledger = CapacityLedger::new(&inst);
+        assert!(ledger.is_exempt(ItemId(0), UserId(2)));
+        ledger.charge(ItemId(0), UserId(2)); // exempt: no unit consumed
+        assert_eq!(ledger.used(ItemId(0)), 0);
+        ledger.charge(ItemId(0), UserId(0));
+        assert_eq!(ledger.used(ItemId(0)), 1);
+        assert!(ledger.is_full(ItemId(0)));
+        assert!(ledger.is_full_for(ItemId(0), UserId(1)));
+        assert!(!ledger.is_full_for(ItemId(0), UserId(2)));
+
+        let shared = SharedCapacityLedger::new(&inst);
+        assert!(shared.try_claim_for(ItemId(0), UserId(2)));
+        assert_eq!(shared.used(ItemId(0)), 0);
+        assert!(shared.try_claim_for(ItemId(0), UserId(0)));
+        assert!(shared.is_full(ItemId(0)));
+        assert!(!shared.is_full_for(ItemId(0), UserId(2)));
+        assert!(shared.try_claim_for(ItemId(0), UserId(2)));
+        assert!(!shared.try_claim_for(ItemId(0), UserId(1)));
     }
 
     #[test]

@@ -61,11 +61,13 @@ pub mod engine;
 pub mod flat;
 pub mod hash;
 pub mod ledger;
+pub mod warm;
 
 pub use engine::RevenueEngine;
 pub use flat::IncrementalRevenue;
 pub use hash::HashIncrementalRevenue;
 pub use ledger::{CapacityLedger, SharedCapacityLedger};
+pub use warm::{EngineSnapshot, ResidualDelta};
 
 /// Computes the expected total revenue `Rev(S)` of a strategy from scratch.
 ///

@@ -113,7 +113,8 @@ impl Strategy {
 
     /// Validates the strategy against the display constraint (at most `k` items
     /// per user per time step), the capacity constraint (at most `q_i` distinct
-    /// users per item), and range/candidacy of every triple.
+    /// non-exempt users per item, see [`Instance::is_exempt`]), and
+    /// range/candidacy of every triple.
     pub fn validate(&self, inst: &Instance) -> Result<(), ConstraintViolation> {
         let mut display: HashMap<(UserId, TimeStep), usize> = HashMap::new();
         let mut users_per_item: HashMap<ItemId, HashSet<UserId>> = HashMap::new();
@@ -141,10 +142,14 @@ impl Strategy {
             }
         }
         for (item, users) in users_per_item {
-            if users.len() > inst.capacity(item) as usize {
+            // Exempt users were already charged against the original
+            // instance a residual was conditioned on; they do not consume
+            // the (residual) capacity again.
+            let charged = users.iter().filter(|&&u| !inst.is_exempt(item, u)).count();
+            if charged > inst.capacity(item) as usize {
                 return Err(ConstraintViolation::Capacity {
                     item,
-                    distinct_users: users.len(),
+                    distinct_users: charged,
                     capacity: inst.capacity(item),
                 });
             }

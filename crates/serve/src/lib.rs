@@ -7,6 +7,7 @@
 //! * [`PlanService`] — a persistent pool of planning workers.
 //!   [`PlanService::submit`] enqueues one instance and returns a
 //!   [`PlanTicket`] immediately; the ticket supports [`PlanTicket::wait`],
+//!   [`PlanTicket::wait_timeout`] (bounded, non-consuming),
 //!   [`PlanTicket::try_poll`], and [`PlanTicket::cancel`]. The front-end is
 //!   runtime-free (channel + condvar over the worker pool — no async
 //!   runtime), and the synchronous [`PlanService::plan_batch`] /
@@ -14,21 +15,43 @@
 //! * [`PlanSession`] — owns the planning state for one instance across its
 //!   horizon: report realized [`AdoptionEvent`]s
 //!   ([`PlanSession::advance`]), and the session fixes the prefix, builds
-//!   the residual instance (`revmax_core::residual_instance`), and replans
-//!   only the remaining horizon. The replanned suffix equals a from-scratch
-//!   plan of the residual instance to 1e-9 for every engine/heap/shard
-//!   configuration.
+//!   the residual instance (`revmax_core::residual_instance` — with exact,
+//!   exempt-aware capacity: re-displays to prefix users are never
+//!   double-charged), and replans only the remaining horizon. The
+//!   replanned suffix equals a from-scratch plan of the residual instance
+//!   to 1e-9 for every engine/heap/shard configuration — warm-started or
+//!   not, inline or attached.
 //!
-//! Two levels of parallelism serve a batch: instances spread across the pool
-//! workers (embarrassingly parallel), and each plan can run on
-//! `PlannerConfig::shards` user shards coupled only through the shared
-//! capacity ledger (deterministic: identical to the sequential plan at every
-//! shard count).
+//! # Sessions over the service
+//!
+//! [`PlanSession::attach`] routes a session's replans through a shared
+//! service: `advance` validates and applies the events, submits the replan
+//! as a ticketed job, and returns immediately with
+//! [`ReplanReport::pending`] set; [`PlanSession::sync`] (blocking) or
+//! [`PlanSession::try_sync`] (non-blocking) collect it. Many concurrent
+//! sessions multiplex one worker pool this way, and a newer event batch
+//! **cancels** the stale in-flight replan ([`PlanTicket::cancel`]) before
+//! submitting its own — late results are never applied.
+//!
+//! # Warm-started replans
+//!
+//! `PlannerConfig::warm_start` makes each advance build the residual
+//! instance incrementally (`revmax_core::residual_advance`: untouched
+//! candidate rows are a pure shift, only prefix-adjacent groups are
+//! rebuilt, and the instance is assembled without re-validation) and lets
+//! the engines recycle the previous replan's saturation tables and arena
+//! buffers (`revmax_core::EngineSnapshot`). Latency: on the bench instance
+//! (`amazon_like().scaled(0.02)`, 38k candidate pairs) warm-started
+//! replans run ≈ 1.1× faster per event than cold rebuilds, and the
+//! ticketed session-over-service path adds a few percent of round-trip
+//! overhead on a single session — amortised away once several sessions
+//! share the pool (`BENCH_session.json`, emitter: `bench_session`).
 //!
 //! ```
-//! use revmax_serve::PlanService;
+//! use revmax_serve::{PlanService, PlanSession};
 //! use revmax_algorithms::PlannerConfig;
 //! use revmax_core::InstanceBuilder;
+//! use std::sync::Arc;
 //!
 //! let mut b = InstanceBuilder::new(2, 1, 2);
 //! b.display_limit(1)
@@ -37,14 +60,22 @@
 //!     .candidate(1, 0, &[0.3, 0.2], 0.0);
 //! let inst = b.build().unwrap();
 //!
-//! let service = PlanService::new(2);
+//! let service = Arc::new(PlanService::new(2));
 //! let ticket = service.submit(inst.clone(), PlannerConfig::default()); // returns immediately
 //! let report = ticket.wait().expect("not cancelled");
 //! assert!(!report.outcome.strategy.is_empty());
 //!
 //! // Batch = submit-all-then-wait:
-//! let plans = service.plan_batch(vec![inst.clone(), inst], PlannerConfig::default());
+//! let plans = service.plan_batch(vec![inst.clone(), inst.clone()], PlannerConfig::default());
 //! assert_eq!(plans.len(), 2);
+//!
+//! // Session over the service, with warm-started replans:
+//! let mut session = PlanSession::new(inst, PlannerConfig::default().with_warm_start(true));
+//! session.attach(&service);
+//! let report = session.advance(&[]).unwrap(); // ticketed replan, returns immediately
+//! assert!(report.pending);
+//! let report = session.sync().expect("collects the replanned suffix");
+//! assert!(!report.pending);
 //! ```
 //!
 //! # Migrating from the pre-unification API
@@ -56,14 +87,20 @@
 //! | `BatchAlgorithm::GlobalGreedy` / `::SequentialLocalGreedy` | `PlanAlgorithm::GlobalGreedy` / `::SequentialLocalGreedy` |
 //! | `plan_batch(instances, PlanOptions { .. })` | [`plan_batch`]`(instances, PlannerConfig, ..)` — the function now accepts either (conversion is automatic) |
 //! | `GreedyOptions::from_env()` (in `revmax-algorithms`) | `PlannerConfig::from_env()` |
+//! | blocking [`PlanTicket::wait`] with an external watchdog | [`PlanTicket::wait_timeout`]`(duration)` → [`WaitOutcome`] |
+//! | synchronous-only `PlanSession::advance` (replans on the calling thread) | [`PlanSession::attach`]`(&service)` + `advance` + [`PlanSession::sync`] (ticketed, cancellable) |
+//! | from-scratch residual rebuild per advance | `PlannerConfig::warm_start(true)` (incremental residuals + recycled engine state; identical plans) |
+//! | `residual_instance` conservative capacity (re-displays double-charged) | exact exempt-aware capacity is now the default; `ResidualMode::Conservative` keeps the old accounting |
 //!
 //! The deprecated names still compile and produce identical plans (asserted
 //! by the compatibility tests); they are thin conversions into
 //! [`PlannerConfig`].
 //!
 //! The `bench_serve` binary measures batch throughput across shard counts
-//! plus the submit/await round-trip overhead of the async front-end, and
-//! records both in `BENCH_serve.json`.
+//! plus the submit/await round-trip overhead of the async front-end
+//! (`BENCH_serve.json`); the `bench_session` binary measures per-event
+//! replan latency — warm vs cold, inline vs attached
+//! (`BENCH_session.json`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -72,7 +109,7 @@ mod service;
 mod session;
 
 pub use revmax_algorithms::{PlanAlgorithm, PlannerConfig};
-pub use service::{plan_batch, PlanReport, PlanService, PlanTicket, TicketStatus};
+pub use service::{plan_batch, PlanReport, PlanService, PlanTicket, TicketStatus, WaitOutcome};
 pub use session::{PlanSession, ReplanReport, SessionError};
 
 // Deprecated pre-unification surface (see the migration table above).

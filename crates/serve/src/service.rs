@@ -21,12 +21,13 @@
 //!   finished job returns `false` and changes nothing — plans are short, so
 //!   there is no mid-plan abort.
 
-use revmax_algorithms::{plan, GreedyOutcome, PlannerConfig};
-use revmax_core::{Instance, Strategy};
+use revmax_algorithms::{plan_residual, GreedyOutcome, PlannerConfig};
+use revmax_core::{Instance, ResidualDelta, Strategy};
 use std::num::NonZeroUsize;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One planned instance: the submit-order index plus the planner outcome.
 #[derive(Debug, Clone)]
@@ -48,6 +49,19 @@ pub enum TicketStatus {
     Done,
     /// The ticket was cancelled before a worker claimed it.
     Cancelled,
+}
+
+/// What a bounded wait observed (see [`PlanTicket::wait_timeout`]).
+#[derive(Debug)]
+pub enum WaitOutcome {
+    /// The plan finished within the timeout; the report is handed over
+    /// (a report is collectable exactly once).
+    Done(PlanReport),
+    /// The ticket was cancelled before a worker claimed it.
+    Cancelled,
+    /// The timeout elapsed with the plan still queued or running. The
+    /// ticket is untouched: wait again, poll, or cancel.
+    TimedOut,
 }
 
 enum TicketState {
@@ -93,6 +107,39 @@ impl PlanTicket {
         }
     }
 
+    /// Blocks for at most `timeout`, then reports what it saw. Unlike
+    /// [`PlanTicket::wait`] this does not consume the ticket, so a timed-out
+    /// wait can be retried, polled, or cancelled; a plan that completes
+    /// *after* a timeout stays collectable by the next wait. The report is
+    /// handed over at most once — a [`WaitOutcome::Done`] here makes a later
+    /// `wait()` a contract violation (it panics), exactly like waiting
+    /// twice would be.
+    pub fn wait_timeout(&self, timeout: Duration) -> WaitOutcome {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("ticket state poisoned");
+        loop {
+            match &mut *state {
+                TicketState::Done(report) => {
+                    return WaitOutcome::Done(
+                        report.take().expect("a ticket's report is collected once"),
+                    )
+                }
+                TicketState::Cancelled => return WaitOutcome::Cancelled,
+                TicketState::Queued | TicketState::Running => {
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        return WaitOutcome::TimedOut;
+                    };
+                    let (guard, _timed_out) = self
+                        .shared
+                        .cond
+                        .wait_timeout(state, remaining)
+                        .expect("ticket state poisoned");
+                    state = guard;
+                }
+            }
+        }
+    }
+
     /// The ticket's current lifecycle state, without blocking. A `Done`
     /// result stays collectable via [`PlanTicket::wait`] (which then returns
     /// immediately).
@@ -125,6 +172,8 @@ struct Job {
     inst: Arc<Instance>,
     index: usize,
     config: PlannerConfig,
+    /// Warm-start handle of a session replan (`None` for one-shot plans).
+    delta: Option<ResidualDelta>,
     ticket: Arc<TicketShared>,
 }
 
@@ -177,13 +226,26 @@ impl PlanService {
     /// `Some(true)` explicitly to override (the plan itself is identical
     /// either way).
     pub fn submit(&self, inst: Instance, config: PlannerConfig) -> PlanTicket {
-        self.submit_indexed(Arc::new(inst), 0, config)
+        self.submit_indexed(Arc::new(inst), 0, config, None)
     }
 
     /// [`PlanService::submit`] without cloning the instance — batches of the
     /// same instance (e.g. the bench emitter) share one allocation.
     pub fn submit_shared(&self, inst: Arc<Instance>, config: PlannerConfig) -> PlanTicket {
-        self.submit_indexed(inst, 0, config)
+        self.submit_indexed(inst, 0, config, None)
+    }
+
+    /// Enqueues a **session replan**: like [`PlanService::submit_shared`],
+    /// with an optional [`ResidualDelta`] so a warm-start-enabled
+    /// configuration recycles the session's engine state on the worker. This
+    /// is the ticketed path `PlanSession::attach` routes its replans through.
+    pub fn submit_replan(
+        &self,
+        inst: Arc<Instance>,
+        config: PlannerConfig,
+        delta: Option<ResidualDelta>,
+    ) -> PlanTicket {
+        self.submit_indexed(inst, 0, config, delta)
     }
 
     fn submit_indexed(
@@ -191,6 +253,7 @@ impl PlanService {
         inst: Arc<Instance>,
         index: usize,
         mut config: PlannerConfig,
+        delta: Option<ResidualDelta>,
     ) -> PlanTicket {
         if config.parallel.is_none() {
             config.parallel = Some(false);
@@ -206,6 +269,7 @@ impl PlanService {
                 inst,
                 index,
                 config,
+                delta,
                 ticket: Arc::clone(&shared),
             })
             .expect("workers outlive the service");
@@ -223,7 +287,7 @@ impl PlanService {
         let tickets: Vec<PlanTicket> = instances
             .into_iter()
             .enumerate()
-            .map(|(index, inst)| self.submit_indexed(Arc::new(inst), index, config))
+            .map(|(index, inst)| self.submit_indexed(Arc::new(inst), index, config, None))
             .collect();
         tickets
             .into_iter()
@@ -264,7 +328,7 @@ fn worker_loop(job_rx: &Mutex<Receiver<Job>>) {
                 _ => *state = TicketState::Running,
             }
         }
-        let outcome = plan(&job.inst, &job.config);
+        let outcome = plan_residual(&job.inst, &job.config, job.delta.as_ref());
         let mut state = job.ticket.state.lock().expect("ticket state poisoned");
         *state = TicketState::Done(Some(PlanReport {
             index: job.index,
@@ -526,6 +590,67 @@ mod tests {
         // The service keeps serving around the hole.
         assert!(blocker.wait().is_some());
         assert!(kept.wait().is_some());
+    }
+
+    /// A ticket no worker will ever claim — its state is driven by the test
+    /// alone, so the timed-wait lifecycle is exercised deterministically
+    /// (a real queued job could be claimed at any time on a loaded host).
+    fn orphan_ticket() -> (PlanTicket, Arc<TicketShared>) {
+        let shared = Arc::new(TicketShared {
+            state: Mutex::new(TicketState::Queued),
+            cond: Condvar::new(),
+        });
+        (
+            PlanTicket {
+                shared: Arc::clone(&shared),
+            },
+            shared,
+        )
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_completes() {
+        let (ticket, shared) = orphan_ticket();
+        // Unclaimed: a bounded wait must time out and leave the ticket
+        // collectable.
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(5)),
+            WaitOutcome::TimedOut
+        ));
+        assert_eq!(ticket.try_poll(), TicketStatus::Queued);
+        // Completion arrives while the next bounded wait is blocking.
+        let filler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let mut state = shared.state.lock().unwrap();
+            *state = TicketState::Done(Some(PlanReport {
+                index: 7,
+                outcome: revmax_algorithms::plan(&instance(0), &PlannerConfig::default()),
+            }));
+            shared.cond.notify_all();
+        });
+        match ticket.wait_timeout(Duration::from_secs(60)) {
+            WaitOutcome::Done(report) => {
+                assert_eq!(report.index, 7);
+                assert!(!report.outcome.strategy.is_empty());
+            }
+            other => panic!("expected Done once the worker filled the cell, got {other:?}"),
+        }
+        filler.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_observes_cancellation() {
+        let (ticket, _shared) = orphan_ticket();
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(5)),
+            WaitOutcome::TimedOut
+        ));
+        assert!(ticket.cancel(), "still queued: cancel must take effect");
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(5)),
+            WaitOutcome::Cancelled
+        ));
+        assert!(ticket.wait().is_none(), "cancelled wait returns None");
     }
 
     #[test]

@@ -19,13 +19,39 @@
 //! instance — the engine-parity suites assert this to 1e-9 for both engines
 //! and shard counts 1 and 2 — so every engine/heap/shard knob of
 //! [`PlannerConfig`] remains a pure performance knob during a session too.
+//!
+//! # Warm-started replans
+//!
+//! With [`PlannerConfig::warm_start`] set, each advance builds the residual
+//! instance **incrementally** from the previous one
+//! ([`revmax_core::residual_advance`]: untouched candidate rows are a pure
+//! shift, only the groups of users with new events are rebuilt) and the
+//! engines recycle the previous replan's saturation tables and arena
+//! buffers through the session's [`EngineSnapshot`] pool. Warm and cold
+//! replans produce identical plans; the `bench_session` emitter measures
+//! the latency difference.
+//!
+//! # Sessions over a service
+//!
+//! [`PlanSession::attach`] routes replans through a shared [`PlanService`]:
+//! `advance` then validates and applies the events, submits the replan as a
+//! ticketed job, and returns immediately with [`ReplanReport::pending`]
+//! set; many concurrent sessions multiplex one worker pool this way. A
+//! newer event batch **cancels** the stale in-flight replan (via
+//! [`crate::PlanTicket::cancel`]; a replan already running is simply
+//! abandoned) before submitting its own. Collect with
+//! [`PlanSession::sync`] (blocking) or [`PlanSession::try_sync`]
+//! (non-blocking); until then the suffix accessors report the last
+//! *collected* plan.
 
-use revmax_algorithms::{plan, PlannerConfig};
+use crate::service::{PlanService, PlanTicket, TicketStatus};
+use revmax_algorithms::{plan, plan_residual, PlannerConfig};
 use revmax_core::{
-    realized_revenue, residual_of_validated, shift_strategy, validate_events, AdoptionEvent,
-    EventError, Instance, Strategy, Triple,
+    realized_revenue, residual_advance, residual_of_validated, shift_strategy, validate_events,
+    AdoptionEvent, EngineSnapshot, EventError, Instance, ResidualDelta, Strategy, Triple,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a session advance was rejected (the session state is unchanged).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +128,20 @@ pub struct ReplanReport {
     pub expected_remaining_revenue: f64,
     /// Revenue realized so far across all applied adoption events.
     pub realized_revenue: f64,
+    /// Whether the replan is still in flight on an attached
+    /// [`PlanService`]. When set, `suffix_len` and
+    /// `expected_remaining_revenue` are zero placeholders — collect the
+    /// real values with [`PlanSession::sync`] / [`PlanSession::try_sync`].
+    pub pending: bool,
+}
+
+/// A replan submitted to an attached service and not yet collected.
+struct PendingReplan {
+    ticket: PlanTicket,
+    /// The frontier the replan was submitted for.
+    now: u32,
+    /// Events applied by the advance that submitted it (for the report).
+    events_applied: usize,
 }
 
 /// A dynamic replanning session for one instance (see the module docs).
@@ -110,18 +150,35 @@ pub struct PlanSession {
     config: PlannerConfig,
     now: u32,
     events: Vec<AdoptionEvent>,
-    residual: Option<Instance>,
+    residual: Option<Arc<Instance>>,
     suffix: Strategy,
     expected_remaining: f64,
     realized: f64,
     replans: u32,
+    /// Warm-start pool shared across this session's replans.
+    snapshot: EngineSnapshot,
+    /// The service ticketed replans are routed through, when attached.
+    service: Option<Arc<PlanService>>,
+    /// The newest submitted-but-uncollected replan (attached mode only).
+    pending: Option<PendingReplan>,
 }
 
 impl PlanSession {
     /// Opens a session: plans the full horizon with `config` and fixes
     /// nothing yet (`now() == 0`).
     pub fn new(inst: Instance, config: PlannerConfig) -> Self {
-        let outcome = plan(&inst, &config);
+        let snapshot = EngineSnapshot::new();
+        let outcome = if config.warm_start {
+            // Seed the warm-start pool: the full-horizon tables stay valid
+            // for every residual (their horizons only shrink).
+            plan_residual(
+                &inst,
+                &config,
+                Some(&ResidualDelta::initial(snapshot.clone())),
+            )
+        } else {
+            plan(&inst, &config)
+        };
         PlanSession {
             suffix: outcome.strategy,
             expected_remaining: outcome.revenue,
@@ -132,6 +189,83 @@ impl PlanSession {
             replans: 0,
             inst,
             config,
+            snapshot,
+            service: None,
+            pending: None,
+        }
+    }
+
+    /// Routes every future replan through `service` as a ticketed job:
+    /// [`PlanSession::advance`] then submits and returns immediately
+    /// (`ReplanReport::pending`), many sessions multiplex the service's
+    /// worker pool, and a newer event batch cancels the stale in-flight
+    /// replan. Collect results with [`PlanSession::sync`] /
+    /// [`PlanSession::try_sync`]. Any replan still pending on a previous
+    /// service is collected first.
+    pub fn attach(&mut self, service: &Arc<PlanService>) {
+        let _ = self.sync();
+        self.service = Some(Arc::clone(service));
+    }
+
+    /// Detaches the session from its service (collecting any pending
+    /// replan); future advances replan inline again.
+    pub fn detach(&mut self) {
+        let _ = self.sync();
+        self.service = None;
+    }
+
+    /// Whether replans are routed through an attached [`PlanService`].
+    pub fn is_attached(&self) -> bool {
+        self.service.is_some()
+    }
+
+    /// Whether a submitted replan has not been collected yet.
+    pub fn replan_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The session's warm-start pool (saturation tables + recycled engine
+    /// buffers). Stays empty unless [`PlannerConfig::warm_start`] is set;
+    /// benches and tests use it to verify warm starts actually engage.
+    pub fn warm_snapshot(&self) -> &EngineSnapshot {
+        &self.snapshot
+    }
+
+    /// Blocks until the pending replan (if any) completes and applies it,
+    /// returning the finalized report. `None` when nothing was pending —
+    /// including the pathological case of a replan cancelled externally.
+    pub fn sync(&mut self) -> Option<ReplanReport> {
+        let pending = self.pending.take()?;
+        let report = pending.ticket.wait()?;
+        Some(self.apply_replan(pending.now, pending.events_applied, report.outcome))
+    }
+
+    /// Applies the pending replan if it already finished; `None` when
+    /// nothing is pending or the worker is still planning.
+    pub fn try_sync(&mut self) -> Option<ReplanReport> {
+        match self.pending.as_ref()?.ticket.try_poll() {
+            TicketStatus::Done | TicketStatus::Cancelled => self.sync(),
+            TicketStatus::Queued | TicketStatus::Running => None,
+        }
+    }
+
+    fn apply_replan(
+        &mut self,
+        now: u32,
+        events_applied: usize,
+        outcome: revmax_algorithms::GreedyOutcome,
+    ) -> ReplanReport {
+        debug_assert_eq!(now, self.now, "a stale replan must never be applied");
+        self.suffix = shift_strategy(&outcome.strategy, now);
+        self.expected_remaining = outcome.revenue;
+        self.replans += 1;
+        ReplanReport {
+            now,
+            events_applied,
+            suffix_len: self.suffix.len(),
+            expected_remaining_revenue: self.expected_remaining,
+            realized_revenue: self.realized,
+            pending: false,
         }
     }
 
@@ -187,12 +321,24 @@ impl PlanSession {
     }
 
     /// Expected revenue of the replanned suffix under the residual model.
+    ///
+    /// While a replan is pending on an attached session
+    /// ([`PlanSession::replan_pending`]) this still reflects the last
+    /// *collected* plan — whose suffix includes the just-realized step —
+    /// so collect with [`PlanSession::sync`] / [`PlanSession::try_sync`]
+    /// before reading it.
     pub fn expected_remaining_revenue(&self) -> f64 {
         self.expected_remaining
     }
 
     /// Realized + expected remaining revenue — the session's running
     /// estimate of the horizon's total take.
+    ///
+    /// While a replan is pending on an attached session the two terms
+    /// briefly overlap (the realized side already counts the latest step,
+    /// the expected side still plans it), so the sum transiently
+    /// over-counts; it is exact again after [`PlanSession::sync`] /
+    /// [`PlanSession::try_sync`] collect the pending replan.
     pub fn expected_total_revenue(&self) -> f64 {
         self.realized + self.expected_remaining
     }
@@ -201,7 +347,7 @@ impl PlanSession {
     /// before the first advance (the suffix is the full-horizon plan) and
     /// after the horizon is exhausted.
     pub fn residual(&self) -> Option<&Instance> {
-        self.residual.as_ref()
+        self.residual.as_deref()
     }
 
     /// Advances the frontier by one time step, applying that step's events.
@@ -248,6 +394,13 @@ impl PlanSession {
         all.extend_from_slice(events);
         validate_events(&self.inst, &all, now)?;
 
+        // This advance supersedes any replan still in flight: cancel it (a
+        // queued job never runs; a running one finishes and is abandoned).
+        if let Some(stale) = self.pending.take() {
+            stale.ticket.cancel();
+        }
+
+        let prev_now = self.now;
         self.realized += realized_revenue(&self.inst, events);
         self.events = all;
         self.now = now;
@@ -255,21 +408,51 @@ impl PlanSession {
             self.residual = None;
             self.suffix = Strategy::new();
             self.expected_remaining = 0.0;
-        } else {
-            let residual = residual_of_validated(&self.inst, &self.events, now);
-            let outcome = plan(&residual, &self.config);
-            self.suffix = shift_strategy(&outcome.strategy, now);
-            self.expected_remaining = outcome.revenue;
-            self.residual = Some(residual);
-            self.replans += 1;
+            return Ok(ReplanReport {
+                now,
+                events_applied: events.len(),
+                suffix_len: 0,
+                expected_remaining_revenue: 0.0,
+                realized_revenue: self.realized,
+                pending: false,
+            });
         }
-        Ok(ReplanReport {
-            now,
-            events_applied: events.len(),
-            suffix_len: self.suffix.len(),
-            expected_remaining_revenue: self.expected_remaining,
-            realized_revenue: self.realized,
-        })
+
+        // Residual construction: incremental from the previous residual when
+        // warm-starting (bit-identical to the from-scratch build — only the
+        // prefix-adjacent groups are rebuilt), from scratch otherwise.
+        let delta = self
+            .config
+            .warm_start
+            .then(|| ResidualDelta::new(prev_now, now, events, self.snapshot.clone()));
+        let residual = match (&delta, &self.residual) {
+            (Some(delta), Some(prev)) => residual_advance(&self.inst, prev, &self.events, delta),
+            _ => residual_of_validated(&self.inst, &self.events, now),
+        };
+        let residual = Arc::new(residual);
+        self.residual = Some(Arc::clone(&residual));
+
+        if let Some(service) = &self.service {
+            // Session-over-service: submit the ticketed replan and return
+            // immediately; sync()/try_sync() collect it.
+            let ticket = service.submit_replan(residual, self.config, delta);
+            self.pending = Some(PendingReplan {
+                ticket,
+                now,
+                events_applied: events.len(),
+            });
+            Ok(ReplanReport {
+                now,
+                events_applied: events.len(),
+                suffix_len: 0,
+                expected_remaining_revenue: 0.0,
+                realized_revenue: self.realized,
+                pending: true,
+            })
+        } else {
+            let outcome = plan_residual(&residual, &self.config, delta.as_ref());
+            Ok(self.apply_replan(now, events.len(), outcome))
+        }
     }
 }
 
@@ -336,10 +519,11 @@ mod tests {
             .collect()
     }
 
-    /// The acceptance criterion of the API redesign: after `k` adoption
-    /// events the session's replanned suffix equals a from-scratch plan of
-    /// the residual instance to 1e-9 — for both engines and shard counts
-    /// 1 and 2 — and all four configurations agree with each other.
+    /// The acceptance criterion of the replanning pipeline: after `k`
+    /// adoption events the session's replanned suffix equals a from-scratch
+    /// plan of the residual instance to 1e-9 — for both engines, shard
+    /// counts 1 and 2, and warm-started as well as cold replans — and all
+    /// eight configurations agree with each other.
     #[test]
     fn session_replan_matches_from_scratch_residual_plan() {
         for seed in 0..3u32 {
@@ -347,51 +531,61 @@ mod tests {
             let mut suffixes: Vec<Vec<Triple>> = Vec::new();
             for engine in [EngineKind::Flat, EngineKind::Hash] {
                 for shards in [1u32, 2] {
-                    let cfg = PlannerConfig::default()
-                        .with_engine(engine)
-                        .with_shards(shards);
-                    let mut session = PlanSession::new(inst.clone(), cfg);
-                    let mut all_events = Vec::new();
-                    for _day in 0..2 {
-                        let events = realize_upcoming(&session);
-                        all_events.extend(events.iter().copied());
-                        let report = session.advance(&events).expect("advance");
-                        assert_eq!(report.now, session.now());
+                    for warm in [false, true] {
+                        let cfg = PlannerConfig::default()
+                            .with_engine(engine)
+                            .with_shards(shards)
+                            .with_warm_start(warm);
+                        let mut session = PlanSession::new(inst.clone(), cfg);
+                        let mut all_events = Vec::new();
+                        for _day in 0..2 {
+                            let events = realize_upcoming(&session);
+                            all_events.extend(events.iter().copied());
+                            let report = session.advance(&events).expect("advance");
+                            assert_eq!(report.now, session.now());
 
-                        // From-scratch reference: residual instance built
-                        // independently, planned with the same config.
-                        let residual =
-                            residual_instance(&inst, &all_events, session.now()).unwrap();
-                        let reference = plan(&residual, &cfg);
-                        assert!(
-                            (session.expected_remaining_revenue() - reference.revenue).abs() < 1e-9,
-                            "seed {seed} {engine:?} {shards} shards: session {} vs scratch {}",
-                            session.expected_remaining_revenue(),
-                            reference.revenue
-                        );
-                        let shifted = shift_strategy(&reference.strategy, session.now());
-                        assert_eq!(
-                            session.planned_suffix().as_slice(),
-                            shifted.as_slice(),
-                            "seed {seed} {engine:?} {shards} shards: suffix diverged"
-                        );
-                        // And the reported expectation is a real evaluation of
-                        // the suffix under the residual model.
-                        assert!(
-                            (revenue(&residual, &reference.strategy)
-                                - session.expected_remaining_revenue())
-                            .abs()
-                                < 1e-9
-                        );
+                            // From-scratch reference: residual instance built
+                            // independently, planned with the same config.
+                            let residual =
+                                residual_instance(&inst, &all_events, session.now()).unwrap();
+                            let reference = plan(&residual, &cfg);
+                            assert!(
+                                (session.expected_remaining_revenue() - reference.revenue).abs()
+                                    < 1e-9,
+                                "seed {seed} {engine:?} {shards} shards: session {} vs scratch {}",
+                                session.expected_remaining_revenue(),
+                                reference.revenue
+                            );
+                            let shifted = shift_strategy(&reference.strategy, session.now());
+                            assert_eq!(
+                                session.planned_suffix().as_slice(),
+                                shifted.as_slice(),
+                                "seed {seed} {engine:?} {shards} shards: suffix diverged"
+                            );
+                            // And the reported expectation is a real evaluation of
+                            // the suffix under the residual model.
+                            assert!(
+                                (revenue(&residual, &reference.strategy)
+                                    - session.expected_remaining_revenue())
+                                .abs()
+                                    < 1e-9
+                            );
+                        }
+                        if warm && engine == EngineKind::Flat {
+                            // Warm starts must actually engage for the flat
+                            // engine: the pool holds tables and recycled buffers.
+                            assert!(session.warm_snapshot().has_tables());
+                            assert!(session.warm_snapshot().pooled_buffers() > 0);
+                        }
+                        suffixes.push(session.planned_suffix().iter().collect());
                     }
-                    suffixes.push(session.planned_suffix().iter().collect());
                 }
             }
-            // Engine/shard parity of the session path itself.
+            // Engine/shard/warm parity of the session path itself.
             for s in &suffixes[1..] {
                 assert_eq!(
                     suffixes[0], *s,
-                    "seed {seed}: engine/shard configurations diverged"
+                    "seed {seed}: engine/shard/warm configurations diverged"
                 );
             }
         }
@@ -523,6 +717,143 @@ mod tests {
         for s in session.planned_suffix().iter() {
             assert!(!(s.user.0 == 0 && inst.class_of(s.item).0 == 2));
         }
+    }
+
+    #[test]
+    fn attached_sessions_match_inline_sessions() {
+        // Several concurrent sessions multiplexed over one service must
+        // produce exactly the plans their inline twins produce.
+        let service = Arc::new(crate::PlanService::new(2));
+        for warm in [false, true] {
+            let mut attached: Vec<PlanSession> = Vec::new();
+            let mut inline: Vec<PlanSession> = Vec::new();
+            for seed in 0..3u32 {
+                let cfg = PlannerConfig::default().with_warm_start(warm);
+                let mut s = PlanSession::new(storefront_instance(seed), cfg);
+                s.attach(&service);
+                assert!(s.is_attached());
+                attached.push(s);
+                inline.push(PlanSession::new(storefront_instance(seed), cfg));
+            }
+            for _day in 0..2 {
+                // Submit every session's replan before collecting any: this
+                // is the multiplexing the service exists for.
+                let batches: Vec<Vec<AdoptionEvent>> =
+                    inline.iter().map(realize_upcoming).collect();
+                for (s, events) in attached.iter_mut().zip(&batches) {
+                    let report = s.advance(events).expect("advance");
+                    assert!(report.pending);
+                    assert!(s.replan_pending());
+                }
+                for (s, events) in inline.iter_mut().zip(&batches) {
+                    s.advance(events).expect("advance");
+                }
+                for (a, i) in attached.iter_mut().zip(&inline) {
+                    let report = a.sync().expect("a replan was pending");
+                    assert!(!report.pending);
+                    assert!(!a.replan_pending());
+                    assert_eq!(
+                        a.planned_suffix().as_slice(),
+                        i.planned_suffix().as_slice(),
+                        "attached and inline suffixes diverged (warm = {warm})"
+                    );
+                    assert!(
+                        (a.expected_remaining_revenue() - i.expected_remaining_revenue()).abs()
+                            < 1e-9
+                    );
+                    assert_eq!(a.replans(), i.replans());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn newer_event_batch_cancels_the_stale_inflight_replan() {
+        // A 1-worker service kept busy by a chunky job: the session's first
+        // replan sits queued, so the second advance must cancel it and the
+        // session must end up with exactly the second replan applied.
+        let service = Arc::new(crate::PlanService::new(1));
+        let blocker = {
+            let users = 60u32;
+            let items = 30u32;
+            let mut b = InstanceBuilder::new(users, items, 5);
+            b.display_limit(2);
+            for i in 0..items {
+                b.item_class(i, i % 6)
+                    .beta(i, 0.3 + 0.02 * (i % 10) as f64)
+                    .capacity(i, 20)
+                    .constant_price(i, 5.0 + i as f64);
+            }
+            for u in 0..users {
+                for i in 0..items {
+                    if (u + i) % 3 == 0 {
+                        let p = 0.1 + 0.01 * ((u + i) % 50) as f64;
+                        b.candidate(u, i, &[p, p, p, p, p], 3.0);
+                    }
+                }
+            }
+            service.submit(b.build().unwrap(), PlannerConfig::default())
+        };
+
+        let inst = storefront_instance(1);
+        let mut session = PlanSession::new(inst.clone(), PlannerConfig::default());
+        session.attach(&service);
+        let first = session.advance(&[]).expect("advance to day 1");
+        assert!(first.pending);
+        // Day 2 arrives before the day-1 replan was collected: supersede it.
+        let second = session.advance(&[]).expect("advance to day 2");
+        assert!(second.pending);
+        let report = session.sync().expect("the superseding replan completes");
+        assert_eq!(report.now, 2);
+        assert_eq!(session.replans(), 1, "the cancelled replan never applied");
+
+        // The surviving suffix is the from-scratch day-2 residual plan.
+        let residual = residual_instance(&inst, &[], 2).unwrap();
+        let reference = plan(&residual, session.config());
+        assert_eq!(
+            session.planned_suffix().as_slice(),
+            shift_strategy(&reference.strategy, 2).as_slice()
+        );
+        assert!(blocker.wait().is_some());
+    }
+
+    #[test]
+    fn detach_collects_and_returns_to_inline_replanning() {
+        let service = Arc::new(crate::PlanService::new(1));
+        let mut session = PlanSession::new(storefront_instance(0), PlannerConfig::default());
+        session.attach(&service);
+        assert!(session.advance(&[]).expect("advance").pending);
+        session.detach();
+        assert!(!session.is_attached());
+        assert!(
+            !session.replan_pending(),
+            "detach collects the pending replan"
+        );
+        assert!(session.replans() >= 1);
+        // Inline again: the report is final immediately.
+        let report = session.advance(&[]).expect("advance");
+        assert!(!report.pending);
+        assert!(report.suffix_len == session.planned_suffix().len());
+    }
+
+    #[test]
+    fn try_sync_is_nonblocking_and_eventually_applies() {
+        let service = Arc::new(crate::PlanService::new(1));
+        let mut session = PlanSession::new(storefront_instance(2), PlannerConfig::default());
+        session.attach(&service);
+        assert!(session.try_sync().is_none(), "nothing pending yet");
+        session.advance(&[]).expect("advance");
+        let mut spins = 0u32;
+        let report = loop {
+            if let Some(report) = session.try_sync() {
+                break report;
+            }
+            spins += 1;
+            assert!(spins < 10_000_000, "replan never completed");
+            std::thread::yield_now();
+        };
+        assert_eq!(report.now, 1);
+        assert!(!session.replan_pending());
     }
 
     #[test]

@@ -1,26 +1,34 @@
-//! Dynamic storefront: drive a [`PlanSession`] through a stream of adoption
-//! events — the paper's *dynamic* premise end to end.
+//! Dynamic storefronts over one plan service: several concurrent
+//! [`PlanSession`]s — one per regional storefront — multiplex a shared
+//! [`PlanService`] worker pool and react to adoption events day by day,
+//! with warm-started replans. The paper's *dynamic* premise, end to end.
 //!
-//! A small storefront plans a 5-day campaign, then lives through it day by
-//! day: each morning it displays the planned recommendations, each evening
-//! it reports which users adopted and which ignored them, and the session
-//! fixes the realized prefix and replans the remaining days on the residual
-//! instance (adopted classes close, rejected displays keep their saturation
-//! memory, consumed capacity stays consumed).
+//! Each storefront plans a 5-day campaign, then lives through it: every
+//! morning it displays the planned recommendations, every evening it
+//! reports which users adopted and which ignored them. The session fixes
+//! the realized prefix, conditions the instance on it (adopted classes
+//! close, rejected displays keep their saturation memory, consumed capacity
+//! stays consumed — with the displayed pairs exempt, so re-displays are
+//! never double-charged), submits the replan of the remaining days as a
+//! ticketed job, and the storefront collects it with `sync()`.
 //!
 //! Run with: `cargo run --release --example dynamic_storefront`
 //!
 //! Planner configuration comes from `PlannerConfig::from_env()`
-//! (`REVMAX_ENGINE`, `REVMAX_HEAP`, `REVMAX_SHARDS`, …); none of the knobs
-//! may change any (re)plan, which the example asserts by cross-checking
-//! every replanned suffix against a from-scratch plan of the residual
-//! instance on the *other* engine.
+//! (`REVMAX_ENGINE`, `REVMAX_HEAP`, `REVMAX_SHARDS`, `REVMAX_WARM_START`,
+//! …) with warm-started replans enabled by default; none of the knobs may
+//! change any (re)plan, which the example asserts by cross-checking every
+//! replanned suffix against a from-scratch plan of the residual instance
+//! on the *other* engine.
 
 use revmax::prelude::*;
+use std::sync::Arc;
 
-fn main() {
-    // 6 shoppers, 6 items in 3 classes (tablets, headphones, chargers),
-    // 5 days; the flagship tablet goes on sale on day 4.
+/// One regional storefront's instance: 6 shoppers, 6 items in 3 classes
+/// (tablets, headphones, chargers), 5 days; the flagship tablet goes on
+/// sale on day 4. The `region` seed shifts shopper tastes so the three
+/// storefronts genuinely plan different campaigns.
+fn storefront(region: u32) -> Instance {
     let mut b = InstanceBuilder::new(6, 6, 5);
     b.display_limit(1)
         .item_class(0, 0)
@@ -49,8 +57,8 @@ fn main() {
         .prices(5, &[25.0, 25.0, 22.0, 25.0, 25.0]);
     for u in 0..6u32 {
         for i in 0..6u32 {
-            if (u + i) % 2 == 0 || i % 3 == 0 {
-                let base = 0.10 + 0.05 * ((u + 2 * i) % 5) as f64;
+            if (u + i + region).is_multiple_of(2) || i.is_multiple_of(3) {
+                let base = 0.10 + 0.05 * ((u + 2 * i + region) % 5) as f64;
                 let probs: Vec<f64> = (0..5)
                     .map(|t| {
                         // Adoption jumps on discounted days.
@@ -66,96 +74,142 @@ fn main() {
             }
         }
     }
-    let instance = b.build().expect("valid instance");
+    b.build().expect("valid instance")
+}
 
-    let config = PlannerConfig::from_env();
-    let mut session = PlanSession::new(instance.clone(), config);
-    println!(
-        "campaign plan: {} recommendation slots, expected revenue {:.2}\n",
-        session.planned_suffix().len(),
-        session.expected_remaining_revenue()
-    );
+fn main() {
+    // Warm-started replans by default; every REVMAX_* knob still applies on
+    // top (and none may change a plan).
+    let config = PlannerConfig::default().with_warm_start(true).env_overlay();
+    let regions = ["north", "south", "harbor"];
 
-    // A deterministic "shopper model" for the demo: a user adopts a display
-    // when its primitive adoption probability is high enough for the day.
-    let adopts = |z: &Triple| instance.prob_of(*z) >= 0.22;
-
-    while !session.is_exhausted() {
-        let day = session.now() + 1;
-        let shown = session.upcoming();
-        let events: Vec<AdoptionEvent> = shown
-            .iter()
-            .map(|z| AdoptionEvent {
-                user: z.user,
-                item: z.item,
-                t: z.t,
-                outcome: if adopts(z) {
-                    AdoptionOutcome::Adopted
-                } else {
-                    AdoptionOutcome::Rejected
-                },
-            })
-            .collect();
-        let adopted: Vec<String> = events
-            .iter()
-            .filter(|e| e.is_adoption())
-            .map(|e| {
-                format!(
-                    "{} bought {} (${:.0})",
-                    e.user,
-                    e.item,
-                    instance.price(e.item, e.t)
-                )
-            })
-            .collect();
-
-        let report = session.advance(&events).expect("valid event batch");
+    // One shared service: every storefront's replans are ticketed jobs on
+    // the same worker pool.
+    let service = Arc::new(PlanService::new(2));
+    let mut sessions: Vec<(&str, Instance, PlanSession)> = regions
+        .iter()
+        .enumerate()
+        .map(|(region, &name)| {
+            let instance = storefront(region as u32);
+            let mut session = PlanSession::new(instance.clone(), config);
+            session.attach(&service);
+            (name, instance, session)
+        })
+        .collect();
+    for (name, _, session) in &sessions {
         println!(
-            "day {day}: displayed {:>2}, adopted {:>2} | realized ${:>8.2} | \
-             replanned {:>2} future slots worth ${:>8.2}",
-            events.len(),
-            adopted.len(),
-            report.realized_revenue,
-            report.suffix_len,
-            report.expected_remaining_revenue,
+            "{name:>7}: campaign plan {} slots, expected revenue {:.2}",
+            session.planned_suffix().len(),
+            session.expected_remaining_revenue()
         );
-        for line in &adopted {
-            println!("        {line}");
-        }
+    }
+    println!();
 
-        // Engine cross-check: the replanned suffix must equal a from-scratch
-        // plan of the residual instance under the *other* engine to 1e-9.
-        if let Some(residual) = session.residual() {
-            let other = match config.engine {
-                EngineKind::Flat => EngineKind::Hash,
-                EngineKind::Hash => EngineKind::Flat,
-            };
-            let reference = plan(residual, &config.with_engine(other));
-            assert!(
-                (reference.revenue - session.expected_remaining_revenue()).abs() < 1e-9,
-                "engines disagreed on the replanned suffix: {} vs {}",
-                reference.revenue,
-                session.expected_remaining_revenue()
+    for day in 1..=5u32 {
+        // Morning: every storefront displays its plan and observes the
+        // shoppers. A user adopts a display when its primitive adoption
+        // probability is high enough for the day.
+        let batches: Vec<Vec<AdoptionEvent>> = sessions
+            .iter()
+            .map(|(_, instance, session)| {
+                session
+                    .upcoming()
+                    .iter()
+                    .map(|z| AdoptionEvent {
+                        user: z.user,
+                        item: z.item,
+                        t: z.t,
+                        outcome: if instance.prob_of(*z) >= 0.22 {
+                            AdoptionOutcome::Adopted
+                        } else {
+                            AdoptionOutcome::Rejected
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Evening: submit every storefront's replan before collecting any —
+        // the sessions multiplex the shared pool instead of replanning one
+        // after another on this thread.
+        let mut submitted: Vec<ReplanReport> = Vec::new();
+        for ((_, _, session), events) in sessions.iter_mut().zip(&batches) {
+            let report = session.advance(events).expect("valid event batch");
+            assert!(report.pending == (day < 5), "day 5 exhausts the horizon");
+            submitted.push(report);
+        }
+        for (((name, _, session), events), submitted_report) in
+            sessions.iter_mut().zip(&batches).zip(submitted)
+        {
+            // sync() collects the ticketed replan; on day 5 the horizon is
+            // exhausted, nothing was submitted, and the advance report was
+            // already final.
+            let report = session.sync().unwrap_or(submitted_report);
+            let adopted = events.iter().filter(|e| e.is_adoption()).count();
+            println!(
+                "day {day} {name:>7}: displayed {:>2}, adopted {adopted:>2} | realized \
+                 ${:>8.2} | replanned {:>2} future slots worth ${:>8.2}",
+                events.len(),
+                report.realized_revenue,
+                report.suffix_len,
+                report.expected_remaining_revenue,
             );
-            let shifted = shift_strategy(&reference.strategy, session.now());
-            assert_eq!(
-                shifted.as_slice(),
-                session.planned_suffix().as_slice(),
-                "engines disagreed on the replanned suffix triples"
+
+            // Engine cross-check: the replanned suffix must equal a
+            // from-scratch plan of the residual instance under the *other*
+            // engine to 1e-9 — warm starts, the service route, and the
+            // engine are all pure performance knobs.
+            if let Some(residual) = session.residual() {
+                let other = match config.engine {
+                    EngineKind::Flat => EngineKind::Hash,
+                    EngineKind::Hash => EngineKind::Flat,
+                };
+                let reference = plan(residual, &config.with_engine(other));
+                assert!(
+                    (reference.revenue - session.expected_remaining_revenue()).abs() < 1e-9,
+                    "engines disagreed on the replanned suffix: {} vs {}",
+                    reference.revenue,
+                    session.expected_remaining_revenue()
+                );
+                let shifted = shift_strategy(&reference.strategy, session.now());
+                assert_eq!(
+                    shifted.as_slice(),
+                    session.planned_suffix().as_slice(),
+                    "engines disagreed on the replanned suffix triples"
+                );
+            }
+        }
+        println!();
+    }
+
+    let mut grand_total = 0.0;
+    for (name, _, session) in &sessions {
+        assert!(session.is_exhausted());
+        let adopted = session.events().iter().filter(|e| e.is_adoption()).count();
+        grand_total += session.realized_revenue();
+        println!(
+            "{name:>7}: campaign over — realized ${:.2} across {} events \
+             ({} adoptions, {} {} replans)",
+            session.realized_revenue(),
+            session.events().len(),
+            adopted,
+            session.replans(),
+            if config.warm_start { "warm" } else { "cold" },
+        );
+        // The snapshot pool only fills for the flat engine (the hash engine
+        // has nothing worth recycling) and only when the knob is on — and
+        // `REVMAX_WARM_START=0` / `REVMAX_ENGINE=hash` may have overridden
+        // the defaults above.
+        if config.warm_start && config.engine == EngineKind::Flat {
+            assert!(
+                session.warm_snapshot().has_tables(),
+                "warm-started sessions must engage the snapshot pool"
             );
         }
     }
-
     println!(
-        "\ncampaign over: realized revenue ${:.2} across {} events ({} replans).",
-        session.realized_revenue(),
-        session.events().len(),
-        session.replans(),
-    );
-    let adopted_count = session.events().iter().filter(|e| e.is_adoption()).count();
-    println!(
-        "{adopted_count} adoptions out of {} displays — the session closed each adopted \
-         class and re-invested those slots elsewhere.",
-        session.events().len()
+        "\nall storefronts: ${grand_total:.2} realized over one shared PlanService \
+         ({} workers).",
+        service.worker_count()
     );
 }

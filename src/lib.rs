@@ -17,8 +17,11 @@
 //!   [`plan`](crate::algorithms::plan).
 //! * [`serve`] — the serving layer: the asynchronous
 //!   [`PlanService`](crate::serve::PlanService) (submit → ticket →
-//!   wait/poll/cancel) and adoption-driven
-//!   [`PlanSession`](crate::serve::PlanSession) replanning.
+//!   wait/wait_timeout/poll/cancel) and adoption-driven
+//!   [`PlanSession`](crate::serve::PlanSession) replanning — inline, or
+//!   attached to a shared service (ticketed replans, stale ones cancelled),
+//!   with optional warm-started residual replans
+//!   (`PlannerConfig::warm_start`).
 //! * [`recsys`] — the matrix-factorization substrate.
 //! * [`pricing`] — KDE, valuations, and the random-price Taylor extension.
 //! * [`data`] — synthetic dataset generators shaped like the paper's crawls.
@@ -58,7 +61,9 @@
 //! #     .candidate(0, 0, &[0.3, 0.6, 0.5], 4.5).candidate(0, 1, &[0.7, 0.7, 0.6], 3.9)
 //! #     .candidate(1, 0, &[0.5, 0.8, 0.7], 4.8).candidate(1, 1, &[0.4, 0.4, 0.3], 3.2);
 //! # let instance = b.build().unwrap();
-//! let mut session = PlanSession::new(instance, PlannerConfig::default());
+//! // warm_start recycles engine state between replans (identical plans).
+//! let config = PlannerConfig::default().with_warm_start(true);
+//! let mut session = PlanSession::new(instance, config);
 //! let today = session.upcoming(); // what to display on day 1
 //! // … the storefront reports what actually happened …
 //! let events: Vec<AdoptionEvent> = today
@@ -67,6 +72,15 @@
 //!     .collect();
 //! let report = session.advance(&events).unwrap(); // replans days 2..=T
 //! assert!(report.expected_remaining_revenue >= 0.0);
+//!
+//! // Or multiplex many sessions over one service: ticketed replans,
+//! // stale in-flight replans cancelled by newer event batches.
+//! # use std::sync::Arc;
+//! let service = Arc::new(PlanService::new(2));
+//! session.attach(&service);
+//! let report = session.advance(&[]).unwrap();
+//! assert!(report.pending);
+//! session.sync().expect("collects the replanned suffix");
 //! ```
 //!
 //! ## Migrating from the pre-unification API
@@ -78,8 +92,10 @@
 //! | `global_greedy_with(inst, &opts)` | [`plan`](crate::algorithms::plan)`(inst, &config)` |
 //! | `local_greedy_with_order_opts(inst, order, &opts)` | [`plan_order`](crate::algorithms::plan_order)`(inst, order, &config)` |
 //! | `sharded_global_greedy` / `sharded_local_greedy` | `sharded_plan` / `sharded_plan_order` |
-//! | `GreedyOptions::from_env()` | `PlannerConfig::from_env()` (adds `REVMAX_ALGORITHM`, `REVMAX_SEED`) |
+//! | `GreedyOptions::from_env()` | `PlannerConfig::from_env()` (adds `REVMAX_ALGORITHM`, `REVMAX_SEED`, `REVMAX_WARM_START`) |
 //! | `BatchPlanner` / `PlanOptions` / `BatchAlgorithm` | [`PlanService`](crate::serve::PlanService) / `PlannerConfig` / `PlanAlgorithm` |
+//! | synchronous-only `PlanSession::advance` | [`PlanSession::attach`](crate::serve::PlanSession::attach) + `advance` + `sync` (ticketed replans over a shared service) |
+//! | conservative residual capacity (re-displays double-charged) | exempt-aware exact capacity (default); `ResidualMode::Conservative` keeps the old accounting |
 //!
 //! Every deprecated entry point still compiles and produces an identical
 //! plan (the old structs convert into `PlannerConfig` via `From`).
@@ -97,14 +113,16 @@ pub use revmax_serve as serve;
 /// The most commonly used items across the workspace, re-exported flat.
 pub mod prelude {
     pub use revmax_algorithms::{
-        global_greedy, global_no_saturation, plan, plan_order, randomized_local_greedy, run,
-        sequential_local_greedy, solve_t1_exact, top_rating, top_revenue, Algorithm, EngineKind,
-        GreedyOutcome, HeapKind, PlanAlgorithm, PlannerConfig, RunReport,
+        global_greedy, global_no_saturation, plan, plan_order, plan_residual,
+        randomized_local_greedy, run, sequential_local_greedy, solve_t1_exact, top_rating,
+        top_revenue, Algorithm, EngineKind, GreedyOutcome, HeapKind, PlanAlgorithm, PlannerConfig,
+        RunReport,
     };
     pub use revmax_core::{
-        realized_revenue, residual_instance, revenue, shift_strategy, validate_events,
-        AdoptionEvent, AdoptionOutcome, EventError, IncrementalRevenue, Instance, InstanceBuilder,
-        ItemId, Strategy, TimeStep, Triple, UserId,
+        realized_revenue, residual_advance, residual_instance, residual_instance_with, revenue,
+        shift_strategy, validate_events, AdoptionEvent, AdoptionOutcome, EngineSnapshot,
+        EventError, IncrementalRevenue, Instance, InstanceBuilder, ItemId, ResidualDelta,
+        ResidualMode, Strategy, TimeStep, Triple, UserId,
     };
     pub use revmax_data::{
         generate, generate_scalability, BetaSetting, CapacityDistribution, DatasetConfig,
@@ -113,7 +131,7 @@ pub mod prelude {
     pub use revmax_pricing::{adoption_probability, GaussianKde, GaussianValuation, Valuation};
     pub use revmax_recsys::{MatrixFactorization, MfConfig, RatingSet};
     pub use revmax_serve::{
-        plan_batch, PlanService, PlanSession, PlanTicket, ReplanReport, TicketStatus,
+        plan_batch, PlanService, PlanSession, PlanTicket, ReplanReport, TicketStatus, WaitOutcome,
     };
 
     // Deprecated pre-unification names, kept importable for compatibility.
