@@ -51,6 +51,35 @@ pub enum PlanAlgorithm {
     },
 }
 
+/// How the flat engine's saturation-aggregate fast path is selected.
+///
+/// When every item of a class shares one saturation factor `β` (detected at
+/// `Instance` build time, see `revmax_core::BetaProfile`), the flat engine
+/// answers marginals from per-(group, time) closed-form accumulators in
+/// `O(T)` instead of walking the group's selected triples. Mixed-β classes
+/// always fall back to the exact slab walk, so every mode is safe on every
+/// instance; like all planner knobs this changes speed, never results
+/// (parity asserted to 1e-9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregates {
+    /// Engage the fast path wherever a group's class qualifies (default).
+    #[default]
+    Auto,
+    /// Same engagement as [`Aggregates::Auto`] — an explicit opt-in that
+    /// stays fixed if `Auto` ever grows a size heuristic.
+    On,
+    /// Never engage the fast path; every group uses the slab walk (the
+    /// ablation the aggregate-vs-walk bench rows measure).
+    Off,
+}
+
+impl Aggregates {
+    /// Whether engines should enable their aggregate path.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, Aggregates::Off)
+    }
+}
+
 /// The unified configuration for every REVMAX planner.
 ///
 /// Construct with [`PlannerConfig::default`] plus the `with_*` builder
@@ -90,6 +119,10 @@ pub struct PlannerConfig {
     /// replans produce identical plans (asserted to 1e-9 for both engines at
     /// shard counts 1 and 2).
     pub warm_start: bool,
+    /// Saturation-aggregate fast path selection (default
+    /// [`Aggregates::Auto`]): uniform-β classes answer marginals from `O(T)`
+    /// closed-form accumulators, mixed-β classes keep the exact slab walk.
+    pub aggregates: Aggregates,
 }
 
 impl Default for PlannerConfig {
@@ -105,6 +138,7 @@ impl Default for PlannerConfig {
             track_trace: false,
             parallel: None,
             warm_start: false,
+            aggregates: Aggregates::default(),
         }
     }
 }
@@ -177,6 +211,13 @@ impl PlannerConfig {
         self
     }
 
+    /// Selects the saturation-aggregate fast-path mode (see
+    /// [`PlannerConfig::aggregates`]).
+    pub fn with_aggregates(mut self, aggregates: Aggregates) -> Self {
+        self.aggregates = aggregates;
+        self
+    }
+
     /// Default configuration with the environment knobs layered on top —
     /// shorthand for `PlannerConfig::default().env_overlay()`.
     pub fn from_env() -> Self {
@@ -192,7 +233,9 @@ impl PlannerConfig {
     /// * `REVMAX_HEAP` — `lazy` (default) or `dary` / `indexed_dary`;
     /// * `REVMAX_SHARDS` — shard count (`≥ 2` engages the sharded core);
     /// * `REVMAX_SEED` — seed for the randomized algorithms;
-    /// * `REVMAX_WARM_START` — `1` enables warm-started residual replans.
+    /// * `REVMAX_WARM_START` — `1` enables warm-started residual replans;
+    /// * `REVMAX_AGGREGATES` — `auto` (default), `on`, or `off`: the
+    ///   saturation-aggregate fast path for uniform-β classes.
     ///
     /// Unset or unparsable values keep the receiver's setting — selection
     /// must never change results (only speed), so a typo degrades
@@ -216,6 +259,9 @@ impl PlannerConfig {
         }
         if let Some(warm) = env::var::<u32>("REVMAX_WARM_START") {
             self.warm_start = warm != 0;
+        }
+        if let Some(aggregates) = env::var_with("REVMAX_AGGREGATES", parse_aggregates) {
+            self.aggregates = aggregates;
         }
         self
     }
@@ -256,6 +302,15 @@ fn parse_heap(s: &str) -> Option<HeapKind> {
     match s {
         "lazy" => Some(HeapKind::Lazy),
         "dary" | "indexed_dary" => Some(HeapKind::IndexedDary),
+        _ => None,
+    }
+}
+
+fn parse_aggregates(s: &str) -> Option<Aggregates> {
+    match s {
+        "auto" => Some(Aggregates::Auto),
+        "on" | "1" | "true" => Some(Aggregates::On),
+        "off" | "0" | "false" => Some(Aggregates::Off),
         _ => None,
     }
 }
@@ -317,6 +372,7 @@ impl From<crate::global_greedy::GreedyOptions> for PlannerConfig {
             track_trace: o.track_trace,
             parallel: Some(o.parallel_init),
             warm_start: false,
+            aggregates: Aggregates::default(),
         }
     }
 }
@@ -350,7 +406,8 @@ mod tests {
             .with_lazy_forward(false)
             .with_two_level_heaps(false)
             .with_track_trace(true)
-            .with_parallel(Some(false));
+            .with_parallel(Some(false))
+            .with_aggregates(Aggregates::Off);
         assert_eq!(cfg.algorithm, PlanAlgorithm::SequentialLocalGreedy);
         assert_eq!(cfg.engine, EngineKind::Hash);
         assert_eq!(cfg.heap, HeapKind::IndexedDary);
@@ -360,10 +417,19 @@ mod tests {
         assert!(!cfg.two_level_heaps);
         assert!(cfg.track_trace);
         assert_eq!(cfg.parallel, Some(false));
+        assert_eq!(cfg.aggregates, Aggregates::Off);
+        assert!(!cfg.aggregates.enabled());
+        assert!(PlannerConfig::default().aggregates.enabled());
     }
 
     #[test]
     fn knob_parsers_accept_the_documented_values() {
+        assert_eq!(parse_aggregates("auto"), Some(Aggregates::Auto));
+        assert_eq!(parse_aggregates("on"), Some(Aggregates::On));
+        assert_eq!(parse_aggregates("1"), Some(Aggregates::On));
+        assert_eq!(parse_aggregates("off"), Some(Aggregates::Off));
+        assert_eq!(parse_aggregates("0"), Some(Aggregates::Off));
+        assert_eq!(parse_aggregates("typo"), None);
         assert_eq!(parse_engine("flat"), Some(EngineKind::Flat));
         assert_eq!(parse_engine("hash"), Some(EngineKind::Hash));
         assert_eq!(parse_engine("typo"), None);

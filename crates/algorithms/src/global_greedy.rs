@@ -55,7 +55,7 @@ pub enum EngineKind {
 /// a `GreedyOptions` converts losslessly via `PlannerConfig::from`.
 #[deprecated(
     since = "0.2.0",
-    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`)"
+    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`); removal scheduled for 0.4.0"
 )]
 #[derive(Debug, Clone, Copy)]
 pub struct GreedyOptions {
@@ -111,7 +111,10 @@ impl Default for GreedyOptions {
 #[allow(deprecated)]
 impl GreedyOptions {
     /// Default options with the `REVMAX_*` environment knobs layered on top.
-    #[deprecated(since = "0.2.0", note = "use PlannerConfig::from_env")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use PlannerConfig::from_env; removal scheduled for 0.4.0"
+    )]
     pub fn from_env() -> Self {
         let cfg = PlannerConfig::from_env();
         GreedyOptions {
@@ -160,14 +163,18 @@ pub fn global_no_saturation(inst: &Instance) -> GreedyOutcome {
 }
 
 /// Runs G-Greedy with explicit options.
-#[deprecated(since = "0.2.0", note = "use plan with a PlannerConfig")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan with a PlannerConfig; removal scheduled for 0.4.0"
+)]
 #[allow(deprecated)]
 pub fn global_greedy_with(inst: &Instance, opts: &GreedyOptions) -> GreedyOutcome {
     dispatch(inst, &PlannerConfig::from(*opts), None)
 }
 
 /// Constructs the engine for a driver: warm-started from the delta's
-/// snapshot when the configuration asks for it, cold otherwise.
+/// snapshot when the configuration asks for it, cold otherwise, with the
+/// saturation-aggregate knob applied before the first insertion.
 pub(crate) fn make_engine<'a, E: RevenueEngine<'a>>(
     inst: &'a Instance,
     ignore_saturation: bool,
@@ -175,10 +182,12 @@ pub(crate) fn make_engine<'a, E: RevenueEngine<'a>>(
     cfg: &PlannerConfig,
     delta: Option<&ResidualDelta>,
 ) -> E {
-    match delta {
+    let mut engine = match delta {
         Some(delta) if cfg.warm_start => E::warm_start(inst, ignore_saturation, shard, delta),
         _ => E::for_shard(inst, ignore_saturation, shard),
-    }
+    };
+    engine.set_aggregates(cfg.aggregates.enabled());
+    engine
 }
 
 /// The G-Greedy driver dispatch: shard count, engine, heap layout. `delta`

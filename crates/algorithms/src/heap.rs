@@ -15,7 +15,7 @@
 //!
 //! Both heaps break ties identically (maximum value, then the smaller
 //! element id), so the greedy algorithms produce the same selection sequence
-//! whichever heap backs them; [`SelectionHeap`] is the runtime-selected
+//! whichever heap backs them; [`HeapKind`] is the runtime-selected
 //! dispatcher behind `GreedyOptions::heap`, and the equivalence is asserted
 //! by the tests below and the driver-level tests in
 //! `tests/algorithm_properties.rs`.

@@ -3,7 +3,7 @@
 //! Optimization algorithms for REVMAX, the revenue-maximizing dynamic
 //! recommendation problem:
 //!
-//! * [`global_greedy`] — G-Greedy (Algorithm 1): hill climbing over the entire
+//! * [`mod@global_greedy`] — G-Greedy (Algorithm 1): hill climbing over the entire
 //!   `U × I × [T]` ground set with the two-level heap layout and the
 //!   lazy-forward optimisation of §5.1, plus the `GlobalNo` ablation
 //!   ([`global_no_saturation`]) that ignores saturation during selection;
@@ -48,7 +48,7 @@ pub mod staged;
 
 pub use baselines::{top_rating, top_revenue};
 pub use capacity_oracle::MonteCarloOracle;
-pub use config::{plan, plan_order, plan_residual, PlanAlgorithm, PlannerConfig};
+pub use config::{plan, plan_order, plan_residual, Aggregates, PlanAlgorithm, PlannerConfig};
 pub use exhaustive::{candidate_triples, exact_optimum, ExactOutcome};
 pub use global_greedy::{global_greedy, global_no_saturation, EngineKind, GreedyOutcome};
 pub use heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};

@@ -33,7 +33,7 @@ use std::collections::HashSet;
 /// `LocalGreedyOptions` converts losslessly via `PlannerConfig::from`.
 #[deprecated(
     since = "0.2.0",
-    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`)"
+    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`); removal scheduled for 0.4.0"
 )]
 #[derive(Debug, Clone, Copy)]
 pub struct LocalGreedyOptions {
@@ -82,7 +82,10 @@ pub fn local_greedy_with_order(inst: &Instance, order: &[u32]) -> GreedyOutcome 
 }
 
 /// [`local_greedy_with_order`] with explicit engine / parallelism options.
-#[deprecated(since = "0.2.0", note = "use plan_order with a PlannerConfig")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan_order with a PlannerConfig; removal scheduled for 0.4.0"
+)]
 #[allow(deprecated)]
 pub fn local_greedy_with_order_opts(
     inst: &Instance,

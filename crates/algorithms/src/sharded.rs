@@ -301,7 +301,10 @@ pub fn sharded_plan_residual(
 }
 
 /// Runs G-Greedy on the shard-partitioned core with `pieces` user shards.
-#[deprecated(since = "0.2.0", note = "use sharded_plan with a PlannerConfig")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use sharded_plan with a PlannerConfig; removal scheduled for 0.4.0"
+)]
 #[allow(deprecated)]
 pub fn sharded_global_greedy(
     inst: &Instance,
@@ -471,7 +474,10 @@ pub fn sharded_plan_order_residual(
 }
 
 /// Runs the per-time-step local greedy on the shard-partitioned core.
-#[deprecated(since = "0.2.0", note = "use sharded_plan_order with a PlannerConfig")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use sharded_plan_order with a PlannerConfig; removal scheduled for 0.4.0"
+)]
 #[allow(deprecated)]
 pub fn sharded_local_greedy(
     inst: &Instance,

@@ -644,3 +644,55 @@ fn unified_plan_matches_dedicated_entry_points() {
         );
     }
 }
+
+/// The saturation-aggregate knob is behaviour-neutral: on a uniform-β
+/// generated dataset (where the fast path engages on every group) and on
+/// random mixed-β instances (where it falls back per group), `Aggregates::Off`
+/// and the default `Auto` produce the same plan for both engines at shard
+/// counts 1 and 2, for the global and the per-time-step drivers.
+#[test]
+fn aggregates_knob_is_behaviour_neutral_across_engines_and_shards() {
+    use revmax_algorithms::Aggregates;
+
+    let mut uniform = DatasetConfig::tiny();
+    uniform.beta = revmax_data::BetaSetting::PerClassRandom;
+    let uniform_ds = generate(&uniform);
+    assert!(uniform_ds.instance.all_beta_uniform());
+
+    let mut rng = StdRng::seed_from_u64(0xA667);
+    let mut instances: Vec<Instance> = (0..6).map(|_| random_small_instance(&mut rng)).collect();
+    instances.push(uniform_ds.instance);
+
+    for (idx, inst) in instances.iter().enumerate() {
+        for engine in [EngineKind::Flat, EngineKind::Hash] {
+            for shards in [1u32, 2] {
+                let base = PlannerConfig::default()
+                    .with_engine(engine)
+                    .with_shards(shards);
+                let on = plan(inst, &base.with_aggregates(Aggregates::Auto));
+                let off = plan(inst, &base.with_aggregates(Aggregates::Off));
+                assert!(
+                    (on.revenue - off.revenue).abs() <= 1e-9 * off.revenue.abs().max(1.0),
+                    "case {idx} {engine:?} shards {shards}: GG {} vs {}",
+                    on.revenue,
+                    off.revenue
+                );
+                assert_eq!(on.strategy.len(), off.strategy.len());
+                for z in on.strategy.iter() {
+                    assert!(off.strategy.contains(z), "case {idx}: diverged at {z}");
+                }
+
+                let order: Vec<u32> = (1..=inst.horizon()).collect();
+                let on = plan_order(inst, &order, &base.with_aggregates(Aggregates::Auto));
+                let off = plan_order(inst, &order, &base.with_aggregates(Aggregates::Off));
+                assert!(
+                    (on.revenue - off.revenue).abs() <= 1e-9 * off.revenue.abs().max(1.0),
+                    "case {idx} {engine:?} shards {shards}: SLG {} vs {}",
+                    on.revenue,
+                    off.revenue
+                );
+                assert_eq!(on.strategy.len(), off.strategy.len());
+            }
+        }
+    }
+}

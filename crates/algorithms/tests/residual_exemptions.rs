@@ -279,3 +279,95 @@ fn incremental_residuals_match_from_scratch_across_random_histories() {
         assert_eq!(a.revenue.to_bits(), b.revenue.to_bits());
     }
 }
+
+/// Exempt-user residuals re-planned with the saturation-aggregate fast path
+/// engaged: uniform-β instances (one β per class) produce residuals whose
+/// exempt capacity accounting and aggregate marginals compose — plans match
+/// the walk ablation and the hash engine to 1e-9, warm and cold, and the
+/// warm path still hands its recycled aggregate buffers back through the
+/// snapshot pool.
+#[test]
+fn exempt_residuals_replan_identically_with_aggregates_on() {
+    use revmax_algorithms::{plan_residual, Aggregates};
+
+    let mut rng = StdRng::seed_from_u64(0xA66E);
+    let mut binding_cases = 0u32;
+    for case in 0..60u32 {
+        // Uniform-β variant of the storefront-shaped generator: one β per
+        // class, so every residual group qualifies for aggregates.
+        let num_users = rng.gen_range(3u32..=5);
+        let num_items = rng.gen_range(3u32..=6);
+        let horizon = rng.gen_range(3u32..=5);
+        let num_classes = rng.gen_range(2u32..=3);
+        let class_betas: Vec<f64> = (0..num_classes).map(|_| rng.gen_range(0.2..=1.0)).collect();
+        let mut b = InstanceBuilder::new(num_users, num_items, horizon);
+        b.display_limit(rng.gen_range(1u32..=2));
+        for item in 0..num_items {
+            let class = rng.gen_range(0..num_classes);
+            b.item_class(item, class);
+            b.beta(item, class_betas[class as usize]);
+            b.capacity(item, rng.gen_range(1u32..=3));
+            let prices: Vec<f64> = (0..horizon).map(|_| rng.gen_range(5.0..50.0)).collect();
+            b.prices(item, &prices);
+        }
+        for user in 0..num_users {
+            for item in 0..num_items {
+                if rng.gen_bool(0.75) {
+                    let probs: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.05..0.8)).collect();
+                    b.candidate(user, item, &probs, probs[0] * 5.0);
+                }
+            }
+        }
+        let inst = b.build().expect("uniform-beta instance must build");
+        assert!(inst.all_beta_uniform());
+
+        let now = rng.gen_range(1..inst.horizon());
+        let events = random_events(&mut rng, &inst, now);
+        let residual = residual_of_validated(&inst, &events, now);
+        assert!(residual.all_beta_uniform(), "case {case}: residual profile");
+        if residual.has_exemptions() {
+            binding_cases += 1;
+        }
+
+        let snapshot = EngineSnapshot::new();
+        let delta = ResidualDelta::initial(snapshot.clone());
+        for shards in [1u32, 2] {
+            let base = PlannerConfig::default().with_shards(shards);
+            let agg_cold = plan(&residual, &base);
+            let walk_cold = plan(&residual, &base.with_aggregates(Aggregates::Off));
+            let hash_cold = plan(&residual, &base.with_engine(EngineKind::Hash));
+            let agg_warm = plan_residual(&residual, &base.with_warm_start(true), Some(&delta));
+            for (label, other) in [
+                ("walk", &walk_cold),
+                ("hash", &hash_cold),
+                ("warm", &agg_warm),
+            ] {
+                assert!(
+                    (agg_cold.revenue - other.revenue).abs()
+                        <= 1e-9 * agg_cold.revenue.abs().max(1.0),
+                    "case {case} shards {shards}: aggregates {} vs {label} {}",
+                    agg_cold.revenue,
+                    other.revenue
+                );
+                assert_eq!(
+                    agg_cold.strategy.len(),
+                    other.strategy.len(),
+                    "case {case} shards {shards}: {label} size"
+                );
+            }
+            assert!(agg_cold.strategy.validate(&residual).is_ok());
+        }
+        assert!(
+            snapshot.has_tables(),
+            "case {case}: warm replans must seed the snapshot pool"
+        );
+        assert!(
+            snapshot.pooled_buffers() > 0,
+            "case {case}: warm engines must return their buffers"
+        );
+    }
+    assert!(
+        binding_cases >= 30,
+        "only {binding_cases} of 60 cases produced exempt pairs"
+    );
+}

@@ -14,11 +14,19 @@
 //! The emitter also asserts that both engines report revenues equal to 1e-9
 //! on every algorithm, so a perf regression hunt can never silently change
 //! results.
+//!
+//! A second section benches the saturation-aggregate fast path: the same
+//! amazon-shaped dataset regenerated with **one β per item class**
+//! (`BetaSetting::PerClassRandom`, every class `BetaProfile::Uniform`), timed
+//! with `Aggregates::Auto` (the `flat_agg` rows — O(T) closed-form marginals)
+//! against `Aggregates::Off` (the `flat_walk` rows — the exact slab walk),
+//! parity-asserted to relative 1e-9. The headline is
+//! `gg_speedup_aggregates_over_walk` under the `uniform_beta` key.
 
-use revmax_algorithms::{plan, plan_order, EngineKind, PlannerConfig};
+use revmax_algorithms::{plan, plan_order, Aggregates, EngineKind, PlannerConfig};
 use revmax_bench::seed_global_greedy;
 use revmax_core::{env, Instance};
-use revmax_data::{generate, DatasetConfig};
+use revmax_data::{generate, BetaSetting, DatasetConfig};
 use std::time::Instant;
 
 struct Row {
@@ -53,14 +61,14 @@ fn time_runs<F: FnMut() -> (f64, usize)>(samples: usize, mut f: F) -> (u128, u12
     )
 }
 
-fn bench_engine(
+fn bench_config(
     inst: &Instance,
-    engine: EngineKind,
+    cfg: PlannerConfig,
     engine_name: &'static str,
     samples: usize,
     rows: &mut Vec<Row>,
 ) {
-    let gg_cfg = PlannerConfig::default().with_engine(engine);
+    let gg_cfg = cfg;
     let (median_ns, min_ns, revenue, strategy_len) = time_runs(samples, || {
         let out = plan(inst, &gg_cfg);
         (out.revenue, out.strategy.len())
@@ -75,7 +83,7 @@ fn bench_engine(
     });
 
     let order: Vec<u32> = (1..=inst.horizon()).collect();
-    let lg_cfg = PlannerConfig::default().with_engine(engine);
+    let lg_cfg = cfg;
     let (median_ns, min_ns, revenue, strategy_len) = time_runs(samples, || {
         let out = plan_order(inst, &order, &lg_cfg);
         (out.revenue, out.strategy.len())
@@ -125,14 +133,20 @@ fn main() {
         revenue,
         strategy_len,
     });
-    bench_engine(
+    bench_config(
         inst,
-        EngineKind::Hash,
+        PlannerConfig::default().with_engine(EngineKind::Hash),
         "hash_new_driver",
         samples,
         &mut rows,
     );
-    bench_engine(inst, EngineKind::Flat, "flat_arena", samples, &mut rows);
+    bench_config(
+        inst,
+        PlannerConfig::default(),
+        "flat_arena",
+        samples,
+        &mut rows,
+    );
 
     // Results must be identical across engines — speed is the only difference.
     for alg in ["GG", "SLG"] {
@@ -158,6 +172,89 @@ fn main() {
             hash.median_ns, flat.median_ns, flat.revenue, flat.strategy_len
         );
     }
+
+    // --- saturation-aggregate fast path: uniform-β amazon-shaped variant ---
+    eprintln!("generating uniform-beta (per-class) variant ...");
+    let mut agg_config = DatasetConfig::amazon_like().scaled(scale);
+    agg_config.beta = BetaSetting::PerClassRandom;
+    agg_config.name.push_str("-classbeta");
+    let agg_ds = generate(&agg_config);
+    let agg_inst = &agg_ds.instance;
+    assert!(
+        agg_inst.all_beta_uniform(),
+        "per-class betas must make every class uniform"
+    );
+    // Samples are interleaved round-robin (walk, agg, walk, agg, …) so host
+    // noise and cache warm-up hit both modes equally.
+    let walk_cfg = PlannerConfig::default().with_aggregates(Aggregates::Off);
+    let agg_cfg = PlannerConfig::default();
+    let order: Vec<u32> = (1..=agg_inst.horizon()).collect();
+    let mut agg_rows = Vec::new();
+    for (algorithm, runner) in [
+        (
+            "GG",
+            Box::new(|cfg: &PlannerConfig| plan(agg_inst, cfg))
+                as Box<dyn Fn(&PlannerConfig) -> revmax_algorithms::GreedyOutcome>,
+        ),
+        (
+            "SLG",
+            Box::new(|cfg: &PlannerConfig| plan_order(agg_inst, &order, cfg)),
+        ),
+    ] {
+        let mut times = [Vec::new(), Vec::new()];
+        let mut results = [(0.0, 0usize), (0.0, 0usize)];
+        for _ in 0..samples {
+            for (mode, cfg) in [&walk_cfg, &agg_cfg].into_iter().enumerate() {
+                let t0 = Instant::now();
+                let out = runner(cfg);
+                times[mode].push(t0.elapsed().as_nanos());
+                results[mode] = (out.revenue, out.strategy.len());
+            }
+        }
+        for (mode, engine) in ["flat_walk", "flat_agg"].into_iter().enumerate() {
+            agg_rows.push(Row {
+                algorithm,
+                engine,
+                median_ns: median(times[mode].clone()),
+                min_ns: *times[mode].iter().min().expect("samples > 0"),
+                revenue: results[mode].0,
+                strategy_len: results[mode].1,
+            });
+        }
+    }
+    for alg in ["GG", "SLG"] {
+        let of = |engine: &str| {
+            agg_rows
+                .iter()
+                .find(|r| r.algorithm == alg && r.engine == engine)
+                .expect("both aggregate modes benched")
+        };
+        let (walk, agg) = (of("flat_walk"), of("flat_agg"));
+        assert!(
+            (walk.revenue - agg.revenue).abs() <= 1e-9 * agg.revenue.abs().max(1.0),
+            "{alg}: aggregate modes disagree: walk {} vs agg {}",
+            walk.revenue,
+            agg.revenue
+        );
+        assert_eq!(
+            walk.strategy_len, agg.strategy_len,
+            "{alg}: strategy sizes diverged across aggregate modes"
+        );
+        let speedup = walk.median_ns as f64 / agg.median_ns as f64;
+        eprintln!(
+            "{alg} uniform-beta: walk {:>12} ns  agg {:>12} ns  speedup {speedup:.2}x",
+            walk.median_ns, agg.median_ns
+        );
+    }
+    let agg_speedup = |alg: &str| {
+        let of = |engine: &str| {
+            agg_rows
+                .iter()
+                .find(|r| r.algorithm == alg && r.engine == engine)
+                .unwrap()
+        };
+        of("flat_walk").median_ns as f64 / of("flat_agg").median_ns as f64
+    };
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -208,9 +305,39 @@ fn main() {
     let speedup_vs_seed = gg_seed.median_ns as f64 / gg_flat.median_ns as f64;
     eprintln!("GG speedup vs pre-refactor seed baseline: {speedup_vs_seed:.2}x");
     json.push_str(&format!(
-        "  \"gg_speedup_flat_over_seed\": {:.3},\n  \"gg_speedup_flat_over_hash_new_driver\": {:.3}\n}}\n",
+        "  \"gg_speedup_flat_over_seed\": {:.3},\n  \"gg_speedup_flat_over_hash_new_driver\": {:.3},\n",
         speedup_vs_seed,
         gg_hash.median_ns as f64 / gg_flat.median_ns as f64
+    ));
+    json.push_str("  \"uniform_beta\": {\n");
+    json.push_str(&format!(
+        "    \"dataset\": \"amazon_like.scaled({scale}) + BetaSetting::PerClassRandom\",\n"
+    ));
+    json.push_str(&format!(
+        "    \"num_users\": {}, \"num_items\": {}, \"horizon\": {}, \"num_candidates\": {},\n",
+        agg_inst.num_users(),
+        agg_inst.num_items(),
+        agg_inst.horizon(),
+        agg_inst.num_candidates()
+    ));
+    json.push_str("    \"measurements\": [\n");
+    for (idx, r) in agg_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"algorithm\": \"{}\", \"engine\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"revenue\": {:.6}, \"strategy_len\": {}}}{}\n",
+            r.algorithm,
+            r.engine,
+            r.median_ns,
+            r.min_ns,
+            r.revenue,
+            r.strategy_len,
+            if idx + 1 < agg_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"gg_speedup_aggregates_over_walk\": {:.3},\n    \"slg_speedup_aggregates_over_walk\": {:.3}\n  }}\n}}\n",
+        agg_speedup("GG"),
+        agg_speedup("SLG")
     ));
     std::fs::write(&out_path, json).expect("write BENCH_greedy.json");
     eprintln!("wrote {out_path}");

@@ -18,7 +18,7 @@
 //!
 //! The residual instance folds the realized prefix into its primitive
 //! probabilities and capacities so that the *standard* revenue model
-//! (Definition 1/2, see [`crate::revenue`]) evaluated on the residual
+//! (Definition 1/2, see [`mod@crate::revenue`]) evaluated on the residual
 //! instance is exactly the original model conditioned on the observed
 //! events:
 //!

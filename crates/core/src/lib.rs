@@ -11,7 +11,7 @@
 //!   sparse primitive adoption probabilities `q(u, i, t)`;
 //! * [`Strategy`] — a set of (user, item, time) [`Triple`]s together with
 //!   validation of the display and capacity constraints;
-//! * [`revenue`] — the dynamic revenue model: memory, saturation and
+//! * [`mod@revenue`] — the dynamic revenue model: memory, saturation and
 //!   competition effects (Definition 1), the expected revenue `Rev(S)`
 //!   (Definition 2), marginal revenue (Definition 3), and the incremental
 //!   evaluator ([`IncrementalRevenue`]) that the greedy algorithms in
@@ -25,7 +25,7 @@
 //!   construction ([`residual_instance`]) that conditions an instance on a
 //!   realized prefix, the model layer behind dynamic replanning
 //!   (`revmax_serve::PlanSession`);
-//! * [`env`] — the shared `REVMAX_*` environment-knob parsing used by every
+//! * [`mod@env`] — the shared `REVMAX_*` environment-knob parsing used by every
 //!   `from_env` constructor and bench emitter in the workspace.
 //!
 //! The optimization algorithms themselves (Global/Sequential/Randomized
@@ -80,7 +80,7 @@ pub use events::{
     AdoptionEvent, AdoptionOutcome, EventError, ResidualMode,
 };
 pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
-pub use instance::{Instance, InstanceBuilder, UserShard};
+pub use instance::{BetaProfile, Instance, InstanceBuilder, UserShard};
 pub use revenue::{
     dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, CapacityLedger,
     EngineSnapshot, HashIncrementalRevenue, IncrementalRevenue, ResidualDelta, RevenueEngine,

@@ -6,7 +6,7 @@
 //! instance, converts timetables to strategies (and back), and exposes the
 //! revenue threshold `N + Υ·E` that separates feasible from infeasible
 //! timetables. Tests use it to validate the revenue semantics of
-//! [`crate::revenue`] end-to-end on adversarially structured instances.
+//! [`crate::revenue()`] end-to-end on adversarially structured instances.
 
 use crate::ids::Triple;
 use crate::instance::{Instance, InstanceBuilder};

@@ -71,6 +71,30 @@ pub trait RevenueEngine<'a>: Sized + Sync + Send {
         Self::for_shard(inst, ignore_saturation, shard)
     }
 
+    /// Switches the engine's saturation-aggregate fast path on or off, when
+    /// it has one (`PlannerConfig::aggregates` routes here). Normally called
+    /// once, right after construction; implementations must keep mid-run
+    /// toggling *safe* (the flat engine treats it as one-way: disabling
+    /// falls back to the exact path, re-enabling after disabled insertions
+    /// is ignored). The default implementation ignores the request —
+    /// correct for engines without an aggregate path (the hash engine),
+    /// whose [`RevenueEngine::aggregates_active`] stays `false`.
+    ///
+    /// Like every engine capability this is strictly a performance surface:
+    /// both settings must produce marginals that agree to within
+    /// floating-point noise (asserted to 1e-9 by the parity suites).
+    fn set_aggregates(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Whether the saturation-aggregate fast path can engage for at least one
+    /// of this evaluator's (user, class) groups — the capability probe benches
+    /// and tests use to verify the fast path actually ran. `false` for
+    /// engines without one.
+    fn aggregates_active(&self) -> bool {
+        false
+    }
+
     /// The instance this evaluator is bound to.
     fn instance(&self) -> &'a Instance;
 

@@ -25,6 +25,45 @@
 //! Non-candidate triples (probability 0 everywhere) are accepted through the
 //! triple-based compatibility API and handled on a cold path so the engine
 //! stays exactly equivalent to the from-scratch evaluator for any strategy.
+//!
+//! # The saturation-aggregate fast path (uniform-β classes)
+//!
+//! A marginal evaluation needs three quantities from the (user, class) group
+//! of the probed triple `(u, i, t)`:
+//!
+//! * the memory `Σ_{τ < t} count(τ) / (t − τ)`,
+//! * the competition product `Π_{τ ≤ t} Π_{e at τ} (1 − q_e)`, and
+//! * the loss on later selections `Σ_{τ > t} (Σ_{e at τ} p_e · q_dyn(e)) ·
+//!   ((1 − q) · β_e^{1/(τ − t)} − 1)` (plus the same-time `−q` term).
+//!
+//! The first two depend only on per-time-step *aggregates* of the group. The
+//! third mixes a per-entry factor `β_e^{1/(τ − t)}` into the sum — but when
+//! every item of the class shares one `β` (detected at build time as
+//! [`BetaProfile::Uniform`](crate::instance::BetaProfile), bit-exact
+//! equality), that factor is common per `τ` and factors out. Two per-(group,
+//! τ) accumulators then close under insertion:
+//!
+//! > `pros(τ) = β^{M(τ)} · Π_{e at τ' ≤ τ} (1 − q_e)` — the *prospective
+//! > potential*: an insertion at `τ0` multiplies `pros(τ)` by
+//! > `(1 − q) · β^{1/(τ − τ0)}` for `τ > τ0` and by `(1 − q)` at `τ0` — the
+//! > memory growth `β^{1/d}` is a **table lookup**, so queries need no `exp`;
+//! >
+//! > `wsum(τ) = Σ_{e at τ} p_e · q_dyn(e)` — updated by the *same* factors
+//! > the slab walk applies to each entry's `q_dyn`, so it tracks the sum to
+//! > the ulp.
+//!
+//! Both live in a lazily allocated per-group block of `2 · T` floats. A
+//! marginal at `t` is then `price · q_prim · pros(t)` plus a loss fold over
+//! the `wsum` suffix — `O(T − t)` table-driven flops, **no walk over the
+//! selected triples and no transcendental calls** (the slab walk pays one
+//! `exp` whenever the group has earlier same-class entries, plus one fused
+//! pass over all of them). Classes with mixed betas, and engines with
+//! aggregates disabled ([`IncrementalRevenue::set_aggregates`]), keep the
+//! exact slab walk; the parity suites assert both paths agree to 1e-9 (the
+//! arithmetic differs only in association order — `β^{Σ 1/d}` becomes
+//! `Π β^{1/d}`). The slab itself stays authoritative either way — insertions
+//! still update every entry's `q_dyn`, so `dynamic_probability` and the
+//! revenue fold are identical in both modes.
 
 use super::engine::RevenueEngine;
 use super::ledger::CapacityLedger;
@@ -35,6 +74,13 @@ use crate::strategy::Strategy;
 use std::sync::Arc;
 
 const NONE: u32 = u32::MAX;
+
+/// `agg_start` sentinel: the group's class qualifies for the aggregate fast
+/// path but no block has been allocated yet (the group is empty).
+const AGG_UNALLOCATED: u32 = u32::MAX;
+/// `agg_start` sentinel: the group's class has mixed betas — the group always
+/// uses the exact slab walk.
+const AGG_INELIGIBLE: u32 = u32::MAX - 1;
 
 /// One selected triple stored in the group arena.
 #[derive(Debug, Clone, Copy, Default)]
@@ -113,6 +159,23 @@ pub struct IncrementalRevenue<'a> {
     /// Groups created on demand for non-candidate (user, class) pairs the
     /// static numbering has no slot for (cold path, linear-scanned).
     extra_groups: Vec<(u32, u32, u32)>,
+
+    // --- saturation-aggregate fast path (see the module docs) ---
+    /// Whether the aggregate fast path may engage (the `PlannerConfig::
+    /// aggregates` knob; eligibility is still per group). Toggling is only
+    /// legal while the strategy is empty.
+    agg_enabled: bool,
+    /// Per group: start of its `2 · T` aggregate block in `agg`, or one of
+    /// the [`AGG_UNALLOCATED`] / [`AGG_INELIGIBLE`] sentinels.
+    agg_start: Vec<u32>,
+    /// Aggregate block arena: per allocated group `T` prospective potentials
+    /// (`β^M · Π (1 − q)`) and `T` sums of `p · q_dyn`, indexed by time.
+    agg: Vec<f64>,
+    /// Per group: one past the largest occupied time index (0 = empty).
+    /// Bounds the loss fold — `wsum` is identically 0 beyond it, so queries
+    /// probing at or past the group's last selection skip the fold entirely
+    /// (the chronological SL-Greedy scans always do).
+    agg_hi: Vec<u32>,
 }
 
 impl<'a> IncrementalRevenue<'a> {
@@ -196,17 +259,31 @@ impl<'a> IncrementalRevenue<'a> {
             mut selected,
             mut display_count,
             mut cand_counted,
+            mut agg_start,
+            mut agg,
+            mut agg_hi,
         } = buffers;
 
         // Group numbering: candidates are CSR-contiguous per user, so one
         // stamped scan over each shard user's candidates assigns dense group
         // slots without hashing. Stamps avoid clearing the per-class scratch
         // rows. Every shard candidate is assigned, so the recycled buffer
-        // needs resizing only, not clearing.
+        // needs resizing only, not clearing. The same pass records each
+        // group's aggregate eligibility (uniform-β class, see module docs).
         let num_classes = inst.num_classes() as usize;
+        let class_eligible: Vec<bool> = (0..num_classes)
+            .map(|c| {
+                ignore_saturation
+                    || inst
+                        .beta_profile(crate::ids::ClassId(c as u32))
+                        .is_uniform()
+            })
+            .collect();
         let mut class_stamp = vec![NONE; num_classes];
         let mut class_group = vec![0u32; num_classes];
         cand_group.resize(num_cand, 0);
+        agg_start.clear();
+        agg_hi.clear();
         let mut num_groups: u32 = 0;
         for user in shard.user_start()..shard.user_end() {
             for cand in inst.candidates_of_user(UserId(user)) {
@@ -215,6 +292,12 @@ impl<'a> IncrementalRevenue<'a> {
                     class_stamp[class] = user;
                     class_group[class] = num_groups;
                     num_groups += 1;
+                    agg_start.push(if class_eligible[class] {
+                        AGG_UNALLOCATED
+                    } else {
+                        AGG_INELIGIBLE
+                    });
+                    agg_hi.push(0);
                 }
                 cand_group[(cand.0 - shard.cand_start()) as usize] = class_group[class];
             }
@@ -233,6 +316,7 @@ impl<'a> IncrementalRevenue<'a> {
         display_count.resize(shard.num_users() * horizon, 0);
         cand_counted.clear();
         cand_counted.resize(num_cand, false);
+        agg.clear();
 
         IncrementalRevenue {
             inst,
@@ -253,7 +337,35 @@ impl<'a> IncrementalRevenue<'a> {
             cand_counted,
             extra_seen: Vec::new(),
             extra_groups: Vec::new(),
+            agg_enabled: true,
+            agg_start,
+            agg,
+            agg_hi,
         }
+    }
+
+    /// Switches the saturation-aggregate fast path on or off (on by default;
+    /// eligibility is still decided per group — mixed-β classes always walk).
+    /// Purely a performance knob: both settings produce the same marginals up
+    /// to association order (asserted to 1e-9 by the parity suites).
+    ///
+    /// Normally configured once, before the first insertion (the drivers do
+    /// this through `PlannerConfig::aggregates`). Mid-run toggling is safe
+    /// but one-way: disabling falls back to the walk for every later query,
+    /// while re-enabling after insertions were made with the path disabled
+    /// is ignored — the existing blocks missed those inserts and must never
+    /// be read again.
+    pub fn set_aggregates(&mut self, enabled: bool) {
+        if enabled && !self.agg_enabled && !self.strategy.is_empty() {
+            return;
+        }
+        self.agg_enabled = enabled;
+    }
+
+    /// Whether the aggregate fast path can engage for at least one of this
+    /// evaluator's groups (probe for benches and tests).
+    pub fn aggregates_active(&self) -> bool {
+        self.agg_enabled && self.agg_start.iter().any(|&s| s != AGG_INELIGIBLE)
     }
 
     /// The user/candidate range this evaluator covers.
@@ -311,6 +423,9 @@ impl<'a> IncrementalRevenue<'a> {
                 selected: std::mem::take(&mut self.selected),
                 display_count: std::mem::take(&mut self.display_count),
                 cand_counted: std::mem::take(&mut self.cand_counted),
+                agg_start: std::mem::take(&mut self.agg_start),
+                agg: std::mem::take(&mut self.agg),
+                agg_hi: std::mem::take(&mut self.agg_hi),
             });
         }
         self.strategy
@@ -435,8 +550,113 @@ impl<'a> IncrementalRevenue<'a> {
         self.group_start.push(NONE);
         self.group_len.push(0);
         self.group_cap.push(0);
+        self.agg_start.push(
+            if self.ignore_saturation || self.inst.beta_profile(class).is_uniform() {
+                AGG_UNALLOCATED
+            } else {
+                AGG_INELIGIBLE
+            },
+        );
+        self.agg_hi.push(0);
         self.extra_groups.push((user.0, class.0, g));
         g
+    }
+
+    /// Start of a group's aggregate block, when one is allocated and the
+    /// fast path is enabled (disabling mid-run leaves allocated blocks
+    /// behind that stopped receiving inserts — they must not be read).
+    #[inline]
+    fn agg_block(&self, group: usize) -> Option<usize> {
+        let s = self.agg_start[group];
+        if self.agg_enabled && s < AGG_INELIGIBLE {
+            Some(s as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Allocates a group's aggregate block (`T` prospective potentials at 1,
+    /// `T` weighted sums at 0) and returns its start.
+    fn agg_alloc(&mut self, group: usize) -> usize {
+        let horizon = self.inst.horizon() as usize;
+        let start = self.agg.len();
+        debug_assert!(start + 2 * horizon < AGG_INELIGIBLE as usize);
+        self.agg.extend(std::iter::repeat_n(1.0, horizon));
+        self.agg.extend(std::iter::repeat_n(0.0, horizon));
+        self.agg_start[group] = start as u32;
+        start
+    }
+
+    /// Gain and loss of inserting `(item, t)` with primitive probability
+    /// `q_prim`, answered from a group's aggregate block in `O(T − t)` — the
+    /// closed form of the slab walk in
+    /// [`IncrementalRevenue::gain_and_loss_cand`] for uniform-β groups (the
+    /// per-entry discount `β_e^{1/d}` is common per time step there, so the
+    /// candidate's own power-table row substitutes bit-exactly for every
+    /// entry's). The prospective potential already folds memory and
+    /// competition, so — unlike the walk — no `exp` is ever evaluated.
+    fn gain_and_loss_agg(
+        &self,
+        astart: usize,
+        hi: usize,
+        item: u32,
+        q_prim: f64,
+        t: TimeStep,
+    ) -> (f64, f64) {
+        let horizon = self.inst.horizon() as usize;
+        let row = self.pow_row(item);
+        let tv = t.index();
+        let (pros, wsum) = self.agg[astart..astart + 2 * horizon].split_at(horizon);
+
+        // Same-time entries all compete (an entry of the probed item at the
+        // probed time would mean the triple is already selected, which the
+        // callers short-circuit before dispatching here), so `pros[tv]` is
+        // exactly the potential a fresh triple at `tv` would see.
+        let q_new = q_prim * pros[tv];
+        let mut loss = wsum[tv] * (-q_prim);
+        // `wsum` is identically 0 past the group's last occupied step, so the
+        // fold stops at `hi` — probes at or beyond it (every probe of a
+        // chronologically filled group) skip it entirely.
+        let beta_root = &self.tables.beta_root;
+        let stride = self.tables.stride;
+        for (d, &w) in wsum[tv + 1..hi.max(tv + 1)].iter().enumerate() {
+            let factor = (1.0 - q_prim) * beta_root[row as usize * stride + d];
+            loss += w * (factor - 1.0);
+        }
+        (self.inst.price(crate::ids::ItemId(item), t) * q_new, loss)
+    }
+
+    /// Folds one insertion into a group's aggregate block: the insertion step
+    /// updates in `O(1)`, later steps each absorb one multiplicative factor
+    /// `(1 − q) · β^{1/d}` — the same factor the slab walk applies to each
+    /// entry's `q_dyn` (so `Σ p · q_dyn` stays exact to the ulp) and the
+    /// closed-form growth of the prospective potential. `q_new` is the
+    /// inserted entry's realised dynamic probability (0 for non-candidate
+    /// inserts).
+    fn agg_apply_insert(
+        &mut self,
+        astart: usize,
+        t_idx: usize,
+        item: u32,
+        q_prim: f64,
+        price: f64,
+        q_new: f64,
+    ) {
+        let horizon = self.inst.horizon() as usize;
+        let row = self.pow_row(item) as usize;
+        let stride = self.tables.stride;
+        let one_minus_q = 1.0 - q_prim;
+        self.agg[astart + t_idx] *= one_minus_q;
+        let wbase = astart + horizon;
+        self.agg[wbase + t_idx] = self.agg[wbase + t_idx] * one_minus_q + price * q_new;
+        let beta_root = &self.tables.beta_root;
+        let (pros_tail, rest) = self.agg[astart + t_idx + 1..].split_at_mut(horizon - t_idx - 1);
+        let wsum_tail = &mut rest[t_idx + 1..horizon];
+        for (d, (p, w)) in pros_tail.iter_mut().zip(wsum_tail).enumerate() {
+            let factor = one_minus_q * beta_root[row * stride + d];
+            *p *= factor;
+            *w *= factor;
+        }
     }
 
     /// Whether adding the triple would violate the display or capacity
@@ -485,13 +705,28 @@ impl<'a> IncrementalRevenue<'a> {
     }
 
     /// Marginal revenue of a candidate triple, addressed by candidate id.
+    ///
+    /// Dispatches to the `O(T)` aggregate fast path when the candidate's
+    /// group has an aggregate block (uniform-β class, at least one entry),
+    /// and to the exact slab walk otherwise.
     #[inline]
     pub fn marginal_revenue_cand(&self, cand: CandidateId, t: TimeStep) -> f64 {
+        let local = self.local_cand(cand);
         let horizon = self.inst.horizon() as usize;
-        if self.selected[self.local_cand(cand) * horizon + t.index()] {
+        if self.selected[local * horizon + t.index()] {
             return 0.0;
         }
-        let (gain, loss) = self.gain_and_loss_cand(cand, t);
+        let group = self.cand_group[local] as usize;
+        let (gain, loss) = match self.agg_block(group) {
+            Some(astart) => self.gain_and_loss_agg(
+                astart,
+                self.agg_hi[group] as usize,
+                self.inst.candidate_item(cand).0,
+                self.inst.candidate_prob(cand, t),
+                t,
+            ),
+            None => self.gain_and_loss_cand(cand, t),
+        };
         gain + loss
     }
 
@@ -577,7 +812,8 @@ impl<'a> IncrementalRevenue<'a> {
             }
         }
         let q_new = q_prim * self.pow_memory(row, memory) * comp;
-        let gain = self.inst.price(item, t) * q_new;
+        let price = self.inst.price(item, t);
+        let gain = price * q_new;
 
         self.slab_push(
             group,
@@ -587,9 +823,17 @@ impl<'a> IncrementalRevenue<'a> {
                 pow_row: row,
                 q_prim,
                 q_dyn: q_new,
-                price: self.inst.price(item, t),
+                price,
             },
         );
+        if self.agg_enabled && self.agg_start[group] != AGG_INELIGIBLE {
+            let astart = match self.agg_block(group) {
+                Some(s) => s,
+                None => self.agg_alloc(group),
+            };
+            self.agg_apply_insert(astart, t.index(), item.0, q_prim, price, q_new);
+            self.agg_hi[group] = self.agg_hi[group].max(t.index() as u32 + 1);
+        }
 
         self.revenue += gain + loss;
         self.selected[slot] = true;
@@ -674,6 +918,41 @@ impl<'a> IncrementalRevenue<'a> {
         let group = self.cand_group[self.local_cand(cand)] as usize;
         let probs = self.inst.candidate_probs(cand);
         let prices = self.inst.price_series(crate::ids::ItemId(item));
+
+        if let Some(astart) = self.agg_block(group) {
+            // Aggregate fast path: one O(T − t) closed-form evaluation per
+            // live slot. The arithmetic per slot is identical to
+            // [`IncrementalRevenue::gain_and_loss_agg`] (`prices[t]` is the
+            // same f64 `price(item, t)` loads), so batch and per-slot
+            // results stay bit-identical.
+            let hi = self.agg_hi[group] as usize;
+            let base = self.local_cand(cand) * horizon;
+            let (pros, wsum) = self.agg[astart..astart + 2 * horizon].split_at(horizon);
+            let beta_root = &self.tables.beta_root[row as usize * self.tables.stride..];
+            let mut evaluated = 0;
+            let mut mask = live_mask;
+            while mask != 0 {
+                let t_idx = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if t_idx >= horizon {
+                    break;
+                }
+                out[t_idx] = if self.selected[base + t_idx] {
+                    0.0
+                } else {
+                    let q_prim = probs[t_idx];
+                    let q_new = q_prim * pros[t_idx];
+                    let mut loss = wsum[t_idx] * (-q_prim);
+                    for (d, &w) in wsum[t_idx + 1..hi.max(t_idx + 1)].iter().enumerate() {
+                        let factor = (1.0 - q_prim) * beta_root[d];
+                        loss += w * (factor - 1.0);
+                    }
+                    prices[t_idx] * q_new + loss
+                };
+                evaluated += 1;
+            }
+            return evaluated;
+        }
 
         // Compact lanes: one slot of fixed-size scratch per live time index.
         // The greedy hot path evaluates only a handful of live slots, so the
@@ -802,6 +1081,16 @@ impl<'a> IncrementalRevenue<'a> {
                 price: self.inst.price(z.item, z.t),
             },
         );
+        if self.agg_enabled && self.agg_start[group] != AGG_INELIGIBLE {
+            let astart = match self.agg_block(group) {
+                Some(s) => s,
+                None => self.agg_alloc(group),
+            };
+            // q_prim = q_dyn = 0: the entry still counts towards memory and
+            // still saturates later selections by its β root factor.
+            self.agg_apply_insert(astart, z.t.index(), z.item.0, 0.0, 0.0, 0.0);
+            self.agg_hi[group] = self.agg_hi[group].max(z.t.index() as u32 + 1);
+        }
         self.revenue += loss;
         let dslot = self.local_user(z.user) * self.inst.horizon() as usize + z.t.index();
         self.display_count[dslot] += 1;
@@ -830,6 +1119,14 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
         residual: &ResidualDelta,
     ) -> Self {
         IncrementalRevenue::warm_start_shard(inst, ignore_saturation, shard, residual)
+    }
+
+    fn set_aggregates(&mut self, enabled: bool) {
+        IncrementalRevenue::set_aggregates(self, enabled)
+    }
+
+    fn aggregates_active(&self) -> bool {
+        IncrementalRevenue::aggregates_active(self)
     }
 
     fn instance(&self) -> &'a Instance {

@@ -51,6 +51,11 @@
 //! * anything that replays selection order (the sharded planners, the
 //!   indexed decrease-key heap) must reproduce the sequential pop order
 //!   bit-for-bit rather than re-derive it from submodularity arguments.
+//!
+//! The consolidated write-up — exact marginal definition, the measured
+//! violation rate, how lazy-forward is validated, and the related PR-4
+//! greedy-non-monotonicity caveat under capacity exemptions — lives in
+//! `docs/submodularity.md` at the repository root.
 
 use crate::ids::{ClassId, Triple, UserId};
 use crate::instance::Instance;

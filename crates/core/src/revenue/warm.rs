@@ -11,7 +11,7 @@
 //!
 //! This module is the owned, instance-independent handoff for that state:
 //!
-//! * [`SatTables`] — the flat engine's saturation tables, valid for **any**
+//! * `SatTables` (crate-private) — the flat engine's saturation tables, valid for **any**
 //!   residual of the instance they were built from (the table stride stays
 //!   at the build horizon, shorter horizons index a prefix of each row);
 //! * [`EngineSnapshot`] — a shareable pool holding the tables plus recycled
@@ -107,6 +107,9 @@ pub(crate) struct FlatBuffers {
     pub(crate) selected: Vec<bool>,
     pub(crate) display_count: Vec<u16>,
     pub(crate) cand_counted: Vec<bool>,
+    pub(crate) agg_start: Vec<u32>,
+    pub(crate) agg: Vec<f64>,
+    pub(crate) agg_hi: Vec<u32>,
 }
 
 #[derive(Debug, Default)]

@@ -10,7 +10,7 @@ use std::fmt;
 /// A rectangular, titled report table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
-    /// Table title (e.g. "Figure 1(a): Amazon, beta ~ U[0,1]").
+    /// Table title (e.g. "Figure 1(a): Amazon, beta ~ U\[0,1\]").
     pub title: String,
     /// Column headers; the first column is the row label.
     pub headers: Vec<String>,

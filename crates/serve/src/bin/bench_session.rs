@@ -25,9 +25,15 @@
 //! recomputing them). `attached_overhead_pct` is the submit → sync round
 //! trip of the ticketed session-over-service path against replanning on the
 //! calling thread; with several concurrent sessions the pool amortises it.
+//!
+//! A `uniform_beta` section re-runs the warm inline mode on the per-class-β
+//! dataset variant with the saturation-aggregate fast path on vs off
+//! (`agg_vs_walk_replan_speedup`), samples interleaved, per-day parity
+//! asserted between the two.
 
+use revmax_algorithms::Aggregates;
 use revmax_core::{env, AdoptionEvent, AdoptionOutcome};
-use revmax_data::{generate, DatasetConfig};
+use revmax_data::{generate, BetaSetting, DatasetConfig};
 use revmax_serve::{PlanService, PlanSession, PlannerConfig};
 use std::sync::Arc;
 use std::time::Instant;
@@ -73,7 +79,32 @@ fn run_mode(
     samples: usize,
     service: &Arc<PlanService>,
 ) -> ModeRow {
-    let config = PlannerConfig::default().with_warm_start(warm);
+    let mode = match (warm, attached) {
+        (false, false) => "cold_inline",
+        (true, false) => "warm_inline",
+        (false, true) => "cold_attached",
+        (true, true) => "warm_attached",
+    };
+    run_config(
+        inst,
+        PlannerConfig::default().with_warm_start(warm),
+        mode,
+        warm,
+        attached,
+        samples,
+        service,
+    )
+}
+
+fn run_config(
+    inst: &revmax_core::Instance,
+    config: PlannerConfig,
+    mode: &'static str,
+    warm: bool,
+    attached: bool,
+    samples: usize,
+    service: &Arc<PlanService>,
+) -> ModeRow {
     let mut replan_ns = Vec::new();
     let mut day_revenue = Vec::new();
     for sample in 0..samples {
@@ -104,12 +135,6 @@ fn run_mode(
             );
         }
     }
-    let mode = match (warm, attached) {
-        (false, false) => "cold_inline",
-        (true, false) => "warm_inline",
-        (false, true) => "cold_attached",
-        (true, true) => "warm_attached",
-    };
     ModeRow {
         mode,
         warm,
@@ -190,6 +215,62 @@ fn main() {
         eprintln!("WARNING: warm-start replans were not faster than cold on this host");
     }
 
+    // --- saturation-aggregate fast path on the uniform-β variant ---
+    eprintln!("generating uniform-beta (per-class) variant ...");
+    let mut agg_config = DatasetConfig::amazon_like().scaled(scale);
+    agg_config.beta = BetaSetting::PerClassRandom;
+    agg_config.name.push_str("-classbeta");
+    let agg_ds = generate(&agg_config);
+    let agg_inst = &agg_ds.instance;
+    assert!(agg_inst.all_beta_uniform());
+    // Interleave the two modes sample by sample so host noise hits both
+    // equally (run_config walks a full session per sample internally, so
+    // interleave at the sample granularity here).
+    let warm_cfg = PlannerConfig::default().with_warm_start(true);
+    let mut agg_rows = [
+        run_config(
+            agg_inst,
+            warm_cfg.with_aggregates(Aggregates::Off),
+            "warm_walk",
+            true,
+            false,
+            1,
+            &service,
+        ),
+        run_config(agg_inst, warm_cfg, "warm_agg", true, false, 1, &service),
+    ];
+    for _ in 1..samples {
+        for (idx, cfg) in [warm_cfg.with_aggregates(Aggregates::Off), warm_cfg]
+            .into_iter()
+            .enumerate()
+        {
+            let extra = run_config(agg_inst, cfg, agg_rows[idx].mode, true, false, 1, &service);
+            assert_eq!(
+                agg_rows[idx].day_revenue, extra.day_revenue,
+                "{} diverged across samples",
+                agg_rows[idx].mode
+            );
+            agg_rows[idx].replan_ns.extend(extra.replan_ns);
+        }
+    }
+    for (day, (walk, agg)) in agg_rows[0]
+        .day_revenue
+        .iter()
+        .zip(&agg_rows[1].day_revenue)
+        .enumerate()
+    {
+        assert!(
+            (walk - agg).abs() <= 1e-9 * walk.abs().max(1.0),
+            "uniform-beta day {day}: aggregates {agg} vs walk {walk}"
+        );
+    }
+    let agg_medians: Vec<u128> = agg_rows
+        .iter()
+        .map(|r| median(r.replan_ns.clone()))
+        .collect();
+    let agg_speedup = agg_medians[0] as f64 / agg_medians[1] as f64;
+    eprintln!("aggregates vs walk (warm inline, uniform-beta): {agg_speedup:.3}x per-event replan");
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"dataset\": \"amazon_like.scaled({scale})\",\n"
@@ -228,7 +309,26 @@ fn main() {
         "  \"warm_vs_cold_inline_speedup\": {warm_speedup:.3},\n"
     ));
     json.push_str(&format!(
-        "  \"attached_vs_inline_overhead_pct\": {attached_overhead_pct:.3}\n"
+        "  \"attached_vs_inline_overhead_pct\": {attached_overhead_pct:.3},\n"
+    ));
+    json.push_str("  \"uniform_beta\": {\n");
+    json.push_str(&format!(
+        "    \"dataset\": \"amazon_like.scaled({scale}) + BetaSetting::PerClassRandom\",\n"
+    ));
+    json.push_str("    \"measurements\": [\n");
+    for (idx, row) in agg_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"replans\": {}, \"median_ns_per_replan\": {}, \"min_ns_per_replan\": {}}}{}\n",
+            row.mode,
+            row.replan_ns.len(),
+            agg_medians[idx],
+            row.replan_ns.iter().min().expect("replans > 0"),
+            if idx + 1 < agg_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"agg_vs_walk_replan_speedup\": {agg_speedup:.3}\n  }}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_session.json");

@@ -13,7 +13,7 @@
 //!   runtime), and the synchronous [`PlanService::plan_batch`] /
 //!   [`plan_batch`] APIs are submit-all-then-wait over the same machinery.
 //! * [`PlanSession`] — owns the planning state for one instance across its
-//!   horizon: report realized [`AdoptionEvent`]s
+//!   horizon: report realized [`revmax_core::AdoptionEvent`]s
 //!   ([`PlanSession::advance`]), and the session fixes the prefix, builds
 //!   the residual instance (`revmax_core::residual_instance` — with exact,
 //!   exempt-aware capacity: re-displays to prefix users are never

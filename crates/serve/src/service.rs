@@ -359,7 +359,10 @@ pub fn plan_batch(instances: Vec<Instance>, config: impl Into<PlannerConfig>) ->
 // ---------------------------------------------------------------------------
 
 /// Which planner runs per instance of a batch.
-#[deprecated(since = "0.2.0", note = "use PlanAlgorithm via PlannerConfig")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use PlanAlgorithm via PlannerConfig; removal scheduled for 0.4.0"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchAlgorithm {
     /// G-Greedy (the paper's best performer, the serving default).
@@ -380,7 +383,7 @@ impl Default for BatchAlgorithm {
 /// Options for a batch-planning call.
 #[deprecated(
     since = "0.2.0",
-    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`)"
+    note = "use PlannerConfig (this struct converts via `PlannerConfig::from`); removal scheduled for 0.4.0"
 )]
 #[derive(Debug, Clone, Copy)]
 #[allow(deprecated)]
@@ -429,7 +432,10 @@ impl From<PlanOptions> for PlannerConfig {
 }
 
 /// The pre-unification name of [`PlanService`].
-#[deprecated(since = "0.2.0", note = "renamed to PlanService")]
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to PlanService; removal scheduled for 0.4.0"
+)]
 pub type BatchPlanner = PlanService;
 
 #[cfg(test)]

@@ -856,6 +856,84 @@ mod tests {
         assert!(!session.replan_pending());
     }
 
+    /// Warm-start interplay of the saturation-aggregate fast path: on a
+    /// uniform-β storefront every per-day replanned suffix is identical with
+    /// aggregates on and off, warm and cold, inline and attached — and the
+    /// warm sessions keep recycling their (aggregate-carrying) engine
+    /// buffers through the snapshot pool.
+    #[test]
+    fn aggregate_sessions_match_walk_sessions_warm_and_cold() {
+        use revmax_algorithms::Aggregates;
+
+        let inst = {
+            let mut b = InstanceBuilder::new(4, 5, 4);
+            b.display_limit(2)
+                .item_class(0, 0)
+                .item_class(1, 0)
+                .item_class(2, 1)
+                .item_class(3, 1)
+                .item_class(4, 2);
+            let class_beta = [0.3, 0.7, 0.5];
+            for i in 0..5u32 {
+                let class = [0, 0, 1, 1, 2][i as usize];
+                b.beta(i, class_beta[class])
+                    .capacity(i, 2 + i % 3)
+                    .prices(i, &[20.0 + i as f64, 18.0, 22.0 - i as f64, 16.0]);
+            }
+            for u in 0..4u32 {
+                for i in 0..5u32 {
+                    if (u + i) % 2 == 0 {
+                        let base = 0.15 + 0.08 * ((u + i) % 4) as f64;
+                        b.candidate(u, i, &[base, base + 0.1, base + 0.05, base + 0.15], 3.0);
+                    }
+                }
+            }
+            b.build().unwrap()
+        };
+        assert!(inst.all_beta_uniform());
+
+        let service = Arc::new(crate::PlanService::new(2));
+        for warm in [false, true] {
+            for attached in [false, true] {
+                let make = |aggregates| {
+                    let cfg = PlannerConfig::default()
+                        .with_warm_start(warm)
+                        .with_aggregates(aggregates);
+                    let mut s = PlanSession::new(inst.clone(), cfg);
+                    if attached {
+                        s.attach(&service);
+                    }
+                    s
+                };
+                let mut agg = make(Aggregates::Auto);
+                let mut walk = make(Aggregates::Off);
+                while !agg.is_exhausted() {
+                    let events = realize_upcoming(&agg);
+                    agg.advance(&events).expect("advance");
+                    walk.advance(&events).expect("advance");
+                    if attached {
+                        agg.sync();
+                        walk.sync();
+                    }
+                    assert_eq!(
+                        agg.planned_suffix().as_slice(),
+                        walk.planned_suffix().as_slice(),
+                        "suffixes diverged (warm = {warm}, attached = {attached})"
+                    );
+                    assert!(
+                        (agg.expected_remaining_revenue() - walk.expected_remaining_revenue())
+                            .abs()
+                            < 1e-9
+                    );
+                }
+                if warm {
+                    assert!(agg.warm_snapshot().has_tables());
+                    assert!(agg.warm_snapshot().pooled_buffers() > 0);
+                }
+            }
+        }
+    }
+
     #[test]
     fn sessions_work_with_every_algorithm() {
         let inst = storefront_instance(1);

@@ -8,6 +8,15 @@
 //! under stable module names and provides a small [`prelude`] so examples and
 //! downstream users can get going with a single `use revmax::prelude::*`.
 //!
+//! **Start here for orientation:** `ARCHITECTURE.md` in the repository root
+//! maps the 8 crates, the
+//! `Instance → PlannerConfig → plan/plan_residual → PlanService/PlanSession`
+//! data flow, and the engine / ledger / heap extension points;
+//! `docs/submodularity.md` explains why the exact marginal implemented here
+//! is not submodular (~13% of random instances violate the Theorem-2
+//! inequality) and how lazy-forward correctness is therefore validated
+//! empirically.
+//!
 //! * [`core`] — the revenue model: instances, strategies, dynamic adoption
 //!   probabilities, marginal revenue, constraints, adoption events and
 //!   residual instances, R-REVMAX.
@@ -99,6 +108,18 @@
 //!
 //! Every deprecated entry point still compiles and produces an identical
 //! plan (the old structs convert into `PlannerConfig` via `From`).
+//!
+//! ### Removal schedule
+//!
+//! The deprecated shims above shipped with the 0.2.0 unification (PR 3) and
+//! have been conversion-only ever since. They are scheduled for **removal in
+//! 0.4.0** (two releases after deprecation): until then they stay
+//! compile-clean and plan-identical, enforced by the compat suites
+//! (`deprecated_entry_points_match_the_unified_surface` in
+//! `crates/algorithms`, `deprecated_plan_options_surface_still_works` in
+//! `crates/serve`). The only remaining `#[allow(deprecated)]` sites in the
+//! workspace are the shim definitions themselves, their re-exports, and
+//! those compat tests — no internal caller consumes the deprecated surface.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -115,14 +136,14 @@ pub mod prelude {
     pub use revmax_algorithms::{
         global_greedy, global_no_saturation, plan, plan_order, plan_residual,
         randomized_local_greedy, run, sequential_local_greedy, solve_t1_exact, top_rating,
-        top_revenue, Algorithm, EngineKind, GreedyOutcome, HeapKind, PlanAlgorithm, PlannerConfig,
-        RunReport,
+        top_revenue, Aggregates, Algorithm, EngineKind, GreedyOutcome, HeapKind, PlanAlgorithm,
+        PlannerConfig, RunReport,
     };
     pub use revmax_core::{
         realized_revenue, residual_advance, residual_instance, residual_instance_with, revenue,
-        shift_strategy, validate_events, AdoptionEvent, AdoptionOutcome, EngineSnapshot,
-        EventError, IncrementalRevenue, Instance, InstanceBuilder, ItemId, ResidualDelta,
-        ResidualMode, Strategy, TimeStep, Triple, UserId,
+        shift_strategy, validate_events, AdoptionEvent, AdoptionOutcome, BetaProfile,
+        EngineSnapshot, EventError, IncrementalRevenue, Instance, InstanceBuilder, ItemId,
+        ResidualDelta, ResidualMode, Strategy, TimeStep, Triple, UserId,
     };
     pub use revmax_data::{
         generate, generate_scalability, BetaSetting, CapacityDistribution, DatasetConfig,
