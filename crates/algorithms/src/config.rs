@@ -30,7 +30,7 @@
 
 use crate::global_greedy::{EngineKind, GreedyOutcome};
 use crate::heap::HeapKind;
-use revmax_core::{env, Instance, ResidualDelta};
+use revmax_core::{env, AggregateMode, Instance, ResidualDelta};
 
 /// Which planning algorithm a [`PlannerConfig`] selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,11 +62,16 @@ pub enum PlanAlgorithm {
 /// (parity asserted to 1e-9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Aggregates {
-    /// Engage the fast path wherever a group's class qualifies (default).
+    /// Let the engine's kernel compiler decide per (user, class) group using
+    /// a measured depth crossover: groups with a short residual horizon or
+    /// trivially few candidates compile to the plain slab walk (on shallow
+    /// warm-residual groups the aggregate block costs more to maintain than
+    /// it saves), deeper groups compile to the aggregate kernel. The default.
     #[default]
     Auto,
-    /// Same engagement as [`Aggregates::Auto`] — an explicit opt-in that
-    /// stays fixed if `Auto` ever grows a size heuristic.
+    /// Engage the fast path for **every** qualifying (uniform-β) group,
+    /// bypassing [`Aggregates::Auto`]'s depth gate — the fixed opt-in that
+    /// the aggregate-vs-walk bench rows and parity suites pin against.
     On,
     /// Never engage the fast path; every group uses the slab walk (the
     /// ablation the aggregate-vs-walk bench rows measure).
@@ -77,6 +82,15 @@ impl Aggregates {
     /// Whether engines should enable their aggregate path.
     pub fn enabled(&self) -> bool {
         !matches!(self, Aggregates::Off)
+    }
+
+    /// The engine-side kernel-selection mode this knob maps to.
+    pub fn mode(&self) -> AggregateMode {
+        match self {
+            Aggregates::Auto => AggregateMode::Auto,
+            Aggregates::On => AggregateMode::On,
+            Aggregates::Off => AggregateMode::Off,
+        }
     }
 }
 
@@ -123,6 +137,24 @@ pub struct PlannerConfig {
     /// [`Aggregates::Auto`]): uniform-β classes answer marginals from `O(T)`
     /// closed-form accumulators, mixed-β classes keep the exact slab walk.
     pub aggregates: Aggregates,
+    /// Selects the kernel-compiled drivers and, where they still run on
+    /// lazy heaps, the width of their batched refresh bursts (default 8).
+    /// `0` runs the legacy pop/refresh/push loop everywhere — the
+    /// "generic" baseline the kernel-vs-generic bench rows measure. Any
+    /// value `≥ 1` switches the sequential G-Greedy core onto the
+    /// tournament-tree driver (selection over candidate roots with O(1)
+    /// pops and swap-free path fixes; the value itself is ignored there —
+    /// stale runs refresh implicitly through the tree) on instances of
+    /// ~4k candidates or more — below that size gate the tree build and
+    /// eager blocking don't amortise and the scalar loop is kept — while
+    /// the sharded
+    /// and SLG heap drivers collect up to `kernel_batch` stale tops per
+    /// pop and refresh the run in one pass grouped by compiled kernel id
+    /// (`RevenueEngine::kernel_id_cand`). Purely a performance knob: all
+    /// widths produce bit-identical plans (a refreshed marginal depends
+    /// only on the candidate's own group, so refreshing it earlier or
+    /// later in a burst cannot change its value).
+    pub kernel_batch: u32,
 }
 
 impl Default for PlannerConfig {
@@ -139,6 +171,7 @@ impl Default for PlannerConfig {
             parallel: None,
             warm_start: false,
             aggregates: Aggregates::default(),
+            kernel_batch: 8,
         }
     }
 }
@@ -218,6 +251,13 @@ impl PlannerConfig {
         self
     }
 
+    /// Selects the batched heap-refresh width (see
+    /// [`PlannerConfig::kernel_batch`]; `0` selects the legacy scalar loop).
+    pub fn with_kernel_batch(mut self, kernel_batch: u32) -> Self {
+        self.kernel_batch = kernel_batch;
+        self
+    }
+
     /// Default configuration with the environment knobs layered on top —
     /// shorthand for `PlannerConfig::default().env_overlay()`.
     pub fn from_env() -> Self {
@@ -235,7 +275,9 @@ impl PlannerConfig {
     /// * `REVMAX_SEED` — seed for the randomized algorithms;
     /// * `REVMAX_WARM_START` — `1` enables warm-started residual replans;
     /// * `REVMAX_AGGREGATES` — `auto` (default), `on`, or `off`: the
-    ///   saturation-aggregate fast path for uniform-β classes.
+    ///   saturation-aggregate fast path for uniform-β classes;
+    /// * `REVMAX_KERNEL_BATCH` — batched heap-refresh width (default 8,
+    ///   `0` = the legacy scalar refresh loop).
     ///
     /// Unset or unparsable values keep the receiver's setting — selection
     /// must never change results (only speed), so a typo degrades
@@ -262,6 +304,9 @@ impl PlannerConfig {
         }
         if let Some(aggregates) = env::var_with("REVMAX_AGGREGATES", parse_aggregates) {
             self.aggregates = aggregates;
+        }
+        if let Some(kernel_batch) = env::var::<u32>("REVMAX_KERNEL_BATCH") {
+            self.kernel_batch = kernel_batch;
         }
         self
     }
@@ -373,6 +418,7 @@ impl From<crate::global_greedy::GreedyOptions> for PlannerConfig {
             parallel: Some(o.parallel_init),
             warm_start: false,
             aggregates: Aggregates::default(),
+            kernel_batch: PlannerConfig::default().kernel_batch,
         }
     }
 }
@@ -407,7 +453,8 @@ mod tests {
             .with_two_level_heaps(false)
             .with_track_trace(true)
             .with_parallel(Some(false))
-            .with_aggregates(Aggregates::Off);
+            .with_aggregates(Aggregates::Off)
+            .with_kernel_batch(0);
         assert_eq!(cfg.algorithm, PlanAlgorithm::SequentialLocalGreedy);
         assert_eq!(cfg.engine, EngineKind::Hash);
         assert_eq!(cfg.heap, HeapKind::IndexedDary);
@@ -420,6 +467,35 @@ mod tests {
         assert_eq!(cfg.aggregates, Aggregates::Off);
         assert!(!cfg.aggregates.enabled());
         assert!(PlannerConfig::default().aggregates.enabled());
+        assert_eq!(cfg.kernel_batch, 0);
+        assert_eq!(
+            PlannerConfig::default().kernel_batch,
+            8,
+            "batched refresh is the default driver"
+        );
+    }
+
+    #[test]
+    fn aggregates_map_onto_the_engine_modes() {
+        assert_eq!(Aggregates::Auto.mode(), AggregateMode::Auto);
+        assert_eq!(Aggregates::On.mode(), AggregateMode::On);
+        assert_eq!(Aggregates::Off.mode(), AggregateMode::Off);
+        assert_eq!(Aggregates::default().mode(), AggregateMode::default());
+    }
+
+    #[test]
+    fn kernel_batch_env_knob_overlays_and_degrades_gracefully() {
+        // `env_overlay` reads through `revmax_core::env`, which trims and
+        // rejects unparsable values, keeping the receiver's setting.
+        let base = PlannerConfig::default().with_kernel_batch(3);
+        std::env::set_var("REVMAX_KERNEL_BATCH", "16");
+        assert_eq!(base.env_overlay().kernel_batch, 16);
+        std::env::set_var("REVMAX_KERNEL_BATCH", " 0 ");
+        assert_eq!(base.env_overlay().kernel_batch, 0, "0 = legacy scalar loop");
+        std::env::set_var("REVMAX_KERNEL_BATCH", "not-a-number");
+        assert_eq!(base.env_overlay().kernel_batch, 3, "typo keeps the setting");
+        std::env::remove_var("REVMAX_KERNEL_BATCH");
+        assert_eq!(base.env_overlay().kernel_batch, 3);
     }
 
     #[test]

@@ -186,7 +186,7 @@ pub(crate) fn make_engine<'a, E: RevenueEngine<'a>>(
         Some(delta) if cfg.warm_start => E::warm_start(inst, ignore_saturation, shard, delta),
         _ => E::for_shard(inst, ignore_saturation, shard),
     };
-    engine.set_aggregates(cfg.aggregates.enabled());
+    engine.set_aggregate_mode(cfg.aggregates.mode());
     engine
 }
 
@@ -347,6 +347,94 @@ impl CandidateTable {
     }
 }
 
+/// One member of a batched heap-refresh burst: the compiled kernel id of the
+/// candidate's group, the candidate's local heap index, and the lazy-forward
+/// stamp its refresh must be computed against.
+pub(crate) type StaleMember = (u8, u32, u32);
+
+/// Collects the run of **stale** tops of `heap` into `run`, stopping at the
+/// first top that is fresh, non-positive, or constraint-blocked at its best
+/// slot (the main loop drains those), or when `cap` members are gathered.
+/// Tops whose every slot is already blocked are retired from the heap in
+/// place — they can never revive, so early retirement commutes with
+/// everything. Collected members are popped out of the heap; pass them to
+/// [`refresh_stale_run`] before touching the heap again.
+///
+/// Refreshing a stale candidate early — rather than when it individually
+/// surfaces — is plan-preserving: no insertion happens inside a burst, a
+/// marginal depends only on the candidate's own (user, class) group state,
+/// and the lazy-forward stamp is the group size, so the values a burst
+/// refresh writes are bit-identical to the values the pop-per-iteration loop
+/// writes when the same candidate surfaces stale under the same group state.
+/// (Like lazy forward itself this is asserted empirically — the kernel
+/// parity suite pins batched == scalar plans across batch widths.)
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn collect_stale_run<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
+    inc: &E,
+    table: &mut CandidateTable,
+    heap: &mut H,
+    cand_start: u32,
+    lazy_forward: bool,
+    violates: impl Fn(&E, CandidateId, TimeStep) -> bool,
+    run: &mut Vec<StaleMember>,
+    cap: usize,
+) {
+    while run.len() < cap {
+        let Some((next, next_v)) = heap.peek() else {
+            break;
+        };
+        if next_v <= 0.0 {
+            break;
+        }
+        let cand = CandidateId(cand_start + next);
+        let Some((bt, _)) = table.best(next) else {
+            heap.remove(next);
+            continue;
+        };
+        let t = TimeStep::from_index(bt);
+        if violates(inc, cand, t) {
+            break;
+        }
+        let stamp = if lazy_forward {
+            inc.group_size_cand(cand) as u32
+        } else {
+            inc.len() as u32
+        };
+        if table.flags[table.slot(next, bt)] == stamp {
+            break;
+        }
+        heap.pop();
+        run.push((inc.kernel_id_cand(cand), next, stamp));
+    }
+}
+
+/// Refreshes every member of a collected stale run and re-queues it at its
+/// new root value. Members are evaluated grouped by compiled kernel id
+/// (sorted, ties to the smaller index for determinism) so each group of the
+/// burst runs one kernel's inner loop back to back, branch-predictably;
+/// since no insertion happens inside a burst, the evaluation order cannot
+/// change any computed value. Returns the number of marginal evaluations.
+pub(crate) fn refresh_stale_run<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
+    inc: &E,
+    table: &mut CandidateTable,
+    heap: &mut H,
+    cand_start: u32,
+    run: &mut [StaleMember],
+) -> u64 {
+    if run.len() > 1 {
+        run.sort_unstable_by_key(|&(k, idx, _)| (k, idx));
+    }
+    let mut evals = 0;
+    for &(_, idx, stamp) in run.iter() {
+        evals += table.reevaluate(inc, idx, CandidateId(cand_start + idx), stamp);
+        match table.best(idx) {
+            Some((_, v)) => heap.update(idx, v),
+            None => heap.remove(idx),
+        }
+    }
+    evals
+}
+
 fn finish<'a, E: RevenueEngine<'a>>(
     inst: &'a Instance,
     inc: E,
@@ -370,7 +458,243 @@ fn finish<'a, E: RevenueEngine<'a>>(
     }
 }
 
+/// Minimum candidate count for the tournament driver. Below this the
+/// scalar lazy-heap loop wins: the tree build plus the eager column-block
+/// scans cost a fixed overhead that only amortises once the selection
+/// stream is long enough (measured crossover ~4–6k candidates on the
+/// amazon-shaped benches; at 2.4k candidates the tournament loses ~10%,
+/// at 38k it wins 1.2–1.4×).
+const TOURNAMENT_MIN_CANDIDATES: usize = 4096;
+
 fn two_level_greedy<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
+    inst: &'a Instance,
+    cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
+) -> GreedyOutcome {
+    if cfg.kernel_batch == 0 || inst.num_candidates() < TOURNAMENT_MIN_CANDIDATES {
+        two_level_greedy_scalar::<E, H>(inst, cfg, delta)
+    } else {
+        // The tournament driver has no heap, so the heap kind only affects
+        // the scalar ablation (and the sharded / SLG drivers).
+        two_level_greedy_batched::<E>(inst, cfg, delta)
+    }
+}
+
+/// A loser-free tournament tree over the candidate root values, with the
+/// same total order as the greedy heaps: larger value first, ties towards
+/// the smaller candidate id. The kernel-compiled driver keys selection off
+/// this tree instead of a binary heap: re-keying a candidate is a fix of
+/// the leaf-to-root path — `log₂ candidates` branchless winner recomputes
+/// with no swaps, no position index, and an early exit as soon as a node is
+/// unchanged — where a lazy heap pays a full pop/push round trip (sift plus
+/// stale-entry drain) per surfaced candidate, and an indexed d-ary heap
+/// pays swap chains plus position bookkeeping on every decrease-key.
+struct CandTournament {
+    /// Leaf count, `num_candidates` rounded up to a power of two.
+    size: usize,
+    /// Implicit tree: node `i`'s children are `2i` / `2i + 1`, leaves at
+    /// `size + c`, root at 1. Each node holds the winning `(value, cand)`.
+    tree: Vec<(f64, u32)>,
+}
+
+impl CandTournament {
+    fn new(roots: &[f64]) -> Self {
+        let size = roots.len().next_power_of_two().max(1);
+        let mut tree = vec![(f64::NEG_INFINITY, u32::MAX); 2 * size];
+        for (c, &v) in roots.iter().enumerate() {
+            tree[size + c] = (v, c as u32);
+        }
+        for i in (1..size).rev() {
+            tree[i] = Self::winner(tree[2 * i], tree[2 * i + 1]);
+        }
+        CandTournament { size, tree }
+    }
+
+    /// The heap ordering: maximum value, ties to the smaller candidate id —
+    /// exactly the (value desc, id asc) total order both greedy heaps use,
+    /// so the tournament selects the scalar driver's sequence.
+    #[inline]
+    fn winner(a: (f64, u32), b: (f64, u32)) -> (f64, u32) {
+        if a.0 > b.0 || (a.0 == b.0 && a.1 < b.1) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Re-keys candidate `c` and fixes the path to the root, stopping at the
+    /// first unchanged node (its ancestors cannot change either).
+    #[inline]
+    fn update(&mut self, c: u32, value: f64) {
+        let mut i = self.size + c as usize;
+        self.tree[i] = (value, c);
+        while i > 1 {
+            i /= 2;
+            let w = Self::winner(self.tree[2 * i], self.tree[2 * i + 1]);
+            if w == self.tree[i] {
+                break;
+            }
+            self.tree[i] = w;
+        }
+    }
+
+    /// The current best `(value, candidate)`.
+    #[inline]
+    fn root(&self) -> (f64, u32) {
+        self.tree[1]
+    }
+}
+
+/// The kernel-compiled two-level driver (`kernel_batch ≥ 1`, the default).
+///
+/// Replaces the scalar driver's lazy binary heap with a [`CandTournament`]
+/// over the candidate roots plus a cached argmax time per candidate, so
+/// selection is O(1) and every constraint block, stale refresh, or
+/// insertion costs one leaf path fix. Display fills block the filled
+/// `(user, t)` column across the user's contiguous candidate range eagerly
+/// (display counts never decrease, so this is the same bookkeeping the
+/// scalar drain loop does lazily, minus the surface-and-requeue round
+/// trips), and capacity exhaustion retires the whole candidate row. A stale
+/// root is re-evaluated over all its live time slots in one fused kernel
+/// pass; the stale *run* a lazy heap has to collect explicitly
+/// ([`collect_stale_run`], still used by the sharded and SLG drivers) is
+/// implicit here — after the path fix, the next stale member of the run is
+/// back at the tree root in O(1).
+///
+/// Produces the identical plan to [`two_level_greedy_scalar`]: cached root
+/// values evolve identically (marginals depend only on the candidate's own
+/// (user, class) group state, refreshed under the same lazy-forward
+/// stamps), and both selection orders are (value desc, candidate id asc)
+/// over those cached values. Like lazy forward itself, the equivalence is
+/// asserted empirically — the kernel parity suite pins batched == scalar
+/// across batch widths, engines, shard counts, and warm/cold construction.
+fn two_level_greedy_batched<'a, E: RevenueEngine<'a>>(
+    inst: &'a Instance,
+    cfg: &PlannerConfig,
+    delta: Option<&ResidualDelta>,
+) -> GreedyOutcome {
+    let num_cand = inst.num_candidates();
+    let horizon = inst.horizon() as usize;
+    let mut inc: E = make_engine(
+        inst,
+        cfg.ignores_saturation(),
+        inst.full_shard(),
+        cfg,
+        delta,
+    );
+    let mut trace = Vec::new();
+    let mut evals: u64 = 0;
+
+    let mut table = CandidateTable::new(inst, cfg.parallel_init());
+    // Cached argmax time per candidate; the matching value lives in the
+    // tournament leaf. Together they mirror `table.best` exactly.
+    let mut cand_best_t = vec![0u32; num_cand];
+    let mut roots = vec![f64::NEG_INFINITY; num_cand];
+    for c in 0..num_cand {
+        if let Some((t, v)) = table.best(c as u32) {
+            roots[c] = v;
+            cand_best_t[c] = t as u32;
+        }
+    }
+    let mut tour = CandTournament::new(&roots);
+    drop(roots);
+    let user_offsets = inst.user_cand_offsets();
+    let total_slots = inst.total_slots();
+
+    while (inc.len() as u64) < total_slots {
+        let (root_v, cand_idx) = tour.root();
+        if root_v <= 0.0 {
+            break;
+        }
+        let cand = CandidateId(cand_idx);
+        let best_t = cand_best_t[cand_idx as usize] as usize;
+        let t = TimeStep::from_index(best_t);
+
+        if inc.would_violate_cand(cand, t) {
+            if inc.would_violate_display_cand(cand, t) {
+                // The (user, t) slot is full: dead for this candidate, other
+                // time steps may still be fine. (Only pre-filled warm-start
+                // displays reach this branch — fills during the run block
+                // eagerly below.)
+                table.block(cand_idx, best_t);
+                refresh_leaf(&table, cand_idx, &mut cand_best_t, &mut tour);
+            } else {
+                // Capacity exhausted by other users: the whole candidate
+                // dies (exempt users never violate capacity, so this is
+                // permanent). Wipe the table row too — otherwise a later
+                // eager column block would treat it as live.
+                for tt in 0..horizon {
+                    let s = table.slot(cand_idx, tt);
+                    table.values[s] = f64::NEG_INFINITY;
+                }
+                tour.update(cand_idx, f64::NEG_INFINITY);
+            }
+            continue;
+        }
+
+        let stamp = if cfg.lazy_forward {
+            inc.group_size_cand(cand) as u32
+        } else {
+            inc.len() as u32
+        };
+        if table.flags[table.slot(cand_idx, best_t)] == stamp {
+            inc.insert_cand(cand, t);
+            table.block(cand_idx, best_t);
+            if cfg.track_trace {
+                trace.push(inc.revenue());
+            }
+            if inc.would_violate_display_cand(cand, t) {
+                // This insertion filled the (user, t) display slot: block
+                // the t column across the user's candidate range now. A
+                // candidate whose cached argmax sat elsewhere keeps its
+                // root (blocking a non-argmax slot cannot change the
+                // forward-scan argmax), so only argmax hits pay a path fix.
+                let user = inst.candidate_user(cand).index();
+                let (lo, hi) = (user_offsets[user] as usize, user_offsets[user + 1] as usize);
+                for c in lo..hi {
+                    let s = table.slot(c as u32, best_t);
+                    if table.values[s] != f64::NEG_INFINITY {
+                        table.values[s] = f64::NEG_INFINITY;
+                        if cand_best_t[c] as usize == best_t {
+                            refresh_leaf(&table, c as u32, &mut cand_best_t, &mut tour);
+                        }
+                    }
+                }
+            }
+            refresh_leaf(&table, cand_idx, &mut cand_best_t, &mut tour);
+        } else {
+            // Stale root: re-evaluate this candidate's live slots in one
+            // fused kernel pass, then fix its path.
+            evals += table.reevaluate(&inc, cand_idx, cand, stamp);
+            refresh_leaf(&table, cand_idx, &mut cand_best_t, &mut tour);
+        }
+    }
+
+    finish(inst, inc, cfg, trace, evals)
+}
+
+/// Re-derives one candidate's root `(value, argmax t)` from its table row
+/// after the row changed, and re-keys its tournament leaf.
+#[inline]
+fn refresh_leaf(
+    table: &CandidateTable,
+    c: u32,
+    cand_best_t: &mut [u32],
+    tour: &mut CandTournament,
+) {
+    match table.best(c) {
+        Some((t, v)) => {
+            cand_best_t[c as usize] = t as u32;
+            tour.update(c, v);
+        }
+        None => tour.update(c, f64::NEG_INFINITY),
+    }
+}
+
+/// The legacy pop-per-iteration two-level driver (`kernel_batch == 0`): one
+/// heap round trip per examined candidate, scalar refreshes. Kept reachable
+/// as the measured "generic" baseline of the kernel-vs-generic bench rows.
+fn two_level_greedy_scalar<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     inst: &'a Instance,
     cfg: &PlannerConfig,
     delta: Option<&ResidualDelta>,

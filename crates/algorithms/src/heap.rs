@@ -61,17 +61,19 @@ pub struct LazyMaxHeap {
 }
 
 impl LazyMaxHeap {
-    /// Builds a heap over `values.len()` elements with the given initial values.
+    /// Builds a heap over `values.len()` elements with the given initial
+    /// values, in `O(n)` (bottom-up heapify via `BinaryHeap::from`).
     pub fn new(values: &[f64]) -> Self {
-        let mut heap = BinaryHeap::with_capacity(values.len());
-        for (idx, &value) in values.iter().enumerate() {
-            heap.push(Entry {
+        let entries: Vec<Entry> = values
+            .iter()
+            .enumerate()
+            .map(|(idx, &value)| Entry {
                 value,
                 element: idx as u32,
-            });
-        }
+            })
+            .collect();
         LazyMaxHeap {
-            heap,
+            heap: BinaryHeap::from(entries),
             current: values.to_vec(),
             alive: vec![true; values.len()],
         }
@@ -342,6 +344,46 @@ pub trait GreedyHeap: Send {
     fn update(&mut self, element: u32, value: f64);
     /// Removes an element from consideration entirely.
     fn remove(&mut self, element: u32);
+}
+
+/// Whether move `(value, candidate id)` `a` precedes `b` in the sequential
+/// selection order (larger value first, ties towards the smaller id) — the
+/// same total order both heap implementations pop in.
+#[inline]
+pub(crate) fn precedes(a: (f64, u32), b: (f64, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// Refreshes a driver's *held* move after a step resolved the held element
+/// `element` to `requeue` (its new root value, or `None` when retired).
+///
+/// Every rotation-based greedy driver (the sharded coordinator and the
+/// batched sequential loops) keeps its best pending move pre-popped out of
+/// the heap in a held slot. Fast path: when the re-queued value still beats
+/// the heap top, the element simply stays held — no heap traffic at all.
+/// (The plain pop-per-iteration loop pays a push + pop round trip for the
+/// same situation; this saving is what the held-move rotation buys.) Because
+/// both paths respect the heap's own (value desc, id asc) order, the
+/// sequence of held moves is identical to the pop sequence of a loop that
+/// re-queues eagerly.
+#[inline]
+pub(crate) fn refresh_held<H: GreedyHeap>(
+    heap: &mut H,
+    element: u32,
+    requeue: Option<f64>,
+) -> Option<(u32, f64)> {
+    if let Some(v) = requeue {
+        match heap.peek() {
+            Some((top, top_v)) if !precedes((v, element), (top_v, top)) => {
+                heap.update(element, v);
+                heap.pop()
+            }
+            _ => Some((element, v)),
+        }
+    } else {
+        heap.remove(element);
+        heap.pop()
+    }
 }
 
 impl GreedyHeap for LazyMaxHeap {

@@ -59,8 +59,11 @@
 //! differs.
 
 use crate::config::PlannerConfig;
-use crate::global_greedy::{make_engine, CandidateTable, EngineKind, GreedyOutcome};
-use crate::heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
+use crate::global_greedy::{
+    collect_stale_run, make_engine, refresh_stale_run, CandidateTable, EngineKind, GreedyOutcome,
+    StaleMember,
+};
+use crate::heap::{precedes, refresh_held, GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
 use revmax_core::{
     revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, ResidualDelta,
@@ -87,13 +90,6 @@ pub fn shard_users(inst: &Instance, pieces: usize) -> Vec<UserShard> {
         .collect()
 }
 
-/// Whether move `(value, candidate id)` `a` precedes `b` in the sequential
-/// selection order (larger value first, ties towards the smaller id).
-#[inline]
-fn precedes(a: (f64, u32), b: (f64, u32)) -> bool {
-    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
-}
-
 /// What one arbitration step did.
 enum Step {
     /// A triple was committed; `marginal` is its realised marginal revenue.
@@ -117,6 +113,8 @@ struct GreedyShard<'a, E, H> {
     /// Shard-local per-candidate flag: (user, item) pair already claimed in
     /// the shared ledger.
     counted: Vec<bool>,
+    /// Scratch for batched refresh bursts (`PlannerConfig::kernel_batch`).
+    run: Vec<StaleMember>,
     _inst: std::marker::PhantomData<&'a ()>,
 }
 
@@ -144,6 +142,7 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
             heap,
             held,
             counted: vec![false; n],
+            run: Vec::with_capacity(cfg.kernel_batch as usize),
             _inst: std::marker::PhantomData,
         }
     }
@@ -224,6 +223,41 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
                 };
             } else {
                 *evals += self.table.reevaluate(&self.inc, local_idx, cand, stamp);
+                if cfg.kernel_batch >= 2 {
+                    // Batched refresh: the run of stale tops of this shard's
+                    // own heap is refreshed in the same kernel-grouped burst
+                    // (the held move keeps its scalar refresh above — the
+                    // extras ride along). Burst refreshes are value-neutral
+                    // bookkeeping on the members' own groups, so arbitration
+                    // — which only reads held moves — is unaffected.
+                    let start = self.shard.cand_start();
+                    let counted = &self.counted;
+                    self.run.clear();
+                    collect_stale_run(
+                        &self.inc,
+                        &mut self.table,
+                        &mut self.heap,
+                        start,
+                        cfg.lazy_forward,
+                        |inc: &E, c, tt| {
+                            inc.would_violate_display_cand(c, tt)
+                                || (!counted[(c.0 - start) as usize]
+                                    && ledger.is_full_for(
+                                        inst.candidate_item(c),
+                                        inst.candidate_user(c),
+                                    ))
+                        },
+                        &mut self.run,
+                        cfg.kernel_batch as usize - 1,
+                    );
+                    *evals += refresh_stale_run(
+                        &self.inc,
+                        &mut self.table,
+                        &mut self.heap,
+                        start,
+                        &mut self.run,
+                    );
+                }
             }
             requeue = self.table.best(local_idx).map(|(_, v)| v);
             break;
@@ -231,33 +265,6 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
 
         self.held = refresh_held(&mut self.heap, local_idx, requeue);
         outcome
-    }
-}
-
-/// Refreshes a shard's held move after a step resolved the held candidate
-/// `local_idx` to `requeue` (its new root value, or `None` when retired).
-///
-/// Fast path: when the re-queued value still beats the heap top, the
-/// candidate simply stays held — no heap traffic at all. (The sequential
-/// driver pays a push + pop round trip for the same situation; this saving
-/// is what the held-move rotation buys.)
-#[inline]
-fn refresh_held<H: GreedyHeap>(
-    heap: &mut H,
-    local_idx: u32,
-    requeue: Option<f64>,
-) -> Option<(u32, f64)> {
-    if let Some(v) = requeue {
-        match heap.peek() {
-            Some((top, top_v)) if !precedes((v, local_idx), (top_v, top)) => {
-                heap.update(local_idx, v);
-                heap.pop()
-            }
-            _ => Some((local_idx, v)),
-        }
-    } else {
-        heap.remove(local_idx);
-        heap.pop()
     }
 }
 

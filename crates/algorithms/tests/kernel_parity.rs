@@ -1,0 +1,358 @@
+//! Randomized kernel-parity suite (PR 7).
+//!
+//! The flat engine now *compiles* each (user, class) group to a marginal
+//! kernel at construction time (mixed-β walk, uniform-β walk, uniform-β
+//! aggregate, β ∈ {0, 1} degenerates — see `revmax_core::KernelId`), the
+//! greedy drivers batch heap-refresh bursts by kernel id, and the default
+//! [`Aggregates::Auto`] mode depth-gates the aggregate kernels. None of that
+//! may change a single plan. For ≥ 120 random instances that deliberately mix
+//! every kernel shape and straddle the Auto depth gate, this suite asserts:
+//!
+//! * **Compiled kernels == generic walk == hash engine.** Plans produced with
+//!   the default compiled-kernel configuration match the `Aggregates::Off`
+//!   generic-walk ablation and the hash-engine oracle to 1e-9 in revenue with
+//!   identically sized, valid strategies — across GG and SLG, at 1 and 2
+//!   shards.
+//! * **Batched refresh == scalar refresh, bit for bit.** `kernel_batch` 0
+//!   (the legacy scalar loop), 1 and 8 (the tournament driver for G-Greedy,
+//!   burst widths for the heap-based sharded/SLG drivers) produce
+//!   bit-identical revenues and identical strategies on both engines.
+//! * **Warm == cold.** Residual replans through the snapshot pool
+//!   ([`plan_residual`] with `warm_start`) reproduce the cold plans exactly,
+//!   with batching on and off, and still seed/return the pooled buffers.
+//!
+//! The generator is deliberately adversarial about kernel coverage: classes
+//! are independently shaped uniform-β, mixed-β, β = 1 (memoryless) or β = 0
+//! (full saturation), and horizons span 2–6 so the Auto gate
+//! (`horizon ≥ 4 && group candidates ≥ 2`) lands groups on both sides.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revmax_algorithms::{
+    plan, plan_residual, Aggregates, EngineKind, PlanAlgorithm, PlannerConfig,
+};
+use revmax_core::{
+    residual_of_validated, validate_events, AdoptionEvent, EngineSnapshot, Instance,
+    InstanceBuilder, ItemId, ResidualDelta,
+};
+
+/// Per-class kernel shape the generator aimed for (the compiler re-derives
+/// the true shape from the built instance; this is only used for coverage
+/// accounting).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Uniform,
+    Mixed,
+    Unit,
+    Zero,
+}
+
+/// A small instance mixing every kernel shape: 2–4 classes, each drawn as
+/// uniform-β, per-item mixed-β, β = 1 or β = 0; horizons 2–6 straddle the
+/// `Aggregates::Auto` depth gate; tight capacities so saturation and
+/// capacity retirement both fire.
+fn random_kernel_instance(rng: &mut StdRng) -> (Instance, Vec<Shape>) {
+    let num_users = rng.gen_range(2u32..=5);
+    let num_items = rng.gen_range(3u32..=6);
+    let horizon = rng.gen_range(2u32..=6);
+    let num_classes = rng.gen_range(2u32..=4);
+    let shapes: Vec<Shape> = (0..num_classes)
+        .map(|_| match rng.gen_range(0u8..=3) {
+            0 => Shape::Uniform,
+            1 => Shape::Mixed,
+            2 => Shape::Unit,
+            _ => Shape::Zero,
+        })
+        .collect();
+    let uniform_betas: Vec<f64> = (0..num_classes)
+        .map(|_| rng.gen_range(0.2..=0.95))
+        .collect();
+    let mut b = InstanceBuilder::new(num_users, num_items, horizon);
+    b.display_limit(rng.gen_range(1u32..=2));
+    for item in 0..num_items {
+        let class = rng.gen_range(0..num_classes);
+        b.item_class(item, class);
+        b.beta(
+            item,
+            match shapes[class as usize] {
+                Shape::Uniform => uniform_betas[class as usize],
+                Shape::Mixed => rng.gen_range(0.1..=1.0),
+                Shape::Unit => 1.0,
+                Shape::Zero => 0.0,
+            },
+        );
+        b.capacity(item, rng.gen_range(1u32..=3));
+        let prices: Vec<f64> = (0..horizon).map(|_| rng.gen_range(5.0..50.0)).collect();
+        b.prices(item, &prices);
+    }
+    for user in 0..num_users {
+        for item in 0..num_items {
+            if rng.gen_bool(0.8) {
+                let probs: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.05..0.8)).collect();
+                b.candidate(user, item, &probs, probs[0] * 5.0);
+            }
+        }
+    }
+    (b.build().expect("kernel instance must build"), shapes)
+}
+
+/// Valid random event prefix up to `now` (same scheme as the residual suite).
+fn random_events(rng: &mut StdRng, inst: &Instance, now: u32) -> Vec<AdoptionEvent> {
+    let mut events = Vec::new();
+    for t in 1..=now {
+        for user in 0..inst.num_users() {
+            let mut shown: Vec<u32> = Vec::new();
+            for _slot in 0..inst.display_limit() {
+                if !rng.gen_bool(0.7) {
+                    continue;
+                }
+                let item = rng.gen_range(0..inst.num_items());
+                if shown.contains(&item) {
+                    continue;
+                }
+                shown.push(item);
+                let adopted = rng.gen_bool(0.3);
+                events.push(if adopted {
+                    AdoptionEvent::adopted(user, item, t)
+                } else {
+                    AdoptionEvent::rejected(user, item, t)
+                });
+            }
+        }
+    }
+    assert!(validate_events(inst, &events, now).is_ok());
+    events
+}
+
+const ALGORITHMS: [PlanAlgorithm; 2] = [
+    PlanAlgorithm::GlobalGreedy,
+    PlanAlgorithm::SequentialLocalGreedy,
+];
+
+#[test]
+fn compiled_kernels_match_generic_walk_and_hash_engine() {
+    let mut rng = StdRng::seed_from_u64(0x4b45_524e);
+    let mut degenerate_cases = 0u32;
+    let mut agg_gated_cases = 0u32;
+    let mut walk_gated_cases = 0u32;
+    for case in 0..120u32 {
+        let (inst, shapes) = random_kernel_instance(&mut rng);
+        if shapes.contains(&Shape::Unit) || shapes.contains(&Shape::Zero) {
+            degenerate_cases += 1;
+        }
+        let has_uniform =
+            (0..inst.num_items()).any(|i| inst.beta(ItemId(i)) > 0.0 && inst.beta(ItemId(i)) < 1.0);
+        if has_uniform && inst.horizon() >= 4 {
+            agg_gated_cases += 1;
+        }
+        if inst.horizon() < 4 {
+            walk_gated_cases += 1;
+        }
+
+        for algorithm in ALGORITHMS {
+            for shards in [1u32, 2] {
+                let base = PlannerConfig::default()
+                    .with_algorithm(algorithm)
+                    .with_shards(shards);
+                let kernels = plan(&inst, &base);
+                let walk = plan(&inst, &base.with_aggregates(Aggregates::Off));
+                let hash = plan(&inst, &base.with_engine(EngineKind::Hash));
+                for (label, other) in [("generic walk", &walk), ("hash", &hash)] {
+                    assert!(
+                        (kernels.revenue - other.revenue).abs()
+                            <= 1e-9 * kernels.revenue.abs().max(1.0),
+                        "case {case} {algorithm:?} shards {shards}: kernels {} vs {label} {}",
+                        kernels.revenue,
+                        other.revenue
+                    );
+                    assert_eq!(
+                        kernels.strategy.len(),
+                        other.strategy.len(),
+                        "case {case} {algorithm:?} shards {shards}: {label} strategy size"
+                    );
+                }
+                assert!(
+                    kernels.strategy.validate(&inst).is_ok(),
+                    "case {case} {algorithm:?} shards {shards}: compiled-kernel plan invalid"
+                );
+            }
+        }
+    }
+    // The suite must exercise every kernel family, not vacuously pass on one.
+    assert!(
+        degenerate_cases >= 15,
+        "only {degenerate_cases} of 120 cases had β ∈ {{0, 1}} classes"
+    );
+    assert!(
+        agg_gated_cases >= 15,
+        "only {agg_gated_cases} of 120 cases could clear the Auto depth gate"
+    );
+    assert!(
+        walk_gated_cases >= 15,
+        "only {walk_gated_cases} of 120 cases sat below the Auto depth gate"
+    );
+}
+
+#[test]
+fn batched_refresh_is_bit_identical_to_scalar_refresh() {
+    let mut rng = StdRng::seed_from_u64(0x0ba7_c4ed);
+    for case in 0..60u32 {
+        let (inst, _) = random_kernel_instance(&mut rng);
+        for algorithm in ALGORITHMS {
+            for engine in [EngineKind::Flat, EngineKind::Hash] {
+                for shards in [1u32, 2] {
+                    let base = PlannerConfig::default()
+                        .with_algorithm(algorithm)
+                        .with_engine(engine)
+                        .with_shards(shards);
+                    let scalar = plan(&inst, &base.with_kernel_batch(0));
+                    let rotation = plan(&inst, &base.with_kernel_batch(1));
+                    let batched = plan(&inst, &base.with_kernel_batch(8));
+                    for (label, other) in [("rotation", &rotation), ("batch-8", &batched)] {
+                        assert_eq!(
+                            scalar.revenue.to_bits(),
+                            other.revenue.to_bits(),
+                            "case {case} {algorithm:?} {engine:?} shards {shards}: \
+                             scalar {} vs {label} {}",
+                            scalar.revenue,
+                            other.revenue
+                        );
+                        assert_eq!(
+                            scalar.strategy.as_slice(),
+                            other.strategy.as_slice(),
+                            "case {case} {algorithm:?} {engine:?} shards {shards}: \
+                             {label} strategy diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An instance above the tournament driver's size gate (~4k candidates):
+/// the small generator above never reaches it, so this one exists to give
+/// the tournament selection core real parity coverage.
+fn large_kernel_instance(rng: &mut StdRng) -> Instance {
+    let num_users = 90;
+    let num_items = 60;
+    let horizon = rng.gen_range(4u32..=6);
+    let num_classes = 5;
+    let uniform_betas: Vec<f64> = (0..num_classes)
+        .map(|_| rng.gen_range(0.2..=0.95))
+        .collect();
+    let mut b = InstanceBuilder::new(num_users, num_items, horizon);
+    b.display_limit(2);
+    for item in 0..num_items {
+        let class = rng.gen_range(0..num_classes);
+        b.item_class(item, class);
+        // Half the classes uniform-β, half mixed, so both kernel families
+        // run under the tournament driver.
+        b.beta(
+            item,
+            if class % 2 == 0 {
+                uniform_betas[class as usize]
+            } else {
+                rng.gen_range(0.1..=1.0)
+            },
+        );
+        b.capacity(item, rng.gen_range(3u32..=8));
+        let prices: Vec<f64> = (0..horizon).map(|_| rng.gen_range(5.0..50.0)).collect();
+        b.prices(item, &prices);
+    }
+    for user in 0..num_users {
+        for item in 0..num_items {
+            if rng.gen_bool(0.9) {
+                let probs: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.05..0.8)).collect();
+                b.candidate(user, item, &probs, probs[0] * 5.0);
+            }
+        }
+    }
+    b.build().expect("large kernel instance must build")
+}
+
+#[test]
+fn tournament_driver_matches_scalar_above_the_size_gate() {
+    let mut rng = StdRng::seed_from_u64(0x0070_4a4e);
+    for case in 0..3u32 {
+        let inst = large_kernel_instance(&mut rng);
+        assert!(
+            inst.num_candidates() >= 4096,
+            "case {case}: generator must clear the tournament size gate \
+             ({} candidates)",
+            inst.num_candidates()
+        );
+        let base = PlannerConfig::default();
+        let scalar = plan(&inst, &base.with_kernel_batch(0));
+        let tournament = plan(&inst, &base.with_kernel_batch(8));
+        assert_eq!(
+            scalar.revenue.to_bits(),
+            tournament.revenue.to_bits(),
+            "case {case}: tournament revenue diverged from scalar"
+        );
+        assert_eq!(
+            scalar.strategy.as_slice(),
+            tournament.strategy.as_slice(),
+            "case {case}: tournament strategy diverged from scalar"
+        );
+        let hash = plan(&inst, &base.with_engine(EngineKind::Hash));
+        assert!(
+            (tournament.revenue - hash.revenue).abs() <= 1e-9 * hash.revenue.abs().max(1.0),
+            "case {case}: tournament {} vs hash oracle {}",
+            tournament.revenue,
+            hash.revenue
+        );
+        assert!(tournament.strategy.validate(&inst).is_ok());
+    }
+}
+
+#[test]
+fn warm_replans_match_cold_with_kernels_and_batching() {
+    let mut rng = StdRng::seed_from_u64(0x3a64_77a8);
+    for case in 0..60u32 {
+        let (inst, _) = random_kernel_instance(&mut rng);
+        let now = rng.gen_range(1..inst.horizon());
+        let events = random_events(&mut rng, &inst, now);
+        let residual = residual_of_validated(&inst, &events, now);
+
+        let snapshot = EngineSnapshot::new();
+        let delta = ResidualDelta::initial(snapshot.clone());
+        for algorithm in ALGORITHMS {
+            for shards in [1u32, 2] {
+                let base = PlannerConfig::default()
+                    .with_algorithm(algorithm)
+                    .with_shards(shards);
+                let cold = plan(&residual, &base);
+                let warm = plan_residual(&residual, &base.with_warm_start(true), Some(&delta));
+                let warm_scalar = plan_residual(
+                    &residual,
+                    &base.with_warm_start(true).with_kernel_batch(0),
+                    Some(&delta),
+                );
+                for (label, other) in [("warm", &warm), ("warm scalar", &warm_scalar)] {
+                    assert_eq!(
+                        cold.revenue.to_bits(),
+                        other.revenue.to_bits(),
+                        "case {case} {algorithm:?} shards {shards}: cold {} vs {label} {}",
+                        cold.revenue,
+                        other.revenue
+                    );
+                    assert_eq!(
+                        cold.strategy.as_slice(),
+                        other.strategy.as_slice(),
+                        "case {case} {algorithm:?} shards {shards}: {label} strategy diverged"
+                    );
+                }
+                assert!(cold.strategy.validate(&residual).is_ok());
+            }
+        }
+        assert!(
+            snapshot.has_tables(),
+            "case {case}: warm replans must seed the snapshot pool"
+        );
+        assert!(
+            snapshot.pooled_buffers() > 0,
+            "case {case}: warm engines must return their buffers"
+        );
+    }
+}

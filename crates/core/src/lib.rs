@@ -82,8 +82,8 @@ pub use events::{
 pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
 pub use instance::{BetaProfile, Instance, InstanceBuilder, UserShard};
 pub use revenue::{
-    dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, CapacityLedger,
-    EngineSnapshot, HashIncrementalRevenue, IncrementalRevenue, ResidualDelta, RevenueEngine,
-    SharedCapacityLedger,
+    dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, AggregateMode,
+    CapacityLedger, EngineSnapshot, HashIncrementalRevenue, IncrementalRevenue, KernelId,
+    ResidualDelta, RevenueEngine, SharedCapacityLedger,
 };
 pub use strategy::Strategy;

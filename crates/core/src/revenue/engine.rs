@@ -5,6 +5,7 @@
 //! [`super::HashIncrementalRevenue`] kept as a correctness reference and as
 //! the measured baseline for the perf trajectory in `crates/bench`.
 
+use super::kernels::AggregateMode;
 use super::warm::ResidualDelta;
 use crate::ids::{CandidateId, TimeStep};
 use crate::instance::{Instance, UserShard};
@@ -85,6 +86,26 @@ pub trait RevenueEngine<'a>: Sized + Sync + Send {
     /// floating-point noise (asserted to 1e-9 by the parity suites).
     fn set_aggregates(&mut self, enabled: bool) {
         let _ = enabled;
+    }
+
+    /// Sets the engine's aggregate-engagement mode, when it compiles kernels
+    /// (see `super::kernels`; `PlannerConfig::aggregates` routes here). The
+    /// default implementation collapses the mode to the boolean
+    /// [`RevenueEngine::set_aggregates`] surface — correct for engines
+    /// without a kernel compiler (the hash engine), which simply have no
+    /// aggregate path to gate. Like every engine capability this is strictly
+    /// a performance surface (parity to 1e-9 across all modes).
+    fn set_aggregate_mode(&mut self, mode: AggregateMode) {
+        self.set_aggregates(mode.allows_aggregates());
+    }
+
+    /// The compiled kernel byte of a candidate's (user, class) group —
+    /// batched heap-refresh drivers sort stale candidates by it so each
+    /// refresh burst runs grouped, branch-predictable inner loops. Engines
+    /// without a kernel compiler report one uniform kernel (0).
+    fn kernel_id_cand(&self, cand: CandidateId) -> u8 {
+        let _ = cand;
+        0
     }
 
     /// Whether the saturation-aggregate fast path can engage for at least one

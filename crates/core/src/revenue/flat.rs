@@ -66,6 +66,7 @@
 //! revenue fold are identical in both modes.
 
 use super::engine::RevenueEngine;
+use super::kernels::{effective_kernel, AggregateMode, ClassShape, KernelId};
 use super::ledger::CapacityLedger;
 use super::warm::{EngineSnapshot, FlatBuffers, ResidualDelta, SatTables};
 use crate::ids::{CandidateId, ClassId, TimeStep, Triple, UserId};
@@ -160,11 +161,29 @@ pub struct IncrementalRevenue<'a> {
     /// static numbering has no slot for (cold path, linear-scanned).
     extra_groups: Vec<(u32, u32, u32)>,
 
-    // --- saturation-aggregate fast path (see the module docs) ---
-    /// Whether the aggregate fast path may engage (the `PlannerConfig::
-    /// aggregates` knob; eligibility is still per group). Toggling is only
-    /// legal while the strategy is empty.
+    // --- compiled kernels + saturation-aggregate fast path (see the module
+    // --- docs and `super::kernels`) ---
+    /// Aggregate-engagement mode (`PlannerConfig::aggregates` routes here);
+    /// changing it recompiles the per-group kernels while the strategy is
+    /// empty, and mid-run only the one-way fallback to the walks is honoured.
+    mode: AggregateMode,
+    /// Whether aggregate blocks are maintained on insertion (false once the
+    /// mode drops to [`AggregateMode::Off`]).
     agg_enabled: bool,
+    /// Per group: the compiled [`KernelId`] byte the marginal hot path
+    /// dispatches on — classification happens at construction and on
+    /// [`IncrementalRevenue::set_aggregate_mode`], never per query.
+    kernel: Vec<u8>,
+    /// Per group: the [`ClassShape`] byte of its class (kernel recompilation
+    /// input).
+    group_shape: Vec<u8>,
+    /// Per group: number of candidates addressing it (depth signal of the
+    /// `Auto` gate).
+    group_cands: Vec<u32>,
+    /// Per shard-local candidate: compiled exempt-capacity bit. Empty unless
+    /// the instance carries exemptions; when populated, the hot capacity
+    /// check is two flat loads instead of a binary search per query.
+    cand_exempt: Vec<bool>,
     /// Per group: start of its `2 · T` aggregate block in `agg`, or one of
     /// the [`AGG_UNALLOCATED`] / [`AGG_INELIGIBLE`] sentinels.
     agg_start: Vec<u32>,
@@ -262,6 +281,10 @@ impl<'a> IncrementalRevenue<'a> {
             mut agg_start,
             mut agg,
             mut agg_hi,
+            mut kernel,
+            mut group_shape,
+            mut group_cands,
+            mut cand_exempt,
         } = buffers;
 
         // Group numbering: candidates are CSR-contiguous per user, so one
@@ -269,14 +292,15 @@ impl<'a> IncrementalRevenue<'a> {
         // slots without hashing. Stamps avoid clearing the per-class scratch
         // rows. Every shard candidate is assigned, so the recycled buffer
         // needs resizing only, not clearing. The same pass records each
-        // group's aggregate eligibility (uniform-β class, see module docs).
+        // group's class shape and candidate count — the inputs of the kernel
+        // compilation pass (see `super::kernels`) run right after.
         let num_classes = inst.num_classes() as usize;
-        let class_eligible: Vec<bool> = (0..num_classes)
+        let class_shape: Vec<ClassShape> = (0..num_classes)
             .map(|c| {
-                ignore_saturation
-                    || inst
-                        .beta_profile(crate::ids::ClassId(c as u32))
-                        .is_uniform()
+                ClassShape::of(
+                    inst.beta_profile(crate::ids::ClassId(c as u32)),
+                    ignore_saturation,
+                )
             })
             .collect();
         let mut class_stamp = vec![NONE; num_classes];
@@ -284,6 +308,9 @@ impl<'a> IncrementalRevenue<'a> {
         cand_group.resize(num_cand, 0);
         agg_start.clear();
         agg_hi.clear();
+        kernel.clear();
+        group_shape.clear();
+        group_cands.clear();
         let mut num_groups: u32 = 0;
         for user in shard.user_start()..shard.user_end() {
             for cand in inst.candidates_of_user(UserId(user)) {
@@ -292,14 +319,27 @@ impl<'a> IncrementalRevenue<'a> {
                     class_stamp[class] = user;
                     class_group[class] = num_groups;
                     num_groups += 1;
-                    agg_start.push(if class_eligible[class] {
-                        AGG_UNALLOCATED
-                    } else {
-                        AGG_INELIGIBLE
-                    });
+                    group_shape.push(class_shape[class].as_u8());
+                    group_cands.push(0);
+                    kernel.push(KernelId::MixedWalk.as_u8());
+                    agg_start.push(AGG_INELIGIBLE);
                     agg_hi.push(0);
                 }
-                cand_group[(cand.0 - shard.cand_start()) as usize] = class_group[class];
+                let g = class_group[class];
+                group_cands[g as usize] += 1;
+                cand_group[(cand.0 - shard.cand_start()) as usize] = g;
+            }
+        }
+
+        // Compiled exempt-capacity bits: populated only when the instance
+        // carries exemptions (residual replans), so ordinary instances pay
+        // nothing.
+        cand_exempt.clear();
+        if inst.has_exemptions() {
+            cand_exempt.resize(num_cand, false);
+            for (local, slot) in cand_exempt.iter_mut().enumerate() {
+                let cand = CandidateId(shard.cand_start() + local as u32);
+                *slot = inst.is_exempt(inst.candidate_item(cand), inst.candidate_user(cand));
             }
         }
 
@@ -318,7 +358,7 @@ impl<'a> IncrementalRevenue<'a> {
         cand_counted.resize(num_cand, false);
         agg.clear();
 
-        IncrementalRevenue {
+        let mut this = IncrementalRevenue {
             inst,
             shard,
             ignore_saturation,
@@ -337,35 +377,95 @@ impl<'a> IncrementalRevenue<'a> {
             cand_counted,
             extra_seen: Vec::new(),
             extra_groups: Vec::new(),
-            agg_enabled: true,
+            mode: AggregateMode::default(),
+            agg_enabled: AggregateMode::default().allows_aggregates(),
+            kernel,
+            group_shape,
+            group_cands,
+            cand_exempt,
             agg_start,
             agg,
             agg_hi,
+        };
+        this.recompile_kernels();
+        this
+    }
+
+    /// The kernel compilation pass: derives every group's effective
+    /// [`KernelId`] from its class shape, the aggregate mode, and the `Auto`
+    /// depth gate, and resets the aggregate sentinels accordingly. Only legal
+    /// while the strategy is empty (sentinel resets discard block state).
+    fn recompile_kernels(&mut self) {
+        debug_assert!(self.strategy.is_empty());
+        let horizon = self.inst.horizon();
+        for g in 0..self.kernel.len() {
+            let shape = ClassShape::from_u8(self.group_shape[g]);
+            let k = effective_kernel(shape, self.mode, horizon, self.group_cands[g]);
+            self.kernel[g] = k.as_u8();
+            self.agg_start[g] = if self.agg_enabled && k.uses_aggregates() {
+                AGG_UNALLOCATED
+            } else {
+                AGG_INELIGIBLE
+            };
         }
     }
 
-    /// Switches the saturation-aggregate fast path on or off (on by default;
-    /// eligibility is still decided per group — mixed-β classes always walk).
-    /// Purely a performance knob: both settings produce the same marginals up
-    /// to association order (asserted to 1e-9 by the parity suites).
+    /// Switches the saturation-aggregate kernels on (`AggregateMode::On`) or
+    /// off (`AggregateMode::Off`). Kept as the boolean compatibility surface;
+    /// prefer [`IncrementalRevenue::set_aggregate_mode`], which also exposes
+    /// the depth-gated default.
+    pub fn set_aggregates(&mut self, enabled: bool) {
+        self.set_aggregate_mode(if enabled {
+            AggregateMode::On
+        } else {
+            AggregateMode::Off
+        });
+    }
+
+    /// Sets the aggregate-engagement mode and recompiles the per-group
+    /// kernels (see `super::kernels`). Purely a performance knob: every mode
+    /// selects among paths that agree to 1e-9 (asserted by the kernel-parity
+    /// suites).
     ///
     /// Normally configured once, before the first insertion (the drivers do
-    /// this through `PlannerConfig::aggregates`). Mid-run toggling is safe
-    /// but one-way: disabling falls back to the walk for every later query,
-    /// while re-enabling after insertions were made with the path disabled
-    /// is ignored — the existing blocks missed those inserts and must never
-    /// be read again.
-    pub fn set_aggregates(&mut self, enabled: bool) {
-        if enabled && !self.agg_enabled && !self.strategy.is_empty() {
+    /// this through `PlannerConfig::aggregates`). Mid-run changes are safe
+    /// but one-way: dropping to [`AggregateMode::Off`] downgrades every
+    /// group to its walk kernel for all later queries, while any other
+    /// mid-run change is ignored — blocks that missed inserts while a walk
+    /// kernel was active must never be read again.
+    pub fn set_aggregate_mode(&mut self, mode: AggregateMode) {
+        if self.strategy.is_empty() {
+            self.mode = mode;
+            self.agg_enabled = mode.allows_aggregates();
+            self.recompile_kernels();
             return;
         }
-        self.agg_enabled = enabled;
+        if !mode.allows_aggregates() {
+            self.mode = mode;
+            self.agg_enabled = false;
+            for (k, &shape) in self.kernel.iter_mut().zip(&self.group_shape) {
+                if ClassShape::from_u8(shape) != ClassShape::Mixed {
+                    *k = KernelId::UniformWalk.as_u8();
+                }
+            }
+        }
     }
 
     /// Whether the aggregate fast path can engage for at least one of this
     /// evaluator's groups (probe for benches and tests).
     pub fn aggregates_active(&self) -> bool {
-        self.agg_enabled && self.agg_start.iter().any(|&s| s != AGG_INELIGIBLE)
+        self.agg_enabled
+            && self
+                .kernel
+                .iter()
+                .any(|&k| KernelId::from_u8(k).uses_aggregates())
+    }
+
+    /// The compiled kernel of a candidate's (user, class) group, as its byte
+    /// id — what batched heap-refresh drivers group stale candidates by.
+    #[inline]
+    pub fn kernel_id_cand(&self, cand: CandidateId) -> u8 {
+        self.kernel[self.cand_group[self.local_cand(cand)] as usize]
     }
 
     /// The user/candidate range this evaluator covers.
@@ -426,6 +526,10 @@ impl<'a> IncrementalRevenue<'a> {
                 agg_start: std::mem::take(&mut self.agg_start),
                 agg: std::mem::take(&mut self.agg),
                 agg_hi: std::mem::take(&mut self.agg_hi),
+                kernel: std::mem::take(&mut self.kernel),
+                group_shape: std::mem::take(&mut self.group_shape),
+                group_cands: std::mem::take(&mut self.group_cands),
+                cand_exempt: std::mem::take(&mut self.cand_exempt),
             });
         }
         self.strategy
@@ -550,13 +654,17 @@ impl<'a> IncrementalRevenue<'a> {
         self.group_start.push(NONE);
         self.group_len.push(0);
         self.group_cap.push(0);
-        self.agg_start.push(
-            if self.ignore_saturation || self.inst.beta_profile(class).is_uniform() {
+        let shape = ClassShape::of(self.inst.beta_profile(class), self.ignore_saturation);
+        let k = effective_kernel(shape, self.mode, self.inst.horizon(), 0);
+        self.group_shape.push(shape.as_u8());
+        self.group_cands.push(0);
+        self.kernel.push(k.as_u8());
+        self.agg_start
+            .push(if self.agg_enabled && k.uses_aggregates() {
                 AGG_UNALLOCATED
             } else {
                 AGG_INELIGIBLE
-            },
-        );
+            });
         self.agg_hi.push(0);
         self.extra_groups.push((user.0, class.0, g));
         g
@@ -597,6 +705,7 @@ impl<'a> IncrementalRevenue<'a> {
     /// competition, so — unlike the walk — no `exp` is ever evaluated.
     fn gain_and_loss_agg(
         &self,
+        kernel: KernelId,
         astart: usize,
         hi: usize,
         item: u32,
@@ -604,7 +713,6 @@ impl<'a> IncrementalRevenue<'a> {
         t: TimeStep,
     ) -> (f64, f64) {
         let horizon = self.inst.horizon() as usize;
-        let row = self.pow_row(item);
         let tv = t.index();
         let (pros, wsum) = self.agg[astart..astart + 2 * horizon].split_at(horizon);
 
@@ -616,12 +724,30 @@ impl<'a> IncrementalRevenue<'a> {
         let mut loss = wsum[tv] * (-q_prim);
         // `wsum` is identically 0 past the group's last occupied step, so the
         // fold stops at `hi` — probes at or beyond it (every probe of a
-        // chronologically filled group) skip it entirely.
-        let beta_root = &self.tables.beta_root;
-        let stride = self.tables.stride;
-        for (d, &w) in wsum[tv + 1..hi.max(tv + 1)].iter().enumerate() {
-            let factor = (1.0 - q_prim) * beta_root[row as usize * stride + d];
-            loss += w * (factor - 1.0);
+        // chronologically filled group) skip it entirely. The degenerate
+        // kernels run the same fold with their constant factor — their β-root
+        // rows hold exactly 1.0 / 0.0, so skipping the loads is bit-neutral.
+        let fold = &wsum[tv + 1..hi.max(tv + 1)];
+        match kernel {
+            KernelId::UnitAgg => {
+                let factor = 1.0 - q_prim;
+                for &w in fold {
+                    loss += w * (factor - 1.0);
+                }
+            }
+            KernelId::ZeroAgg => {
+                for &w in fold {
+                    loss -= w;
+                }
+            }
+            _ => {
+                let row = self.pow_row(item) as usize;
+                let beta_root = &self.tables.beta_root[row * self.tables.stride..];
+                for (d, &w) in fold.iter().enumerate() {
+                    let factor = (1.0 - q_prim) * beta_root[d];
+                    loss += w * (factor - 1.0);
+                }
+            }
         }
         (self.inst.price(crate::ids::ItemId(item), t) * q_new, loss)
     }
@@ -666,7 +792,7 @@ impl<'a> IncrementalRevenue<'a> {
             return true;
         }
         match self.inst.candidate_for(z.user, z.item) {
-            Some(cand) => self.capacity_violated_cand(cand, z.item.0, z.user),
+            Some(cand) => self.capacity_violated_cand(cand, z.item.0),
             None => {
                 !self.extra_seen.contains(&(z.item.0, z.user.0))
                     && self.ledger.is_full_for(z.item, z.user)
@@ -682,9 +808,13 @@ impl<'a> IncrementalRevenue<'a> {
     }
 
     #[inline]
-    fn capacity_violated_cand(&self, cand: CandidateId, item: u32, user: UserId) -> bool {
-        !self.cand_counted[self.local_cand(cand)]
-            && self.ledger.is_full_for(crate::ids::ItemId(item), user)
+    fn capacity_violated_cand(&self, cand: CandidateId, item: u32) -> bool {
+        let local = self.local_cand(cand);
+        // The exempt bit was compiled per candidate at construction (empty
+        // unless the instance carries exemptions), so the hot path never
+        // binary-searches an exempt-user set.
+        let exempt = !self.cand_exempt.is_empty() && self.cand_exempt[local];
+        !self.cand_counted[local] && !exempt && self.ledger.is_full(crate::ids::ItemId(item))
     }
 
     /// Marginal revenue `Rev(S ∪ {z}) − Rev(S)` of a triple not yet selected.
@@ -706,9 +836,10 @@ impl<'a> IncrementalRevenue<'a> {
 
     /// Marginal revenue of a candidate triple, addressed by candidate id.
     ///
-    /// Dispatches to the `O(T)` aggregate fast path when the candidate's
-    /// group has an aggregate block (uniform-β class, at least one entry),
-    /// and to the exact slab walk otherwise.
+    /// Dispatches through the group's compiled kernel byte (see
+    /// `super::kernels`): one flat `match`, no per-query profile or knob
+    /// branching. Aggregate kernels answer from the group's `pros`/`wsum`
+    /// block in `O(T − t)`; walk kernels run the exact slab walk.
     #[inline]
     pub fn marginal_revenue_cand(&self, cand: CandidateId, t: TimeStep) -> f64 {
         let local = self.local_cand(cand);
@@ -717,15 +848,29 @@ impl<'a> IncrementalRevenue<'a> {
             return 0.0;
         }
         let group = self.cand_group[local] as usize;
-        let (gain, loss) = match self.agg_block(group) {
-            Some(astart) => self.gain_and_loss_agg(
-                astart,
-                self.agg_hi[group] as usize,
-                self.inst.candidate_item(cand).0,
-                self.inst.candidate_prob(cand, t),
-                t,
-            ),
-            None => self.gain_and_loss_cand(cand, t),
+        let kernel = KernelId::from_u8(self.kernel[group]);
+        let (gain, loss) = if kernel.uses_aggregates() {
+            let s = self.agg_start[group];
+            if s == AGG_UNALLOCATED {
+                // Empty group: unit potential, no competition, no loss —
+                // bit-identical to walking the empty slab.
+                let q_prim = self.inst.candidate_prob(cand, t);
+                (
+                    self.inst.price(self.inst.candidate_item(cand), t) * q_prim,
+                    0.0,
+                )
+            } else {
+                self.gain_and_loss_agg(
+                    kernel,
+                    s as usize,
+                    self.agg_hi[group] as usize,
+                    self.inst.candidate_item(cand).0,
+                    self.inst.candidate_prob(cand, t),
+                    t,
+                )
+            }
+        } else {
+            self.gain_and_loss_cand(cand, t)
         };
         gain + loss
     }
@@ -781,11 +926,17 @@ impl<'a> IncrementalRevenue<'a> {
         let row = self.pow_row(item.0);
         let group = self.cand_group[local] as usize;
         let tv = t.value();
+        let kernel = KernelId::from_u8(self.kernel[group]);
 
-        // One fused walk over the group's contiguous slab: accumulate memory /
-        // competition / loss, and apply the discount to entries at the same or
-        // later times. Field-level borrows keep the lookup tables readable
+        // One fused walk over the group's contiguous slab: apply the discount
+        // to entries at the same or later times, accumulating the loss. For
+        // walk kernels the same pass accumulates memory / competition (the
+        // inputs of the new entry's dynamic probability); aggregate kernels
+        // read that potential straight from the group's `pros` block instead
+        // — earlier entries need no visit and the per-insert `exp`
+        // disappears. Field-level borrows keep the lookup tables readable
         // while the arena is mutated.
+        let use_agg = self.agg_enabled && kernel.uses_aggregates();
         let mut memory = 0.0_f64;
         let mut comp = 1.0_f64;
         let mut loss = 0.0_f64;
@@ -795,25 +946,53 @@ impl<'a> IncrementalRevenue<'a> {
             let inv_dist = &self.tables.inv_dist;
             let beta_root = &self.tables.beta_root;
             let max_dist = self.tables.stride;
-            for e in &mut self.arena[start..start + len] {
-                if e.t < tv {
-                    memory += inv_dist[(tv - e.t) as usize];
-                    comp *= 1.0 - e.q_prim;
-                } else if e.t > tv {
-                    let factor = (1.0 - q_prim)
-                        * beta_root[e.pow_row as usize * max_dist + (e.t - tv - 1) as usize];
-                    loss += e.price * e.q_dyn * (factor - 1.0);
-                    e.q_dyn *= factor;
-                } else if e.item != item.0 {
-                    comp *= 1.0 - e.q_prim;
-                    loss += e.price * e.q_dyn * (-q_prim);
-                    e.q_dyn *= 1.0 - q_prim;
+            if use_agg {
+                for e in &mut self.arena[start..start + len] {
+                    if e.t > tv {
+                        let factor = (1.0 - q_prim)
+                            * beta_root[e.pow_row as usize * max_dist + (e.t - tv - 1) as usize];
+                        loss += e.price * e.q_dyn * (factor - 1.0);
+                        e.q_dyn *= factor;
+                    } else if e.t == tv && e.item != item.0 {
+                        loss += e.price * e.q_dyn * (-q_prim);
+                        e.q_dyn *= 1.0 - q_prim;
+                    }
+                }
+            } else {
+                for e in &mut self.arena[start..start + len] {
+                    if e.t < tv {
+                        memory += inv_dist[(tv - e.t) as usize];
+                        comp *= 1.0 - e.q_prim;
+                    } else if e.t > tv {
+                        let factor = (1.0 - q_prim)
+                            * beta_root[e.pow_row as usize * max_dist + (e.t - tv - 1) as usize];
+                        loss += e.price * e.q_dyn * (factor - 1.0);
+                        e.q_dyn *= factor;
+                    } else if e.item != item.0 {
+                        comp *= 1.0 - e.q_prim;
+                        loss += e.price * e.q_dyn * (-q_prim);
+                        e.q_dyn *= 1.0 - q_prim;
+                    }
                 }
             }
         }
-        let q_new = q_prim * self.pow_memory(row, memory) * comp;
         let price = self.inst.price(item, t);
-        let gain = price * q_new;
+        let (q_new, gain);
+        if use_agg {
+            let astart = match self.agg_block(group) {
+                Some(s) => s,
+                None => self.agg_alloc(group),
+            };
+            // The prospective potential is read before the block absorbs the
+            // insertion — it is exactly `β^memory · Π (1 − q)` of the walk.
+            q_new = q_prim * self.agg[astart + t.index()];
+            gain = price * q_new;
+            self.agg_apply_insert(astart, t.index(), item.0, q_prim, price, q_new);
+            self.agg_hi[group] = self.agg_hi[group].max(t.index() as u32 + 1);
+        } else {
+            q_new = q_prim * self.pow_memory(row, memory) * comp;
+            gain = price * q_new;
+        }
 
         self.slab_push(
             group,
@@ -826,14 +1005,6 @@ impl<'a> IncrementalRevenue<'a> {
                 price,
             },
         );
-        if self.agg_enabled && self.agg_start[group] != AGG_INELIGIBLE {
-            let astart = match self.agg_block(group) {
-                Some(s) => s,
-                None => self.agg_alloc(group),
-            };
-            self.agg_apply_insert(astart, t.index(), item.0, q_prim, price, q_new);
-            self.agg_hi[group] = self.agg_hi[group].max(t.index() as u32 + 1);
-        }
 
         self.revenue += gain + loss;
         self.selected[slot] = true;
@@ -919,12 +1090,16 @@ impl<'a> IncrementalRevenue<'a> {
         let probs = self.inst.candidate_probs(cand);
         let prices = self.inst.price_series(crate::ids::ItemId(item));
 
-        if let Some(astart) = self.agg_block(group) {
+        let kernel = KernelId::from_u8(self.kernel[group]);
+        if kernel.uses_aggregates() && self.agg_start[group] < AGG_INELIGIBLE {
             // Aggregate fast path: one O(T − t) closed-form evaluation per
             // live slot. The arithmetic per slot is identical to
             // [`IncrementalRevenue::gain_and_loss_agg`] (`prices[t]` is the
-            // same f64 `price(item, t)` loads), so batch and per-slot
-            // results stay bit-identical.
+            // same f64 `price(item, t)` loads; the degenerate kernels' β-root
+            // rows hold exactly 1.0 / 0.0, so the shared row-based loop is
+            // bit-neutral for them), so batch and per-slot results stay
+            // bit-identical.
+            let astart = self.agg_start[group] as usize;
             let hi = self.agg_hi[group] as usize;
             let base = self.local_cand(cand) * horizon;
             let (pros, wsum) = self.agg[astart..astart + 2 * horizon].split_at(horizon);
@@ -1125,8 +1300,16 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
         IncrementalRevenue::set_aggregates(self, enabled)
     }
 
+    fn set_aggregate_mode(&mut self, mode: AggregateMode) {
+        IncrementalRevenue::set_aggregate_mode(self, mode)
+    }
+
     fn aggregates_active(&self) -> bool {
         IncrementalRevenue::aggregates_active(self)
+    }
+
+    fn kernel_id_cand(&self, cand: CandidateId) -> u8 {
+        IncrementalRevenue::kernel_id_cand(self, cand)
     }
 
     fn instance(&self) -> &'a Instance {
@@ -1151,7 +1334,7 @@ impl<'a> RevenueEngine<'a> for IncrementalRevenue<'a> {
         if self.display_count[slot] as u32 >= self.inst.display_limit() {
             return true;
         }
-        self.capacity_violated_cand(cand, self.inst.candidate_item(cand).0, user)
+        self.capacity_violated_cand(cand, self.inst.candidate_item(cand).0)
     }
 
     fn would_violate_display_cand(&self, cand: CandidateId, t: TimeStep) -> bool {

@@ -65,12 +65,14 @@ use std::collections::HashMap;
 pub mod engine;
 pub mod flat;
 pub mod hash;
+pub mod kernels;
 pub mod ledger;
 pub mod warm;
 
 pub use engine::RevenueEngine;
 pub use flat::IncrementalRevenue;
 pub use hash::HashIncrementalRevenue;
+pub use kernels::{AggregateMode, KernelId};
 pub use ledger::{CapacityLedger, SharedCapacityLedger};
 pub use warm::{EngineSnapshot, ResidualDelta};
 

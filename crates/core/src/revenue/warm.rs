@@ -110,6 +110,10 @@ pub(crate) struct FlatBuffers {
     pub(crate) agg_start: Vec<u32>,
     pub(crate) agg: Vec<f64>,
     pub(crate) agg_hi: Vec<u32>,
+    pub(crate) kernel: Vec<u8>,
+    pub(crate) group_shape: Vec<u8>,
+    pub(crate) group_cands: Vec<u32>,
+    pub(crate) cand_exempt: Vec<bool>,
 }
 
 #[derive(Debug, Default)]

@@ -572,7 +572,10 @@ fn aggregate_fast_path_matches_walk_on_uniform_beta_instances() {
                 triples.push(z);
             }
         }
+        // Explicit opt-in: these instances are small enough that the default
+        // depth-gated `Auto` mode would compile some groups to walk kernels.
         let mut agg = IncrementalRevenue::new(&inst);
+        agg.set_aggregates(true);
         let mut walk = IncrementalRevenue::new(&inst);
         walk.set_aggregates(false);
         assert!(
@@ -611,6 +614,7 @@ fn aggregate_batch_is_bit_identical_to_scalar() {
     for case in 0..40 {
         let inst = random_uniform_beta_instance(&mut rng);
         let mut inc = IncrementalRevenue::new(&inst);
+        inc.set_aggregates(true);
         let mut triples = shuffled_candidate_triples(&inst, &mut rng);
         triples.truncate(10);
         for z in triples {
@@ -658,6 +662,9 @@ fn aggregate_eligibility_edges() {
         .candidate(1, 2, &[0.9, 0.1, 0.2], 0.0);
     let inst = b.build().unwrap();
     let mut inc = IncrementalRevenue::new(&inst);
+    // Forced engagement (`On`): the default `Auto` mode would depth-gate
+    // this tiny instance's groups to walk kernels.
+    inc.set_aggregates(true);
     // The single-item class keeps the engine's fast path engageable.
     assert!(inc.aggregates_active());
     let mut walk = IncrementalRevenue::new(&inst);
@@ -693,9 +700,13 @@ fn aggregate_eligibility_edges() {
         .candidate(0, 0, &[0.5, 0.5], 0.0)
         .candidate(0, 1, &[0.4, 0.4], 0.0);
     let mixed = b.build().unwrap();
-    assert!(!IncrementalRevenue::new(&mixed).aggregates_active());
+    let mut forced = IncrementalRevenue::new(&mixed);
+    forced.set_aggregates(true);
+    assert!(!forced.aggregates_active());
     // `ignore_saturation` treats every class as uniform (all factors are 1).
-    assert!(IncrementalRevenue::with_options(&mixed, true).aggregates_active());
+    let mut sat_free = IncrementalRevenue::with_options(&mixed, true);
+    sat_free.set_aggregates(true);
+    assert!(sat_free.aggregates_active());
 }
 
 /// Shard views keep aggregate parity: a sharded evaluator with aggregates on

@@ -27,9 +27,16 @@
 //! calling thread; with several concurrent sessions the pool amortises it.
 //!
 //! A `uniform_beta` section re-runs the warm inline mode on the per-class-β
-//! dataset variant with the saturation-aggregate fast path on vs off
-//! (`agg_vs_walk_replan_speedup`), samples interleaved, per-day parity
-//! asserted between the two.
+//! dataset variant in three interleaved configurations: `warm_generic`
+//! (`Aggregates::Off` + `kernel_batch = 0`, the full pre-kernel path),
+//! `warm_walk` (walk kernels on the tournament driver) and `warm_kernels`
+//! (the default compiled-kernel config). Headlines:
+//! `kernels_vs_generic_replan_speedup` (the tracked number — warm replans
+//! must not regress under the kernel drivers) and
+//! `agg_vs_walk_replan_speedup` (aggregate vs walk kernels, kept from the
+//! pre-kernel schema). Per-day parity is asserted across all three, and
+//! `REVMAX_BENCH_ENFORCE=1` arms a panic if the kernels-vs-generic ratio
+//! of summed **best-of-samples** per-event latencies drops below 0.95×.
 
 use revmax_algorithms::Aggregates;
 use revmax_core::{env, AdoptionEvent, AdoptionOutcome};
@@ -215,7 +222,7 @@ fn main() {
         eprintln!("WARNING: warm-start replans were not faster than cold on this host");
     }
 
-    // --- saturation-aggregate fast path on the uniform-β variant ---
+    // --- compiled kernels vs the pre-kernel path on the uniform-β variant ---
     eprintln!("generating uniform-beta (per-class) variant ...");
     let mut agg_config = DatasetConfig::amazon_like().scaled(scale);
     agg_config.beta = BetaSetting::PerClassRandom;
@@ -223,28 +230,26 @@ fn main() {
     let agg_ds = generate(&agg_config);
     let agg_inst = &agg_ds.instance;
     assert!(agg_inst.all_beta_uniform());
-    // Interleave the two modes sample by sample so host noise hits both
+    // Interleave the three modes sample by sample so host noise hits each
     // equally (run_config walks a full session per sample internally, so
     // interleave at the sample granularity here).
     let warm_cfg = PlannerConfig::default().with_warm_start(true);
-    let mut agg_rows = [
-        run_config(
-            agg_inst,
-            warm_cfg.with_aggregates(Aggregates::Off),
-            "warm_walk",
-            true,
-            false,
-            1,
-            &service,
-        ),
-        run_config(agg_inst, warm_cfg, "warm_agg", true, false, 1, &service),
+    let agg_configs = [
+        warm_cfg
+            .with_aggregates(Aggregates::Off)
+            .with_kernel_batch(0),
+        warm_cfg.with_aggregates(Aggregates::Off),
+        warm_cfg,
     ];
+    let agg_mode_names = ["warm_generic", "warm_walk", "warm_kernels"];
+    let mut agg_rows: Vec<ModeRow> = agg_configs
+        .iter()
+        .zip(agg_mode_names)
+        .map(|(cfg, mode)| run_config(agg_inst, *cfg, mode, true, false, 1, &service))
+        .collect();
     for _ in 1..samples {
-        for (idx, cfg) in [warm_cfg.with_aggregates(Aggregates::Off), warm_cfg]
-            .into_iter()
-            .enumerate()
-        {
-            let extra = run_config(agg_inst, cfg, agg_rows[idx].mode, true, false, 1, &service);
+        for (idx, cfg) in agg_configs.iter().enumerate() {
+            let extra = run_config(agg_inst, *cfg, agg_rows[idx].mode, true, false, 1, &service);
             assert_eq!(
                 agg_rows[idx].day_revenue, extra.day_revenue,
                 "{} diverged across samples",
@@ -253,23 +258,58 @@ fn main() {
             agg_rows[idx].replan_ns.extend(extra.replan_ns);
         }
     }
-    for (day, (walk, agg)) in agg_rows[0]
-        .day_revenue
-        .iter()
-        .zip(&agg_rows[1].day_revenue)
-        .enumerate()
-    {
-        assert!(
-            (walk - agg).abs() <= 1e-9 * walk.abs().max(1.0),
-            "uniform-beta day {day}: aggregates {agg} vs walk {walk}"
-        );
+    for row in &agg_rows[1..] {
+        for (day, (generic, other)) in agg_rows[0]
+            .day_revenue
+            .iter()
+            .zip(&row.day_revenue)
+            .enumerate()
+        {
+            assert!(
+                (generic - other).abs() <= 1e-9 * generic.abs().max(1.0),
+                "uniform-beta day {day}: {} {other} vs warm_generic {generic}",
+                row.mode
+            );
+        }
     }
     let agg_medians: Vec<u128> = agg_rows
         .iter()
         .map(|r| median(r.replan_ns.clone()))
         .collect();
-    let agg_speedup = agg_medians[0] as f64 / agg_medians[1] as f64;
+    let agg_mins: Vec<u128> = agg_rows
+        .iter()
+        .map(|r| *r.replan_ns.iter().min().expect("replans > 0"))
+        .collect();
+    let kernels_speedup = agg_medians[0] as f64 / agg_medians[2] as f64;
+    let agg_speedup = agg_medians[1] as f64 / agg_medians[2] as f64;
+    eprintln!(
+        "kernels vs generic (warm inline, uniform-beta): {kernels_speedup:.3}x per-event replan"
+    );
     eprintln!("aggregates vs walk (warm inline, uniform-beta): {agg_speedup:.3}x per-event replan");
+    if env::var_or("REVMAX_BENCH_ENFORCE", 0u32) == 1 {
+        // A session's replans shrink as the horizon empties, so the global
+        // min is just "the cheapest day" and noisy; enforce on the sum of
+        // per-event best-of-samples latencies instead (events are matched
+        // across modes — every sample replans the same days).
+        let per_event_best_sum = |ns: &[u128]| -> u128 {
+            let events = ns.len() / samples;
+            (0..events)
+                .map(|d| {
+                    (0..samples)
+                        .map(|s| ns[s * events + d])
+                        .min()
+                        .expect("sample")
+                })
+                .sum()
+        };
+        let min_ratio = per_event_best_sum(&agg_rows[0].replan_ns) as f64
+            / per_event_best_sum(&agg_rows[2].replan_ns) as f64;
+        assert!(
+            min_ratio >= 0.95,
+            "kernel drivers regressed warm replans: best-of-samples latency ratio \
+             {min_ratio:.3} < 0.95"
+        );
+    }
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -322,11 +362,14 @@ fn main() {
             row.mode,
             row.replan_ns.len(),
             agg_medians[idx],
-            row.replan_ns.iter().min().expect("replans > 0"),
+            agg_mins[idx],
             if idx + 1 < agg_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"kernels_vs_generic_replan_speedup\": {kernels_speedup:.3},\n"
+    ));
     json.push_str(&format!(
         "    \"agg_vs_walk_replan_speedup\": {agg_speedup:.3}\n  }}\n"
     ));
