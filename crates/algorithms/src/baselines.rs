@@ -24,7 +24,7 @@ where
         .candidates_of_user(user)
         .map(|c| (inst.candidate_item(c), score(c)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.into_iter().take(k).map(|(item, _)| item).collect()
 }
 

@@ -42,6 +42,7 @@ pub mod local_greedy;
 pub mod local_search;
 pub mod max_dcs;
 pub mod par;
+pub mod protocol;
 pub mod runner;
 pub mod sharded;
 pub mod staged;

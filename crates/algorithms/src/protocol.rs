@@ -1,0 +1,112 @@
+//! The shard/ledger claim protocol, as code.
+//!
+//! Both sharded drivers (`sharded_plan` and `sharded_plan_order`) couple
+//! their shard workers through a [`SharedCapacityLedgerIn`] and follow the
+//! same two-step capacity discipline per candidate:
+//!
+//! 1. **gate** — before granting a display, check [`claim_blocked`]: a
+//!    candidate whose `(item, user)` pair has not yet claimed is dead when
+//!    the item is full for that user;
+//! 2. **commit** — on the first display of the pair, [`commit_claim`]: mark
+//!    the pair counted in the shard-local dedup bitmap and claim one
+//!    capacity unit through the shared ledger (exempt pairs succeed without
+//!    consuming).
+//!
+//! This module is the *instrumentation seam* for the analysis toolchain:
+//! the functions are generic over [`LedgerCell`], so `cargo xtask
+//! check-ledger` executes the **identical code** the production drivers run
+//! — only the cell type changes, from `AtomicCell` to an instrumented cell
+//! whose every load/RMW is routed through a schedule controller. The
+//! model-checker scenarios for the held-slot rotation (claim-gated
+//! publication of a shard's held move) call straight into these functions;
+//! see `docs/concurrency.md` for the protocol's memory-ordering contract
+//! and `ARCHITECTURE.md` § "Analysis toolchain" for how the ROADMAP-1
+//! speculative-shard executor is expected to extend them.
+//!
+//! Keep these functions in sync with nothing: they *are* the protocol; the
+//! drivers call them.
+
+use revmax_core::{ItemId, LedgerCell, SharedCapacityLedgerIn, UserId};
+
+/// Whether a candidate's capacity gate blocks its display: the `(item,
+/// user)` pair has not claimed yet (`counted == false`) **and** the item is
+/// full for this user (exempt pairs are never blocked).
+///
+/// Pure reads; safe to evaluate speculatively — a `false` answer can go
+/// stale the moment another shard claims the last unit, which is why the
+/// commit step re-validates through the ledger's CAS.
+#[inline]
+pub fn claim_blocked<C: LedgerCell>(
+    ledger: &SharedCapacityLedgerIn<C>,
+    counted: bool,
+    item: ItemId,
+    user: UserId,
+) -> bool {
+    !counted && ledger.is_full_for(item, user)
+}
+
+/// Commits the capacity side of a display: on the pair's first display
+/// (`counted == false`), marks it counted and claims one unit through the
+/// shared ledger. Returns whether the ledger granted the claim (`true` for
+/// exempt pairs and for every repeat display).
+///
+/// Under the deterministic value-ordered arbitration the grant can never be
+/// denied — the coordinator only commits the globally leading move, and it
+/// checked [`claim_blocked`] first with no competing commit in between. The
+/// arbitrated drivers therefore `debug_assert!` on the result. A
+/// *speculative* executor (ROADMAP-1) runs commits concurrently, must treat
+/// `false` as a conflict, and rolls back — the pair stays `counted`, so the
+/// rollback must clear the flag itself (and [`SharedCapacityLedgerIn::release`]
+/// any units the rolled-back suffix did win).
+#[inline]
+pub fn commit_claim<C: LedgerCell>(
+    ledger: &SharedCapacityLedgerIn<C>,
+    counted: &mut bool,
+    item: ItemId,
+    user: UserId,
+) -> bool {
+    if *counted {
+        return true;
+    }
+    *counted = true;
+    ledger.try_claim_for(item, user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmax_core::{InstanceBuilder, SharedCapacityLedger};
+
+    #[test]
+    fn gate_then_commit_follows_ledger_semantics() {
+        let mut b = InstanceBuilder::new(3, 1, 1);
+        b.capacity(0, 1)
+            .constant_price(0, 1.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .exempt_user(0, 2);
+        let inst = b.build().unwrap();
+        let ledger = SharedCapacityLedger::new(&inst);
+
+        let (item, user) = (ItemId(0), UserId(0));
+        let mut counted = false;
+        assert!(!claim_blocked(&ledger, counted, item, user));
+        assert!(commit_claim(&ledger, &mut counted, item, user));
+        assert!(counted);
+        // Repeat displays of a counted pair are never gated and commit free.
+        assert!(!claim_blocked(&ledger, counted, item, user));
+        assert!(commit_claim(&ledger, &mut counted, item, user));
+        assert_eq!(ledger.used(item), 1);
+
+        // A different user is gated now that the item is full...
+        let mut counted2 = false;
+        assert!(claim_blocked(&ledger, counted2, item, UserId(1)));
+        // ...but an exempt user is not, and commits without consuming.
+        let mut counted_ex = false;
+        assert!(!claim_blocked(&ledger, counted_ex, item, UserId(2)));
+        assert!(commit_claim(&ledger, &mut counted_ex, item, UserId(2)));
+        assert_eq!(ledger.used(item), 1);
+
+        // A speculative commit that loses the race reports the conflict.
+        assert!(!commit_claim(&ledger, &mut counted2, item, UserId(1)));
+    }
+}

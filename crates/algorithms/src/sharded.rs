@@ -65,6 +65,7 @@ use crate::global_greedy::{
 };
 use crate::heap::{precedes, refresh_held, GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
+use crate::protocol;
 use revmax_core::{
     revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, ResidualDelta,
     RevenueEngine, SharedCapacityLedger, Strategy, TimeStep, Triple, UserShard,
@@ -184,7 +185,8 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
         while let Some((best_t, best_v)) = self.table.best(local_idx) {
             let t = TimeStep::from_index(best_t);
             let display_bad = self.inc.would_violate_display_cand(cand, t);
-            let capacity_bad = !self.counted[local_idx as usize] && ledger.is_full_for(item, user);
+            let capacity_bad =
+                protocol::claim_blocked(ledger, self.counted[local_idx as usize], item, user);
             if display_bad {
                 // The (user, t) slot is full: this time step is dead for
                 // this candidate, other time steps may still be fine.
@@ -211,11 +213,13 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
             let slot = self.table.slot(local_idx, best_t);
             if self.table.flags[slot] == stamp {
                 let marginal = self.inc.insert_cand(cand, t);
-                if !self.counted[local_idx as usize] {
-                    self.counted[local_idx as usize] = true;
-                    let granted = ledger.try_claim_for(item, user);
-                    debug_assert!(granted, "arbitrated claim must never be denied");
-                }
+                let granted = protocol::commit_claim(
+                    ledger,
+                    &mut self.counted[local_idx as usize],
+                    item,
+                    user,
+                );
+                debug_assert!(granted, "arbitrated claim must never be denied");
                 self.table.block(local_idx, best_t);
                 outcome = Step::Inserted {
                     z: Triple { user, item, t },
@@ -241,11 +245,12 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
                         cfg.lazy_forward,
                         |inc: &E, c, tt| {
                             inc.would_violate_display_cand(c, tt)
-                                || (!counted[(c.0 - start) as usize]
-                                    && ledger.is_full_for(
-                                        inst.candidate_item(c),
-                                        inst.candidate_user(c),
-                                    ))
+                                || protocol::claim_blocked(
+                                    ledger,
+                                    counted[(c.0 - start) as usize],
+                                    inst.candidate_item(c),
+                                    inst.candidate_user(c),
+                                )
                         },
                         &mut self.run,
                         cfg.kernel_batch as usize - 1,
@@ -578,18 +583,21 @@ fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
                 let item = inst.candidate_item(cand);
                 let user = inst.candidate_user(cand);
                 let display_bad = w.inc.would_violate_display_cand(cand, t);
-                let capacity_bad = !w.counted[local_idx as usize] && ledger.is_full_for(item, user);
+                let capacity_bad =
+                    protocol::claim_blocked(&ledger, w.counted[local_idx as usize], item, user);
                 let requeue = if display_bad || capacity_bad {
                     None
                 } else {
                     let group_size = w.inc.group_size_cand(cand) as u32;
                     if frontier.flags[local_idx as usize] == group_size {
                         let marginal = w.inc.insert_cand(cand, t);
-                        if !w.counted[local_idx as usize] {
-                            w.counted[local_idx as usize] = true;
-                            let granted = ledger.try_claim_for(item, user);
-                            debug_assert!(granted, "arbitrated claim must never be denied");
-                        }
+                        let granted = protocol::commit_claim(
+                            &ledger,
+                            &mut w.counted[local_idx as usize],
+                            item,
+                            user,
+                        );
+                        debug_assert!(granted, "arbitrated claim must never be denied");
                         running_revenue += marginal;
                         picks.push(Triple { user, item, t });
                         trace.push(running_revenue);

@@ -40,6 +40,13 @@ pub fn flag(key: &str) -> bool {
     std::env::var(key).is_ok_and(|v| v.trim() == "1")
 }
 
+/// Whether the variable is present in the environment at all (regardless of
+/// parseability). Tests use this to probe for ambient configuration that
+/// would change a default-path assertion.
+pub fn is_set(key: &str) -> bool {
+    std::env::var_os(key).is_some()
+}
+
 /// Parses a comma-separated list (e.g. `REVMAX_SERVE_SHARDS=1,2,4`);
 /// unparsable entries are skipped, `None` when the variable is unset.
 pub fn var_list<T: FromStr>(key: &str) -> Option<Vec<T>> {

@@ -83,7 +83,8 @@ pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
 pub use instance::{BetaProfile, Instance, InstanceBuilder, UserShard};
 pub use revenue::{
     dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, AggregateMode,
-    CapacityLedger, EngineSnapshot, HashIncrementalRevenue, IncrementalRevenue, KernelId,
-    ResidualDelta, RevenueEngine, SharedCapacityLedger,
+    AtomicCell, CapacityLedger, EngineSnapshot, HashIncrementalRevenue, IncrementalRevenue,
+    KernelId, LedgerCell, ResidualDelta, RevenueEngine, SharedCapacityLedger,
+    SharedCapacityLedgerIn,
 };
 pub use strategy::Strategy;

@@ -24,11 +24,105 @@
 //! capacity when charged nor blocks on a full item. Residual instances use
 //! this to stop double-charging re-displays to prefix users; ordinary
 //! instances have empty sets and pay one `bool` check.
+//!
+//! # Memory-ordering contract
+//!
+//! This module is the **only** place in the workspace where atomics (and
+//! `std::sync::atomic::Ordering` tokens) are allowed — `cargo xtask lint`
+//! enforces the confinement mechanically. Every ordering choice below is
+//! justified in [`docs/concurrency.md`] (the ledger memory-ordering
+//! contract), and the shared ledger's claim/charge/release protocol is
+//! exhaustively schedule-checked by `cargo xtask check-ledger`, which
+//! substitutes an instrumented [`LedgerCell`] for [`AtomicCell`] and
+//! explores thread interleavings under an acquire/release-aware memory
+//! model. The contract in one line: **claim-family RMWs publish with
+//! `AcqRel` and count loads observe with `Acquire`, so any thread that
+//! observes an item's count also observes every ledger update that
+//! happened-before the RMW that produced it.**
+//!
+//! [`docs/concurrency.md`]: https://example.invalid/revmax/docs/concurrency.md
 
 use crate::ids::{ItemId, UserId};
 use crate::instance::{ExemptSets, Instance};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// One shared counter cell of a [`SharedCapacityLedgerIn`].
+///
+/// The production ledger uses [`AtomicCell`], a zero-cost `AtomicU32`
+/// newtype. The analysis toolchain (`cargo xtask check-ledger`) substitutes
+/// an instrumented cell that records every load/RMW **with its requested
+/// [`Ordering`]** into a schedule controller, then explores thread
+/// interleavings of the real ledger code under an acquire/release-aware
+/// memory model. Keeping the trait surface to exactly the operations the
+/// ledger performs (load, `fetch_add`, `fetch_sub`, `compare_exchange`) is
+/// what makes that exploration sound: every shared-memory transition of the
+/// protocol is one trait call.
+///
+/// Implementations outside the model checker must be genuinely atomic;
+/// the `Ordering` arguments follow the contract in `docs/concurrency.md`.
+pub trait LedgerCell {
+    /// A cell holding `value`.
+    fn new(value: u32) -> Self;
+    /// Atomic load with the requested ordering.
+    fn load(&self, order: Ordering) -> u32;
+    /// Atomic add; returns the previous value.
+    fn fetch_add(&self, delta: u32, order: Ordering) -> u32;
+    /// Atomic subtract; returns the previous value.
+    fn fetch_sub(&self, delta: u32, order: Ordering) -> u32;
+    /// Atomic compare-exchange (strong): store `new` iff the cell holds
+    /// `current`. `Ok(previous)` on success, `Err(actual)` on failure.
+    fn compare_exchange(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32>;
+}
+
+/// The production [`LedgerCell`]: a `repr(transparent)` `AtomicU32` newtype.
+///
+/// Every method forwards directly, so the generic ledger instantiated at
+/// `AtomicCell` compiles to the same code as hand-written atomics — the
+/// sharded parity suites (1e-9 agreement with the sequential plan at every
+/// shard count) pin the behaviour.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct AtomicCell(AtomicU32);
+
+impl LedgerCell for AtomicCell {
+    #[inline(always)]
+    fn new(value: u32) -> Self {
+        AtomicCell(AtomicU32::new(value))
+    }
+
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> u32 {
+        self.0.load(order)
+    }
+
+    #[inline(always)]
+    fn fetch_add(&self, delta: u32, order: Ordering) -> u32 {
+        self.0.fetch_add(delta, order)
+    }
+
+    #[inline(always)]
+    fn fetch_sub(&self, delta: u32, order: Ordering) -> u32 {
+        self.0.fetch_sub(delta, order)
+    }
+
+    #[inline(always)]
+    fn compare_exchange(
+        &self,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32> {
+        self.0.compare_exchange(current, new, success, failure)
+    }
+}
 
 /// Sequential display-capacity ledger: per-item distinct-user counts against
 /// the instance capacities `q_i`.
@@ -142,19 +236,30 @@ impl CapacityLedger {
 /// marginal-revenue order (see `revmax-algorithms::sharded`), which makes the
 /// sharded plan reproduce the sequential one exactly regardless of thread
 /// scheduling.
+///
+/// The ledger is generic over its counter cell so `cargo xtask check-ledger`
+/// can run **this exact code** under an instrumented [`LedgerCell`] and
+/// exhaustively explore thread interleavings; production code uses the
+/// [`SharedCapacityLedger`] alias (cells are [`AtomicCell`]). The ordering
+/// arguments passed to the cells are the contract documented in
+/// `docs/concurrency.md`.
 #[derive(Debug)]
-pub struct SharedCapacityLedger {
-    used: Vec<AtomicU32>,
+pub struct SharedCapacityLedgerIn<C: LedgerCell> {
+    used: Vec<C>,
     cap: Vec<u32>,
     exempt: Arc<ExemptSets>,
 }
 
-impl SharedCapacityLedger {
+/// The production shared ledger: [`SharedCapacityLedgerIn`] over
+/// [`AtomicCell`] cells.
+pub type SharedCapacityLedger = SharedCapacityLedgerIn<AtomicCell>;
+
+impl<C: LedgerCell> SharedCapacityLedgerIn<C> {
     /// Creates an empty shared ledger for an instance.
     pub fn new(inst: &Instance) -> Self {
         let items = inst.num_items() as usize;
-        SharedCapacityLedger {
-            used: (0..items).map(|_| AtomicU32::new(0)).collect(),
+        SharedCapacityLedgerIn {
+            used: (0..items).map(|_| C::new(0)).collect(),
             cap: (0..inst.num_items())
                 .map(|i| inst.capacity(ItemId(i)))
                 .collect(),
@@ -185,6 +290,10 @@ impl SharedCapacityLedger {
     }
 
     /// Number of distinct users the item has been claimed for so far.
+    ///
+    /// `Acquire`: pairs with the `AcqRel` claim-family RMWs so an observed
+    /// count carries every ledger update that happened-before the RMW that
+    /// produced it (contract in `docs/concurrency.md`).
     #[inline]
     pub fn used(&self, item: ItemId) -> u32 {
         self.used[item.index()].load(Ordering::Acquire)
@@ -204,28 +313,63 @@ impl SharedCapacityLedger {
 
     /// Atomically claims one unit of the item's capacity. Returns `false`
     /// (and changes nothing) if the item is already full.
+    ///
+    /// The CAS loop is written against the [`LedgerCell`] surface (one load,
+    /// then compare-exchange until settled) so the model checker sees each
+    /// shared-memory transition. `AcqRel` on success publishes the claim and
+    /// acquires the claims it was stacked on; `Acquire` on the load/failure
+    /// paths keeps retries and the full-item early-out synchronised
+    /// (`docs/concurrency.md`).
     pub fn try_claim(&self, item: ItemId) -> bool {
         let cap = self.cap[item.index()];
-        self.used[item.index()]
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
-                if used >= cap {
-                    None
-                } else {
-                    Some(used + 1)
-                }
-            })
-            .is_ok()
+        let cell = &self.used[item.index()];
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            if cur >= cap {
+                return false;
+            }
+            match cell.compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records the first display of `item` to `user` **without** checking the
+    /// capacity: claims one unit unless the pair is exempt. The shared
+    /// counterpart of [`CapacityLedger::charge`] — engine-side bookkeeping
+    /// for callers that own constraint checking (the speculative shard
+    /// executor charges realised displays through this). The caller dedups
+    /// `(item, user)` pairs, exactly as for the sequential ledger.
+    ///
+    /// `AcqRel`: the unconditional RMW both publishes this charge and joins
+    /// the release sequence of prior claim-family RMWs, so charges are
+    /// causally ordered with claims (`docs/concurrency.md`).
+    #[inline]
+    pub fn charge(&self, item: ItemId, user: UserId) {
+        if !self.is_exempt(item, user) {
+            self.used[item.index()].fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     /// Releases one previously claimed unit. Like
     /// [`CapacityLedger::release`], no production path calls this today;
     /// it completes the shared-ledger API for backtracking callers.
+    ///
+    /// `AcqRel`: the decrement must not be reordered before the reads of the
+    /// work being rolled back, and a later `Acquire` load observing the
+    /// release also observes what the releasing thread undid
+    /// (`docs/concurrency.md`).
     pub fn release(&self, item: ItemId) {
         let prev = self.used[item.index()].fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "release without claim");
     }
 
     /// Snapshot of the per-item claim counts (indexed by item id).
+    ///
+    /// `Acquire` per cell: each count is individually causally consistent;
+    /// the snapshot as a whole is **not** an atomic cut (`docs/concurrency.md`
+    /// spells out what callers may and may not conclude from it).
     pub fn snapshot(&self) -> Vec<u32> {
         self.used
             .iter()
@@ -305,6 +449,27 @@ mod tests {
         assert!(!shared.is_full_for(ItemId(0), UserId(2)));
         assert!(shared.try_claim_for(ItemId(0), UserId(2)));
         assert!(!shared.try_claim_for(ItemId(0), UserId(1)));
+    }
+
+    #[test]
+    fn shared_charge_matches_sequential_charge() {
+        let mut b = InstanceBuilder::new(3, 1, 1);
+        b.capacity(0, 1)
+            .constant_price(0, 1.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .exempt_user(0, 2);
+        let inst = b.build().unwrap();
+
+        let shared = SharedCapacityLedger::new(&inst);
+        shared.charge(ItemId(0), UserId(2)); // exempt: no unit consumed
+        assert_eq!(shared.used(ItemId(0)), 0);
+        shared.charge(ItemId(0), UserId(0));
+        assert_eq!(shared.used(ItemId(0)), 1);
+        // Charges are unchecked bookkeeping: they keep counting past the
+        // capacity, exactly like the sequential ledger's charge.
+        shared.charge(ItemId(0), UserId(1));
+        assert_eq!(shared.used(ItemId(0)), 2);
+        assert!(shared.is_full(ItemId(0)));
     }
 
     #[test]

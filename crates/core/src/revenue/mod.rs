@@ -73,7 +73,9 @@ pub use engine::RevenueEngine;
 pub use flat::IncrementalRevenue;
 pub use hash::HashIncrementalRevenue;
 pub use kernels::{AggregateMode, KernelId};
-pub use ledger::{CapacityLedger, SharedCapacityLedger};
+pub use ledger::{
+    AtomicCell, CapacityLedger, LedgerCell, SharedCapacityLedger, SharedCapacityLedgerIn,
+};
 pub use warm::{EngineSnapshot, ResidualDelta};
 
 /// Computes the expected total revenue `Rev(S)` of a strategy from scratch.

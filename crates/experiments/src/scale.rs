@@ -102,7 +102,8 @@ mod tests {
     #[test]
     fn from_env_defaults_to_laptop_scale() {
         // The test environment does not define REVMAX_FULL / REVMAX_SCALE.
-        if std::env::var("REVMAX_FULL").is_err() && std::env::var("REVMAX_SCALE").is_err() {
+        use revmax_core::env;
+        if !env::is_set("REVMAX_FULL") && !env::is_set("REVMAX_SCALE") {
             let s = Scale::from_env();
             assert_eq!(s.dataset_scale, Scale::default_scale().dataset_scale);
         }

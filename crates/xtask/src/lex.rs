@@ -1,0 +1,358 @@
+//! A source-model lexer for the repo-invariant linter.
+//!
+//! `cargo xtask lint` reasons about *code tokens*, not raw text: a forbidden
+//! token inside a comment, doc example, or string literal is not a
+//! violation. This module produces that model — a **blanked** copy of each
+//! source file in which comments and literal contents are replaced by
+//! spaces (byte offsets and line numbers preserved), plus the extracted
+//! string literals (for the `REVMAX_*` registry check) and the file's
+//! `#[cfg(test)]` regions (lint rules scoped to non-test code).
+//!
+//! The lexer handles line/block comments (nested), string and raw-string
+//! literals (any `#` depth, with `b`/`c` prefixes), char literals, and
+//! lifetimes; that is the full set of Rust constructs that can embed
+//! token-lookalike text.
+
+/// The lexed model of one source file.
+pub struct SourceModel {
+    /// The source with comments and literal contents blanked to spaces
+    /// (newlines kept, so offsets and line numbers match the original).
+    pub code: String,
+    /// String-literal contents: `(1-based line of the opening quote, text)`.
+    pub strings: Vec<(usize, String)>,
+}
+
+/// Lexes a source file into its model.
+pub fn lex(src: &str) -> SourceModel {
+    let b = src.as_bytes();
+    let mut code = Vec::with_capacity(b.len());
+    let mut strings = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes `byte` through, tracking lines.
+    macro_rules! keep {
+        ($byte:expr) => {{
+            let byte = $byte;
+            if byte == b'\n' {
+                line += 1;
+            }
+            code.push(byte);
+        }};
+    }
+    // Blanks `byte` (newlines survive so line numbers stay aligned).
+    macro_rules! blank {
+        ($byte:expr) => {{
+            let byte = $byte;
+            if byte == b'\n' {
+                line += 1;
+                code.push(b'\n');
+            } else {
+                code.push(b' ');
+            }
+        }};
+    }
+
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    blank!(b[i]);
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        blank!(b[i]);
+                        blank!(b[i + 1]);
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        blank!(b[i]);
+                        blank!(b[i + 1]);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        blank!(b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                let mut text = Vec::new();
+                keep!(b'"');
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' if i + 1 < b.len() => {
+                            text.push(b[i]);
+                            text.push(b[i + 1]);
+                            blank!(b[i]);
+                            blank!(b[i + 1]);
+                            i += 2;
+                        }
+                        b'"' => {
+                            keep!(b'"');
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            text.push(c);
+                            blank!(c);
+                            i += 1;
+                        }
+                    }
+                }
+                strings.push((start_line, String::from_utf8_lossy(&text).into_owned()));
+            }
+            b'r' | b'b' | b'c' if is_literal_prefix(b, i) => {
+                // Raw string r"..." / r#"..."# (optionally b/c-prefixed), or
+                // byte string b"...": delegate by shape.
+                let mut j = i;
+                let mut raw = false;
+                while j < b.len() && matches!(b[j], b'r' | b'b' | b'c') {
+                    if b[j] == b'r' {
+                        raw = true;
+                    }
+                    keep!(b[j]);
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while raw && j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    keep!(b'#');
+                    j += 1;
+                }
+                debug_assert!(j < b.len() && b[j] == b'"');
+                let start_line = line;
+                keep!(b'"');
+                j += 1;
+                let mut text = Vec::new();
+                'raw: while j < b.len() {
+                    if b[j] == b'"' && (!raw || closes_raw(b, j, hashes)) {
+                        keep!(b'"');
+                        j += 1;
+                        for _ in 0..hashes {
+                            keep!(b'#');
+                            j += 1;
+                        }
+                        break 'raw;
+                    }
+                    if !raw && b[j] == b'\\' && j + 1 < b.len() {
+                        text.push(b[j]);
+                        text.push(b[j + 1]);
+                        blank!(b[j]);
+                        blank!(b[j + 1]);
+                        j += 2;
+                        continue;
+                    }
+                    text.push(b[j]);
+                    blank!(b[j]);
+                    j += 1;
+                }
+                strings.push((start_line, String::from_utf8_lossy(&text).into_owned()));
+                i = j;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes with a
+                // quote after one (possibly escaped) character; a lifetime
+                // never does.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    keep!(b'\'');
+                    blank!(b[i + 1]);
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        blank!(b[i]);
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        keep!(b'\'');
+                        i += 1;
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    keep!(b'\'');
+                    blank!(b[i + 1]);
+                    keep!(b'\'');
+                    i += 3;
+                } else {
+                    // Lifetime: keep as code.
+                    keep!(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                keep!(c);
+                i += 1;
+            }
+        }
+    }
+
+    SourceModel {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        strings,
+    }
+}
+
+/// Whether the `r`/`b`/`c` run starting at `i` prefixes a string literal
+/// (and is not just an identifier beginning with those letters).
+fn is_literal_prefix(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    let mut raw = false;
+    while j < b.len() && matches!(b[j], b'r' | b'b' | b'c') {
+        if b[j] == b'r' {
+            raw = true;
+        }
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    while raw && j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Whether the quote at `j` closes a raw string with `hashes` trailing `#`s.
+fn closes_raw(b: &[u8], j: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| b.get(j + k) == Some(&b'#'))
+}
+
+/// 1-based line number of byte `offset` in `text`.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Byte ranges of `#[cfg(test)] mod … { … }` blocks in blanked code.
+pub fn test_regions(code: &str) -> Vec<std::ops::Range<usize>> {
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("#[cfg(test)]") {
+        let attr = from + rel;
+        from = attr + "#[cfg(test)]".len();
+        // Only a following `mod` introduces a region; `#[cfg(test)] use …`
+        // guards a single import and excludes nothing.
+        let Some(brace_rel) = code[from..].find('{') else {
+            break;
+        };
+        let brace = from + brace_rel;
+        if !code[from..brace].contains("mod") {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut end = code.len();
+        for (k, c) in code[brace..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = brace + k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push(attr..end);
+        from = end;
+    }
+    regions
+}
+
+/// Whether `offset` falls inside any of `regions`.
+pub fn in_regions(regions: &[std::ops::Range<usize>], offset: usize) -> bool {
+    regions.iter().any(|r| r.contains(&offset))
+}
+
+/// Every occurrence of `token` in `code` at a token boundary (the
+/// surrounding bytes are not identifier characters), as byte offsets.
+pub fn token_offsets(code: &str, token: &str) -> Vec<usize> {
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(token) {
+        let at = from + rel;
+        from = at + 1;
+        // A match starting or ending mid-identifier (e.g. `set_var` when
+        // searching for `var`) is not a token occurrence; the boundary
+        // check only applies where the token edge is an identifier char.
+        let first = token.as_bytes()[0];
+        let last = token.as_bytes()[token.len() - 1];
+        let before_ok = !is_ident(first) || at == 0 || !is_ident(bytes[at - 1]);
+        let after = bytes.get(at + token.len()).copied();
+        let after_ok = !is_ident(last) || !after.is_some_and(is_ident);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// The identifier starting at `offset` (empty if none).
+pub fn ident_at(code: &str, offset: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut end = offset;
+    while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+        end += 1;
+    }
+    &code[offset..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings_but_keeps_lines() {
+        let src = "let a = 1; // Ordering::SeqCst\nlet s = \"AtomicU32\";\n";
+        let m = lex(src);
+        assert_eq!(m.code.len(), src.len());
+        assert!(!m.code.contains("SeqCst"));
+        assert!(!m.code.contains("AtomicU32"));
+        assert_eq!(m.strings, vec![(2, "AtomicU32".to_string())]);
+        assert_eq!(line_of(m.code.as_str(), m.code.find("let s").unwrap()), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let r = r#\"panic!(\"#; }";
+        let m = lex(src);
+        assert!(m.code.contains("fn f<'a>"));
+        assert!(!m.code.contains("panic!"));
+        assert_eq!(m.strings.len(), 1);
+        assert_eq!(m.strings[0].1, "panic!(");
+    }
+
+    #[test]
+    fn finds_test_regions() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let m = lex(src);
+        let regions = test_regions(&m.code);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = m.code.find(".unwrap").unwrap();
+        assert!(in_regions(&regions, unwrap_at));
+        assert!(!in_regions(&regions, m.code.find("fn c").unwrap()));
+    }
+
+    #[test]
+    fn token_offsets_respect_boundaries() {
+        let code = "std::env::set_var(x); std::env::var(x); x.unwrap_or(); x.unwrap();";
+        assert_eq!(token_offsets(code, "std::env::var(").len(), 1);
+        assert_eq!(token_offsets(code, ".unwrap()").len(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! `cargo xtask lint` — the repo-invariant linter.
+//!
+//! Five mechanical rules over the lexed source model (see [`crate::lex`]);
+//! each encodes an invariant the workspace documents elsewhere, so drift
+//! between code and contract fails CI instead of rotting silently:
+//!
+//! 1. **Atomics confinement** — atomic types, `sync::atomic` paths, and the
+//!    five atomic `Ordering::` variants appear only in the capacity ledger
+//!    (`crates/core/src/revenue/ledger.rs`), the analysis toolchain itself,
+//!    and the vendored shims. All cross-thread protocol lives behind the
+//!    ledger's `LedgerCell` surface, where `cargo xtask check-ledger` can
+//!    model-check it.
+//! 2. **Ordering contract coverage** — every ledger function that names an
+//!    atomic ordering is documented (function and ordering both appear as
+//!    code spans) in `docs/concurrency.md`, and both the ledger and
+//!    ARCHITECTURE.md link that contract.
+//! 3. **Deprecation discipline** — `#[allow(deprecated)]` appears only on
+//!    compat shims (the annotated item mentions a workspace item that is
+//!    itself declared `#[deprecated]`) or in test code.
+//! 4. **No stray panics** — non-test library code of `core`, `algorithms`,
+//!    and `serve` contains no bare `.unwrap()` and no `panic!` (the
+//!    documented-invariant style is `.expect("why this cannot fail")`).
+//! 5. **Env-knob registry** — every `REVMAX_*` literal in non-test sources
+//!    is listed in `docs/env.md` and vice versa, and environment reads go
+//!    through `revmax_core::env` (no direct `std::env::var` outside it and
+//!    the vendored shims).
+
+use crate::lex::{self, SourceModel};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A lexed workspace file.
+struct File {
+    /// Path relative to the workspace root, with `/` separators.
+    rel: String,
+    /// Raw source text.
+    raw: String,
+    /// Lexed model (blanked code + string literals).
+    model: SourceModel,
+    /// `#[cfg(test)]` byte ranges within the blanked code.
+    test_regions: Vec<std::ops::Range<usize>>,
+}
+
+impl File {
+    fn is_integration_test(&self) -> bool {
+        self.rel.contains("/tests/") || self.rel.contains("/benches/")
+    }
+
+    fn in_test_code(&self, offset: usize) -> bool {
+        self.is_integration_test() || lex::in_regions(&self.test_regions, offset)
+    }
+
+    fn at(&self, offset: usize) -> String {
+        format!("{}:{}", self.rel, lex::line_of(&self.model.code, offset))
+    }
+}
+
+/// Runs every rule; prints violations and returns the gate's exit code.
+pub fn run() -> ExitCode {
+    let root = workspace_root();
+    let files = load_files(&root);
+    let mut violations = Vec::new();
+
+    atomics_confinement(&files, &mut violations);
+    ordering_contract(&root, &files, &mut violations);
+    deprecation_discipline(&files, &mut violations);
+    no_stray_panics(&files, &mut violations);
+    env_registry(&root, &files, &mut violations);
+
+    if violations.is_empty() {
+        println!(
+            "lint: {} files checked, all repo invariants hold",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("lint: {v}");
+        }
+        println!("lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root (xtask lives at `<root>/crates/xtask`).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Lexes every workspace `.rs` file (crates, the facade, examples, vendor).
+fn load_files(root: &Path) -> Vec<File> {
+    let mut paths = Vec::new();
+    for top in ["crates", "src", "examples", "vendor"] {
+        collect_rs(&root.join(top), &mut paths);
+    }
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let raw =
+                std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+            let rel = p
+                .strip_prefix(root)
+                .expect("collected under the root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let model = lex::lex(&raw);
+            let test_regions = lex::test_regions(&model.code);
+            File {
+                rel,
+                raw,
+                model,
+                test_regions,
+            }
+        })
+        .collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: atomics confinement
+// ---------------------------------------------------------------------------
+
+const LEDGER: &str = "crates/core/src/revenue/ledger.rs";
+
+const ATOMIC_TOKENS: &[&str] = &[
+    "sync::atomic",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn atomics_allowed(rel: &str) -> bool {
+    rel == LEDGER || rel.starts_with("crates/xtask/") || rel.starts_with("vendor/")
+}
+
+fn atomics_confinement(files: &[File], violations: &mut Vec<String>) {
+    for f in files {
+        if atomics_allowed(&f.rel) {
+            continue;
+        }
+        for token in ATOMIC_TOKENS {
+            for at in lex::token_offsets(&f.model.code, token) {
+                violations.push(format!(
+                    "atomics-confinement: {}: `{token}` outside the capacity ledger \
+                     (all atomics live in {LEDGER}; see docs/concurrency.md)",
+                    f.at(at)
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: ordering contract coverage
+// ---------------------------------------------------------------------------
+
+const ORDERING_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn ordering_contract(root: &Path, files: &[File], violations: &mut Vec<String>) {
+    let Some(ledger) = files.iter().find(|f| f.rel == LEDGER) else {
+        violations.push(format!("ordering-contract: {LEDGER} not found"));
+        return;
+    };
+    let doc_path = root.join("docs/concurrency.md");
+    let doc = match std::fs::read_to_string(&doc_path) {
+        Ok(d) => d,
+        Err(_) => {
+            violations.push(
+                "ordering-contract: docs/concurrency.md is missing (the ledger's \
+                 memory-ordering contract)"
+                    .into(),
+            );
+            return;
+        }
+    };
+
+    if !ledger.raw.contains("docs/concurrency.md") {
+        violations.push(format!(
+            "ordering-contract: {LEDGER} does not link docs/concurrency.md"
+        ));
+    }
+    let arch = std::fs::read_to_string(root.join("ARCHITECTURE.md")).unwrap_or_default();
+    if !arch.contains("docs/concurrency.md") {
+        violations
+            .push("ordering-contract: ARCHITECTURE.md does not link docs/concurrency.md".into());
+    }
+
+    let code = &ledger.model.code;
+    let fn_offsets = lex::token_offsets(code, "fn");
+    for at in lex::token_offsets(code, "Ordering::") {
+        let variant = lex::ident_at(code, at + "Ordering::".len());
+        if !ORDERING_VARIANTS.contains(&variant) {
+            continue;
+        }
+        let enclosing = fn_offsets
+            .iter()
+            .rev()
+            .find(|&&f| f < at)
+            .map(|&f| {
+                let mut p = f + 2;
+                let bytes = code.as_bytes();
+                while p < bytes.len() && bytes[p].is_ascii_whitespace() {
+                    p += 1;
+                }
+                lex::ident_at(code, p)
+            })
+            .unwrap_or("");
+        for span in [variant, enclosing] {
+            if !span.is_empty() && !doc.contains(&format!("`{span}`")) {
+                violations.push(format!(
+                    "ordering-contract: {}: `{span}` (at an `Ordering::{variant}` use) \
+                     is not covered in docs/concurrency.md",
+                    ledger.at(at)
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: deprecation discipline
+// ---------------------------------------------------------------------------
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "pub", "crate", "in", "fn", "struct", "enum", "trait", "type", "mod", "const", "static", "use",
+    "unsafe", "async", "extern", "impl", "dyn", "super", "self",
+];
+
+/// Names of items declared `#[deprecated]` anywhere in the workspace.
+fn deprecated_names(files: &[File]) -> Vec<String> {
+    let mut names = Vec::new();
+    for f in files {
+        let code = &f.model.code;
+        for at in lex::token_offsets(code, "#[deprecated") {
+            // Skip past this attribute (bracket-matched), any stacked
+            // attributes, then take the first non-keyword identifier of the
+            // item (its name, for fn/struct/enum/type; good enough for the
+            // shapes the workspace uses).
+            let bytes = code.as_bytes();
+            let mut p = at + 1; // at '['
+            let mut depth = 0usize;
+            while p < bytes.len() {
+                match bytes[p] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            p += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                p += 1;
+            }
+            loop {
+                while p < bytes.len() && bytes[p].is_ascii_whitespace() {
+                    p += 1;
+                }
+                if p < bytes.len() && bytes[p] == b'#' {
+                    let mut d = 0usize;
+                    while p < bytes.len() {
+                        match bytes[p] {
+                            b'[' => d += 1,
+                            b']' => {
+                                d -= 1;
+                                if d == 0 {
+                                    p += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        p += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let snippet_end = (p + 240).min(code.len());
+            let mut q = p;
+            while q < snippet_end {
+                let b = bytes[q];
+                if b.is_ascii_alphabetic() || b == b'_' {
+                    let ident = lex::ident_at(code, q);
+                    if !ITEM_KEYWORDS.contains(&ident) {
+                        names.push(ident.to_string());
+                        break;
+                    }
+                    q += ident.len();
+                } else {
+                    q += 1;
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn deprecation_discipline(files: &[File], violations: &mut Vec<String>) {
+    let names = deprecated_names(files);
+    for f in files {
+        let code = &f.model.code;
+        for at in lex::token_offsets(code, "#[allow(deprecated)]") {
+            if f.in_test_code(at) {
+                continue;
+            }
+            let window = &code[at..(at + 500).min(code.len())];
+            let shims_deprecated_item = names.iter().any(|n| window.contains(n.as_str()));
+            if !shims_deprecated_item {
+                violations.push(format!(
+                    "deprecation-discipline: {}: #[allow(deprecated)] on an item that \
+                     mentions no `#[deprecated]` workspace item — allowed only on compat \
+                     shims and in tests",
+                    f.at(at)
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: no stray panics in library code
+// ---------------------------------------------------------------------------
+
+fn library_scope(rel: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/algorithms/src/",
+        "crates/serve/src/",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
+}
+
+fn no_stray_panics(files: &[File], violations: &mut Vec<String>) {
+    for f in files {
+        if !library_scope(&f.rel) {
+            continue;
+        }
+        for (token, advice) in [
+            (
+                ".unwrap()",
+                "use .expect(\"documented invariant\") or handle the None/Err",
+            ),
+            (
+                "panic!",
+                "return an error or use .expect with the invariant",
+            ),
+        ] {
+            for at in lex::token_offsets(&f.model.code, token) {
+                if f.in_test_code(at) {
+                    continue;
+                }
+                violations.push(format!(
+                    "no-stray-panics: {}: `{token}` in non-test library code — {advice}",
+                    f.at(at)
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: env-knob registry
+// ---------------------------------------------------------------------------
+
+const ENV_IMPL: &str = "crates/core/src/env.rs";
+
+/// Extracts `REVMAX_*` names from text.
+fn revmax_names(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find("REVMAX_") {
+        let at = from + rel;
+        let mut end = at + "REVMAX_".len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if end > at + "REVMAX_".len() {
+            let name = text[at..end].trim_end_matches('_');
+            // REVMAX_TEST_* is the documented namespace for test-local
+            // variables; it is convention, not a knob, so it stays out of
+            // the registry in both directions.
+            if !name.starts_with("REVMAX_TEST") {
+                out.push(name.to_string());
+            }
+        }
+        from = end;
+    }
+    out
+}
+
+fn env_registry(root: &Path, files: &[File], violations: &mut Vec<String>) {
+    let doc = match std::fs::read_to_string(root.join("docs/env.md")) {
+        Ok(d) => d,
+        Err(_) => {
+            violations
+                .push("env-registry: docs/env.md is missing (the REVMAX_* knob registry)".into());
+            return;
+        }
+    };
+    let mut registered = revmax_names(&doc);
+    registered.sort();
+    registered.dedup();
+
+    let mut used: Vec<(String, String)> = Vec::new(); // (name, where)
+    for f in files {
+        if f.is_integration_test() {
+            continue;
+        }
+        // Line ranges of test regions, to scope the string scan.
+        let test_lines: Vec<(usize, usize)> = f
+            .test_regions
+            .iter()
+            .map(|r| {
+                (
+                    lex::line_of(&f.model.code, r.start),
+                    lex::line_of(&f.model.code, r.end),
+                )
+            })
+            .collect();
+        for (line, text) in &f.model.strings {
+            if test_lines.iter().any(|&(s, e)| (s..=e).contains(line)) {
+                continue;
+            }
+            for name in revmax_names(text) {
+                used.push((name, format!("{}:{line}", f.rel)));
+            }
+        }
+        // Direct std::env reads bypass the registry's parsing contract.
+        if f.rel == ENV_IMPL || f.rel.starts_with("vendor/") {
+            continue;
+        }
+        for token in ["std::env::var(", "std::env::var_os("] {
+            for at in lex::token_offsets(&f.model.code, token) {
+                violations.push(format!(
+                    "env-registry: {}: direct `{token}..)` — read knobs through \
+                     `revmax_core::env` (see docs/env.md)",
+                    f.at(at)
+                ));
+            }
+        }
+    }
+
+    for (name, at) in &used {
+        if !registered.contains(name) {
+            violations.push(format!(
+                "env-registry: {at}: `{name}` is not listed in docs/env.md"
+            ));
+        }
+    }
+    for name in &registered {
+        if !used.iter().any(|(n, _)| n == name) {
+            violations.push(format!(
+                "env-registry: docs/env.md lists `{name}` but no source references it"
+            ));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! `cargo xtask` — the REVMAX analysis toolchain.
+//!
+//! Dependency-free (per the vendor policy) workspace tooling, wired as a
+//! cargo alias in `.cargo/config.toml`:
+//!
+//! * `cargo xtask lint` — repo-invariant linter: a source-model pass over
+//!   every workspace `.rs` file enforcing atomics confinement, the
+//!   memory-ordering contract doc, deprecation discipline, panic-free
+//!   library code, and the `REVMAX_*` env-knob registry (see
+//!   `docs/env.md`).
+//! * `cargo xtask check-ledger` — ledger model checker: exhaustive DFS
+//!   schedule exploration of the shared capacity ledger's
+//!   claim/charge/release protocol under an acquire/release-aware memory
+//!   model, detector-sanity scenarios, a `Relaxed`-demotion mutant
+//!   sensitivity gate, and seeded random-schedule fuzzing.
+//!
+//! Both commands exit non-zero on failure and run as gating CI jobs; see
+//! ARCHITECTURE.md § "Analysis toolchain".
+
+mod cell;
+mod lex;
+mod lint;
+mod model;
+mod scenarios;
+
+use std::process::ExitCode;
+
+/// Seed for the random-schedule fuzz stage; override with
+/// `--fuzz-seed <n>` to reproduce a CI failure locally.
+const DEFAULT_FUZZ_SEED: u64 = 0x5EED_1E46_E4C0_FFEE;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask <command>");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  lint                     repo-invariant linter (atomics confinement,");
+    eprintln!("                           ordering contract, deprecation discipline,");
+    eprintln!("                           panic-free library code, env-knob registry)");
+    eprintln!("  check-ledger             ledger model checker (exhaustive 2-3 thread");
+    eprintln!("                           schedules, mutant sensitivity, seeded fuzz)");
+    eprintln!("    --fuzz-seed <n>        override the random-schedule fuzz seed");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(),
+        Some("check-ledger") => {
+            let mut seed = DEFAULT_FUZZ_SEED;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--fuzz-seed" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => seed = v,
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            check_ledger(seed)
+        }
+        _ => usage(),
+    }
+}
+
+/// Runs the full check-ledger gate: DFS suite (pass, detector-sanity, and
+/// mutant scenarios), then the seeded random fuzz.
+fn check_ledger(fuzz_seed: u64) -> ExitCode {
+    println!("check-ledger: exploring shared-ledger schedules");
+    // Worker panics are expected in detector-sanity scenarios (the ledger's
+    // own debug assertions fire under exploration); they are caught and
+    // flagged as violations, so the default hook's backtrace is pure noise.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failed = false;
+    for scenario in scenarios::dfs_suite() {
+        match scenarios::run_scenario(&scenario) {
+            Ok(exploration) => {
+                println!(
+                    "  ok   {:<40} {} schedules{}{}",
+                    scenario.name,
+                    exploration.executions,
+                    if exploration.exhaustive {
+                        " (exhaustive)"
+                    } else {
+                        ""
+                    },
+                    match scenario.expect {
+                        scenarios::Expect::Violation => ", defect flagged as required",
+                        scenarios::Expect::Pass => "",
+                    },
+                );
+            }
+            Err(report) => {
+                failed = true;
+                println!("  FAIL {report}");
+            }
+        }
+    }
+    match scenarios::run_fuzz(fuzz_seed) {
+        Ok(executions) => println!(
+            "  ok   {:<40} {executions} schedules (seed {fuzz_seed:#x})",
+            "fuzz_mixed (random)"
+        ),
+        Err(report) => {
+            failed = true;
+            println!("  FAIL fuzz_mixed (seed {fuzz_seed:#x}): {report}");
+        }
+    }
+    std::panic::set_hook(default_hook);
+    if failed {
+        println!("check-ledger: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("check-ledger: all scenarios passed");
+        ExitCode::SUCCESS
+    }
+}

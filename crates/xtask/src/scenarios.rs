@@ -1,0 +1,646 @@
+//! The `cargo xtask check-ledger` scenario suite.
+//!
+//! Every scenario instantiates the **production** ledger type
+//! (`SharedCapacityLedgerIn`) at the instrumented cell and runs real ledger
+//! / `revmax_algorithms::protocol` code under the schedule explorer:
+//!
+//! * **pass scenarios** assert a safety invariant over *every* schedule
+//!   (DFS to exhaustion) or a large seeded sample (random mode);
+//! * **violation scenarios** are detector-sanity checks: a deliberately
+//!   broken protocol (unsynchronised held-slot publication, release
+//!   without claim) that the checker must flag — if it cannot, the gate
+//!   fails, because a detector that cannot detect proves nothing;
+//! * **mutant scenarios** re-run the ordering-sensitive pass scenarios with
+//!   every `Ordering` demoted to `Relaxed` (the seeded mutant of the
+//!   sensitivity regression): the checker must flag the weakened ledger,
+//!   proving the acquire/release reasoning in `docs/concurrency.md` is
+//!   load-bearing rather than decorative.
+
+use crate::cell::{run_threads, with_ambient, InstrCell, PlainVar};
+use crate::model::{explore_dfs, explore_random, Controller, Exploration};
+use revmax_algorithms::protocol;
+use revmax_core::{Instance, InstanceBuilder, ItemId, SharedCapacityLedgerIn, UserId};
+use std::sync::{Arc, Mutex};
+
+/// DFS execution budget per scenario; pass scenarios must exhaust their
+/// schedule space strictly below it.
+const DFS_BUDGET: usize = 500_000;
+/// Random-schedule iterations for the fuzz scenario.
+const FUZZ_ITERATIONS: usize = 400;
+
+type Ledger = SharedCapacityLedgerIn<InstrCell>;
+
+/// A tiny instance with the given per-item capacities; `exempt` lists
+/// `(item, user)` pairs exempt from capacity accounting.
+fn make_instance(caps: &[u32], exempt: &[(u32, u32)]) -> Instance {
+    let users = 8;
+    let mut b = InstanceBuilder::new(users, caps.len() as u32, 1);
+    b.display_limit(1);
+    for (i, &cap) in caps.iter().enumerate() {
+        b.capacity(i as u32, cap)
+            .constant_price(i as u32, 1.0)
+            .candidate(i as u32 % users, i as u32, &[0.5], 0.0);
+    }
+    for &(item, user) in exempt {
+        b.exempt_user(item, user);
+    }
+    b.build().expect("scenario instance is valid")
+}
+
+/// Builds the instrumented ledger and registers per-item capacities with
+/// the controller (cells are registered in item order).
+fn make_ledger(ctrl: &Arc<Controller>, inst: &Instance) -> Ledger {
+    let ledger: Ledger = SharedCapacityLedgerIn::new(inst);
+    for i in 0..inst.num_items() {
+        ctrl.set_cap(i as usize, inst.capacity(ItemId(i)));
+    }
+    ledger
+}
+
+// ---------------------------------------------------------------------------
+// Scenario bodies
+// ---------------------------------------------------------------------------
+
+/// Two threads race one capacity unit; exactly one claim is ever granted.
+fn claim_contention(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let results = run_threads(
+            ctrl,
+            vec![
+                Box::new(|| ledger.try_claim_for(ItemId(0), UserId(0)) as u64),
+                Box::new(|| ledger.try_claim_for(ItemId(0), UserId(1)) as u64),
+            ],
+        );
+        let granted: u64 = results.iter().sum();
+        let used = ledger.used(ItemId(0));
+        if granted != 1 || used != 1 {
+            ctrl.flag(format!(
+                "claim contention: {granted} grants, used {used} (expected exactly 1)"
+            ));
+        }
+    });
+}
+
+/// Three threads race two capacity units; exactly two claims are granted.
+fn claim_contention_3t(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[2], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let results = run_threads(
+            ctrl,
+            vec![
+                Box::new(|| ledger.try_claim_for(ItemId(0), UserId(0)) as u64),
+                Box::new(|| ledger.try_claim_for(ItemId(0), UserId(1)) as u64),
+                Box::new(|| ledger.try_claim_for(ItemId(0), UserId(2)) as u64),
+            ],
+        );
+        let granted: u64 = results.iter().sum();
+        let used = ledger.used(ItemId(0));
+        if granted != 2 || used != 2 {
+            ctrl.flag(format!(
+                "3-thread claim contention: {granted} grants, used {used} (expected exactly 2)"
+            ));
+        }
+    });
+}
+
+/// Claim-then-release cycles settle back to zero and never underflow
+/// (underflow is flagged by the model itself).
+fn claim_release(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let body = |user: u32| {
+            let ledger = &ledger;
+            move || {
+                if ledger.try_claim_for(ItemId(0), UserId(user)) {
+                    ledger.release(ItemId(0));
+                    1u64
+                } else {
+                    0
+                }
+            }
+        };
+        run_threads(ctrl, vec![Box::new(body(0)), Box::new(body(1))]);
+        let used = ledger.used(ItemId(0));
+        if used != 0 {
+            ctrl.flag(format!("claim/release cycle left used = {used}"));
+        }
+    });
+}
+
+/// Exempt pairs are always granted, never consume capacity, and never
+/// block the one real capacity unit.
+fn exempt_claims(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1], &[(0, 7)]);
+        let ledger = make_ledger(ctrl, &inst);
+        let results = run_threads(
+            ctrl,
+            vec![
+                Box::new(|| ledger.try_claim_for(ItemId(0), UserId(0)) as u64),
+                Box::new(|| {
+                    let exempt_granted = ledger.try_claim_for(ItemId(0), UserId(7));
+                    let regular_granted = ledger.try_claim_for(ItemId(0), UserId(1));
+                    (exempt_granted as u64) << 1 | regular_granted as u64
+                }),
+            ],
+        );
+        if results[1] & 2 == 0 {
+            ctrl.flag("exempt claim was denied".into());
+        }
+        let regular = results[0] + (results[1] & 1);
+        let used = ledger.used(ItemId(0));
+        if regular != 1 || used != 1 {
+            ctrl.flag(format!(
+                "exempt mix: {regular} non-exempt grants, used {used} (expected exactly 1)"
+            ));
+        }
+    });
+}
+
+/// The claim-protocol seam the sharded drivers use: concurrent
+/// `claim_blocked` → `commit_claim` commits at most `cap` claims, and a
+/// denied commit is reported to its caller (the speculative-conflict path).
+fn protocol_commit(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let body = |user: u32| {
+            let ledger = &ledger;
+            move || {
+                let mut counted = false;
+                if protocol::claim_blocked(ledger, counted, ItemId(0), UserId(user)) {
+                    return 0u64; // gated before committing
+                }
+                let granted = protocol::commit_claim(ledger, &mut counted, ItemId(0), UserId(user));
+                if !counted {
+                    return u64::MAX; // commit must always mark the pair
+                }
+                if granted {
+                    1
+                } else {
+                    2 // speculative conflict: commit denied
+                }
+            }
+        };
+        let results = run_threads(ctrl, vec![Box::new(body(0)), Box::new(body(1))]);
+        if results.contains(&u64::MAX) {
+            ctrl.flag("commit_claim left a pair uncounted".into());
+        }
+        let granted = results.iter().filter(|&&r| r == 1).count();
+        let used = ledger.used(ItemId(0));
+        if granted > 1 || used > 1 || used as usize != granted {
+            ctrl.flag(format!(
+                "protocol commit: {granted} grants, used {used} (cap 1)"
+            ));
+        }
+    });
+}
+
+/// Message-passing visibility: a thread that observes item B full must also
+/// observe the charge of item A that happened-before it. Passes with the
+/// real orderings; the `Relaxed` mutant must be flagged here.
+fn visibility_chain(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1, 1], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let results = run_threads(
+            ctrl,
+            vec![
+                Box::new(|| {
+                    ledger.charge(ItemId(0), UserId(0));
+                    ledger.charge(ItemId(1), UserId(0));
+                    0u64
+                }),
+                Box::new(|| {
+                    if ledger.is_full(ItemId(1)) {
+                        2 | (ledger.used(ItemId(0)) >= 1) as u64
+                    } else {
+                        0
+                    }
+                }),
+            ],
+        );
+        if results[1] == 2 {
+            ctrl.flag("visibility chain: item 1 observed full but the charge of item 0 that happened-before it is not visible".into());
+        }
+    });
+}
+
+/// Claim-gated publication: a plain held-slot written only by the winner of
+/// the item's single capacity unit is race-free, and the published value is
+/// the winner's.
+fn held_slot_gated(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let slot = PlainVar::new(0);
+        let body = |user: u32| {
+            let ledger = &ledger;
+            let slot = &slot;
+            move || {
+                if ledger.try_claim_for(ItemId(0), UserId(user)) {
+                    slot.write(user + 1);
+                    1u64
+                } else {
+                    0
+                }
+            }
+        };
+        let results = run_threads(ctrl, vec![Box::new(body(0)), Box::new(body(1))]);
+        let winners: u64 = results.iter().sum();
+        let published = slot.read();
+        if winners != 1 || published == 0 || published > 2 {
+            ctrl.flag(format!(
+                "gated held-slot: {winners} winners, published {published}"
+            ));
+        }
+    });
+}
+
+/// Publication through the ledger: data plain-written before a charge is
+/// visible (and race-free) to a thread that observed the charge. Passes
+/// with the real orderings; the `Relaxed` mutant must be flagged here.
+fn publication_gate(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let data = PlainVar::new(0);
+        let results = run_threads(
+            ctrl,
+            vec![
+                Box::new(|| {
+                    data.write(42);
+                    ledger.charge(ItemId(0), UserId(0));
+                    0u64
+                }),
+                Box::new(|| {
+                    if ledger.used(ItemId(0)) >= 1 {
+                        data.read() as u64
+                    } else {
+                        42 // did not observe the charge: vacuously fine
+                    }
+                }),
+            ],
+        );
+        if results[1] != 42 {
+            ctrl.flag(format!(
+                "publication gate: observed charge but read data {}",
+                results[1]
+            ));
+        }
+    });
+}
+
+/// DETECTOR SANITY (expected violation): both shards publish their held
+/// move into the same plain slot without arbitration — a data race the
+/// checker must find.
+fn held_slot_racy(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[2], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        let slot = PlainVar::new(0);
+        let body = |user: u32| {
+            let ledger = &ledger;
+            let slot = &slot;
+            move || {
+                slot.write(user + 1);
+                ledger.charge(ItemId(0), UserId(user));
+                0u64
+            }
+        };
+        run_threads(ctrl, vec![Box::new(body(0)), Box::new(body(1))]);
+    });
+}
+
+/// DETECTOR SANITY (expected violation): a release without a claim
+/// underflows the counter; the model must flag it.
+fn release_underflow(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        let inst = make_instance(&[1], &[]);
+        let ledger = make_ledger(ctrl, &inst);
+        run_threads(
+            ctrl,
+            vec![
+                Box::new(|| {
+                    ledger.release(ItemId(0));
+                    0u64
+                }),
+                Box::new(|| ledger.try_claim_for(ItemId(0), UserId(1)) as u64),
+            ],
+        );
+    });
+}
+
+/// Random-schedule fuzz over larger thread/item counts: mixed
+/// claim/charge/release-own programs; final counts must match the
+/// exemption-aware tally of what each thread actually did.
+fn fuzz_mixed(ctrl: &Arc<Controller>, program_seed: u64) {
+    with_ambient(ctrl, None, || {
+        let caps = [1u32, 2, 3];
+        let inst = make_instance(&caps, &[(1, 7)]);
+        let ledger = make_ledger(ctrl, &inst);
+        // tallies[item] = (claims granted, charges by non-exempt, releases)
+        let tallies: Mutex<[[u64; 3]; 3]> = Mutex::new([[0; 3]; 3]);
+        let mut bodies: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = Vec::new();
+        for tid in 0..4u64 {
+            let ledger = &ledger;
+            let tallies = &tallies;
+            bodies.push(Box::new(move || {
+                let mut rng = program_seed ^ (tid.wrapping_mul(0xA076_1D64_78BD_642F));
+                let mut step = move || {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (rng >> 33) as u32
+                };
+                let mut owned = [0u32; 3];
+                let mut local = [[0u64; 3]; 3];
+                for _ in 0..5 {
+                    let item = (step() % 3) as usize;
+                    // User 7 is exempt on item 1; everyone else is regular.
+                    let user = if step() % 4 == 0 { 7 } else { tid as u32 };
+                    match step() % 3 {
+                        0 => {
+                            if ledger.try_claim_for(ItemId(item as u32), UserId(user)) {
+                                let exempt = item == 1 && user == 7;
+                                if !exempt {
+                                    owned[item] += 1;
+                                    local[item][0] += 1;
+                                }
+                            }
+                        }
+                        1 => {
+                            ledger.charge(ItemId(item as u32), UserId(user));
+                            let exempt = item == 1 && user == 7;
+                            if !exempt {
+                                local[item][1] += 1;
+                            }
+                        }
+                        _ => {
+                            if owned[item] > 0 {
+                                owned[item] -= 1;
+                                local[item][2] += 1;
+                                ledger.release(ItemId(item as u32));
+                            }
+                        }
+                    }
+                }
+                let mut t = tallies.lock().unwrap_or_else(|e| e.into_inner());
+                for i in 0..3 {
+                    for k in 0..3 {
+                        t[i][k] += local[i][k];
+                    }
+                }
+                0u64
+            }));
+        }
+        run_threads(ctrl, bodies);
+        let t = tallies.lock().unwrap_or_else(|e| e.into_inner());
+        for (i, row) in t.iter().enumerate() {
+            let expected = row[0] + row[1] - row[2];
+            let used = ledger.used(ItemId(i as u32)) as u64;
+            if used != expected {
+                ctrl.flag(format!(
+                    "fuzz tally mismatch on item {i}: used {used}, expected {expected} \
+                     (claims {}, charges {}, releases {})",
+                    row[0], row[1], row[2]
+                ));
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The suite
+// ---------------------------------------------------------------------------
+
+/// What the explorer is expected to conclude about a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expect {
+    /// Every explored schedule upholds the invariants.
+    Pass,
+    /// At least one schedule violates them (detector sanity).
+    Violation,
+}
+
+/// One entry of the check-ledger suite.
+pub struct Scenario {
+    /// Display name.
+    pub name: &'static str,
+    /// Scheduled thread count.
+    pub threads: usize,
+    /// Expected verdict.
+    pub expect: Expect,
+    /// Run with every ordering demoted to `Relaxed` (the seeded mutant);
+    /// such scenarios must be flagged, proving detector sensitivity.
+    pub demote: bool,
+    /// The body (one full execution under the prepared controller).
+    pub body: &'static (dyn Fn(&Arc<Controller>) + Sync),
+}
+
+/// The full DFS suite, including the mutant sensitivity runs.
+pub fn dfs_suite() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "claim_contention",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &claim_contention,
+        },
+        Scenario {
+            name: "claim_contention_3t",
+            threads: 3,
+            expect: Expect::Pass,
+            demote: false,
+            body: &claim_contention_3t,
+        },
+        Scenario {
+            name: "claim_release",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &claim_release,
+        },
+        Scenario {
+            name: "exempt_claims",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &exempt_claims,
+        },
+        Scenario {
+            name: "protocol_commit",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &protocol_commit,
+        },
+        Scenario {
+            name: "visibility_chain",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &visibility_chain,
+        },
+        Scenario {
+            name: "publication_gate",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &publication_gate,
+        },
+        Scenario {
+            name: "held_slot_gated",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &held_slot_gated,
+        },
+        Scenario {
+            name: "held_slot_racy (detector sanity)",
+            threads: 2,
+            expect: Expect::Violation,
+            demote: false,
+            body: &held_slot_racy,
+        },
+        Scenario {
+            name: "release_underflow (detector sanity)",
+            threads: 2,
+            expect: Expect::Violation,
+            demote: false,
+            body: &release_underflow,
+        },
+        Scenario {
+            name: "visibility_chain [Relaxed mutant]",
+            threads: 2,
+            expect: Expect::Violation,
+            demote: true,
+            body: &visibility_chain,
+        },
+        Scenario {
+            name: "publication_gate [Relaxed mutant]",
+            threads: 2,
+            expect: Expect::Violation,
+            demote: true,
+            body: &publication_gate,
+        },
+    ]
+}
+
+/// Runs one scenario to its verdict. Returns `Err(report)` on gate failure.
+pub fn run_scenario(s: &Scenario) -> Result<Exploration, String> {
+    let exploration = explore_dfs(s.threads, s.demote, DFS_BUDGET, s.body);
+    match (s.expect, &exploration.violation) {
+        (Expect::Pass, None) if exploration.exhaustive => Ok(exploration),
+        (Expect::Pass, None) => Err(format!(
+            "{}: schedule space not exhausted within {} executions — shrink the scenario",
+            s.name, exploration.executions
+        )),
+        (Expect::Pass, Some((violations, trace))) => Err(format!(
+            "{}: violated after {} executions:\n  {}\n  schedule:\n    {}",
+            s.name,
+            exploration.executions,
+            violations.join("\n  "),
+            trace.join("\n    ")
+        )),
+        (Expect::Violation, Some(_)) => Ok(exploration),
+        (Expect::Violation, None) => Err(format!(
+            "{}: detector failed to flag the seeded defect in {} executions{}",
+            s.name,
+            exploration.executions,
+            if exploration.exhaustive {
+                " (exhaustive)"
+            } else {
+                ""
+            }
+        )),
+    }
+}
+
+/// Runs the seeded random-schedule fuzz stage. Returns `Err` on violation.
+pub fn run_fuzz(seed: u64) -> Result<usize, String> {
+    let mut total = 0;
+    for program in 0..8u64 {
+        let program_seed = seed.wrapping_add(program.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let body = move |ctrl: &Arc<Controller>| fuzz_mixed(ctrl, program_seed);
+        let exploration = explore_random(4, false, seed ^ program, FUZZ_ITERATIONS, &body);
+        total += exploration.executions;
+        if let Some((violations, trace)) = exploration.violation {
+            return Err(format!(
+                "fuzz program {program}: violated:\n  {}\n  schedule:\n    {}",
+                violations.join("\n  "),
+                trace.join("\n    ")
+            ));
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sensitivity regression: demoting every ledger ordering to
+    /// `Relaxed` must be flagged by the checker. A detector that accepts
+    /// the weakened ledger proves nothing about the real one.
+    #[test]
+    fn relaxed_mutant_is_flagged() {
+        for body in [
+            &visibility_chain as &(dyn Fn(&Arc<Controller>) + Sync),
+            &publication_gate,
+        ] {
+            let exploration = explore_dfs(2, true, DFS_BUDGET, body);
+            assert!(
+                exploration.violation.is_some(),
+                "the Relaxed-demoted ledger must be flagged"
+            );
+        }
+    }
+
+    /// The real orderings pass the same scenarios exhaustively.
+    #[test]
+    fn real_orderings_pass_exhaustively() {
+        for body in [
+            &visibility_chain as &(dyn Fn(&Arc<Controller>) + Sync),
+            &publication_gate,
+            &claim_contention,
+            &claim_release,
+        ] {
+            let exploration = explore_dfs(2, false, DFS_BUDGET, body);
+            assert!(exploration.violation.is_none(), "real orderings must pass");
+            assert!(exploration.exhaustive, "2-thread scenarios must exhaust");
+        }
+    }
+
+    /// Detector sanity: seeded defects (race, underflow) are found.
+    #[test]
+    fn seeded_defects_are_found() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let found = [
+            &held_slot_racy as &(dyn Fn(&Arc<Controller>) + Sync),
+            &release_underflow,
+        ]
+        .map(|body| explore_dfs(2, false, DFS_BUDGET, body).violation.is_some());
+        std::panic::set_hook(prev);
+        assert_eq!(found, [true, true], "seeded defect not found");
+    }
+
+    /// The full gating suite agrees with `cargo xtask check-ledger`.
+    #[test]
+    fn dfs_suite_passes() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let failures: Vec<String> = dfs_suite()
+            .iter()
+            .filter_map(|s| run_scenario(s).err())
+            .collect();
+        std::panic::set_hook(prev);
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+}
