@@ -73,6 +73,7 @@ fn outcome_from_strategy(inst: &Instance, strategy: Strategy) -> GreedyOutcome {
         strategy,
         trace: Vec::new(),
         marginal_evaluations: 0,
+        concurrency: Default::default(),
     }
 }
 

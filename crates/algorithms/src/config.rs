@@ -155,6 +155,20 @@ pub struct PlannerConfig {
     /// only on the candidate's own group, so refreshing it earlier or
     /// later in a burst cannot change its value).
     pub kernel_batch: u32,
+    /// Worker threads for the **concurrent shard executor** of the sharded
+    /// G-Greedy core (default `1` = the sequential value-ordered
+    /// arbitration, unchanged from previous releases). With `≥ 2`, shards
+    /// free-run on a persistent scoped worker pool, committing
+    /// scarcity-window-abundant claims lock-free and parking only
+    /// scarce-window moves for the coordinator (see `docs/concurrency.md`,
+    /// "The capacity window"). `0` = auto: `min(shards,
+    /// available_parallelism)`. Like every knob this is purely a
+    /// performance switch — every thread count reproduces the sequential
+    /// plan (parity asserted to 1e-9). Ignored (forced sequential) when
+    /// `shards <= 1` or when `track_trace` is set, since the trace records
+    /// the global selection order the concurrent executor does not
+    /// materialise move-by-move.
+    pub shard_threads: u32,
 }
 
 impl Default for PlannerConfig {
@@ -172,6 +186,7 @@ impl Default for PlannerConfig {
             warm_start: false,
             aggregates: Aggregates::default(),
             kernel_batch: 8,
+            shard_threads: 1,
         }
     }
 }
@@ -258,6 +273,14 @@ impl PlannerConfig {
         self
     }
 
+    /// Selects the concurrent shard executor's worker-thread count (see
+    /// [`PlannerConfig::shard_threads`]; `1` = sequential arbitration,
+    /// `0` = auto).
+    pub fn with_shard_threads(mut self, shard_threads: u32) -> Self {
+        self.shard_threads = shard_threads;
+        self
+    }
+
     /// Default configuration with the environment knobs layered on top —
     /// shorthand for `PlannerConfig::default().env_overlay()`.
     pub fn from_env() -> Self {
@@ -277,7 +300,9 @@ impl PlannerConfig {
     /// * `REVMAX_AGGREGATES` — `auto` (default), `on`, or `off`: the
     ///   saturation-aggregate fast path for uniform-β classes;
     /// * `REVMAX_KERNEL_BATCH` — batched heap-refresh width (default 8,
-    ///   `0` = the legacy scalar refresh loop).
+    ///   `0` = the legacy scalar refresh loop);
+    /// * `REVMAX_SHARD_THREADS` — worker threads for the concurrent shard
+    ///   executor (default 1 = sequential arbitration, `0` = auto).
     ///
     /// Unset or unparsable values keep the receiver's setting — selection
     /// must never change results (only speed), so a typo degrades
@@ -308,6 +333,9 @@ impl PlannerConfig {
         if let Some(kernel_batch) = env::var::<u32>("REVMAX_KERNEL_BATCH") {
             self.kernel_batch = kernel_batch;
         }
+        if let Some(shard_threads) = env::var::<u32>("REVMAX_SHARD_THREADS") {
+            self.shard_threads = shard_threads;
+        }
         self
     }
 
@@ -320,6 +348,23 @@ impl PlannerConfig {
     /// fill itself is additionally gated by instance size).
     pub(crate) fn parallel_init(&self) -> bool {
         self.parallel.unwrap_or(true)
+    }
+
+    /// Resolves [`PlannerConfig::shard_threads`] to the worker count the
+    /// sharded G-Greedy core actually uses: `0` auto-sizes to
+    /// `min(shards, available_parallelism)`, explicit values are capped at
+    /// the shard count, and single-shard or traced runs always resolve to
+    /// `1` (the sequential arbitration loop).
+    pub(crate) fn effective_shard_threads(&self, shards: usize) -> usize {
+        if shards <= 1 || self.track_trace {
+            return 1;
+        }
+        let requested = if self.shard_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.shard_threads as usize
+        };
+        requested.min(shards).max(1)
     }
 }
 
@@ -419,6 +464,7 @@ impl From<crate::global_greedy::GreedyOptions> for PlannerConfig {
             warm_start: false,
             aggregates: Aggregates::default(),
             kernel_batch: PlannerConfig::default().kernel_batch,
+            shard_threads: 1,
         }
     }
 }
@@ -496,6 +542,37 @@ mod tests {
         assert_eq!(base.env_overlay().kernel_batch, 3, "typo keeps the setting");
         std::env::remove_var("REVMAX_KERNEL_BATCH");
         assert_eq!(base.env_overlay().kernel_batch, 3);
+    }
+
+    #[test]
+    fn shard_threads_resolve_sequential_unless_concurrent_applies() {
+        let cfg = PlannerConfig::default();
+        assert_eq!(
+            cfg.shard_threads, 1,
+            "sequential arbitration is the default"
+        );
+        assert_eq!(cfg.effective_shard_threads(1), 1, "one shard never pools");
+        assert_eq!(cfg.effective_shard_threads(4), 1);
+
+        let cfg = cfg.with_shard_threads(4);
+        assert_eq!(cfg.effective_shard_threads(4), 4);
+        assert_eq!(cfg.effective_shard_threads(2), 2, "capped at shard count");
+        assert_eq!(cfg.effective_shard_threads(1), 1);
+        assert_eq!(
+            cfg.with_track_trace(true).effective_shard_threads(4),
+            1,
+            "traces record the sequential selection order"
+        );
+
+        // Auto mode never exceeds the shard count either.
+        let auto = PlannerConfig::default().with_shard_threads(0);
+        assert!(auto.effective_shard_threads(2) <= 2);
+        assert!(auto.effective_shard_threads(8) >= 1);
+
+        std::env::set_var("REVMAX_SHARD_THREADS", "3");
+        assert_eq!(PlannerConfig::default().env_overlay().shard_threads, 3);
+        std::env::remove_var("REVMAX_SHARD_THREADS");
+        assert_eq!(PlannerConfig::default().env_overlay().shard_threads, 1);
     }
 
     #[test]

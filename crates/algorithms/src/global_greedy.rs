@@ -145,6 +145,40 @@ pub struct GreedyOutcome {
     pub trace: Vec<f64>,
     /// Number of marginal-revenue evaluations performed (lazy-forward ablation metric).
     pub marginal_evaluations: u64,
+    /// Concurrent shard-executor statistics; all zero for sequential runs.
+    pub concurrency: ConcurrencyStats,
+}
+
+/// Statistics of the concurrent shard executor (two or more
+/// `PlannerConfig::shard_threads`): how many capacity-committing moves took
+/// the lock-free abundant fast path versus the coordinator's scarce-window
+/// arbitration. Sequential drivers leave the struct zeroed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConcurrencyStats {
+    /// Moves committed lock-free because the item was outside the scarcity
+    /// window (includes exempt and repeat-display commits).
+    pub fast_path_moves: u64,
+    /// Scarce-window proposals sequenced by the coordinator (admitted plus
+    /// rejected).
+    pub arbitrated_moves: u64,
+    /// Arbitrated proposals the coordinator rejected (the speculative claim
+    /// was rolled back or denied).
+    pub rejected_moves: u64,
+    /// Worker threads the executor ran with (`0` for sequential runs).
+    pub worker_threads: u32,
+}
+
+impl ConcurrencyStats {
+    /// Fraction of committing moves that needed arbitration (`0.0` when no
+    /// move committed, or for sequential runs).
+    pub fn scarce_occupancy(&self) -> f64 {
+        let total = self.fast_path_moves + self.arbitrated_moves;
+        if total == 0 {
+            0.0
+        } else {
+            self.arbitrated_moves as f64 / total as f64
+        }
+    }
 }
 
 /// Runs G-Greedy with the default configuration.
@@ -455,6 +489,7 @@ fn finish<'a, E: RevenueEngine<'a>>(
         selection_objective,
         trace,
         marginal_evaluations,
+        concurrency: Default::default(),
     }
 }
 

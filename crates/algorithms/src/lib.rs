@@ -51,7 +51,9 @@ pub use baselines::{top_rating, top_revenue};
 pub use capacity_oracle::MonteCarloOracle;
 pub use config::{plan, plan_order, plan_residual, Aggregates, PlanAlgorithm, PlannerConfig};
 pub use exhaustive::{candidate_triples, exact_optimum, ExactOutcome};
-pub use global_greedy::{global_greedy, global_no_saturation, EngineKind, GreedyOutcome};
+pub use global_greedy::{
+    global_greedy, global_no_saturation, ConcurrencyStats, EngineKind, GreedyOutcome,
+};
 pub use heap::{GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 pub use local_greedy::{
     local_greedy_with_order, randomized_local_greedy, sample_permutations, sequential_local_greedy,

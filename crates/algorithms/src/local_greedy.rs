@@ -159,6 +159,7 @@ fn run_order<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         strategy: inc.into_strategy(),
         trace,
         marginal_evaluations: evals,
+        concurrency: Default::default(),
     }
 }
 

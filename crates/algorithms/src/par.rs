@@ -107,6 +107,41 @@ where
     })
 }
 
+/// Runs `worker(tid)` on `threads` persistent scoped worker threads while
+/// `driver()` runs on the calling thread, returning the worker results (in
+/// `tid` order) alongside the driver's. This is the long-lived counterpart
+/// of [`scoped_map`]: where `scoped_map` spawns one short task per item,
+/// `scoped_pool` keeps each worker alive for a whole planning run so the
+/// concurrent shard executor can park and resume shards on the same OS
+/// thread, with the coordinator (the driver) arbitrating from the calling
+/// thread. With `threads <= 1` the single "worker" runs inline after the
+/// driver — callers must not make the driver block on worker progress in
+/// that configuration.
+pub fn scoped_pool<R, D, W, F>(threads: usize, worker: W, driver: F) -> (Vec<R>, D)
+where
+    R: Send,
+    W: Fn(usize) -> R + Sync,
+    F: FnOnce() -> D,
+{
+    if threads <= 1 {
+        let d = driver();
+        let r = worker(0);
+        return (vec![r], d);
+    }
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| scope.spawn(move || worker(tid)))
+            .collect();
+        let d = driver();
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect();
+        (results, d)
+    })
+}
+
 /// Convenience: parallel fill of `out` where `out[i] = f(i)`, cut into
 /// `worker_count` even pieces (no boundary constraints).
 pub fn parallel_fill<T, F>(out: &mut [T], f: F)
@@ -163,6 +198,36 @@ mod tests {
         assert_eq!(balanced_cuts(&[0, 5], 1), vec![0, 5]);
         // One giant user cannot be split.
         assert_eq!(balanced_cuts(&[0, 100], 4), vec![0, 100]);
+    }
+
+    #[test]
+    fn scoped_pool_runs_driver_alongside_workers() {
+        use std::sync::mpsc;
+        // Workers send their ids; the driver collects all of them while the
+        // workers are still alive, proving driver/worker overlap.
+        let (tx, rx) = mpsc::channel::<usize>();
+        let tx = std::sync::Mutex::new(tx);
+        let (ids, seen) = scoped_pool(
+            4,
+            |tid| {
+                tx.lock().unwrap().send(tid).unwrap();
+                tid * 10
+            },
+            move || {
+                let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+                got.sort_unstable();
+                got
+            },
+        );
+        assert_eq!(ids, vec![0, 10, 20, 30]);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scoped_pool_single_thread_is_inline() {
+        let (r, d) = scoped_pool(1, |tid| tid + 7, || 42);
+        assert_eq!(r, vec![7]);
+        assert_eq!(d, 42);
     }
 
     #[test]

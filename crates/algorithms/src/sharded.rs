@@ -60,16 +60,18 @@
 
 use crate::config::PlannerConfig;
 use crate::global_greedy::{
-    collect_stale_run, make_engine, refresh_stale_run, CandidateTable, EngineKind, GreedyOutcome,
-    StaleMember,
+    collect_stale_run, make_engine, refresh_stale_run, CandidateTable, ConcurrencyStats,
+    EngineKind, GreedyOutcome, StaleMember,
 };
 use crate::heap::{precedes, refresh_held, GreedyHeap, HeapKind, IndexedDaryHeap, LazyMaxHeap};
 use crate::par;
 use crate::protocol;
 use revmax_core::{
-    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, ResidualDelta,
-    RevenueEngine, SharedCapacityLedger, Strategy, TimeStep, Triple, UserShard,
+    revenue, CandidateId, HashIncrementalRevenue, IncrementalRevenue, Instance, ItemId,
+    ResidualDelta, RevenueEngine, SharedCapacityLedger, Strategy, TimeStep, Triple, UserId,
+    UserShard,
 };
+use std::sync::{Condvar, Mutex};
 
 /// Cuts the instance into at most `pieces` user shards whose candidate ranges
 /// are balanced (boundaries drawn from the CSR offsets, see
@@ -97,6 +99,20 @@ enum Step {
     Inserted { z: Triple, marginal: f64 },
     /// Bookkeeping only (slot blocked, candidate retired, or re-evaluated).
     Continue,
+}
+
+/// What one free-running concurrent step did.
+enum CStep {
+    /// A triple was committed lock-free; `marginal` is its realised marginal.
+    Inserted { z: Triple, marginal: f64 },
+    /// Bookkeeping only (slot blocked, candidate retired, or re-evaluated).
+    Continue,
+    /// The held move reached a scarce-window commit point and parked as a
+    /// proposal for the coordinator. The shard's state is untouched (the
+    /// held move stays held, the engine is not mutated); `t_idx` is the
+    /// commit's time-step index and `granted` whether the speculative claim
+    /// won a capacity unit.
+    Park { t_idx: usize, granted: bool },
 }
 
 /// One shard's planning state for the two-level G-Greedy.
@@ -271,6 +287,176 @@ impl<'a, E: RevenueEngine<'a>, H: GreedyHeap> GreedyShard<'a, E, H> {
         self.held = refresh_held(&mut self.heap, local_idx, requeue);
         outcome
     }
+
+    /// The concurrent-executor counterpart of [`GreedyShard::step`]: the
+    /// same pop-to-resolution body, with three differences mandated by the
+    /// scarcity-window protocol (`docs/concurrency.md`, "The capacity
+    /// window"):
+    ///
+    /// * capacity gates read the **committed** count
+    ///   ([`protocol::claim_blocked_committed`]) — a speculative unit held
+    ///   by a parked proposal may still be stolen by a sequentially earlier
+    ///   claim, so retiring a candidate against the raw count would be
+    ///   premature;
+    /// * commits are routed by the window: counted, exempt, and abundant
+    ///   moves commit lock-free ([`protocol::fast_commit_claim`]);
+    ///   scarce-window moves claim speculatively and **park** — the method
+    ///   returns [`CStep::Park`] with the shard untouched, and the caller
+    ///   resumes via [`GreedyShard::apply_admit`] /
+    ///   [`GreedyShard::apply_reject`] once the coordinator rules;
+    /// * a candidate dying without a claim retires its demand so the
+    ///   window can shrink behind it.
+    fn step_concurrent(
+        &mut self,
+        inst: &'a Instance,
+        cfg: &PlannerConfig,
+        ledger: &SharedCapacityLedger,
+        evals: &mut u64,
+    ) -> CStep {
+        let (local_idx, _) = self.held.expect("step requires a held move");
+        let cand = CandidateId(self.shard.cand_start() + local_idx);
+        let item = inst.candidate_item(cand);
+        let user = inst.candidate_user(cand);
+
+        let mut outcome = CStep::Continue;
+        let mut requeue: Option<f64> = None;
+        let mut blocked_any = false;
+        while let Some((best_t, best_v)) = self.table.best(local_idx) {
+            let t = TimeStep::from_index(best_t);
+            let display_bad = self.inc.would_violate_display_cand(cand, t);
+            let capacity_bad = protocol::claim_blocked_committed(
+                ledger,
+                self.counted[local_idx as usize],
+                item,
+                user,
+            );
+            if display_bad {
+                self.table.block(local_idx, best_t);
+                blocked_any = true;
+                continue;
+            }
+            if capacity_bad {
+                break; // retired: capacity committed-exhausted by other users
+            }
+            if blocked_any {
+                requeue = Some(best_v);
+                break;
+            }
+
+            let stamp = if cfg.lazy_forward {
+                self.inc.group_size_cand(cand) as u32
+            } else {
+                self.inc.len() as u32
+            };
+            let slot = self.table.slot(local_idx, best_t);
+            if self.table.flags[slot] == stamp {
+                // Commit point: route by the capacity window.
+                let counted = self.counted[local_idx as usize];
+                if !counted && !ledger.is_exempt(item, user) && ledger.is_scarce(item) {
+                    let granted = protocol::speculative_claim(ledger, item, user);
+                    return CStep::Park {
+                        t_idx: best_t,
+                        granted,
+                    };
+                }
+                if protocol::fast_commit_claim(
+                    ledger,
+                    &mut self.counted[local_idx as usize],
+                    item,
+                    user,
+                ) {
+                    let marginal = self.inc.insert_cand(cand, t);
+                    self.table.block(local_idx, best_t);
+                    outcome = CStep::Inserted {
+                        z: Triple { user, item, t },
+                        marginal,
+                    };
+                } else {
+                    // The abundance check raced a `charge`: the item
+                    // migrated into the window between the check and the
+                    // claim. Park ungranted — no free-running thread can
+                    // release a unit (releases are barrier-quiescent), so
+                    // retrying the claim here could never succeed.
+                    return CStep::Park {
+                        t_idx: best_t,
+                        granted: false,
+                    };
+                }
+            } else {
+                *evals += self.table.reevaluate(&self.inc, local_idx, cand, stamp);
+                if cfg.kernel_batch >= 2 {
+                    let start = self.shard.cand_start();
+                    let counted = &self.counted;
+                    self.run.clear();
+                    collect_stale_run(
+                        &self.inc,
+                        &mut self.table,
+                        &mut self.heap,
+                        start,
+                        cfg.lazy_forward,
+                        |inc: &E, c, tt| {
+                            inc.would_violate_display_cand(c, tt)
+                                || protocol::claim_blocked_committed(
+                                    ledger,
+                                    counted[(c.0 - start) as usize],
+                                    inst.candidate_item(c),
+                                    inst.candidate_user(c),
+                                )
+                        },
+                        &mut self.run,
+                        cfg.kernel_batch as usize - 1,
+                    );
+                    *evals += refresh_stale_run(
+                        &self.inc,
+                        &mut self.table,
+                        &mut self.heap,
+                        start,
+                        &mut self.run,
+                    );
+                }
+            }
+            requeue = self.table.best(local_idx).map(|(_, v)| v);
+            break;
+        }
+
+        // Window bookkeeping: a candidate dying without a claim (capacity
+        // retirement or display-drain exhaustion) retires its demand.
+        if requeue.is_none() && !self.counted[local_idx as usize] && !ledger.is_exempt(item, user) {
+            protocol::retire_candidate(ledger, item, user);
+        }
+        self.held = refresh_held(&mut self.heap, local_idx, requeue);
+        outcome
+    }
+
+    /// Applies an `Admitted` verdict to the parked held move: exactly the
+    /// insertion the sequential commit would have performed — the shard's
+    /// state did not move between park and verdict (the drain loop stopped
+    /// at this commit point with fresh flags, and nothing shard-local
+    /// changes while parked), so the table still reports the parked slot as
+    /// best. The ledger side (claim, demand) was already settled by the
+    /// coordinator.
+    fn apply_admit(&mut self, inst: &'a Instance, t_idx: usize) -> (Triple, f64) {
+        let (local_idx, _) = self.held.expect("verdict requires a held move");
+        let cand = CandidateId(self.shard.cand_start() + local_idx);
+        let item = inst.candidate_item(cand);
+        let user = inst.candidate_user(cand);
+        let t = TimeStep::from_index(t_idx);
+        let marginal = self.inc.insert_cand(cand, t);
+        self.counted[local_idx as usize] = true;
+        self.table.block(local_idx, t_idx);
+        let requeue = self.table.best(local_idx).map(|(_, v)| v);
+        self.held = refresh_held(&mut self.heap, local_idx, requeue);
+        (Triple { user, item, t }, marginal)
+    }
+
+    /// Applies a `Rejected` verdict: the item is committed-full for this
+    /// pair, so the candidate is retired exactly as a sequential capacity
+    /// gate would retire it (the coordinator already rolled back the
+    /// speculative claim and retired the demand).
+    fn apply_reject(&mut self) {
+        let (local_idx, _) = self.held.expect("verdict requires a held move");
+        self.held = refresh_held(&mut self.heap, local_idx, None);
+    }
 }
 
 /// Runs G-Greedy on the shard-partitioned core with `pieces` user shards —
@@ -333,6 +519,10 @@ fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
     delta: Option<&ResidualDelta>,
 ) -> GreedyOutcome {
     let shards = shard_users(inst, pieces);
+    let threads = cfg.effective_shard_threads(shards.len());
+    if threads >= 2 {
+        return sharded_concurrent_impl::<E, H>(inst, cfg, shards, delta, threads);
+    }
     let single = shards.len() == 1;
     let ledger = SharedCapacityLedger::new(inst);
     let mut workers: Vec<GreedyShard<'a, E, H>> = par::scoped_map(
@@ -422,6 +612,336 @@ fn sharded_global_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         selection_objective,
         trace,
         marginal_evaluations: evals,
+        concurrency: Default::default(),
+    }
+}
+
+/// A scarce-window move parked for coordinator arbitration.
+#[derive(Clone, Copy)]
+struct Proposal {
+    /// The held root value at the commit point (fresh — the drain loop only
+    /// parks when the flags stamp matches).
+    value: f64,
+    /// Global candidate id (the arbitration tie-break, identical to the
+    /// sequential heap order).
+    cand: u32,
+    item: ItemId,
+    user: UserId,
+    /// Time-step index of the parked commit.
+    t_idx: usize,
+    /// Whether the speculative claim won a unit (may be stolen while
+    /// parked).
+    granted: bool,
+}
+
+/// Where one shard stands in the park/verdict cycle.
+#[derive(Clone, Copy)]
+enum Phase {
+    /// Free-running on its worker (or having a verdict applied).
+    Running,
+    /// Parked at a scarce-window commit, awaiting the coordinator.
+    Parked(Proposal),
+    /// The coordinator ruled; the owning worker picks this up, applies it,
+    /// and resumes the shard.
+    Verdict { t_idx: usize, admitted: bool },
+    /// The shard drained (no pending move with positive value).
+    Done,
+}
+
+/// The coordinator/worker shared state: one [`Phase`] per shard, guarded by
+/// a mutex with two condvars (`to_coord` fires on park/done transitions,
+/// `to_workers` on verdicts). All cross-thread synchronisation of the
+/// executor flows through this lock and the ledger — no further atomics.
+struct CoordState {
+    phases: Vec<Phase>,
+}
+
+/// Per-shard results accumulated by the owning worker.
+struct ShardRun {
+    picks: Vec<Triple>,
+    revenue: f64,
+    evals: u64,
+    fast: u64,
+    arbitrated: u64,
+    rejected: u64,
+}
+
+/// The concurrent shard executor: shards free-run on a persistent scoped
+/// worker pool ([`par::scoped_pool`]), committing abundant claims lock-free
+/// and parking scarce-window moves as proposals; the coordinator (the
+/// calling thread) waits for the full barrier — every shard parked or done
+/// — then resolves the globally maximal proposal by [`precedes`], exactly
+/// the sequential arbitration order. See the module docs and
+/// `docs/concurrency.md` ("The capacity window") for the parity argument;
+/// the plan is identical to the sequential driver's, and the reported
+/// revenue agrees to float re-association (the parity suite asserts 1e-9).
+///
+/// Differences from the sequential loop that are plan-neutral:
+///
+/// * the `total_slots` early-stop is not taken — once every (user, time)
+///   slot is filled, every remaining candidate is display-blocked and
+///   drains to retirement without committing;
+/// * the trace is not recorded (`track_trace` forces the sequential path);
+/// * revenue is folded per shard in shard-index order rather than in
+///   selection order (same addend multiset).
+fn sharded_concurrent_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
+    inst: &'a Instance,
+    cfg: &PlannerConfig,
+    shards: Vec<UserShard>,
+    delta: Option<&ResidualDelta>,
+    threads: usize,
+) -> GreedyOutcome {
+    let nshards = shards.len();
+    let ledger = SharedCapacityLedger::new(inst);
+    let state = Mutex::new(CoordState {
+        phases: vec![Phase::Running; nshards],
+    });
+    let to_coord = Condvar::new();
+    let to_workers = Condvar::new();
+    let shard_descs = &shards;
+
+    let worker = |tid: usize| -> Vec<(usize, GreedyShard<'a, E, H>, ShardRun)> {
+        // Worker `tid` owns shards `i` with `i % threads == tid`; it builds
+        // them (construction parallelism rides on the pool itself) and
+        // free-runs each to its next park or to exhaustion.
+        let mut owned: Vec<(usize, GreedyShard<'a, E, H>, ShardRun)> = (0..nshards)
+            .filter(|i| i % threads == tid)
+            .map(|i| {
+                (
+                    i,
+                    GreedyShard::new(inst, cfg, shard_descs[i], false, delta),
+                    ShardRun {
+                        picks: Vec::new(),
+                        revenue: 0.0,
+                        evals: 0,
+                        fast: 0,
+                        arbitrated: 0,
+                        rejected: 0,
+                    },
+                )
+            })
+            .collect();
+
+        const READY: u8 = 0;
+        const WAITING: u8 = 1;
+        const FINISHED: u8 = 2;
+        let mut status = vec![READY; owned.len()];
+        let mut verdicts: Vec<(usize, usize, bool)> = Vec::new();
+        loop {
+            for k in 0..owned.len() {
+                if status[k] != READY {
+                    continue;
+                }
+                let (si, sh, run) = &mut owned[k];
+                loop {
+                    let exhausted = match sh.root() {
+                        None => true,
+                        Some((_, v)) => v <= 0.0,
+                    };
+                    if exhausted {
+                        status[k] = FINISHED;
+                        state.lock().expect("executor state mutex poisoned").phases[*si] =
+                            Phase::Done;
+                        to_coord.notify_one();
+                        break;
+                    }
+                    match sh.step_concurrent(inst, cfg, &ledger, &mut run.evals) {
+                        CStep::Inserted { z, marginal } => {
+                            run.revenue += marginal;
+                            run.picks.push(z);
+                            run.fast += 1;
+                        }
+                        CStep::Continue => {}
+                        CStep::Park { t_idx, granted } => {
+                            let (cand, value) = sh.root().expect("parked move is held");
+                            let cid = CandidateId(cand);
+                            status[k] = WAITING;
+                            state.lock().expect("executor state mutex poisoned").phases[*si] =
+                                Phase::Parked(Proposal {
+                                    value,
+                                    cand,
+                                    item: inst.candidate_item(cid),
+                                    user: inst.candidate_user(cid),
+                                    t_idx,
+                                    granted,
+                                });
+                            to_coord.notify_one();
+                            break;
+                        }
+                    }
+                }
+            }
+            if status.iter().all(|&s| s == FINISHED) {
+                break;
+            }
+            // All owned shards parked (or finished): sleep until the
+            // coordinator rules on at least one of ours. Marking the phase
+            // `Running` under the same lock keeps the coordinator's barrier
+            // predicate exact.
+            let mut st = state.lock().expect("executor state mutex poisoned");
+            loop {
+                for (k, (si, _, _)) in owned.iter().enumerate() {
+                    if status[k] == WAITING {
+                        if let Phase::Verdict { t_idx, admitted } = st.phases[*si] {
+                            st.phases[*si] = Phase::Running;
+                            status[k] = READY;
+                            verdicts.push((k, t_idx, admitted));
+                        }
+                    }
+                }
+                if !verdicts.is_empty() {
+                    break;
+                }
+                st = to_workers.wait(st).expect("executor state mutex poisoned");
+            }
+            drop(st);
+            for (k, t_idx, admitted) in verdicts.drain(..) {
+                let (_, sh, run) = &mut owned[k];
+                run.arbitrated += 1;
+                if admitted {
+                    let (z, marginal) = sh.apply_admit(inst, t_idx);
+                    run.revenue += marginal;
+                    run.picks.push(z);
+                } else {
+                    sh.apply_reject();
+                    run.rejected += 1;
+                }
+            }
+        }
+        owned
+    };
+
+    let coordinator = || {
+        let mut st = state.lock().expect("executor state mutex poisoned");
+        loop {
+            // Full barrier: wait until every shard is parked or done.
+            while st
+                .phases
+                .iter()
+                .any(|p| matches!(p, Phase::Running | Phase::Verdict { .. }))
+            {
+                st = to_coord.wait(st).expect("executor state mutex poisoned");
+            }
+            // Admit the globally maximal proposal — the sequential next
+            // scarce commit (each park is its owner's maximal pending move,
+            // and fast-path commits are order-insensitive).
+            let mut best: Option<(usize, f64, u32)> = None;
+            for (i, p) in st.phases.iter().enumerate() {
+                if let Phase::Parked(pr) = p {
+                    if best.is_none_or(|(_, bv, bc)| precedes((pr.value, pr.cand), (bv, bc))) {
+                        best = Some((i, pr.value, pr.cand));
+                    }
+                }
+            }
+            let Some((wi, _, _)) = best else {
+                break; // every shard Done
+            };
+            let Phase::Parked(pr) = st.phases[wi] else {
+                unreachable!("best proposal is parked");
+            };
+            let admitted = if pr.granted {
+                // A granted proposal is always admissible: its own unit is
+                // excluded from the committed count.
+                protocol::admit_granted(&ledger, pr.item, pr.user);
+                true
+            } else {
+                loop {
+                    if protocol::admit_claim(&ledger, pr.item, pr.user) {
+                        break true;
+                    }
+                    // Raw count full: steal from the sequentially *last*
+                    // granted victim on the same item, then retry (the
+                    // barrier guarantees quiescence for the release).
+                    let mut victim: Option<(usize, f64, u32)> = None;
+                    for (j, q) in st.phases.iter().enumerate() {
+                        if j == wi {
+                            continue;
+                        }
+                        if let Phase::Parked(qp) = q {
+                            if qp.granted
+                                && qp.item == pr.item
+                                && victim.is_none_or(|(_, vv, vc)| {
+                                    precedes((vv, vc), (qp.value, qp.cand))
+                                })
+                            {
+                                victim = Some((j, qp.value, qp.cand));
+                            }
+                        }
+                    }
+                    match victim {
+                        Some((j, _, _)) => {
+                            protocol::steal_speculative(&ledger, pr.item);
+                            if let Phase::Parked(ref mut qp) = st.phases[j] {
+                                qp.granted = false;
+                            }
+                        }
+                        None => {
+                            // Committed-full with no speculative unit left
+                            // to steal: the sequential run would gate this
+                            // candidate here.
+                            protocol::reject_claim(&ledger, pr.item, pr.user);
+                            break false;
+                        }
+                    }
+                }
+            };
+            st.phases[wi] = Phase::Verdict {
+                t_idx: pr.t_idx,
+                admitted,
+            };
+            to_workers.notify_all();
+        }
+    };
+
+    let (worker_outs, ()) = par::scoped_pool(threads, worker, coordinator);
+
+    // Reassemble in shard-index order so the outcome is deterministic for a
+    // fixed configuration regardless of scheduling.
+    let mut per_shard: Vec<Option<(GreedyShard<'a, E, H>, ShardRun)>> =
+        (0..nshards).map(|_| None).collect();
+    for out in worker_outs {
+        for (si, sh, run) in out {
+            per_shard[si] = Some((sh, run));
+        }
+    }
+    let mut picks: Vec<Triple> = Vec::new();
+    let mut running_revenue = 0.0f64;
+    let mut evals: u64 = 0;
+    let mut stats = ConcurrencyStats {
+        worker_threads: threads as u32,
+        ..Default::default()
+    };
+    for slot in per_shard {
+        let (sh, run) = slot.expect("every shard owned by exactly one worker");
+        running_revenue += run.revenue;
+        evals += run.evals;
+        stats.fast_path_moves += run.fast;
+        stats.arbitrated_moves += run.arbitrated;
+        stats.rejected_moves += run.rejected;
+        picks.extend(run.picks);
+        // Release through into_strategy on the calling thread so
+        // warm-started engines return their buffers to the session pool
+        // without concurrent pool access.
+        let _ = sh.inc.into_strategy();
+    }
+
+    let mut strategy = Strategy::with_capacity(picks.len());
+    for z in picks {
+        strategy.insert(z);
+    }
+    let selection_objective = running_revenue;
+    let true_revenue = if cfg.ignores_saturation() {
+        revenue(inst, &strategy)
+    } else {
+        selection_objective
+    };
+    GreedyOutcome {
+        strategy,
+        revenue: true_revenue,
+        selection_objective,
+        trace: Vec::new(),
+        marginal_evaluations: evals,
+        concurrency: stats,
     }
 }
 
@@ -640,5 +1160,6 @@ fn sharded_local_greedy_impl<'a, E: RevenueEngine<'a>, H: GreedyHeap>(
         strategy,
         trace,
         marginal_evaluations: evals,
+        concurrency: Default::default(),
     }
 }

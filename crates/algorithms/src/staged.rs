@@ -85,6 +85,7 @@ pub fn global_greedy_staged(inst: &Instance, stage_ends: &[u32]) -> GreedyOutcom
         strategy: inc.into_strategy(),
         trace,
         marginal_evaluations: evals,
+        concurrency: Default::default(),
     }
 }
 
@@ -142,6 +143,7 @@ pub fn randomized_local_greedy_staged(
         strategy: inc.into_strategy(),
         trace,
         marginal_evaluations: evals,
+        concurrency: Default::default(),
     }
 }
 

@@ -1,0 +1,191 @@
+//! Parity oracle for the concurrent shard executor
+//! (`PlannerConfig::shard_threads >= 2`): every configuration of engine ×
+//! shard count × worker-thread count must reproduce the sequential plan —
+//! same strategy triple set, same revenue to 1e-9 — plus directed tests for
+//! the rollback (steal/reject) path and the scarcity-window boundary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revmax_algorithms::{plan, EngineKind, PlannerConfig};
+use revmax_core::{env, Instance, InstanceBuilder};
+
+/// Worker-thread counts under test: {1, 2, 4} plus any `REVMAX_SHARD_THREADS`
+/// override — the CI multi-core matrix leg re-runs the oracle with its
+/// per-leg thread count folded in.
+fn thread_counts() -> Vec<u32> {
+    let mut counts = vec![1u32, 2, 4];
+    if let Some(t) = env::var_with("REVMAX_SHARD_THREADS", |s| {
+        s.parse::<u32>().ok().filter(|&t| t > 0)
+    }) {
+        if !counts.contains(&t) {
+            counts.push(t);
+        }
+    }
+    counts
+}
+
+/// Draws a random instance sized to make item capacity actually contended
+/// (users ≥ items, capacities small), so scarce-window arbitration runs on
+/// a meaningful fraction of cases rather than only the fast path.
+fn random_contended_instance(rng: &mut StdRng) -> Instance {
+    let num_users = rng.gen_range(3u32..=8);
+    let num_items = rng.gen_range(2u32..=5);
+    let horizon = rng.gen_range(1u32..=3);
+    let mut b = InstanceBuilder::new(num_users, num_items, horizon);
+    b.display_limit(rng.gen_range(1u32..=2));
+    for item in 0..num_items {
+        b.item_class(item, rng.gen_range(0u32..2));
+        b.beta(item, rng.gen_range(0.0..=1.0));
+        b.capacity(item, rng.gen_range(1u32..=3));
+        let prices: Vec<f64> = (0..horizon).map(|_| rng.gen_range(1.0..30.0)).collect();
+        b.prices(item, &prices);
+    }
+    for user in 0..num_users {
+        for item in 0..num_items {
+            if rng.gen_bool(0.8) {
+                let probs: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.0..=1.0)).collect();
+                if probs.iter().any(|&p| p > 0.0) {
+                    b.candidate(user, item, &probs, probs[0] * 5.0);
+                }
+            }
+        }
+    }
+    b.build().expect("random instance must build")
+}
+
+fn assert_same_plan(
+    case: &str,
+    seq: &revmax_algorithms::GreedyOutcome,
+    conc: &revmax_algorithms::GreedyOutcome,
+) {
+    assert!(
+        (seq.revenue - conc.revenue).abs() < 1e-9,
+        "{case}: revenue {} vs sequential {}",
+        conc.revenue,
+        seq.revenue
+    );
+    assert!(
+        (seq.selection_objective - conc.selection_objective).abs() < 1e-9,
+        "{case}: objective {} vs sequential {}",
+        conc.selection_objective,
+        seq.selection_objective
+    );
+    assert_eq!(
+        seq.strategy.len(),
+        conc.strategy.len(),
+        "{case}: strategy sizes diverged"
+    );
+    for z in seq.strategy.iter() {
+        assert!(
+            conc.strategy.contains(z),
+            "{case}: {z} missing from concurrent plan"
+        );
+    }
+}
+
+/// The randomized oracle: ≥120 contended instances across engines × shards
+/// {1, 2, 4, 8} × threads {1, 2, 4}. Thread counts above the shard count
+/// and single-shard / single-thread configurations resolve to the
+/// sequential arbitration — those rows pin the no-regression contract; the
+/// rest exercise the concurrent executor proper.
+#[test]
+fn concurrent_executor_matches_sequential_plans() {
+    let mut rng = StdRng::seed_from_u64(0xC0CC);
+    let thread_counts = thread_counts();
+    for case in 0..120 {
+        let inst = random_contended_instance(&mut rng);
+        for engine in [EngineKind::Flat, EngineKind::Hash] {
+            let seq = plan(&inst, &PlannerConfig::default().with_engine(engine));
+            for shards in [1u32, 2, 4, 8] {
+                for &threads in &thread_counts {
+                    let cfg = PlannerConfig::default()
+                        .with_engine(engine)
+                        .with_shards(shards)
+                        .with_shard_threads(threads);
+                    let conc = plan(&inst, &cfg);
+                    let label =
+                        format!("case {case} ({engine:?}, {shards} shards, {threads} threads)");
+                    assert_same_plan(&label, &seq, &conc);
+                }
+            }
+        }
+    }
+}
+
+/// An adversarial rollback instance: one hot item with capacity 1 that
+/// every user values most. Every shard's first proposal targets the hot
+/// item; the sequentially leading one is admitted and — because its unit
+/// may have been speculatively granted to a later shard — the steal path
+/// (claim, then release on reject) runs before every other shard's
+/// proposal is rejected.
+#[test]
+fn every_losing_shards_first_proposal_is_rejected() {
+    let users = 4u32;
+    let mut b = InstanceBuilder::new(users, 2, 1);
+    b.display_limit(1);
+    // Hot item: capacity 1, top value for everyone.
+    b.capacity(0, 1).constant_price(0, 100.0);
+    // Filler item: abundant, lower value.
+    b.capacity(1, users).constant_price(1, 10.0);
+    for user in 0..users {
+        b.candidate(user, 0, &[0.9], 0.0);
+        b.candidate(user, 1, &[0.5], 0.0);
+    }
+    let inst = b.build().unwrap();
+
+    let seq = plan(&inst, &PlannerConfig::default());
+    let cfg = PlannerConfig::default()
+        .with_shards(users)
+        .with_shard_threads(users);
+    let conc = plan(&inst, &cfg);
+    assert_same_plan("rollback", &seq, &conc);
+
+    let stats = &conc.concurrency;
+    assert!(
+        stats.worker_threads >= 2,
+        "executor must actually run concurrent"
+    );
+    assert_eq!(
+        stats.rejected_moves,
+        (users - 1) as u64,
+        "every shard but the winner is rejected on the hot item"
+    );
+    assert!(
+        stats.arbitrated_moves >= users as u64,
+        "each shard's hot-item proposal goes through arbitration"
+    );
+    assert!(
+        stats.fast_path_moves > 0,
+        "the filler item commits through the abundant fast path"
+    );
+}
+
+/// Scarcity-window boundary: capacity exactly equal to demand is abundant
+/// (`demand <= cap - used` holds with equality at the start), so no move
+/// needs arbitration and the whole plan commits lock-free.
+#[test]
+fn capacity_equal_to_demand_stays_on_the_fast_path() {
+    let users = 4u32;
+    let mut b = InstanceBuilder::new(users, 1, 1);
+    b.display_limit(1);
+    b.capacity(0, users).constant_price(0, 10.0);
+    for user in 0..users {
+        b.candidate(user, 0, &[0.7], 0.0);
+    }
+    let inst = b.build().unwrap();
+
+    let seq = plan(&inst, &PlannerConfig::default());
+    let cfg = PlannerConfig::default()
+        .with_shards(users)
+        .with_shard_threads(2);
+    let conc = plan(&inst, &cfg);
+    assert_same_plan("boundary", &seq, &conc);
+
+    let stats = &conc.concurrency;
+    assert_eq!(
+        stats.arbitrated_moves, 0,
+        "capacity == demand never enters the scarce window"
+    );
+    assert_eq!(stats.fast_path_moves, users as u64);
+    assert!((conc.concurrency.scarce_occupancy() - 0.0).abs() < 1e-12);
+}

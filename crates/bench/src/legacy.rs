@@ -144,6 +144,7 @@ pub fn seed_global_greedy(inst: &Instance) -> GreedyOutcome {
         selection_objective,
         trace: Vec::new(),
         marginal_evaluations: evals,
+        concurrency: Default::default(),
     }
 }
 

@@ -254,7 +254,7 @@ impl<'a> IncrementalRevenue<'a> {
             ignore_saturation,
             shard,
             tables,
-            snapshot.take_buffers(),
+            snapshot.take_buffers_for(shard.user_start()),
             Some(snapshot.clone()),
         )
     }
@@ -511,26 +511,30 @@ impl<'a> IncrementalRevenue<'a> {
 
     /// Consumes the evaluator and returns the built strategy. Warm-started
     /// engines return their buffers to the session's [`EngineSnapshot`] pool
-    /// here, so the next replan can recycle them.
+    /// here — keyed by the shard that grew them — so the next replan of the
+    /// same shard can recycle them at matching capacity.
     pub fn into_strategy(mut self) -> Strategy {
         if let Some(pool) = self.recycle.take() {
-            pool.return_buffers(FlatBuffers {
-                cand_group: std::mem::take(&mut self.cand_group),
-                group_start: std::mem::take(&mut self.group_start),
-                group_len: std::mem::take(&mut self.group_len),
-                group_cap: std::mem::take(&mut self.group_cap),
-                arena: std::mem::take(&mut self.arena),
-                selected: std::mem::take(&mut self.selected),
-                display_count: std::mem::take(&mut self.display_count),
-                cand_counted: std::mem::take(&mut self.cand_counted),
-                agg_start: std::mem::take(&mut self.agg_start),
-                agg: std::mem::take(&mut self.agg),
-                agg_hi: std::mem::take(&mut self.agg_hi),
-                kernel: std::mem::take(&mut self.kernel),
-                group_shape: std::mem::take(&mut self.group_shape),
-                group_cands: std::mem::take(&mut self.group_cands),
-                cand_exempt: std::mem::take(&mut self.cand_exempt),
-            });
+            pool.return_buffers(
+                self.shard.user_start(),
+                FlatBuffers {
+                    cand_group: std::mem::take(&mut self.cand_group),
+                    group_start: std::mem::take(&mut self.group_start),
+                    group_len: std::mem::take(&mut self.group_len),
+                    group_cap: std::mem::take(&mut self.group_cap),
+                    arena: std::mem::take(&mut self.arena),
+                    selected: std::mem::take(&mut self.selected),
+                    display_count: std::mem::take(&mut self.display_count),
+                    cand_counted: std::mem::take(&mut self.cand_counted),
+                    agg_start: std::mem::take(&mut self.agg_start),
+                    agg: std::mem::take(&mut self.agg),
+                    agg_hi: std::mem::take(&mut self.agg_hi),
+                    kernel: std::mem::take(&mut self.kernel),
+                    group_shape: std::mem::take(&mut self.group_shape),
+                    group_cands: std::mem::take(&mut self.group_cands),
+                    cand_exempt: std::mem::take(&mut self.cand_exempt),
+                },
+            );
         }
         self.strategy
     }

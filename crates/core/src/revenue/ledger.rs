@@ -246,6 +246,19 @@ impl CapacityLedger {
 #[derive(Debug)]
 pub struct SharedCapacityLedgerIn<C: LedgerCell> {
     used: Vec<C>,
+    /// Capacity-window state, per item: units of `used` that are held
+    /// *speculatively* by parked scarce-window proposals (see
+    /// [`SharedCapacityLedgerIn::try_claim_spec`]). `used - spec` is the
+    /// committed claim count — the basis concurrent shard workers gate on.
+    spec: Vec<C>,
+    /// Capacity-window state, per item: remaining non-exempt candidate
+    /// `(item, user)` pairs that could still claim. Initialised from the
+    /// instance's candidate lists; decremented by
+    /// [`SharedCapacityLedgerIn::retire_demand`] when a pair commits or
+    /// dies. Decrements may lag the actual deaths (the cell is a
+    /// conservative upper bound), which only keeps an item scarce longer —
+    /// never the reverse.
+    demand: Vec<C>,
     cap: Vec<u32>,
     exempt: Arc<ExemptSets>,
 }
@@ -256,14 +269,29 @@ pub type SharedCapacityLedger = SharedCapacityLedgerIn<AtomicCell>;
 
 impl<C: LedgerCell> SharedCapacityLedgerIn<C> {
     /// Creates an empty shared ledger for an instance.
+    ///
+    /// Cell construction order is part of the analysis-toolchain contract:
+    /// the `used` cells are registered first (cell ids `0..items` under the
+    /// instrumented cell, which is what `cargo xtask check-ledger` keys its
+    /// per-item capacity invariants on), then `spec`, then `demand`.
     pub fn new(inst: &Instance) -> Self {
         let items = inst.num_items() as usize;
+        let exempt = inst.exempt_sets();
+        let mut demand_init = vec![0u32; items];
+        for cand in inst.candidates() {
+            let item = inst.candidate_item(cand);
+            if !exempt.contains(item, inst.candidate_user(cand)) {
+                demand_init[item.index()] += 1;
+            }
+        }
         SharedCapacityLedgerIn {
             used: (0..items).map(|_| C::new(0)).collect(),
+            spec: (0..items).map(|_| C::new(0)).collect(),
+            demand: demand_init.iter().map(|&d| C::new(d)).collect(),
             cap: (0..inst.num_items())
                 .map(|i| inst.capacity(ItemId(i)))
                 .collect(),
-            exempt: inst.exempt_sets(),
+            exempt,
         }
     }
 
@@ -375,6 +403,154 @@ impl<C: LedgerCell> SharedCapacityLedgerIn<C> {
             .iter()
             .map(|u| u.load(Ordering::Acquire))
             .collect()
+    }
+
+    // -----------------------------------------------------------------------
+    // Capacity-window analysis (the scarcity window)
+    //
+    // An item whose remaining candidate demand can never exceed its
+    // remaining capacity can never bind: every future claim against it is
+    // guaranteed to succeed, so claims are order-insensitive and shard
+    // workers may commit them lock-free without arbitration. The window
+    // state is two extra cells per item (`demand`, `spec`); the ordering
+    // rationale for every operation below is in `docs/concurrency.md`.
+    // -----------------------------------------------------------------------
+
+    /// Remaining non-exempt candidate demand for the item — an upper bound
+    /// on the number of future capacity claims.
+    ///
+    /// `Acquire`: pairs with the `AcqRel` [`SharedCapacityLedgerIn::retire_demand`]
+    /// decrements, so an observed demand carries the retirement history that
+    /// produced it (`docs/concurrency.md`).
+    #[inline]
+    pub fn demand(&self, item: ItemId) -> u32 {
+        self.demand[item.index()].load(Ordering::Acquire)
+    }
+
+    /// Units of the item's claim count held speculatively by parked
+    /// scarce-window proposals (diagnostics; the protocol itself reads the
+    /// combination through [`SharedCapacityLedgerIn::committed_used`]).
+    ///
+    /// `Acquire`: same pairing as [`SharedCapacityLedgerIn::used`]
+    /// (`docs/concurrency.md`).
+    #[inline]
+    pub fn speculative(&self, item: ItemId) -> u32 {
+        self.spec[item.index()].load(Ordering::Acquire)
+    }
+
+    /// The item's committed claim count: `used` minus the speculative units
+    /// held by parked proposals. This — not the raw count — is what a
+    /// free-running shard's capacity gate must read: a speculative unit may
+    /// still be stolen by a sequentially earlier claim, so it must not
+    /// retire anyone.
+    ///
+    /// Read order is load-bearing: `used` is loaded **before** `spec`
+    /// (both `Acquire`). A speculative claim raises `spec` before `used`,
+    /// so this order can transiently *under*-count committed units — which
+    /// only delays a retirement — but never over-count, which would retire
+    /// a live candidate (`docs/concurrency.md`).
+    #[inline]
+    pub fn committed_used(&self, item: ItemId) -> u32 {
+        let used = self.used[item.index()].load(Ordering::Acquire);
+        let spec = self.spec[item.index()].load(Ordering::Acquire);
+        used.saturating_sub(spec)
+    }
+
+    /// Whether the item has no *committed* capacity left for this user:
+    /// committed-full **and** the `(item, user)` pair is not exempt. The
+    /// committed-basis counterpart of [`SharedCapacityLedgerIn::is_full_for`],
+    /// for gates that run concurrently with parked speculative claims.
+    #[inline]
+    pub fn is_full_committed_for(&self, item: ItemId, user: UserId) -> bool {
+        self.committed_used(item) >= self.cap[item.index()] && !self.is_exempt(item, user)
+    }
+
+    /// Whether the item is inside the **scarcity window**: its remaining
+    /// candidate demand exceeds its remaining capacity, so claim order can
+    /// decide who gets the last units and commits must be arbitrated.
+    ///
+    /// A `false` answer is *sticky* during planning: demand only shrinks
+    /// and (claims being the only capacity consumers while shards plan)
+    /// `demand - (cap - used)` never grows, so an item observed abundant
+    /// stays abundant and every later claim against it succeeds. Read order
+    /// is load-bearing for exactly that argument: `demand` is loaded
+    /// **before** `used` (both `Acquire`), so a racing commit can only make
+    /// the pair read *more* scarce than reality, never less
+    /// (`docs/concurrency.md`). [`SharedCapacityLedgerIn::charge`] breaks
+    /// the monotonicity (it consumes capacity without retiring demand) and
+    /// migrates items *into* the window — concurrent planners re-check
+    /// after any failed fast-path claim for that reason.
+    #[inline]
+    pub fn is_scarce(&self, item: ItemId) -> bool {
+        let demand = self.demand[item.index()].load(Ordering::Acquire);
+        let used = self.used[item.index()].load(Ordering::Acquire);
+        demand > self.cap[item.index()].saturating_sub(used)
+    }
+
+    /// Retires one unit of the item's candidate demand: the `(item, user)`
+    /// pair has either committed its claim or died without one, and can
+    /// never claim again. Exempt pairs were never counted and are a no-op.
+    /// The caller retires each pair at most once (same dedup discipline as
+    /// claims).
+    ///
+    /// `AcqRel`: the decrement publishes the retirement (a thread observing
+    /// the shrunken demand — e.g. through
+    /// [`SharedCapacityLedgerIn::is_scarce`] turning abundant — also
+    /// observes the commit or death that caused it) and joins the release
+    /// sequence of prior window updates (`docs/concurrency.md`).
+    pub fn retire_demand(&self, item: ItemId, user: UserId) {
+        if !self.is_exempt(item, user) {
+            let prev = self.demand[item.index()].fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "retire_demand without remaining demand");
+        }
+    }
+
+    /// Claims one unit of the item's capacity **speculatively**, for a
+    /// scarce-window proposal that is about to park for arbitration. On
+    /// success the unit is tagged speculative (`spec` raised) until the
+    /// coordinator either converts it ([`SharedCapacityLedgerIn::commit_spec`])
+    /// or rolls it back ([`SharedCapacityLedgerIn::release_spec`]). Returns
+    /// whether the ledger granted the unit.
+    ///
+    /// Operation order is load-bearing: `spec` is raised (`fetch_add`,
+    /// `AcqRel`) **before** the capacity CAS, and lowered again (`AcqRel`)
+    /// if the CAS loses — so a concurrent
+    /// [`SharedCapacityLedgerIn::committed_used`] reader (which loads in
+    /// the opposite order) can under-count but never over-count committed
+    /// units (`docs/concurrency.md`).
+    pub fn try_claim_spec(&self, item: ItemId) -> bool {
+        self.spec[item.index()].fetch_add(1, Ordering::AcqRel);
+        if self.try_claim(item) {
+            true
+        } else {
+            self.spec[item.index()].fetch_sub(1, Ordering::AcqRel);
+            false
+        }
+    }
+
+    /// Converts a speculative unit into a committed one: the coordinator
+    /// admitted the parked proposal holding it. Coordinator-only, and only
+    /// while every shard is parked (the arbitration barrier) — see
+    /// `docs/concurrency.md` for why the quiescence requirement exists.
+    ///
+    /// `AcqRel`: the decrement of `spec` publishes the admission together
+    /// with everything the coordinator decided before it.
+    pub fn commit_spec(&self, item: ItemId) {
+        let prev = self.spec[item.index()].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "commit_spec without a speculative unit");
+    }
+
+    /// Rolls back a speculative unit: the coordinator stole it for a
+    /// sequentially earlier claim (or rejected the proposal holding it).
+    /// Releases the capacity unit first, then drops the speculative tag.
+    /// Coordinator-only and barrier-quiescent, like
+    /// [`SharedCapacityLedgerIn::commit_spec`]: the two decrements are not
+    /// one atomic step, and a concurrent committed-basis reader between
+    /// them could over-count (`docs/concurrency.md`).
+    pub fn release_spec(&self, item: ItemId) {
+        self.release(item);
+        let prev = self.spec[item.index()].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "release_spec without a speculative unit");
     }
 }
 
@@ -498,5 +674,97 @@ mod tests {
         });
         assert_eq!(granted, 17, "exactly the capacity must be granted");
         assert_eq!(ledger.used(ItemId(0)), 17);
+    }
+
+    /// Demand counts non-exempt candidate pairs per item; exempt candidates
+    /// are excluded from the window entirely.
+    #[test]
+    fn window_demand_counts_non_exempt_candidates() {
+        let mut b = InstanceBuilder::new(4, 2, 1);
+        b.display_limit(1)
+            .capacity(0, 1)
+            .capacity(1, 8)
+            .constant_price(0, 1.0)
+            .constant_price(1, 1.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .candidate(1, 0, &[0.5], 0.0)
+            .candidate(2, 0, &[0.5], 0.0)
+            .candidate(3, 1, &[0.5], 0.0)
+            .exempt_user(0, 2);
+        let inst = b.build().unwrap();
+        let shared = SharedCapacityLedger::new(&inst);
+        // Item 0: three candidates, one exempt -> demand 2 against cap 1.
+        assert_eq!(shared.demand(ItemId(0)), 2);
+        assert!(shared.is_scarce(ItemId(0)));
+        // Item 1: demand 1 against cap 8 -> abundant.
+        assert_eq!(shared.demand(ItemId(1)), 1);
+        assert!(!shared.is_scarce(ItemId(1)));
+
+        // A commit consumes a unit AND a demand: the deficit is unchanged.
+        assert!(shared.try_claim_for(ItemId(0), UserId(0)));
+        shared.retire_demand(ItemId(0), UserId(0));
+        assert!(shared.is_scarce(ItemId(0)));
+        // A death without a claim shrinks the deficit: item migrates out.
+        shared.retire_demand(ItemId(0), UserId(1));
+        assert!(!shared.is_scarce(ItemId(0)));
+        // Exempt retirement is a no-op.
+        shared.retire_demand(ItemId(0), UserId(2));
+        assert_eq!(shared.demand(ItemId(0)), 0);
+    }
+
+    /// Speculative claims hold real capacity but stay out of the committed
+    /// count until converted; rollback restores both sides.
+    #[test]
+    fn speculative_claims_convert_or_roll_back() {
+        let mut b = InstanceBuilder::new(4, 1, 1);
+        b.capacity(0, 2)
+            .constant_price(0, 1.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .candidate(1, 0, &[0.5], 0.0)
+            .candidate(2, 0, &[0.5], 0.0);
+        let inst = b.build().unwrap();
+        let shared = SharedCapacityLedger::new(&inst);
+        let item = ItemId(0);
+
+        assert!(shared.try_claim_spec(item));
+        assert!(shared.try_claim_spec(item));
+        assert_eq!(shared.used(item), 2);
+        assert_eq!(shared.speculative(item), 2);
+        assert_eq!(shared.committed_used(item), 0);
+        assert!(!shared.is_full_committed_for(item, UserId(2)));
+        // The item is full at the raw count: a third speculative claim loses
+        // and must leave the speculative tag balanced.
+        assert!(!shared.try_claim_spec(item));
+        assert_eq!(shared.speculative(item), 2);
+
+        // Admit one, roll back the other.
+        shared.commit_spec(item);
+        assert_eq!(shared.committed_used(item), 1);
+        shared.release_spec(item);
+        assert_eq!(shared.used(item), 1);
+        assert_eq!(shared.speculative(item), 0);
+        assert_eq!(shared.committed_used(item), 1);
+        // The freed unit is claimable again.
+        assert!(shared.try_claim_for(item, UserId(2)));
+        assert!(shared.is_full_committed_for(item, UserId(3)));
+    }
+
+    /// A charge consumes capacity without retiring demand: the one event
+    /// that migrates an item *into* the scarcity window.
+    #[test]
+    fn charge_migrates_item_into_window() {
+        let mut b = InstanceBuilder::new(4, 1, 1);
+        b.capacity(0, 2)
+            .constant_price(0, 1.0)
+            .candidate(0, 0, &[0.5], 0.0)
+            .candidate(1, 0, &[0.5], 0.0);
+        let inst = b.build().unwrap();
+        let shared = SharedCapacityLedger::new(&inst);
+        // Demand 2 against cap 2: abundant.
+        assert!(!shared.is_scarce(ItemId(0)));
+        // An engine-side charge (prefix bookkeeping) takes a unit the
+        // candidates were counting on.
+        shared.charge(ItemId(0), UserId(3));
+        assert!(shared.is_scarce(ItemId(0)));
     }
 }

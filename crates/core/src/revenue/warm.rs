@@ -119,7 +119,12 @@ pub(crate) struct FlatBuffers {
 #[derive(Debug, Default)]
 struct SnapshotInner {
     tables: Mutex<Option<Arc<SatTables>>>,
-    buffers: Mutex<Vec<FlatBuffers>>,
+    /// Recycled buffer sets, keyed by the first user of the shard that
+    /// returned them. Buffer capacities track shard size, so handing a
+    /// set back to the shard that grew it keeps every replan allocation-
+    /// free; an untagged LIFO pool would shuffle sets across shards and
+    /// re-grow them each round.
+    buffers: Mutex<Vec<(u32, FlatBuffers)>>,
 }
 
 /// Shareable warm-start pool for one replanning session: the flat engine's
@@ -154,16 +159,29 @@ impl EngineSnapshot {
         *guard = Some(Arc::clone(tables));
     }
 
-    /// Takes one recycled buffer set (empty defaults when the pool is dry).
-    pub(crate) fn take_buffers(&self) -> FlatBuffers {
+    /// Takes one recycled buffer set for the shard starting at user `key`:
+    /// the set this shard returned last replan when one is pooled (its
+    /// capacities already fit), any other set when the shard layout
+    /// changed, empty defaults when the pool is dry. Purely a reuse
+    /// policy — every buffer is cleared before use either way.
+    pub(crate) fn take_buffers_for(&self, key: u32) -> FlatBuffers {
         let mut guard = self.inner.buffers.lock().expect("snapshot poisoned");
-        guard.pop().unwrap_or_default()
+        let idx = guard
+            .iter()
+            .position(|(k, _)| *k == key)
+            .unwrap_or(guard.len().saturating_sub(1));
+        if idx < guard.len() {
+            guard.swap_remove(idx).1
+        } else {
+            FlatBuffers::default()
+        }
     }
 
-    /// Returns a buffer set to the pool for the next replan.
-    pub(crate) fn return_buffers(&self, buffers: FlatBuffers) {
+    /// Returns a buffer set to the pool for the next replan of the shard
+    /// starting at user `key`.
+    pub(crate) fn return_buffers(&self, key: u32, buffers: FlatBuffers) {
         let mut guard = self.inner.buffers.lock().expect("snapshot poisoned");
-        guard.push(buffers);
+        guard.push((key, buffers));
     }
 
     /// Whether tables have been published yet (used by tests and benches to
@@ -261,5 +279,48 @@ impl ResidualDelta {
     /// Whether a user was touched by the advance (binary search).
     pub fn is_touched_user(&self, user: UserId) -> bool {
         self.touched_users.binary_search(&user).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pool prefers the set its shard returned (matching capacities),
+    /// falls back to any set when the layout changed, and hands out
+    /// defaults when dry.
+    #[test]
+    fn buffer_pool_is_shard_keyed() {
+        let pool = EngineSnapshot::new();
+        let small = FlatBuffers {
+            cand_group: vec![1],
+            ..Default::default()
+        };
+        let big = FlatBuffers {
+            cand_group: vec![2, 2],
+            ..Default::default()
+        };
+        pool.return_buffers(0, small);
+        pool.return_buffers(7, big);
+        assert_eq!(pool.pooled_buffers(), 2);
+
+        // Each shard gets its own set back regardless of return order.
+        assert_eq!(pool.take_buffers_for(7).cand_group, vec![2, 2]);
+        assert_eq!(pool.take_buffers_for(0).cand_group, vec![1]);
+
+        // Dry pool: defaults.
+        assert!(pool.take_buffers_for(0).cand_group.is_empty());
+
+        // Layout changed (no set under the new key): any set is reused
+        // rather than allocating fresh.
+        pool.return_buffers(
+            4,
+            FlatBuffers {
+                cand_group: vec![3],
+                ..Default::default()
+            },
+        );
+        assert_eq!(pool.take_buffers_for(9).cand_group, vec![3]);
+        assert_eq!(pool.pooled_buffers(), 0);
     }
 }

@@ -591,6 +591,64 @@ mod tests {
         }
     }
 
+    /// Warm sharded replans equal cold ones at shard counts 2 and 4 — with
+    /// sequential and concurrent (2-thread) arbitration — and the
+    /// shard-keyed buffer pool actually recycles: after a replan round the
+    /// flat engine has returned one buffer set per shard.
+    #[test]
+    fn warm_sharded_replans_match_cold_across_thread_counts() {
+        for seed in 0..2u32 {
+            let inst = storefront_instance(seed);
+            for engine in [EngineKind::Flat, EngineKind::Hash] {
+                for shards in [2u32, 4] {
+                    for threads in [1u32, 2] {
+                        let base = PlannerConfig::default()
+                            .with_engine(engine)
+                            .with_shards(shards)
+                            .with_shard_threads(threads);
+                        let mut cold = PlanSession::new(inst.clone(), base);
+                        let mut warm = PlanSession::new(inst.clone(), base.with_warm_start(true));
+                        let mut pooled_after_first_day = 0;
+                        for day in 0..2 {
+                            let events = realize_upcoming(&cold);
+                            cold.advance(&events).expect("cold advance");
+                            warm.advance(&events).expect("warm advance");
+                            assert!(
+                                (cold.expected_remaining_revenue()
+                                    - warm.expected_remaining_revenue())
+                                .abs()
+                                    < 1e-9,
+                                "seed {seed} {engine:?} {shards} shards {threads} threads: \
+                                 warm revenue diverged from cold"
+                            );
+                            assert_eq!(
+                                cold.planned_suffix().as_slice(),
+                                warm.planned_suffix().as_slice(),
+                                "seed {seed} {engine:?} {shards} shards {threads} threads: \
+                                 warm suffix diverged from cold"
+                            );
+                            if day == 0 {
+                                pooled_after_first_day = warm.warm_snapshot().pooled_buffers();
+                            }
+                        }
+                        if engine == EngineKind::Flat {
+                            assert!(warm.warm_snapshot().has_tables());
+                            // Steady-state recycling: every buffer set taken
+                            // by a shard comes back under its key, so the
+                            // pool neither grows nor drains across replans.
+                            assert!(pooled_after_first_day > 0);
+                            assert_eq!(
+                                warm.warm_snapshot().pooled_buffers(),
+                                pooled_after_first_day,
+                                "the keyed pool must settle to one set per planning shard"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn full_session_walk_exhausts_the_horizon() {
         let inst = storefront_instance(1);

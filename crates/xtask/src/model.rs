@@ -601,7 +601,10 @@ impl Controller {
 
     /// Performs an operation directly, outside the schedule — only sound on
     /// the coordinating thread *before* workers start or *after* they have
-    /// all finished (loads read the latest store).
+    /// all finished (every op reads the latest store). This is exactly the
+    /// standing of the concurrent executor's coordinator: its admissions,
+    /// steals, and rejections run at the arbitration barrier with every
+    /// shard parked.
     pub fn perform_direct(&self, req: OpReq) -> u64 {
         let mut g = self.lock();
         match req.kind {
@@ -617,22 +620,61 @@ impl Controller {
                 g.mem.plains[req.loc].value = v;
                 v as u64
             }
-            OpKind::FetchAdd(delta, _) => {
+            OpKind::FetchAdd(delta, _) | OpKind::FetchSub(delta, _) => {
+                let sub = matches!(req.kind, OpKind::FetchSub(..));
                 let prev = g.mem.cells[req.loc]
                     .stores
                     .last()
                     .expect("cell has an initial store")
                     .value;
+                if sub && prev == 0 {
+                    g.violations.push(format!(
+                        "release underflow: ambient fetch_sub on c{} read 0",
+                        req.loc
+                    ));
+                }
+                let value = if sub {
+                    prev.wrapping_sub(delta)
+                } else {
+                    prev.wrapping_add(delta)
+                };
                 let stamp = VClock::bottom(g.nthreads.max(1));
                 let msg = stamp.clone();
-                g.mem.cells[req.loc].stores.push(Store {
-                    value: prev.wrapping_add(delta),
-                    stamp,
-                    msg,
-                });
+                g.mem.cells[req.loc]
+                    .stores
+                    .push(Store { value, stamp, msg });
                 prev as u64
             }
-            _ => unreachable!("direct ops are setup/teardown loads and stores"),
+            // Ambient RMWs model the coordinator resolving parked proposals
+            // at the arbitration barrier: every scheduled thread is
+            // quiescent, so reading the latest store is the real semantics.
+            OpKind::Cas { current, new, .. } => {
+                let last = g.mem.cells[req.loc]
+                    .stores
+                    .last()
+                    .expect("cell has an initial store")
+                    .value;
+                if last == current {
+                    if let Some(cap) = g.caps[req.loc] {
+                        if new > cap {
+                            g.violations.push(format!(
+                                "capacity overrun: ambient CAS on c{} stored {new} > cap {cap}",
+                                req.loc
+                            ));
+                        }
+                    }
+                    let stamp = VClock::bottom(g.nthreads.max(1));
+                    let msg = stamp.clone();
+                    g.mem.cells[req.loc].stores.push(Store {
+                        value: new,
+                        stamp,
+                        msg,
+                    });
+                    current as u64 | GRANT_CAS_SUCCESS
+                } else {
+                    last as u64
+                }
+            }
         }
     }
 

@@ -57,6 +57,23 @@ fn make_ledger(ctrl: &Arc<Controller>, inst: &Instance) -> Ledger {
     ledger
 }
 
+/// A tiny instance with explicit per-item candidate lists: `items[i] =
+/// (capacity, candidate users)` — the scarcity-window scenarios need items
+/// whose demand exceeds capacity, which [`make_instance`]'s one-candidate-
+/// per-item shape cannot express.
+fn make_window_instance(items: &[(u32, &[u32])]) -> Instance {
+    let users = 8;
+    let mut b = InstanceBuilder::new(users, items.len() as u32, 1);
+    b.display_limit(1);
+    for (i, &(cap, cands)) in items.iter().enumerate() {
+        b.capacity(i as u32, cap).constant_price(i as u32, 1.0);
+        for &user in cands {
+            b.candidate(user, i as u32, &[0.5], 0.0);
+        }
+    }
+    b.build().expect("scenario instance is valid")
+}
+
 // ---------------------------------------------------------------------------
 // Scenario bodies
 // ---------------------------------------------------------------------------
@@ -295,6 +312,264 @@ fn publication_gate(ctrl: &Arc<Controller>) {
     });
 }
 
+/// Scarcity window: a speculative grant on a scarce item being admitted by
+/// the coordinator races an abundant-item fast commit on another shard.
+/// The fast path is non-binding on the admission (different cells), and
+/// `commit_spec` only ever moves `committed_used` toward its final value —
+/// so every schedule ends with the admitted unit committed, the fast
+/// commit granted, and both demands retired.
+fn window_commit_races_scarce_admit(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        // item 0: cap 2, demand 3 — scarce. item 1: cap 1, demand 1 — abundant.
+        let inst = make_window_instance(&[(2, &[0, 1, 2]), (1, &[3])]);
+        let ledger = make_ledger(ctrl, &inst);
+        // Setup (pre-schedule): shard 0's proposal for (item 0, user 0)
+        // claimed speculatively and parked. Capacity is untouched, so the
+        // grant is certain.
+        if !protocol::speculative_claim(&ledger, ItemId(0), UserId(0)) {
+            ctrl.flag("setup speculative claim denied on an empty item".into());
+        }
+        let results = run_threads(
+            ctrl,
+            vec![
+                // Shard 1 free-runs its abundant-item move concurrently.
+                Box::new(|| {
+                    let mut counted = false;
+                    if protocol::claim_blocked_committed(&ledger, counted, ItemId(1), UserId(3)) {
+                        return 9; // committed-full on an empty item: impossible
+                    }
+                    if ledger.is_scarce(ItemId(1)) {
+                        return 8; // demand 1 <= cap 1: abundant by construction
+                    }
+                    protocol::fast_commit_claim(&ledger, &mut counted, ItemId(1), UserId(3)) as u64
+                }),
+                // The coordinator admits the parked proposal.
+                Box::new(|| {
+                    protocol::admit_granted(&ledger, ItemId(0), UserId(0));
+                    0u64
+                }),
+            ],
+        );
+        if results[0] != 1 {
+            ctrl.flag(format!(
+                "abundant fast commit returned {} racing a scarce admit (expected grant)",
+                results[0]
+            ));
+        }
+        let (cu0, spec0, d0) = (
+            ledger.committed_used(ItemId(0)),
+            ledger.speculative(ItemId(0)),
+            ledger.demand(ItemId(0)),
+        );
+        let (used1, d1) = (ledger.used(ItemId(1)), ledger.demand(ItemId(1)));
+        if cu0 != 1 || spec0 != 0 || d0 != 2 || used1 != 1 || d1 != 0 {
+            ctrl.flag(format!(
+                "post-admit state: item0 committed {cu0}/spec {spec0}/demand {d0}, \
+                 item1 used {used1}/demand {d1}"
+            ));
+        }
+    });
+}
+
+/// Scarcity window: two shards race one speculative unit of a scarce item;
+/// exactly one claim is granted. The barrier-quiescent coordinator (ambient
+/// after join) then admits in sequential order — when the sequentially
+/// earlier proposal lost the race, the rollback path runs: steal the later
+/// shard's speculative unit (claim, then release on reject), re-claim for
+/// the winner, reject the loser.
+fn speculative_claim_rollback(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        // One item, cap 1, demand 2 — scarce from the start.
+        let inst = make_window_instance(&[(1, &[1, 2])]);
+        let ledger = make_ledger(ctrl, &inst);
+        let results = run_threads(
+            ctrl,
+            vec![
+                Box::new(|| protocol::speculative_claim(&ledger, ItemId(0), UserId(1)) as u64),
+                Box::new(|| protocol::speculative_claim(&ledger, ItemId(0), UserId(2)) as u64),
+            ],
+        );
+        let (g1, g2) = (results[0] == 1, results[1] == 1);
+        if g1 as u32 + g2 as u32 != 1 {
+            ctrl.flag(format!(
+                "speculative race: grants ({g1}, {g2}), expected exactly one"
+            ));
+            return;
+        }
+        // Coordinator resolution at the barrier. User 1's proposal is
+        // sequentially first (same value, smaller candidate id).
+        if g1 {
+            protocol::admit_granted(&ledger, ItemId(0), UserId(1));
+            // User 2 parked ungranted: no unit, no victim left — reject.
+            if protocol::admit_claim(&ledger, ItemId(0), UserId(2)) {
+                ctrl.flag("rejected proposal re-claimed a full item".into());
+            } else {
+                protocol::reject_claim(&ledger, ItemId(0), UserId(2));
+            }
+        } else {
+            // The later shard holds the unit: steal it back for user 1.
+            if protocol::admit_claim(&ledger, ItemId(0), UserId(1)) {
+                ctrl.flag("admit_claim granted while a speculative unit held the capacity".into());
+            } else {
+                protocol::steal_speculative(&ledger, ItemId(0));
+                if !protocol::admit_claim(&ledger, ItemId(0), UserId(1)) {
+                    ctrl.flag("admit_claim denied after stealing the speculative unit".into());
+                }
+            }
+            protocol::reject_claim(&ledger, ItemId(0), UserId(2));
+        }
+        let (cu, spec, d) = (
+            ledger.committed_used(ItemId(0)),
+            ledger.speculative(ItemId(0)),
+            ledger.demand(ItemId(0)),
+        );
+        if cu != 1 || spec != 0 || d != 0 {
+            ctrl.flag(format!(
+                "rollback settle: committed {cu}, speculative {spec}, demand {d} \
+                 (expected 1/0/0)"
+            ));
+        }
+    });
+}
+
+/// Scarcity window: an item crosses into the scarce window (a concurrent
+/// charge consumes its slack) while a shard holds an uncommitted fast-path
+/// intent. The shard's denied fast commit must observe the migration — the
+/// re-check sees the item scarce, the pair stays uncounted, and the move
+/// parks for arbitration instead of committing.
+///
+/// No capacity is registered with the controller: in the schedules where
+/// the fast commit wins *before* the charge lands, `used` legitimately
+/// exceeds the planner-facing capacity (charges model ambient
+/// consumption, not planner claims), and a registered cap would
+/// false-flag them.
+fn window_migration_visibility(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        // One item, cap 1, one candidate — abundant until the charge lands.
+        let inst = make_window_instance(&[(1, &[0])]);
+        let ledger: Ledger = SharedCapacityLedgerIn::new(&inst);
+        let results = run_threads(
+            ctrl,
+            vec![
+                // The shard: abundance check, then the fast-path commit.
+                Box::new(|| {
+                    let mut counted = false;
+                    if ledger.is_scarce(ItemId(0)) {
+                        return 3; // migrated before the check: shard parks, nothing to verify
+                    }
+                    if protocol::fast_commit_claim(&ledger, &mut counted, ItemId(0), UserId(0)) {
+                        return 0; // committed before the charge consumed the slack
+                    }
+                    // Denied: the charge landed between check and commit.
+                    if counted {
+                        return 6; // a denied commit must leave the pair uncounted
+                    }
+                    if !ledger.is_scarce(ItemId(0)) {
+                        return 7; // the re-check failed to observe the migration
+                    }
+                    // Correct re-route: claim speculatively and park. The
+                    // unit is gone, so the park is ungranted.
+                    protocol::speculative_claim(&ledger, ItemId(0), UserId(0)) as u64 + 1
+                }),
+                // Ambient consumption migrates the item into the window.
+                Box::new(|| {
+                    ledger.charge(ItemId(0), UserId(5));
+                    0u64
+                }),
+            ],
+        );
+        match results[0] {
+            0 => {
+                // Fast commit won the race; the charge landed afterwards.
+                let (used, d) = (ledger.used(ItemId(0)), ledger.demand(ItemId(0)));
+                if used != 2 || d != 0 {
+                    ctrl.flag(format!("fast-commit-first: used {used}, demand {d}"));
+                }
+            }
+            1 => {
+                // Parked ungranted. Coordinator: no unit to admit, no
+                // speculative victim — reject.
+                if protocol::admit_claim(&ledger, ItemId(0), UserId(0)) {
+                    ctrl.flag("admit_claim granted a unit the charge consumed".into());
+                } else {
+                    protocol::reject_claim(&ledger, ItemId(0), UserId(0));
+                }
+                let (used, spec, d) = (
+                    ledger.used(ItemId(0)),
+                    ledger.speculative(ItemId(0)),
+                    ledger.demand(ItemId(0)),
+                );
+                if used != 1 || spec != 0 || d != 0 {
+                    ctrl.flag(format!(
+                        "post-reject: used {used}, speculative {spec}, demand {d}"
+                    ));
+                }
+            }
+            2 => {
+                // A speculative grant after a denial is impossible here:
+                // the denial proves used == cap, and nothing releases.
+                ctrl.flag("speculative claim granted after the capacity was exhausted".into());
+            }
+            3 => {
+                let used = ledger.used(ItemId(0));
+                if used != 1 {
+                    ctrl.flag(format!("scarce-before-check: used {used}, expected 1"));
+                }
+            }
+            r => ctrl.flag(format!("migration visibility: shard invariant {r} broken")),
+        }
+    });
+}
+
+/// DETECTOR SANITY (expected violation): the seeded window-migration
+/// mutant. The buggy shard skips the window re-check after its fast
+/// commit is denied and parks the move as *granted* — claiming a
+/// speculative unit it never obtained. The coordinator's `admit_granted`
+/// then decrements a zero `spec` cell, which the model flags as an
+/// underflow (and the debug assertion inside the ledger panics, which the
+/// harness also flags).
+fn window_migration_defect(ctrl: &Arc<Controller>) {
+    with_ambient(ctrl, None, || {
+        // Item 0 as in the visibility scenario; item 1 is the park
+        // mailbox the buggy shard publishes through (a charge as a ready
+        // flag, the speculative executor's publication pattern). No
+        // controller caps, as above.
+        let inst = make_window_instance(&[(1, &[0]), (2, &[1])]);
+        let ledger: Ledger = SharedCapacityLedgerIn::new(&inst);
+        run_threads(
+            ctrl,
+            vec![
+                // The buggy shard.
+                Box::new(|| {
+                    let mut counted = false;
+                    if ledger.is_scarce(ItemId(0)) {
+                        return 3;
+                    }
+                    if protocol::fast_commit_claim(&ledger, &mut counted, ItemId(0), UserId(0)) {
+                        return 0;
+                    }
+                    // BUG: no re-check, no speculative claim — park the
+                    // denied move as if its unit were granted.
+                    ledger.charge(ItemId(1), UserId(1));
+                    1
+                }),
+                // Ambient consumption migrates item 0 into the window.
+                Box::new(|| {
+                    ledger.charge(ItemId(0), UserId(5));
+                    0u64
+                }),
+                // The coordinator: admits any parked-granted proposal.
+                Box::new(|| {
+                    if ledger.used(ItemId(1)) >= 1 {
+                        protocol::admit_granted(&ledger, ItemId(0), UserId(0));
+                    }
+                    0u64
+                }),
+            ],
+        );
+    });
+}
+
 /// DETECTOR SANITY (expected violation): both shards publish their held
 /// move into the same plain slot without arbitration — a data race the
 /// checker must find.
@@ -502,6 +777,34 @@ pub fn dfs_suite() -> Vec<Scenario> {
             body: &held_slot_gated,
         },
         Scenario {
+            name: "window_commit_races_scarce_admit",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &window_commit_races_scarce_admit,
+        },
+        Scenario {
+            name: "speculative_claim_rollback",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &speculative_claim_rollback,
+        },
+        Scenario {
+            name: "window_migration_visibility",
+            threads: 2,
+            expect: Expect::Pass,
+            demote: false,
+            body: &window_migration_visibility,
+        },
+        Scenario {
+            name: "window_migration_defect (detector sanity)",
+            threads: 3,
+            expect: Expect::Violation,
+            demote: false,
+            body: &window_migration_defect,
+        },
+        Scenario {
             name: "held_slot_racy (detector sanity)",
             threads: 2,
             expect: Expect::Violation,
@@ -610,6 +913,9 @@ mod tests {
             &publication_gate,
             &claim_contention,
             &claim_release,
+            &window_commit_races_scarce_admit,
+            &speculative_claim_rollback,
+            &window_migration_visibility,
         ] {
             let exploration = explore_dfs(2, false, DFS_BUDGET, body);
             assert!(exploration.violation.is_none(), "real orderings must pass");
@@ -623,12 +929,17 @@ mod tests {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let found = [
-            &held_slot_racy as &(dyn Fn(&Arc<Controller>) + Sync),
-            &release_underflow,
+            (&held_slot_racy as &(dyn Fn(&Arc<Controller>) + Sync), 2),
+            (&release_underflow, 2),
+            (&window_migration_defect, 3),
         ]
-        .map(|body| explore_dfs(2, false, DFS_BUDGET, body).violation.is_some());
+        .map(|(body, threads)| {
+            explore_dfs(threads, false, DFS_BUDGET, body)
+                .violation
+                .is_some()
+        });
         std::panic::set_hook(prev);
-        assert_eq!(found, [true, true], "seeded defect not found");
+        assert_eq!(found, [true, true, true], "seeded defect not found");
     }
 
     /// The full gating suite agrees with `cargo xtask check-ledger`.
