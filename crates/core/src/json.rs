@@ -1,0 +1,669 @@
+//! A minimal, dependency-free JSON reader/writer.
+//!
+//! Extracted from the hand-rolled [`crate::Strategy`] codec when the wire
+//! protocol (`revmax-http`) arrived: every serialised surface in the
+//! workspace — strategies, instances, adoption events, bench emitters —
+//! shares this one parser instead of growing ad-hoc string scanners.
+//!
+//! The reader is a strict recursive-descent parser over the input bytes
+//! with two hard safety properties (they are fuzzed with 10k+ seeded byte
+//! mutations per release, see `revmax-http`'s fuzz suite):
+//!
+//! * **no panics** — every malformed input returns a structured
+//!   [`JsonError`] with a byte offset;
+//! * **no over-reads** — the parser only ever indexes through the borrowed
+//!   input slice, and nesting is capped at [`MAX_DEPTH`] so deeply nested
+//!   input cannot exhaust the stack.
+//!
+//! Numbers are IEEE `f64` (the only number type the wire needs); the writer
+//! uses Rust's shortest round-trip formatting, so `f64 → text → f64` is
+//! bit-exact — the property the 1e-9 protocol-parity suites lean on.
+
+use std::fmt;
+
+/// Maximum nesting depth the reader accepts (arrays + objects combined).
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+///
+/// Objects preserve key order as a vector of pairs — the wire structs never
+/// need hashed lookup, and ordered output keeps golden tests byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always finite — the parser rejects overflow).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source key order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u32`, if it is a non-negative integer number in range.
+    pub fn as_u32(&self) -> Option<u32> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&n) {
+            Some(n as u32)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer number that
+    /// `f64` represents exactly (≤ 2⁵³).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's key/value pairs, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// A structured parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the parser gave up.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses exactly one JSON value; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `lit` if it is next; the caller has already matched its
+    /// first byte.
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // opening '"'
+        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    // Copy the trailing raw segment; `bytes` is valid UTF-8
+                    // (the input is `&str`) and segment bounds sit on quote /
+                    // backslash bytes, never inside a multi-byte character.
+                    out.push_str(self.raw_segment(start));
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.raw_segment(start));
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    return self.string_rest(out);
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Continues a string after the first escape (avoids recursing once per
+    /// escaped character).
+    fn string_rest(&mut self, mut out: String) -> Result<String, JsonError> {
+        let mut start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.raw_segment(start));
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.raw_segment(start));
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    start = self.pos;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn raw_segment(&self, start: usize) -> &'a str {
+        // Safety of the unwrap-free conversion: `start..pos` begins and ends
+        // at ASCII bytes the scanner stopped on, so it is valid UTF-8.
+        std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("")
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => Ok('"'),
+            b'\\' => Ok('\\'),
+            b'/' => Ok('/'),
+            b'b' => Ok('\u{0008}'),
+            b'f' => Ok('\u{000C}'),
+            b'n' => Ok('\n'),
+            b'r' => Ok('\r'),
+            b't' => Ok('\t'),
+            b'u' => self.unicode_escape(),
+            _ => Err(self.err("unknown escape character")),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        let code = if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.peek() != Some(b'\\') {
+                return Err(self.err("unpaired high surrogate"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.err("unpaired high surrogate"));
+            }
+            self.pos += 1;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else if (0xDC00..0xE000).contains(&hi) {
+            return Err(self.err("unpaired low surrogate"));
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| self.err("invalid \\u code point"))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = self.raw_segment(start);
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err("number does not parse as f64"))?;
+        if !n.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(JsonValue::Number(n))
+    }
+}
+
+/// Appends a JSON string literal (quotes + escapes) for `s` to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends the shortest round-trip decimal form of `v` to `out`
+/// (non-finite values, which valid wire data never contains, become `null`).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl fmt::Display for JsonValue {
+    /// Writes the value as compact JSON (no whitespace). The output parses
+    /// back to an equal value; numbers round-trip bit-exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(n) => {
+                let mut s = String::new();
+                write_f64(&mut s, *n);
+                f.write_str(&s)
+            }
+            JsonValue::String(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                write_escaped(&mut out, s);
+                f.write_str(&out)
+            }
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    write_escaped(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Convenience: an object value from key/value pairs.
+pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Convenience: an array of numbers.
+pub fn number_array(values: impl IntoIterator<Item = f64>) -> JsonValue {
+    JsonValue::Array(values.into_iter().map(JsonValue::Number).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: f64) -> JsonValue {
+        JsonValue::Number(v)
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("0").unwrap(), n(0.0));
+        assert_eq!(parse("-12.5e2").unwrap(), n(-1250.0));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::String("hi".into()));
+        assert_eq!(parse("  42  ").unwrap(), n(42.0));
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
+        let a = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_u32(), Some(1));
+        assert!(a[2].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let cases = [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "newline\nand tab\t",
+            "unicode: é λ 漢 🦀",
+            "control:\u{0001}\u{001f}",
+        ];
+        for case in cases {
+            let mut enc = String::new();
+            write_escaped(&mut enc, case);
+            assert_eq!(
+                parse(&enc).unwrap(),
+                JsonValue::String(case.to_string()),
+                "round-trip failed for {case:?}"
+            );
+        }
+        assert_eq!(
+            parse(r#""\u0041\u00e9\ud83d\ude00""#).unwrap(),
+            JsonValue::String("Aé😀".into())
+        );
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            123_456_789.123_456_78,
+            -2.2250738585072014e-308,
+        ] {
+            let mut s = String::new();
+            write_f64(&mut s, v);
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "round-trip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "  ",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "{a:1}",
+            "nul",
+            "truex",
+            "01",
+            "+1",
+            "1.",
+            ".5",
+            "-",
+            "1e",
+            "1e+",
+            "NaN",
+            "Infinity",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "[1] trailing",
+            "1e999",
+            "\u{0007}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("MAX_DEPTH"));
+    }
+
+    #[test]
+    fn integer_accessors_check_range_and_fraction() {
+        assert_eq!(n(7.0).as_u32(), Some(7));
+        assert_eq!(n(7.5).as_u32(), None);
+        assert_eq!(n(-1.0).as_u32(), None);
+        assert_eq!(n(4294967295.0).as_u32(), Some(u32::MAX));
+        assert_eq!(n(4294967296.0).as_u32(), None);
+        assert_eq!(n(4294967296.0).as_u64(), Some(4294967296));
+        assert_eq!(n(1e300).as_u64(), None);
+        assert_eq!(JsonValue::Null.as_u32(), None);
+    }
+
+    #[test]
+    fn display_writes_compact_json() {
+        let v = object(vec![
+            ("plan", n(1.0)),
+            ("ok", JsonValue::Bool(true)),
+            (
+                "tags",
+                JsonValue::Array(vec![JsonValue::String("a\"b".into())]),
+            ),
+            ("none", JsonValue::Null),
+        ]);
+        let text = v.to_string();
+        assert_eq!(text, r#"{"plan":1,"ok":true,"tags":["a\"b"],"none":null}"#);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn object_lookup_finds_first_match() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_u32), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("k"), None);
+    }
+}

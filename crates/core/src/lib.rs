@@ -26,7 +26,11 @@
 //!   realized prefix, the model layer behind dynamic replanning
 //!   (`revmax_serve::PlanSession`);
 //! * [`mod@env`] — the shared `REVMAX_*` environment-knob parsing used by every
-//!   `from_env` constructor and bench emitter in the workspace.
+//!   `from_env` constructor and bench emitter in the workspace;
+//! * [`mod@json`] / [`wire`] — the dependency-free JSON reader/writer
+//!   (extracted from the original [`Strategy`] codec) and the wire codecs
+//!   for [`Instance`], [`Strategy`], and [`AdoptionEvent`] behind the
+//!   `revmax-http` protocol surface.
 //!
 //! The optimization algorithms themselves (Global/Sequential/Randomized
 //! greedy, the baselines, the local-search approximation, the Max-DCS special
@@ -66,9 +70,11 @@ pub mod error;
 pub mod events;
 pub mod ids;
 pub mod instance;
+pub mod json;
 pub mod reductions;
 pub mod revenue;
 pub mod strategy;
+pub mod wire;
 
 pub use effective::{
     effective_probabilities, effective_revenue, CapacityOracle, ExactPoissonBinomial,
@@ -81,6 +87,7 @@ pub use events::{
 };
 pub use ids::{CandidateId, ClassId, ItemId, TimeStep, Triple, UserId};
 pub use instance::{BetaProfile, Instance, InstanceBuilder, UserShard};
+pub use json::{JsonError, JsonValue};
 pub use revenue::{
     dynamic_probabilities, dynamic_probability_of, marginal_revenue, revenue, AggregateMode,
     AtomicCell, CapacityLedger, EngineSnapshot, HashIncrementalRevenue, IncrementalRevenue,
@@ -88,3 +95,4 @@ pub use revenue::{
     SharedCapacityLedgerIn,
 };
 pub use strategy::Strategy;
+pub use wire::WireError;

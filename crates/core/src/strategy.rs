@@ -177,45 +177,16 @@ impl Strategy {
     /// Insertion order is preserved, duplicates are dropped, and the `O(1)`
     /// membership index is rebuilt (every triple goes through
     /// [`Strategy::insert`]), so `contains()` is correct on the result.
+    ///
+    /// The original hand-rolled scanner grew into the shared
+    /// [`crate::json`] reader when the wire protocol arrived; this method
+    /// is now a thin layer over [`crate::wire::strategy_from_value`] and
+    /// rejects exactly the same malformed inputs as before (pinned by the
+    /// tests below).
     pub fn from_json(input: &str) -> Result<Strategy, StrategyParseError> {
-        let err = |message: &str| StrategyParseError {
-            message: message.to_string(),
-        };
-        let body = input.trim();
-        let body = body
-            .strip_prefix('[')
-            .and_then(|b| b.strip_suffix(']'))
-            .ok_or_else(|| err("expected a JSON array"))?
-            .trim();
-        let mut s = Strategy::new();
-        if body.is_empty() {
-            return Ok(s);
-        }
-        let mut rest = body;
-        loop {
-            let inner = rest
-                .trim_start()
-                .strip_prefix('[')
-                .ok_or_else(|| err("expected `[u,i,t]`"))?;
-            let close = inner.find(']').ok_or_else(|| err("unterminated triple"))?;
-            let fields: Vec<&str> = inner[..close].split(',').map(str::trim).collect();
-            if fields.len() != 3 {
-                return Err(err("a triple must have exactly 3 fields"));
-            }
-            let parse = |f: &str| f.parse::<u32>().map_err(|_| err("non-integer field"));
-            let (user, item, t) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
-            if t == 0 {
-                return Err(err("time steps are 1-based"));
-            }
-            s.insert(Triple::new(user, item, t));
-            rest = inner[close + 1..].trim_start();
-            if rest.is_empty() {
-                return Ok(s);
-            }
-            rest = rest
-                .strip_prefix(',')
-                .ok_or_else(|| err("expected `,` between triples"))?;
-        }
+        let wrap = |message: String| StrategyParseError { message };
+        let value = crate::json::parse(input).map_err(|e| wrap(e.to_string()))?;
+        crate::wire::strategy_from_value(&value).map_err(|e| wrap(e.to_string()))
     }
 
     /// Whether the strategy satisfies only the display constraint (the validity

@@ -1,0 +1,548 @@
+//! Wire codecs for the protocol surface: [`Instance`], [`Strategy`], and
+//! [`AdoptionEvent`] as JSON documents.
+//!
+//! These are the schemas `revmax-http` speaks (documented with examples in
+//! `docs/http.md`); they are defined here in `revmax-core` so that tests,
+//! benches, and any future transport share one codec built on the
+//! [`crate::json`] reader/writer.
+//!
+//! Design points:
+//!
+//! * **Bit-exact round trips** — every `f64` (prices, probabilities,
+//!   ratings, β) is written in shortest round-trip form, so
+//!   `instance → JSON → instance` reproduces the instance exactly and a
+//!   plan computed behind the wire matches the in-process plan to full
+//!   precision (the protocol conformance suite pins 1e-9).
+//! * **Validation reuse** — decoding an instance replays it through
+//!   [`InstanceBuilder`], so the wire accepts exactly what the in-process
+//!   API accepts; schema errors and semantic [`BuildError`]s are kept
+//!   distinct (the HTTP layer maps them to 400 vs 422).
+//!
+//! # Instance schema
+//!
+//! ```json
+//! {
+//!   "users": 2, "items": 1, "horizon": 2, "display_limit": 1,
+//!   "classes": [0],
+//!   "beta": [1.0],
+//!   "capacity": [2],
+//!   "prices": [[10.0, 9.5]],
+//!   "candidates": [[0, 0, 4.5, [0.4, 0.5]], [1, 0, 3.0, [0.3, 0.2]]],
+//!   "exempt": [[0, [1]]]
+//! }
+//! ```
+//!
+//! `classes`, `beta`, `capacity`, and `exempt` are optional (builder
+//! defaults apply); a candidate row is `[user, item, rating, probs]` with
+//! one probability per horizon step.
+
+use crate::error::BuildError;
+use crate::events::{AdoptionEvent, AdoptionOutcome};
+use crate::ids::{ItemId, Triple, UserId};
+use crate::instance::{Instance, InstanceBuilder};
+use crate::json::{self, JsonError, JsonValue};
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Why a wire document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The text is not valid JSON.
+    Json(JsonError),
+    /// The JSON parses but does not match the schema.
+    Schema {
+        /// What was wrong, naming the offending field.
+        message: String,
+    },
+    /// The document matches the schema but fails instance validation.
+    Build(BuildError),
+}
+
+impl WireError {
+    fn schema(message: impl Into<String>) -> Self {
+        WireError::Schema {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Json(e) => write!(f, "{e}"),
+            WireError::Schema { message } => write!(f, "schema error: {message}"),
+            WireError::Build(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError::Json(e)
+    }
+}
+
+impl From<BuildError> for WireError {
+    fn from(e: BuildError) -> Self {
+        WireError::Build(e)
+    }
+}
+
+fn field<'v>(obj: &'v JsonValue, key: &str) -> Result<&'v JsonValue, WireError> {
+    obj.get(key)
+        .ok_or_else(|| WireError::schema(format!("missing field `{key}`")))
+}
+
+fn u32_field(value: &JsonValue, what: &str) -> Result<u32, WireError> {
+    value
+        .as_u32()
+        .ok_or_else(|| WireError::schema(format!("`{what}` must be a non-negative integer")))
+}
+
+fn f64_field(value: &JsonValue, what: &str) -> Result<f64, WireError> {
+    value
+        .as_f64()
+        .ok_or_else(|| WireError::schema(format!("`{what}` must be a number")))
+}
+
+fn array_field<'v>(value: &'v JsonValue, what: &str) -> Result<&'v [JsonValue], WireError> {
+    value
+        .as_array()
+        .ok_or_else(|| WireError::schema(format!("`{what}` must be an array")))
+}
+
+fn f64_vec(value: &JsonValue, what: &str) -> Result<Vec<f64>, WireError> {
+    array_field(value, what)?
+        .iter()
+        .map(|v| f64_field(v, what))
+        .collect()
+}
+
+fn u32_vec(value: &JsonValue, what: &str) -> Result<Vec<u32>, WireError> {
+    array_field(value, what)?
+        .iter()
+        .map(|v| u32_field(v, what))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Instance
+// ---------------------------------------------------------------------------
+
+/// Encodes an instance as a wire [`JsonValue`] (see the module docs for the
+/// schema).
+pub fn instance_to_value(inst: &Instance) -> JsonValue {
+    let items = 0..inst.num_items();
+    let classes = items.clone().map(|i| f64::from(inst.class_of(ItemId(i)).0));
+    let beta = items.clone().map(|i| inst.beta(ItemId(i)));
+    let capacity = items.clone().map(|i| f64::from(inst.capacity(ItemId(i))));
+    let prices = items
+        .clone()
+        .map(|i| json::number_array(inst.price_series(ItemId(i)).iter().copied()))
+        .collect();
+
+    let mut candidates = Vec::new();
+    for u in 0..inst.num_users() {
+        for cand in inst.candidates_of_user(UserId(u)) {
+            candidates.push(JsonValue::Array(vec![
+                JsonValue::Number(f64::from(u)),
+                JsonValue::Number(f64::from(inst.candidate_item(cand).0)),
+                JsonValue::Number(inst.candidate_rating(cand)),
+                json::number_array(inst.candidate_probs(cand).iter().copied()),
+            ]));
+        }
+    }
+
+    let mut pairs = vec![
+        ("users", JsonValue::Number(f64::from(inst.num_users()))),
+        ("items", JsonValue::Number(f64::from(inst.num_items()))),
+        ("horizon", JsonValue::Number(f64::from(inst.horizon()))),
+        (
+            "display_limit",
+            JsonValue::Number(f64::from(inst.display_limit())),
+        ),
+        ("classes", json::number_array(classes)),
+        ("beta", json::number_array(beta)),
+        ("capacity", json::number_array(capacity)),
+        ("prices", JsonValue::Array(prices)),
+        ("candidates", JsonValue::Array(candidates)),
+    ];
+    if inst.has_exemptions() {
+        let exempt = (0..inst.num_items())
+            .filter_map(|i| {
+                let users = inst.exempt_users(ItemId(i));
+                if users.is_empty() {
+                    return None;
+                }
+                Some(JsonValue::Array(vec![
+                    JsonValue::Number(f64::from(i)),
+                    json::number_array(users.iter().map(|u| f64::from(u.0))),
+                ]))
+            })
+            .collect();
+        pairs.push(("exempt", JsonValue::Array(exempt)));
+    }
+    json::object(pairs)
+}
+
+/// Encodes an instance as compact wire JSON text.
+pub fn instance_to_json(inst: &Instance) -> String {
+    instance_to_value(inst).to_string()
+}
+
+/// Decodes a wire [`JsonValue`] into an [`Instance`], replaying it through
+/// [`InstanceBuilder`] so all semantic validation applies.
+pub fn instance_from_value(value: &JsonValue) -> Result<Instance, WireError> {
+    if value.as_object().is_none() {
+        return Err(WireError::schema("an instance must be a JSON object"));
+    }
+    let users = u32_field(field(value, "users")?, "users")?;
+    let items = u32_field(field(value, "items")?, "items")?;
+    let horizon = u32_field(field(value, "horizon")?, "horizon")?;
+    let mut b = InstanceBuilder::new(users, items, horizon);
+    if let Some(k) = value.get("display_limit") {
+        b.display_limit(u32_field(k, "display_limit")?);
+    }
+    if let Some(classes) = value.get("classes") {
+        for (i, c) in u32_vec(classes, "classes")?.into_iter().enumerate() {
+            b.item_class(i as u32, c);
+        }
+    }
+    if let Some(beta) = value.get("beta") {
+        for (i, bi) in f64_vec(beta, "beta")?.into_iter().enumerate() {
+            b.beta(i as u32, bi);
+        }
+    }
+    if let Some(capacity) = value.get("capacity") {
+        for (i, q) in u32_vec(capacity, "capacity")?.into_iter().enumerate() {
+            b.capacity(i as u32, q);
+        }
+    }
+    for (i, series) in array_field(field(value, "prices")?, "prices")?
+        .iter()
+        .enumerate()
+    {
+        if series.is_null() {
+            continue;
+        }
+        b.prices(i as u32, &f64_vec(series, "prices")?);
+    }
+    for row in array_field(field(value, "candidates")?, "candidates")? {
+        let row = array_field(row, "candidates")?;
+        if row.len() != 4 {
+            return Err(WireError::schema(
+                "a candidate row must be `[user, item, rating, probs]`",
+            ));
+        }
+        let user = u32_field(&row[0], "candidate user")?;
+        let item = u32_field(&row[1], "candidate item")?;
+        let rating = f64_field(&row[2], "candidate rating")?;
+        let probs = f64_vec(&row[3], "candidate probs")?;
+        b.candidate(user, item, &probs, rating);
+    }
+    if let Some(exempt) = value.get("exempt") {
+        for row in array_field(exempt, "exempt")? {
+            let row = array_field(row, "exempt")?;
+            if row.len() != 2 {
+                return Err(WireError::schema(
+                    "an exempt row must be `[item, [users...]]`",
+                ));
+            }
+            let item = u32_field(&row[0], "exempt item")?;
+            for user in u32_vec(&row[1], "exempt users")? {
+                b.exempt_user(item, user);
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Decodes wire JSON text into an [`Instance`].
+pub fn instance_from_json(text: &str) -> Result<Instance, WireError> {
+    instance_from_value(&json::parse(text)?)
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// Encodes a strategy as its wire value: an array of `[user, item, t]`
+/// triples in insertion order (the same format as [`Strategy::to_json`]).
+pub fn strategy_to_value(strategy: &Strategy) -> JsonValue {
+    JsonValue::Array(
+        strategy
+            .iter()
+            .map(|z| {
+                JsonValue::Array(vec![
+                    JsonValue::Number(f64::from(z.user.0)),
+                    JsonValue::Number(f64::from(z.item.0)),
+                    JsonValue::Number(f64::from(z.t.0)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a strategy wire value: duplicates are dropped and the membership
+/// index is rebuilt, exactly like [`Strategy::from_json`].
+pub fn strategy_from_value(value: &JsonValue) -> Result<Strategy, WireError> {
+    let rows = value
+        .as_array()
+        .ok_or_else(|| WireError::schema("expected a JSON array of triples"))?;
+    let mut s = Strategy::with_capacity(rows.len());
+    for row in rows {
+        let fields = row
+            .as_array()
+            .ok_or_else(|| WireError::schema("expected `[u,i,t]`"))?;
+        if fields.len() != 3 {
+            return Err(WireError::schema("a triple must have exactly 3 fields"));
+        }
+        let int = |v: &JsonValue| {
+            v.as_u32()
+                .ok_or_else(|| WireError::schema("non-integer field in triple"))
+        };
+        let (user, item, t) = (int(&fields[0])?, int(&fields[1])?, int(&fields[2])?);
+        if t == 0 {
+            return Err(WireError::schema("time steps are 1-based"));
+        }
+        s.insert(Triple::new(user, item, t));
+    }
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// Adoption events
+// ---------------------------------------------------------------------------
+
+/// Encodes one adoption event as its wire value.
+pub fn event_to_value(event: &AdoptionEvent) -> JsonValue {
+    json::object(vec![
+        ("user", JsonValue::Number(f64::from(event.user.0))),
+        ("item", JsonValue::Number(f64::from(event.item.0))),
+        ("t", JsonValue::Number(f64::from(event.t.0))),
+        (
+            "outcome",
+            JsonValue::String(
+                match event.outcome {
+                    AdoptionOutcome::Adopted => "adopted",
+                    AdoptionOutcome::Rejected => "rejected",
+                }
+                .to_string(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes an event batch as compact wire JSON text.
+pub fn events_to_json(events: &[AdoptionEvent]) -> String {
+    JsonValue::Array(events.iter().map(event_to_value).collect()).to_string()
+}
+
+/// Decodes one adoption event from its wire value.
+pub fn event_from_value(value: &JsonValue) -> Result<AdoptionEvent, WireError> {
+    if value.as_object().is_none() {
+        return Err(WireError::schema("an event must be a JSON object"));
+    }
+    let user = u32_field(field(value, "user")?, "user")?;
+    let item = u32_field(field(value, "item")?, "item")?;
+    let t = u32_field(field(value, "t")?, "t")?;
+    if t == 0 {
+        return Err(WireError::schema("time steps are 1-based"));
+    }
+    let outcome = field(value, "outcome")?
+        .as_str()
+        .ok_or_else(|| WireError::schema("`outcome` must be a string"))?;
+    match outcome {
+        "adopted" => Ok(AdoptionEvent::adopted(user, item, t)),
+        "rejected" => Ok(AdoptionEvent::rejected(user, item, t)),
+        _ => Err(WireError::schema(
+            "`outcome` must be \"adopted\" or \"rejected\"",
+        )),
+    }
+}
+
+/// Decodes an event batch from its wire value (a JSON array of events).
+pub fn events_from_value(value: &JsonValue) -> Result<Vec<AdoptionEvent>, WireError> {
+    array_field(value, "events")?
+        .iter()
+        .map(event_from_value)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instance() -> Instance {
+        let mut b = InstanceBuilder::new(3, 2, 4);
+        b.display_limit(2)
+            .item_class(0, 1)
+            .item_class(1, 0)
+            .capacity(0, 1)
+            .capacity(1, 2)
+            .beta(0, 0.25)
+            .beta(1, 1.0)
+            .prices(0, &[10.0, 9.5, 9.0, 8.5])
+            .prices(1, &[5.0, 5.0, 5.5, 5.5])
+            .candidate(0, 0, &[0.5, 0.4, 0.3, 0.2], 4.5)
+            .candidate(0, 1, &[0.1, 0.2, 0.3, 0.4], 3.0)
+            .candidate(1, 0, &[1.0 / 3.0, 0.25, 0.2, 0.125], 2.5)
+            .candidate(2, 1, &[0.9, 0.0, 0.0, 0.1], 5.0)
+            .exempt_user(0, 2);
+        b.build().expect("sample instance is valid")
+    }
+
+    fn assert_instances_equal(a: &Instance, b: &Instance) {
+        assert_eq!(a.num_users(), b.num_users());
+        assert_eq!(a.num_items(), b.num_items());
+        assert_eq!(a.horizon(), b.horizon());
+        assert_eq!(a.display_limit(), b.display_limit());
+        for i in 0..a.num_items() {
+            let i = ItemId(i);
+            assert_eq!(a.class_of(i), b.class_of(i));
+            assert_eq!(a.capacity(i), b.capacity(i));
+            assert_eq!(a.beta(i).to_bits(), b.beta(i).to_bits());
+            let (pa, pb) = (a.price_series(i), b.price_series(i));
+            assert_eq!(pa.len(), pb.len());
+            for (x, y) in pa.iter().zip(pb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.exempt_users(i), b.exempt_users(i));
+        }
+        assert_eq!(a.num_candidates(), b.num_candidates());
+        for u in 0..a.num_users() {
+            let u = UserId(u);
+            let ca: Vec<_> = a.candidates_of_user(u).collect();
+            let cb: Vec<_> = b.candidates_of_user(u).collect();
+            assert_eq!(ca.len(), cb.len());
+            for (x, y) in ca.iter().zip(&cb) {
+                assert_eq!(a.candidate_item(*x), b.candidate_item(*y));
+                assert_eq!(
+                    a.candidate_rating(*x).to_bits(),
+                    b.candidate_rating(*y).to_bits()
+                );
+                let (qa, qb) = (a.candidate_probs(*x), b.candidate_probs(*y));
+                for (p, q) in qa.iter().zip(qb) {
+                    assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instance_round_trips_bit_exactly() {
+        let inst = sample_instance();
+        let text = instance_to_json(&inst);
+        let back = instance_from_json(&text).expect("round trip parses");
+        assert_instances_equal(&inst, &back);
+        // And a second hop is stable.
+        assert_eq!(text, instance_to_json(&back));
+    }
+
+    #[test]
+    fn instance_decode_distinguishes_schema_from_build_errors() {
+        assert!(matches!(
+            instance_from_json("not json"),
+            Err(WireError::Json(_))
+        ));
+        assert!(matches!(
+            instance_from_json("[1,2,3]"),
+            Err(WireError::Schema { .. })
+        ));
+        assert!(matches!(
+            instance_from_json(r#"{"users": 1, "items": 1}"#),
+            Err(WireError::Schema { .. })
+        ));
+        // Wrong-typed field.
+        assert!(matches!(
+            instance_from_json(
+                r#"{"users": "two", "items": 1, "horizon": 1, "prices": [[1.0]], "candidates": []}"#
+            ),
+            Err(WireError::Schema { .. })
+        ));
+        // Schema-valid but semantically invalid: probability > 1 is a
+        // BuildError from the replayed InstanceBuilder.
+        let bad = r#"{"users": 1, "items": 1, "horizon": 1,
+                      "prices": [[1.0]], "candidates": [[0, 0, 0.0, [1.5]]]}"#;
+        assert!(matches!(
+            instance_from_json(bad),
+            Err(WireError::Build(BuildError::InvalidProbability { .. }))
+        ));
+        // Horizon-length mismatch in a candidate row, same split.
+        let bad = r#"{"users": 1, "items": 1, "horizon": 2,
+                      "prices": [[1.0, 1.0]], "candidates": [[0, 0, 0.0, [0.5]]]}"#;
+        assert!(matches!(
+            instance_from_json(bad),
+            Err(WireError::Build(BuildError::ProbabilitySeriesLength { .. }))
+        ));
+    }
+
+    #[test]
+    fn strategy_value_round_trip_matches_text_codec() {
+        let s: Strategy = vec![
+            Triple::new(3, 1, 2),
+            Triple::new(0, 0, 1),
+            Triple::new(7, 4, 5),
+        ]
+        .into_iter()
+        .collect();
+        let value = strategy_to_value(&s);
+        assert_eq!(value.to_string(), s.to_json());
+        let back = strategy_from_value(&value).expect("round trip");
+        assert_eq!(back, s);
+        assert_eq!(back.as_slice(), s.as_slice());
+    }
+
+    #[test]
+    fn strategy_value_rejects_malformed_rows() {
+        for bad in [
+            "{}",
+            "[[1,2]]",
+            "[[1,2,3,4]]",
+            "[[1,2,0]]",
+            "[[1,2,3.5]]",
+            "[[1,2,\"x\"]]",
+            "[4]",
+        ] {
+            let value = json::parse(bad).expect("valid JSON");
+            assert!(
+                strategy_from_value(&value).is_err(),
+                "accepted malformed {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = vec![
+            AdoptionEvent::adopted(0, 1, 2),
+            AdoptionEvent::rejected(3, 0, 4),
+        ];
+        let text = events_to_json(&events);
+        let value = json::parse(&text).expect("valid JSON");
+        let back = events_from_value(&value).expect("round trip");
+        assert_eq!(back, events);
+        assert!(back[0].is_adoption());
+        assert!(!back[1].is_adoption());
+    }
+
+    #[test]
+    fn events_reject_malformed_rows() {
+        for bad in [
+            r#"{"user":0}"#,
+            r#"[{"user":0,"item":1,"t":2}]"#,
+            r#"[{"user":0,"item":1,"t":0,"outcome":"adopted"}]"#,
+            r#"[{"user":0,"item":1,"t":2,"outcome":"maybe"}]"#,
+            r#"[{"user":-1,"item":1,"t":2,"outcome":"adopted"}]"#,
+            r#"[{"user":0,"item":1,"t":2,"outcome":3}]"#,
+        ] {
+            let value = json::parse(bad).expect("valid JSON");
+            assert!(
+                events_from_value(&value).is_err(),
+                "accepted malformed {bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The protocol handlers: a pure mapping from parsed [`Request`]s to
+//! [`Response`]s over a [`Registry`] — no sockets, so the conformance suite
+//! can exercise every status path in-process and over loopback identically.
+
+use crate::request::Request;
+use crate::response::Response;
+use crate::router::{route, Route, RouteError};
+use revmax_algorithms::{EngineKind, HeapKind, PlanAlgorithm, PlannerConfig};
+use revmax_core::json::{self, JsonValue};
+use revmax_core::{wire, WireError};
+use revmax_serve::{
+    PlanView, Registry, RegistryError, RegistryStats, SessionError, SessionView, TicketStatus,
+};
+use std::sync::Arc;
+
+/// The request handler shared by every connection worker.
+pub struct Api {
+    registry: Arc<Registry>,
+}
+
+impl Api {
+    /// A handler over `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Api { registry }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Answers one request. Total: every input maps to a response with a
+    /// definite status (this function never panics on untrusted input).
+    pub fn handle(&self, req: &Request) -> Response {
+        let route = match route(&req.head.method, &req.head.target) {
+            Ok(r) => r,
+            Err(RouteError::NotFound) => return Response::error(404, "no such endpoint"),
+            Err(RouteError::MethodNotAllowed) => {
+                return Response::error(405, "method not allowed on this endpoint")
+            }
+        };
+        match route {
+            Route::Health => Response::json(
+                200,
+                json::object(vec![("status", JsonValue::String("ok".into()))]),
+            ),
+            Route::Stats => self.stats(),
+            Route::SubmitPlan => self.submit_plan(&req.body),
+            Route::PlanStatus(id) => self.plan_status(id),
+            Route::OpenSession => self.open_session(&req.body),
+            Route::SessionEvents(id) => self.session_events(id, &req.body),
+            Route::SessionSuffix(id) => match self.registry.session_view(id) {
+                Ok(view) => Response::json(200, session_json(&view)),
+                Err(e) => registry_error(&e),
+            },
+            Route::CloseSession(id) => match self.registry.close_session(id) {
+                Ok(()) => Response::json(
+                    200,
+                    json::object(vec![
+                        ("session_id", id_json(id)),
+                        ("closed", JsonValue::Bool(true)),
+                    ]),
+                ),
+                Err(e) => registry_error(&e),
+            },
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let RegistryStats {
+            queued_plans,
+            stored_plans,
+            active_sessions,
+            pooled_snapshots,
+            plans_evicted,
+            sessions_evicted,
+        } = self.registry.stats();
+        Response::json(
+            200,
+            json::object(vec![
+                ("queued_plans", count_json(queued_plans)),
+                ("stored_plans", count_json(stored_plans)),
+                ("active_sessions", count_json(active_sessions)),
+                ("pooled_snapshots", count_json(pooled_snapshots)),
+                ("plans_evicted", id_json(plans_evicted)),
+                ("sessions_evicted", id_json(sessions_evicted)),
+            ]),
+        )
+    }
+
+    fn submit_plan(&self, body: &[u8]) -> Response {
+        let (inst, config) = match parse_submission(body) {
+            Ok(parts) => parts,
+            Err(resp) => return *resp,
+        };
+        match self.registry.submit_plan(inst, config) {
+            Ok(id) => Response::json(
+                202,
+                json::object(vec![
+                    ("plan_id", id_json(id)),
+                    ("status", JsonValue::String("queued".into())),
+                ]),
+            ),
+            Err(e) => registry_error(&e),
+        }
+    }
+
+    fn plan_status(&self, id: u64) -> Response {
+        match self.registry.plan_status(id) {
+            Ok(PlanView::Pending(status)) => {
+                let label = match status {
+                    TicketStatus::Queued => "queued",
+                    _ => "running",
+                };
+                Response::json(
+                    202,
+                    json::object(vec![
+                        ("plan_id", id_json(id)),
+                        ("status", JsonValue::String(label.into())),
+                    ]),
+                )
+            }
+            Ok(PlanView::Done(report)) => Response::json(
+                200,
+                json::object(vec![
+                    ("plan_id", id_json(id)),
+                    ("status", JsonValue::String("done".into())),
+                    ("revenue", JsonValue::Number(report.outcome.revenue)),
+                    (
+                        "strategy",
+                        wire::strategy_to_value(&report.outcome.strategy),
+                    ),
+                ]),
+            ),
+            Err(e) => registry_error(&e),
+        }
+    }
+
+    fn open_session(&self, body: &[u8]) -> Response {
+        let (inst, config) = match parse_submission(body) {
+            Ok(parts) => parts,
+            Err(resp) => return *resp,
+        };
+        match self.registry.open_session(inst, config) {
+            Ok((_, view)) => Response::json(201, session_json(&view)),
+            Err(e) => registry_error(&e),
+        }
+    }
+
+    fn session_events(&self, id: u64, body: &[u8]) -> Response {
+        let value = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return *resp,
+        };
+        let Some(obj) = value.as_object() else {
+            return Response::error(400, "request body must be a JSON object");
+        };
+        let mut events = None;
+        let mut now = None;
+        for (key, field) in obj {
+            match key.as_str() {
+                "events" => match wire::events_from_value(field) {
+                    Ok(parsed) => events = Some(parsed),
+                    Err(e) => return wire_error(&e),
+                },
+                "now" => match field.as_u32() {
+                    Some(t) => now = Some(t),
+                    None => return Response::error(400, "\"now\" must be an integer time step"),
+                },
+                _ => return Response::error(400, "unknown key in event submission"),
+            }
+        }
+        let Some(events) = events else {
+            return Response::error(400, "missing \"events\" array");
+        };
+        match self.registry.advance_session(id, now, &events) {
+            Ok(view) => Response::json(200, session_json(&view)),
+            Err(e) => registry_error(&e),
+        }
+    }
+}
+
+/// `{"instance": ..., "config"?: ...}` → a built instance + planner config.
+fn parse_submission(body: &[u8]) -> Result<(revmax_core::Instance, PlannerConfig), Box<Response>> {
+    let value = parse_body(body)?;
+    let Some(obj) = value.as_object() else {
+        return Err(Box::new(Response::error(
+            400,
+            "request body must be a JSON object",
+        )));
+    };
+    let mut instance = None;
+    let mut config = PlannerConfig::default();
+    for (key, field) in obj {
+        match key.as_str() {
+            "instance" => match wire::instance_from_value(field) {
+                Ok(inst) => instance = Some(inst),
+                Err(e) => return Err(Box::new(wire_error(&e))),
+            },
+            "config" => match planner_config_from(field) {
+                Ok(cfg) => config = cfg,
+                Err(message) => return Err(Box::new(Response::error(400, &message))),
+            },
+            _ => {
+                return Err(Box::new(Response::error(
+                    400,
+                    "unknown key in plan submission",
+                )))
+            }
+        }
+    }
+    let Some(instance) = instance else {
+        return Err(Box::new(Response::error(
+            400,
+            "missing \"instance\" object",
+        )));
+    };
+    Ok((instance, config))
+}
+
+fn parse_body(body: &[u8]) -> Result<JsonValue, Box<Response>> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Box::new(Response::error(400, "request body is not valid UTF-8")))?;
+    json::parse(text).map_err(|e| Box::new(Response::error(400, &e.to_string())))
+}
+
+/// The wire subset of [`PlannerConfig`]: algorithm/engine/heap selectors
+/// plus the numeric knobs a remote client can meaningfully set. Unknown
+/// keys are rejected so typos fail loudly instead of silently defaulting.
+fn planner_config_from(value: &JsonValue) -> Result<PlannerConfig, String> {
+    let Some(obj) = value.as_object() else {
+        return Err("\"config\" must be a JSON object".into());
+    };
+    let mut cfg = PlannerConfig::default();
+    for (key, field) in obj {
+        match key.as_str() {
+            "algorithm" => {
+                let name = field.as_str().ok_or("\"algorithm\" must be a string")?;
+                cfg = cfg.with_algorithm(match name {
+                    "gg" => PlanAlgorithm::GlobalGreedy,
+                    "gg-no" => PlanAlgorithm::GlobalNoSaturation,
+                    "slg" => PlanAlgorithm::SequentialLocalGreedy,
+                    "rlg" => PlanAlgorithm::RandomizedLocalGreedy { permutations: 20 },
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                });
+            }
+            "engine" => {
+                let name = field.as_str().ok_or("\"engine\" must be a string")?;
+                cfg = cfg.with_engine(match name {
+                    "flat" => EngineKind::Flat,
+                    "hash" => EngineKind::Hash,
+                    other => return Err(format!("unknown engine {other:?}")),
+                });
+            }
+            "heap" => {
+                let name = field.as_str().ok_or("\"heap\" must be a string")?;
+                cfg = cfg.with_heap(match name {
+                    "lazy" => HeapKind::Lazy,
+                    "dary" | "indexed_dary" => HeapKind::IndexedDary,
+                    other => return Err(format!("unknown heap {other:?}")),
+                });
+            }
+            "shards" => {
+                let n = field
+                    .as_u32()
+                    .ok_or("\"shards\" must be a non-negative integer")?;
+                cfg = cfg.with_shards(n);
+            }
+            "seed" => {
+                let n = field
+                    .as_u64()
+                    .ok_or("\"seed\" must be a non-negative integer")?;
+                cfg = cfg.with_seed(n);
+            }
+            "warm_start" => {
+                let b = field.as_bool().ok_or("\"warm_start\" must be a boolean")?;
+                cfg = cfg.with_warm_start(b);
+            }
+            "parallel" => {
+                let b = field.as_bool().ok_or("\"parallel\" must be a boolean")?;
+                cfg = cfg.with_parallel(Some(b));
+            }
+            other => return Err(format!("unknown config key {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// The JSON document for a session view (shared by open/advance/read).
+fn session_json(view: &SessionView) -> JsonValue {
+    json::object(vec![
+        ("session_id", id_json(view.id)),
+        ("now", JsonValue::Number(f64::from(view.now))),
+        ("horizon", JsonValue::Number(f64::from(view.horizon))),
+        ("exhausted", JsonValue::Bool(view.exhausted)),
+        ("events_applied", count_json(view.events_applied)),
+        ("replans", JsonValue::Number(f64::from(view.replans))),
+        (
+            "expected_remaining_revenue",
+            JsonValue::Number(view.expected_remaining_revenue),
+        ),
+        ("realized_revenue", JsonValue::Number(view.realized_revenue)),
+        ("suffix", wire::strategy_to_value(&view.suffix)),
+    ])
+}
+
+/// Registry ids are sequential and far below 2^53, so `f64` is lossless.
+fn id_json(id: u64) -> JsonValue {
+    JsonValue::Number(id as f64)
+}
+
+fn count_json(n: usize) -> JsonValue {
+    JsonValue::Number(n as f64)
+}
+
+/// Maps a registry refusal to its protocol status:
+/// 404 (never issued), 410 (evicted/closed), 429 (backlog),
+/// 409 (event conflicts with the session frontier), 422 (event invalid
+/// against the instance).
+fn registry_error(e: &RegistryError) -> Response {
+    match e {
+        RegistryError::NotFound => Response::error(404, "unknown id"),
+        RegistryError::Gone => Response::error(410, "evicted or closed"),
+        RegistryError::PlanBacklog { limit } => {
+            Response::error(429, &format!("plan backlog full (limit {limit})"))
+        }
+        RegistryError::Session(se) => match se {
+            SessionError::Event(_) => Response::error(422, &se.to_string()),
+            SessionError::NotMonotone { .. }
+            | SessionError::BeyondHorizon { .. }
+            | SessionError::StaleEvent { .. } => Response::error(409, &se.to_string()),
+        },
+    }
+}
+
+/// Maps a wire decoding failure: 400 for malformed JSON or schema
+/// violations, 422 for documents that parse but build an invalid instance.
+fn wire_error(e: &WireError) -> Response {
+    match e {
+        WireError::Json(_) | WireError::Schema { .. } => Response::error(400, &e.to_string()),
+        WireError::Build(_) => Response::error(422, &e.to_string()),
+    }
+}

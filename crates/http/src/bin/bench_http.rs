@@ -1,0 +1,223 @@
+//! HTTP front-end throughput/latency emitter: starts an in-process
+//! `revmax_http::Server`, drives `N` concurrent clients over real loopback
+//! sockets through full session walks (open → per-day adoption events →
+//! suffix reads), and writes a machine-readable `BENCH_http.json`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p revmax-http --bin bench_http [-- out.json]
+//! ```
+//! Environment (parsed through the shared `revmax_core::env` module):
+//! * `REVMAX_HTTP_BENCH_SCALE`   — dataset scale factor (default 0.02);
+//! * `REVMAX_HTTP_BENCH_CLIENTS` — concurrent client connections
+//!   (default 2, min 2 — the point is concurrency);
+//! * `REVMAX_BENCH_ENFORCE`      — `1` arms the assertions (non-zero
+//!   throughput, identical realized revenue across clients).
+//!
+//! Each client runs its own session over the same instance with the same
+//! deterministic shopper rule (adopt every third displayed triple), so
+//! every client must realize the identical revenue — divergence fails the
+//! run under `REVMAX_BENCH_ENFORCE=1`. The headline numbers are aggregate
+//! `requests_per_sec` and the pooled p50/p99 of the per-event replan
+//! round-trip (POST events → replanned suffix in the response).
+
+use revmax_core::{env, json, wire};
+use revmax_data::{generate, DatasetConfig};
+use revmax_http::{testkit, HttpConfig, Server};
+use revmax_serve::{PlanService, Registry};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ClientOutcome {
+    requests: usize,
+    replan_ns: Vec<u128>,
+    realized_revenue: f64,
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Walks one full session over the wire; returns per-request measurements.
+fn run_client(addr: std::net::SocketAddr, open_body: &str) -> ClientOutcome {
+    let mut client = testkit::Client::connect(addr).expect("connect to bench server");
+    let mut requests = 0usize;
+    let mut replan_ns = Vec::new();
+
+    let (status, body) = client
+        .request("POST", "/sessions", Some(open_body))
+        .expect("open session");
+    requests += 1;
+    assert_eq!(status, 201, "open session: {body}");
+    let view = json::parse(&body).expect("session JSON parses");
+    let sid = view
+        .get("session_id")
+        .and_then(|v| v.as_u64())
+        .expect("session id");
+    let horizon = view
+        .get("horizon")
+        .and_then(|v| v.as_u32())
+        .expect("horizon");
+    let mut suffix = view.get("suffix").cloned().expect("suffix");
+    let mut realized = 0.0;
+
+    for day in 1..=horizon {
+        // Deterministic shopper: adopt every third triple displayed today.
+        let triples = suffix.as_array().expect("suffix is an array");
+        let mut events = String::from("[");
+        let mut adopted_idx = 0usize;
+        for t in triples {
+            let row = t.as_array().expect("triple row");
+            let (u, i, step) = (
+                row[0].as_u64().expect("user"),
+                row[1].as_u64().expect("item"),
+                row[2].as_u64().expect("t"),
+            );
+            if step != u64::from(day) {
+                continue;
+            }
+            let outcome = if adopted_idx.is_multiple_of(3) {
+                "adopted"
+            } else {
+                "rejected"
+            };
+            adopted_idx += 1;
+            if events.len() > 1 {
+                events.push(',');
+            }
+            events.push_str(&format!(
+                "{{\"user\":{u},\"item\":{i},\"t\":{step},\"outcome\":\"{outcome}\"}}"
+            ));
+        }
+        events.push(']');
+        let body = format!("{{\"now\":{day},\"events\":{events}}}");
+        let started = Instant::now();
+        let (status, reply) = client
+            .request("POST", &format!("/sessions/{sid}/events"), Some(&body))
+            .expect("advance session");
+        replan_ns.push(started.elapsed().as_nanos());
+        requests += 1;
+        assert_eq!(status, 200, "advance day {day}: {reply}");
+        let view = json::parse(&reply).expect("advance JSON parses");
+        suffix = view.get("suffix").cloned().expect("suffix");
+        realized = view
+            .get("realized_revenue")
+            .and_then(|v| v.as_f64())
+            .expect("realized revenue");
+
+        // Interleave a read so the mix is not pure POST.
+        let (status, reply) = client
+            .request("GET", &format!("/sessions/{sid}/suffix"), None)
+            .expect("read suffix");
+        requests += 1;
+        assert_eq!(status, 200, "suffix day {day}: {reply}");
+    }
+
+    let (status, _) = client
+        .request("DELETE", &format!("/sessions/{sid}"), None)
+        .expect("close session");
+    requests += 1;
+    assert_eq!(status, 200);
+    ClientOutcome {
+        requests,
+        replan_ns,
+        realized_revenue: realized,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_http.json".to_string());
+    let scale: f64 = env::var_or("REVMAX_HTTP_BENCH_SCALE", 0.02);
+    let clients: usize = env::var_or("REVMAX_HTTP_BENCH_CLIENTS", 2).max(2);
+    let enforce = env::flag("REVMAX_BENCH_ENFORCE");
+
+    eprintln!("generating amazon_like().scaled({scale}) ...");
+    let config = DatasetConfig::amazon_like().scaled(scale);
+    let ds = generate(&config);
+    let inst = &ds.instance;
+    eprintln!(
+        "dataset: {} users, {} items, T = {}, {} candidate pairs; {clients} clients",
+        inst.num_users(),
+        inst.num_items(),
+        inst.horizon(),
+        inst.num_candidates()
+    );
+
+    let http = HttpConfig {
+        workers: clients + 1,
+        ..HttpConfig::default()
+    };
+    let registry = Arc::new(Registry::new(
+        Arc::new(PlanService::new(clients)),
+        http.registry,
+    ));
+    let server = Server::start(registry, http).expect("bind loopback");
+    let addr = server.addr();
+    let open_body = format!(
+        "{{\"instance\":{},\"config\":{{\"warm_start\":true}}}}",
+        wire::instance_to_json(inst)
+    );
+
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| scope.spawn(|| run_client(addr, &open_body)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    assert!(server.shutdown(), "registry drained on shutdown");
+
+    let requests: usize = outcomes.iter().map(|o| o.requests).sum();
+    let mut replans: Vec<u128> = outcomes.iter().flat_map(|o| o.replan_ns.clone()).collect();
+    replans.sort_unstable();
+    let requests_per_sec = requests as f64 / wall_secs;
+    let p50 = percentile(&replans, 0.50);
+    let p99 = percentile(&replans, 0.99);
+    let revenue = outcomes[0].realized_revenue;
+    let agree = outcomes
+        .iter()
+        .all(|o| (o.realized_revenue - revenue).abs() <= 1e-9 * revenue.abs().max(1.0));
+
+    eprintln!(
+        "{requests} requests over {wall_secs:.3}s = {requests_per_sec:.1} req/s; \
+         replan p50 {p50} ns, p99 {p99} ns; realized revenue {revenue:.4} (agree: {agree})"
+    );
+    if enforce {
+        assert!(requests_per_sec > 0.0, "throughput must be non-zero");
+        assert!(agree, "clients diverged on realized revenue");
+    } else if !agree {
+        eprintln!("WARNING: clients diverged on realized revenue");
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"dataset\": \"{}\",\n", ds.config.name));
+    out.push_str(&format!(
+        "  \"users\": {}, \"items\": {}, \"horizon\": {},\n",
+        inst.num_users(),
+        inst.num_items(),
+        inst.horizon()
+    ));
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!("  \"requests\": {requests},\n"));
+    out.push_str(&format!("  \"wall_secs\": {wall_secs},\n"));
+    out.push_str(&format!("  \"requests_per_sec\": {requests_per_sec},\n"));
+    out.push_str(&format!(
+        "  \"replan_latency_ns\": {{ \"p50\": {p50}, \"p99\": {p99}, \"count\": {} }},\n",
+        replans.len()
+    ));
+    out.push_str(&format!("  \"realized_revenue\": {revenue},\n"));
+    out.push_str(&format!("  \"clients_agree\": {agree}\n"));
+    out.push_str("}\n");
+    std::fs::write(&out_path, out).expect("write BENCH_http.json");
+    eprintln!("wrote {out_path}");
+}

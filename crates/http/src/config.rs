@@ -1,0 +1,68 @@
+//! Server configuration, sourced from `REVMAX_HTTP_*` environment knobs
+//! through the shared `revmax_core::env` parser (documented in
+//! `docs/env.md`).
+
+use revmax_core::env;
+use revmax_serve::RegistryConfig;
+use std::time::Duration;
+
+/// Listener, worker-pool, and registry sizing for one [`crate::Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// TCP port to bind on loopback (`0` = ephemeral, the default — the
+    /// bound port is reported by [`crate::Server::addr`]).
+    pub port: u16,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Accepted connections queued ahead of the workers; beyond this the
+    /// listener answers `503` directly.
+    pub queue: usize,
+    /// Request-body cap in bytes (`413` beyond).
+    pub body_limit: usize,
+    /// Plan/session capacity and eviction policy for the backing registry.
+    pub registry: RegistryConfig,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            port: 0,
+            workers: 4,
+            queue: 64,
+            body_limit: 8 * 1024 * 1024,
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+impl HttpConfig {
+    /// Reads the `REVMAX_HTTP_*` knobs, with [`HttpConfig::default`] for
+    /// anything unset:
+    ///
+    /// * `REVMAX_HTTP_PORT` — loopback port (`0` = ephemeral);
+    /// * `REVMAX_HTTP_WORKERS` — worker threads (min 1);
+    /// * `REVMAX_HTTP_QUEUE` — accept-queue bound (min 1);
+    /// * `REVMAX_HTTP_BODY_LIMIT` — request-body cap in bytes;
+    /// * `REVMAX_HTTP_PLANS` — max unfinished plan submissions (429 beyond);
+    /// * `REVMAX_HTTP_SESSIONS` — max live sessions (LRU eviction beyond);
+    /// * `REVMAX_HTTP_SESSION_TTL` — session idle TTL in seconds.
+    pub fn from_env() -> Self {
+        let default = HttpConfig::default();
+        let registry = RegistryConfig {
+            max_pending_plans: env::var_or("REVMAX_HTTP_PLANS", default.registry.max_pending_plans),
+            max_sessions: env::var_or("REVMAX_HTTP_SESSIONS", default.registry.max_sessions),
+            session_ttl: Duration::from_secs(env::var_or(
+                "REVMAX_HTTP_SESSION_TTL",
+                default.registry.session_ttl.as_secs(),
+            )),
+            ..default.registry
+        };
+        HttpConfig {
+            port: env::var_or("REVMAX_HTTP_PORT", default.port),
+            workers: env::var_or("REVMAX_HTTP_WORKERS", default.workers).max(1),
+            queue: env::var_or("REVMAX_HTTP_QUEUE", default.queue).max(1),
+            body_limit: env::var_or("REVMAX_HTTP_BODY_LIMIT", default.body_limit),
+            registry,
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Seeded byte-mutation fuzzing for the two untrusted-input parsers: the
+//! HTTP head parser ([`crate::request::parse_head`]) and the JSON codec
+//! (`revmax_core::json::parse`).
+//!
+//! Deterministic by construction — the vendored `rand` shim is seeded, so a
+//! failing seed replays exactly (`cargo xtask fuzz-http --seed N`). The
+//! harness asserts the *totality* contract: every mutated input must parse
+//! or be rejected with a structured error; a panic (or out-of-bounds read,
+//! which in safe Rust surfaces as a panic) fails the run. Accepted JSON
+//! documents additionally round-trip through the writer and must re-parse
+//! to the identical value.
+
+use crate::request::{parse_head, HeadOutcome, DEFAULT_HEAD_LIMIT};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revmax_core::json;
+
+/// Default iteration count per parser (the acceptance bar is 10k).
+pub const DEFAULT_ITERATIONS: usize = 10_000;
+
+/// What a fuzz run observed (a run that panics never returns one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Mutated inputs fed to the parser.
+    pub iterations: usize,
+    /// Inputs the parser accepted.
+    pub accepted: usize,
+    /// Inputs rejected with a structured error (or, for the HTTP parser,
+    /// classified as incomplete).
+    pub rejected: usize,
+}
+
+/// Valid request heads the HTTP mutations start from.
+const HTTP_CORPUS: &[&[u8]] = &[
+    b"GET /healthz HTTP/1.1\r\n\r\n",
+    b"GET /statsz HTTP/1.1\r\nHost: revmax\r\n\r\n",
+    b"GET /plans/42 HTTP/1.1\r\nAccept: application/json\r\n\r\n",
+    b"POST /instances HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}",
+    b"POST /sessions HTTP/1.1\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n",
+    b"POST /sessions/7/events HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"events\":[]}",
+    b"GET /sessions/7/suffix HTTP/1.0\r\nConnection: close\r\n\r\n",
+    b"DELETE /sessions/123456 HTTP/1.1\r\nX-Trace: 00-aa-bb\r\n\r\n",
+];
+
+/// Valid documents (covering every wire shape) the JSON mutations start
+/// from.
+const JSON_CORPUS: &[&str] = &[
+    "null",
+    "true",
+    "[]",
+    "{}",
+    "-12.5e-3",
+    "[[0,1,1],[2,0,3]]",
+    "{\"plan_id\":3,\"status\":\"done\",\"revenue\":81.25,\"strategy\":[[0,0,1]]}",
+    "{\"events\":[{\"user\":1,\"item\":0,\"t\":2,\"outcome\":\"adopted\"}],\"now\":2}",
+    "{\"users\":2,\"items\":1,\"horizon\":2,\"display_limit\":1,\"classes\":[0],\
+     \"beta\":[0.5],\"capacity\":[2],\"prices\":[null],\
+     \"candidates\":[[0,0,4.5,[0.25,0.5]],[1,0,3.0,[0.125,0.0625]]]}",
+    "\"escape \\u00e9 \\n \\\" \\\\ sequences\"",
+    "[1e308,-1e-308,0.0,-0.0,9007199254740991]",
+];
+
+/// Applies 1–8 random byte-level mutations to `base`.
+fn mutate(rng: &mut StdRng, base: &[u8], splice_pool: &[&[u8]]) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    for _ in 0..rng.gen_range(1usize..=8) {
+        if bytes.is_empty() {
+            bytes.push(rng.gen_range(0u32..256) as u8);
+            continue;
+        }
+        match rng.gen_range(0u32..6) {
+            // Overwrite one byte with anything.
+            0 => {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = rng.gen_range(0u32..256) as u8;
+            }
+            // Insert a random byte.
+            1 => {
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.insert(at, rng.gen_range(0u32..256) as u8);
+            }
+            // Delete a short range.
+            2 => {
+                let at = rng.gen_range(0..bytes.len());
+                let end = (at + rng.gen_range(1usize..=8)).min(bytes.len());
+                bytes.drain(at..end);
+            }
+            // Duplicate a short range in place.
+            3 => {
+                let at = rng.gen_range(0..bytes.len());
+                let end = (at + rng.gen_range(1usize..=8)).min(bytes.len());
+                let slice = bytes[at..end].to_vec();
+                for (offset, b) in slice.into_iter().enumerate() {
+                    bytes.insert(at + offset, b);
+                }
+            }
+            // Truncate.
+            4 => {
+                let keep = rng.gen_range(0..=bytes.len());
+                bytes.truncate(keep);
+            }
+            // Splice a window from another corpus entry.
+            _ => {
+                let donor = splice_pool[rng.gen_range(0..splice_pool.len())];
+                if !donor.is_empty() {
+                    let from = rng.gen_range(0..donor.len());
+                    let to = (from + rng.gen_range(1usize..=16)).min(donor.len());
+                    let at = rng.gen_range(0..=bytes.len());
+                    for (offset, &b) in donor[from..to].iter().enumerate() {
+                        bytes.insert(at + offset, b);
+                    }
+                }
+            }
+        }
+    }
+    bytes
+}
+
+/// Fuzzes the HTTP head parser with `iterations` seeded mutations.
+pub fn fuzz_http_parser(seed: u64, iterations: usize) -> FuzzReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for _ in 0..iterations {
+        let base = HTTP_CORPUS[rng.gen_range(0..HTTP_CORPUS.len())];
+        let input = mutate(&mut rng, base, HTTP_CORPUS);
+        match parse_head(&input, DEFAULT_HEAD_LIMIT) {
+            HeadOutcome::Parsed { head, consumed } => {
+                assert!(
+                    consumed <= input.len(),
+                    "parser claimed more bytes than it was given"
+                );
+                // Accepted heads must answer the derived queries without
+                // panicking either.
+                let _ = head.content_length();
+                let _ = head.keep_alive();
+                accepted += 1;
+            }
+            HeadOutcome::Incomplete | HeadOutcome::Invalid(_) => rejected += 1,
+        }
+    }
+    FuzzReport {
+        iterations,
+        accepted,
+        rejected,
+    }
+}
+
+/// Fuzzes the JSON codec with `iterations` seeded mutations; accepted
+/// documents are round-tripped through the writer.
+pub fn fuzz_json_codec(seed: u64, iterations: usize) -> FuzzReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let splice_pool: Vec<&[u8]> = JSON_CORPUS.iter().map(|s| s.as_bytes()).collect();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for _ in 0..iterations {
+        let base = JSON_CORPUS[rng.gen_range(0..JSON_CORPUS.len())];
+        let input = mutate(&mut rng, base.as_bytes(), &splice_pool);
+        let text = String::from_utf8_lossy(&input);
+        match json::parse(&text) {
+            Ok(value) => {
+                let rewritten = value.to_string();
+                let reparsed = json::parse(&rewritten);
+                assert!(
+                    reparsed.as_ref().is_ok_and(|v| *v == value),
+                    "write→parse round trip broke on {rewritten:?}: {reparsed:?}"
+                );
+                accepted += 1;
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    FuzzReport {
+        iterations,
+        accepted,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_runs_are_deterministic_per_seed() {
+        let a = fuzz_http_parser(7, 500);
+        let b = fuzz_http_parser(7, 500);
+        assert_eq!(a, b);
+        let c = fuzz_json_codec(7, 500);
+        let d = fuzz_json_codec(7, 500);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn corpora_baselines_are_accepted_unmutated() {
+        for base in HTTP_CORPUS {
+            assert!(
+                matches!(
+                    parse_head(base, DEFAULT_HEAD_LIMIT),
+                    HeadOutcome::Parsed { .. }
+                ),
+                "corpus entry failed to parse: {:?}",
+                String::from_utf8_lossy(base)
+            );
+        }
+        for base in JSON_CORPUS {
+            json::parse(base).expect("JSON corpus entry parses");
+        }
+    }
+}

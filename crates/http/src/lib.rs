@@ -1,0 +1,64 @@
+//! # revmax-http
+//!
+//! REVMAX as a service: a dependency-free HTTP/1.1 + JSON front end over
+//! the serving layer's [`revmax_serve::PlanService`] /
+//! [`revmax_serve::PlanSession`], exposed through the
+//! [`revmax_serve::Registry`].
+//!
+//! Everything is built on the standard library plus the workspace's own
+//! JSON codec (`revmax_core::json` / `revmax_core::wire`) — no async
+//! runtime, no HTTP framework, no serde. The protocol (endpoints, wire
+//! schemas, status-code semantics, backpressure and eviction behaviour,
+//! `curl` examples) is documented in `docs/http.md`; the `REVMAX_HTTP_*`
+//! environment knobs in `docs/env.md`.
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /instances` | submit an instance → `202` + plan id |
+//! | `GET /plans/{id}` | poll (`202`) / fetch (`200`) the plan |
+//! | `POST /sessions` | open a replanning session → `201` + suffix |
+//! | `POST /sessions/{id}/events` | apply adoption events, replan → `200` |
+//! | `GET /sessions/{id}/suffix` | current suffix without advancing |
+//! | `DELETE /sessions/{id}` | close the session |
+//! | `GET /healthz` · `GET /statsz` | liveness · occupancy counters |
+//!
+//! The layering keeps every policy testable without sockets: the parser
+//! ([`request`]) is a pure function fuzzed by [`fuzz`], dispatch
+//! ([`router`]) and the handlers ([`Api`]) map requests to responses
+//! in-process, and [`Server`] adds only the listener, the bounded accept
+//! queue, and the worker threads (mutex + condvar; the workspace confines
+//! atomics to the capacity ledger).
+//!
+//! ```
+//! use revmax_http::{testkit, HttpConfig, Server};
+//! use revmax_serve::{PlanService, Registry};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new(
+//!     Arc::new(PlanService::new(2)),
+//!     HttpConfig::default().registry,
+//! ));
+//! let server = Server::start(registry, HttpConfig::default()).unwrap();
+//! let (status, body) = testkit::request(server.addr(), "GET", "/healthz", None).unwrap();
+//! assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+//! assert!(server.shutdown());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod api;
+mod config;
+pub mod fuzz;
+pub mod request;
+pub mod response;
+pub mod router;
+mod server;
+pub mod testkit;
+
+pub use api::Api;
+pub use config::HttpConfig;
+pub use request::{Limits, Request, RequestError, RequestHead};
+pub use response::Response;
+pub use router::{route, Route, RouteError};
+pub use server::Server;

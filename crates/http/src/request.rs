@@ -1,0 +1,500 @@
+//! A strict, allocation-light HTTP/1.1 request parser.
+//!
+//! The head parser ([`parse_head`]) is a pure function over a byte buffer —
+//! no I/O — so the fuzz harness ([`crate::fuzz`]) can drive it with
+//! arbitrary bytes; [`read_request`] layers buffered socket reads and body
+//! collection on top for the server's connection loop. Every deviation from
+//! the grammar maps to a definite [`RequestError`], and every
+//! [`RequestError`] maps to a definite HTTP status — malformed input is
+//! never answered with a hang or a panic.
+
+use std::fmt;
+use std::io::Read;
+
+/// Hard cap on the request head (request line + headers + CRLFCRLF).
+pub const DEFAULT_HEAD_LIMIT: usize = 8 * 1024;
+/// Maximum number of header fields per request.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum request-line method length.
+const MAX_METHOD: usize = 16;
+/// Maximum request-target length.
+const MAX_TARGET: usize = 2048;
+
+/// Why a request was rejected; [`RequestError::status`] gives the HTTP
+/// status the server answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The bytes do not form an HTTP/1.x request (400).
+    Syntax(&'static str),
+    /// The head exceeded the size or header-count limit (431).
+    HeadTooLarge,
+    /// The declared body exceeds the configured limit (413).
+    BodyTooLarge {
+        /// The configured body limit in bytes.
+        limit: usize,
+    },
+    /// `Transfer-Encoding` (chunked uploads) is not implemented (501).
+    UnsupportedEncoding,
+    /// Not an HTTP/1.0 or HTTP/1.1 request (505).
+    UnsupportedVersion,
+}
+
+impl RequestError {
+    /// The HTTP status this rejection is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Syntax(_) => 400,
+            RequestError::HeadTooLarge => 431,
+            RequestError::BodyTooLarge { .. } => 413,
+            RequestError::UnsupportedEncoding => 501,
+            RequestError::UnsupportedVersion => 505,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Syntax(m) => write!(f, "malformed request: {m}"),
+            RequestError::HeadTooLarge => write!(f, "request head too large"),
+            RequestError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds {limit} bytes")
+            }
+            RequestError::UnsupportedEncoding => {
+                write!(f, "transfer encodings are not supported")
+            }
+            RequestError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// The parsed request line and header fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    /// The request method, verbatim (e.g. `GET`).
+    pub method: String,
+    /// The request target, verbatim (e.g. `/plans/3`).
+    pub target: String,
+    /// Whether the request was HTTP/1.1 (`false` = HTTP/1.0).
+    pub http11: bool,
+    /// Header fields in order of appearance, names lower-cased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// The first value of a header, looked up case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared body length (0 when absent).
+    pub fn content_length(&self) -> Result<usize, RequestError> {
+        let Some(raw) = self.header("content-length") else {
+            return Ok(0);
+        };
+        if raw.is_empty() || raw.len() > 12 || !raw.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(RequestError::Syntax("invalid content-length"));
+        }
+        raw.parse()
+            .map_err(|_| RequestError::Syntax("invalid content-length"))
+    }
+
+    /// Whether the connection should stay open after the response.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// What [`parse_head`] observed in the buffer.
+#[derive(Debug)]
+pub enum HeadOutcome {
+    /// No terminating blank line yet — read more bytes.
+    Incomplete,
+    /// A complete, well-formed head; `consumed` bytes cover it including
+    /// the terminating blank line.
+    Parsed {
+        /// The parsed head.
+        head: RequestHead,
+        /// Bytes of `buf` the head occupied.
+        consumed: usize,
+    },
+    /// The bytes can never become a valid request head.
+    Invalid(RequestError),
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Parses one request head from the front of `buf`.
+///
+/// Pure and total: arbitrary bytes yield [`HeadOutcome::Incomplete`] or
+/// [`HeadOutcome::Invalid`], never a panic or an out-of-bounds read — this
+/// is the fuzzing entry point.
+pub fn parse_head(buf: &[u8], head_limit: usize) -> HeadOutcome {
+    let window = &buf[..buf.len().min(head_limit)];
+    let Some(end) = find_blank_line(window) else {
+        return if buf.len() >= head_limit {
+            HeadOutcome::Invalid(RequestError::HeadTooLarge)
+        } else {
+            HeadOutcome::Incomplete
+        };
+    };
+    // Keep the CRLF that closes the last line so every line (split on
+    // `\n`) carries its `\r`; the final empty remainder is skipped below.
+    let head = &window[..end + 2];
+    let mut lines = head.split(|&b| b == b'\n');
+    let Some(request_line) = lines.next() else {
+        return HeadOutcome::Invalid(RequestError::Syntax("empty request head"));
+    };
+    let request_line = match strip_cr(request_line) {
+        Some(l) => l,
+        None => return HeadOutcome::Invalid(RequestError::Syntax("bare LF in request line")),
+    };
+    let (method, target, http11) = match parse_request_line(request_line) {
+        Ok(parts) => parts,
+        Err(e) => return HeadOutcome::Invalid(e),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // remainder after the final `\n`
+        }
+        let Some(line) = strip_cr(line) else {
+            return HeadOutcome::Invalid(RequestError::Syntax("bare LF in header line"));
+        };
+        if headers.len() >= MAX_HEADERS {
+            return HeadOutcome::Invalid(RequestError::HeadTooLarge);
+        }
+        match parse_header_line(line) {
+            Ok(field) => headers.push(field),
+            Err(e) => return HeadOutcome::Invalid(e),
+        }
+    }
+    HeadOutcome::Parsed {
+        head: RequestHead {
+            method,
+            target,
+            http11,
+            headers,
+        },
+        consumed: end + 4,
+    }
+}
+
+/// Index of the `\r\n\r\n` terminator (start position), if present.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Strips a trailing `\r`; `None` when the line does not end with one
+/// (i.e. the head used a bare `\n` separator, which we reject).
+fn strip_cr(line: &[u8]) -> Option<&[u8]> {
+    match line.split_last() {
+        Some((b'\r', rest)) => Some(rest),
+        _ => None,
+    }
+}
+
+fn parse_request_line(line: &[u8]) -> Result<(String, String, bool), RequestError> {
+    let mut parts = line.split(|&b| b == b' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Syntax(
+            "request line is not METHOD SP TARGET SP VERSION",
+        ));
+    };
+    if method.is_empty() || method.len() > MAX_METHOD || !method.iter().all(|&b| is_token_byte(b)) {
+        return Err(RequestError::Syntax("invalid method"));
+    }
+    if target.is_empty()
+        || target.len() > MAX_TARGET
+        || !target.iter().all(|&b| (0x21..=0x7e).contains(&b))
+    {
+        return Err(RequestError::Syntax("invalid request target"));
+    }
+    let http11 = match version {
+        b"HTTP/1.1" => true,
+        b"HTTP/1.0" => false,
+        v if v.len() == 8 && v.starts_with(b"HTTP/") => {
+            return Err(RequestError::UnsupportedVersion)
+        }
+        _ => return Err(RequestError::Syntax("invalid HTTP version")),
+    };
+    // `method`/`target` are pure ASCII by the checks above.
+    let method = String::from_utf8_lossy(method).into_owned();
+    let target = String::from_utf8_lossy(target).into_owned();
+    Ok((method, target, http11))
+}
+
+fn parse_header_line(line: &[u8]) -> Result<(String, String), RequestError> {
+    let Some(colon) = line.iter().position(|&b| b == b':') else {
+        return Err(RequestError::Syntax("header line has no colon"));
+    };
+    let (name, rest) = line.split_at(colon);
+    if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+        return Err(RequestError::Syntax("invalid header name"));
+    }
+    let value = trim_ows(&rest[1..]);
+    if !value
+        .iter()
+        .all(|&b| b == b'\t' || (0x20..=0x7e).contains(&b))
+    {
+        return Err(RequestError::Syntax("invalid header value"));
+    }
+    Ok((
+        String::from_utf8_lossy(name).to_ascii_lowercase(),
+        String::from_utf8_lossy(value).into_owned(),
+    ))
+}
+
+fn trim_ows(mut bytes: &[u8]) -> &[u8] {
+    while let Some((b' ' | b'\t', rest)) = bytes.split_first() {
+        bytes = rest;
+    }
+    while let Some((b' ' | b'\t', rest)) = bytes.split_last() {
+        bytes = rest;
+    }
+    bytes
+}
+
+/// One complete request: head plus collected body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The parsed head.
+    pub head: RequestHead,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Size limits enforced while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Head cap in bytes (431 beyond).
+    pub head_bytes: usize,
+    /// Body cap in bytes (413 beyond).
+    pub body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            head_bytes: DEFAULT_HEAD_LIMIT,
+            body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// What one [`read_request`] call produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request; leftover pipelined bytes stay in the buffer.
+    Request(Request),
+    /// The peer closed the connection at a request boundary.
+    Closed,
+    /// The bytes were rejected; answer with [`RequestError::status`] and
+    /// close.
+    Bad(RequestError),
+    /// A transport error (including read timeouts — the caller decides
+    /// whether to retry; `buf` keeps the partial request).
+    Io(std::io::Error),
+}
+
+/// Reads one complete request from `stream`, carrying partial bytes across
+/// calls in `buf` (which also retains pipelined follow-up requests).
+pub fn read_request(stream: &mut impl Read, buf: &mut Vec<u8>, limits: &Limits) -> ReadOutcome {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_head(buf, limits.head_bytes) {
+            HeadOutcome::Invalid(e) => return ReadOutcome::Bad(e),
+            HeadOutcome::Parsed { head, consumed } => {
+                if head.header("transfer-encoding").is_some() {
+                    return ReadOutcome::Bad(RequestError::UnsupportedEncoding);
+                }
+                let body_len = match head.content_length() {
+                    Ok(n) => n,
+                    Err(e) => return ReadOutcome::Bad(e),
+                };
+                if body_len > limits.body_bytes {
+                    return ReadOutcome::Bad(RequestError::BodyTooLarge {
+                        limit: limits.body_bytes,
+                    });
+                }
+                while buf.len() < consumed + body_len {
+                    match stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return ReadOutcome::Bad(RequestError::Syntax(
+                                "connection closed mid-body",
+                            ))
+                        }
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(e) => return ReadOutcome::Io(e),
+                    }
+                }
+                let body = buf[consumed..consumed + body_len].to_vec();
+                buf.drain(..consumed + body_len);
+                return ReadOutcome::Request(Request { head, body });
+            }
+            HeadOutcome::Incomplete => match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if buf.is_empty() {
+                        ReadOutcome::Closed
+                    } else {
+                        ReadOutcome::Bad(RequestError::Syntax("connection closed mid-head"))
+                    }
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return ReadOutcome::Io(e),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(bytes: &[u8]) -> (RequestHead, usize) {
+        match parse_head(bytes, DEFAULT_HEAD_LIMIT) {
+            HeadOutcome::Parsed { head, consumed } => (head, consumed),
+            other => panic!("expected parse, got {other:?}"),
+        }
+    }
+
+    fn parse_err(bytes: &[u8]) -> RequestError {
+        match parse_head(bytes, DEFAULT_HEAD_LIMIT) {
+            HeadOutcome::Invalid(e) => e,
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let (head, consumed) = parse_ok(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\ntrailing");
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.target, "/healthz");
+        assert!(head.http11);
+        assert_eq!(head.header("host"), Some("x"));
+        assert_eq!(head.header("HOST"), Some("x"));
+        assert_eq!(consumed, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".len());
+        assert!(head.keep_alive());
+    }
+
+    #[test]
+    fn content_length_and_keep_alive_semantics() {
+        let (head, _) = parse_ok(
+            b"POST /instances HTTP/1.1\r\nContent-Length: 12\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(head.content_length(), Ok(12));
+        assert!(!head.keep_alive());
+        let (head, _) = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!head.keep_alive());
+        let (head, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(head.keep_alive());
+        let (head, _) = parse_ok(b"POST / HTTP/1.1\r\nContent-Length: 9999999999999\r\n\r\n");
+        assert!(head.content_length().is_err());
+    }
+
+    #[test]
+    fn incomplete_heads_ask_for_more() {
+        assert!(matches!(
+            parse_head(b"GET / HTTP/1.1\r\nHost: x\r\n", DEFAULT_HEAD_LIMIT),
+            HeadOutcome::Incomplete
+        ));
+        assert!(matches!(
+            parse_head(b"", DEFAULT_HEAD_LIMIT),
+            HeadOutcome::Incomplete
+        ));
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected_with_the_right_status() {
+        assert_eq!(parse_err(b"GET /\r\n\r\n").status(), 400); // missing version
+        assert_eq!(parse_err(b"GET / HTTP/2.0\r\n\r\n").status(), 505);
+        assert_eq!(parse_err(b"GET / HTTP/9.9\r\n\r\n").status(), 505);
+        assert_eq!(parse_err(b"GET / FTP/1.1\r\n\r\n").status(), 400);
+        assert_eq!(parse_err(b"GET  / HTTP/1.1\r\n\r\n").status(), 400); // double SP
+        assert_eq!(
+            parse_err(b"GET / HTTP/1.1\r\nbad header\r\n\r\n").status(),
+            400
+        );
+        assert_eq!(
+            parse_err(b"GET / HTTP/1.1\nHost: x\n\r\n\r\n").status(),
+            400
+        ); // bare LF
+        assert_eq!(parse_err(b"G\x01T / HTTP/1.1\r\n\r\n").status(), 400);
+        assert_eq!(
+            parse_err(b"GET / HTTP/1.1\r\nX: a\x00b\r\n\r\n").status(),
+            400
+        );
+    }
+
+    #[test]
+    fn oversized_heads_are_431() {
+        let huge = vec![b'a'; 100];
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..200 {
+            req.extend_from_slice(format!("X-{i}: ").as_bytes());
+            req.extend_from_slice(&huge);
+            req.extend_from_slice(b"\r\n");
+        }
+        req.extend_from_slice(b"\r\n");
+        assert_eq!(parse_err(&req), RequestError::HeadTooLarge);
+        // Also when the terminator never arrives inside the window.
+        let endless = vec![b'a'; DEFAULT_HEAD_LIMIT + 1];
+        assert_eq!(parse_err(&endless), RequestError::HeadTooLarge);
+    }
+
+    #[test]
+    fn read_request_collects_bodies_and_pipelines() {
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /y HTTP/1.1\r\n\r\n";
+        let mut cursor = std::io::Cursor::new(wire.to_vec());
+        let mut buf = Vec::new();
+        let limits = Limits::default();
+        let ReadOutcome::Request(first) = read_request(&mut cursor, &mut buf, &limits) else {
+            panic!("first request should parse");
+        };
+        assert_eq!(first.body, b"hello");
+        let ReadOutcome::Request(second) = read_request(&mut cursor, &mut buf, &limits) else {
+            panic!("pipelined request should parse");
+        };
+        assert_eq!(second.head.target, "/y");
+        assert!(matches!(
+            read_request(&mut cursor, &mut buf, &limits),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn read_request_enforces_body_limit_and_encoding() {
+        let limits = Limits {
+            head_bytes: DEFAULT_HEAD_LIMIT,
+            body_bytes: 4,
+        };
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut cursor = std::io::Cursor::new(wire.to_vec());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_request(&mut cursor, &mut buf, &limits),
+            ReadOutcome::Bad(RequestError::BodyTooLarge { limit: 4 })
+        ));
+        let wire = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let mut cursor = std::io::Cursor::new(wire.to_vec());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_request(&mut cursor, &mut buf, &limits),
+            ReadOutcome::Bad(RequestError::UnsupportedEncoding)
+        ));
+    }
+}

@@ -1,0 +1,105 @@
+//! HTTP/1.1 response assembly: every endpoint answers a JSON document with
+//! an explicit `Content-Length` (no chunked framing anywhere).
+
+use revmax_core::JsonValue;
+use std::io::{self, Write};
+
+/// A response ready to serialise: status plus a JSON body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The JSON body, already serialised.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with `value` as its body.
+    pub fn json(status: u16, value: JsonValue) -> Self {
+        Response {
+            status,
+            body: value.to_string(),
+        }
+    }
+
+    /// A standard error body: `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        revmax_core::json::write_escaped(&mut body, message);
+        body.push('}');
+        Response { status, body }
+    }
+
+    /// The canonical reason phrase for this response's status.
+    pub fn reason(&self) -> &'static str {
+        reason(self.status)
+    }
+
+    /// Writes the full response; `close` selects the `Connection` header.
+    pub fn write_to(&self, out: &mut impl Write, close: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        out.write_all(head.as_bytes())?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+/// The reason phrase for a status code.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_status_line_headers_and_body() {
+        let resp = Response::error(404, "no such endpoint");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).expect("in-memory write");
+        let text = String::from_utf8(wire).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).expect("body present");
+        assert_eq!(body, "{\"error\":\"no such endpoint\"}");
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
+    }
+
+    #[test]
+    fn keep_alive_header_and_reasons() {
+        let resp = Response::json(200, revmax_core::json::object(vec![]));
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, false).expect("in-memory write");
+        let text = String::from_utf8(wire).expect("ascii");
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert_eq!(reason(429), "Too Many Requests");
+        assert_eq!(reason(410), "Gone");
+        assert_eq!(reason(599), "Unknown");
+    }
+}

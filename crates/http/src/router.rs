@@ -1,0 +1,142 @@
+//! Method + path dispatch for the protocol surface documented in
+//! `docs/http.md`.
+
+/// The endpoints the service exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz` — liveness probe.
+    Health,
+    /// `GET /statsz` — registry occupancy counters.
+    Stats,
+    /// `POST /instances` — submit an instance for asynchronous planning.
+    SubmitPlan,
+    /// `GET /plans/{id}` — poll/fetch a submitted plan.
+    PlanStatus(u64),
+    /// `POST /sessions` — open a replanning session.
+    OpenSession,
+    /// `POST /sessions/{id}/events` — apply adoption events and replan.
+    SessionEvents(u64),
+    /// `GET /sessions/{id}/suffix` — the current planned suffix.
+    SessionSuffix(u64),
+    /// `DELETE /sessions/{id}` — close a session.
+    CloseSession(u64),
+}
+
+/// Why a request did not dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The path names no known resource (404).
+    NotFound,
+    /// The path exists but not under this method (405).
+    MethodNotAllowed,
+}
+
+/// A decimal id segment (rejects empty, non-digit, and overlong ids).
+fn parse_id(segment: &str) -> Option<u64> {
+    if segment.is_empty() || segment.len() > 19 || !segment.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    segment.parse().ok()
+}
+
+/// Dispatches a method + request target to a [`Route`]. Query strings are
+/// ignored; paths are matched exactly (no trailing-slash tolerance).
+pub fn route(method: &str, target: &str) -> Result<Route, RouteError> {
+    let path = target.split('?').next().unwrap_or(target);
+    let allow = |ok: bool, route: Route| {
+        if ok {
+            Ok(route)
+        } else {
+            Err(RouteError::MethodNotAllowed)
+        }
+    };
+    match path {
+        "/healthz" => return allow(method == "GET", Route::Health),
+        "/statsz" => return allow(method == "GET", Route::Stats),
+        "/instances" => return allow(method == "POST", Route::SubmitPlan),
+        "/sessions" => return allow(method == "POST", Route::OpenSession),
+        _ => {}
+    }
+    let mut segments = path
+        .strip_prefix('/')
+        .ok_or(RouteError::NotFound)?
+        .split('/');
+    match (
+        segments.next(),
+        segments.next(),
+        segments.next(),
+        segments.next(),
+    ) {
+        (Some("plans"), Some(id), None, _) => {
+            let id = parse_id(id).ok_or(RouteError::NotFound)?;
+            allow(method == "GET", Route::PlanStatus(id))
+        }
+        (Some("sessions"), Some(id), None, _) => {
+            let id = parse_id(id).ok_or(RouteError::NotFound)?;
+            allow(method == "DELETE", Route::CloseSession(id))
+        }
+        (Some("sessions"), Some(id), Some("events"), None) => {
+            let id = parse_id(id).ok_or(RouteError::NotFound)?;
+            allow(method == "POST", Route::SessionEvents(id))
+        }
+        (Some("sessions"), Some(id), Some("suffix"), None) => {
+            let id = parse_id(id).ok_or(RouteError::NotFound)?;
+            allow(method == "GET", Route::SessionSuffix(id))
+        }
+        _ => Err(RouteError::NotFound),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_every_endpoint() {
+        assert_eq!(route("GET", "/healthz"), Ok(Route::Health));
+        assert_eq!(route("GET", "/statsz"), Ok(Route::Stats));
+        assert_eq!(route("POST", "/instances"), Ok(Route::SubmitPlan));
+        assert_eq!(route("GET", "/plans/42"), Ok(Route::PlanStatus(42)));
+        assert_eq!(route("POST", "/sessions"), Ok(Route::OpenSession));
+        assert_eq!(
+            route("POST", "/sessions/7/events"),
+            Ok(Route::SessionEvents(7))
+        );
+        assert_eq!(
+            route("GET", "/sessions/7/suffix"),
+            Ok(Route::SessionSuffix(7))
+        );
+        assert_eq!(route("DELETE", "/sessions/7"), Ok(Route::CloseSession(7)));
+        assert_eq!(route("GET", "/plans/3?verbose=1"), Ok(Route::PlanStatus(3)));
+    }
+
+    #[test]
+    fn wrong_method_is_405_unknown_path_is_404() {
+        assert_eq!(route("POST", "/healthz"), Err(RouteError::MethodNotAllowed));
+        assert_eq!(
+            route("GET", "/instances"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("PUT", "/sessions/1"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("GET", "/sessions/1/events"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(route("GET", "/"), Err(RouteError::NotFound));
+        assert_eq!(route("GET", "/plans"), Err(RouteError::NotFound));
+        assert_eq!(route("GET", "/plans/abc"), Err(RouteError::NotFound));
+        assert_eq!(
+            route("GET", "/plans/123456789012345678901"),
+            Err(RouteError::NotFound)
+        );
+        assert_eq!(route("GET", "/sessions/1/nope"), Err(RouteError::NotFound));
+        assert_eq!(
+            route("GET", "/sessions/1/suffix/extra"),
+            Err(RouteError::NotFound)
+        );
+        assert_eq!(route("GET", "healthz"), Err(RouteError::NotFound));
+    }
+}

@@ -1,0 +1,231 @@
+//! The listener and worker pool: accepted connections flow through a
+//! bounded queue into a fixed set of handler threads.
+//!
+//! Concurrency is a mutex + condvar over plain state (the workspace
+//! confines atomics to the capacity ledger): the accept thread pushes
+//! connections and notifies, workers pop and serve keep-alive loops, and
+//! shutdown flips a flag, wakes everyone (a loopback self-connect unblocks
+//! `accept`), joins the threads after they drain the queue, and then drains
+//! the registry's in-flight tickets — a graceful stop, not an abort.
+
+use crate::api::Api;
+use crate::config::HttpConfig;
+use crate::request::{read_request, Limits, ReadOutcome, DEFAULT_HEAD_LIMIT};
+use crate::response::Response;
+use revmax_serve::Registry;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker blocks in `read` before re-checking the shutdown
+/// flag; idle keep-alive connections stay open across timeouts.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+struct ServerState {
+    queue: VecDeque<TcpStream>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<ServerState>,
+    work: Condvar,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.state.lock().expect("server state poisoned").shutdown
+    }
+}
+
+/// A running HTTP server bound to loopback; dropping it (or calling
+/// [`Server::shutdown`]) stops it gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:{config.port}` and starts the accept thread plus
+    /// `config.workers` handler threads over `registry`.
+    pub fn start(registry: Arc<Registry>, config: HttpConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ServerState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let api = Arc::new(Api::new(Arc::clone(&registry)));
+
+        let accept_shared = Arc::clone(&shared);
+        let queue_limit = config.queue;
+        let accept_thread = std::thread::Builder::new()
+            .name("revmax-http-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    let Ok(stream) = conn else { continue };
+                    let rejected = {
+                        let mut state = accept_shared.state.lock().expect("server state poisoned");
+                        if state.shutdown {
+                            break;
+                        }
+                        if state.queue.len() < queue_limit {
+                            state.queue.push_back(stream);
+                            None
+                        } else {
+                            Some(stream)
+                        }
+                    };
+                    match rejected {
+                        None => accept_shared.work.notify_one(),
+                        // Backpressure: refuse at the door instead of
+                        // queueing unboundedly.
+                        Some(mut stream) => {
+                            let _ = Response::error(503, "server is saturated")
+                                .write_to(&mut stream, true);
+                        }
+                    }
+                }
+            })?;
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for idx in 0..config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            let worker_api = Arc::clone(&api);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("revmax-http-worker-{idx}"))
+                    .spawn(move || loop {
+                        let conn = {
+                            let mut state =
+                                worker_shared.state.lock().expect("server state poisoned");
+                            loop {
+                                if let Some(conn) = state.queue.pop_front() {
+                                    break Some(conn);
+                                }
+                                if state.shutdown {
+                                    break None;
+                                }
+                                state = worker_shared
+                                    .work
+                                    .wait(state)
+                                    .expect("server state poisoned");
+                            }
+                        };
+                        match conn {
+                            Some(stream) => serve_connection(
+                                stream,
+                                &worker_api,
+                                &worker_shared,
+                                config.body_limit,
+                            ),
+                            None => return,
+                        }
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+            registry,
+        })
+    }
+
+    /// The bound loopback address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry the server serves from.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops accepting, lets workers finish queued and in-flight requests,
+    /// joins every thread, and drains the registry's pending plan tickets.
+    /// Returns `true` when the registry fully drained inside the grace
+    /// period.
+    pub fn shutdown(mut self) -> bool {
+        self.stop();
+        self.registry.drain(Duration::from_secs(10))
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("server state poisoned");
+            if state.shutdown {
+                return;
+            }
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        // Unblock the accept thread: it wakes on this connection, observes
+        // the flag, and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One connection's keep-alive loop: read a request, answer it, repeat
+/// until the peer closes, an error forces `Connection: close`, or shutdown
+/// is observed between requests.
+fn serve_connection(mut stream: TcpStream, api: &Api, shared: &Shared, body_limit: usize) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_nodelay(true);
+    let limits = Limits {
+        head_bytes: DEFAULT_HEAD_LIMIT,
+        body_bytes: body_limit,
+    };
+    let mut buf = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut buf, &limits) {
+            ReadOutcome::Request(req) => {
+                let keep = req.head.keep_alive() && !shared.is_shutdown();
+                let response = api.handle(&req);
+                if response.write_to(&mut stream, !keep).is_err() || !keep {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::Bad(e) => {
+                let _ = Response::error(e.status(), &e.to_string()).write_to(&mut stream, true);
+                return;
+            }
+            ReadOutcome::Io(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick: keep the connection (and any partial request
+                // bytes) unless the server is stopping.
+                if shared.is_shutdown() {
+                    return;
+                }
+            }
+            ReadOutcome::Io(_) => return,
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The seeded fuzz gate: 10k byte-mutated inputs per parser per seed must
+//! all parse or reject — a panic anywhere fails the test. The same harness
+//! backs `cargo xtask fuzz-http --seed N` for replaying a specific seed.
+
+use revmax_http::fuzz::{fuzz_http_parser, fuzz_json_codec, FuzzReport, DEFAULT_ITERATIONS};
+
+fn check(report: FuzzReport, what: &str) {
+    assert_eq!(report.iterations, DEFAULT_ITERATIONS, "{what}: short run");
+    assert_eq!(
+        report.accepted + report.rejected,
+        report.iterations,
+        "{what}: every input must be classified"
+    );
+    // Mutations start from valid corpus entries, so both classes must be
+    // well represented — a parser that rejects (or accepts) everything is
+    // not being exercised.
+    assert!(report.rejected > 0, "{what}: no rejections ({report:?})");
+    assert!(report.accepted > 0, "{what}: no accepts ({report:?})");
+}
+
+#[test]
+fn http_head_parser_survives_10k_mutations_per_seed() {
+    for seed in [1, 2, 0xC0FFEE] {
+        check(
+            fuzz_http_parser(seed, DEFAULT_ITERATIONS),
+            &format!("http seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn json_codec_survives_10k_mutations_per_seed() {
+    for seed in [1, 2, 0xC0FFEE] {
+        check(
+            fuzz_json_codec(seed, DEFAULT_ITERATIONS),
+            &format!("json seed {seed}"),
+        );
+    }
+}

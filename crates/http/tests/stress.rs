@@ -1,0 +1,228 @@
+//! Session-lifecycle stress: ~200 sessions driven concurrently through
+//! randomized open/advance/fetch/close sequences over real sockets, with
+//! the registry sized to force LRU evictions throughout. The assertions:
+//! every response is one of the protocol's defined statuses (evicted
+//! sessions answer 410, they never hang), and after the storm the
+//! snapshot-pool occupancy reported by `/statsz` returns to baseline — no
+//! leaked engine state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revmax_core::{json, wire, Instance, InstanceBuilder};
+use revmax_http::{testkit, HttpConfig, Server};
+use revmax_serve::{PlanService, Registry, RegistryConfig};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const SESSIONS_PER_THREAD: usize = 25; // 200 sessions total
+
+fn stress_instance() -> Instance {
+    let mut b = InstanceBuilder::new(4, 3, 4);
+    b.display_limit(1)
+        .beta(0, 0.3)
+        .beta(1, 0.5)
+        .beta(2, 0.7)
+        .prices(0, &[9.0, 8.0, 7.0, 6.0])
+        .prices(1, &[5.0, 5.0, 5.0, 5.0])
+        .prices(2, &[2.0, 2.5, 3.0, 3.5]);
+    for u in 0..4 {
+        let base = 0.1 + 0.05 * f64::from(u);
+        b.candidate(u, 0, &[base, 0.2, 0.3, 0.15], 4.0);
+        b.candidate(u, 1, &[0.2, base, 0.1, 0.25], 3.5);
+        b.candidate(u, 2, &[0.25, 0.1, base, 0.2], 3.0);
+    }
+    b.build().expect("stress instance is valid")
+}
+
+fn statsz(addr: std::net::SocketAddr) -> json::JsonValue {
+    let (status, body) = testkit::request(addr, "GET", "/statsz", None).expect("statsz");
+    assert_eq!(status, 200, "{body}");
+    json::parse(&body).expect("stats JSON")
+}
+
+#[test]
+fn two_hundred_randomized_sessions_leak_nothing_and_never_hang() {
+    // Small session cap → constant LRU eviction pressure; enough workers
+    // that every client thread can be in flight at once.
+    let config = HttpConfig {
+        workers: THREADS + 1,
+        registry: RegistryConfig {
+            max_sessions: 24,
+            ..RegistryConfig::default()
+        },
+        ..HttpConfig::default()
+    };
+    let registry = Arc::new(Registry::new(
+        Arc::new(PlanService::new(4)),
+        config.registry,
+    ));
+    let server = Server::start(registry, config).expect("bind loopback");
+    let addr = server.addr();
+    let inst = stress_instance();
+    let open_body = format!(
+        "{{\"instance\":{},\"config\":{{\"warm_start\":true}}}}",
+        wire::instance_to_json(&inst)
+    );
+
+    let baseline = statsz(addr)
+        .get("pooled_snapshots")
+        .and_then(|v| v.as_u64())
+        .expect("baseline occupancy");
+    assert_eq!(baseline, 0);
+
+    std::thread::scope(|scope| {
+        for thread_idx in 0..THREADS {
+            let open_body = &open_body;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xA11CE + thread_idx as u64);
+                let mut client = testkit::Client::connect(addr).expect("connect");
+                for _ in 0..SESSIONS_PER_THREAD {
+                    let (status, body) = client
+                        .request("POST", "/sessions", Some(open_body))
+                        .expect("open survives");
+                    assert_eq!(status, 201, "{body}");
+                    let view = json::parse(&body).expect("session JSON");
+                    let sid = view
+                        .get("session_id")
+                        .and_then(|v| v.as_u64())
+                        .expect("sid");
+                    let mut suffix = view.get("suffix").cloned().expect("suffix");
+                    let mut now = 0u32;
+                    let mut closed = false;
+
+                    for _ in 0..rng.gen_range(1usize..=6) {
+                        match rng.gen_range(0u32..4) {
+                            // Advance one day, adopting a random subset of
+                            // the triples this session last saw planned.
+                            0 if now < 4 => {
+                                now += 1;
+                                let mut events = String::from("[");
+                                if let Some(rows) = suffix.as_array() {
+                                    for row in rows {
+                                        let Some(cells) = row.as_array() else { continue };
+                                        let (Some(u), Some(i), Some(t)) = (
+                                            cells.first().and_then(|v| v.as_u64()),
+                                            cells.get(1).and_then(|v| v.as_u64()),
+                                            cells.get(2).and_then(|v| v.as_u64()),
+                                        ) else {
+                                            continue;
+                                        };
+                                        if t != u64::from(now) || rng.gen_bool(0.5) {
+                                            continue;
+                                        }
+                                        let outcome = if rng.gen_bool(0.4) {
+                                            "adopted"
+                                        } else {
+                                            "rejected"
+                                        };
+                                        if events.len() > 1 {
+                                            events.push(',');
+                                        }
+                                        events.push_str(&format!(
+                                            "{{\"user\":{u},\"item\":{i},\"t\":{t},\"outcome\":\"{outcome}\"}}"
+                                        ));
+                                    }
+                                }
+                                events.push(']');
+                                let body = format!("{{\"now\":{now},\"events\":{events}}}");
+                                let (status, reply) = client
+                                    .request(
+                                        "POST",
+                                        &format!("/sessions/{sid}/events"),
+                                        Some(&body),
+                                    )
+                                    .expect("advance survives");
+                                match status {
+                                    200 => {
+                                        let view =
+                                            json::parse(&reply).expect("advance JSON");
+                                        suffix = view
+                                            .get("suffix")
+                                            .cloned()
+                                            .expect("suffix");
+                                    }
+                                    // Evicted under LRU pressure or closed
+                                    // by a prior op in this walk.
+                                    410 => closed = true,
+                                    other => panic!("advance answered {other}: {reply}"),
+                                }
+                            }
+                            // Read the suffix.
+                            1 => {
+                                let (status, reply) = client
+                                    .request(
+                                        "GET",
+                                        &format!("/sessions/{sid}/suffix"),
+                                        None,
+                                    )
+                                    .expect("read survives");
+                                match status {
+                                    200 => {
+                                        let view = json::parse(&reply).expect("view JSON");
+                                        suffix = view
+                                            .get("suffix")
+                                            .cloned()
+                                            .expect("suffix");
+                                    }
+                                    410 => closed = true,
+                                    other => panic!("read answered {other}: {reply}"),
+                                }
+                            }
+                            // Close explicitly (a second close must answer
+                            // 410, not 200 and not hang).
+                            2 => {
+                                let (status, reply) = client
+                                    .request("DELETE", &format!("/sessions/{sid}"), None)
+                                    .expect("close survives");
+                                assert!(
+                                    status == 200 || status == 410,
+                                    "close answered {status}: {reply}"
+                                );
+                                closed = true;
+                            }
+                            // Probe the stats endpoint mid-storm.
+                            _ => {
+                                let stats = statsz(addr);
+                                assert!(stats.get("active_sessions").is_some());
+                            }
+                        }
+                        if closed {
+                            break;
+                        }
+                    }
+                    if !closed {
+                        let (status, reply) = client
+                            .request("DELETE", &format!("/sessions/{sid}"), None)
+                            .expect("final close survives");
+                        assert!(
+                            status == 200 || status == 410,
+                            "final close answered {status}: {reply}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Everything is closed or evicted; the pool must be back to baseline.
+    let stats = statsz(addr);
+    assert_eq!(
+        stats.get("active_sessions").and_then(|v| v.as_u64()),
+        Some(0),
+        "sessions leaked: {stats}"
+    );
+    assert_eq!(
+        stats.get("pooled_snapshots").and_then(|v| v.as_u64()),
+        Some(baseline),
+        "snapshot pool did not return to baseline: {stats}"
+    );
+    let evicted = stats
+        .get("sessions_evicted")
+        .and_then(|v| v.as_u64())
+        .expect("eviction counter");
+    assert!(
+        evicted >= (THREADS * SESSIONS_PER_THREAD) as u64,
+        "every session should end closed or evicted, counter says {evicted}"
+    );
+    assert!(server.shutdown());
+}

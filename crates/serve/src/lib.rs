@@ -21,6 +21,10 @@
 //!   replanned suffix equals a from-scratch plan of the residual instance
 //!   to 1e-9 for every engine/heap/shard configuration — warm-started or
 //!   not, inline or attached.
+//! * [`Registry`] — id-addressed plans and sessions over one shared
+//!   service, with backpressure bounds, LRU/TTL eviction, occupancy stats,
+//!   and a drainable shutdown path ([`RegistryConfig`]); this is the state
+//!   the `revmax-http` front end serves from.
 //!
 //! # Sessions over the service
 //!
@@ -105,9 +109,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod registry;
 mod service;
 mod session;
 
+pub use registry::{PlanView, Registry, RegistryConfig, RegistryError, RegistryStats, SessionView};
 pub use revmax_algorithms::{PlanAlgorithm, PlannerConfig};
 pub use service::{plan_batch, PlanReport, PlanService, PlanTicket, TicketStatus, WaitOutcome};
 pub use session::{PlanSession, ReplanReport, SessionError};

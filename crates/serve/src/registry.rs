@@ -1,0 +1,828 @@
+//! The service registry: id-addressed plans and sessions over one shared
+//! [`PlanService`], with backpressure, LRU eviction, idle TTLs, and a
+//! drainable shutdown path.
+//!
+//! This is the state the `revmax-http` front end serves from; it lives in
+//! `revmax-serve` so the policy (who gets evicted, what counts as backlog)
+//! is testable without sockets.
+//!
+//! * **Plans** — [`Registry::submit_plan`] forwards to
+//!   [`PlanService::submit`] and returns a numeric plan id. Ids are issued
+//!   monotonically, so a lookup can distinguish *never issued*
+//!   ([`RegistryError::NotFound`]) from *issued and since evicted*
+//!   ([`RegistryError::Gone`]) — the HTTP layer maps these to 404 vs 410.
+//!   At most [`RegistryConfig::max_pending_plans`] submissions may be
+//!   unfinished at once ([`RegistryError::PlanBacklog`], HTTP 429), and
+//!   finished reports are retained LRU up to
+//!   [`RegistryConfig::max_done_plans`].
+//! * **Sessions** — [`Registry::open_session`] plans the full horizon,
+//!   attaches the [`PlanSession`] to the shared service, and registers it.
+//!   Sessions are touched on every access; the least-recently-used session
+//!   is evicted when [`RegistryConfig::max_sessions`] is exceeded, and any
+//!   session idle longer than [`RegistryConfig::session_ttl`] is swept on
+//!   the next registry operation. Eviction never blocks on an in-flight
+//!   request: the per-session lock is dropped from the map and freed when
+//!   the last handler finishes — which is exactly why an evicted session
+//!   answers [`RegistryError::Gone`] instead of hanging.
+//! * **Stats & drain** — [`Registry::stats`] settles finished tickets and
+//!   reports queue depth, live sessions, and warm snapshot-pool occupancy;
+//!   [`Registry::drain`] resolves in-flight work for graceful shutdown.
+
+use crate::service::{PlanReport, PlanService, PlanTicket, TicketStatus, WaitOutcome};
+use crate::session::{PlanSession, SessionError};
+use revmax_algorithms::PlannerConfig;
+use revmax_core::{AdoptionEvent, Instance, Strategy};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Capacity and eviction policy for a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Maximum unfinished plan submissions before
+    /// [`Registry::submit_plan`] reports backlog (HTTP 429).
+    pub max_pending_plans: usize,
+    /// Maximum finished plan reports retained for fetching; beyond this the
+    /// least recently fetched reports are evicted (later fetches: 410).
+    pub max_done_plans: usize,
+    /// Maximum live sessions; beyond this the least recently used session
+    /// is evicted (later requests: 410).
+    pub max_sessions: usize,
+    /// Idle time after which a session is swept (later requests: 410).
+    pub session_ttl: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            max_pending_plans: 64,
+            max_done_plans: 256,
+            max_sessions: 1024,
+            session_ttl: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Why a registry operation was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The id was never issued by this registry.
+    NotFound,
+    /// The id was issued, but the plan/session has since been evicted,
+    /// cancelled, or closed.
+    Gone,
+    /// Too many unfinished plan submissions (see
+    /// [`RegistryConfig::max_pending_plans`]).
+    PlanBacklog {
+        /// The configured pending-plan limit.
+        limit: usize,
+    },
+    /// The session refused the advance (stale/duplicate events, beyond the
+    /// horizon, …); the session state is unchanged.
+    Session(SessionError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::NotFound => write!(f, "unknown id"),
+            RegistryError::Gone => write!(f, "evicted or closed"),
+            RegistryError::PlanBacklog { limit } => {
+                write!(f, "plan backlog full (limit {limit})")
+            }
+            RegistryError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<SessionError> for RegistryError {
+    fn from(e: SessionError) -> Self {
+        RegistryError::Session(e)
+    }
+}
+
+/// What a plan lookup observed.
+#[derive(Debug)]
+pub enum PlanView {
+    /// Still queued or running; poll again.
+    Pending(TicketStatus),
+    /// Finished — the report stays fetchable until LRU-evicted.
+    Done(PlanReport),
+}
+
+/// A snapshot of one session's externally visible state, produced by every
+/// session operation (the HTTP layer serialises this).
+#[derive(Debug, Clone)]
+pub struct SessionView {
+    /// The session id.
+    pub id: u64,
+    /// The realization frontier (0 = nothing realized yet).
+    pub now: u32,
+    /// The instance horizon `T`.
+    pub horizon: u32,
+    /// Whether the frontier has reached the horizon.
+    pub exhausted: bool,
+    /// Events applied by the operation that produced this view (0 for
+    /// opens and reads).
+    pub events_applied: usize,
+    /// The planned remaining-horizon suffix.
+    pub suffix: Strategy,
+    /// Expected revenue of the suffix under the residual model.
+    pub expected_remaining_revenue: f64,
+    /// Revenue realized so far across all applied adoption events.
+    pub realized_revenue: f64,
+    /// Number of replans the session has run.
+    pub replans: u32,
+}
+
+impl SessionView {
+    fn of(id: u64, session: &PlanSession, events_applied: usize) -> Self {
+        SessionView {
+            id,
+            now: session.now(),
+            horizon: session.instance().horizon(),
+            exhausted: session.is_exhausted(),
+            events_applied,
+            suffix: session.planned_suffix().clone(),
+            expected_remaining_revenue: session.expected_remaining_revenue(),
+            realized_revenue: session.realized_revenue(),
+            replans: session.replans(),
+        }
+    }
+}
+
+/// Counters for `GET /statsz` (and the stress suite's leak assertions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Plan submissions still queued or running.
+    pub queued_plans: usize,
+    /// Finished plan reports currently retained.
+    pub stored_plans: usize,
+    /// Live sessions.
+    pub active_sessions: usize,
+    /// Warm-start buffers pooled across all live sessions' engine
+    /// snapshots — the number the stress suite requires to return to
+    /// baseline after eviction.
+    pub pooled_snapshots: usize,
+    /// Plans evicted or cancelled since the registry was created.
+    pub plans_evicted: u64,
+    /// Sessions evicted (LRU, TTL, or closed) since the registry was
+    /// created.
+    pub sessions_evicted: u64,
+}
+
+enum PlanState {
+    Pending(PlanTicket),
+    Done(PlanReport),
+}
+
+struct PlanEntry {
+    state: PlanState,
+    /// LRU stamp: bumped on completion and on every fetch.
+    stamp: u64,
+}
+
+struct PlanStore {
+    next_id: u64,
+    next_stamp: u64,
+    entries: HashMap<u64, PlanEntry>,
+    evicted: u64,
+}
+
+struct SessionSlot {
+    session: Arc<Mutex<PlanSession>>,
+    touched: Instant,
+}
+
+struct SessionStore {
+    next_id: u64,
+    entries: HashMap<u64, SessionSlot>,
+    evicted: u64,
+}
+
+/// Id-addressed plans and sessions over one shared [`PlanService`] (see the
+/// module docs).
+pub struct Registry {
+    service: Arc<PlanService>,
+    config: RegistryConfig,
+    plans: Mutex<PlanStore>,
+    sessions: Mutex<SessionStore>,
+}
+
+impl Registry {
+    /// Creates a registry over `service` with the given policy.
+    pub fn new(service: Arc<PlanService>, config: RegistryConfig) -> Self {
+        Registry {
+            service,
+            config,
+            plans: Mutex::new(PlanStore {
+                next_id: 0,
+                next_stamp: 0,
+                entries: HashMap::new(),
+                evicted: 0,
+            }),
+            sessions: Mutex::new(SessionStore {
+                next_id: 0,
+                entries: HashMap::new(),
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// The shared plan service the registry submits to.
+    pub fn service(&self) -> &Arc<PlanService> {
+        &self.service
+    }
+
+    /// The registry's capacity/eviction policy.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    // -- plans -------------------------------------------------------------
+
+    /// Submits an instance for asynchronous planning; returns the plan id
+    /// to poll with [`Registry::plan_status`].
+    pub fn submit_plan(&self, inst: Instance, config: PlannerConfig) -> Result<u64, RegistryError> {
+        let mut plans = self.plans.lock().expect("plan store poisoned");
+        Self::settle_finished(&mut plans);
+        let pending = plans
+            .entries
+            .values()
+            .filter(|e| matches!(e.state, PlanState::Pending(_)))
+            .count();
+        if pending >= self.config.max_pending_plans {
+            return Err(RegistryError::PlanBacklog {
+                limit: self.config.max_pending_plans,
+            });
+        }
+        let ticket = self.service.submit(inst, config);
+        let id = plans.next_id;
+        plans.next_id += 1;
+        let stamp = plans.next_stamp;
+        plans.next_stamp += 1;
+        plans.entries.insert(
+            id,
+            PlanEntry {
+                state: PlanState::Pending(ticket),
+                stamp,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks up a plan: still pending, or the finished report (refreshing
+    /// its LRU stamp).
+    pub fn plan_status(&self, id: u64) -> Result<PlanView, RegistryError> {
+        let mut plans = self.plans.lock().expect("plan store poisoned");
+        Self::settle_finished(&mut plans);
+        self.evict_done_overflow(&mut plans);
+        let next_id = plans.next_id;
+        let stamp = plans.next_stamp;
+        let Some(entry) = plans.entries.get_mut(&id) else {
+            return Err(if id < next_id {
+                RegistryError::Gone
+            } else {
+                RegistryError::NotFound
+            });
+        };
+        match &entry.state {
+            PlanState::Pending(ticket) => Ok(PlanView::Pending(ticket.try_poll())),
+            PlanState::Done(report) => {
+                let view = PlanView::Done(report.clone());
+                entry.stamp = stamp;
+                plans.next_stamp += 1;
+                Ok(view)
+            }
+        }
+    }
+
+    /// Collects every finished ticket's report into the store (tickets hand
+    /// their report over exactly once) and drops cancelled entries.
+    fn settle_finished(plans: &mut PlanStore) {
+        let ids: Vec<u64> = plans
+            .entries
+            .iter()
+            .filter(|(_, e)| matches!(e.state, PlanState::Pending(_)))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            let Some(entry) = plans.entries.get_mut(&id) else {
+                continue;
+            };
+            let PlanState::Pending(ticket) = &entry.state else {
+                continue;
+            };
+            match ticket.wait_timeout(Duration::ZERO) {
+                WaitOutcome::Done(report) => {
+                    entry.state = PlanState::Done(report);
+                    entry.stamp = plans.next_stamp;
+                    plans.next_stamp += 1;
+                }
+                WaitOutcome::Cancelled => {
+                    plans.entries.remove(&id);
+                    plans.evicted += 1;
+                }
+                WaitOutcome::TimedOut => {}
+            }
+        }
+    }
+
+    /// Evicts the least recently fetched finished reports beyond the
+    /// retention limit.
+    fn evict_done_overflow(&self, plans: &mut PlanStore) {
+        loop {
+            let done = plans
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.state, PlanState::Done(_)))
+                .count();
+            if done <= self.config.max_done_plans {
+                return;
+            }
+            let Some(oldest) = plans
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.state, PlanState::Done(_)))
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&id, _)| id)
+            else {
+                return;
+            };
+            plans.entries.remove(&oldest);
+            plans.evicted += 1;
+        }
+    }
+
+    // -- sessions ----------------------------------------------------------
+
+    /// Opens a replanning session: plans the full horizon with `config`,
+    /// attaches the session to the shared service, and registers it.
+    ///
+    /// Opening never reports backlog — if the registry is at
+    /// [`RegistryConfig::max_sessions`], the least recently used session is
+    /// evicted to make room (it answers [`RegistryError::Gone`] afterwards).
+    pub fn open_session(
+        &self,
+        inst: Instance,
+        config: PlannerConfig,
+    ) -> Result<(u64, SessionView), RegistryError> {
+        // The initial full-horizon plan runs on the caller's thread, outside
+        // every registry lock.
+        let mut session = PlanSession::new(inst, config);
+        session.attach(&self.service);
+        let mut store = self.sessions.lock().expect("session store poisoned");
+        self.sweep_idle(&mut store);
+        let id = store.next_id;
+        store.next_id += 1;
+        let view = SessionView::of(id, &session, 0);
+        store.entries.insert(
+            id,
+            SessionSlot {
+                session: Arc::new(Mutex::new(session)),
+                touched: Instant::now(),
+            },
+        );
+        while store.entries.len() > self.config.max_sessions {
+            let Some(oldest) = store
+                .entries
+                .iter()
+                .filter(|(&sid, _)| sid != id)
+                .min_by_key(|(_, slot)| slot.touched)
+                .map(|(&sid, _)| sid)
+            else {
+                break;
+            };
+            store.entries.remove(&oldest);
+            store.evicted += 1;
+        }
+        Ok((id, view))
+    }
+
+    /// Applies an event batch and replans the suffix. `now` advances the
+    /// frontier to an explicit step; `None` advances by one.
+    ///
+    /// The ticketed replan is collected before returning, so the view is
+    /// never pending. On error the session is unchanged.
+    pub fn advance_session(
+        &self,
+        id: u64,
+        now: Option<u32>,
+        events: &[AdoptionEvent],
+    ) -> Result<SessionView, RegistryError> {
+        let slot = self.session_slot(id)?;
+        let mut session = slot.lock().expect("session poisoned");
+        let target = now.unwrap_or_else(|| session.now() + 1);
+        let report = session.advance_to(target, events)?;
+        let events_applied = report.events_applied;
+        if report.pending {
+            let _ = session.sync();
+        }
+        Ok(SessionView::of(id, &session, events_applied))
+    }
+
+    /// The session's current suffix and counters, without advancing it.
+    pub fn session_view(&self, id: u64) -> Result<SessionView, RegistryError> {
+        let slot = self.session_slot(id)?;
+        let mut session = slot.lock().expect("session poisoned");
+        // Collect a replan a previous (cancelled-midway) request left
+        // in flight, so reads never observe placeholder zeros.
+        if session.replan_pending() {
+            let _ = session.sync();
+        }
+        Ok(SessionView::of(id, &session, 0))
+    }
+
+    /// Closes a session explicitly; later requests answer
+    /// [`RegistryError::Gone`].
+    pub fn close_session(&self, id: u64) -> Result<(), RegistryError> {
+        let mut store = self.sessions.lock().expect("session store poisoned");
+        self.sweep_idle(&mut store);
+        if store.entries.remove(&id).is_some() {
+            store.evicted += 1;
+            return Ok(());
+        }
+        Err(if id < store.next_id {
+            RegistryError::Gone
+        } else {
+            RegistryError::NotFound
+        })
+    }
+
+    fn session_slot(&self, id: u64) -> Result<Arc<Mutex<PlanSession>>, RegistryError> {
+        let mut store = self.sessions.lock().expect("session store poisoned");
+        self.sweep_idle(&mut store);
+        let next_id = store.next_id;
+        match store.entries.get_mut(&id) {
+            Some(slot) => {
+                slot.touched = Instant::now();
+                Ok(Arc::clone(&slot.session))
+            }
+            None => Err(if id < next_id {
+                RegistryError::Gone
+            } else {
+                RegistryError::NotFound
+            }),
+        }
+    }
+
+    /// Evicts sessions idle past the TTL. Called on every session
+    /// operation; the map lock is held, the per-session locks are not —
+    /// an in-flight request on an evicted session finishes normally and
+    /// the state is freed when its `Arc` clone drops.
+    fn sweep_idle(&self, store: &mut SessionStore) {
+        let ttl = self.config.session_ttl;
+        let now = Instant::now();
+        let expired: Vec<u64> = store
+            .entries
+            .iter()
+            .filter(|(_, slot)| now.duration_since(slot.touched) > ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            store.entries.remove(&id);
+            store.evicted += 1;
+        }
+    }
+
+    // -- stats & shutdown --------------------------------------------------
+
+    /// Settles finished tickets and reports current occupancy.
+    pub fn stats(&self) -> RegistryStats {
+        let (queued_plans, stored_plans, plans_evicted) = {
+            let mut plans = self.plans.lock().expect("plan store poisoned");
+            Self::settle_finished(&mut plans);
+            let queued = plans
+                .entries
+                .values()
+                .filter(|e| matches!(e.state, PlanState::Pending(_)))
+                .count();
+            (queued, plans.entries.len() - queued, plans.evicted)
+        };
+        let (slots, active_sessions, sessions_evicted) = {
+            let mut store = self.sessions.lock().expect("session store poisoned");
+            self.sweep_idle(&mut store);
+            let slots: Vec<Arc<Mutex<PlanSession>>> = store
+                .entries
+                .values()
+                .map(|slot| Arc::clone(&slot.session))
+                .collect();
+            (slots, store.entries.len(), store.evicted)
+        };
+        // Per-session locks are taken after the map lock is released, so a
+        // long-running advance delays stats instead of deadlocking them.
+        let pooled_snapshots = slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("session poisoned")
+                    .warm_snapshot()
+                    .pooled_buffers()
+            })
+            .sum();
+        RegistryStats {
+            queued_plans,
+            stored_plans,
+            active_sessions,
+            pooled_snapshots,
+            plans_evicted,
+            sessions_evicted,
+        }
+    }
+
+    /// Drains in-flight work for graceful shutdown: waits (up to `timeout`)
+    /// for pending plan tickets to finish and collects every session's
+    /// in-flight replan. Returns `true` when fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        // Sessions first: collecting a replan frees a service worker.
+        let slots: Vec<Arc<Mutex<PlanSession>>> = {
+            let store = self.sessions.lock().expect("session store poisoned");
+            store
+                .entries
+                .values()
+                .map(|slot| Arc::clone(&slot.session))
+                .collect()
+        };
+        for slot in slots {
+            let mut session = slot.lock().expect("session poisoned");
+            if session.replan_pending() {
+                let _ = session.sync();
+            }
+        }
+        loop {
+            {
+                let mut plans = self.plans.lock().expect("plan store poisoned");
+                Self::settle_finished(&mut plans);
+                if !plans
+                    .entries
+                    .values()
+                    .any(|e| matches!(e.state, PlanState::Pending(_)))
+                {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmax_core::InstanceBuilder;
+
+    fn storefront() -> Instance {
+        let mut b = InstanceBuilder::new(4, 3, 4);
+        b.display_limit(1)
+            .item_class(0, 0)
+            .item_class(1, 0)
+            .item_class(2, 1)
+            .capacity(0, 2)
+            .capacity(1, 2)
+            .capacity(2, 3)
+            .beta(0, 0.3)
+            .beta(1, 0.3)
+            .beta(2, 0.8)
+            .prices(0, &[10.0, 9.0, 8.0, 7.0])
+            .prices(1, &[6.0, 6.0, 6.0, 6.0])
+            .prices(2, &[3.0, 3.5, 4.0, 4.5]);
+        for u in 0..4 {
+            let base = 0.1 + 0.05 * f64::from(u);
+            b.candidate(u, 0, &[base, 0.2, 0.3, 0.1], 4.0);
+            b.candidate(u, 1, &[0.2, base, 0.1, 0.3], 3.5);
+            b.candidate(u, 2, &[0.3, 0.1, base, 0.2], 3.0);
+        }
+        b.build().expect("storefront instance is valid")
+    }
+
+    fn registry(config: RegistryConfig) -> Registry {
+        Registry::new(Arc::new(PlanService::new(2)), config)
+    }
+
+    fn wait_done(reg: &Registry, id: u64) -> PlanReport {
+        for _ in 0..2000 {
+            match reg.plan_status(id).expect("plan exists") {
+                PlanView::Done(report) => return report,
+                PlanView::Pending(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        panic!("plan {id} did not finish");
+    }
+
+    #[test]
+    fn plan_lifecycle_submit_poll_refetch() {
+        let reg = registry(RegistryConfig::default());
+        let id = reg
+            .submit_plan(storefront(), PlannerConfig::default())
+            .expect("no backlog");
+        let report = wait_done(&reg, id);
+        assert!(report.outcome.revenue > 0.0);
+        // Reports stay fetchable (poll/fetch, not fetch-once).
+        let again = wait_done(&reg, id);
+        assert_eq!(again.outcome.revenue, report.outcome.revenue);
+        assert_eq!(
+            again.outcome.strategy.as_slice(),
+            report.outcome.strategy.as_slice()
+        );
+        // Unknown ids are NotFound, not Gone.
+        assert!(matches!(reg.plan_status(999), Err(RegistryError::NotFound)));
+    }
+
+    #[test]
+    fn plan_backlog_limit_reports_429_shape() {
+        let reg = registry(RegistryConfig {
+            max_pending_plans: 0,
+            ..RegistryConfig::default()
+        });
+        assert!(matches!(
+            reg.submit_plan(storefront(), PlannerConfig::default()),
+            Err(RegistryError::PlanBacklog { limit: 0 })
+        ));
+        // Settling frees capacity: with limit 1, a finished plan no longer
+        // counts against the backlog.
+        let reg = registry(RegistryConfig {
+            max_pending_plans: 1,
+            ..RegistryConfig::default()
+        });
+        let first = reg
+            .submit_plan(storefront(), PlannerConfig::default())
+            .expect("first fits");
+        wait_done(&reg, first);
+        reg.submit_plan(storefront(), PlannerConfig::default())
+            .expect("finished plans do not clog the backlog");
+    }
+
+    #[test]
+    fn done_plans_are_lru_evicted_to_gone() {
+        let reg = registry(RegistryConfig {
+            max_done_plans: 2,
+            ..RegistryConfig::default()
+        });
+        let ids: Vec<u64> = (0..2)
+            .map(|_| {
+                let id = reg
+                    .submit_plan(storefront(), PlannerConfig::default())
+                    .expect("no backlog");
+                wait_done(&reg, id);
+                id
+            })
+            .collect();
+        // Touch the older report so the second one is the LRU victim.
+        wait_done(&reg, ids[0]);
+        let id = reg
+            .submit_plan(storefront(), PlannerConfig::default())
+            .expect("no backlog");
+        wait_done(&reg, id);
+        assert!(matches!(reg.plan_status(ids[1]), Err(RegistryError::Gone)));
+        wait_done(&reg, ids[0]);
+        assert!(reg.stats().plans_evicted >= 1);
+    }
+
+    #[test]
+    fn session_round_trip_matches_inline_session() {
+        let inst = storefront();
+        let config = PlannerConfig::default().with_warm_start(true);
+        let reg = registry(RegistryConfig::default());
+        let (id, view) = reg.open_session(inst.clone(), config).expect("opens");
+        assert_eq!(view.now, 0);
+        assert!(!view.suffix.is_empty());
+
+        // Twin session, driven inline with identical events.
+        let mut twin = PlanSession::new(inst, config);
+        let events: Vec<AdoptionEvent> = twin
+            .upcoming()
+            .iter()
+            .filter(|z| z.t.value() == 1)
+            .take(1)
+            .map(|z| AdoptionEvent::adopted(z.user.0, z.item.0, 1))
+            .collect();
+        let view = reg
+            .advance_session(id, Some(1), &events)
+            .expect("advance applies");
+        let twin_report = twin.advance_to(1, &events).expect("twin advances");
+        assert_eq!(view.events_applied, events.len());
+        assert_eq!(view.suffix.len(), twin_report.suffix_len);
+        assert!(
+            (view.expected_remaining_revenue - twin_report.expected_remaining_revenue).abs() < 1e-9
+        );
+        assert!((view.realized_revenue - twin_report.realized_revenue).abs() < 1e-9);
+        assert_eq!(view.suffix.as_slice(), twin.planned_suffix().as_slice());
+
+        // Reads see the same state without advancing.
+        let read = reg.session_view(id).expect("session exists");
+        assert_eq!(read.now, 1);
+        assert_eq!(read.suffix.as_slice(), view.suffix.as_slice());
+
+        // Stale events are refused and leave the session untouched.
+        let stale = AdoptionEvent::adopted(0, 0, 1);
+        assert!(matches!(
+            reg.advance_session(id, Some(2), &[stale]),
+            Err(RegistryError::Session(SessionError::StaleEvent { .. }))
+        ));
+        assert_eq!(reg.session_view(id).expect("still live").now, 1);
+    }
+
+    #[test]
+    fn closed_and_unknown_sessions_answer_gone_vs_not_found() {
+        let reg = registry(RegistryConfig::default());
+        let (id, _) = reg
+            .open_session(storefront(), PlannerConfig::default())
+            .expect("opens");
+        reg.close_session(id).expect("closes");
+        assert!(matches!(reg.session_view(id), Err(RegistryError::Gone)));
+        assert!(matches!(reg.close_session(id), Err(RegistryError::Gone)));
+        assert!(matches!(
+            reg.session_view(id + 1),
+            Err(RegistryError::NotFound)
+        ));
+        assert!(matches!(
+            reg.advance_session(id, None, &[]),
+            Err(RegistryError::Gone)
+        ));
+    }
+
+    #[test]
+    fn lru_session_eviction_keeps_the_recently_used() {
+        let reg = registry(RegistryConfig {
+            max_sessions: 2,
+            ..RegistryConfig::default()
+        });
+        let (a, _) = reg
+            .open_session(storefront(), PlannerConfig::default())
+            .expect("opens");
+        let (b, _) = reg
+            .open_session(storefront(), PlannerConfig::default())
+            .expect("opens");
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        reg.session_view(a).expect("a is live");
+        let (c, _) = reg
+            .open_session(storefront(), PlannerConfig::default())
+            .expect("opens");
+        assert!(matches!(reg.session_view(b), Err(RegistryError::Gone)));
+        reg.session_view(a).expect("a survived");
+        reg.session_view(c).expect("c is live");
+        assert_eq!(reg.stats().active_sessions, 2);
+        assert_eq!(reg.stats().sessions_evicted, 1);
+    }
+
+    #[test]
+    fn idle_sessions_are_swept_by_ttl() {
+        let reg = registry(RegistryConfig {
+            session_ttl: Duration::from_millis(30),
+            ..RegistryConfig::default()
+        });
+        let (id, _) = reg
+            .open_session(storefront(), PlannerConfig::default())
+            .expect("opens");
+        reg.session_view(id).expect("fresh session is live");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(matches!(reg.session_view(id), Err(RegistryError::Gone)));
+        assert_eq!(reg.stats().active_sessions, 0);
+    }
+
+    #[test]
+    fn stats_track_snapshot_pool_occupancy_back_to_baseline() {
+        let reg = registry(RegistryConfig::default());
+        let config = PlannerConfig::default().with_warm_start(true);
+        let baseline = reg.stats().pooled_snapshots;
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let (id, _) = reg.open_session(storefront(), config).expect("opens");
+            reg.advance_session(id, None, &[]).expect("advances");
+            ids.push(id);
+        }
+        // Live warm sessions may pool buffers; closing them must free all.
+        for id in ids {
+            reg.close_session(id).expect("closes");
+        }
+        assert_eq!(reg.stats().pooled_snapshots, baseline);
+        assert_eq!(reg.stats().active_sessions, 0);
+    }
+
+    #[test]
+    fn drain_resolves_pending_work() {
+        let reg = registry(RegistryConfig::default());
+        let ids: Vec<u64> = (0..4)
+            .map(|_| {
+                reg.submit_plan(storefront(), PlannerConfig::default())
+                    .expect("no backlog")
+            })
+            .collect();
+        let (sid, _) = reg
+            .open_session(storefront(), PlannerConfig::default())
+            .expect("opens");
+        assert!(reg.drain(Duration::from_secs(30)), "drain completes");
+        assert_eq!(reg.stats().queued_plans, 0);
+        for id in ids {
+            wait_done(&reg, id);
+        }
+        reg.session_view(sid).expect("session survives a drain");
+    }
+}

@@ -370,6 +370,7 @@ fn library_scope(rel: &str) -> bool {
         "crates/core/src/",
         "crates/algorithms/src/",
         "crates/serve/src/",
+        "crates/http/src/",
     ]
     .iter()
     .any(|p| rel.starts_with(p))

@@ -13,6 +13,10 @@
 //!   claim/charge/release protocol under an acquire/release-aware memory
 //!   model, detector-sanity scenarios, a `Relaxed`-demotion mutant
 //!   sensitivity gate, and seeded random-schedule fuzzing.
+//! * `cargo xtask fuzz-http` — seeded byte-mutation fuzzing of the HTTP
+//!   front end's untrusted-input parsers (`revmax_http::request` and the
+//!   shared JSON codec); `--seed <n>` replays one seed, `--iterations <n>`
+//!   scales the per-seed input count.
 //!
 //! Both commands exit non-zero on failure and run as gating CI jobs; see
 //! ARCHITECTURE.md § "Analysis toolchain".
@@ -39,6 +43,10 @@ fn usage() -> ExitCode {
     eprintln!("  check-ledger             ledger model checker (exhaustive 2-3 thread");
     eprintln!("                           schedules, mutant sensitivity, seeded fuzz)");
     eprintln!("    --fuzz-seed <n>        override the random-schedule fuzz seed");
+    eprintln!("  fuzz-http                seeded byte-mutation fuzzing of the HTTP head");
+    eprintln!("                           parser and the JSON codec");
+    eprintln!("    --seed <n>             fuzz a single seed (default: a fixed trio)");
+    eprintln!("    --iterations <n>       mutated inputs per parser per seed");
     ExitCode::from(2)
 }
 
@@ -60,8 +68,56 @@ fn main() -> ExitCode {
             }
             check_ledger(seed)
         }
+        Some("fuzz-http") => {
+            let mut seed = None;
+            let mut iterations = revmax_http::fuzz::DEFAULT_ITERATIONS;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--seed" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => seed = Some(v),
+                        None => return usage(),
+                    },
+                    "--iterations" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => iterations = v,
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            fuzz_http(seed, iterations)
+        }
         _ => usage(),
     }
+}
+
+/// Default seed trio for `fuzz-http` when `--seed` is not given — fixed so
+/// CI runs are reproducible.
+const FUZZ_HTTP_SEEDS: [u64; 3] = [1, 2, 0xC0FFEE];
+
+/// Runs the seeded parser fuzz gate: every mutated input must parse or be
+/// rejected with a structured error; a panic aborts the process (non-zero
+/// exit), which is exactly the failure CI should see.
+fn fuzz_http(seed: Option<u64>, iterations: usize) -> ExitCode {
+    let seeds: Vec<u64> = match seed {
+        Some(s) => vec![s],
+        None => FUZZ_HTTP_SEEDS.to_vec(),
+    };
+    println!("fuzz-http: {iterations} mutated inputs per parser per seed");
+    for seed in seeds {
+        let http = revmax_http::fuzz::fuzz_http_parser(seed, iterations);
+        println!(
+            "  ok   http head parser   seed {seed:#x}: {} accepted / {} rejected",
+            http.accepted, http.rejected
+        );
+        let json = revmax_http::fuzz::fuzz_json_codec(seed, iterations);
+        println!(
+            "  ok   json codec         seed {seed:#x}: {} accepted / {} rejected",
+            json.accepted, json.rejected
+        );
+    }
+    println!("fuzz-http: all inputs parsed or rejected cleanly");
+    ExitCode::SUCCESS
 }
 
 /// Runs the full check-ledger gate: DFS suite (pass, detector-sanity, and
