@@ -35,6 +35,12 @@
 //! `classes`, `beta`, `capacity`, and `exempt` are optional (builder
 //! defaults apply); a candidate row is `[user, item, rating, probs]` with
 //! one probability per horizon step.
+//!
+//! Declared dimensions are capped *before* any allocation happens
+//! ([`MAX_WIRE_DIM`] per dimension, [`MAX_WIRE_CELLS`] for the dense
+//! `items × horizon` price table), so a tiny document claiming huge
+//! `users`/`items`/`horizon` is rejected with a schema error instead of
+//! driving the builder into multi-GiB allocations.
 
 use crate::error::BuildError;
 use crate::events::{AdoptionEvent, AdoptionOutcome};
@@ -43,6 +49,18 @@ use crate::instance::{Instance, InstanceBuilder};
 use crate::json::{self, JsonError, JsonValue};
 use crate::strategy::Strategy;
 use std::fmt;
+
+/// Upper bound on each declared wire dimension (`users`, `items`,
+/// `horizon`). [`InstanceBuilder`] allocates `O(items)` vectors up front
+/// and the built instance carries `O(users)` candidate offsets, so an
+/// untrusted document must not pick these freely up to `u32::MAX`.
+pub const MAX_WIRE_DIM: u32 = 1 << 22;
+
+/// Upper bound on the dense `items × horizon` price table a wire instance
+/// may declare (~32 MiB of `f64` cells at the cap). Checked before the
+/// builder is constructed, so `items * horizon` can neither exhaust memory
+/// nor overflow a `Vec` capacity.
+pub const MAX_WIRE_CELLS: u64 = 1 << 22;
 
 /// Why a wire document was rejected.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +117,18 @@ fn u32_field(value: &JsonValue, what: &str) -> Result<u32, WireError> {
     value
         .as_u32()
         .ok_or_else(|| WireError::schema(format!("`{what}` must be a non-negative integer")))
+}
+
+/// A declared dimension: a `u32` additionally capped at [`MAX_WIRE_DIM`],
+/// rejected before anything is allocated from it.
+fn dim_field(value: &JsonValue, what: &str) -> Result<u32, WireError> {
+    let n = u32_field(value, what)?;
+    if n > MAX_WIRE_DIM {
+        return Err(WireError::schema(format!(
+            "`{what}` is {n}, above the wire limit of {MAX_WIRE_DIM}"
+        )));
+    }
+    Ok(n)
 }
 
 fn f64_field(value: &JsonValue, what: &str) -> Result<f64, WireError> {
@@ -198,9 +228,15 @@ pub fn instance_from_value(value: &JsonValue) -> Result<Instance, WireError> {
     if value.as_object().is_none() {
         return Err(WireError::schema("an instance must be a JSON object"));
     }
-    let users = u32_field(field(value, "users")?, "users")?;
-    let items = u32_field(field(value, "items")?, "items")?;
-    let horizon = u32_field(field(value, "horizon")?, "horizon")?;
+    let users = dim_field(field(value, "users")?, "users")?;
+    let items = dim_field(field(value, "items")?, "items")?;
+    let horizon = dim_field(field(value, "horizon")?, "horizon")?;
+    if u64::from(items) * u64::from(horizon) > MAX_WIRE_CELLS {
+        return Err(WireError::schema(format!(
+            "`items * horizon` is {}, above the wire limit of {MAX_WIRE_CELLS} price cells",
+            u64::from(items) * u64::from(horizon)
+        )));
+    }
     let mut b = InstanceBuilder::new(users, items, horizon);
     if let Some(k) = value.get("display_limit") {
         b.display_limit(u32_field(k, "display_limit")?);
@@ -477,6 +513,58 @@ mod tests {
             instance_from_json(bad),
             Err(WireError::Build(BuildError::ProbabilitySeriesLength { .. }))
         ));
+    }
+
+    #[test]
+    fn instance_decode_caps_declared_dimensions_before_allocating() {
+        // A ~100-byte document claiming u32::MAX-sized dimensions must be
+        // rejected as a schema error without touching the builder (which
+        // would allocate O(items) + O(items * horizon)).
+        let max = u32::MAX;
+        for body in [
+            format!(
+                r#"{{"users": {max}, "items": 1, "horizon": 1, "prices": [[1.0]], "candidates": []}}"#
+            ),
+            format!(
+                r#"{{"users": 1, "items": {max}, "horizon": 1, "prices": [], "candidates": []}}"#
+            ),
+            format!(
+                r#"{{"users": 1, "items": 1, "horizon": {max}, "prices": [null], "candidates": []}}"#
+            ),
+        ] {
+            assert!(
+                matches!(instance_from_json(&body), Err(WireError::Schema { .. })),
+                "accepted oversized dimension in {body}"
+            );
+        }
+        // Each dimension under MAX_WIRE_DIM, but the dense price table
+        // (items * horizon) over MAX_WIRE_CELLS: also rejected up front.
+        let dim = MAX_WIRE_DIM;
+        let body = format!(
+            r#"{{"users": 1, "items": {dim}, "horizon": {dim}, "prices": [], "candidates": []}}"#
+        );
+        match instance_from_json(&body) {
+            Err(WireError::Schema { message }) => {
+                assert!(
+                    message.contains("items * horizon"),
+                    "wrong error: {message}"
+                )
+            }
+            other => panic!("expected a cells-cap schema error, got {other:?}"),
+        }
+        // At the cap itself the document passes the schema gate and reaches
+        // builder validation (`display_limit: 0` fails there, cheaply).
+        let body = format!(
+            r#"{{"users": 1, "items": 1, "horizon": {}, "display_limit": 0, "prices": [null], "candidates": []}}"#,
+            MAX_WIRE_CELLS
+        );
+        assert!(
+            matches!(
+                instance_from_json(&body),
+                Err(WireError::Build(BuildError::ZeroDisplayLimit))
+            ),
+            "an in-cap document should reach builder validation"
+        );
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct HttpConfig {
     pub queue: usize,
     /// Request-body cap in bytes (`413` beyond).
     pub body_limit: usize,
+    /// How long a connection may sit without completing a request before
+    /// the worker closes it (incomplete requests are answered `408`) — an
+    /// idle or byte-trickling client cannot pin a worker past this.
+    pub idle_timeout: Duration,
     /// Plan/session capacity and eviction policy for the backing registry.
     pub registry: RegistryConfig,
 }
@@ -30,6 +34,7 @@ impl Default for HttpConfig {
             workers: 4,
             queue: 64,
             body_limit: 8 * 1024 * 1024,
+            idle_timeout: Duration::from_secs(30),
             registry: RegistryConfig::default(),
         }
     }
@@ -43,6 +48,8 @@ impl HttpConfig {
     /// * `REVMAX_HTTP_WORKERS` — worker threads (min 1);
     /// * `REVMAX_HTTP_QUEUE` — accept-queue bound (min 1);
     /// * `REVMAX_HTTP_BODY_LIMIT` — request-body cap in bytes;
+    /// * `REVMAX_HTTP_IDLE_TIMEOUT` — per-connection idle deadline in
+    ///   seconds (min 1);
     /// * `REVMAX_HTTP_PLANS` — max unfinished plan submissions (429 beyond);
     /// * `REVMAX_HTTP_SESSIONS` — max live sessions (LRU eviction beyond);
     /// * `REVMAX_HTTP_SESSION_TTL` — session idle TTL in seconds.
@@ -62,6 +69,9 @@ impl HttpConfig {
             workers: env::var_or("REVMAX_HTTP_WORKERS", default.workers).max(1),
             queue: env::var_or("REVMAX_HTTP_QUEUE", default.queue).max(1),
             body_limit: env::var_or("REVMAX_HTTP_BODY_LIMIT", default.body_limit),
+            idle_timeout: Duration::from_secs(
+                env::var_or("REVMAX_HTTP_IDLE_TIMEOUT", default.idle_timeout.as_secs()).max(1),
+            ),
             registry,
         }
     }

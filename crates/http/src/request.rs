@@ -10,6 +10,7 @@
 
 use std::fmt;
 use std::io::Read;
+use std::time::Instant;
 
 /// Hard cap on the request head (request line + headers + CRLFCRLF).
 pub const DEFAULT_HEAD_LIMIT: usize = 8 * 1024;
@@ -37,6 +38,8 @@ pub enum RequestError {
     UnsupportedEncoding,
     /// Not an HTTP/1.0 or HTTP/1.1 request (505).
     UnsupportedVersion,
+    /// The request was still incomplete when the read deadline passed (408).
+    Timeout,
 }
 
 impl RequestError {
@@ -48,6 +51,7 @@ impl RequestError {
             RequestError::BodyTooLarge { .. } => 413,
             RequestError::UnsupportedEncoding => 501,
             RequestError::UnsupportedVersion => 505,
+            RequestError::Timeout => 408,
         }
     }
 }
@@ -64,6 +68,7 @@ impl fmt::Display for RequestError {
                 write!(f, "transfer encodings are not supported")
             }
             RequestError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            RequestError::Timeout => write!(f, "request not completed before the deadline"),
         }
     }
 }
@@ -93,11 +98,21 @@ impl RequestHead {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The declared body length (0 when absent).
+    /// The declared body length (0 when absent). Repeated `Content-Length`
+    /// fields with differing values are rejected outright (RFC 9112 §6.3 —
+    /// request-smuggling hygiene); identical repeats are collapsed.
     pub fn content_length(&self) -> Result<usize, RequestError> {
-        let Some(raw) = self.header("content-length") else {
+        let mut values = self
+            .headers
+            .iter()
+            .filter(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.as_str());
+        let Some(raw) = values.next() else {
             return Ok(0);
         };
+        if values.any(|v| v != raw) {
+            return Err(RequestError::Syntax("conflicting content-length headers"));
+        }
         if raw.is_empty() || raw.len() > 12 || !raw.bytes().all(|b| b.is_ascii_digit()) {
             return Err(RequestError::Syntax("invalid content-length"));
         }
@@ -106,12 +121,26 @@ impl RequestHead {
     }
 
     /// Whether the connection should stay open after the response.
+    /// `Connection` is a comma-separated token list; an explicit `close`
+    /// anywhere in it wins over `keep-alive`, and an empty/unknown list
+    /// falls back to the HTTP-version default.
     pub fn keep_alive(&self) -> bool {
-        match self.header("connection") {
-            Some(v) if v.eq_ignore_ascii_case("close") => false,
-            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
-            _ => self.http11,
+        let mut keep = None;
+        for (name, value) in &self.headers {
+            if name != "connection" {
+                continue;
+            }
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = Some(true);
+                }
+            }
         }
+        keep.unwrap_or(self.http11)
     }
 }
 
@@ -313,7 +342,19 @@ pub enum ReadOutcome {
 
 /// Reads one complete request from `stream`, carrying partial bytes across
 /// calls in `buf` (which also retains pipelined follow-up requests).
-pub fn read_request(stream: &mut impl Read, buf: &mut Vec<u8>, limits: &Limits) -> ReadOutcome {
+///
+/// `deadline` bounds how long an *incomplete* request may keep us reading:
+/// whenever more bytes are still needed past it, the read stops with
+/// [`RequestError::Timeout`] (408) — so a client trickling a head or body
+/// one byte at a time cannot pin the caller forever. A request whose bytes
+/// are already buffered never times out.
+pub fn read_request(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    limits: &Limits,
+    deadline: Option<Instant>,
+) -> ReadOutcome {
+    let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
     let mut chunk = [0u8; 4096];
     loop {
         match parse_head(buf, limits.head_bytes) {
@@ -332,6 +373,9 @@ pub fn read_request(stream: &mut impl Read, buf: &mut Vec<u8>, limits: &Limits) 
                     });
                 }
                 while buf.len() < consumed + body_len {
+                    if expired(deadline) {
+                        return ReadOutcome::Bad(RequestError::Timeout);
+                    }
                     match stream.read(&mut chunk) {
                         Ok(0) => {
                             return ReadOutcome::Bad(RequestError::Syntax(
@@ -346,17 +390,22 @@ pub fn read_request(stream: &mut impl Read, buf: &mut Vec<u8>, limits: &Limits) 
                 buf.drain(..consumed + body_len);
                 return ReadOutcome::Request(Request { head, body });
             }
-            HeadOutcome::Incomplete => match stream.read(&mut chunk) {
-                Ok(0) => {
-                    return if buf.is_empty() {
-                        ReadOutcome::Closed
-                    } else {
-                        ReadOutcome::Bad(RequestError::Syntax("connection closed mid-head"))
-                    }
+            HeadOutcome::Incomplete => {
+                if expired(deadline) {
+                    return ReadOutcome::Bad(RequestError::Timeout);
                 }
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                Err(e) => return ReadOutcome::Io(e),
-            },
+                match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        return if buf.is_empty() {
+                            ReadOutcome::Closed
+                        } else {
+                            ReadOutcome::Bad(RequestError::Syntax("connection closed mid-head"))
+                        }
+                    }
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e) => return ReadOutcome::Io(e),
+                }
+            }
         }
     }
 }
@@ -404,6 +453,66 @@ mod tests {
         assert!(head.keep_alive());
         let (head, _) = parse_ok(b"POST / HTTP/1.1\r\nContent-Length: 9999999999999\r\n\r\n");
         assert!(head.content_length().is_err());
+    }
+
+    #[test]
+    fn conflicting_content_length_headers_are_rejected() {
+        let (head, _) =
+            parse_ok(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n");
+        assert_eq!(
+            head.content_length(),
+            Err(RequestError::Syntax("conflicting content-length headers"))
+        );
+        // Identical repeats are collapsed, per RFC 9112 §6.3.
+        let (head, _) =
+            parse_ok(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n");
+        assert_eq!(head.content_length(), Ok(5));
+    }
+
+    #[test]
+    fn connection_header_lists_honor_close() {
+        let (head, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n");
+        assert!(!head.keep_alive());
+        let (head, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: close, keep-alive\r\n\r\n");
+        assert!(!head.keep_alive());
+        let (head, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: Keep-Alive, Upgrade\r\n\r\n");
+        assert!(head.keep_alive());
+        // `close` wins even when split across repeated Connection fields.
+        let (head, _) =
+            parse_ok(b"GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close\r\n\r\n");
+        assert!(!head.keep_alive());
+        // Unknown tokens alone fall back to the version default.
+        let (head, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n");
+        assert!(head.keep_alive());
+    }
+
+    #[test]
+    fn read_request_times_out_incomplete_requests_only() {
+        let limits = Limits::default();
+        let expired = Some(Instant::now());
+        // Incomplete head past the deadline → 408, without reading further.
+        let mut cursor = std::io::Cursor::new(b"GET / HT".to_vec());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_request(&mut cursor, &mut buf, &limits, expired),
+            ReadOutcome::Bad(RequestError::Timeout)
+        ));
+        // Complete head, missing body bytes past the deadline → 408.
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        let mut buf = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel".to_vec();
+        assert!(matches!(
+            read_request(&mut cursor, &mut buf, &limits, expired),
+            ReadOutcome::Bad(RequestError::Timeout)
+        ));
+        // A fully buffered request never times out, however late.
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        let mut buf = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec();
+        let ReadOutcome::Request(req) = read_request(&mut cursor, &mut buf, &limits, expired)
+        else {
+            panic!("buffered request should parse despite an expired deadline");
+        };
+        assert_eq!(req.body, b"hello");
+        assert_eq!(RequestError::Timeout.status(), 408);
     }
 
     #[test]
@@ -462,16 +571,17 @@ mod tests {
         let mut cursor = std::io::Cursor::new(wire.to_vec());
         let mut buf = Vec::new();
         let limits = Limits::default();
-        let ReadOutcome::Request(first) = read_request(&mut cursor, &mut buf, &limits) else {
+        let ReadOutcome::Request(first) = read_request(&mut cursor, &mut buf, &limits, None) else {
             panic!("first request should parse");
         };
         assert_eq!(first.body, b"hello");
-        let ReadOutcome::Request(second) = read_request(&mut cursor, &mut buf, &limits) else {
+        let ReadOutcome::Request(second) = read_request(&mut cursor, &mut buf, &limits, None)
+        else {
             panic!("pipelined request should parse");
         };
         assert_eq!(second.head.target, "/y");
         assert!(matches!(
-            read_request(&mut cursor, &mut buf, &limits),
+            read_request(&mut cursor, &mut buf, &limits, None),
             ReadOutcome::Closed
         ));
     }
@@ -486,14 +596,14 @@ mod tests {
         let mut cursor = std::io::Cursor::new(wire.to_vec());
         let mut buf = Vec::new();
         assert!(matches!(
-            read_request(&mut cursor, &mut buf, &limits),
+            read_request(&mut cursor, &mut buf, &limits, None),
             ReadOutcome::Bad(RequestError::BodyTooLarge { limit: 4 })
         ));
         let wire = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
         let mut cursor = std::io::Cursor::new(wire.to_vec());
         let mut buf = Vec::new();
         assert!(matches!(
-            read_request(&mut cursor, &mut buf, &limits),
+            read_request(&mut cursor, &mut buf, &limits, None),
             ReadOutcome::Bad(RequestError::UnsupportedEncoding)
         ));
     }

@@ -16,9 +16,10 @@ use revmax_serve::Registry;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a worker blocks in `read` before re-checking the shutdown
 /// flag; idle keep-alive connections stay open across timeouts.
@@ -121,12 +122,15 @@ impl Server {
                             }
                         };
                         match conn {
-                            Some(stream) => serve_connection(
-                                stream,
-                                &worker_api,
-                                &worker_shared,
-                                config.body_limit,
-                            ),
+                            // Panic isolation: a handler panic must not
+                            // shrink the pool. Connection state is per-call
+                            // (the stream is dropped, closing the socket),
+                            // so unwinding past it leaks nothing shared.
+                            Some(stream) => {
+                                let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    serve_connection(stream, &worker_api, &worker_shared, &config)
+                                }));
+                            }
                             None => return,
                         }
                     })?,
@@ -189,21 +193,33 @@ impl Drop for Server {
 }
 
 /// One connection's keep-alive loop: read a request, answer it, repeat
-/// until the peer closes, an error forces `Connection: close`, or shutdown
-/// is observed between requests.
-fn serve_connection(mut stream: TcpStream, api: &Api, shared: &Shared, body_limit: usize) {
+/// until the peer closes, an error forces `Connection: close`, shutdown is
+/// observed between requests, or `config.idle_timeout` passes without a
+/// completed request (incomplete requests are answered `408`, a silent
+/// idle connection is simply closed) — so neither an idle nor a
+/// byte-trickling client can pin a worker forever.
+fn serve_connection(mut stream: TcpStream, api: &Api, shared: &Shared, config: &HttpConfig) {
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let _ = stream.set_nodelay(true);
     let limits = Limits {
         head_bytes: DEFAULT_HEAD_LIMIT,
-        body_bytes: body_limit,
+        body_bytes: config.body_limit,
     };
     let mut buf = Vec::new();
+    let mut deadline = Instant::now() + config.idle_timeout;
     loop {
-        match read_request(&mut stream, &mut buf, &limits) {
+        match read_request(&mut stream, &mut buf, &limits, Some(deadline)) {
             ReadOutcome::Request(req) => {
+                deadline = Instant::now() + config.idle_timeout;
                 let keep = req.head.keep_alive() && !shared.is_shutdown();
-                let response = api.handle(&req);
+                // Panic isolation at the request boundary: answer a 500 and
+                // close instead of unwinding through the worker.
+                let response = std::panic::catch_unwind(AssertUnwindSafe(|| api.handle(&req)));
+                let Ok(response) = response else {
+                    let _ =
+                        Response::error(500, "internal server error").write_to(&mut stream, true);
+                    return;
+                };
                 if response.write_to(&mut stream, !keep).is_err() || !keep {
                     return;
                 }
@@ -220,8 +236,13 @@ fn serve_connection(mut stream: TcpStream, api: &Api, shared: &Shared, body_limi
                 ) =>
             {
                 // Idle tick: keep the connection (and any partial request
-                // bytes) unless the server is stopping.
+                // bytes) unless the server is stopping or the connection
+                // sat idle past its deadline (a partial request is left
+                // for `read_request` to answer with 408 on re-entry).
                 if shared.is_shutdown() {
+                    return;
+                }
+                if buf.is_empty() && Instant::now() >= deadline {
                     return;
                 }
             }

@@ -112,6 +112,18 @@ fn golden_request_table() {
             Some("{\"instance\":{\"users\":1}}"),
             400,
         ),
+        // A ~100-byte body claiming u32::MAX-sized dimensions must be a
+        // fast 400 (wire caps), not a multi-GiB allocation in the builder.
+        (
+            "oversized dimensions",
+            "POST",
+            "/instances",
+            Some(
+                "{\"instance\":{\"users\":4294967295,\"items\":4294967295,\
+                 \"horizon\":4294967295,\"prices\":[],\"candidates\":[]}}",
+            ),
+            400,
+        ),
         (
             "build violation",
             "POST",
@@ -175,11 +187,59 @@ fn malformed_wire_bytes_get_structured_rejections() {
         ),
         ("oversized body", oversized_body.as_bytes(), 413),
         ("oversized head", &huge_head, 431),
+        (
+            "conflicting content-length",
+            b"GET /healthz HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            400,
+        ),
     ];
     for (name, bytes, expected) in table {
         let (status, reply) = testkit::send_raw(addr, bytes).expect("response before close");
         assert_eq!(status, *expected, "case {name:?}: {reply}");
     }
+    assert!(server.shutdown());
+}
+
+/// Workers must not be pinnable: a connection that sends nothing is closed
+/// after the idle deadline, and one that stalls mid-request is answered
+/// `408` — and the pool keeps serving afterwards.
+#[test]
+fn idle_and_trickling_connections_are_reaped() {
+    use std::io::{Read, Write};
+
+    let server = start_server(HttpConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..HttpConfig::default()
+    });
+    let addr = server.addr();
+
+    // Silent connection: closed (EOF) without a response.
+    let mut idle = std::net::TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut byte = [0u8; 1];
+    assert_eq!(
+        idle.read(&mut byte).expect("server closes the idle conn"),
+        0,
+        "idle connection should be closed, not answered"
+    );
+
+    // Stalled partial request: answered 408, then closed.
+    let mut trickle = std::net::TcpStream::connect(addr).expect("connect");
+    trickle
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    trickle.write_all(b"GET /healthz HT").expect("partial head");
+    let mut reply = String::new();
+    trickle.read_to_string(&mut reply).expect("read 408");
+    assert!(
+        reply.starts_with("HTTP/1.1 408 "),
+        "stalled request should get 408, got {reply:?}"
+    );
+
+    // The worker pool is intact: fresh requests still answer.
+    let (status, _) = testkit::request(addr, "GET", "/healthz", None).expect("health");
+    assert_eq!(status, 200);
     assert!(server.shutdown());
 }
 
